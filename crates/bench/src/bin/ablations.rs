@@ -1,0 +1,11 @@
+//! Runs the ablations/extensions section (probe vs sort-merge, Skippy vs
+//! linear scan, parallel iteration).
+fn main() {
+    match rql_bench::experiments::ablations::run() {
+        Ok(md) => println!("{md}"),
+        Err(e) => {
+            eprintln!("ablations failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

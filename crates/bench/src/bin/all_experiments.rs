@@ -1,0 +1,55 @@
+//! Runs every experiment of the paper's evaluation and prints one
+//! markdown document (the content recorded in `EXPERIMENTS.md`).
+//!
+//! ```sh
+//! cargo run --release -p rql-bench --bin all_experiments > results.md
+//! RQL_BENCH_FAST=1 cargo run --release -p rql-bench --bin all_experiments  # smoke run
+//! ```
+
+use std::time::Instant;
+
+use rql_bench::experiments;
+use rql_bench::harness::{bench_sf, cost_model};
+
+fn main() {
+    let started = Instant::now();
+    println!("# RQL reproduction — experimental results\n");
+    println!(
+        "Configuration: scale factor {}, modeled Pagelog read cost {:?}, page size 4 KiB.\n",
+        bench_sf(),
+        cost_model().pagelog_read_cost
+    );
+    println!("{}", experiments::table1::run());
+    type Section = (&'static str, fn() -> rql_sqlengine::Result<String>);
+    let sections: Vec<Section> = vec![
+        ("Figure 6", experiments::fig6::run),
+        ("Figure 7", experiments::fig7::run),
+        ("Figure 8", experiments::fig8::run),
+        ("Figure 9", experiments::fig9::run),
+        ("Figure 10", experiments::fig10::run),
+        ("Figure 11", experiments::fig11::run),
+        ("Figure 12", experiments::fig12::run),
+        ("Figure 13", experiments::fig13::run),
+        ("§5.3 memory", experiments::mem_table::run),
+        ("Ablations", experiments::ablations::run),
+    ];
+    let mut failures = 0;
+    for (name, f) in sections {
+        let t = Instant::now();
+        match f() {
+            Ok(md) => {
+                print!("{md}");
+                eprintln!("[{name}] done in {:?}", t.elapsed());
+            }
+            Err(e) => {
+                println!("## {name}\n\nFAILED: {e}\n");
+                eprintln!("[{name}] FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+    eprintln!("all experiments finished in {:?}", started.elapsed());
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 10.
+fn main() {
+    match rql_bench::experiments::fig10::run() {
+        Ok(md) => println!("{md}"),
+        Err(e) => {
+            eprintln!("fig10 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

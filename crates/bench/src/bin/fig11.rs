@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 11.
+fn main() {
+    match rql_bench::experiments::fig11::run() {
+        Ok(md) => println!("{md}"),
+        Err(e) => {
+            eprintln!("fig11 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

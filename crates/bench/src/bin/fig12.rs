@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 12.
+fn main() {
+    match rql_bench::experiments::fig12::run() {
+        Ok(md) => println!("{md}"),
+        Err(e) => {
+            eprintln!("fig12 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 13.
+fn main() {
+    match rql_bench::experiments::fig13::run() {
+        Ok(md) => println!("{md}"),
+        Err(e) => {
+            eprintln!("fig13 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 6.
+fn main() {
+    match rql_bench::experiments::fig6::run() {
+        Ok(md) => println!("{md}"),
+        Err(e) => {
+            eprintln!("fig6 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 7.
+fn main() {
+    match rql_bench::experiments::fig7::run() {
+        Ok(md) => println!("{md}"),
+        Err(e) => {
+            eprintln!("fig7 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 8.
+fn main() {
+    match rql_bench::experiments::fig8::run() {
+        Ok(md) => println!("{md}"),
+        Err(e) => {
+            eprintln!("fig8 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 9.
+fn main() {
+    match rql_bench::experiments::fig9::run() {
+        Ok(md) => println!("{md}"),
+        Err(e) => {
+            eprintln!("fig9 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the §5.3 memory-cost comparison.
+fn main() {
+    match rql_bench::experiments::mem_table::run() {
+        Ok(md) => println!("{md}"),
+        Err(e) => {
+            eprintln!("mem_table failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Prints Table 1 (parameters and notations) as implemented.
+fn main() {
+    println!("{}", rql_bench::experiments::table1::run());
+}

@@ -1,0 +1,133 @@
+//! Shared runs for Figures 11–13: producing the same across-time
+//! aggregation with `CollateData` + a final SQL query vs.
+//! `AggregateDataInTable`, under UW30 with `Qq_agg`.
+
+use std::time::{Duration, Instant};
+
+use rql::{AggOp, RqlReport};
+use rql_sqlengine::Result;
+use rql_tpch::{build_history, SnapshotHistory, UW30};
+
+use crate::harness::{bench_config, bench_sf, fast_mode, run_from_cold};
+use crate::queries::QQ_AGG;
+
+/// One approach's outcome.
+pub struct ApproachRun {
+    /// Display label.
+    pub label: String,
+    /// The mechanism's report.
+    pub report: RqlReport,
+    /// Extra final-aggregation query time (CollateData approaches only).
+    pub extra_query: Duration,
+    /// Result-table size in bytes (pages × page size).
+    pub result_bytes: u64,
+    /// Result-table row count.
+    pub result_rows: u64,
+    /// Auxiliary-database pages written during the run (insert/update
+    /// volume on the result table).
+    pub aux_pages_written: u64,
+}
+
+/// Build the shared UW30 history for these figures.
+pub fn history() -> Result<SnapshotHistory> {
+    let interval = interval_len();
+    let mut h = build_history(bench_config(), bench_sf(), UW30, interval, false)?;
+    h.age_all_snapshots()?;
+    Ok(h)
+}
+
+/// Interval length (Qs_50, or shorter in fast mode).
+pub fn interval_len() -> u64 {
+    if fast_mode() {
+        5
+    } else {
+        50
+    }
+}
+
+fn measure_result_table(
+    h: &SnapshotHistory,
+    table: &str,
+) -> Result<(u64, u64)> {
+    let bytes = h.session.aux_db().table_size_bytes(table)?;
+    let rows = h.session.aux_db().table_row_count(table)?;
+    Ok((bytes, rows))
+}
+
+/// `CollateData` + final SQL aggregation (1 or 2 aggregate functions).
+pub fn run_collate(h: &SnapshotHistory, two_aggs: bool) -> Result<ApproachRun> {
+    let qs = h.qs(1, interval_len(), 1);
+    let table = "fig11_collate";
+    let aux_before = h.session.aux_db().io_stats().snapshot();
+    let report = run_from_cold(&h.session, table, || {
+        h.session.collate_data(&qs, QQ_AGG, table)
+    })?;
+    let final_query = if two_aggs {
+        format!("SELECT o_custkey, MAX(cn) AS cn, MAX(av) AS av FROM {table} GROUP BY o_custkey")
+    } else {
+        format!("SELECT o_custkey, MAX(cn) AS cn, av FROM {table} GROUP BY o_custkey")
+    };
+    let started = Instant::now();
+    let final_rows = h.session.query_aux(&final_query)?.rows.len();
+    let extra_query = started.elapsed();
+    let (result_bytes, result_rows) = measure_result_table(h, table)?;
+    let aux_pages_written = h
+        .session
+        .aux_db()
+        .io_stats()
+        .snapshot()
+        .delta(&aux_before)
+        .pages_written;
+    let _ = final_rows;
+    Ok(ApproachRun {
+        label: format!(
+            "CollateData + {} agg. query",
+            if two_aggs { "2-func" } else { "1-func" }
+        ),
+        report,
+        extra_query,
+        result_bytes,
+        result_rows,
+        aux_pages_written,
+    })
+}
+
+/// `AggregateDataInTable` with 1 or 2 aggregations, or a custom op set.
+pub fn run_agg_table(
+    h: &SnapshotHistory,
+    pairs: &[(String, AggOp)],
+    label: &str,
+) -> Result<ApproachRun> {
+    let qs = h.qs(1, interval_len(), 1);
+    let table = "fig11_aggtable";
+    let aux_before = h.session.aux_db().io_stats().snapshot();
+    let report = run_from_cold(&h.session, table, || {
+        h.session.aggregate_data_in_table(&qs, QQ_AGG, table, pairs)
+    })?;
+    let (result_bytes, result_rows) = measure_result_table(h, table)?;
+    let aux_pages_written = h
+        .session
+        .aux_db()
+        .io_stats()
+        .snapshot()
+        .delta(&aux_before)
+        .pages_written;
+    Ok(ApproachRun {
+        label: label.to_owned(),
+        report,
+        extra_query: Duration::ZERO,
+        result_bytes,
+        result_rows,
+        aux_pages_written,
+    })
+}
+
+/// The standard one-aggregation pair `(cn, MAX)`.
+pub fn one_agg() -> Vec<(String, AggOp)> {
+    vec![("cn".to_owned(), AggOp::Max)]
+}
+
+/// The two-aggregation pair `(cn, MAX):(av, MAX)`.
+pub fn two_aggs() -> Vec<(String, AggOp)> {
+    vec![("cn".to_owned(), AggOp::Max), ("av".to_owned(), AggOp::Max)]
+}

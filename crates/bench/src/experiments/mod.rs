@@ -1,0 +1,15 @@
+//! One module per table/figure of the paper's evaluation (§5), each
+//! returning its results as a markdown section.
+
+pub mod ablations;
+pub mod agg_vs_collate;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod mem_table;
+pub mod table1;

@@ -1,0 +1,49 @@
+//! Table 1 — parameters and notations, rendered from the code that
+//! defines them (so the harness and the paper's notation stay in sync).
+
+use rql_tpch::{Tpch, UW15, UW30, UW60, UW7_5};
+
+use crate::harness::bench_sf;
+use crate::queries::{QQ_AGG, QQ_CPU, QQ_INT, QQ_IO};
+
+/// Render Table 1 as markdown.
+pub fn run() -> String {
+    let tpch = Tpch::new(bench_sf());
+    let mut out = String::new();
+    out.push_str("## Table 1 — Parameters and notations (as implemented)\n\n");
+    out.push_str(&format!(
+        "Scale factor {} ⇒ {} orders, {} parts, {} customers.\n\n",
+        bench_sf(),
+        tpch.orders_count(),
+        tpch.part_count(),
+        tpch.customer_count()
+    ));
+    out.push_str("| parameter | notation | implementation |\n|---|---|---|\n");
+    for w in [UW7_5, UW15, UW30, UW60] {
+        out.push_str(&format!(
+            "| Update workload | {} | delete+insert {} orders (+lineitems) per snapshot; \
+             overwrite cycle {} snapshots |\n",
+            w.name,
+            w.orders_per_snapshot(&tpch),
+            w.overwrite_cycle()
+        ));
+    }
+    out.push_str(
+        "| Query Qs | Qs_N | `SELECT snap_id FROM SnapIds WHERE …` interval of length N \
+         (optional step) |\n",
+    );
+    out.push_str(&format!("| Query Qq | Qq_io | `{QQ_IO}` |\n"));
+    out.push_str(&format!("| Query Qq | Qq_cpu | `{}` |\n", QQ_CPU.replace('\n', " ")));
+    out.push_str(
+        "| Query Qq | Qq_collate | `SELECT o_orderkey FROM orders WHERE o_orderdate < \
+         '[DATE]'` |\n",
+    );
+    out.push_str(&format!("| Query Qq | Qq_agg | `{}` |\n", QQ_AGG.replace('\n', " ")));
+    out.push_str(&format!("| Query Qq | Qq_int | `{QQ_INT}` |\n"));
+    out.push_str(
+        "| RQL UDF | CollateData / AggregateDataInVariable / AggregateDataInTable / \
+         CollateDataIntoIntervals | `rql::mechanism` (API + SQL UDF forms) |\n",
+    );
+    out.push_str("| Aggregate function | MIN, MAX, SUM, COUNT, AVG | `rql::AggOp` |\n\n");
+    out
+}

@@ -1,0 +1,185 @@
+//! Shared experiment harness: configurations, all-cold baselines, cost
+//! formatting.
+//!
+//! Latencies are reported two ways, per DESIGN.md's substitution note:
+//! measured wall/CPU time, and a **modeled** latency
+//! `cpu + pagelog_reads × c_io` under [`IoCostModel`] (default 100 µs per
+//! Pagelog page, ≈ the paper's SATA-SSD random 4 KiB read). The modeled
+//! number is what reproduces the paper's *shapes* deterministically,
+//! because at laptop scale the OS page cache hides real device latency.
+
+use std::time::Duration;
+
+use rql::{RqlReport, RqlSession};
+use rql_pagestore::IoCostModel;
+use rql_retro::RetroConfig;
+use rql_sqlengine::{ExecStats, Result};
+
+/// Scale factor used by the experiments (overridable via
+/// `RQL_BENCH_SF`). 0.002 ⇒ 3,000 orders ≈ 1/500 of the paper's SF-1.
+pub fn bench_sf() -> f64 {
+    std::env::var("RQL_BENCH_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.002)
+}
+
+/// Whether to run the reduced "fast" parameterization (`RQL_BENCH_FAST`).
+pub fn fast_mode() -> bool {
+    std::env::var("RQL_BENCH_FAST").is_ok()
+}
+
+/// The store configuration all experiments use.
+pub fn bench_config() -> RetroConfig {
+    RetroConfig::new()
+}
+
+/// The I/O cost model (overridable via `RQL_BENCH_IO_US`, microseconds
+/// per Pagelog read).
+pub fn cost_model() -> IoCostModel {
+    let us = std::env::var("RQL_BENCH_IO_US")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100u64);
+    IoCostModel {
+        pagelog_read_cost: Duration::from_micros(us),
+        ..IoCostModel::default()
+    }
+}
+
+/// Cost of an *all-cold* run over `sids` with query `qq`: every
+/// iteration starts with an empty snapshot-page cache, so each fetches
+/// exactly what a stand-alone snapshot query would (paper §5.1).
+pub fn all_cold_run(session: &RqlSession, sids: &[u64], qq: &str) -> Result<RqlReport> {
+    let store = session.snap_db().store();
+    let mut report = RqlReport::default();
+    for &sid in sids {
+        store.cache().clear();
+        let parsed = rql_sqlengine::parse_select(qq)?;
+        let rewritten = rql::rewrite_select(&parsed, sid);
+        let outcome = session
+            .snap_db()
+            .execute_stmt(&rql_sqlengine::Stmt::Select(rewritten))?;
+        let result = outcome.rows().expect("select yields rows");
+        report.iterations.push(rql::IterationReport {
+            snap_id: sid,
+            qq_stats: result.stats,
+            udf_time: Duration::ZERO,
+            qq_rows: result.rows.len() as u64,
+            result_inserts: 0,
+            result_updates: 0,
+        });
+    }
+    Ok(report)
+}
+
+/// Snapshot ids a Qs string resolves to (for driving all-cold baselines
+/// with the exact same set).
+pub fn resolve_qs(session: &RqlSession, qs: &str) -> Result<Vec<u64>> {
+    let r = session.query_aux(qs)?;
+    Ok(r.rows
+        .iter()
+        .filter_map(|row| row[0].as_i64())
+        .map(|i| i as u64)
+        .collect())
+}
+
+/// Run an RQL query "from cold": clear the snapshot-page cache first
+/// (paper §5: "the snapshot page cache is empty at the start of an RQL
+/// query"), drop the result table, then invoke `f`.
+pub fn run_from_cold<T>(
+    session: &RqlSession,
+    result_table: &str,
+    f: impl FnOnce() -> Result<T>,
+) -> Result<T> {
+    session.drop_result_table(result_table)?;
+    session.snap_db().store().cache().clear();
+    f()
+}
+
+/// The ratio C of paper §5.1: modeled RQL latency over modeled all-cold
+/// latency for the same snapshot count.
+pub fn ratio_c(rql: &RqlReport, all_cold: &RqlReport, model: &IoCostModel) -> f64 {
+    let a = rql.total_cost(model).as_secs_f64();
+    let b = all_cold.total_cost(model).as_secs_f64();
+    if b == 0.0 {
+        return 1.0;
+    }
+    a / b
+}
+
+/// Pure-I/O variant of ratio C (counted Pagelog reads only) — fully
+/// deterministic, used alongside the modeled ratio.
+pub fn ratio_c_io(rql: &RqlReport, all_cold: &RqlReport) -> f64 {
+    let a = rql.accumulated_stats().io.pagelog_reads as f64;
+    let b = all_cold.accumulated_stats().io.pagelog_reads as f64;
+    if b == 0.0 {
+        return 1.0;
+    }
+    a / b
+}
+
+/// One row of a cost-breakdown table (Figures 8–13): I/O (modeled), SPT
+/// build, index creation, query evaluation, RQL UDF.
+pub fn breakdown_row(
+    label: &str,
+    stats: &ExecStats,
+    udf: Duration,
+    model: &IoCostModel,
+) -> String {
+    format!(
+        "| {label} | {:>10.3} | {:>9.3} | {:>10.3} | {:>10.3} | {:>8.3} | {:>8} |",
+        stats.io_cost(model).as_secs_f64() * 1e3,
+        stats.spt_build.as_secs_f64() * 1e3,
+        stats.index_creation.as_secs_f64() * 1e3,
+        stats.eval.as_secs_f64() * 1e3,
+        udf.as_secs_f64() * 1e3,
+        stats.io.pagelog_reads,
+    )
+}
+
+/// Header matching [`breakdown_row`].
+pub fn breakdown_header() -> String {
+    "| iteration | I/O (ms) | SPT (ms) | index (ms) | eval (ms) | UDF (ms) | plog rd |\n\
+     |---|---|---|---|---|---|---|"
+        .to_owned()
+}
+
+/// Mean breakdown over the hot (non-first) iterations of a report.
+pub fn hot_mean_stats(report: &RqlReport) -> (ExecStats, Duration) {
+    let hot = &report.iterations[1..];
+    if hot.is_empty() {
+        return (ExecStats::default(), Duration::ZERO);
+    }
+    let mut acc = ExecStats::default();
+    let mut udf = Duration::ZERO;
+    for it in hot {
+        acc.accumulate(&it.qq_stats);
+        udf += it.udf_time;
+    }
+    let n = hot.len() as u32;
+    let stats = ExecStats {
+        spt_build: acc.spt_build / n,
+        index_creation: acc.index_creation / n,
+        eval: acc.eval / n,
+        io: rql_pagestore::IoStatsSnapshot {
+            db_reads: acc.io.db_reads / n as u64,
+            cache_hits: acc.io.cache_hits / n as u64,
+            pagelog_reads: acc.io.pagelog_reads / n as u64,
+            cow_captures: acc.io.cow_captures / n as u64,
+            pages_written: acc.io.pages_written / n as u64,
+            maplog_entries_scanned: acc.io.maplog_entries_scanned / n as u64,
+            cache_evictions: acc.io.cache_evictions / n as u64,
+        },
+        rows: acc.rows / n as u64,
+    };
+    (stats, udf / n)
+}
+
+/// The cold (first) iteration's breakdown.
+pub fn cold_stats(report: &RqlReport) -> (ExecStats, Duration) {
+    match report.iterations.first() {
+        Some(it) => (it.qq_stats, it.udf_time),
+        None => (ExecStats::default(), Duration::ZERO),
+    }
+}

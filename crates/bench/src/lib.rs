@@ -1,0 +1,19 @@
+//! # rql-bench
+//!
+//! Experiment harness regenerating every table and figure of the RQL
+//! paper's evaluation (§5). Each experiment is a library function
+//! returning a markdown section plus a thin binary
+//! (`cargo run --release -p rql-bench --bin fig6` etc.); the
+//! `all_experiments` binary runs everything and writes the results into
+//! `EXPERIMENTS.md` format on stdout.
+//!
+//! Environment knobs:
+//!
+//! * `RQL_BENCH_SF` — TPC-H scale factor (default 0.002 ⇒ 3,000 orders);
+//! * `RQL_BENCH_IO_US` — modeled cost per Pagelog page read in
+//!   microseconds (default 100 ≈ SATA-SSD random 4 KiB);
+//! * `RQL_BENCH_FAST` — reduced parameters for smoke runs/CI.
+
+pub mod experiments;
+pub mod harness;
+pub mod queries;

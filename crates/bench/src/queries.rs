@@ -1,0 +1,47 @@
+//! The queries of Table 1, as code.
+//!
+//! | Notation    | Query |
+//! |-------------|-------|
+//! | `Qq_io`     | `SELECT COUNT(*) FROM orders WHERE o_orderstatus = 'O'` |
+//! | `Qq_cpu`    | `SELECT SUM(l_extendedprice) AS revenue FROM lineitem, part WHERE p_partkey = l_partkey AND p_type = 'STANDARD POLISHED TIN'` |
+//! | `Qq_collate`| `SELECT o_orderkey FROM orders WHERE o_orderdate < '[DATE]'` |
+//! | `Qq_agg`    | `SELECT o_custkey, COUNT(*) AS cn, AVG(o_totalprice) AS av FROM orders GROUP BY o_custkey` |
+//! | `Qq_int`    | `SELECT o_orderkey, o_custkey FROM orders` |
+
+use rql::RqlSession;
+use rql_sqlengine::Result;
+
+/// `Qq_io`: I/O-intensive, computationally light (scans `orders`).
+pub const QQ_IO: &str = "SELECT COUNT(*) FROM orders WHERE o_orderstatus = 'O'";
+
+/// `Qq_cpu`: CPU-intensive join of `lineitem` and `part` (the predicate
+/// value is guaranteed by the generator's type grammar).
+pub const QQ_CPU: &str = "SELECT SUM(l_extendedprice) AS revenue FROM lineitem, part \
+     WHERE p_partkey = l_partkey AND p_type = 'STANDARD POLISHED TIN'";
+
+/// `Qq_agg`: grouped aggregation over `orders`.
+pub const QQ_AGG: &str = "SELECT o_custkey, COUNT(*) AS cn, AVG(o_totalprice) AS av \
+     FROM orders GROUP BY o_custkey";
+
+/// `Qq_int`: full projection of `orders` (drives §5.3's interval
+/// experiment).
+pub const QQ_INT: &str = "SELECT o_orderkey, o_custkey FROM orders";
+
+/// `Qq_collate` with its `[DATE]` parameter bound.
+pub fn qq_collate(date: &str) -> String {
+    format!("SELECT o_orderkey FROM orders WHERE o_orderdate < '{date}'")
+}
+
+/// Find the `o_orderdate` value below which roughly `fraction` of the
+/// orders in snapshot `sid` fall — used to size `Qq_collate`'s output the
+/// way the paper varies "the query output size" (Figure 10).
+pub fn date_at_fraction(session: &RqlSession, sid: u64, fraction: f64) -> Result<String> {
+    let r = session.query(&format!(
+        "SELECT AS OF {sid} o_orderdate FROM orders ORDER BY o_orderdate"
+    ))?;
+    if r.rows.is_empty() {
+        return Ok("1992-01-01".to_owned());
+    }
+    let idx = ((r.rows.len() as f64 * fraction) as usize).min(r.rows.len() - 1);
+    Ok(r.rows[idx][0].as_str().unwrap_or("1992-01-01").to_owned())
+}

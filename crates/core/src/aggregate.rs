@@ -1,0 +1,324 @@
+//! Aggregate functions usable by the RQL aggregation mechanisms.
+//!
+//! Paper §2.3: "the aggregate function must be definable by an abelian
+//! monoid (X, op, e) where X is the domain of values, op is an
+//! associative and commutative binary operation and e is the identity
+//! element. Most SQL aggregate functions e.g. min, max, count and sum,
+//! satisfy the requirement but some, e.g. average, and aggregations over
+//! distinct elements … do not. Because average is widely used in SQL, our
+//! aggregation mechanisms implement a simple extension that supports
+//! average as a special case."
+//!
+//! [`AggOp`] is the monoid operation; [`AggState`] carries the running
+//! value, with AVG represented as a `(sum, count)` pair — the paper's
+//! special case.
+
+use std::fmt;
+
+use rql_sqlengine::{SqlError, Value};
+
+/// An RQL aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOp {
+    /// Minimum under the SQL total order.
+    Min,
+    /// Maximum.
+    Max,
+    /// Numeric sum.
+    Sum,
+    /// Count of (non-null) contributions.
+    Count,
+    /// Arithmetic mean — the paper's non-monoid special case, carried as
+    /// a `(sum, count)` pair.
+    Avg,
+}
+
+impl AggOp {
+    /// Parse the programmer-facing name ("min", "MAX", …).
+    ///
+    /// Distinct aggregations are rejected with the paper's guidance:
+    /// "Aggregations over distinct elements can use the Collate Data
+    /// mechanism … and then use SQL to perform the needed aggregation."
+    pub fn parse(name: &str) -> Result<AggOp, SqlError> {
+        match name.to_ascii_lowercase().as_str() {
+            "min" => Ok(AggOp::Min),
+            "max" => Ok(AggOp::Max),
+            "sum" => Ok(AggOp::Sum),
+            "count" => Ok(AggOp::Count),
+            "avg" | "average" => Ok(AggOp::Avg),
+            other if other.contains("distinct") => Err(SqlError::Invalid(format!(
+                "aggregate '{other}' is not an abelian monoid; collect the elements with \
+                 CollateData and aggregate the result table with SQL instead"
+            ))),
+            other => Err(SqlError::Unknown(format!("aggregate function {other}"))),
+        }
+    }
+
+    /// Fresh identity state.
+    pub fn init(self) -> AggState {
+        match self {
+            AggOp::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggOp::Count => AggState::Count(0),
+            _ => AggState::Simple(None),
+        }
+    }
+
+    /// Fold one per-snapshot value into the running state. NULLs are
+    /// skipped (SQL aggregate semantics).
+    pub fn absorb(self, state: &mut AggState, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        match (self, state) {
+            (AggOp::Min, AggState::Simple(best)) => {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| v.total_cmp(b) == std::cmp::Ordering::Less)
+                {
+                    *best = Some(v.clone());
+                }
+            }
+            (AggOp::Max, AggState::Simple(best)) => {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| v.total_cmp(b) == std::cmp::Ordering::Greater)
+                {
+                    *best = Some(v.clone());
+                }
+            }
+            (AggOp::Sum, AggState::Simple(acc)) => {
+                *acc = Some(match acc.take() {
+                    None => v.clone(),
+                    Some(a) => a.add(v),
+                });
+            }
+            (AggOp::Count, AggState::Count(n)) => *n += 1,
+            (AggOp::Avg, AggState::Avg { sum, count }) => {
+                if let Some(x) = v.as_f64() {
+                    *sum += x;
+                    *count += 1;
+                }
+            }
+            (op, st) => unreachable!("state mismatch: {op:?} with {st:?}"),
+        }
+    }
+
+    /// Combine a value already stored in a result table with a new
+    /// per-snapshot value — the `op` of the monoid, used by
+    /// `AggregateDataInTable` when its index probe hits.
+    pub fn combine(self, stored: &Value, incoming: &Value) -> Value {
+        match self {
+            AggOp::Min => {
+                if incoming.is_null() {
+                    stored.clone()
+                } else if stored.is_null()
+                    || incoming.total_cmp(stored) == std::cmp::Ordering::Less
+                {
+                    incoming.clone()
+                } else {
+                    stored.clone()
+                }
+            }
+            AggOp::Max => {
+                if incoming.is_null() {
+                    stored.clone()
+                } else if stored.is_null()
+                    || incoming.total_cmp(stored) == std::cmp::Ordering::Greater
+                {
+                    incoming.clone()
+                } else {
+                    stored.clone()
+                }
+            }
+            AggOp::Sum => {
+                if incoming.is_null() {
+                    stored.clone()
+                } else if stored.is_null() {
+                    incoming.clone()
+                } else {
+                    stored.add(incoming)
+                }
+            }
+            AggOp::Count => {
+                let base = stored.as_i64().unwrap_or(0);
+                if incoming.is_null() {
+                    Value::Integer(base)
+                } else {
+                    Value::Integer(base + 1)
+                }
+            }
+            // AVG cannot be combined value-to-value; the mechanism keeps
+            // (sum, count) companion columns and never calls this.
+            AggOp::Avg => unreachable!("AVG is combined via its (sum, count) pair"),
+        }
+    }
+
+    /// Finish a running state into the reported value.
+    pub fn finish(self, state: &AggState) -> Value {
+        match state {
+            AggState::Simple(v) => v.clone().unwrap_or(Value::Null),
+            AggState::Count(n) => Value::Integer(*n),
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Real(sum / *count as f64)
+                }
+            }
+        }
+    }
+
+    /// Whether this op needs `(sum, count)` companion columns in a result
+    /// table (the AVG special case).
+    pub fn needs_companions(self) -> bool {
+        matches!(self, AggOp::Avg)
+    }
+}
+
+impl fmt::Display for AggOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggOp::Min => "min",
+            AggOp::Max => "max",
+            AggOp::Sum => "sum",
+            AggOp::Count => "count",
+            AggOp::Avg => "avg",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Running state for one aggregate variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggState {
+    /// MIN/MAX/SUM running value (`None` = identity).
+    Simple(Option<Value>),
+    /// COUNT of contributions.
+    Count(i64),
+    /// AVG special case: `(sum, count)`.
+    Avg {
+        /// Running sum.
+        sum: f64,
+        /// Contributions.
+        count: i64,
+    },
+}
+
+/// Parse the `ListOfColFuncPairs` notation the paper uses:
+/// `"(l_time,min)"` or `"(cn,max):(av,max)"` — also accepted in the
+/// reversed `(MAX,cn)` order used in §5.3's prose.
+pub fn parse_col_func_pairs(text: &str) -> Result<Vec<(String, AggOp)>, SqlError> {
+    let mut out = Vec::new();
+    for part in text.split(':') {
+        let part = part.trim();
+        let inner = part
+            .strip_prefix('(')
+            .and_then(|p| p.strip_suffix(')'))
+            .ok_or_else(|| {
+                SqlError::Invalid(format!("bad column/function pair {part:?}"))
+            })?;
+        let (a, b) = inner.split_once(',').ok_or_else(|| {
+            SqlError::Invalid(format!("bad column/function pair {part:?}"))
+        })?;
+        let (a, b) = (a.trim(), b.trim());
+        // Accept both (column, func) and (func, column).
+        let (col, op) = match AggOp::parse(b) {
+            Ok(op) => (a, op),
+            Err(_) => (b, AggOp::parse(a)?),
+        };
+        out.push((col.to_ascii_lowercase(), op));
+    }
+    if out.is_empty() {
+        return Err(SqlError::Invalid("empty column/function list".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(AggOp::parse("MIN").unwrap(), AggOp::Min);
+        assert_eq!(AggOp::parse("sum").unwrap(), AggOp::Sum);
+        assert_eq!(AggOp::parse("Avg").unwrap(), AggOp::Avg);
+        assert!(AggOp::parse("median").is_err());
+        // Distinct aggregations rejected with CollateData guidance.
+        let err = AggOp::parse("count distinct").unwrap_err();
+        assert!(err.to_string().contains("CollateData"));
+    }
+
+    #[test]
+    fn min_max_sum_fold() {
+        for (op, expect) in [
+            (AggOp::Min, Value::Integer(1)),
+            (AggOp::Max, Value::Integer(9)),
+            (AggOp::Sum, Value::Integer(15)),
+        ] {
+            let mut st = op.init();
+            for v in [5, 1, 9] {
+                op.absorb(&mut st, &Value::Integer(v));
+            }
+            op.absorb(&mut st, &Value::Null); // ignored
+            assert_eq!(op.finish(&st), expect, "{op}");
+        }
+    }
+
+    #[test]
+    fn count_and_avg_fold() {
+        let op = AggOp::Count;
+        let mut st = op.init();
+        for v in [5, 1, 9] {
+            op.absorb(&mut st, &Value::Integer(v));
+        }
+        assert_eq!(op.finish(&st), Value::Integer(3));
+
+        let op = AggOp::Avg;
+        let mut st = op.init();
+        for v in [2.0, 4.0] {
+            op.absorb(&mut st, &Value::Real(v));
+        }
+        assert_eq!(op.finish(&st), Value::Real(3.0));
+        assert!(op.finish(&op.init()).is_null());
+    }
+
+    #[test]
+    fn combine_is_commutative_and_associative() {
+        let vals = [Value::Integer(3), Value::Integer(7), Value::Integer(1)];
+        for op in [AggOp::Min, AggOp::Max, AggOp::Sum] {
+            let ab = op.combine(&vals[0], &vals[1]);
+            let ba = op.combine(&vals[1], &vals[0]);
+            assert_eq!(ab, ba, "{op} commutative");
+            let ab_c = op.combine(&ab, &vals[2]);
+            let a_bc = op.combine(&vals[0], &op.combine(&vals[1], &vals[2]));
+            assert_eq!(ab_c, a_bc, "{op} associative");
+        }
+    }
+
+    #[test]
+    fn combine_null_handling() {
+        assert_eq!(
+            AggOp::Min.combine(&Value::Null, &Value::Integer(2)),
+            Value::Integer(2)
+        );
+        assert_eq!(
+            AggOp::Sum.combine(&Value::Integer(2), &Value::Null),
+            Value::Integer(2)
+        );
+    }
+
+    #[test]
+    fn pairs_notation() {
+        let pairs = parse_col_func_pairs("(l_time,min)").unwrap();
+        assert_eq!(pairs, vec![("l_time".to_string(), AggOp::Min)]);
+        let pairs = parse_col_func_pairs("(cn,max):(av,max)").unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[1], ("av".to_string(), AggOp::Max));
+        // Reversed order, as in the §5.3 prose "(MAX,cn)".
+        let pairs = parse_col_func_pairs("(MAX,cn)").unwrap();
+        assert_eq!(pairs, vec![("cn".to_string(), AggOp::Max)]);
+        assert!(parse_col_func_pairs("cn,max").is_err());
+        assert!(parse_col_func_pairs("").is_err());
+    }
+}

@@ -1,0 +1,351 @@
+//! `RqlSession`: the programmer-facing entry point.
+//!
+//! Owns the two databases of the paper's architecture — the snapshotable
+//! application database and the auxiliary (non-snapshotable) database
+//! holding `SnapIds` and result tables — registers the RQL mechanisms as
+//! UDFs so they can be invoked in SQL position
+//! (`SELECT CollateData(snap_id, …) FROM SnapIds`, paper §3), and keeps
+//! `SnapIds` in sync with snapshot declarations.
+
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use parking_lot::Mutex;
+
+use rql_retro::RetroConfig;
+use rql_sqlengine::{Database, ExecOutcome, QueryResult, Result, SqlError, Value};
+
+use crate::aggregate::{parse_col_func_pairs, AggOp};
+use crate::mechanism;
+use crate::report::RqlReport;
+use crate::snapids;
+
+/// An RQL session over a pair of databases.
+pub struct RqlSession {
+    snap: Arc<Database>,
+    aux: Arc<Database>,
+    /// Timestamp source for `SnapIds` entries (overridable for
+    /// deterministic tests and benchmarks).
+    clock: Mutex<Box<dyn Fn() -> String + Send>>,
+    /// Reports produced by mechanism UDF invocations, keyed by result
+    /// table, retrievable after SQL-driven runs.
+    last_reports: Mutex<Vec<(String, RqlReport)>>,
+    /// Previous-iteration snapshot id per result table, threaded between
+    /// `CollateDataIntoIntervals` UDF invocations.
+    prev_sids: Mutex<std::collections::HashMap<String, u64>>,
+}
+
+impl RqlSession {
+    /// Create a session with in-memory stores.
+    pub fn new(config: RetroConfig) -> Result<Arc<RqlSession>> {
+        let snap = Database::in_memory(config.clone());
+        // The auxiliary database never declares snapshots; give it the
+        // same page size for comparable size accounting.
+        let aux = Database::in_memory(config);
+        snapids::ensure_snapids(&aux)?;
+        let session = Arc::new(RqlSession {
+            snap,
+            aux,
+            clock: Mutex::new(Box::new(default_clock)),
+            last_reports: Mutex::new(Vec::new()),
+            prev_sids: Mutex::new(std::collections::HashMap::new()),
+        });
+        session.register_udfs();
+        Ok(session)
+    }
+
+    /// Default configuration.
+    pub fn with_defaults() -> Result<Arc<RqlSession>> {
+        Self::new(RetroConfig::new())
+    }
+
+    /// The snapshotable application database.
+    pub fn snap_db(&self) -> &Arc<Database> {
+        &self.snap
+    }
+
+    /// The auxiliary (non-snapshotable) database holding `SnapIds` and
+    /// result tables.
+    pub fn aux_db(&self) -> &Arc<Database> {
+        &self.aux
+    }
+
+    /// Replace the timestamp source (deterministic tests/benchmarks).
+    pub fn set_clock(&self, clock: impl Fn() -> String + Send + 'static) {
+        *self.clock.lock() = Box::new(clock);
+    }
+
+    /// Execute application SQL on the snapshotable database, recording
+    /// any `COMMIT WITH SNAPSHOT` in `SnapIds`.
+    pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
+        self.execute_named(sql, None)
+    }
+
+    /// Like [`Self::execute`], attaching a user-friendly name to a
+    /// snapshot the script declares.
+    pub fn execute_named(&self, sql: &str, snapshot_name: Option<&str>) -> Result<ExecOutcome> {
+        let stmts = rql_sqlengine::parse_statements(sql)?;
+        let mut last = ExecOutcome::Done;
+        for stmt in &stmts {
+            last = self.snap.execute_stmt(stmt)?;
+            if let ExecOutcome::SnapshotDeclared(sid) = last {
+                let ts = (self.clock.lock())();
+                snapids::record_snapshot(&self.aux, sid, &ts, snapshot_name)?;
+            }
+        }
+        Ok(last)
+    }
+
+    /// Declare a snapshot with an empty transaction and record it.
+    pub fn declare_snapshot(&self, name: Option<&str>) -> Result<u64> {
+        let sid = self.snap.declare_snapshot()?;
+        let ts = (self.clock.lock())();
+        snapids::record_snapshot(&self.aux, sid, &ts, name)?;
+        Ok(sid)
+    }
+
+    /// Query the snapshotable database (supports `AS OF`).
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.snap.query(sql)
+    }
+
+    /// Query the auxiliary database (SnapIds, result tables).
+    pub fn query_aux(&self, sql: &str) -> Result<QueryResult> {
+        self.aux.query(sql)
+    }
+
+    /// Drop a result table if it exists (mechanisms refuse to overwrite).
+    pub fn drop_result_table(&self, table: &str) -> Result<()> {
+        self.aux
+            .execute(&format!("DROP TABLE IF EXISTS {table}"))?;
+        Ok(())
+    }
+
+    // ---- the four mechanisms, API form ---------------------------------
+
+    /// `CollateData(Qs, Qq, T)`.
+    pub fn collate_data(&self, qs: &str, qq: &str, table: &str) -> Result<RqlReport> {
+        mechanism::collate_data(&self.snap, &self.aux, qs, qq, table)
+    }
+
+    /// `AggregateDataInVariable(Qs, Qq, T, AggFunc)`.
+    pub fn aggregate_data_in_variable(
+        &self,
+        qs: &str,
+        qq: &str,
+        table: &str,
+        func: AggOp,
+    ) -> Result<RqlReport> {
+        mechanism::aggregate_data_in_variable(&self.snap, &self.aux, qs, qq, table, func)
+    }
+
+    /// `AggregateDataInTable(Qs, Qq, T, ListOfColFuncPairs)`.
+    pub fn aggregate_data_in_table(
+        &self,
+        qs: &str,
+        qq: &str,
+        table: &str,
+        pairs: &[(String, AggOp)],
+    ) -> Result<RqlReport> {
+        mechanism::aggregate_data_in_table(&self.snap, &self.aux, qs, qq, table, pairs)
+    }
+
+    /// Sort-merge ablation of `AggregateDataInTable` (paper §3: the
+    /// alternative that "turned out to be costlier").
+    pub fn aggregate_data_in_table_sortmerge(
+        &self,
+        qs: &str,
+        qq: &str,
+        table: &str,
+        pairs: &[(String, AggOp)],
+    ) -> Result<RqlReport> {
+        mechanism::aggregate_data_in_table_sortmerge(&self.snap, &self.aux, qs, qq, table, pairs)
+    }
+
+    /// `CollateDataIntoIntervals(Qs, Qq, T)`.
+    pub fn collate_data_into_intervals(
+        &self,
+        qs: &str,
+        qq: &str,
+        table: &str,
+    ) -> Result<RqlReport> {
+        mechanism::collate_data_into_intervals(&self.snap, &self.aux, qs, qq, table)
+    }
+
+    /// Reports produced by mechanism UDFs since the last call (SQL-driven
+    /// runs), in invocation order as `(result_table, report)`.
+    pub fn take_reports(&self) -> Vec<(String, RqlReport)> {
+        std::mem::take(&mut self.last_reports.lock())
+    }
+
+    // ---- UDF registration -------------------------------------------------
+
+    /// Register the mechanism UDFs on the auxiliary database so the
+    /// paper's SQL syntax works:
+    ///
+    /// ```sql
+    /// SELECT CollateData(snap_id, 'SELECT …', 'Result') FROM SnapIds;
+    /// ```
+    ///
+    /// The UDF form drives one iteration per `SnapIds` row: SQLite
+    /// "invokes the 'loop body' defined by the UDF callback" per row
+    /// (paper §3). Internally each invocation runs the mechanism loop for
+    /// that single snapshot id, so the per-row calls accumulate into the
+    /// same result table.
+    fn register_udfs(self: &Arc<Self>) {
+        let mechanisms: [(&str, MechanismKind); 4] = [
+            ("collatedata", MechanismKind::Collate),
+            ("aggregatedatainvariable", MechanismKind::AggVar),
+            ("aggregatedataintable", MechanismKind::AggTable),
+            ("collatedataintointervals", MechanismKind::Intervals),
+        ];
+        for (name, kind) in mechanisms {
+            let session = Arc::downgrade(self);
+            self.aux.register_udf(name, move |args| {
+                let Some(session) = session.upgrade() else {
+                    return Err(SqlError::Udf("session gone".into()));
+                };
+                session.mechanism_udf(kind, args)
+            });
+        }
+        // current_snapshot() outside an RQL rewrite is an error the
+        // programmer should see clearly.
+        self.snap.register_udf(crate::rewrite::CURRENT_SNAPSHOT, |_| {
+            Err(SqlError::Udf(
+                "current_snapshot() is only meaningful inside an RQL Qq \
+                 (the mechanism substitutes the iteration's snapshot id)"
+                    .into(),
+            ))
+        });
+    }
+
+    /// One UDF invocation = one loop iteration for the given snap_id.
+    fn mechanism_udf(&self, kind: MechanismKind, args: &[Value]) -> Result<Value> {
+        let expect = |n: usize| -> Result<()> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(SqlError::Udf(format!(
+                    "{kind:?} expects {n} arguments, got {}",
+                    args.len()
+                )))
+            }
+        };
+        let sid = args
+            .first()
+            .and_then(Value::as_i64)
+            .ok_or_else(|| SqlError::Udf("first argument must be snap_id".into()))?
+            as u64;
+        let qq = args
+            .get(1)
+            .and_then(Value::as_str)
+            .ok_or_else(|| SqlError::Udf("second argument must be the Qq string".into()))?;
+        let table = args
+            .get(2)
+            .and_then(Value::as_str)
+            .ok_or_else(|| SqlError::Udf("third argument must be the result table".into()))?;
+        // Single-snapshot Qs driving the shared mechanism loop.
+        let qs = format!("SELECT snap_id FROM snapids WHERE snap_id = {sid}");
+        let report = match kind {
+            MechanismKind::Collate => {
+                expect(3)?;
+                mechanism::collate_data_step(&self.snap, &self.aux, &qs, qq, table)?
+            }
+            MechanismKind::AggVar => {
+                expect(4)?;
+                let func = AggOp::parse(
+                    args[3]
+                        .as_str()
+                        .ok_or_else(|| SqlError::Udf("AggFunc must be text".into()))?,
+                )?;
+                mechanism::aggregate_data_in_variable_step(
+                    &self.snap, &self.aux, &qs, qq, table, func,
+                )?
+            }
+            MechanismKind::AggTable => {
+                expect(4)?;
+                let pairs = parse_col_func_pairs(
+                    args[3]
+                        .as_str()
+                        .ok_or_else(|| SqlError::Udf("ListOfColFuncPairs must be text".into()))?,
+                )?;
+                mechanism::aggregate_data_in_table_step(
+                    &self.snap, &self.aux, &qs, qq, table, &pairs,
+                )?
+            }
+            MechanismKind::Intervals => {
+                expect(3)?;
+                let prev = self.prev_sids.lock().get(table).copied();
+                let (report, last) = mechanism::collate_data_into_intervals_step(
+                    &self.snap, &self.aux, &qs, qq, table, prev,
+                )?;
+                if let Some(last) = last {
+                    self.prev_sids.lock().insert(table.to_owned(), last);
+                }
+                report
+            }
+        };
+        self.last_reports.lock().push((table.to_owned(), report));
+        Ok(Value::Integer(1))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MechanismKind {
+    Collate,
+    AggVar,
+    AggTable,
+    Intervals,
+}
+
+fn default_clock() -> String {
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    let secs = now.as_secs();
+    // Simple UTC rendering without a time crate: days since epoch →
+    // civil date (Howard Hinnant's algorithm).
+    let days = secs / 86_400;
+    let (y, m, d) = civil_from_days(days as i64);
+    let tod = secs % 86_400;
+    format!(
+        "{y:04}-{m:02}-{d:02} {:02}:{:02}:{:02}",
+        tod / 3600,
+        (tod % 3600) / 60,
+        tod % 60
+    )
+}
+
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(11_016), (2000, 2, 29)); // leap day
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+    }
+
+    #[test]
+    fn default_clock_formats() {
+        let ts = default_clock();
+        // "YYYY-MM-DD HH:MM:SS"
+        assert_eq!(ts.len(), 19);
+        assert_eq!(&ts[4..5], "-");
+        assert_eq!(&ts[10..11], " ");
+    }
+}

@@ -1,0 +1,324 @@
+//! Shared LRU buffer cache for database and snapshot pages.
+//!
+//! Retro "caches snapshot pages in a buffer cache along with the database
+//! pages" (paper §4). The detail that makes RQL hot iterations cheap is the
+//! cache *key*: a snapshot page is keyed by its **Pagelog offset**, not by
+//! `(snapshot, page)`. Two consecutive snapshots S1, S2 map every page in
+//! `shared(S1,S2)` to the *same* Pagelog pre-state, so a page fetched while
+//! computing on S1 hits in cache when the next iteration computes on S2 —
+//! exactly the sharing effect of Figures 6–8. (The alternative keying is
+//! kept behind [`CacheKeying`] as an ablation for the `cache_keying`
+//! benchmark.)
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::page::{PageId, SharedPage};
+
+/// What a cached page is identified by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// A current-database page (used only when the DB is file-backed;
+    /// the paper assumes the current DB is memory-resident).
+    Db(PageId),
+    /// A snapshot pre-state, identified by its Pagelog offset. Shared
+    /// between all snapshots whose SPT maps to this offset.
+    Pagelog(u64),
+    /// Ablation keying: a snapshot page identified per-snapshot, which
+    /// defeats cross-snapshot sharing.
+    PerSnapshot {
+        /// Snapshot sequence number.
+        snapshot: u64,
+        /// Logical page.
+        page: PageId,
+    },
+}
+
+/// Cache keying policy (ablation knob; see DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheKeying {
+    /// Key snapshot pages by Pagelog offset (Retro's behaviour).
+    #[default]
+    ByPagelogOffset,
+    /// Key snapshot pages by (snapshot, page) — no cross-snapshot sharing.
+    PerSnapshot,
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: CacheKey,
+    page: SharedPage,
+    prev: usize,
+    next: usize,
+}
+
+struct LruInner {
+    map: HashMap<CacheKey, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+/// A fixed-capacity LRU page cache, safe to share between threads.
+pub struct BufferCache {
+    inner: Mutex<LruInner>,
+}
+
+impl BufferCache {
+    /// Create a cache holding at most `capacity` pages. A capacity of zero
+    /// disables caching entirely (every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        BufferCache {
+            inner: Mutex::new(LruInner {
+                map: HashMap::new(),
+                nodes: Vec::new(),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                capacity,
+            }),
+        }
+    }
+
+    /// Look up `key`, marking it most-recently-used on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<SharedPage> {
+        let mut inner = self.inner.lock();
+        let idx = *inner.map.get(key)?;
+        inner.unlink(idx);
+        inner.push_front(idx);
+        Some(inner.nodes[idx].page.clone())
+    }
+
+    /// Insert `page` under `key`, evicting the least-recently-used entry if
+    /// at capacity. Returns the number of evictions performed (0 or 1).
+    pub fn insert(&self, key: CacheKey, page: SharedPage) -> usize {
+        let mut inner = self.inner.lock();
+        if inner.capacity == 0 {
+            return 0;
+        }
+        if let Some(&idx) = inner.map.get(&key) {
+            inner.nodes[idx].page = page;
+            inner.unlink(idx);
+            inner.push_front(idx);
+            return 0;
+        }
+        let mut evictions = 0;
+        if inner.map.len() >= inner.capacity {
+            inner.evict_lru();
+            evictions = 1;
+        }
+        let idx = inner.alloc(key, page);
+        inner.map.insert(key, idx);
+        inner.push_front(idx);
+        evictions
+    }
+
+    /// Remove every entry (used to force all-cold runs in experiments).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.nodes.clear();
+        inner.free.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Change the capacity; shrinking evicts LRU entries immediately.
+    /// Returns the number of entries evicted.
+    pub fn set_capacity(&self, capacity: usize) -> usize {
+        let mut inner = self.inner.lock();
+        inner.capacity = capacity;
+        let mut evicted = 0;
+        while inner.map.len() > inner.capacity {
+            inner.evict_lru();
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Current capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+}
+
+impl LruInner {
+    fn alloc(&mut self, key: CacheKey, page: SharedPage) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = Node {
+                key,
+                page,
+                prev: NIL,
+                next: NIL,
+            };
+            idx
+        } else {
+            self.nodes.push(Node {
+                key,
+                page,
+                prev: NIL,
+                next: NIL,
+            });
+            self.nodes.len() - 1
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn evict_lru(&mut self) {
+        let idx = self.tail;
+        debug_assert_ne!(idx, NIL, "evict called on empty cache");
+        self.unlink(idx);
+        let key = self.nodes[idx].key;
+        self.map.remove(&key);
+        self.free.push(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::Page;
+    use std::sync::Arc;
+
+    fn page(tag: u8) -> SharedPage {
+        let mut p = Page::zeroed(16);
+        p.bytes_mut()[0] = tag;
+        Arc::new(p)
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let c = BufferCache::new(4);
+        let k = CacheKey::Pagelog(10);
+        assert!(c.get(&k).is_none());
+        c.insert(k, page(1));
+        assert_eq!(c.get(&k).unwrap().bytes()[0], 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c = BufferCache::new(2);
+        c.insert(CacheKey::Pagelog(1), page(1));
+        c.insert(CacheKey::Pagelog(2), page(2));
+        // Touch 1 so 2 becomes LRU.
+        c.get(&CacheKey::Pagelog(1)).unwrap();
+        let evictions = c.insert(CacheKey::Pagelog(3), page(3));
+        assert_eq!(evictions, 1);
+        assert!(c.get(&CacheKey::Pagelog(2)).is_none());
+        assert!(c.get(&CacheKey::Pagelog(1)).is_some());
+        assert!(c.get(&CacheKey::Pagelog(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let c = BufferCache::new(2);
+        c.insert(CacheKey::Pagelog(1), page(1));
+        let evictions = c.insert(CacheKey::Pagelog(1), page(9));
+        assert_eq!(evictions, 0);
+        assert_eq!(c.get(&CacheKey::Pagelog(1)).unwrap().bytes()[0], 9);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let c = BufferCache::new(0);
+        c.insert(CacheKey::Pagelog(1), page(1));
+        assert!(c.get(&CacheKey::Pagelog(1)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let c = BufferCache::new(4);
+        c.insert(CacheKey::Pagelog(1), page(1));
+        c.insert(CacheKey::Db(PageId(2)), page(2));
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.get(&CacheKey::Pagelog(1)).is_none());
+    }
+
+    #[test]
+    fn shrink_capacity_evicts() {
+        let c = BufferCache::new(4);
+        for i in 0..4 {
+            c.insert(CacheKey::Pagelog(i), page(i as u8));
+        }
+        let evicted = c.set_capacity(2);
+        assert_eq!(evicted, 2);
+        assert_eq!(c.len(), 2);
+        // The two most recently used (2, 3) survive.
+        assert!(c.get(&CacheKey::Pagelog(3)).is_some());
+        assert!(c.get(&CacheKey::Pagelog(2)).is_some());
+        assert!(c.get(&CacheKey::Pagelog(0)).is_none());
+    }
+
+    #[test]
+    fn distinct_key_kinds_do_not_collide() {
+        let c = BufferCache::new(8);
+        c.insert(CacheKey::Db(PageId(1)), page(1));
+        c.insert(CacheKey::Pagelog(1), page(2));
+        c.insert(
+            CacheKey::PerSnapshot {
+                snapshot: 1,
+                page: PageId(1),
+            },
+            page(3),
+        );
+        assert_eq!(c.get(&CacheKey::Db(PageId(1))).unwrap().bytes()[0], 1);
+        assert_eq!(c.get(&CacheKey::Pagelog(1)).unwrap().bytes()[0], 2);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn heavy_churn_is_consistent() {
+        let c = BufferCache::new(16);
+        for round in 0..1000u64 {
+            c.insert(CacheKey::Pagelog(round % 40), page((round % 251) as u8));
+            if round % 3 == 0 {
+                c.get(&CacheKey::Pagelog(round % 17));
+            }
+        }
+        assert!(c.len() <= 16);
+    }
+}

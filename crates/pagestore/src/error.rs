@@ -1,0 +1,102 @@
+//! Error type shared by the storage substrate.
+
+use std::fmt;
+use std::io;
+
+use crate::page::PageId;
+
+/// Errors raised by the page store and its log-structured files.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Read past the end of a log.
+    ShortRead {
+        /// Requested offset.
+        offset: u64,
+        /// Requested byte count.
+        wanted: usize,
+        /// Bytes actually available at that offset.
+        available: usize,
+    },
+    /// Offset outside the log.
+    InvalidOffset(u64),
+    /// Page id outside the database.
+    PageOutOfBounds(PageId),
+    /// A second write transaction was started while one is active
+    /// (the store is single-writer, like BDB with one write txn).
+    WriterBusy,
+    /// WAL record failed its checksum during recovery (torn write).
+    CorruptWal {
+        /// Offset of the bad record.
+        offset: u64,
+    },
+    /// Catch-all for invariant violations with context.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::ShortRead {
+                offset,
+                wanted,
+                available,
+            } => write!(
+                f,
+                "short read at offset {offset}: wanted {wanted} bytes, {available} available"
+            ),
+            StoreError::InvalidOffset(o) => write!(f, "invalid offset {o}"),
+            StoreError::PageOutOfBounds(p) => write!(f, "page {p} out of bounds"),
+            StoreError::WriterBusy => write!(f, "a write transaction is already active"),
+            StoreError::CorruptWal { offset } => {
+                write!(f, "corrupt WAL record at offset {offset}")
+            }
+            StoreError::Corrupt(msg) => write!(f, "store corruption: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = StoreError::ShortRead {
+            offset: 10,
+            wanted: 4,
+            available: 2,
+        };
+        assert!(e.to_string().contains("short read"));
+        assert!(StoreError::WriterBusy.to_string().contains("write transaction"));
+        assert!(StoreError::PageOutOfBounds(PageId(3)).to_string().contains("P3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = io::Error::other("boom");
+        let e: StoreError = io.into();
+        assert!(matches!(e, StoreError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,381 @@
+//! Append-oriented byte storage backing the Pagelog, Maplog and WAL.
+//!
+//! Retro's on-disk structures are all log-structured: the Pagelog is an
+//! append-only archive of page pre-states, the Maplog an append-only list of
+//! mapping entries, and the WAL an append-only redo log. They share one
+//! small abstraction, [`LogStorage`]: append bytes at the tail, read bytes
+//! at an offset, truncate, sync.
+//!
+//! Two implementations are provided: an in-memory one for tests and
+//! deterministic benchmarks, and a buffered file-backed one for real runs.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::Arc;
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use crate::error::{Result, StoreError};
+
+/// Append/read byte storage with explicit offsets.
+///
+/// Implementations must allow concurrent `read_at` calls while appends
+/// happen (readers never read past the length returned by their own prior
+/// `append`/`len` observation).
+pub trait LogStorage: Send + Sync {
+    /// Append `bytes` at the tail; returns the offset they were written at.
+    fn append(&self, bytes: &[u8]) -> Result<u64>;
+
+    /// Read exactly `buf.len()` bytes at `offset`.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Current length in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the storage holds no bytes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discard everything from `offset` to the tail.
+    fn truncate(&self, offset: u64) -> Result<()>;
+
+    /// Make previous appends durable (no-op for memory storage).
+    fn sync(&self) -> Result<()>;
+}
+
+/// In-memory log storage for tests and deterministic benchmarks.
+#[derive(Default)]
+pub struct MemStorage {
+    buf: Mutex<Vec<u8>>,
+}
+
+impl MemStorage {
+    /// Create empty in-memory storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl LogStorage for MemStorage {
+    fn append(&self, bytes: &[u8]) -> Result<u64> {
+        let mut buf = self.buf.lock();
+        let off = buf.len() as u64;
+        buf.extend_from_slice(bytes);
+        Ok(off)
+    }
+
+    fn read_at(&self, offset: u64, out: &mut [u8]) -> Result<()> {
+        let buf = self.buf.lock();
+        let start = offset as usize;
+        let end = start + out.len();
+        if end > buf.len() {
+            return Err(StoreError::ShortRead {
+                offset,
+                wanted: out.len(),
+                available: buf.len().saturating_sub(start),
+            });
+        }
+        out.copy_from_slice(&buf[start..end]);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.buf.lock().len() as u64
+    }
+
+    fn truncate(&self, offset: u64) -> Result<()> {
+        let mut buf = self.buf.lock();
+        if (offset as usize) > buf.len() {
+            return Err(StoreError::InvalidOffset(offset));
+        }
+        buf.truncate(offset as usize);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// File-backed log storage.
+///
+/// Appends are buffered in memory and flushed to the file either when the
+/// buffer exceeds a threshold or on `sync`. Reads first consult the
+/// in-memory tail so readers always see every appended byte.
+pub struct FileStorage {
+    inner: Mutex<FileInner>,
+}
+
+struct FileInner {
+    file: File,
+    /// Length of bytes already written to the file.
+    flushed_len: u64,
+    /// Unflushed tail.
+    tail: Vec<u8>,
+}
+
+/// Flush threshold for the in-memory tail (1 MiB).
+const FLUSH_THRESHOLD: usize = 1 << 20;
+
+impl FileStorage {
+    /// Open (creating if necessary) file-backed storage at `path`,
+    /// truncating any existing content.
+    pub fn create(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileStorage {
+            inner: Mutex::new(FileInner {
+                file,
+                flushed_len: 0,
+                tail: Vec::new(),
+            }),
+        })
+    }
+
+    /// Open existing file-backed storage at `path`, keeping its content
+    /// (used by WAL recovery).
+    pub fn open(path: &Path) -> Result<Self> {
+        #[allow(clippy::suspicious_open_options)] // keep content: no truncate
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .open(path)?;
+        let flushed_len = file.metadata()?.len();
+        Ok(FileStorage {
+            inner: Mutex::new(FileInner {
+                file,
+                flushed_len,
+                tail: Vec::new(),
+            }),
+        })
+    }
+}
+
+impl FileInner {
+    fn flush_tail(&mut self) -> Result<()> {
+        if self.tail.is_empty() {
+            return Ok(());
+        }
+        self.file.seek(SeekFrom::Start(self.flushed_len))?;
+        self.file.write_all(&self.tail)?;
+        self.flushed_len += self.tail.len() as u64;
+        self.tail.clear();
+        Ok(())
+    }
+}
+
+impl LogStorage for FileStorage {
+    fn append(&self, bytes: &[u8]) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let off = inner.flushed_len + inner.tail.len() as u64;
+        inner.tail.extend_from_slice(bytes);
+        if inner.tail.len() >= FLUSH_THRESHOLD {
+            inner.flush_tail()?;
+        }
+        Ok(off)
+    }
+
+    fn read_at(&self, offset: u64, out: &mut [u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let total = inner.flushed_len + inner.tail.len() as u64;
+        if offset + out.len() as u64 > total {
+            return Err(StoreError::ShortRead {
+                offset,
+                wanted: out.len(),
+                available: total.saturating_sub(offset) as usize,
+            });
+        }
+        let mut filled = 0usize;
+        // Portion that lives in the file.
+        if offset < inner.flushed_len {
+            let in_file = ((inner.flushed_len - offset) as usize).min(out.len());
+            inner.file.seek(SeekFrom::Start(offset))?;
+            inner.file.read_exact(&mut out[..in_file])?;
+            filled = in_file;
+        }
+        // Portion that lives in the unflushed tail.
+        if filled < out.len() {
+            let tail_start = (offset + filled as u64 - inner.flushed_len) as usize;
+            let n = out.len() - filled;
+            out[filled..].copy_from_slice(&inner.tail[tail_start..tail_start + n]);
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.flushed_len + inner.tail.len() as u64
+    }
+
+    fn truncate(&self, offset: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let total = inner.flushed_len + inner.tail.len() as u64;
+        if offset > total {
+            return Err(StoreError::InvalidOffset(offset));
+        }
+        if offset >= inner.flushed_len {
+            let keep = (offset - inner.flushed_len) as usize;
+            inner.tail.truncate(keep);
+        } else {
+            inner.tail.clear();
+            inner.file.set_len(offset)?;
+            inner.flushed_len = offset;
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.flush_tail()?;
+        inner.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Fault-injecting wrapper for failure testing: delegates to an inner
+/// storage until a trigger fires, then every operation of the selected
+/// kinds returns an I/O error. Used by tests to verify that storage
+/// failures surface as errors (never as corruption or panics).
+pub struct FailingStorage {
+    inner: Arc<dyn LogStorage>,
+    /// Operations remaining before failures start (appends + reads).
+    remaining: Mutex<u64>,
+    /// Fail appends once triggered.
+    fail_appends: bool,
+    /// Fail reads once triggered.
+    fail_reads: bool,
+}
+
+impl FailingStorage {
+    /// Wrap `inner`, failing after `ok_ops` successful operations.
+    pub fn new(inner: Arc<dyn LogStorage>, ok_ops: u64, fail_appends: bool, fail_reads: bool) -> Self {
+        FailingStorage {
+            inner,
+            remaining: Mutex::new(ok_ops),
+            fail_appends,
+            fail_reads,
+        }
+    }
+
+    fn tick(&self) -> bool {
+        let mut remaining = self.remaining.lock();
+        if *remaining == 0 {
+            return true; // failing now
+        }
+        *remaining -= 1;
+        false
+    }
+
+    fn injected() -> StoreError {
+        StoreError::Io(std::io::Error::other("injected storage fault"))
+    }
+}
+
+impl LogStorage for FailingStorage {
+    fn append(&self, bytes: &[u8]) -> Result<u64> {
+        if self.fail_appends && self.tick() {
+            return Err(Self::injected());
+        }
+        self.inner.append(bytes)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        if self.fail_reads && self.tick() {
+            return Err(Self::injected());
+        }
+        self.inner.read_at(offset, buf)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn truncate(&self, offset: u64) -> Result<()> {
+        self.inner.truncate(offset)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(storage: &dyn LogStorage) {
+        let o1 = storage.append(b"hello ").unwrap();
+        let o2 = storage.append(b"world").unwrap();
+        assert_eq!(o1, 0);
+        assert_eq!(o2, 6);
+        assert_eq!(storage.len(), 11);
+        let mut buf = [0u8; 5];
+        storage.read_at(6, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        let mut all = [0u8; 11];
+        storage.read_at(0, &mut all).unwrap();
+        assert_eq!(&all, b"hello world");
+    }
+
+    #[test]
+    fn mem_roundtrip() {
+        roundtrip(&MemStorage::new());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("rql-storage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.bin");
+        let storage = FileStorage::create(&path).unwrap();
+        roundtrip(&storage);
+        storage.sync().unwrap();
+        // Re-open and verify durability.
+        drop(storage);
+        let storage = FileStorage::open(&path).unwrap();
+        let mut all = [0u8; 11];
+        storage.read_at(0, &mut all).unwrap();
+        assert_eq!(&all, b"hello world");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_read_is_error() {
+        let s = MemStorage::new();
+        s.append(b"abc").unwrap();
+        let mut buf = [0u8; 4];
+        let err = s.read_at(0, &mut buf).unwrap_err();
+        assert!(matches!(err, StoreError::ShortRead { .. }));
+    }
+
+    #[test]
+    fn truncate_mem() {
+        let s = MemStorage::new();
+        s.append(b"abcdef").unwrap();
+        s.truncate(3).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(s.truncate(10).is_err());
+    }
+
+    #[test]
+    fn file_read_spanning_flushed_and_tail() {
+        let dir = std::env::temp_dir().join(format!("rql-storage-span-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.bin");
+        let storage = FileStorage::create(&path).unwrap();
+        storage.append(b"abc").unwrap();
+        storage.sync().unwrap(); // flush "abc" to the file
+        storage.append(b"def").unwrap(); // "def" stays in the tail
+        let mut buf = [0u8; 6];
+        storage.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcdef");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,434 @@
+//! # rql-retro
+//!
+//! Retro, the page-level copy-on-write snapshot system underneath RQL,
+//! reimplemented from the description in *"RQL: Retrospective Computations
+//! over Snapshot Sets"* (EDBT 2018, §4) and the cited Retro/Skippy papers.
+//!
+//! A snapshot is "a set of immutable logical data pages that reflect the
+//! entire consistent database state … at snapshot declaration point".
+//! Snapshots are captured incrementally: the first post-declaration
+//! modification of a page archives its pre-state to the append-only
+//! [`pagelog::Pagelog`] and indexes it in the [`maplog::Maplog`]; the
+//! [`skippy::Skippy`] skip levels keep snapshot-page-table construction at
+//! `O(n log n)` regardless of history length; a
+//! [`snapshot::SnapshotReader`] serves page fetches from the SPT → cache →
+//! Pagelog path, falling through to a pinned MVCC view of the current
+//! database for shared pages.
+
+#![warn(missing_docs)]
+
+pub mod maplog;
+pub mod pagediff;
+pub mod pagelog;
+pub mod skippy;
+pub mod snapshot;
+pub mod spt;
+pub mod store;
+
+pub use maplog::{Boundary, Maplog, SptScan};
+pub use pagediff::{apply_runs, diff_pages, Run};
+pub use pagelog::{ArchiveOutcome, Pagelog, PagelogFormat};
+pub use skippy::{Segment, Skippy};
+pub use snapshot::{FetchSource, SnapshotMeta, SnapshotReader};
+pub use spt::{PageLocation, Spt, SptBuildStats};
+pub use store::{RetroConfig, RetroStore};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use rql_pagestore::{PageId, PagerConfig};
+
+    use super::*;
+
+    fn config(page_size: usize, cache: usize) -> RetroConfig {
+        RetroConfig {
+            pager: PagerConfig {
+                page_size,
+                cache_capacity: cache,
+                wal_sync_on_commit: false,
+            },
+            use_skippy: true,
+            keying: rql_pagestore::CacheKeying::ByPagelogOffset,
+            pagelog_format: PagelogFormat::Raw,
+        }
+    }
+
+    /// Write `tag` into page `pid` in its own transaction.
+    fn write_page(store: &Arc<RetroStore>, pid: PageId, tag: u32) {
+        let mut txn = store.begin().unwrap();
+        while txn.page_count() <= pid.0 {
+            txn.allocate_page();
+        }
+        let mut page = txn.page_for_update(pid).unwrap();
+        page.write_u32(0, tag);
+        txn.write_page(pid, page).unwrap();
+        store.commit(txn).unwrap();
+    }
+
+    fn declare(store: &Arc<RetroStore>) -> u64 {
+        let txn = store.begin().unwrap();
+        store.commit_with_snapshot(txn).unwrap()
+    }
+
+    fn read_tag(store: &Arc<RetroStore>, sid: u64, pid: PageId) -> u32 {
+        store
+            .open_snapshot(sid)
+            .unwrap()
+            .page(pid)
+            .unwrap()
+            .read_u32(0)
+    }
+
+    #[test]
+    fn snapshot_preserves_pre_states() {
+        let store = RetroStore::in_memory(config(64, 16));
+        write_page(&store, PageId(0), 1);
+        write_page(&store, PageId(1), 10);
+        let s1 = declare(&store);
+        write_page(&store, PageId(0), 2);
+        let s2 = declare(&store);
+        write_page(&store, PageId(0), 3);
+        write_page(&store, PageId(1), 30);
+
+        assert_eq!(read_tag(&store, s1, PageId(0)), 1);
+        assert_eq!(read_tag(&store, s1, PageId(1)), 10);
+        assert_eq!(read_tag(&store, s2, PageId(0)), 2);
+        assert_eq!(read_tag(&store, s2, PageId(1)), 10);
+        // Current state unaffected.
+        assert_eq!(store.pager().read_page(PageId(0)).unwrap().read_u32(0), 3);
+    }
+
+    #[test]
+    fn snapshot_reflects_declaring_txn() {
+        // Paper §2: "a snapshot reflects updates of the declaring
+        // transaction" (snapshot 2 does not include UserA after its
+        // deleting transaction declared the snapshot).
+        let store = RetroStore::in_memory(config(64, 16));
+        write_page(&store, PageId(0), 1);
+        let mut txn = store.begin().unwrap();
+        let mut page = txn.page_for_update(PageId(0)).unwrap();
+        page.write_u32(0, 99);
+        txn.write_page(PageId(0), page).unwrap();
+        let sid = store.commit_with_snapshot(txn).unwrap();
+        assert_eq!(read_tag(&store, sid, PageId(0)), 99);
+    }
+
+    #[test]
+    fn only_first_modification_archives() {
+        let store = RetroStore::in_memory(config(64, 16));
+        write_page(&store, PageId(0), 1);
+        declare(&store);
+        write_page(&store, PageId(0), 2);
+        write_page(&store, PageId(0), 3);
+        write_page(&store, PageId(0), 4);
+        // One pre-state archived despite three modifications.
+        assert_eq!(store.pagelog().pre_state_count(), 1);
+        assert_eq!(store.stats().snapshot().cow_captures, 1);
+    }
+
+    #[test]
+    fn consecutive_snapshots_share_pre_state() {
+        // S1 and S2 declared with no intervening modification of P0: the
+        // first later modification archives one pre-state serving both.
+        let store = RetroStore::in_memory(config(64, 16));
+        write_page(&store, PageId(0), 7);
+        let s1 = declare(&store);
+        let s2 = declare(&store);
+        write_page(&store, PageId(0), 8);
+        assert_eq!(store.pagelog().pre_state_count(), 1);
+        assert_eq!(read_tag(&store, s1, PageId(0)), 7);
+        assert_eq!(read_tag(&store, s2, PageId(0)), 7);
+        // Both SPTs map P0 to the same Pagelog offset → cache sharing.
+        let spt1 = store.build_spt(s1).unwrap();
+        let spt2 = store.build_spt(s2).unwrap();
+        assert_eq!(spt1.locate(PageId(0)), spt2.locate(PageId(0)));
+    }
+
+    #[test]
+    fn fetch_sources_db_pagelog_cache() {
+        let store = RetroStore::in_memory(config(64, 16));
+        write_page(&store, PageId(0), 1);
+        write_page(&store, PageId(1), 2);
+        let s1 = declare(&store);
+        write_page(&store, PageId(0), 9); // P0 archived; P1 still shared
+        let reader = store.open_snapshot(s1).unwrap();
+        let (_, src) = reader.page_with_source(PageId(1)).unwrap();
+        assert_eq!(src, FetchSource::Database);
+        let (_, src) = reader.page_with_source(PageId(0)).unwrap();
+        assert_eq!(src, FetchSource::Pagelog);
+        let (_, src) = reader.page_with_source(PageId(0)).unwrap();
+        assert_eq!(src, FetchSource::Cache);
+        let snap = store.stats().snapshot();
+        assert_eq!(snap.pagelog_reads, 1);
+        assert_eq!(snap.cache_hits, 1);
+    }
+
+    #[test]
+    fn hot_iteration_hits_cache_for_shared_pages() {
+        // The RQL effect: consecutive snapshots share pre-states, so after
+        // reading S1 fully, reading S2 only misses on diff(S1,S2).
+        let store = RetroStore::in_memory(config(64, 1024));
+        for p in 0..8 {
+            write_page(&store, PageId(p), p as u32);
+        }
+        let s1 = declare(&store);
+        write_page(&store, PageId(0), 100); // diff(S1,S2) = {P0}
+        let s2 = declare(&store);
+        // Complete the overwrite cycle so both snapshots are fully
+        // archived ("old" snapshots).
+        for p in 0..8 {
+            write_page(&store, PageId(p), 200 + p as u32);
+        }
+
+        let r1 = store.open_snapshot(s1).unwrap();
+        for p in 0..8 {
+            r1.page(PageId(p)).unwrap();
+        }
+        let cold = store.stats().snapshot();
+        assert_eq!(cold.pagelog_reads, 8, "cold iteration misses everywhere");
+
+        let r2 = store.open_snapshot(s2).unwrap();
+        let mut pagelog_fetches = 0;
+        for p in 0..8 {
+            let (_, src) = r2.page_with_source(PageId(p)).unwrap();
+            if src == FetchSource::Pagelog {
+                pagelog_fetches += 1;
+            }
+        }
+        assert_eq!(pagelog_fetches, 1, "hot iteration misses only on diff");
+    }
+
+    #[test]
+    fn per_snapshot_keying_defeats_sharing() {
+        let mut cfg = config(64, 1024);
+        cfg.keying = rql_pagestore::CacheKeying::PerSnapshot;
+        let store = RetroStore::in_memory(cfg);
+        for p in 0..4 {
+            write_page(&store, PageId(p), p as u32);
+        }
+        let s1 = declare(&store);
+        let s2 = declare(&store);
+        for p in 0..4 {
+            write_page(&store, PageId(p), 100 + p as u32);
+        }
+        let r1 = store.open_snapshot(s1).unwrap();
+        for p in 0..4 {
+            r1.page(PageId(p)).unwrap();
+        }
+        store.stats().reset();
+        let r2 = store.open_snapshot(s2).unwrap();
+        for p in 0..4 {
+            r2.page(PageId(p)).unwrap();
+        }
+        // Identical pre-states, but per-snapshot keys miss the cache.
+        assert_eq!(store.stats().snapshot().pagelog_reads, 4);
+    }
+
+    #[test]
+    fn diff_and_shared_match_workload() {
+        let store = RetroStore::in_memory(config(64, 16));
+        for p in 0..10 {
+            write_page(&store, PageId(p), 1);
+        }
+        let s1 = declare(&store);
+        for p in 0..3 {
+            write_page(&store, PageId(p), 2);
+        }
+        let s2 = declare(&store);
+        // Overwrite everything so both snapshots are old.
+        for p in 0..10 {
+            write_page(&store, PageId(p), 3);
+        }
+        assert_eq!(store.diff(s1, s2).unwrap(), 3);
+        assert_eq!(store.shared(s1, s2).unwrap(), 7);
+    }
+
+    #[test]
+    fn overwrite_cycle_completion() {
+        let store = RetroStore::in_memory(config(64, 16));
+        for p in 0..4 {
+            write_page(&store, PageId(p), 1);
+        }
+        let s1 = declare(&store);
+        for p in 0..3 {
+            write_page(&store, PageId(p), 2);
+        }
+        assert!(!store.build_spt(s1).unwrap().overwrite_complete());
+        write_page(&store, PageId(3), 2);
+        assert!(store.build_spt(s1).unwrap().overwrite_complete());
+    }
+
+    #[test]
+    fn reader_is_isolated_from_later_commits() {
+        let store = RetroStore::in_memory(config(64, 16));
+        write_page(&store, PageId(0), 1);
+        let s1 = declare(&store);
+        let reader = store.open_snapshot(s1).unwrap();
+        write_page(&store, PageId(0), 2);
+        // Reader pinned before the write: still sees 1 via its view.
+        assert_eq!(reader.page(PageId(0)).unwrap().read_u32(0), 1);
+    }
+
+    #[test]
+    fn durable_store_survives_reopen() {
+        use rql_pagestore::MemStorage;
+        let wal: Arc<MemStorage> = Arc::new(MemStorage::new());
+        let plog: Arc<MemStorage> = Arc::new(MemStorage::new());
+        let mlog: Arc<MemStorage> = Arc::new(MemStorage::new());
+        let cfg = config(64, 16);
+        let (s1, s2);
+        {
+            let store =
+                RetroStore::open(cfg.clone(), wal.clone(), plog.clone(), mlog.clone())
+                    .unwrap();
+            write_page(&store, PageId(0), 1);
+            s1 = declare(&store);
+            write_page(&store, PageId(0), 2);
+            s2 = declare(&store);
+            write_page(&store, PageId(0), 3);
+            store.flush().unwrap();
+        }
+        let store = RetroStore::open(cfg, wal, plog, mlog).unwrap();
+        assert_eq!(store.snapshot_count(), 2);
+        assert_eq!(read_tag(&store, s1, PageId(0)), 1);
+        assert_eq!(read_tag(&store, s2, PageId(0)), 2);
+        assert_eq!(store.pager().read_page(PageId(0)).unwrap().read_u32(0), 3);
+    }
+
+    #[test]
+    fn page_allocated_after_snapshot_invisible_to_it() {
+        let store = RetroStore::in_memory(config(64, 16));
+        write_page(&store, PageId(0), 1);
+        let s1 = declare(&store);
+        write_page(&store, PageId(5), 9); // allocates pages 1..=5
+        let reader = store.open_snapshot(s1).unwrap();
+        assert_eq!(reader.page_count(), 1);
+        assert!(reader.page(PageId(5)).is_err());
+    }
+
+    #[test]
+    fn skippy_and_linear_stores_agree() {
+        let mk = |use_skippy: bool| {
+            let mut cfg = config(64, 16);
+            cfg.use_skippy = use_skippy;
+            let store = RetroStore::in_memory(cfg);
+            let mut state = 42u64;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state >> 33
+            };
+            for p in 0..6 {
+                write_page(&store, PageId(p), p as u32);
+            }
+            for _ in 0..10 {
+                declare(&store);
+                for _ in 0..3 {
+                    let p = next() % 6;
+                    write_page(&store, PageId(p), next() as u32);
+                }
+            }
+            store
+        };
+        let a = mk(true);
+        let b = mk(false);
+        for sid in 1..=10 {
+            let sa = a.build_spt(sid).unwrap();
+            let sb = b.build_spt(sid).unwrap();
+            for p in 0..6 {
+                assert_eq!(
+                    sa.locate(PageId(p)),
+                    sb.locate(PageId(p)),
+                    "snapshot {sid} page {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn write_without_prior_snapshot_archives_nothing() {
+        let store = RetroStore::in_memory(config(64, 16));
+        write_page(&store, PageId(0), 1);
+        write_page(&store, PageId(0), 2);
+        assert_eq!(store.pagelog().pre_state_count(), 0);
+        assert_eq!(store.maplog_entries(), 0);
+    }
+
+    #[test]
+    fn adaptive_pagelog_preserves_snapshots_and_saves_space() {
+        // Same history under both formats: identical snapshot contents,
+        // smaller archive with the adaptive format (small page edits),
+        // higher reconstruction read counts.
+        let build = |format: PagelogFormat| {
+            let mut cfg = config(256, 0); // no cache: count every read
+            cfg.pagelog_format = format;
+            let store = RetroStore::in_memory(cfg);
+            for p in 0..4 {
+                write_page(&store, PageId(p), p as u32);
+            }
+            for round in 1..=6u32 {
+                declare(&store);
+                for p in 0..4 {
+                    // Small in-place edit: ideal diff candidate.
+                    write_page(&store, PageId(p), round * 100 + p as u32);
+                }
+            }
+            store
+        };
+        let raw = build(PagelogFormat::Raw);
+        let adaptive = build(PagelogFormat::Adaptive { max_chain: 3 });
+        for sid in 1..=6u64 {
+            for p in 0..4 {
+                assert_eq!(
+                    read_tag(&raw, sid, PageId(p)),
+                    read_tag(&adaptive, sid, PageId(p)),
+                    "snapshot {sid} page {p}"
+                );
+            }
+        }
+        assert!(adaptive.pagelog().diff_count() > 0, "diffs were stored");
+        assert!(
+            adaptive.pagelog().size_bytes() < raw.pagelog().size_bytes() / 2,
+            "adaptive archive should be much smaller: {} vs {}",
+            adaptive.pagelog().size_bytes(),
+            raw.pagelog().size_bytes()
+        );
+        // Reconstruction cost: reading an old snapshot touches more log
+        // entries under the adaptive format (chain follows).
+        raw.stats().reset();
+        adaptive.stats().reset();
+        for p in 0..4 {
+            raw.open_snapshot(1).unwrap().page(PageId(p)).unwrap();
+            adaptive.open_snapshot(1).unwrap().page(PageId(p)).unwrap();
+        }
+        assert!(
+            adaptive.stats().snapshot().pagelog_reads
+                >= raw.stats().snapshot().pagelog_reads,
+            "diff chains cost extra reads"
+        );
+    }
+
+    #[test]
+    fn adaptive_pagelog_survives_reopen() {
+        use rql_pagestore::MemStorage;
+        let wal: Arc<MemStorage> = Arc::new(MemStorage::new());
+        let plog: Arc<MemStorage> = Arc::new(MemStorage::new());
+        let mlog: Arc<MemStorage> = Arc::new(MemStorage::new());
+        let mut cfg = config(256, 16);
+        cfg.pagelog_format = PagelogFormat::Adaptive { max_chain: 3 };
+        {
+            let store =
+                RetroStore::open(cfg.clone(), wal.clone(), plog.clone(), mlog.clone())
+                    .unwrap();
+            write_page(&store, PageId(0), 1);
+            declare(&store);
+            write_page(&store, PageId(0), 2);
+            declare(&store);
+            write_page(&store, PageId(0), 3);
+            store.flush().unwrap();
+        }
+        let store = RetroStore::open(cfg, wal, plog, mlog).unwrap();
+        assert_eq!(read_tag(&store, 1, PageId(0)), 1);
+        assert_eq!(read_tag(&store, 2, PageId(0)), 2);
+    }
+}

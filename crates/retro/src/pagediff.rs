@@ -1,0 +1,189 @@
+//! Byte-run diffs between page versions — the core of the adaptive
+//! Thresher-style Pagelog format.
+//!
+//! The RQL paper (§6) notes that "a snapshot system can reduce the space
+//! overhead substantially without impacting normal in-production
+//! performance, using an adaptive low-level page-diff approach [24:
+//! Thresher], that offers a convenient trade-off between more compact
+//! snapshot representation and a higher cost of snapshot reconstruction."
+//! This module provides the diff codec; [`crate::pagelog`] uses it for
+//! its adaptive format.
+//!
+//! A diff is a list of byte runs `(offset, bytes)` such that applying the
+//! runs to the *base* page yields the *target* page. Nearby runs are
+//! merged (gaps shorter than `GAP_MERGE` are swallowed) so run-header
+//! overhead stays small on scattered edits.
+
+use rql_pagestore::Page;
+
+/// Runs closer than this many equal bytes are merged into one.
+const GAP_MERGE: usize = 8;
+
+/// One changed byte run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Run {
+    /// Byte offset within the page.
+    pub offset: u16,
+    /// Replacement bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Compute the runs that turn `base` into `target` (equal sizes).
+pub fn diff_pages(base: &Page, target: &Page) -> Vec<Run> {
+    debug_assert_eq!(base.size(), target.size());
+    let a = base.bytes();
+    let b = target.bytes();
+    let mut runs: Vec<Run> = Vec::new();
+    let mut i = 0usize;
+    while i < a.len() {
+        if a[i] == b[i] {
+            i += 1;
+            continue;
+        }
+        // Start of a changed run; extend over gaps < GAP_MERGE.
+        let start = i;
+        let mut end = i + 1;
+        let mut gap = 0usize;
+        let mut last_diff = i;
+        while end < a.len() && gap <= GAP_MERGE {
+            if a[end] != b[end] {
+                last_diff = end;
+                gap = 0;
+            } else {
+                gap += 1;
+            }
+            end += 1;
+        }
+        let run_end = last_diff + 1;
+        runs.push(Run {
+            offset: start as u16,
+            bytes: b[start..run_end].to_vec(),
+        });
+        i = run_end;
+    }
+    runs
+}
+
+/// Apply runs to a copy of `base`, producing the target page.
+pub fn apply_runs(base: &Page, runs: &[Run]) -> Page {
+    let mut out = base.clone();
+    for run in runs {
+        out.write_slice(run.offset as usize, &run.bytes);
+    }
+    out
+}
+
+/// Serialized size of a run list: `2 + Σ (4 + len)` bytes.
+pub fn encoded_len(runs: &[Run]) -> usize {
+    2 + runs.iter().map(|r| 4 + r.bytes.len()).sum::<usize>()
+}
+
+/// Serialize runs: `[count u16] ([offset u16][len u16][bytes])*`.
+pub fn encode_runs(runs: &[Run], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(runs.len() as u16).to_le_bytes());
+    for run in runs {
+        out.extend_from_slice(&run.offset.to_le_bytes());
+        out.extend_from_slice(&(run.bytes.len() as u16).to_le_bytes());
+        out.extend_from_slice(&run.bytes);
+    }
+}
+
+/// Deserialize runs; `None` on malformed input.
+pub fn decode_runs(bytes: &[u8]) -> Option<Vec<Run>> {
+    let count = u16::from_le_bytes(bytes.get(0..2)?.try_into().ok()?) as usize;
+    let mut pos = 2usize;
+    let mut runs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let offset = u16::from_le_bytes(bytes.get(pos..pos + 2)?.try_into().ok()?);
+        let len = u16::from_le_bytes(bytes.get(pos + 2..pos + 4)?.try_into().ok()?) as usize;
+        let data = bytes.get(pos + 4..pos + 4 + len)?.to_vec();
+        pos += 4 + len;
+        runs.push(Run {
+            offset,
+            bytes: data,
+        });
+    }
+    Some(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_from(bytes: &[u8]) -> Page {
+        Page::from_bytes(bytes.to_vec())
+    }
+
+    #[test]
+    fn identical_pages_diff_to_nothing() {
+        let p = page_from(&[7u8; 64]);
+        assert!(diff_pages(&p, &p).is_empty());
+    }
+
+    #[test]
+    fn single_change_single_run() {
+        let base = page_from(&[0u8; 64]);
+        let mut target = base.clone();
+        target.write_slice(10, &[1, 2, 3]);
+        let runs = diff_pages(&base, &target);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].offset, 10);
+        assert_eq!(runs[0].bytes, vec![1, 2, 3]);
+        assert_eq!(apply_runs(&base, &runs), target);
+    }
+
+    #[test]
+    fn nearby_changes_merge_distant_do_not() {
+        let base = page_from(&[0u8; 128]);
+        let mut target = base.clone();
+        target.write_slice(10, &[1]);
+        target.write_slice(14, &[2]); // gap 3 < GAP_MERGE → merged
+        target.write_slice(100, &[3]); // far away → separate run
+        let runs = diff_pages(&base, &target);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].offset, 10);
+        assert_eq!(runs[0].bytes.len(), 5);
+        assert_eq!(runs[1].offset, 100);
+        assert_eq!(apply_runs(&base, &runs), target);
+    }
+
+    #[test]
+    fn roundtrip_random_pages() {
+        // Deterministic pseudo-random mutation patterns.
+        let mut state = 0xdecafu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for _ in 0..50 {
+            let base_bytes: Vec<u8> = (0..256).map(|i| (i * 31 % 251) as u8).collect();
+            let base = page_from(&base_bytes);
+            let mut target = base.clone();
+            for _ in 0..next() % 20 {
+                let off = next() % 250;
+                let len = 1 + next() % 6;
+                let data: Vec<u8> = (0..len).map(|_| (next() % 256) as u8).collect();
+                target.write_slice(off, &data);
+            }
+            let runs = diff_pages(&base, &target);
+            assert_eq!(apply_runs(&base, &runs), target);
+            let mut enc = Vec::new();
+            encode_runs(&runs, &mut enc);
+            assert_eq!(enc.len(), encoded_len(&runs));
+            assert_eq!(decode_runs(&enc).unwrap(), runs);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let base = page_from(&[0u8; 64]);
+        let mut target = base.clone();
+        target.write_slice(5, &[9, 9, 9]);
+        let runs = diff_pages(&base, &target);
+        let mut enc = Vec::new();
+        encode_runs(&runs, &mut enc);
+        for cut in 1..enc.len() {
+            assert!(decode_runs(&enc[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! `RetroStore`: the snapshot system assembled over the page store.
+//!
+//! Retro "is implemented as a small set of modular extensions to the
+//! Berkeley DB transactional storage manager. The extensions interpose on
+//! transaction commit, page flush, page fetch and recovery operations"
+//! (paper §4). This module is those extensions:
+//!
+//! * **commit** — the pre-state of every page modified for the first time
+//!   since the latest snapshot declaration is archived to the Pagelog and
+//!   indexed in the Maplog (copy-on-write capture);
+//! * **flush** — Pagelog appends are buffered and synced in groups;
+//! * **fetch** — [`crate::snapshot::SnapshotReader`] routes
+//!   page requests through the SPT to the Pagelog/cache, or through a
+//!   pinned MVCC view for pages shared with the current state;
+//! * **recovery** — the WAL restores the current state and the snapshot id
+//!   sequence; the persisted Maplog and the Pagelog restore the archive
+//!   index.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+use rql_pagestore::{
+    BufferCache, CacheKeying, DbView, IoStats, LogStorage, Pager, PagerConfig, Result,
+    StoreError, WriteTxn,
+};
+
+use crate::maplog::Maplog;
+use crate::pagelog::{Pagelog, PagelogFormat};
+use crate::snapshot::{SnapshotMeta, SnapshotReader};
+use crate::spt::{Spt, SptBuildStats};
+
+/// Retro configuration.
+#[derive(Debug, Clone, Default)]
+pub struct RetroConfig {
+    /// Underlying pager configuration.
+    pub pager: PagerConfig,
+    /// Build SPTs through the Skippy skip levels (`true`, Retro's
+    /// behaviour) or by linear Maplog scan (ablation baseline).
+    pub use_skippy: bool,
+    /// Buffer-cache keying for snapshot pages (ablation knob).
+    pub keying: CacheKeying,
+    /// Pagelog representation: raw full pages (Retro) or the adaptive
+    /// Thresher-style diff format (§6's space/reconstruction trade-off).
+    pub pagelog_format: PagelogFormat,
+}
+
+impl RetroConfig {
+    /// Default configuration with Skippy enabled.
+    pub fn new() -> Self {
+        RetroConfig {
+            pager: PagerConfig::default(),
+            use_skippy: true,
+            keying: CacheKeying::ByPagelogOffset,
+            pagelog_format: PagelogFormat::Raw,
+        }
+    }
+}
+
+/// The snapshot system.
+pub struct RetroStore {
+    config: RetroConfig,
+    pager: Arc<Pager>,
+    pagelog: Pagelog,
+    maplog: Mutex<Maplog>,
+    /// Pages already archived since the latest snapshot declaration
+    /// (their pre-state for that snapshot is on the Pagelog; later
+    /// modifications need no further capture).
+    dirty_since_snapshot: Mutex<HashSet<rql_pagestore::PageId>>,
+    /// Latest archived entry per page: (offset, chain depth). Used by the
+    /// adaptive Pagelog format to pick diff bases.
+    last_archived: Mutex<std::collections::HashMap<rql_pagestore::PageId, (u64, u32)>>,
+    metas: RwLock<Vec<SnapshotMeta>>,
+}
+
+impl RetroStore {
+    /// Ephemeral store: memory-backed Pagelog, no WAL, no Maplog
+    /// persistence. The workhorse for tests and deterministic benchmarks.
+    pub fn in_memory(config: RetroConfig) -> Arc<Self> {
+        let page_size = config.pager.page_size;
+        let pager = Arc::new(Pager::new(config.pager.clone()));
+        let format = config.pagelog_format;
+        Arc::new(RetroStore {
+            config,
+            pager,
+            pagelog: Pagelog::with_format(
+                Arc::new(rql_pagestore::MemStorage::new()),
+                page_size,
+                format,
+            ),
+            maplog: Mutex::new(Maplog::new()),
+            dirty_since_snapshot: Mutex::new(HashSet::new()),
+            last_archived: Mutex::new(std::collections::HashMap::new()),
+            metas: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// Durable store over explicit storages, replaying WAL and Maplog.
+    ///
+    /// After a crash the WAL restores the committed current state and the
+    /// declared snapshot sequence, and the persisted Maplog + Pagelog
+    /// restore the archive index, so previously declared snapshots remain
+    /// queryable.
+    pub fn open(
+        config: RetroConfig,
+        wal_storage: Arc<dyn LogStorage>,
+        pagelog_storage: Arc<dyn LogStorage>,
+        maplog_storage: Arc<dyn LogStorage>,
+    ) -> Result<Arc<Self>> {
+        let page_size = config.pager.page_size;
+        let (pager, recovered_snaps) =
+            Pager::open_with_wal(config.pager.clone(), wal_storage)?;
+        let pager = Arc::new(pager);
+        let maplog = Maplog::open(maplog_storage)?;
+        if maplog.snapshot_count() != recovered_snaps.len() as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "maplog has {} snapshots but WAL recovered {}",
+                maplog.snapshot_count(),
+                recovered_snaps.len()
+            )));
+        }
+        let metas: Vec<SnapshotMeta> = recovered_snaps
+            .iter()
+            .map(|&id| {
+                let b = maplog.boundary(id).expect("boundary for recovered snapshot");
+                SnapshotMeta {
+                    id,
+                    page_count: b.page_count,
+                    txn_id: 0, // original txn id not tracked across recovery
+                }
+            })
+            .collect();
+        let format = config.pagelog_format;
+        Ok(Arc::new(RetroStore {
+            config,
+            pager,
+            pagelog: Pagelog::with_format(pagelog_storage, page_size, format),
+            maplog: Mutex::new(maplog),
+            // Conservative: after recovery, re-archive on next modification
+            // (and diff chains restart from full images).
+            dirty_since_snapshot: Mutex::new(HashSet::new()),
+            last_archived: Mutex::new(std::collections::HashMap::new()),
+            metas: RwLock::new(metas),
+        }))
+    }
+
+    /// The underlying pager.
+    pub fn pager(&self) -> &Arc<Pager> {
+        &self.pager
+    }
+
+    /// Shared I/O counters.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        self.pager.stats()
+    }
+
+    /// Shared buffer cache.
+    pub fn cache(&self) -> &Arc<BufferCache> {
+        self.pager.cache()
+    }
+
+    /// The Pagelog archive.
+    pub fn pagelog(&self) -> &Pagelog {
+        &self.pagelog
+    }
+
+    /// Cache keying policy in effect.
+    pub fn cache_keying(&self) -> CacheKeying {
+        self.config.keying
+    }
+
+    /// Begin a write transaction.
+    pub fn begin(self: &Arc<Self>) -> Result<WriteTxn> {
+        self.pager.begin_write()
+    }
+
+    /// Commit without declaring a snapshot.
+    pub fn commit(&self, txn: WriteTxn) -> Result<()> {
+        self.commit_inner(txn, false).map(|_| ())
+    }
+
+    /// `COMMIT WITH SNAPSHOT`: commit and declare a snapshot reflecting
+    /// this transaction and everything committed before it. Returns the
+    /// new snapshot id.
+    pub fn commit_with_snapshot(&self, txn: WriteTxn) -> Result<u64> {
+        self.commit_inner(txn, true)
+            .map(|sid| sid.expect("snapshot id on declaring commit"))
+    }
+
+    /// Abort a transaction.
+    pub fn abort(&self, txn: WriteTxn) {
+        self.pager.abort(txn)
+    }
+
+    fn commit_inner(&self, txn: WriteTxn, declare: bool) -> Result<Option<u64>> {
+        let latest_page_count: Option<u64> =
+            self.metas.read().last().map(|m| m.page_count);
+        let stats = self.pager.stats().clone();
+        let txn_id = txn.id();
+        // COW capture runs inside the pager's commit critical section, so
+        // the archive and the published state change atomically with
+        // respect to writers (readers pin views and never block).
+        let snapshot_id = if declare {
+            Some(self.metas.read().len() as u64 + 1)
+        } else {
+            None
+        };
+        self.pager.commit(txn, snapshot_id, |pid, pre| {
+            let Some(limit) = latest_page_count else {
+                return Ok(()); // no snapshot declared yet: nothing to keep
+            };
+            if pid.0 >= limit {
+                return Ok(()); // page allocated after the latest snapshot
+            }
+            let Some(pre_page) = pre else {
+                return Ok(());
+            };
+            let mut dirty = self.dirty_since_snapshot.lock();
+            if !dirty.insert(pid) {
+                return Ok(()); // already archived for the latest snapshot
+            }
+            drop(dirty);
+            let off = match self.pagelog.format() {
+                PagelogFormat::Raw => self.pagelog.append(pre_page)?,
+                PagelogFormat::Adaptive { .. } => {
+                    // Diff against the last archived version of this page
+                    // when one exists (Thresher's adaptive choice).
+                    let base = self.last_archived.lock().get(&pid).copied();
+                    let outcome = match base {
+                        Some((base_off, depth)) => {
+                            let base_page = self.pagelog.read(base_off)?;
+                            self.pagelog.append_adaptive(
+                                pre_page,
+                                Some((base_off, &base_page, depth)),
+                            )?
+                        }
+                        None => self.pagelog.append_adaptive(pre_page, None)?,
+                    };
+                    self.last_archived
+                        .lock()
+                        .insert(pid, (outcome.offset, outcome.chain_depth));
+                    outcome.offset
+                }
+            };
+            self.maplog.lock().append_mapping(pid, off)?;
+            stats.count_cow_capture();
+            Ok(())
+        })?;
+        if declare {
+            let sid = snapshot_id.unwrap();
+            let page_count = self.pager.page_count();
+            self.maplog.lock().declare_snapshot(sid, page_count)?;
+            self.dirty_since_snapshot.lock().clear();
+            self.metas.write().push(SnapshotMeta {
+                id: sid,
+                page_count,
+                txn_id,
+            });
+            return Ok(Some(sid));
+        }
+        Ok(None)
+    }
+
+    /// Number of declared snapshots; ids are `1..=snapshot_count()`.
+    pub fn snapshot_count(&self) -> u64 {
+        self.metas.read().len() as u64
+    }
+
+    /// Metadata for snapshot `sid`.
+    pub fn snapshot_meta(&self, sid: u64) -> Option<SnapshotMeta> {
+        if sid == 0 {
+            return None;
+        }
+        self.metas.read().get(sid as usize - 1).copied()
+    }
+
+    /// Pin an MVCC view of the current state (for current-state queries).
+    pub fn current_view(&self) -> DbView {
+        self.pager.view()
+    }
+
+    /// Open a reader over snapshot `sid`.
+    ///
+    /// Ordering invariant: the database view is pinned *before* the SPT is
+    /// built. A commit that lands in between archives the pinned page
+    /// state as the pre-state, so whichever source the reader ends up
+    /// using returns identical bytes.
+    pub fn open_snapshot(self: &Arc<Self>, sid: u64) -> Result<SnapshotReader> {
+        let meta = self
+            .snapshot_meta(sid)
+            .ok_or_else(|| StoreError::Corrupt(format!("unknown snapshot {sid}")))?;
+        let view = self.pager.view();
+        let start = Instant::now();
+        let scan = self.maplog.lock().build_spt(sid, self.config.use_skippy)?;
+        let duration = start.elapsed();
+        self.stats().count_maplog_scanned(scan.entries_scanned);
+        let spt = Spt::new(sid, meta.page_count, scan.map);
+        Ok(SnapshotReader::new(
+            Arc::clone(self),
+            spt,
+            view,
+            SptBuildStats {
+                entries_scanned: scan.entries_scanned,
+                duration,
+            },
+        ))
+    }
+
+    /// Build just the SPT for `sid` (introspection / diff computation).
+    pub fn build_spt(&self, sid: u64) -> Result<Spt> {
+        let meta = self
+            .snapshot_meta(sid)
+            .ok_or_else(|| StoreError::Corrupt(format!("unknown snapshot {sid}")))?;
+        let scan = self.maplog.lock().build_spt(sid, self.config.use_skippy)?;
+        Ok(Spt::new(sid, meta.page_count, scan.map))
+    }
+
+    /// The paper's `diff(S1, S2)`: pages not shared between two snapshots.
+    pub fn diff(&self, s1: u64, s2: u64) -> Result<u64> {
+        Ok(self.build_spt(s1)?.diff(&self.build_spt(s2)?))
+    }
+
+    /// The paper's `shared(S1, S2)`.
+    pub fn shared(&self, s1: u64, s2: u64) -> Result<u64> {
+        Ok(self.build_spt(s1)?.shared_with(&self.build_spt(s2)?))
+    }
+
+    /// Make all durable state stable: group-flush the Pagelog, sync the
+    /// Maplog, and sync the WAL (the checkpoint a clean shutdown or an
+    /// explicit durability point performs).
+    pub fn flush(&self) -> Result<()> {
+        self.pagelog.flush()?;
+        self.maplog.lock().sync()?;
+        self.pager.sync_wal()
+    }
+
+    /// Total Maplog entries (space accounting).
+    pub fn maplog_entries(&self) -> usize {
+        self.maplog.lock().entry_count()
+    }
+
+    /// Entries held by Skippy skip levels (space accounting).
+    pub fn skippy_entries(&self) -> usize {
+        self.maplog.lock().skippy_entries()
+    }
+}

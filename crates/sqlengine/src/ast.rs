@@ -1,0 +1,394 @@
+//! Abstract syntax tree for the supported SQL subset.
+//!
+//! The dialect is the slice of SQLite the paper's programs use, plus the
+//! Retro extension `SELECT AS OF <sid> …` (paper §2, Figure 3) and enough
+//! general SQL (joins, grouping, ordering, expression calculus, UDF calls)
+//! to express every query in Table 1 and the worked examples.
+
+use crate::schema::ColumnType;
+use crate::value::Value;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `SELECT …`
+    Select(SelectStmt),
+    /// `INSERT INTO t [(cols)] VALUES … | SELECT …`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list, if given.
+        columns: Option<Vec<String>>,
+        /// Rows or subquery.
+        source: InsertSource,
+    },
+    /// `UPDATE t SET c = e, … [WHERE e]`
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments.
+        sets: Vec<(String, Expr)>,
+        /// Row filter.
+        where_clause: Option<Expr>,
+    },
+    /// `DELETE FROM t [WHERE e]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row filter.
+        where_clause: Option<Expr>,
+    },
+    /// `CREATE [TEMP] TABLE t (col type, …)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<(String, ColumnType)>,
+        /// TEMP flag (informational; temp-ness is a database property
+        /// here, matching RQL's separate non-snapshotable database).
+        temp: bool,
+        /// IF NOT EXISTS flag.
+        if_not_exists: bool,
+    },
+    /// `CREATE [TEMP] TABLE t AS SELECT …`
+    CreateTableAs {
+        /// Table name.
+        name: String,
+        /// Source query.
+        select: SelectStmt,
+        /// TEMP flag.
+        temp: bool,
+    },
+    /// `CREATE INDEX i ON t (cols)`
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Key columns.
+        columns: Vec<String>,
+    },
+    /// `DROP TABLE [IF EXISTS] t`
+    DropTable {
+        /// Table name.
+        name: String,
+        /// IF EXISTS flag.
+        if_exists: bool,
+    },
+    /// `BEGIN`
+    Begin,
+    /// `COMMIT [WITH SNAPSHOT]` — the Retro snapshot declaration.
+    Commit {
+        /// Whether the commit declares a snapshot.
+        with_snapshot: bool,
+    },
+    /// `ROLLBACK`
+    Rollback,
+}
+
+/// Source of inserted rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    /// Literal `VALUES (…), (…)`.
+    Values(Vec<Vec<Expr>>),
+    /// `INSERT … SELECT`.
+    Select(Box<SelectStmt>),
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    /// Retro extension: `SELECT AS OF <expr> …` — run over this snapshot.
+    pub as_of: Option<Expr>,
+    /// `DISTINCT` flag.
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// Tables in `FROM` (comma-separated ones become cross joins
+    /// constrained by WHERE, as in Table 1's Qq_cpu).
+    pub from: Vec<TableRef>,
+    /// Explicit `JOIN … ON` clauses.
+    pub joins: Vec<Join>,
+    /// `WHERE`.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY`.
+    pub group_by: Vec<Expr>,
+    /// `HAVING`.
+    pub having: Option<Expr>,
+    /// `ORDER BY` (expression, descending?).
+    pub order_by: Vec<(Expr, bool)>,
+    /// `LIMIT`.
+    pub limit: Option<Expr>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `t.*`
+    TableWildcard(String),
+    /// Expression with optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub name: String,
+    /// Alias (defaults to the table name).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table binds in scope.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// An explicit join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Joined table.
+    pub table: TableRef,
+    /// `ON` condition.
+    pub on: Expr,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `||`
+    Concat,
+    /// `=` / `==`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `NOT`
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference, optionally qualified.
+    Column {
+        /// Table/alias qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Function call: aggregate, scalar built-in, or UDF.
+    Function {
+        /// Function name (lower-case).
+        name: String,
+        /// Arguments; `COUNT(*)` has a single [`Expr::Star`] argument.
+        args: Vec<Expr>,
+        /// `DISTINCT` inside the call.
+        distinct: bool,
+    },
+    /// `expr IS [NOT] NULL`
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (…)`
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// List members.
+        list: Vec<Expr>,
+        /// `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN lo AND hi`
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+        /// `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern`
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern.
+        pattern: Box<Expr>,
+        /// `NOT LIKE`.
+        negated: bool,
+    },
+    /// `CASE [operand] WHEN … THEN … [ELSE …] END`.
+    Case {
+        /// Optional operand (`CASE x WHEN 1 …`); `None` for searched CASE.
+        operand: Option<Box<Expr>>,
+        /// `(WHEN, THEN)` arms in order.
+        arms: Vec<(Expr, Expr)>,
+        /// `ELSE` branch (NULL when absent).
+        else_branch: Option<Box<Expr>>,
+    },
+    /// `*` inside `COUNT(*)`.
+    Star,
+}
+
+impl Expr {
+    /// Integer literal helper.
+    pub fn int(i: i64) -> Expr {
+        Expr::Literal(Value::Integer(i))
+    }
+
+    /// Text literal helper.
+    pub fn text(s: impl Into<String>) -> Expr {
+        Expr::Literal(Value::Text(s.into()))
+    }
+
+    /// Unqualified column helper.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            table: None,
+            name: name.into(),
+        }
+    }
+
+    /// Whether this expression (recursively) contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Function { name, .. } if is_aggregate_name(name) => true,
+            Expr::Function { args, .. } => args.iter().any(Expr::contains_aggregate),
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.contains_aggregate() || rhs.contains_aggregate()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.contains_aggregate()
+                    || lo.contains_aggregate()
+                    || hi.contains_aggregate()
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+            Expr::Case {
+                operand,
+                arms,
+                else_branch,
+            } => {
+                operand.as_deref().is_some_and(Expr::contains_aggregate)
+                    || arms
+                        .iter()
+                        .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || else_branch.as_deref().is_some_and(Expr::contains_aggregate)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Whether `name` (lower-case) is one of the built-in aggregates.
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(name, "count" | "sum" | "min" | "max" | "avg" | "total")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Function {
+            name: "count".into(),
+            args: vec![Expr::Star],
+            distinct: false,
+        };
+        assert!(agg.contains_aggregate());
+        let nested = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::int(1)),
+            rhs: Box::new(agg),
+        };
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+        let scalar = Expr::Function {
+            name: "abs".into(),
+            args: vec![Expr::col("x")],
+            distinct: false,
+        };
+        assert!(!scalar.contains_aggregate());
+    }
+
+    #[test]
+    fn table_ref_binding() {
+        let t = TableRef {
+            name: "orders".into(),
+            alias: Some("o".into()),
+        };
+        assert_eq!(t.binding(), "o");
+        let t = TableRef {
+            name: "orders".into(),
+            alias: None,
+        };
+        assert_eq!(t.binding(), "orders");
+    }
+}

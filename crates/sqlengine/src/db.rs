@@ -1,0 +1,690 @@
+//! `Database`: the SQLite-analog session facade over a Retro store.
+//!
+//! One `Database` owns one [`RetroStore`]. RQL uses two of them, exactly
+//! as the paper describes (§3): the application data lives in a
+//! *snapshotable* database, while `SnapIds` and result tables `T` live in
+//! "a separate SQLite database … because it is a non-snapshotable
+//! persistent table". Statements auto-commit unless bracketed by
+//! `BEGIN`/`COMMIT`; `COMMIT WITH SNAPSHOT` declares a Retro snapshot;
+//! `SELECT AS OF <sid>` executes over the snapshot's pages (including its
+//! catalog).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+use rql_pagestore::{IoCostModel, IoStats, WriteTxn};
+use rql_retro::{RetroConfig, RetroStore};
+
+use crate::ast::{InsertSource, SelectStmt, Stmt};
+use crate::catalog::Catalog;
+use crate::cexpr::{compile, eval, Scope};
+use crate::error::{Result, SqlError};
+use crate::exec::{run_select, QueryResult};
+use crate::exec_stats::ExecStats;
+use crate::heap::{FreeSpaceMap, RecordId};
+use crate::parser::parse_statements;
+use crate::record::{encode_index_key, encode_row, Row};
+use crate::schema::{ColumnType, IndexSchema, TableSchema};
+use crate::udf::UdfRegistry;
+use crate::value::Value;
+
+/// Result of executing one statement.
+#[derive(Debug)]
+pub enum ExecOutcome {
+    /// A query's rows.
+    Rows(QueryResult),
+    /// DML row count.
+    Affected(u64),
+    /// `COMMIT WITH SNAPSHOT` declared this snapshot.
+    SnapshotDeclared(u64),
+    /// DDL or transaction control with nothing to report.
+    Done,
+}
+
+impl ExecOutcome {
+    /// The query result, if this outcome carries rows.
+    pub fn rows(self) -> Option<QueryResult> {
+        match self {
+            ExecOutcome::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// A SQL database over a Retro snapshot store.
+pub struct Database {
+    store: Arc<RetroStore>,
+    udfs: RwLock<UdfRegistry>,
+    /// Open explicit transaction (`BEGIN` … `COMMIT`).
+    open_txn: Mutex<Option<WriteTxn>>,
+    /// Per-table free-space maps (keyed by heap root page id).
+    fsms: Mutex<HashMap<u64, FreeSpaceMap>>,
+    /// I/O cost model used when reporting modeled latencies.
+    cost_model: IoCostModel,
+}
+
+impl Database {
+    /// In-memory database (the benchmark and test configuration).
+    pub fn in_memory(config: RetroConfig) -> Arc<Database> {
+        Self::over_store(RetroStore::in_memory(config))
+    }
+
+    /// In-memory database with default configuration.
+    pub fn default_in_memory() -> Arc<Database> {
+        Self::in_memory(RetroConfig::new())
+    }
+
+    /// Wrap an existing store (used by recovery paths and tests).
+    pub fn over_store(store: Arc<RetroStore>) -> Arc<Database> {
+        let db = Database {
+            store,
+            udfs: RwLock::new(UdfRegistry::new()),
+            open_txn: Mutex::new(None),
+            fsms: Mutex::new(HashMap::new()),
+            cost_model: IoCostModel::default(),
+        };
+        db.ensure_catalog();
+        Arc::new(db)
+    }
+
+    fn ensure_catalog(&self) {
+        if self.store.pager().page_count() == 0 {
+            let mut txn = self.store.begin().expect("no writer during init");
+            Catalog::bootstrap(&mut txn).expect("catalog bootstrap");
+            self.store.commit(txn).expect("catalog commit");
+        }
+    }
+
+    /// The underlying snapshot store.
+    pub fn store(&self) -> &Arc<RetroStore> {
+        &self.store
+    }
+
+    /// Shared I/O counters.
+    pub fn io_stats(&self) -> &Arc<IoStats> {
+        self.store.stats()
+    }
+
+    /// The configured I/O cost model.
+    pub fn cost_model(&self) -> IoCostModel {
+        self.cost_model
+    }
+
+    /// Register a scalar UDF (`sqlite3_create_function` analog).
+    pub fn register_udf(
+        &self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        self.udfs.write().register(name, f);
+    }
+
+    /// Execute a script of `;`-separated statements, returning the last
+    /// statement's outcome.
+    pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
+        let stmts = parse_statements(sql)?;
+        let mut last = ExecOutcome::Done;
+        for stmt in &stmts {
+            last = self.execute_stmt(stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Execute a single query and return its rows.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        match self.execute(sql)? {
+            ExecOutcome::Rows(r) => Ok(r),
+            _ => Err(SqlError::Invalid("statement returned no rows".into())),
+        }
+    }
+
+    /// Run a query and return only its access-path decisions (one line
+    /// per table). The query executes — plans are recorded during
+    /// execution, which also makes them exact rather than estimated.
+    pub fn explain(&self, sql: &str) -> Result<Vec<String>> {
+        Ok(self.query(sql)?.plan)
+    }
+
+    /// `sqlite3_exec` analog: run a query, invoking `cb` for every row.
+    pub fn query_with_callback(
+        &self,
+        sql: &str,
+        mut cb: impl FnMut(&[String], &Row) -> Result<()>,
+    ) -> Result<ExecStats> {
+        let result = self.query(sql)?;
+        for row in &result.rows {
+            cb(&result.columns, row)?;
+        }
+        Ok(result.stats)
+    }
+
+    /// Execute one parsed statement.
+    pub fn execute_stmt(&self, stmt: &Stmt) -> Result<ExecOutcome> {
+        match stmt {
+            Stmt::Select(select) => Ok(ExecOutcome::Rows(self.run_select_dispatch(select)?)),
+            Stmt::Begin => {
+                let mut open = self.open_txn.lock();
+                if open.is_some() {
+                    return Err(SqlError::Invalid("transaction already open".into()));
+                }
+                *open = Some(self.store.begin()?);
+                Ok(ExecOutcome::Done)
+            }
+            Stmt::Commit { with_snapshot } => {
+                let txn = self
+                    .open_txn
+                    .lock()
+                    .take()
+                    .ok_or_else(|| SqlError::Invalid("no open transaction".into()))?;
+                if *with_snapshot {
+                    let sid = self.store.commit_with_snapshot(txn)?;
+                    Ok(ExecOutcome::SnapshotDeclared(sid))
+                } else {
+                    self.store.commit(txn)?;
+                    Ok(ExecOutcome::Done)
+                }
+            }
+            Stmt::Rollback => {
+                let txn = self
+                    .open_txn
+                    .lock()
+                    .take()
+                    .ok_or_else(|| SqlError::Invalid("no open transaction".into()))?;
+                self.store.abort(txn);
+                // Write-set state is gone; cached free-space maps may lie.
+                self.fsms.lock().clear();
+                Ok(ExecOutcome::Done)
+            }
+            other => self.execute_write(other),
+        }
+    }
+
+    /// `COMMIT WITH SNAPSHOT` on an empty transaction — the paper's bare
+    /// snapshot declaration (Figure 3 lines 1–2).
+    pub fn declare_snapshot(&self) -> Result<u64> {
+        let txn = self.store.begin()?;
+        Ok(self.store.commit_with_snapshot(txn)?)
+    }
+
+    // ---- reads -----------------------------------------------------------
+
+    fn run_select_dispatch(&self, select: &SelectStmt) -> Result<QueryResult> {
+        let udfs = self.udfs.read().clone();
+        let io_before = self.io_stats().snapshot();
+        let mut result = match &select.as_of {
+            Some(expr) => {
+                let sid = self.eval_const_expr(expr)?;
+                let Some(sid) = sid.as_i64() else {
+                    return Err(SqlError::Invalid(format!(
+                        "AS OF requires an integer snapshot id, got {sid}"
+                    )));
+                };
+                let reader = self.store.open_snapshot(sid as u64)?;
+                let spt_build = reader.build_stats().duration;
+                let catalog = Catalog::load(&reader)?;
+                let mut r = run_select(select, &reader, &catalog, &udfs)?;
+                r.stats.spt_build = spt_build;
+                r
+            }
+            None => {
+                // Inside an open transaction, read through it (own writes
+                // visible); otherwise pin a fresh MVCC view. The lock is
+                // dropped before view execution so that UDFs invoked by
+                // the query can re-enter the database (the RQL loop-body
+                // pattern: `SELECT rql_udf(...) FROM SnapIds`).
+                let mut open = self.open_txn.lock();
+                if let Some(txn) = open.as_mut() {
+                    let catalog = Catalog::load(&*txn)?;
+                    run_select(select, &*txn, &catalog, &udfs)?
+                } else {
+                    drop(open);
+                    let view = self.store.current_view();
+                    let catalog = Catalog::load(&view)?;
+                    run_select(select, &view, &catalog, &udfs)?
+                }
+            }
+        };
+        result.stats.io = self.io_stats().snapshot().delta(&io_before);
+        Ok(result)
+    }
+
+    /// Run a query over a specific snapshot without `AS OF` in the text
+    /// (used by RQL's rewriter tests and the harness).
+    pub fn query_as_of(&self, sid: u64, sql: &str) -> Result<QueryResult> {
+        let stmts = parse_statements(sql)?;
+        let [Stmt::Select(select)] = stmts.as_slice() else {
+            return Err(SqlError::Invalid("expected a single SELECT".into()));
+        };
+        let mut with_as_of = select.clone();
+        with_as_of.as_of = Some(crate::ast::Expr::int(sid as i64));
+        self.run_select_dispatch(&with_as_of)
+    }
+
+    fn eval_const_expr(&self, expr: &crate::ast::Expr) -> Result<Value> {
+        let udfs = self.udfs.read().clone();
+        let compiled = compile(expr, &Scope::empty(), &udfs, None)?;
+        eval(&compiled, &[], &[])
+    }
+
+    // ---- writes ----------------------------------------------------------
+
+    /// Public variant of the internal transaction wrapper for extension layers
+    /// (the RQL mechanisms drive [`crate::tablewriter::TableWriter`]s
+    /// through it).
+    pub fn with_write_txn_pub<T>(
+        &self,
+        f: impl FnOnce(&Database, &mut WriteTxn) -> Result<T>,
+    ) -> Result<T> {
+        self.with_write_txn(f)
+    }
+
+    /// Run `f` against the open transaction, or an auto-commit one.
+    fn with_write_txn<T>(
+        &self,
+        f: impl FnOnce(&Database, &mut WriteTxn) -> Result<T>,
+    ) -> Result<T> {
+        let mut open = self.open_txn.lock();
+        match open.as_mut() {
+            Some(txn) => f(self, txn),
+            None => {
+                drop(open);
+                let mut txn = self.store.begin()?;
+                match f(self, &mut txn) {
+                    Ok(v) => {
+                        self.store.commit(txn)?;
+                        Ok(v)
+                    }
+                    Err(e) => {
+                        self.store.abort(txn);
+                        self.fsms.lock().clear();
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    fn with_fsm<T>(
+        &self,
+        root: rql_pagestore::PageId,
+        f: impl FnOnce(&mut FreeSpaceMap) -> Result<T>,
+    ) -> Result<T> {
+        let mut fsms = self.fsms.lock();
+        let fsm = fsms.entry(root.0).or_default();
+        f(fsm)
+    }
+
+    fn execute_write(&self, stmt: &Stmt) -> Result<ExecOutcome> {
+        match stmt {
+            Stmt::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+                ..
+            } => self.with_write_txn(|db, txn| {
+                let schema = TableSchema::new(
+                    name,
+                    columns
+                        .iter()
+                        .map(|(n, t)| (n.clone(), *t))
+                        .collect(),
+                );
+                let existing = Catalog::load(&*txn)?;
+                if existing.table(name).is_some() {
+                    if *if_not_exists {
+                        return Ok(ExecOutcome::Done);
+                    }
+                    return Err(SqlError::Constraint(format!("table {name} already exists")));
+                }
+                db.with_fsm(Catalog::ROOT, |fsm| {
+                    Catalog::persist_table(txn, &schema, fsm)
+                })?;
+                Ok(ExecOutcome::Done)
+            }),
+            Stmt::CreateTableAs { name, select, .. } => self.create_table_as(name, select),
+            Stmt::CreateIndex {
+                name,
+                table,
+                columns,
+            } => self.with_write_txn(|db, txn| {
+                let schema = IndexSchema::new(name, table, columns.clone());
+                let info = db.with_fsm(Catalog::ROOT, |fsm| {
+                    Catalog::persist_index(txn, &schema, fsm)
+                })?;
+                // Backfill from existing rows.
+                let catalog = Catalog::load(&*txn)?;
+                let tinfo = catalog.require_table(table)?.clone();
+                let key_cols: Vec<usize> = schema
+                    .columns
+                    .iter()
+                    .map(|c| tinfo.schema.require_column(c))
+                    .collect::<Result<_>>()?;
+                let tree = crate::btree::BTree::new(info.root);
+                let rows = tinfo.heap().all_rows(&*txn)?;
+                for (rid, row) in rows {
+                    let key_vals: Vec<Value> =
+                        key_cols.iter().map(|&i| row[i].clone()).collect();
+                    let mut key = Vec::new();
+                    encode_index_key(&key_vals, &mut key);
+                    tree.insert(txn, &key, rid)?;
+                }
+                Ok(ExecOutcome::Done)
+            }),
+            Stmt::DropTable { name, if_exists } => self.with_write_txn(|db, txn| {
+                let existing = Catalog::load(&*txn)?;
+                if existing.table(name).is_none() {
+                    if *if_exists {
+                        return Ok(ExecOutcome::Done);
+                    }
+                    return Err(SqlError::Unknown(format!("table {name}")));
+                }
+                db.with_fsm(Catalog::ROOT, |fsm| Catalog::remove_table(txn, name, fsm))?;
+                Ok(ExecOutcome::Done)
+            }),
+            Stmt::Insert {
+                table,
+                columns,
+                source,
+            } => self.insert(table, columns.as_deref(), source),
+            Stmt::Delete {
+                table,
+                where_clause,
+            } => self.delete(table, where_clause.as_ref()),
+            Stmt::Update {
+                table,
+                sets,
+                where_clause,
+            } => self.update(table, sets, where_clause.as_ref()),
+            other => Err(SqlError::Invalid(format!(
+                "statement not executable here: {other:?}"
+            ))),
+        }
+    }
+
+    fn create_table_as(&self, name: &str, select: &SelectStmt) -> Result<ExecOutcome> {
+        // Evaluate the query first (it may carry AS OF), then materialize.
+        let result = self.run_select_dispatch(select)?;
+        self.with_write_txn(|db, txn| {
+            let schema = TableSchema::new(
+                name,
+                result
+                    .columns
+                    .iter()
+                    .map(|c| (c.clone(), ColumnType::Any))
+                    .collect(),
+            );
+            let info = db.with_fsm(Catalog::ROOT, |fsm| {
+                Catalog::persist_table(txn, &schema, fsm)
+            })?;
+            db.with_fsm(info.root, |fsm| {
+                let heap = info.heap();
+                let mut buf = Vec::new();
+                for row in &result.rows {
+                    buf.clear();
+                    encode_row(row, &mut buf);
+                    heap.insert(txn, &buf, fsm)?;
+                }
+                Ok(())
+            })?;
+            Ok(ExecOutcome::Affected(result.rows.len() as u64))
+        })
+    }
+
+    fn insert(
+        &self,
+        table: &str,
+        columns: Option<&[String]>,
+        source: &InsertSource,
+    ) -> Result<ExecOutcome> {
+        // Materialize source rows first (INSERT…SELECT may read the table
+        // being written; materializing gives SQLite's snapshot semantics).
+        let input_rows: Vec<Row> = match source {
+            InsertSource::Values(exprs) => {
+                let mut rows = Vec::with_capacity(exprs.len());
+                for row_exprs in exprs {
+                    let mut row = Vec::with_capacity(row_exprs.len());
+                    for e in row_exprs {
+                        row.push(self.eval_const_expr(e)?);
+                    }
+                    rows.push(row);
+                }
+                rows
+            }
+            InsertSource::Select(select) => self.run_select_dispatch(select)?.rows,
+        };
+        self.with_write_txn(|db, txn| {
+            let catalog = Catalog::load(&*txn)?;
+            let info = catalog.require_table(table)?.clone();
+            let arity = info.schema.arity();
+            // Map provided columns to schema positions.
+            let positions: Vec<usize> = match columns {
+                Some(cols) => cols
+                    .iter()
+                    .map(|c| info.schema.require_column(c))
+                    .collect::<Result<_>>()?,
+                None => (0..arity).collect(),
+            };
+            let indexes = db.table_indexes(&catalog, &info)?;
+            let heap = info.heap();
+            let mut count = 0u64;
+            let mut buf = Vec::new();
+            for input in &input_rows {
+                if input.len() != positions.len() {
+                    return Err(SqlError::Invalid(format!(
+                        "expected {} values, got {}",
+                        positions.len(),
+                        input.len()
+                    )));
+                }
+                let mut row = vec![Value::Null; arity];
+                for (pos, v) in positions.iter().zip(input) {
+                    row[*pos] = info.schema.columns[*pos].ty.coerce(v.clone());
+                }
+                buf.clear();
+                encode_row(&row, &mut buf);
+                let rid = db.with_fsm(info.root, |fsm| heap.insert(txn, &buf, fsm))?;
+                db.index_insert(txn, &indexes, &row, rid)?;
+                count += 1;
+            }
+            Ok(ExecOutcome::Affected(count))
+        })
+    }
+
+    fn delete(&self, table: &str, where_clause: Option<&crate::ast::Expr>) -> Result<ExecOutcome> {
+        let udfs = self.udfs.read().clone();
+        self.with_write_txn(|db, txn| {
+            let catalog = Catalog::load(&*txn)?;
+            let info = catalog.require_table(table)?.clone();
+            let indexes = db.table_indexes(&catalog, &info)?;
+            let heap = info.heap();
+            let filter = db.compile_row_filter(&info, where_clause, &udfs)?;
+            let mut victims: Vec<(RecordId, Row)> = Vec::new();
+            heap.scan(&*txn, |rid, row| {
+                if filter(&row)? {
+                    victims.push((rid, row));
+                }
+                Ok(true)
+            })?;
+            for (rid, row) in &victims {
+                db.with_fsm(info.root, |fsm| heap.delete(txn, *rid, fsm))?;
+                db.index_delete(txn, &indexes, row, *rid)?;
+            }
+            Ok(ExecOutcome::Affected(victims.len() as u64))
+        })
+    }
+
+    fn update(
+        &self,
+        table: &str,
+        sets: &[(String, crate::ast::Expr)],
+        where_clause: Option<&crate::ast::Expr>,
+    ) -> Result<ExecOutcome> {
+        let udfs = self.udfs.read().clone();
+        self.with_write_txn(|db, txn| {
+            let catalog = Catalog::load(&*txn)?;
+            let info = catalog.require_table(table)?.clone();
+            let indexes = db.table_indexes(&catalog, &info)?;
+            let heap = info.heap();
+            let filter = db.compile_row_filter(&info, where_clause, &udfs)?;
+            let mut scope = Scope::empty();
+            scope.push(
+                &info.schema.name,
+                info.schema.columns.iter().map(|c| c.name.clone()).collect(),
+            );
+            let mut compiled_sets = Vec::with_capacity(sets.len());
+            for (col, e) in sets {
+                let pos = info.schema.require_column(col)?;
+                compiled_sets.push((pos, compile(e, &scope, &udfs, None)?));
+            }
+            let mut victims: Vec<(RecordId, Row)> = Vec::new();
+            heap.scan(&*txn, |rid, row| {
+                if filter(&row)? {
+                    victims.push((rid, row));
+                }
+                Ok(true)
+            })?;
+            let mut buf = Vec::new();
+            for (rid, old_row) in &victims {
+                let mut new_row = old_row.clone();
+                for (pos, c) in &compiled_sets {
+                    new_row[*pos] =
+                        info.schema.columns[*pos].ty.coerce(eval(c, old_row, &[])?);
+                }
+                buf.clear();
+                encode_row(&new_row, &mut buf);
+                let new_rid =
+                    db.with_fsm(info.root, |fsm| heap.update(txn, *rid, &buf, fsm))?;
+                db.index_delete(txn, &indexes, old_row, *rid)?;
+                db.index_insert(txn, &indexes, &new_row, new_rid)?;
+            }
+            Ok(ExecOutcome::Affected(victims.len() as u64))
+        })
+    }
+
+    /// Compile a WHERE filter over a single table's rows.
+    fn compile_row_filter(
+        &self,
+        info: &crate::catalog::TableInfo,
+        where_clause: Option<&crate::ast::Expr>,
+        udfs: &UdfRegistry,
+    ) -> Result<RowFilter> {
+        let Some(w) = where_clause else {
+            return Ok(Box::new(|_| Ok(true)));
+        };
+        let mut scope = Scope::empty();
+        scope.push(
+            &info.schema.name,
+            info.schema.columns.iter().map(|c| c.name.clone()).collect(),
+        );
+        let compiled = compile(w, &scope, udfs, None)?;
+        Ok(Box::new(move |row| {
+            Ok(eval(&compiled, row, &[])?.is_truthy())
+        }))
+    }
+
+    /// Resolve a table's indexes into (tree, key column positions).
+    fn table_indexes(
+        &self,
+        catalog: &Catalog,
+        info: &crate::catalog::TableInfo,
+    ) -> Result<Vec<(crate::btree::BTree, Vec<usize>)>> {
+        let mut out = Vec::new();
+        for idx in catalog.indexes_on(&info.schema.name) {
+            let cols: Vec<usize> = idx
+                .schema
+                .columns
+                .iter()
+                .map(|c| info.schema.require_column(c))
+                .collect::<Result<_>>()?;
+            out.push((crate::btree::BTree::new(idx.root), cols));
+        }
+        Ok(out)
+    }
+
+    fn index_insert(
+        &self,
+        txn: &mut WriteTxn,
+        indexes: &[(crate::btree::BTree, Vec<usize>)],
+        row: &Row,
+        rid: RecordId,
+    ) -> Result<()> {
+        for (tree, cols) in indexes {
+            let key_vals: Vec<Value> = cols.iter().map(|&i| row[i].clone()).collect();
+            let mut key = Vec::new();
+            encode_index_key(&key_vals, &mut key);
+            tree.insert(txn, &key, rid)?;
+        }
+        Ok(())
+    }
+
+    fn index_delete(
+        &self,
+        txn: &mut WriteTxn,
+        indexes: &[(crate::btree::BTree, Vec<usize>)],
+        row: &Row,
+        rid: RecordId,
+    ) -> Result<()> {
+        for (tree, cols) in indexes {
+            let key_vals: Vec<Value> = cols.iter().map(|&i| row[i].clone()).collect();
+            let mut key = Vec::new();
+            encode_index_key(&key_vals, &mut key);
+            tree.delete(txn, &key, rid)?;
+        }
+        Ok(())
+    }
+
+    /// Approximate on-disk size of a table in bytes (pages × page size),
+    /// used for the paper's memory-footprint comparisons (§5.3).
+    pub fn table_size_bytes(&self, table: &str) -> Result<u64> {
+        let view = self.store.current_view();
+        let catalog = Catalog::load(&view)?;
+        let info = catalog.require_table(table)?;
+        let pages = info.heap().page_count_chain(&view)?;
+        Ok(pages * self.store.pager().config().page_size as u64)
+    }
+
+    /// Row count of a table (full scan).
+    pub fn table_row_count(&self, table: &str) -> Result<u64> {
+        let view = self.store.current_view();
+        let catalog = Catalog::load(&view)?;
+        let info = catalog.require_table(table)?;
+        let mut n = 0u64;
+        info.heap().scan(&view, |_, _| {
+            n += 1;
+            Ok(true)
+        })?;
+        Ok(n)
+    }
+
+    /// Time a closure and a counter window together (harness helper).
+    pub fn measure<T>(&self, f: impl FnOnce() -> Result<T>) -> Result<(T, ExecStats)> {
+        let before = self.io_stats().snapshot();
+        let start = Instant::now();
+        let v = f()?;
+        let eval = start.elapsed();
+        let io = self.io_stats().snapshot().delta(&before);
+        Ok((
+            v,
+            ExecStats {
+                eval,
+                io,
+                ..Default::default()
+            },
+        ))
+    }
+}
+
+/// Compiled per-row predicate used by DELETE/UPDATE.
+type RowFilter = Box<dyn Fn(&Row) -> Result<bool>>;
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("pages", &self.store.pager().page_count())
+            .field("snapshots", &self.store.snapshot_count())
+            .finish()
+    }
+}

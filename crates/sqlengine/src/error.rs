@@ -1,0 +1,66 @@
+//! SQL engine error type.
+
+use std::fmt;
+
+use rql_pagestore::StoreError;
+
+/// Errors raised by parsing, planning or executing SQL.
+#[derive(Debug)]
+pub enum SqlError {
+    /// Lexer/parser failure with position context.
+    Parse(String),
+    /// Unknown table, column, function, or other name resolution failure.
+    Unknown(String),
+    /// Semantically invalid statement (e.g. aggregate misuse).
+    Invalid(String),
+    /// Constraint violation (duplicate table, record too large, …).
+    Constraint(String),
+    /// Underlying storage failure.
+    Store(StoreError),
+    /// A user-defined function reported an error.
+    Udf(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Unknown(m) => write!(f, "unknown name: {m}"),
+            SqlError::Invalid(m) => write!(f, "invalid statement: {m}"),
+            SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            SqlError::Store(e) => write!(f, "storage error: {e}"),
+            SqlError::Udf(m) => write!(f, "udf error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for SqlError {
+    fn from(e: StoreError) -> Self {
+        SqlError::Store(e)
+    }
+}
+
+/// Result alias for SQL operations.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(SqlError::Parse("x".into()).to_string().contains("parse"));
+        let e: SqlError = StoreError::InvalidOffset(3).into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(SqlError::Unknown("t".into()).to_string().contains("t"));
+    }
+}

@@ -1,0 +1,964 @@
+//! SELECT planning and execution.
+//!
+//! The planner is deliberately SQLite-shaped because the paper explains
+//! RQL costs in terms of SQLite behaviour:
+//!
+//! * single-table equality predicates use a **native index** when one
+//!   exists (Figure 9's "w/ index" case);
+//! * an equi-join with no native index on the inner side builds an
+//!   **ad-hoc hash index** over the inner table — the analog of SQLite's
+//!   "automatic covering index", whose build time is reported separately
+//!   in [`ExecStats::index_creation`] (the dominant bar of Figure 9's
+//!   "w/o index" case);
+//! * everything else is scan → filter → hash aggregate → sort.
+//!
+//! Execution materializes intermediate rows; result rows are delivered to
+//! a per-row callback (the `sqlite3_exec` shape the RQL loop body uses).
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use crate::ast::{BinOp, Expr, SelectItem, SelectStmt};
+use crate::catalog::{Catalog, IndexInfo, TableInfo};
+use crate::cexpr::{compile, eval, AggFunc, AggSpec, CExpr, Scope};
+use crate::error::{Result, SqlError};
+use crate::exec_stats::ExecStats;
+use crate::pagesource::PageSource;
+use crate::record::{encode_index_key, Row};
+use crate::udf::UdfRegistry;
+use crate::value::{GroupKey, Value};
+
+/// A query's output.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Row>,
+    /// Cost breakdown (I/O delta and SPT build filled by the caller).
+    pub stats: ExecStats,
+    /// Human-readable access-path decisions, one line per table, e.g.
+    /// `"orders: seq scan"`, `"lineitem: index nested loop via idx_l"`.
+    /// Tests and tooling assert planner behaviour through this.
+    pub plan: Vec<String>,
+}
+
+impl QueryResult {
+    /// First value of the first row, if any (for single-value queries).
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+/// Run a `SELECT` over `src`. `catalog` must describe the same source
+/// (i.e. be loaded through it, so AS OF sees the snapshot's schema).
+pub fn run_select<S: PageSource>(
+    select: &SelectStmt,
+    src: &S,
+    catalog: &Catalog,
+    udfs: &UdfRegistry,
+) -> Result<QueryResult> {
+    let started = Instant::now();
+    let mut index_creation = Duration::ZERO;
+    let mut plan: Vec<String> = Vec::new();
+
+    // ---- bind tables ---------------------------------------------------
+    // For comma-joins, mimic SQLite's planner: tables whose join column
+    // has a native index go last, so they become the inner (probed) side
+    // of an index nested-loop instead of being scanned first. This is
+    // what makes Figure 9's "w/ index" case skip the ad-hoc index build.
+    let from_order = order_comma_join(select, catalog);
+    let mut bindings: Vec<(String, TableInfo)> = Vec::new();
+    for tref in from_order
+        .iter()
+        .copied()
+        .chain(select.joins.iter().map(|j| &j.table))
+    {
+        let info = catalog.require_table(&tref.name)?.clone();
+        bindings.push((tref.binding().to_ascii_lowercase(), info));
+    }
+    let mut scope = Scope::empty();
+    let mut binding_ranges: Vec<(usize, usize)> = Vec::new(); // [start, end)
+    for (alias, info) in &bindings {
+        let cols: Vec<String> = info.schema.columns.iter().map(|c| c.name.clone()).collect();
+        let start = scope.push(alias, cols);
+        binding_ranges.push((start, scope.width()));
+    }
+
+    // ---- compile conjuncts ----------------------------------------------
+    let mut ast_conjuncts: Vec<&Expr> = Vec::new();
+    if let Some(w) = &select.where_clause {
+        collect_conjuncts(w, &mut ast_conjuncts);
+    }
+    for j in &select.joins {
+        collect_conjuncts(&j.on, &mut ast_conjuncts);
+    }
+    // (compiled conjunct, bindings needed before it can run)
+    let mut conjuncts: Vec<(CExpr, usize)> = Vec::new();
+    for c in ast_conjuncts {
+        let compiled = compile(c, &scope, udfs, None)?;
+        let mut offs = Vec::new();
+        compiled.column_offsets(&mut offs);
+        let need = offs
+            .iter()
+            .map(|&o| scope.binding_index_of_offset(o) + 1)
+            .max()
+            .unwrap_or(0);
+        conjuncts.push((compiled, need));
+    }
+    let mut used = vec![false; conjuncts.len()];
+
+    // ---- build the joined row set ----------------------------------------
+    let mut rows: Vec<Row>;
+    if bindings.is_empty() {
+        rows = vec![Vec::new()]; // SELECT without FROM: one empty row
+    } else {
+        rows = scan_base_table(
+            src,
+            catalog,
+            &bindings[0],
+            binding_ranges[0],
+            &conjuncts,
+            &mut used,
+            &mut plan,
+        )?;
+        for k in 1..bindings.len() {
+            rows = join_next_table(
+                src,
+                catalog,
+                &bindings[k],
+                binding_ranges[k],
+                rows,
+                &conjuncts,
+                &mut used,
+                &mut index_creation,
+                &mut plan,
+            )?;
+        }
+    }
+    // Any conjunct not yet applied (e.g. constant predicates).
+    for (i, (c, _)) in conjuncts.iter().enumerate() {
+        if !used[i] {
+            rows = filter_rows(rows, c)?;
+            used[i] = true;
+        }
+    }
+
+    // ---- projection / aggregation ---------------------------------------
+    // Wildcards expand in the *written* FROM order, regardless of how the
+    // planner reordered execution.
+    let written_bindings: Vec<(String, Vec<String>)> = select
+        .from
+        .iter()
+        .chain(select.joins.iter().map(|j| &j.table))
+        .map(|tref| {
+            let info = catalog.require_table(&tref.name)?;
+            Ok((
+                tref.binding().to_ascii_lowercase(),
+                info.schema.columns.iter().map(|c| c.name.clone()).collect(),
+            ))
+        })
+        .collect::<Result<_>>()?;
+    let items = expand_items(&select.items, &written_bindings, &scope)?;
+    let is_aggregate = !select.group_by.is_empty()
+        || items.iter().any(|(e, _)| e.contains_aggregate())
+        || select
+            .having
+            .as_ref()
+            .is_some_and(Expr::contains_aggregate);
+
+    let (columns, mut out_rows) = if is_aggregate {
+        run_aggregate(select, &items, rows, &scope, udfs)?
+    } else {
+        run_projection(select, &items, rows, &scope, udfs)?
+    };
+
+    if select.distinct {
+        let mut seen: HashSet<GroupKey> = HashSet::with_capacity(out_rows.len());
+        out_rows.retain(|r| seen.insert(GroupKey(r.clone())));
+    }
+
+    // ORDER BY comes with sort keys appended by the projection stages;
+    // both stages handle their own ordering because key computation
+    // differs (aggregate slots vs plain rows). At this point out_rows are
+    // already ordered and trimmed.
+
+    let stats = ExecStats {
+        spt_build: Duration::ZERO,
+        index_creation,
+        eval: started.elapsed().saturating_sub(index_creation),
+        io: Default::default(),
+        rows: out_rows.len() as u64,
+    };
+    Ok(QueryResult {
+        columns,
+        rows: out_rows,
+        stats,
+        plan,
+    })
+}
+
+/// Order the FROM tables of a comma-join: tables with a native index on
+/// an equi-join column move to the back (inner/probed side). Explicit
+/// `JOIN … ON` chains keep the written order.
+fn order_comma_join<'a>(
+    select: &'a SelectStmt,
+    catalog: &Catalog,
+) -> Vec<&'a crate::ast::TableRef> {
+    let refs: Vec<&crate::ast::TableRef> = select.from.iter().collect();
+    if refs.len() < 2 || !select.joins.is_empty() {
+        return refs;
+    }
+    // Column = Column equality conjuncts at the AST level.
+    let mut conjuncts = Vec::new();
+    if let Some(w) = &select.where_clause {
+        collect_conjuncts(w, &mut conjuncts);
+    }
+    let mut join_cols: Vec<(&Option<String>, &String)> = Vec::new();
+    for c in &conjuncts {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } = c
+        {
+            if let (
+                Expr::Column { table: ta, name: na },
+                Expr::Column { table: tb, name: nb },
+            ) = (&**lhs, &**rhs)
+            {
+                join_cols.push((ta, na));
+                join_cols.push((tb, nb));
+            }
+        }
+    }
+    let has_probe_index = |tref: &crate::ast::TableRef| -> bool {
+        let Some(info) = catalog.table(&tref.name) else {
+            return false;
+        };
+        join_cols.iter().any(|(qual, col)| {
+            let qual_ok = qual
+                .as_deref()
+                .is_none_or(|q| q.eq_ignore_ascii_case(tref.binding()));
+            qual_ok
+                && info.schema.column_index(col).is_some()
+                && catalog.index_on_column(&info.schema.name, col).is_some()
+        })
+    };
+    let (mut unindexed, indexed): (Vec<_>, Vec<_>) =
+        refs.into_iter().partition(|t| !has_probe_index(t));
+    if unindexed.is_empty() {
+        // Every table is indexed; keep written order (first one scans).
+        return indexed;
+    }
+    unindexed.extend(indexed);
+    unindexed
+}
+
+/// Split nested ANDs into conjuncts.
+fn collect_conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    if let Expr::Binary {
+        op: BinOp::And,
+        lhs,
+        rhs,
+    } = e
+    {
+        collect_conjuncts(lhs, out);
+        collect_conjuncts(rhs, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Scan the first table, applying its single-table conjuncts and using a
+/// native index for an equality conjunct when possible.
+#[allow(clippy::too_many_arguments)]
+fn scan_base_table<S: PageSource>(
+    src: &S,
+    catalog: &Catalog,
+    binding: &(String, TableInfo),
+    range: (usize, usize),
+    conjuncts: &[(CExpr, usize)],
+    used: &mut [bool],
+    plan: &mut Vec<String>,
+) -> Result<Vec<Row>> {
+    let (_, info) = binding;
+    let heap = info.heap();
+    let applicable: Vec<usize> = conjuncts
+        .iter()
+        .enumerate()
+        .filter(|(i, (c, need))| !used[*i] && *need <= 1 && c.references_columns())
+        .map(|(i, _)| i)
+        .collect();
+
+    // Equality probe through a native index?
+    let mut probe: Option<(&IndexInfo, Value)> = None;
+    for &i in &applicable {
+        if let Some((off, v)) = equality_probe(&conjuncts[i].0) {
+            let col = &info.schema.columns[off - range.0].name;
+            if let Some(idx) = catalog.index_on_column(&info.schema.name, col) {
+                probe = Some((idx, v));
+                break;
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    let keep = |row: &Row| -> Result<bool> {
+        for &i in &applicable {
+            if !eval(&conjuncts[i].0, row, &[])?.is_truthy() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    };
+    match probe {
+        Some((idx, v)) => {
+            plan.push(format!(
+                "{}: index scan via {}",
+                info.schema.name, idx.schema.name
+            ));
+            let mut key = Vec::new();
+            encode_index_key(std::slice::from_ref(&v), &mut key);
+            let tree = crate::btree::BTree::new(idx.root);
+            for rid in tree.scan_prefix(src, &key)? {
+                let row = heap.get_row(src, rid)?;
+                if keep(&row)? {
+                    rows.push(row);
+                }
+            }
+        }
+        None => {
+            plan.push(format!("{}: seq scan", info.schema.name));
+            heap.scan(src, |_, row| {
+                if keep(&row)? {
+                    rows.push(row);
+                }
+                Ok(true)
+            })?;
+        }
+    }
+    for i in applicable {
+        used[i] = true;
+    }
+    Ok(rows)
+}
+
+/// `Col(off) = <constant>` (either orientation) → `(off, value)`.
+fn equality_probe(c: &CExpr) -> Option<(usize, Value)> {
+    let CExpr::Binary(BinOp::Eq, lhs, rhs) = c else {
+        return None;
+    };
+    match (&**lhs, &**rhs) {
+        (CExpr::Col(off), e) | (e, CExpr::Col(off)) if !e.references_columns() => {
+            eval(e, &[], &[]).ok().map(|v| (*off, v))
+        }
+        _ => None,
+    }
+}
+
+/// Join the next table onto the current row set.
+#[allow(clippy::too_many_arguments)]
+fn join_next_table<S: PageSource>(
+    src: &S,
+    catalog: &Catalog,
+    binding: &(String, TableInfo),
+    range: (usize, usize),
+    prefix_rows: Vec<Row>,
+    conjuncts: &[(CExpr, usize)],
+    used: &mut [bool],
+    index_creation: &mut Duration,
+    plan: &mut Vec<String>,
+) -> Result<Vec<Row>> {
+    let (_, info) = binding;
+    let heap = info.heap();
+    let prefix_width = range.0;
+
+    // Conjuncts that are (newly) applicable once this table is bound:
+    // unused, and every referenced offset is within the extended prefix.
+    let new_conjuncts: Vec<usize> = conjuncts
+        .iter()
+        .enumerate()
+        .filter(|(i, (c, _))| {
+            !used[*i] && c.references_columns() && {
+                let mut offs = Vec::new();
+                c.column_offsets(&mut offs);
+                offs.iter().all(|&o| o < range.1)
+            }
+        })
+        .map(|(i, _)| i)
+        .collect();
+
+    // Partition: conjuncts touching only this table vs. linking ones.
+    let mut local: Vec<usize> = Vec::new();
+    let mut linking: Vec<usize> = Vec::new();
+    for &i in &new_conjuncts {
+        let mut offs = Vec::new();
+        conjuncts[i].0.column_offsets(&mut offs);
+        if offs.iter().all(|&o| o >= range.0 && o < range.1) {
+            local.push(i);
+        } else {
+            linking.push(i);
+        }
+    }
+
+    // Find an equi-join among the linking conjuncts:
+    // side A only in this table, side B only in the prefix.
+    let mut equi: Option<(usize, CExpr, CExpr)> = None; // (conjunct, this-side, prefix-side)
+    for &i in &linking {
+        if let CExpr::Binary(BinOp::Eq, lhs, rhs) = &conjuncts[i].0 {
+            let side = |e: &CExpr| -> Option<bool> {
+                // Some(true) = all offsets in this table; Some(false) = all in prefix.
+                let mut offs = Vec::new();
+                e.column_offsets(&mut offs);
+                if offs.is_empty() {
+                    return None;
+                }
+                if offs.iter().all(|&o| o >= range.0 && o < range.1) {
+                    Some(true)
+                } else if offs.iter().all(|&o| o < prefix_width) {
+                    Some(false)
+                } else {
+                    None
+                }
+            };
+            match (side(lhs), side(rhs)) {
+                (Some(true), Some(false)) => {
+                    equi = Some((i, (**lhs).clone(), (**rhs).clone()));
+                    break;
+                }
+                (Some(false), Some(true)) => {
+                    equi = Some((i, (**rhs).clone(), (**lhs).clone()));
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Helper: pad a bare table row out to full-scope offsets.
+    let pad = |row: &Row| -> Row {
+        let mut padded = vec![Value::Null; prefix_width];
+        padded.extend(row.iter().cloned());
+        padded
+    };
+    let local_keep = |padded: &Row| -> Result<bool> {
+        for &i in &local {
+            if !eval(&conjuncts[i].0, padded, &[])?.is_truthy() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    };
+
+    let mut out: Vec<Row> = Vec::new();
+    match equi {
+        Some((ci, this_side, prefix_side)) => {
+            // Native index on this table's join column?
+            let native = match &this_side {
+                CExpr::Col(off) => {
+                    let col = &info.schema.columns[*off - range.0].name;
+                    catalog.index_on_column(&info.schema.name, col)
+                }
+                _ => None,
+            };
+            match native {
+                Some(idx) => {
+                    // Index nested-loop join through the native B-tree.
+                    plan.push(format!(
+                        "{}: index nested loop via {}",
+                        info.schema.name, idx.schema.name
+                    ));
+                    let tree = crate::btree::BTree::new(idx.root);
+                    for prow in &prefix_rows {
+                        let key_val = eval(&prefix_side, prow, &[])?;
+                        if key_val.is_null() {
+                            continue;
+                        }
+                        let mut key = Vec::new();
+                        encode_index_key(std::slice::from_ref(&key_val), &mut key);
+                        for rid in tree.scan_prefix(src, &key)? {
+                            let trow = heap.get_row(src, rid)?;
+                            let padded = pad(&trow);
+                            if !local_keep(&padded)? {
+                                continue;
+                            }
+                            let mut joined = prow.clone();
+                            joined.extend(trow);
+                            // Re-verify (index key space conflates 1/1.0).
+                            if eval(&conjuncts[ci].0, &joined, &[])?.is_truthy() {
+                                out.push(joined);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // Ad-hoc hash index over this table (SQLite's automatic
+                    // covering index). Build time is reported separately.
+                    plan.push(format!(
+                        "{}: hash join (ad-hoc index build)",
+                        info.schema.name
+                    ));
+                    let build_start = Instant::now();
+                    let mut hash: HashMap<GroupKey, Vec<Row>> = HashMap::new();
+                    heap.scan(src, |_, trow| {
+                        let padded = pad(&trow);
+                        if local_keep(&padded)? {
+                            let key_val = eval(&this_side, &padded, &[])?;
+                            if !key_val.is_null() {
+                                hash.entry(GroupKey(vec![key_val])).or_default().push(trow);
+                            }
+                        }
+                        Ok(true)
+                    })?;
+                    *index_creation += build_start.elapsed();
+                    for prow in &prefix_rows {
+                        let key_val = eval(&prefix_side, prow, &[])?;
+                        if key_val.is_null() {
+                            continue;
+                        }
+                        if let Some(matches) = hash.get(&GroupKey(vec![key_val])) {
+                            for trow in matches {
+                                let mut joined = prow.clone();
+                                joined.extend(trow.iter().cloned());
+                                out.push(joined);
+                            }
+                        }
+                    }
+                }
+            }
+            used[ci] = true;
+        }
+        None => {
+            // Cross join with local filters applied to the inner scan.
+            plan.push(format!("{}: nested-loop cross join", info.schema.name));
+            let mut inner: Vec<Row> = Vec::new();
+            heap.scan(src, |_, trow| {
+                let padded = pad(&trow);
+                if local_keep(&padded)? {
+                    inner.push(trow);
+                }
+                Ok(true)
+            })?;
+            for prow in &prefix_rows {
+                for trow in &inner {
+                    let mut joined = prow.clone();
+                    joined.extend(trow.iter().cloned());
+                    out.push(joined);
+                }
+            }
+        }
+    }
+    for i in local {
+        used[i] = true;
+    }
+    // Remaining linking conjuncts become post-join filters.
+    for i in linking {
+        if !used[i] {
+            out = filter_rows(out, &conjuncts[i].0)?;
+            used[i] = true;
+        }
+    }
+    Ok(out)
+}
+
+fn filter_rows(rows: Vec<Row>, c: &CExpr) -> Result<Vec<Row>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if eval(c, &row, &[])?.is_truthy() {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// Expand `*` / `t.*` into concrete expressions with output names.
+///
+/// `*` expands in the *written* FROM order (`written_bindings`), not the
+/// planner's execution order — join reordering must never change the
+/// column order a user sees. Expansion is alias-qualified so duplicate
+/// column names across tables resolve unambiguously.
+fn expand_items(
+    items: &[SelectItem],
+    written_bindings: &[(String, Vec<String>)],
+    scope: &Scope,
+) -> Result<Vec<(Expr, String)>> {
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Wildcard => {
+                for (alias, cols) in written_bindings {
+                    for name in cols {
+                        out.push((
+                            Expr::Column {
+                                table: Some(alias.clone()),
+                                name: name.clone(),
+                            },
+                            name.clone(),
+                        ));
+                    }
+                }
+                if out.is_empty() && scope.width() > 0 {
+                    return Err(SqlError::Invalid("cannot expand *".into()));
+                }
+            }
+            SelectItem::TableWildcard(t) => {
+                let (_, cols) = scope.binding_columns(t)?;
+                for name in cols {
+                    out.push((
+                        Expr::Column {
+                            table: Some(t.clone()),
+                            name: name.clone(),
+                        },
+                        name.clone(),
+                    ));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| derive_name(expr));
+                out.push((expr.clone(), name));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn derive_name(expr: &Expr) -> String {
+    match expr {
+        Expr::Column { name, .. } => name.to_ascii_lowercase(),
+        Expr::Function { name, .. } => name.clone(),
+        // SQLite names a literal projection by its text ("SELECT 1" → "1").
+        Expr::Literal(v) => v.to_string(),
+        _ => "expr".to_owned(),
+    }
+}
+
+fn run_projection(
+    select: &SelectStmt,
+    items: &[(Expr, String)],
+    rows: Vec<Row>,
+    scope: &Scope,
+    udfs: &UdfRegistry,
+) -> Result<(Vec<String>, Vec<Row>)> {
+    let mut compiled = Vec::with_capacity(items.len());
+    for (expr, _) in items {
+        compiled.push(compile(expr, scope, udfs, None)?);
+    }
+    let columns: Vec<String> = items.iter().map(|(_, n)| n.clone()).collect();
+
+    // ORDER BY keys.
+    let order = compile_order(select, &columns, scope, udfs, None)?;
+
+    let mut out: Vec<(Row, Row)> = Vec::with_capacity(rows.len()); // (keys, row)
+    for row in rows {
+        let mut orow = Vec::with_capacity(compiled.len());
+        for c in &compiled {
+            orow.push(eval(c, &row, &[])?);
+        }
+        let keys = eval_order_keys(&order, &row, &orow, &[])?;
+        out.push((keys, orow));
+    }
+    let rows = finish_rows(select, order.as_ref(), out)?;
+    Ok((columns, rows))
+}
+
+enum OrderKeys {
+    /// Keys computed from the input row (compiled expressions) or the
+    /// output row (column index), with per-key descending flags.
+    Keys(Vec<(OrderKey, bool)>),
+}
+
+enum OrderKey {
+    Input(CExpr),
+    Output(usize),
+}
+
+fn compile_order(
+    select: &SelectStmt,
+    columns: &[String],
+    scope: &Scope,
+    udfs: &UdfRegistry,
+    mut aggs: Option<&mut Vec<AggSpec>>,
+) -> Result<Option<OrderKeys>> {
+    if select.order_by.is_empty() {
+        return Ok(None);
+    }
+    let mut keys = Vec::new();
+    for (expr, desc) in &select.order_by {
+        // Positional: ORDER BY 2.
+        if let Expr::Literal(Value::Integer(i)) = expr {
+            let idx = *i as usize;
+            if idx == 0 || idx > columns.len() {
+                return Err(SqlError::Invalid(format!("ORDER BY position {i}")));
+            }
+            keys.push((OrderKey::Output(idx - 1), *desc));
+            continue;
+        }
+        // Alias reference.
+        if let Expr::Column { table: None, name } = expr {
+            if let Some(idx) = columns
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(name))
+            {
+                keys.push((OrderKey::Output(idx), *desc));
+                continue;
+            }
+        }
+        let compiled = compile(expr, scope, udfs, aggs.as_deref_mut())?;
+        keys.push((OrderKey::Input(compiled), *desc));
+    }
+    Ok(Some(OrderKeys::Keys(keys)))
+}
+
+fn eval_order_keys(
+    order: &Option<OrderKeys>,
+    in_row: &[Value],
+    out_row: &[Value],
+    aggs: &[Value],
+) -> Result<Row> {
+    let Some(OrderKeys::Keys(keys)) = order else {
+        return Ok(Vec::new());
+    };
+    let mut v = Vec::with_capacity(keys.len());
+    for (k, _) in keys {
+        v.push(match k {
+            OrderKey::Input(c) => eval(c, in_row, aggs)?,
+            OrderKey::Output(i) => out_row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| SqlError::Invalid("ORDER BY position out of range".into()))?,
+        });
+    }
+    Ok(v)
+}
+
+/// Sort by keys, apply LIMIT, strip keys.
+fn finish_rows(
+    select: &SelectStmt,
+    order: Option<&OrderKeys>,
+    mut keyed: Vec<(Row, Row)>,
+) -> Result<Vec<Row>> {
+    if let Some(OrderKeys::Keys(keys)) = order {
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for (i, (_, desc)) in keys.iter().enumerate() {
+                let ord = ka[i].total_cmp(&kb[i]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    let mut rows: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
+    if let Some(limit_expr) = &select.limit {
+        let v = match limit_expr {
+            Expr::Literal(Value::Integer(i)) => *i,
+            _ => {
+                return Err(SqlError::Invalid("LIMIT must be an integer literal".into()))
+            }
+        };
+        rows.truncate(v.max(0) as usize);
+    }
+    Ok(rows)
+}
+
+// ---- aggregation ---------------------------------------------------------
+
+/// One aggregate's running state.
+enum AggAcc {
+    Count(i64),
+    Sum(Option<Value>),
+    Total(f64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, count: i64 },
+}
+
+impl AggAcc {
+    fn new(func: AggFunc) -> AggAcc {
+        match func {
+            AggFunc::Count => AggAcc::Count(0),
+            AggFunc::Sum => AggAcc::Sum(None),
+            AggFunc::Total => AggAcc::Total(0.0),
+            AggFunc::Min => AggAcc::Min(None),
+            AggFunc::Max => AggAcc::Max(None),
+            AggFunc::Avg => AggAcc::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    /// Update with one input; `None` means COUNT(*) (count every row).
+    fn update(&mut self, v: Option<&Value>) {
+        match self {
+            AggAcc::Count(n) => {
+                if v.is_none_or(|v| !v.is_null()) {
+                    *n += 1;
+                }
+            }
+            AggAcc::Sum(acc) => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        *acc = Some(match acc.take() {
+                            None => v.clone(),
+                            Some(a) => a.add(v),
+                        });
+                    }
+                }
+            }
+            AggAcc::Total(t) => {
+                if let Some(x) = v.and_then(Value::as_f64) {
+                    *t += x;
+                }
+            }
+            AggAcc::Min(best) => {
+                if let Some(v) = v {
+                    if !v.is_null()
+                        && best
+                            .as_ref()
+                            .is_none_or(|b| v.total_cmp(b) == std::cmp::Ordering::Less)
+                    {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+            AggAcc::Max(best) => {
+                if let Some(v) = v {
+                    if !v.is_null()
+                        && best
+                            .as_ref()
+                            .is_none_or(|b| v.total_cmp(b) == std::cmp::Ordering::Greater)
+                    {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+            AggAcc::Avg { sum, count } => {
+                if let Some(x) = v.and_then(Value::as_f64) {
+                    *sum += x;
+                    *count += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            AggAcc::Count(n) => Value::Integer(*n),
+            AggAcc::Sum(acc) => acc.clone().unwrap_or(Value::Null),
+            AggAcc::Total(t) => Value::Real(*t),
+            AggAcc::Min(b) | AggAcc::Max(b) => b.clone().unwrap_or(Value::Null),
+            AggAcc::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Real(sum / *count as f64)
+                }
+            }
+        }
+    }
+}
+
+struct GroupState {
+    accs: Vec<AggAcc>,
+    distinct_seen: Vec<Option<HashSet<GroupKey>>>,
+    representative: Row,
+}
+
+fn run_aggregate(
+    select: &SelectStmt,
+    items: &[(Expr, String)],
+    rows: Vec<Row>,
+    scope: &Scope,
+    udfs: &UdfRegistry,
+) -> Result<(Vec<String>, Vec<Row>)> {
+    let mut aggs: Vec<AggSpec> = Vec::new();
+    let mut compiled_items = Vec::with_capacity(items.len());
+    for (expr, _) in items {
+        compiled_items.push(compile(expr, scope, udfs, Some(&mut aggs))?);
+    }
+    let group_exprs: Vec<CExpr> = select
+        .group_by
+        .iter()
+        .map(|e| compile(e, scope, udfs, None))
+        .collect::<Result<_>>()?;
+    let having = select
+        .having
+        .as_ref()
+        .map(|h| compile(h, scope, udfs, Some(&mut aggs)))
+        .transpose()?;
+    let columns: Vec<String> = items.iter().map(|(_, n)| n.clone()).collect();
+    let order = compile_order(select, &columns, scope, udfs, Some(&mut aggs))?;
+
+    // Accumulate.
+    let mut groups: HashMap<GroupKey, GroupState> = HashMap::new();
+    let mut group_order: Vec<GroupKey> = Vec::new();
+    for row in rows {
+        let mut key_vals = Vec::with_capacity(group_exprs.len());
+        for g in &group_exprs {
+            key_vals.push(eval(g, &row, &[])?);
+        }
+        let key = GroupKey(key_vals);
+        let state = match groups.entry(key.clone()) {
+            Entry::Occupied(o) => o.into_mut(),
+            Entry::Vacant(v) => {
+                group_order.push(key);
+                v.insert(GroupState {
+                    accs: aggs.iter().map(|s| AggAcc::new(s.func)).collect(),
+                    distinct_seen: aggs
+                        .iter()
+                        .map(|s| s.distinct.then(HashSet::new))
+                        .collect(),
+                    representative: row.clone(),
+                })
+            }
+        };
+        for (i, spec) in aggs.iter().enumerate() {
+            let arg_val = match &spec.arg {
+                Some(e) => Some(eval(e, &row, &[])?),
+                None => None,
+            };
+            if let Some(seen) = &mut state.distinct_seen[i] {
+                let Some(v) = &arg_val else { continue };
+                if v.is_null() || !seen.insert(GroupKey(vec![v.clone()])) {
+                    continue;
+                }
+            }
+            state.accs[i].update(arg_val.as_ref());
+        }
+    }
+
+    // Global aggregate over empty input still yields one group.
+    if groups.is_empty() && select.group_by.is_empty() {
+        let key = GroupKey(Vec::new());
+        group_order.push(key.clone());
+        groups.insert(
+            key,
+            GroupState {
+                accs: aggs.iter().map(|s| AggAcc::new(s.func)).collect(),
+                distinct_seen: vec![None; aggs.len()],
+                representative: vec![Value::Null; scope.width()],
+            },
+        );
+    }
+
+    // Emit.
+    let mut keyed: Vec<(Row, Row)> = Vec::with_capacity(groups.len());
+    for key in &group_order {
+        let state = &groups[key];
+        let agg_vals: Vec<Value> = state.accs.iter().map(AggAcc::finish).collect();
+        if let Some(h) = &having {
+            if !eval(h, &state.representative, &agg_vals)?.is_truthy() {
+                continue;
+            }
+        }
+        let mut orow = Vec::with_capacity(compiled_items.len());
+        for c in &compiled_items {
+            orow.push(eval(c, &state.representative, &agg_vals)?);
+        }
+        let keys = eval_order_keys(&order, &state.representative, &orow, &agg_vals)?;
+        keyed.push((keys, orow));
+    }
+    let rows = finish_rows(select, order.as_ref(), keyed)?;
+    Ok((columns, rows))
+}

@@ -1,0 +1,95 @@
+//! Per-query cost breakdown.
+//!
+//! The paper's Figures 8–13 decompose a single RQL iteration into I/O,
+//! SPT build, (ad-hoc) index creation, query evaluation, and RQL UDF
+//! time. The engine fills the first four here; the RQL layer adds its UDF
+//! component on top.
+
+use std::time::Duration;
+
+use rql_pagestore::{IoCostModel, IoStatsSnapshot};
+
+/// Cost breakdown of one query execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Time to build the snapshot page table (zero for current-state
+    /// queries).
+    pub spt_build: Duration,
+    /// Time spent building ad-hoc join indexes (SQLite's "automatic
+    /// covering index"; the dominant cost in Figure 9 without a native
+    /// index).
+    pub index_creation: Duration,
+    /// Remaining query evaluation time (scan, filter, aggregate, sort).
+    pub eval: Duration,
+    /// Page-fetch counters during the query (pagelog reads = disk I/O in
+    /// the paper's setup).
+    pub io: IoStatsSnapshot,
+    /// Rows produced.
+    pub rows: u64,
+}
+
+impl ExecStats {
+    /// Modeled I/O latency under `model`.
+    pub fn io_cost(&self, model: &IoCostModel) -> Duration {
+        model.io_cost(&self.io)
+    }
+
+    /// Modeled total latency: measured CPU components plus modeled I/O.
+    pub fn total_cost(&self, model: &IoCostModel) -> Duration {
+        self.spt_build + self.index_creation + self.eval + self.io_cost(model)
+    }
+
+    /// Merge another breakdown into this one (for multi-statement or
+    /// multi-iteration accumulation).
+    pub fn accumulate(&mut self, other: &ExecStats) {
+        self.spt_build += other.spt_build;
+        self.index_creation += other.index_creation;
+        self.eval += other.eval;
+        self.io.db_reads += other.io.db_reads;
+        self.io.cache_hits += other.io.cache_hits;
+        self.io.pagelog_reads += other.io.pagelog_reads;
+        self.io.cow_captures += other.io.cow_captures;
+        self.io.pages_written += other.io.pages_written;
+        self.io.maplog_entries_scanned += other.io.maplog_entries_scanned;
+        self.io.cache_evictions += other.io.cache_evictions;
+        self.rows += other.rows;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_cost_sums_components() {
+        let stats = ExecStats {
+            spt_build: Duration::from_millis(1),
+            index_creation: Duration::from_millis(2),
+            eval: Duration::from_millis(3),
+            io: IoStatsSnapshot {
+                pagelog_reads: 10,
+                ..Default::default()
+            },
+            rows: 5,
+        };
+        let model = IoCostModel::default(); // 100 µs per pagelog read
+        assert_eq!(stats.io_cost(&model), Duration::from_millis(1));
+        assert_eq!(stats.total_cost(&model), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn accumulate_adds() {
+        let mut a = ExecStats {
+            rows: 1,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            rows: 2,
+            eval: Duration::from_millis(4),
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.rows, 3);
+        assert_eq!(a.eval, Duration::from_millis(4));
+    }
+}

@@ -1,0 +1,306 @@
+//! SQL tokenizer.
+
+use crate::error::{Result, SqlError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (original case preserved; keyword matching is
+    /// case-insensitive in the parser). Double-quoted identifiers arrive
+    /// here too, unquoted.
+    Word(String),
+    /// String literal, already unescaped (`''` → `'`).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Punctuation / operator symbol.
+    Sym(Sym),
+}
+
+/// Operator / punctuation symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=` (also `==`)
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `||`
+    Concat,
+}
+
+/// Tokenize `sql` into a token stream.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment.
+                let close = sql[i + 2..]
+                    .find("*/")
+                    .ok_or_else(|| SqlError::Parse("unterminated comment".into()))?;
+                i += 2 + close + 2;
+            }
+            b'\'' => {
+                let (s, next) = lex_string(sql, i)?;
+                tokens.push(Token::Str(s));
+                i = next;
+            }
+            b'"' => {
+                let close = sql[i + 1..]
+                    .find('"')
+                    .ok_or_else(|| SqlError::Parse("unterminated identifier".into()))?;
+                tokens.push(Token::Word(sql[i + 1..i + 1 + close].to_owned()));
+                i += close + 2;
+            }
+            b'0'..=b'9' => {
+                let (tok, next) = lex_number(sql, i)?;
+                tokens.push(tok);
+                i = next;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Word(sql[start..i].to_owned()));
+            }
+            _ => {
+                let (sym, len) = lex_symbol(bytes, i)?;
+                tokens.push(Token::Sym(sym));
+                i += len;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_string(sql: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = sql.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    loop {
+        match bytes.get(i) {
+            None => return Err(SqlError::Parse("unterminated string literal".into())),
+            Some(b'\'') => {
+                if bytes.get(i + 1) == Some(&b'\'') {
+                    out.push('\'');
+                    i += 2;
+                } else {
+                    return Ok((out, i + 1));
+                }
+            }
+            Some(_) => {
+                // Consume one full UTF-8 character.
+                let ch = sql[i..].chars().next().unwrap();
+                out.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn lex_number(sql: &str, start: usize) -> Result<(Token, usize)> {
+    let bytes = sql.as_bytes();
+    let mut i = start;
+    let mut is_float = false;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &sql[start..i];
+    let tok = if is_float {
+        Token::Float(
+            text.parse()
+                .map_err(|_| SqlError::Parse(format!("bad float literal {text}")))?,
+        )
+    } else {
+        match text.parse::<i64>() {
+            Ok(v) => Token::Int(v),
+            // Integer literals beyond i64 fall back to float, like SQLite.
+            Err(_) => Token::Float(
+                text.parse()
+                    .map_err(|_| SqlError::Parse(format!("bad numeric literal {text}")))?,
+            ),
+        }
+    };
+    Ok((tok, i))
+}
+
+fn lex_symbol(bytes: &[u8], i: usize) -> Result<(Sym, usize)> {
+    let two = |a: u8| bytes.get(i + 1) == Some(&a);
+    let (sym, len) = match bytes[i] {
+        b'(' => (Sym::LParen, 1),
+        b')' => (Sym::RParen, 1),
+        b',' => (Sym::Comma, 1),
+        b';' => (Sym::Semi, 1),
+        b'.' => (Sym::Dot, 1),
+        b'*' => (Sym::Star, 1),
+        b'+' => (Sym::Plus, 1),
+        b'-' => (Sym::Minus, 1),
+        b'/' => (Sym::Slash, 1),
+        b'%' => (Sym::Percent, 1),
+        b'=' if two(b'=') => (Sym::Eq, 2),
+        b'=' => (Sym::Eq, 1),
+        b'!' if two(b'=') => (Sym::Ne, 2),
+        b'<' if two(b'>') => (Sym::Ne, 2),
+        b'<' if two(b'=') => (Sym::Le, 2),
+        b'<' => (Sym::Lt, 1),
+        b'>' if two(b'=') => (Sym::Ge, 2),
+        b'>' => (Sym::Gt, 1),
+        b'|' if two(b'|') => (Sym::Concat, 2),
+        c => {
+            return Err(SqlError::Parse(format!(
+                "unexpected character {:?}",
+                c as char
+            )))
+        }
+    };
+    Ok((sym, len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_numbers_strings() {
+        let toks = tokenize("SELECT o_orderkey, 42, 1.5, 'it''s' FROM t").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Word("o_orderkey".into()),
+                Token::Sym(Sym::Comma),
+                Token::Int(42),
+                Token::Sym(Sym::Comma),
+                Token::Float(1.5),
+                Token::Sym(Sym::Comma),
+                Token::Str("it's".into()),
+                Token::Word("FROM".into()),
+                Token::Word("t".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("a<=b <> c>=d != e || f == g").unwrap();
+        let syms: Vec<Sym> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Sym(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            vec![Sym::Le, Sym::Ne, Sym::Ge, Sym::Ne, Sym::Concat, Sym::Eq]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT /* hi */ 1 -- trailing\n, 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Int(1),
+                Token::Sym(Sym::Comma),
+                Token::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = tokenize("\"Weird Name\"").unwrap();
+        assert_eq!(toks, vec![Token::Word("Weird Name".into())]);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let toks = tokenize("1e3 2.5E-2").unwrap();
+        assert_eq!(toks, vec![Token::Float(1000.0), Token::Float(0.025)]);
+    }
+
+    #[test]
+    fn huge_integer_becomes_float() {
+        let toks = tokenize("99999999999999999999").unwrap();
+        assert!(matches!(toks[0], Token::Float(_)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("/* no close").is_err());
+        assert!(tokenize("a ? b").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = tokenize("'héllo ≤'").unwrap();
+        assert_eq!(toks, vec![Token::Str("héllo ≤".into())]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Read-path abstraction over "where pages come from".
+//!
+//! The same heap-scan and B-tree code runs over three sources: the current
+//! database (a pinned MVCC [`DbView`]), a declared snapshot (a
+//! [`SnapshotReader`] resolving pages through the SPT → cache → Pagelog),
+//! and a write transaction's own view (its write set over the current
+//! state). `SELECT AS OF` is nothing more than executing the ordinary
+//! plan over a [`SnapshotReader`] source.
+
+use rql_pagestore::{DbView, PageId, Result, SharedPage, WriteTxn};
+use rql_retro::SnapshotReader;
+
+/// A source of immutable page reads.
+pub trait PageSource {
+    /// Fetch page `pid`.
+    fn page(&self, pid: PageId) -> Result<SharedPage>;
+
+    /// Number of pages visible to this source.
+    fn page_count(&self) -> u64;
+}
+
+impl PageSource for DbView {
+    fn page(&self, pid: PageId) -> Result<SharedPage> {
+        DbView::page(self, pid)
+    }
+
+    fn page_count(&self) -> u64 {
+        DbView::page_count(self)
+    }
+}
+
+impl PageSource for SnapshotReader {
+    fn page(&self, pid: PageId) -> Result<SharedPage> {
+        SnapshotReader::page(self, pid)
+    }
+
+    fn page_count(&self) -> u64 {
+        SnapshotReader::page_count(self)
+    }
+}
+
+impl PageSource for WriteTxn {
+    fn page(&self, pid: PageId) -> Result<SharedPage> {
+        self.read_page(pid)
+    }
+
+    fn page_count(&self) -> u64 {
+        WriteTxn::page_count(self)
+    }
+}

@@ -1,0 +1,285 @@
+//! Row ↔ byte-record serialization.
+//!
+//! Records are stored in slotted heap pages and B-tree leaves. The format
+//! is a column count followed by tagged values; integers use a varint so
+//! typical TPC-H rows stay compact.
+
+use crate::error::{Result, SqlError};
+use crate::value::Value;
+
+/// A row of values.
+pub type Row = Vec<Value>;
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_REAL: u8 = 2;
+const TAG_TEXT: u8 = 3;
+
+/// Encode a row into `out`.
+pub fn encode_row(row: &[Value], out: &mut Vec<u8>) {
+    write_varint(row.len() as u64, out);
+    for v in row {
+        match v {
+            Value::Null => out.push(TAG_NULL),
+            Value::Integer(i) => {
+                out.push(TAG_INT);
+                write_varint(zigzag(*i), out);
+            }
+            Value::Real(r) => {
+                out.push(TAG_REAL);
+                out.extend_from_slice(&r.to_bits().to_le_bytes());
+            }
+            Value::Text(t) => {
+                out.push(TAG_TEXT);
+                write_varint(t.len() as u64, out);
+                out.extend_from_slice(t.as_bytes());
+            }
+        }
+    }
+}
+
+/// Encoded size of a row without allocating.
+pub fn encoded_len(row: &[Value]) -> usize {
+    let mut n = varint_len(row.len() as u64);
+    for v in row {
+        n += 1;
+        n += match v {
+            Value::Null => 0,
+            Value::Integer(i) => varint_len(zigzag(*i)),
+            Value::Real(_) => 8,
+            Value::Text(t) => varint_len(t.len() as u64) + t.len(),
+        };
+    }
+    n
+}
+
+/// Decode a row from `bytes`.
+pub fn decode_row(bytes: &[u8]) -> Result<Row> {
+    let mut pos = 0usize;
+    let count = read_varint(bytes, &mut pos)? as usize;
+    let mut row = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = *bytes
+            .get(pos)
+            .ok_or_else(|| corrupt("truncated record (tag)"))?;
+        pos += 1;
+        let v = match tag {
+            TAG_NULL => Value::Null,
+            TAG_INT => Value::Integer(unzigzag(read_varint(bytes, &mut pos)?)),
+            TAG_REAL => {
+                let raw = bytes
+                    .get(pos..pos + 8)
+                    .ok_or_else(|| corrupt("truncated record (real)"))?;
+                pos += 8;
+                Value::Real(f64::from_bits(u64::from_le_bytes(raw.try_into().unwrap())))
+            }
+            TAG_TEXT => {
+                let len = read_varint(bytes, &mut pos)? as usize;
+                let raw = bytes
+                    .get(pos..pos + len)
+                    .ok_or_else(|| corrupt("truncated record (text)"))?;
+                pos += len;
+                Value::Text(
+                    std::str::from_utf8(raw)
+                        .map_err(|_| corrupt("record text is not UTF-8"))?
+                        .to_owned(),
+                )
+            }
+            t => return Err(corrupt(&format!("bad value tag {t}"))),
+        };
+        row.push(v);
+    }
+    Ok(row)
+}
+
+fn corrupt(msg: &str) -> SqlError {
+    SqlError::Invalid(format!("corrupt record: {msg}"))
+}
+
+fn zigzag(i: i64) -> u64 {
+    ((i << 1) ^ (i >> 63)) as u64
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+fn write_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn varint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| corrupt("truncated varint"))?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(corrupt("varint too long"));
+        }
+    }
+}
+
+/// Encode values as an order-preserving byte key for B-tree indexes:
+/// comparing encoded keys with `memcmp` matches [`Value::total_cmp`]
+/// lexicographically per column.
+pub fn encode_index_key(values: &[Value], out: &mut Vec<u8>) {
+    for v in values {
+        match v {
+            Value::Null => out.push(0x00),
+            // Integers and reals share one numeric key space (both ordered
+            // as f64) so `1` and `1.0` compare equal, matching
+            // `Value::total_cmp`. Integers beyond 2^53 may collide in the
+            // key space; executors always re-verify predicates on fetched
+            // rows, so collisions cost a re-check, never a wrong answer.
+            Value::Integer(i) => {
+                out.push(0x01);
+                out.extend_from_slice(&f64_key(*i as f64).to_be_bytes());
+            }
+            Value::Real(r) => {
+                out.push(0x01);
+                out.extend_from_slice(&f64_key(*r).to_be_bytes());
+            }
+            Value::Text(t) => {
+                out.push(0x02);
+                // Escape 0x00 so the terminator is unambiguous.
+                for &b in t.as_bytes() {
+                    if b == 0 {
+                        out.extend_from_slice(&[0x00, 0xff]);
+                    } else {
+                        out.push(b);
+                    }
+                }
+                out.extend_from_slice(&[0x00, 0x00]);
+            }
+        }
+    }
+}
+
+/// Order-preserving 64-bit key for a float (`-0.0` normalized to `0.0`).
+fn f64_key(r: f64) -> u64 {
+    let r = if r == 0.0 { 0.0 } else { r };
+    let bits = r.to_bits();
+    if r >= 0.0 {
+        bits ^ (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(row: Row) {
+        let mut buf = Vec::new();
+        encode_row(&row, &mut buf);
+        assert_eq!(buf.len(), encoded_len(&row));
+        assert_eq!(decode_row(&buf).unwrap(), row);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        roundtrip(vec![]);
+        roundtrip(vec![Value::Null]);
+        roundtrip(vec![
+            Value::Integer(0),
+            Value::Integer(-1),
+            Value::Integer(i64::MAX),
+            Value::Integer(i64::MIN),
+        ]);
+        roundtrip(vec![Value::Real(3.25), Value::Real(-0.0), Value::Real(f64::MAX)]);
+        roundtrip(vec![Value::text(""), Value::text("hello world"), Value::Null]);
+        roundtrip(vec![
+            Value::Integer(42),
+            Value::text("UserB"),
+            Value::Real(1.5),
+            Value::Null,
+        ]);
+    }
+
+    #[test]
+    fn truncated_records_error() {
+        let mut buf = Vec::new();
+        encode_row(&[Value::text("hello")], &mut buf);
+        for cut in 0..buf.len() {
+            assert!(decode_row(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for i in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(i)), i);
+        }
+    }
+
+    #[test]
+    fn index_key_order_matches_value_order() {
+        let values = vec![
+            Value::Null,
+            Value::Integer(-10),
+            Value::Integer(0),
+            Value::Real(0.5),
+            Value::Integer(3),
+            Value::Real(1e9),
+            Value::text(""),
+            Value::text("a"),
+            Value::text("ab"),
+            Value::text("b"),
+        ];
+        for a in &values {
+            for b in &values {
+                let (mut ka, mut kb) = (Vec::new(), Vec::new());
+                encode_index_key(std::slice::from_ref(a), &mut ka);
+                encode_index_key(std::slice::from_ref(b), &mut kb);
+                assert_eq!(
+                    ka.cmp(&kb),
+                    a.total_cmp(b),
+                    "key order mismatch for {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_key_prefix_property() {
+        // A multi-column key sorts by first column, then second.
+        let (mut k1, mut k2) = (Vec::new(), Vec::new());
+        encode_index_key(&[Value::text("a"), Value::Integer(5)], &mut k1);
+        encode_index_key(&[Value::text("ab"), Value::Integer(1)], &mut k2);
+        assert!(k1 < k2);
+    }
+
+    #[test]
+    fn index_key_embedded_nul_unambiguous() {
+        let (mut k1, mut k2) = (Vec::new(), Vec::new());
+        encode_index_key(&[Value::text("a\0b")], &mut k1);
+        encode_index_key(&[Value::text("a")], &mut k2);
+        assert!(k2 < k1);
+    }
+}

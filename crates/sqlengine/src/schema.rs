@@ -1,0 +1,246 @@
+//! Table and index schemas.
+
+use crate::error::{Result, SqlError};
+use crate::value::Value;
+
+/// Declared column type (affinity — storage stays dynamically typed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// INTEGER / INT / BIGINT.
+    Integer,
+    /// REAL / DOUBLE / FLOAT / DECIMAL.
+    Real,
+    /// TEXT / VARCHAR / CHAR / DATE (dates are ISO-8601 text, which
+    /// compares correctly lexicographically).
+    Text,
+    /// No declared affinity.
+    Any,
+}
+
+impl ColumnType {
+    /// Parse a type name as written in DDL.
+    pub fn parse(name: &str) -> ColumnType {
+        let upper = name.to_ascii_uppercase();
+        if upper.contains("INT") {
+            ColumnType::Integer
+        } else if upper.contains("REAL")
+            || upper.contains("DOUB")
+            || upper.contains("FLOA")
+            || upper.contains("DECIMAL")
+            || upper.contains("NUMERIC")
+        {
+            ColumnType::Real
+        } else if upper.contains("CHAR") || upper.contains("TEXT") || upper.contains("DATE") {
+            ColumnType::Text
+        } else {
+            ColumnType::Any
+        }
+    }
+
+    /// Apply column affinity to an incoming value (lossless coercions
+    /// only, SQLite-style).
+    pub fn coerce(self, v: Value) -> Value {
+        match (self, v) {
+            (ColumnType::Real, Value::Integer(i)) => Value::Real(i as f64),
+            (ColumnType::Integer, Value::Real(r)) if r.fract() == 0.0 && r.abs() < 9e15 => {
+                Value::Integer(r as i64)
+            }
+            (_, v) => v,
+        }
+    }
+
+    /// Canonical type name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColumnType::Integer => "INTEGER",
+            ColumnType::Real => "REAL",
+            ColumnType::Text => "TEXT",
+            ColumnType::Any => "ANY",
+        }
+    }
+}
+
+/// One column of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (stored lower-case; SQL identifiers are
+    /// case-insensitive).
+    pub name: String,
+    /// Declared affinity.
+    pub ty: ColumnType,
+}
+
+/// A table's schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name (lower-case).
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Create a schema, normalizing names to lower-case.
+    pub fn new(name: &str, columns: Vec<(String, ColumnType)>) -> Self {
+        TableSchema {
+            name: name.to_ascii_lowercase(),
+            columns: columns
+                .into_iter()
+                .map(|(name, ty)| ColumnDef {
+                    name: name.to_ascii_lowercase(),
+                    ty,
+                })
+                .collect(),
+        }
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    /// Index of a column, as a `Result`.
+    pub fn require_column(&self, name: &str) -> Result<usize> {
+        self.column_index(name).ok_or_else(|| {
+            SqlError::Unknown(format!("column {name} in table {}", self.name))
+        })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Serialize for the catalog: `name:TYPE,name:TYPE,...`.
+    pub fn columns_to_text(&self) -> String {
+        self.columns
+            .iter()
+            .map(|c| format!("{}:{}", c.name, c.ty.name()))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parse the catalog serialization.
+    pub fn columns_from_text(name: &str, text: &str) -> Result<TableSchema> {
+        let mut columns = Vec::new();
+        if !text.is_empty() {
+            for part in text.split(',') {
+                let (cname, ty) = part.split_once(':').ok_or_else(|| {
+                    SqlError::Invalid(format!("bad catalog column entry {part}"))
+                })?;
+                columns.push((cname.to_owned(), ColumnType::parse(ty)));
+            }
+        }
+        Ok(TableSchema::new(name, columns))
+    }
+}
+
+/// A secondary-index schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSchema {
+    /// Index name (lower-case).
+    pub name: String,
+    /// Indexed table.
+    pub table: String,
+    /// Indexed column names, in key order.
+    pub columns: Vec<String>,
+}
+
+impl IndexSchema {
+    /// Create an index schema, normalizing names.
+    pub fn new(name: &str, table: &str, columns: Vec<String>) -> Self {
+        IndexSchema {
+            name: name.to_ascii_lowercase(),
+            table: table.to_ascii_lowercase(),
+            columns: columns
+                .into_iter()
+                .map(|c| c.to_ascii_lowercase())
+                .collect(),
+        }
+    }
+
+    /// Serialize the key columns for the catalog.
+    pub fn columns_to_text(&self) -> String {
+        self.columns.join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_parsing() {
+        assert_eq!(ColumnType::parse("INTEGER"), ColumnType::Integer);
+        assert_eq!(ColumnType::parse("int"), ColumnType::Integer);
+        assert_eq!(ColumnType::parse("BIGINT"), ColumnType::Integer);
+        assert_eq!(ColumnType::parse("VARCHAR(15)"), ColumnType::Text);
+        assert_eq!(ColumnType::parse("CHAR(1)"), ColumnType::Text);
+        assert_eq!(ColumnType::parse("DATE"), ColumnType::Text);
+        assert_eq!(ColumnType::parse("DECIMAL(15,2)"), ColumnType::Real);
+        assert_eq!(ColumnType::parse("DOUBLE"), ColumnType::Real);
+        assert_eq!(ColumnType::parse("BLOB"), ColumnType::Any);
+    }
+
+    #[test]
+    fn coercion() {
+        assert_eq!(
+            ColumnType::Real.coerce(Value::Integer(2)),
+            Value::Real(2.0)
+        );
+        assert_eq!(
+            ColumnType::Integer.coerce(Value::Real(2.0)),
+            Value::Integer(2)
+        );
+        assert_eq!(
+            ColumnType::Integer.coerce(Value::Real(2.5)),
+            Value::Real(2.5)
+        );
+        assert_eq!(
+            ColumnType::Text.coerce(Value::Integer(2)),
+            Value::Integer(2)
+        );
+    }
+
+    #[test]
+    fn schema_lookup_case_insensitive() {
+        let s = TableSchema::new(
+            "LoggedIn",
+            vec![
+                ("l_userid".into(), ColumnType::Text),
+                ("L_TIME".into(), ColumnType::Text),
+            ],
+        );
+        assert_eq!(s.name, "loggedin");
+        assert_eq!(s.column_index("L_USERID"), Some(0));
+        assert_eq!(s.column_index("l_time"), Some(1));
+        assert!(s.column_index("nope").is_none());
+        assert!(s.require_column("nope").is_err());
+        assert_eq!(s.arity(), 2);
+    }
+
+    #[test]
+    fn catalog_text_roundtrip() {
+        let s = TableSchema::new(
+            "t",
+            vec![
+                ("a".into(), ColumnType::Integer),
+                ("b".into(), ColumnType::Text),
+                ("c".into(), ColumnType::Real),
+            ],
+        );
+        let text = s.columns_to_text();
+        let back = TableSchema::columns_from_text("t", &text).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn index_schema_normalizes() {
+        let i = IndexSchema::new("IDX", "Orders", vec!["O_CUSTKEY".into()]);
+        assert_eq!(i.name, "idx");
+        assert_eq!(i.table, "orders");
+        assert_eq!(i.columns, vec!["o_custkey"]);
+        assert_eq!(i.columns_to_text(), "o_custkey");
+    }
+}

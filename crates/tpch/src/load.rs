@@ -1,0 +1,127 @@
+//! Bulk loading the TPC-H schema and initial state into a database.
+
+use rql_sqlengine::{Database, Result};
+
+use crate::gen::{Tpch, SCHEMA};
+
+/// Create the eight TPC-H tables.
+pub fn create_schema(db: &Database) -> Result<()> {
+    for (_, ddl) in SCHEMA {
+        db.execute(ddl)?;
+    }
+    Ok(())
+}
+
+/// Load the initial database state for `tpch`'s scale factor.
+///
+/// The paper loads "without additional indices" (§5); pass the index DDL
+/// separately via [`create_native_indexes`] when an experiment wants the
+/// "w/ index" configuration.
+pub fn load_initial(db: &Database, tpch: &Tpch) -> Result<()> {
+    create_schema(db)?;
+    db.with_table_writer("region", |w| {
+        for key in 0..5 {
+            w.insert(tpch.region_row(key))?;
+        }
+        Ok(())
+    })?;
+    db.with_table_writer("nation", |w| {
+        for key in 0..25 {
+            w.insert(tpch.nation_row(key))?;
+        }
+        Ok(())
+    })?;
+    db.with_table_writer("part", |w| {
+        for key in 1..=tpch.part_count() {
+            w.insert(tpch.part_row(key))?;
+        }
+        Ok(())
+    })?;
+    db.with_table_writer("supplier", |w| {
+        for key in 1..=tpch.supplier_count() {
+            w.insert(tpch.supplier_row(key))?;
+        }
+        Ok(())
+    })?;
+    db.with_table_writer("partsupp", |w| {
+        for key in 1..=tpch.part_count() {
+            for row in tpch.partsupp_rows(key) {
+                w.insert(row)?;
+            }
+        }
+        Ok(())
+    })?;
+    db.with_table_writer("customer", |w| {
+        for key in 1..=tpch.customer_count() {
+            w.insert(tpch.customer_row(key))?;
+        }
+        Ok(())
+    })?;
+    db.with_table_writer("orders", |w| {
+        for key in 1..=tpch.orders_count() {
+            w.insert(tpch.order_row(key))?;
+        }
+        Ok(())
+    })?;
+    db.with_table_writer("lineitem", |w| {
+        for key in 1..=tpch.orders_count() {
+            for row in tpch.lineitem_rows(key) {
+                w.insert(row)?;
+            }
+        }
+        Ok(())
+    })?;
+    Ok(())
+}
+
+/// The native indexes used by the "w/ index" experiment configurations
+/// (Figure 9) and by the refresh functions' delete path.
+pub fn create_native_indexes(db: &Database) -> Result<()> {
+    db.execute("CREATE INDEX idx_orders_okey ON orders (o_orderkey)")?;
+    db.execute("CREATE INDEX idx_lineitem_okey ON lineitem (l_orderkey)")?;
+    db.execute("CREATE INDEX idx_lineitem_pkey ON lineitem (l_partkey)")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rql_sqlengine::Value;
+
+    #[test]
+    fn tiny_load_is_consistent() {
+        let db = Database::default_in_memory();
+        let tpch = Tpch::new(0.0005); // 750 orders
+        load_initial(&db, &tpch).unwrap();
+        assert_eq!(
+            db.table_row_count("orders").unwrap(),
+            tpch.orders_count() as u64
+        );
+        assert_eq!(db.table_row_count("region").unwrap(), 5);
+        assert_eq!(db.table_row_count("nation").unwrap(), 25);
+        let lineitems = db.table_row_count("lineitem").unwrap();
+        let orders = tpch.orders_count() as u64;
+        assert!(lineitems >= orders && lineitems <= orders * 7);
+        // Every lineitem joins to an order.
+        let r = db
+            .query(
+                "SELECT COUNT(*) FROM lineitem l JOIN orders o \
+                 ON l.l_orderkey = o.o_orderkey",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Integer(lineitems as i64));
+    }
+
+    #[test]
+    fn indexes_created_and_used() {
+        let db = Database::default_in_memory();
+        let tpch = Tpch::new(0.0005);
+        load_initial(&db, &tpch).unwrap();
+        create_native_indexes(&db).unwrap();
+        let r = db
+            .query("SELECT COUNT(*) FROM lineitem WHERE l_orderkey = 10")
+            .unwrap();
+        let n = r.rows[0][0].as_i64().unwrap();
+        assert!((1..=7).contains(&n));
+    }
+}

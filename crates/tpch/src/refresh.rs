@@ -1,0 +1,170 @@
+//! TPC-H refresh functions RF1 (new sales) and RF2 (old sales removal).
+//!
+//! "We utilize the TPC-H refresh functions which produce a set of order
+//! identifiers for deletion and a set of order records along with
+//! Lineitem records associated with the orders for insertion" (paper
+//! §5). The stream is stateful: RF1 inserts orders with fresh keys past
+//! the loaded range; RF2 deletes the oldest surviving keys.
+
+use rql_sqlengine::{Database, Result, Row, SqlError};
+
+use crate::gen::Tpch;
+
+/// Stateful refresh stream over one database.
+#[derive(Debug)]
+pub struct RefreshStream {
+    tpch: Tpch,
+    /// Next order key RF1 will insert.
+    next_insert: i64,
+    /// Next (oldest surviving) order key RF2 will delete.
+    next_delete: i64,
+}
+
+impl RefreshStream {
+    /// Stream for a freshly loaded database.
+    pub fn new(tpch: Tpch) -> Self {
+        RefreshStream {
+            tpch,
+            next_insert: tpch.orders_count() + 1,
+            next_delete: 1,
+        }
+    }
+
+    /// The generator.
+    pub fn tpch(&self) -> &Tpch {
+        &self.tpch
+    }
+
+    /// Keys the next RF2 of size `n` would delete.
+    pub fn pending_deletes(&self, n: i64) -> std::ops::Range<i64> {
+        self.next_delete..(self.next_delete + n).min(self.next_insert)
+    }
+
+    /// RF1: insert `n` new orders and their lineitems. Returns the rows
+    /// inserted as `(orders, lineitems)` counts.
+    pub fn rf1(&mut self, db: &Database, n: i64) -> Result<(u64, u64)> {
+        let start = self.next_insert;
+        let end = start + n;
+        let mut order_rows: Vec<Row> = Vec::with_capacity(n as usize);
+        let mut line_rows: Vec<Row> = Vec::new();
+        for key in start..end {
+            order_rows.push(self.tpch.order_row(key));
+            line_rows.extend(self.tpch.lineitem_rows(key));
+        }
+        let orders = order_rows.len() as u64;
+        let lines = line_rows.len() as u64;
+        db.with_table_writer("orders", |w| {
+            for row in order_rows {
+                w.insert(row)?;
+            }
+            Ok(())
+        })?;
+        db.with_table_writer("lineitem", |w| {
+            for row in line_rows {
+                w.insert(row)?;
+            }
+            Ok(())
+        })?;
+        self.next_insert = end;
+        Ok((orders, lines))
+    }
+
+    /// RF2: delete the `n` oldest surviving orders and their lineitems.
+    pub fn rf2(&mut self, db: &Database, n: i64) -> Result<(u64, u64)> {
+        let range = self.pending_deletes(n);
+        if range.is_empty() {
+            return Err(SqlError::Invalid(
+                "refresh stream exhausted: nothing left to delete".into(),
+            ));
+        }
+        let (start, end) = (range.start, range.end);
+        let orders = delete_where_key_in(db, "orders", "o_orderkey", start, end)?;
+        let lines = delete_where_key_in(db, "lineitem", "l_orderkey", start, end)?;
+        self.next_delete = end;
+        Ok((orders, lines))
+    }
+
+    /// One refresh pair (RF2 then RF1) of `n` orders — the paper's
+    /// between-snapshots update unit.
+    pub fn refresh_pair(&mut self, db: &Database, n: i64) -> Result<()> {
+        self.rf2(db, n)?;
+        self.rf1(db, n)?;
+        Ok(())
+    }
+
+    /// Orders currently alive according to the stream's bookkeeping.
+    pub fn live_orders(&self) -> i64 {
+        self.next_insert - self.next_delete
+    }
+}
+
+fn delete_where_key_in(
+    db: &Database,
+    table: &str,
+    key_col: &str,
+    start: i64,
+    end: i64,
+) -> Result<u64> {
+    match db.execute(&format!(
+        "DELETE FROM {table} WHERE {key_col} >= {start} AND {key_col} < {end}"
+    ))? {
+        rql_sqlengine::ExecOutcome::Affected(n) => Ok(n),
+        _ => Ok(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::load_initial;
+    use rql_sqlengine::Value;
+
+    #[test]
+    fn refresh_keeps_database_size_stable() {
+        let db = Database::default_in_memory();
+        let tpch = Tpch::new(0.0003);
+        load_initial(&db, &tpch).unwrap();
+        let orders_before = db.table_row_count("orders").unwrap();
+        let mut stream = RefreshStream::new(tpch);
+        for _ in 0..3 {
+            stream.refresh_pair(&db, 20).unwrap();
+        }
+        assert_eq!(db.table_row_count("orders").unwrap(), orders_before);
+        assert_eq!(stream.live_orders(), orders_before as i64);
+        // The oldest keys are gone, fresh ones exist.
+        let r = db
+            .query("SELECT MIN(o_orderkey), MAX(o_orderkey) FROM orders")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Integer(61));
+        assert_eq!(
+            r.rows[0][1],
+            Value::Integer(tpch.orders_count() + 60)
+        );
+    }
+
+    #[test]
+    fn rf2_removes_matching_lineitems() {
+        let db = Database::default_in_memory();
+        let tpch = Tpch::new(0.0003);
+        load_initial(&db, &tpch).unwrap();
+        let mut stream = RefreshStream::new(tpch);
+        let (orders, lines) = stream.rf2(&db, 10).unwrap();
+        assert_eq!(orders, 10);
+        assert!(lines >= 10);
+        let r = db
+            .query("SELECT COUNT(*) FROM lineitem WHERE l_orderkey <= 10")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Integer(0));
+    }
+
+    #[test]
+    fn stream_exhaustion_detected() {
+        let db = Database::default_in_memory();
+        let tpch = Tpch::new(0.0003);
+        load_initial(&db, &tpch).unwrap();
+        let mut stream = RefreshStream::new(tpch);
+        // Delete everything, then one more.
+        stream.rf2(&db, tpch.orders_count()).unwrap();
+        assert!(stream.rf2(&db, 1).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Deterministic TPC-H-style text fragments.
+//!
+//! `dbgen` builds its text columns from fixed vocabularies (type and
+//! container syllables, segments, priorities) plus pseudo-random
+//! sentences for comments. This module reproduces the vocabularies the
+//! experiments depend on — notably the `p_type` grammar that contains
+//! the paper's predicate value `'STANDARD POLISHED TIN'` — and a seeded
+//! comment generator, so every run produces byte-identical data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// First syllable of `p_type`.
+pub const TYPE_SYL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// Second syllable of `p_type`.
+pub const TYPE_SYL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// Third syllable of `p_type`.
+pub const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// `p_container` syllables.
+pub const CONTAINER_SYL1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+/// `p_container` second syllable.
+pub const CONTAINER_SYL2: [&str; 8] =
+    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Customer market segments.
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+
+/// Order priorities.
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Ship instructions.
+pub const INSTRUCTIONS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+/// Ship modes.
+pub const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Nation names (the 25 of TPC-H).
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// Region names.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+const NOUNS: [&str; 12] = [
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites",
+    "pinto beans", "instructions", "dependencies", "excuses", "platelets",
+];
+const VERBS: [&str; 10] = [
+    "sleep", "wake", "haggle", "nag", "cajole", "boost", "detect", "integrate", "solve",
+    "wake quickly against",
+];
+const ADJECTIVES: [&str; 9] = [
+    "furious", "sly", "careful", "blithe", "quick", "bold", "ironic", "final", "regular",
+];
+
+/// Deterministic per-row random source: seed derived from a table tag
+/// and the row's key, so refresh-generated rows are stable regardless of
+/// generation order.
+pub fn row_rng(table_tag: u64, key: i64) -> StdRng {
+    StdRng::seed_from_u64(
+        0x5156_4c5f_7470_6368 ^ table_tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ key as u64,
+    )
+}
+
+/// Pick a deterministic element.
+pub fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+    options[rng.random_range(0..options.len())]
+}
+
+/// A TPC-H-ish pseudo-sentence comment of at most `max_len` bytes.
+pub fn comment(rng: &mut StdRng, max_len: usize) -> String {
+    let mut s = String::new();
+    while s.len() < max_len.saturating_sub(30) {
+        let adj = pick(rng, &ADJECTIVES);
+        let noun = pick(rng, &NOUNS);
+        let verb = pick(rng, &VERBS);
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&format!("{adj} {noun} {verb} the {noun}."));
+    }
+    s.truncate(max_len);
+    s
+}
+
+/// A `p_type` drawn from the three-syllable grammar.
+pub fn part_type(rng: &mut StdRng) -> String {
+    format!(
+        "{} {} {}",
+        pick(rng, &TYPE_SYL1),
+        pick(rng, &TYPE_SYL2),
+        pick(rng, &TYPE_SYL3)
+    )
+}
+
+/// A `p_container`.
+pub fn container(rng: &mut StdRng) -> String {
+    format!(
+        "{} {}",
+        pick(rng, &CONTAINER_SYL1),
+        pick(rng, &CONTAINER_SYL2)
+    )
+}
+
+/// Phone number in TPC-H's `CC-NNN-NNN-NNNN` shape.
+pub fn phone(rng: &mut StdRng, nation: i64) -> String {
+    format!(
+        "{}-{}-{}-{}",
+        nation + 10,
+        rng.random_range(100..1000),
+        rng.random_range(100..1000),
+        rng.random_range(1000..10000)
+    )
+}
+
+/// Date within TPC-H's order-date window, as ISO text.
+///
+/// `frac` in `[0, 1]` positions the date in the window (1992-01-01 …
+/// 1998-08-02), so callers control the distribution.
+pub fn order_date(frac: f64) -> String {
+    // 2406 days in the window.
+    let day = (frac.clamp(0.0, 1.0) * 2405.0) as i64;
+    date_from_day(day)
+}
+
+/// Day offset from 1992-01-01 rendered as `YYYY-MM-DD`.
+pub fn date_from_day(day: i64) -> String {
+    // 1992-01-01 is 8035 days after the Unix epoch.
+    let z = day + 8035 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_key() {
+        let a = part_type(&mut row_rng(1, 42));
+        let b = part_type(&mut row_rng(1, 42));
+        assert_eq!(a, b);
+        let c = part_type(&mut row_rng(1, 43));
+        let d = part_type(&mut row_rng(2, 42));
+        // Different keys/tables give (almost surely) different draws from
+        // a differently-seeded stream; at minimum the rng streams differ.
+        let _ = (c, d);
+    }
+
+    #[test]
+    fn paper_predicate_value_is_in_grammar() {
+        assert!(TYPE_SYL1.contains(&"STANDARD"));
+        assert!(TYPE_SYL2.contains(&"POLISHED"));
+        assert!(TYPE_SYL3.contains(&"TIN"));
+    }
+
+    #[test]
+    fn dates_render_correctly() {
+        assert_eq!(date_from_day(0), "1992-01-01");
+        assert_eq!(date_from_day(31), "1992-02-01");
+        assert_eq!(date_from_day(2405), "1998-08-02");
+        assert_eq!(order_date(0.0), "1992-01-01");
+        assert_eq!(order_date(1.0), "1998-08-02");
+        // ISO dates order lexicographically.
+        assert!(order_date(0.1) < order_date(0.9));
+    }
+
+    #[test]
+    fn comment_respects_max_len() {
+        let mut rng = row_rng(9, 1);
+        for len in [10, 44, 79, 120] {
+            assert!(comment(&mut rng, len).len() <= len);
+        }
+    }
+
+    #[test]
+    fn phone_shape() {
+        let p = phone(&mut row_rng(3, 7), 5);
+        assert_eq!(p.split('-').count(), 4);
+        assert!(p.starts_with("15-"));
+    }
+}

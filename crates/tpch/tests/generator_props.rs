@@ -1,0 +1,62 @@
+//! Property tests on the TPC-H generator: determinism, domain validity,
+//! and workload bookkeeping, for arbitrary scale factors and keys.
+
+use proptest::prelude::*;
+use rql_tpch::{text, Tpch};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rows_are_deterministic_and_well_formed(
+        sf in 0.0002f64..0.01,
+        key in 1i64..100_000,
+    ) {
+        let t = Tpch::new(sf);
+        let key = key % t.orders_count().max(1) + 1;
+        // Determinism.
+        prop_assert_eq!(t.order_row(key), t.order_row(key));
+        prop_assert_eq!(t.part_row(key % t.part_count() + 1),
+                        t.part_row(key % t.part_count() + 1));
+        // Domain validity.
+        let order = t.order_row(key);
+        let custkey = order[1].as_i64().unwrap();
+        prop_assert!(custkey >= 1 && custkey <= t.customer_count());
+        let status = order[2].as_str().unwrap();
+        prop_assert!(["O", "F", "P"].contains(&status));
+        let date = order[4].as_str().unwrap();
+        prop_assert_eq!(date.len(), 10);
+        prop_assert!(date >= "1992-01-01");
+        // Lineitems reference the order and valid parts.
+        for line in t.lineitem_rows(key) {
+            prop_assert_eq!(line[0].as_i64().unwrap(), key);
+            let pk = line[1].as_i64().unwrap();
+            prop_assert!(pk >= 1 && pk <= t.part_count());
+            let qty = line[4].as_i64().unwrap();
+            prop_assert!((1..=50).contains(&qty));
+        }
+    }
+
+    #[test]
+    fn order_dates_monotone_in_key(sf in 0.0005f64..0.005, a in 1i64..5000, b in 1i64..5000) {
+        let t = Tpch::new(sf);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let da = t.order_row(lo)[4].as_str().unwrap().to_owned();
+        let db = t.order_row(hi)[4].as_str().unwrap().to_owned();
+        prop_assert!(da <= db, "{} > {} for keys {} <= {}", da, db, lo, hi);
+    }
+
+    #[test]
+    fn part_types_stay_in_grammar(key in 1i64..10_000) {
+        let t = Tpch::new(0.001);
+        let ty = t.part_row(key % t.part_count() + 1)[4]
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let words: Vec<&str> = ty.splitn(3, ' ').collect();
+        prop_assert_eq!(words.len(), 3);
+        prop_assert!(text::TYPE_SYL1.contains(&words[0]));
+        prop_assert!(text::TYPE_SYL2.contains(&words[1]));
+        prop_assert!(text::TYPE_SYL3.contains(&words[2]));
+    }
+}

@@ -1,0 +1,146 @@
+//! Quickstart: the paper's running example (Figures 1–3 and every worked
+//! query of §2), end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! A `LoggedIn` table evolves through three snapshot declarations, then
+//! all four RQL mechanisms answer the paper's questions over the
+//! snapshot set.
+
+use rql::{AggOp, RqlSession};
+
+fn main() -> rql::Result<()> {
+    let session = RqlSession::with_defaults()?;
+
+    // Deterministic SnapIds timestamps (Figure 2).
+    let stamps = [
+        "2008-11-09 23:59:59",
+        "2008-11-10 23:59:59",
+        "2008-11-11 23:59:59",
+    ];
+    let counter = std::sync::atomic::AtomicUsize::new(0);
+    session.set_clock(move || {
+        let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        stamps[i.min(2)].to_owned()
+    });
+
+    // --- Figure 3: build the history -----------------------------------
+    session.execute(
+        "CREATE TABLE LoggedIn (l_userid TEXT, l_time TEXT, l_country TEXT)",
+    )?;
+    session.execute(
+        "INSERT INTO LoggedIn VALUES \
+         ('UserA', '2008-11-09 13:23:44', 'USA'), \
+         ('UserB', '2008-11-09 15:45:21', 'UK'), \
+         ('UserC', '2008-11-09 15:45:21', 'USA')",
+    )?;
+    // Declare snapshot S1 (lines 1-2).
+    session.execute("BEGIN; COMMIT WITH SNAPSHOT;")?;
+    // Update table and declare snapshot S2 (lines 3-5).
+    session.execute(
+        "BEGIN; \
+         DELETE FROM LoggedIn WHERE l_userid = 'UserA'; \
+         UPDATE LoggedIn SET l_time = '2008-11-09 21:33:12' WHERE l_userid = 'UserC'; \
+         COMMIT WITH SNAPSHOT;",
+    )?;
+    // Update table and declare snapshot S3 (lines 6-8).
+    session.execute(
+        "BEGIN; \
+         INSERT INTO LoggedIn (l_userid, l_time, l_country) \
+         VALUES ('UserD', '2008-11-11 10:08:04', 'UK'); \
+         COMMIT WITH SNAPSHOT;",
+    )?;
+
+    // Retrospective query (line 9): the state as of snapshot 1.
+    println!("SELECT AS OF 1 * FROM LoggedIn:");
+    print_result(&session.query("SELECT AS OF 1 * FROM LoggedIn ORDER BY l_userid")?);
+
+    // Current state (line 10).
+    println!("\nSELECT * FROM LoggedIn (current state):");
+    print_result(&session.query("SELECT * FROM LoggedIn ORDER BY l_userid")?);
+
+    // --- §2.1 CollateData ------------------------------------------------
+    session.collate_data(
+        "SELECT snap_id FROM SnapIds",
+        "SELECT DISTINCT l_userid, current_snapshot() FROM LoggedIn",
+        "collated",
+    )?;
+    println!("\nCollateData — every (user, snapshot) appearance:");
+    print_result(&session.query_aux(
+        "SELECT l_userid, current_snapshot FROM collated ORDER BY 2, 1",
+    )?);
+
+    // --- §2.2 AggregateDataInVariable -------------------------------------
+    session.aggregate_data_in_variable(
+        "SELECT snap_id FROM SnapIds",
+        "SELECT DISTINCT 1 FROM LoggedIn WHERE l_userid = 'UserB'",
+        "userb_count",
+        AggOp::Sum,
+    )?;
+    println!("\nAggregateDataInVariable — snapshots in which UserB is logged in:");
+    print_result(&session.query_aux("SELECT * FROM userb_count")?);
+
+    session.aggregate_data_in_variable(
+        "SELECT snap_id FROM SnapIds",
+        "SELECT DISTINCT current_snapshot() FROM LoggedIn WHERE l_userid = 'UserD'",
+        "userd_first",
+        AggOp::Min,
+    )?;
+    println!("\nAggregateDataInVariable — first snapshot containing UserD:");
+    print_result(&session.query_aux("SELECT * FROM userd_first")?);
+
+    // --- §2.3 AggregateDataInTable ----------------------------------------
+    session.aggregate_data_in_table(
+        "SELECT snap_id FROM SnapIds",
+        "SELECT DISTINCT l_userid, l_time FROM LoggedIn",
+        "first_login",
+        &[("l_time".into(), AggOp::Min)],
+    )?;
+    println!("\nAggregateDataInTable — first login time per user:");
+    print_result(&session.query_aux(
+        "SELECT l_userid, l_time FROM first_login ORDER BY l_userid",
+    )?);
+
+    session.aggregate_data_in_table(
+        "SELECT snap_id FROM SnapIds",
+        "SELECT l_country, COUNT(*) AS c FROM LoggedIn GROUP BY l_country",
+        "max_per_country",
+        &[("c".into(), AggOp::Max)],
+    )?;
+    println!("\nAggregateDataInTable — max simultaneous logins per country:");
+    print_result(&session.query_aux(
+        "SELECT l_country, c FROM max_per_country ORDER BY l_country",
+    )?);
+
+    // --- §2.4 CollateDataIntoIntervals ------------------------------------
+    session.collate_data_into_intervals(
+        "SELECT snap_id FROM SnapIds",
+        "SELECT l_userid FROM LoggedIn",
+        "sessions",
+    )?;
+    println!("\nCollateDataIntoIntervals — login lifetimes:");
+    print_result(&session.query_aux(
+        "SELECT l_userid, start_snapshot, end_snapshot FROM sessions ORDER BY l_userid",
+    )?);
+
+    // --- §3: the SQL UDF syntax -------------------------------------------
+    session.drop_result_table("collated")?;
+    session.query_aux(
+        "SELECT CollateData(snap_id, \
+         'SELECT DISTINCT l_userid, current_snapshot() AS sid FROM LoggedIn', \
+         'collated') FROM SnapIds",
+    )?;
+    println!("\nSame CollateData, driven by the paper's SQL UDF syntax:");
+    print_result(&session.query_aux("SELECT COUNT(*) FROM collated")?);
+    Ok(())
+}
+
+fn print_result(result: &rql::QueryResult) {
+    println!("  {}", result.columns.join(" | "));
+    for row in &result.rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("  {}", cells.join(" | "));
+    }
+}

@@ -1,0 +1,25 @@
+//! # rql-repro
+//!
+//! Umbrella crate for the reproduction of *"RQL: Retrospective
+//! Computations over Snapshot Sets"* (EDBT 2018). It re-exports the
+//! whole stack and hosts the runnable examples (`examples/`) and
+//! cross-crate integration tests (`tests/`).
+//!
+//! Layer map (bottom up):
+//!
+//! * [`pagestore`] — page-based transactional storage (Berkeley DB
+//!   analog): pager, buffer cache, WAL, MVCC read views;
+//! * [`retro`] — the Retro page-level copy-on-write snapshot system:
+//!   Pagelog, Maplog with Skippy skip levels, snapshot page tables;
+//! * [`sqlengine`] — SQLite-like SQL engine with `AS OF` queries,
+//!   B-tree indexes, and the UDF framework;
+//! * [`rql`] — the paper's contribution: the four RQL mechanisms over
+//!   snapshot sets;
+//! * [`tpch`] — deterministic TPC-H workload generator, refresh
+//!   functions and update workloads driving the experiments.
+
+pub use rql;
+pub use rql_pagestore as pagestore;
+pub use rql_retro as retro;
+pub use rql_sqlengine as sqlengine;
+pub use rql_tpch as tpch;

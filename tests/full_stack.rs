@@ -1,0 +1,216 @@
+//! Cross-crate integration tests: TPC-H histories driven through the
+//! whole stack, with RQL mechanism outputs cross-validated against
+//! ground truth recomputed from `AS OF` queries.
+
+use rql::{AggOp, Value};
+use rql_retro::RetroConfig;
+use rql_tpch::{build_history, UW30};
+
+#[test]
+fn collate_data_equals_union_of_as_of_queries() {
+    let h = build_history(RetroConfig::new(), 0.0005, UW30, 6, false).unwrap();
+    let qq = "SELECT o_orderkey FROM orders WHERE o_orderstatus = 'O'";
+    h.session
+        .collate_data("SELECT snap_id FROM SnapIds", qq, "collated")
+        .unwrap();
+    // Ground truth: run the same query AS OF each snapshot directly.
+    let mut expected = 0usize;
+    for sid in &h.snapshots {
+        let r = h
+            .session
+            .query(&format!(
+                "SELECT AS OF {sid} o_orderkey FROM orders WHERE o_orderstatus = 'O'"
+            ))
+            .unwrap();
+        expected += r.rows.len();
+    }
+    assert_eq!(
+        h.session.aux_db().table_row_count("collated").unwrap(),
+        expected as u64
+    );
+}
+
+#[test]
+fn aggregate_in_table_equals_sql_over_collate() {
+    // The paper's equivalence (§5.3): AggregateDataInTable(Qq, (cn,MAX))
+    // produces the same result as CollateData + a final SQL aggregation.
+    let h = build_history(RetroConfig::new(), 0.0005, UW30, 5, false).unwrap();
+    let qq = "SELECT o_custkey, COUNT(*) AS cn FROM orders GROUP BY o_custkey";
+    h.session
+        .collate_data("SELECT snap_id FROM SnapIds", qq, "c")
+        .unwrap();
+    h.session
+        .aggregate_data_in_table(
+            "SELECT snap_id FROM SnapIds",
+            qq,
+            "a",
+            &[("cn".into(), AggOp::Max)],
+        )
+        .unwrap();
+    let via_collate = h
+        .session
+        .query_aux("SELECT o_custkey, MAX(cn) FROM c GROUP BY o_custkey ORDER BY o_custkey")
+        .unwrap();
+    let via_aggtable = h
+        .session
+        .query_aux("SELECT o_custkey, MAX(cn) FROM a GROUP BY o_custkey ORDER BY o_custkey")
+        .unwrap();
+    assert_eq!(via_collate.rows.len(), via_aggtable.rows.len());
+    assert_eq!(via_collate.rows, via_aggtable.rows);
+}
+
+#[test]
+fn intervals_reconstruct_per_snapshot_membership() {
+    let h = build_history(RetroConfig::new(), 0.0004, UW30, 5, false).unwrap();
+    let qq = "SELECT o_orderkey FROM orders WHERE o_orderkey % 7 = 0";
+    h.session
+        .collate_data(
+            "SELECT snap_id FROM SnapIds",
+            "SELECT o_orderkey, current_snapshot() AS sid FROM orders WHERE o_orderkey % 7 = 0",
+            "membership",
+        )
+        .unwrap();
+    h.session
+        .collate_data_into_intervals("SELECT snap_id FROM SnapIds", qq, "lifetimes")
+        .unwrap();
+    // For every snapshot: the set of keys whose lifetime covers it must
+    // equal the keys collated for it.
+    for sid in &h.snapshots {
+        let from_intervals = h
+            .session
+            .query_aux(&format!(
+                "SELECT o_orderkey FROM lifetimes \
+                 WHERE start_snapshot <= {sid} AND end_snapshot >= {sid} \
+                 ORDER BY o_orderkey"
+            ))
+            .unwrap();
+        let from_collate = h
+            .session
+            .query_aux(&format!(
+                "SELECT o_orderkey FROM membership WHERE sid = {sid} ORDER BY o_orderkey"
+            ))
+            .unwrap();
+        assert_eq!(
+            from_intervals.rows, from_collate.rows,
+            "membership mismatch at snapshot {sid}"
+        );
+    }
+}
+
+#[test]
+fn agg_var_equals_fold_over_as_of_values() {
+    let h = build_history(RetroConfig::new(), 0.0004, UW30, 6, false).unwrap();
+    let qq = "SELECT COUNT(*) FROM orders WHERE o_orderstatus = 'O'";
+    type Fold = fn(Vec<i64>) -> i64;
+    let cases: [(AggOp, Fold); 3] = [
+        (AggOp::Min, |v| v.into_iter().min().unwrap()),
+        (AggOp::Max, |v| v.into_iter().max().unwrap()),
+        (AggOp::Sum, |v| v.into_iter().sum()),
+    ];
+    for (op, fold) in cases {
+        let table = format!("agg_{op}");
+        h.session
+            .aggregate_data_in_variable("SELECT snap_id FROM SnapIds", qq, &table, op)
+            .unwrap();
+        let got = h
+            .session
+            .query_aux(&format!("SELECT * FROM {table}"))
+            .unwrap()
+            .rows[0][0]
+            .clone();
+        let values: Vec<i64> = h
+            .snapshots
+            .iter()
+            .map(|sid| {
+                h.session
+                    .query(&format!(
+                        "SELECT AS OF {sid} COUNT(*) FROM orders WHERE o_orderstatus = 'O'"
+                    ))
+                    .unwrap()
+                    .rows[0][0]
+                    .as_i64()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(got, Value::Integer(fold(values)), "{op}");
+    }
+}
+
+#[test]
+fn snapshot_isolation_under_concurrent_readers() {
+    // Snapshot readers in other threads see stable data while the writer
+    // churns (the MVCC promise of paper §4).
+    let h = build_history(RetroConfig::new(), 0.0004, UW30, 3, false).unwrap();
+    let session = h.session.clone();
+    let expected: Vec<i64> = h
+        .snapshots
+        .iter()
+        .map(|sid| {
+            session
+                .query(&format!("SELECT AS OF {sid} MIN(o_orderkey) FROM orders"))
+                .unwrap()
+                .rows[0][0]
+                .as_i64()
+                .unwrap()
+        })
+        .collect();
+    let snapshots = h.snapshots.clone();
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let session = session.clone();
+            let snapshots = snapshots.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    for (sid, want) in snapshots.iter().zip(&expected) {
+                        let got = session
+                            .query(&format!(
+                                "SELECT AS OF {sid} MIN(o_orderkey) FROM orders"
+                            ))
+                            .unwrap()
+                            .rows[0][0]
+                            .as_i64()
+                            .unwrap();
+                        assert_eq!(got, *want, "snapshot {sid} changed under reader");
+                    }
+                }
+            })
+        })
+        .collect();
+    // Writer churns concurrently.
+    let mut h = h;
+    h.advance(5).unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+}
+
+#[test]
+fn udf_form_matches_api_form() {
+    let h = build_history(RetroConfig::new(), 0.0004, UW30, 4, false).unwrap();
+    let qq = "SELECT o_custkey, COUNT(*) AS cn FROM orders GROUP BY o_custkey";
+    h.session
+        .aggregate_data_in_table(
+            "SELECT snap_id FROM SnapIds",
+            qq,
+            "api_result",
+            &[("cn".into(), AggOp::Max)],
+        )
+        .unwrap();
+    h.session
+        .query_aux(&format!(
+            "SELECT AggregateDataInTable(snap_id, '{}', 'udf_result', '(cn,max)') \
+             FROM SnapIds",
+            qq.replace('\'', "''")
+        ))
+        .unwrap();
+    let api = h
+        .session
+        .query_aux("SELECT o_custkey, cn FROM api_result ORDER BY o_custkey, cn")
+        .unwrap();
+    let udf = h
+        .session
+        .query_aux("SELECT o_custkey, cn FROM udf_result ORDER BY o_custkey, cn")
+        .unwrap();
+    assert_eq!(api.rows, udf.rows);
+}
