@@ -32,6 +32,7 @@ fn main() {
         ("Figure 13", experiments::fig13::run),
         ("§5.3 memory", experiments::mem_table::run),
         ("Ablations", experiments::ablations::run),
+        ("Delta iteration", experiments::delta_iteration::run),
     ];
     let mut failures = 0;
     for (name, f) in sections {

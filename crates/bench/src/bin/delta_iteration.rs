@@ -1,0 +1,11 @@
+//! Runs the delta-iteration ablation (Qq-phase speedup vs snapshot
+//! spacing for the delta pipeline).
+fn main() {
+    match rql_bench::experiments::delta_iteration::run() {
+        Ok(md) => println!("{md}"),
+        Err(e) => {
+            eprintln!("delta_iteration failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

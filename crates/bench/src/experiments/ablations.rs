@@ -69,7 +69,11 @@ pub fn run() -> Result<String> {
     {
         // Long, fully sealed history: the Skippy gap grows with history
         // length while the linear scan pays for every raw entry.
-        let long = if fast_mode() { 40 } else { 4 * UW30.overwrite_cycle() };
+        let long = if fast_mode() {
+            40
+        } else {
+            4 * UW30.overwrite_cycle()
+        };
         let entries = |use_skippy: bool| -> Result<(u64, u64)> {
             let mut cfg: RetroConfig = bench_config();
             cfg.use_skippy = use_skippy;

@@ -45,10 +45,7 @@ pub fn interval_len() -> u64 {
     }
 }
 
-fn measure_result_table(
-    h: &SnapshotHistory,
-    table: &str,
-) -> Result<(u64, u64)> {
+fn measure_result_table(h: &SnapshotHistory, table: &str) -> Result<(u64, u64)> {
     let bytes = h.session.aux_db().table_size_bytes(table)?;
     let rows = h.session.aux_db().table_row_count(table)?;
     Ok((bytes, rows))

@@ -13,8 +13,8 @@ use rql_sqlengine::Result;
 use rql_tpch::{build_history, UW30};
 
 use crate::harness::{
-    bench_config, bench_sf, breakdown_header, breakdown_row, cold_stats, cost_model,
-    fast_mode, hot_mean_stats, run_from_cold,
+    bench_config, bench_sf, breakdown_header, breakdown_row, cold_stats, cost_model, fast_mode,
+    hot_mean_stats, run_from_cold,
 };
 use crate::queries::{date_at_fraction, qq_collate};
 
@@ -75,7 +75,11 @@ pub fn run() -> Result<String> {
             .map(|(r, ms)| format!("{r} rows → {ms:.2} ms"))
             .collect::<Vec<_>>()
             .join(", "),
-        if monotone { "as in the paper" } else { "UNEXPECTED" }
+        if monotone {
+            "as in the paper"
+        } else {
+            "UNEXPECTED"
+        }
     ));
     Ok(out)
 }

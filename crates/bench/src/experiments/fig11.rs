@@ -56,9 +56,17 @@ pub fn run() -> Result<String> {
          when the 1M-record Qq dominates; at this scale the per-record probe is a \
          larger share): {}.\n- Result-table footprint reduction: {shrink:.1}× against \
          an interval-length bound of {}× (paper: > 10×, 1 GB → < 100 MB): {}.\n\n",
-        if overhead > 0.0 { "AggregateDataInTable is the slower one, as in the paper" } else { "UNEXPECTED: not slower" },
+        if overhead > 0.0 {
+            "AggregateDataInTable is the slower one, as in the paper"
+        } else {
+            "UNEXPECTED: not slower"
+        },
         interval_len(),
-        if shrink > expected_shrink { "reduction reproduced" } else { "UNEXPECTED" }
+        if shrink > expected_shrink {
+            "reduction reproduced"
+        } else {
+            "UNEXPECTED"
+        }
     ));
     Ok(out)
 }

@@ -27,10 +27,20 @@ pub fn run() -> Result<String> {
     out.push('\n');
     for (name, run) in [("CollateData", &collate), ("AggregateDataInTable", &aggtab)] {
         let (cold, cold_udf) = cold_stats(&run.report);
-        out.push_str(&breakdown_row(&format!("{name} cold"), &cold, cold_udf, &model));
+        out.push_str(&breakdown_row(
+            &format!("{name} cold"),
+            &cold,
+            cold_udf,
+            &model,
+        ));
         out.push('\n');
         let (hot, hot_udf) = hot_mean_stats(&run.report);
-        out.push_str(&breakdown_row(&format!("{name} hot"), &hot, hot_udf, &model));
+        out.push_str(&breakdown_row(
+            &format!("{name} hot"),
+            &hot,
+            hot_udf,
+            &model,
+        ));
         out.push('\n');
     }
     out.push('\n');

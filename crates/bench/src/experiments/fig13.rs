@@ -17,16 +17,8 @@ use crate::harness::{breakdown_header, breakdown_row, cold_stats, cost_model, ho
 pub fn run() -> Result<String> {
     let h = history()?;
     let model = cost_model();
-    let max_run = run_agg_table(
-        &h,
-        &[("cn".to_owned(), AggOp::Max)],
-        "Max aggregation",
-    )?;
-    let sum_run = run_agg_table(
-        &h,
-        &[("cn".to_owned(), AggOp::Sum)],
-        "Sum aggregation",
-    )?;
+    let max_run = run_agg_table(&h, &[("cn".to_owned(), AggOp::Max)], "Max aggregation")?;
+    let sum_run = run_agg_table(&h, &[("cn".to_owned(), AggOp::Sum)], "Sum aggregation")?;
     let mut out = String::new();
     out.push_str("## Figure 13 — AggregateDataInTable, MAX vs SUM, UW30\n\n");
     out.push_str(&breakdown_header());

@@ -13,8 +13,8 @@ use rql_sqlengine::Result;
 use rql_tpch::{build_history, SnapshotHistory, UpdateWorkload, UW15, UW30};
 
 use crate::harness::{
-    all_cold_run, bench_config, bench_sf, cost_model, fast_mode, ratio_c, ratio_c_io,
-    resolve_qs, run_from_cold,
+    all_cold_run, bench_config, bench_sf, cost_model, fast_mode, ratio_c, ratio_c_io, resolve_qs,
+    run_from_cold,
 };
 use crate::queries::QQ_IO;
 
@@ -73,7 +73,9 @@ pub fn run() -> Result<String> {
     let skip10_lengths: Vec<u64> = lengths.iter().map(|&n| n.min(40)).collect();
     let mut out = String::new();
     out.push_str("## Figure 6 — Ratio C with old snapshots (sharing between snapshots)\n\n");
-    out.push_str("C = modeled RQL latency / modeled all-cold latency; C_io = pagelog-read ratio.\n\n");
+    out.push_str(
+        "C = modeled RQL latency / modeled all-cold latency; C_io = pagelog-read ratio.\n\n",
+    );
     let mut series = vec![
         run_series(UW30, 1, &lengths)?,
         run_series(UW15, 1, &lengths)?,
@@ -103,7 +105,11 @@ pub fn run() -> Result<String> {
             first.0,
             last.1,
             last.0,
-            if last.1 < first.1 { "as in the paper" } else { "UNEXPECTED" }
+            if last.1 < first.1 {
+                "as in the paper"
+            } else {
+                "UNEXPECTED"
+            }
         ));
     }
     out.push('\n');

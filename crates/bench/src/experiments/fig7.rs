@@ -14,8 +14,8 @@ use rql_sqlengine::Result;
 use rql_tpch::{build_history, UpdateWorkload, UW15, UW30};
 
 use crate::harness::{
-    all_cold_run, bench_config, bench_sf, cost_model, fast_mode, ratio_c, ratio_c_io,
-    resolve_qs, run_from_cold,
+    all_cold_run, bench_config, bench_sf, cost_model, fast_mode, ratio_c, ratio_c_io, resolve_qs,
+    run_from_cold,
 };
 use crate::queries::QQ_IO;
 
@@ -63,12 +63,8 @@ fn run_series(workload: UpdateWorkload) -> Result<(String, Vec<SeriesPoint>)> {
 /// Run the experiment, returning a markdown section.
 pub fn run() -> Result<String> {
     let mut out = String::new();
-    out.push_str(
-        "## Figure 7 — Ratio C with recent snapshots (sharing with current state)\n\n",
-    );
-    out.push_str(
-        "Interval of 20 consecutive snapshots starting at `Slast-x`; x shrinking.\n\n",
-    );
+    out.push_str("## Figure 7 — Ratio C with recent snapshots (sharing with current state)\n\n");
+    out.push_str("Interval of 20 consecutive snapshots starting at `Slast-x`; x shrinking.\n\n");
     for workload in [UW30, UW15] {
         let (label, points) = run_series(workload)?;
         out.push_str(&format!("### {label}\n\n"));

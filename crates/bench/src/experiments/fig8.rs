@@ -13,8 +13,8 @@ use rql_sqlengine::Result;
 use rql_tpch::{build_history, UW30};
 
 use crate::harness::{
-    bench_config, bench_sf, breakdown_header, breakdown_row, cold_stats, cost_model,
-    fast_mode, hot_mean_stats, run_from_cold,
+    bench_config, bench_sf, breakdown_header, breakdown_row, cold_stats, cost_model, fast_mode,
+    hot_mean_stats, run_from_cold,
 };
 use crate::queries::QQ_IO;
 
@@ -60,8 +60,16 @@ pub fn run() -> Result<String> {
     };
 
     run_interval("old snapshot", 1, interval)?;
-    run_interval(&format!("Slast-{cycle}"), slast - cycle + 1, interval.min(cycle))?;
-    run_interval(&format!("Slast-{}", cycle / 2), slast - cycle / 2 + 1, interval.min(cycle / 2))?;
+    run_interval(
+        &format!("Slast-{cycle}"),
+        slast - cycle + 1,
+        interval.min(cycle),
+    )?;
+    run_interval(
+        &format!("Slast-{}", cycle / 2),
+        slast - cycle / 2 + 1,
+        interval.min(cycle / 2),
+    )?;
     run_interval("Slast", slast, 1)?;
 
     // Current state: same query without AS OF.

@@ -13,8 +13,8 @@ use rql_sqlengine::Result;
 use rql_tpch::{build_history, UW30};
 
 use crate::harness::{
-    bench_config, bench_sf, breakdown_header, breakdown_row, cold_stats, cost_model,
-    fast_mode, hot_mean_stats, run_from_cold,
+    bench_config, bench_sf, breakdown_header, breakdown_row, cold_stats, cost_model, fast_mode,
+    hot_mean_stats, run_from_cold,
 };
 use crate::queries::QQ_CPU;
 
@@ -32,8 +32,7 @@ struct Case {
 
 fn run_case(with_index: bool) -> Result<Case> {
     let interval = if fast_mode() { 5 } else { 50 };
-    let mut history =
-        build_history(bench_config(), bench_sf(), UW30, interval, with_index)?;
+    let mut history = build_history(bench_config(), bench_sf(), UW30, interval, with_index)?;
     history.age_all_snapshots()?;
     let model = cost_model();
     let qs = history.qs(1, interval, 1);

@@ -70,7 +70,9 @@ pub fn run() -> Result<String> {
         rows.push(run_workload(w, interval)?);
     }
     let mut out = String::new();
-    out.push_str("## §5.3 memory table — CollateData vs CollateDataIntoIntervals (Qq_int, Qs_50)\n\n");
+    out.push_str(
+        "## §5.3 memory table — CollateData vs CollateDataIntoIntervals (Qq_int, Qs_50)\n\n",
+    );
     out.push_str(
         "| workload | collate rows | collate size | interval rows | interval size | \
          interval index | reduction |\n|---|---|---|---|---|---|---|\n",
@@ -90,7 +92,9 @@ pub fn run() -> Result<String> {
     out.push('\n');
     // Shape checks: interval table much smaller; grows with churn but
     // sub-linearly (doubling the churn does not double the table).
-    let monotone = rows.windows(2).all(|w| w[1].interval_rows >= w[0].interval_rows);
+    let monotone = rows
+        .windows(2)
+        .all(|w| w[1].interval_rows >= w[0].interval_rows);
     let sublinear = rows
         .windows(2)
         .all(|w| (w[1].interval_rows as f64) < 2.0 * w[0].interval_rows as f64);
@@ -99,9 +103,8 @@ pub fn run() -> Result<String> {
          table is far smaller than CollateData's — {}.\n\n",
         if monotone { "monotone" } else { "NOT monotone" },
         if sublinear { "yes" } else { "NO" },
-        if rows
-            .iter()
-            .all(|r| (r.interval_bytes as f64) < r.collate_bytes as f64 / (interval as f64 / 8.0).max(1.5))
+        if rows.iter().all(|r| (r.interval_bytes as f64)
+            < r.collate_bytes as f64 / (interval as f64 / 8.0).max(1.5))
         {
             "as in the paper"
         } else {

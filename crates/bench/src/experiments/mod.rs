@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod agg_vs_collate;
+pub mod delta_iteration;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -33,12 +33,18 @@ pub fn run() -> String {
          (optional step) |\n",
     );
     out.push_str(&format!("| Query Qq | Qq_io | `{QQ_IO}` |\n"));
-    out.push_str(&format!("| Query Qq | Qq_cpu | `{}` |\n", QQ_CPU.replace('\n', " ")));
+    out.push_str(&format!(
+        "| Query Qq | Qq_cpu | `{}` |\n",
+        QQ_CPU.replace('\n', " ")
+    ));
     out.push_str(
         "| Query Qq | Qq_collate | `SELECT o_orderkey FROM orders WHERE o_orderdate < \
          '[DATE]'` |\n",
     );
-    out.push_str(&format!("| Query Qq | Qq_agg | `{}` |\n", QQ_AGG.replace('\n', " ")));
+    out.push_str(&format!(
+        "| Query Qq | Qq_agg | `{}` |\n",
+        QQ_AGG.replace('\n', " ")
+    ));
     out.push_str(&format!("| Query Qq | Qq_int | `{QQ_INT}` |\n"));
     out.push_str(
         "| RQL UDF | CollateData / AggregateDataInVariable / AggregateDataInTable / \

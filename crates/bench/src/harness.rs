@@ -121,12 +121,7 @@ pub fn ratio_c_io(rql: &RqlReport, all_cold: &RqlReport) -> f64 {
 
 /// One row of a cost-breakdown table (Figures 8–13): I/O (modeled), SPT
 /// build, index creation, query evaluation, RQL UDF.
-pub fn breakdown_row(
-    label: &str,
-    stats: &ExecStats,
-    udf: Duration,
-    model: &IoCostModel,
-) -> String {
+pub fn breakdown_row(label: &str, stats: &ExecStats, udf: Duration, model: &IoCostModel) -> String {
     format!(
         "| {label} | {:>10.3} | {:>9.3} | {:>10.3} | {:>10.3} | {:>8.3} | {:>8} |",
         stats.io_cost(model).as_secs_f64() * 1e3,
@@ -172,6 +167,8 @@ pub fn hot_mean_stats(report: &RqlReport) -> (ExecStats, Duration) {
             cache_evictions: acc.io.cache_evictions / n as u64,
         },
         rows: acc.rows / n as u64,
+        pages_skipped: acc.pages_skipped / n as u64,
+        delta_eligible: acc.delta_eligible / n as u64,
     };
     (stats, udf / n)
 }

@@ -111,8 +111,7 @@ impl AggOp {
             AggOp::Min => {
                 if incoming.is_null() {
                     stored.clone()
-                } else if stored.is_null()
-                    || incoming.total_cmp(stored) == std::cmp::Ordering::Less
+                } else if stored.is_null() || incoming.total_cmp(stored) == std::cmp::Ordering::Less
                 {
                     incoming.clone()
                 } else {
@@ -214,12 +213,10 @@ pub fn parse_col_func_pairs(text: &str) -> Result<Vec<(String, AggOp)>, SqlError
         let inner = part
             .strip_prefix('(')
             .and_then(|p| p.strip_suffix(')'))
-            .ok_or_else(|| {
-                SqlError::Invalid(format!("bad column/function pair {part:?}"))
-            })?;
-        let (a, b) = inner.split_once(',').ok_or_else(|| {
-            SqlError::Invalid(format!("bad column/function pair {part:?}"))
-        })?;
+            .ok_or_else(|| SqlError::Invalid(format!("bad column/function pair {part:?}")))?;
+        let (a, b) = inner
+            .split_once(',')
+            .ok_or_else(|| SqlError::Invalid(format!("bad column/function pair {part:?}")))?;
         let (a, b) = (a.trim(), b.trim());
         // Accept both (column, func) and (func, column).
         let (col, op) = match AggOp::parse(b) {

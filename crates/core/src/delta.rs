@@ -1,0 +1,871 @@
+//! Delta-driven snapshot iteration — the perf extension to the paper's
+//! mechanisms (§3) for closely-spaced snapshot sets.
+//!
+//! The sequential mechanisms re-execute Qq from scratch per snapshot, so
+//! an iteration's cost is proportional to the *table* size even when the
+//! snapshots differ by a handful of rows. The delta drivers here open the
+//! whole snapshot set as a chain
+//! ([`rql_retro::RetroStore::open_snapshot_chain`]), build each SPT
+//! incrementally from its predecessor, and evaluate Qq through the
+//! engine's delta-aware scan ([`rql_sqlengine::DeltaSelectRunner`]),
+//! which re-reads only the heap pages in the changed set between
+//! consecutive snapshots.
+//!
+//! Two evaluation modes, both byte-identical to the sequential result:
+//!
+//! * **pipeline** — re-run Qq's post-scan stages (the same
+//!   `finish_select` code the ordinary plan uses) over the cached
+//!   filtered base rows. Saves the page I/O, pays O(rows) CPU.
+//!   `CollateData` always uses this mode.
+//! * **incremental** — for `AggregateDataInVariable` whose Qq is a bare
+//!   inner aggregate (`SELECT SUM(x) FROM t [WHERE …]`), maintain the
+//!   inner aggregate across iterations and fold only the added/removed
+//!   rows: O(delta) CPU. Exactness guards (below) degrade permanently to
+//!   pipeline mode whenever bit-identical output cannot be proven.
+//!
+//! Exactness guards for the incremental inner aggregate:
+//!
+//! * `COUNT` — always exact (integer add/subtract).
+//! * `SUM` — only while every non-NULL input is an `Integer` and the sum
+//!   of absolute values stays ≤ `i64::MAX`: then no scan-order prefix of
+//!   the sequential fold can overflow `i64`, so the sequential result is
+//!   `Integer(total)` in every order.
+//! * `AVG` — only all-`Integer` with the absolute sum ≤ 2⁵³: every
+//!   scan-order partial sum of the sequential `f64` accumulation is then
+//!   an exactly-representable integer, so the accumulated `f64` equals
+//!   the true integer sum bit-for-bit.
+//! * `MIN`/`MAX` — kept incrementally under strict comparisons; any
+//!   removal that could displace the current best, or an added value that
+//!   *ties* it (the sequential fold keeps the first-in-scan-order
+//!   representative, which the running value cannot know), triggers a
+//!   re-fold over the current rows — still no page I/O.
+//!
+//! A schema change invalidates the compiled aggregate argument, but this
+//! dialect has no `ALTER TABLE`: a schema can only change via
+//! `DROP`+`CREATE`, which allocates a fresh root page, which the scanner
+//! detects (root moved → rebuild) and the driver answers by re-seeding
+//! from the rebuilt row set.
+//!
+//! Shapes the delta scan cannot reproduce byte-for-byte (joins, indexed
+//! probes, UDFs in WHERE, `current_snapshot()` in WHERE) fall back to
+//! the ordinary plan per [`DeltaPolicy`]: `Auto` silently, `Forced` with
+//! an error. `AggregateDataInTable` and `CollateDataIntoIntervals` run
+//! sequentially under `Auto` (extending deltas to the in-table fold is a
+//! ROADMAP open item).
+
+use std::cmp::Ordering;
+use std::time::Instant;
+
+use rql_sqlengine::ast::{Expr, SelectItem, Stmt};
+use rql_sqlengine::cexpr::{compile, eval, CExpr, Scope};
+use rql_sqlengine::{
+    parse_select, Catalog, Database, DeltaScan, DeltaSelectRunner, QueryResult, Result, Row,
+    SelectStmt, SqlError, UdfRegistry, Value,
+};
+
+use crate::aggregate::AggOp;
+use crate::mechanism;
+use crate::report::{IterationReport, RqlReport};
+use crate::rewrite::{rewrite_select, uses_current_snapshot};
+
+/// When to take the delta-aware iteration path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeltaPolicy {
+    /// Never: delegate to the sequential mechanism unconditionally.
+    Off,
+    /// Delta when the Qq shape allows it, sequential fallback otherwise
+    /// (per computation *and* per iteration).
+    #[default]
+    Auto,
+    /// Delta or error — for tests and benchmarks that must not silently
+    /// measure the ordinary path.
+    Forced,
+}
+
+/// Parse Qq and reject `AS OF` (same contract as the sequential loop).
+fn parse_qq(qq: &str) -> Result<SelectStmt> {
+    let parsed = parse_select(qq)?;
+    if parsed.as_of.is_some() {
+        return Err(SqlError::Invalid(
+            "Qq must not contain AS OF; RQL binds the snapshot per iteration".into(),
+        ));
+    }
+    Ok(parsed)
+}
+
+/// Static (per-computation) eligibility: a single-table scan shape whose
+/// WHERE clause is iteration-invariant. `current_snapshot()` elsewhere
+/// (projection, GROUP BY, …) is fine — those stages re-run per iteration
+/// over the cached base rows with the substituted literal.
+fn shape_eligible(parsed: &SelectStmt) -> bool {
+    DeltaSelectRunner::eligible_shape(parsed)
+        && !parsed
+            .where_clause
+            .as_ref()
+            .is_some_and(uses_current_snapshot)
+}
+
+fn forced_shape_error() -> SqlError {
+    SqlError::Invalid(
+        "DeltaPolicy::Forced requires a delta-eligible Qq: a single FROM table, \
+         no joins, and no current_snapshot() in WHERE"
+            .into(),
+    )
+}
+
+fn forced_runtime_error(sid: u64) -> SqlError {
+    SqlError::Invalid(format!(
+        "DeltaPolicy::Forced, but snapshot {sid} requires the ordinary plan \
+         (indexed equality probe or UDF in WHERE)"
+    ))
+}
+
+fn table_exists_error(table: &str) -> SqlError {
+    SqlError::Constraint(format!("result table {table} already exists"))
+}
+
+// ======================================================================
+// CollateData
+// ======================================================================
+
+/// Delta-driven `CollateData(Qs, Qq, T)`: identical folding to
+/// [`mechanism::collate_data`], but Qq runs through the delta-aware scan
+/// when `policy` and the Qq shape allow it.
+pub fn collate_data_delta(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    policy: DeltaPolicy,
+) -> Result<RqlReport> {
+    if policy == DeltaPolicy::Off {
+        return mechanism::collate_data(snap, aux, qs, qq, table);
+    }
+    if aux.table_row_count(table).is_ok() {
+        return Err(SqlError::Constraint(format!(
+            "result table {table} already exists (CollateData creates it)"
+        )));
+    }
+    let parsed = parse_qq(qq)?;
+    if !shape_eligible(&parsed) {
+        return match policy {
+            DeltaPolicy::Forced => Err(forced_shape_error()),
+            _ => mechanism::collate_data(snap, aux, qs, qq, table),
+        };
+    }
+    let (ids, qs_time) = mechanism::snapshot_set(aux, qs)?;
+    let readers = snap.store().open_snapshot_chain(&ids)?;
+    let mut runner = DeltaSelectRunner::new();
+    let mut report = RqlReport {
+        qs_time,
+        ..Default::default()
+    };
+    let mut exists = false;
+    for (&sid, reader) in ids.iter().zip(readers.iter()) {
+        let rewritten = rewrite_select(&parsed, sid);
+        let result = match snap.delta_query(reader, &rewritten, &mut runner)? {
+            Some(r) => r,
+            None => {
+                if policy == DeltaPolicy::Forced {
+                    return Err(forced_runtime_error(sid));
+                }
+                let outcome = snap.execute_stmt(&Stmt::Select(rewritten))?;
+                outcome.rows().expect("SELECT yields rows")
+            }
+        };
+        let udf_started = Instant::now();
+        if !exists {
+            mechanism::create_result_table_pub(aux, table, &result.columns)?;
+            exists = true;
+        }
+        let (inserts, updates) = aux.with_table_writer(table, |w| {
+            for row in &result.rows {
+                w.insert(row.clone())?;
+            }
+            Ok((w.inserted(), w.updated()))
+        })?;
+        report.iterations.push(IterationReport {
+            snap_id: sid,
+            qq_stats: result.stats,
+            udf_time: udf_started.elapsed(),
+            qq_rows: result.rows.len() as u64,
+            result_inserts: inserts,
+            result_updates: updates,
+        });
+    }
+    Ok(report)
+}
+
+// ======================================================================
+// AggregateDataInVariable — incremental inner aggregate
+// ======================================================================
+
+/// The recognized incremental shape: `SELECT <agg>(<arg>|*) FROM t
+/// [WHERE …]` with no DISTINCT/GROUP BY/HAVING/ORDER BY/LIMIT and an
+/// iteration-invariant argument.
+struct InnerSpec {
+    op: AggOp,
+    /// `None` = `COUNT(*)`.
+    arg: Option<Expr>,
+}
+
+fn inner_agg_shape(select: &SelectStmt) -> Option<InnerSpec> {
+    if select.distinct
+        || !select.group_by.is_empty()
+        || select.having.is_some()
+        || !select.order_by.is_empty()
+        || select.limit.is_some()
+        || select.items.len() != 1
+    {
+        return None;
+    }
+    let SelectItem::Expr {
+        expr: Expr::Function {
+            name,
+            args,
+            distinct,
+        },
+        ..
+    } = &select.items[0]
+    else {
+        return None;
+    };
+    if *distinct {
+        return None;
+    }
+    let op = AggOp::parse(name).ok()?;
+    match args.as_slice() {
+        [Expr::Star] => (op == AggOp::Count).then_some(InnerSpec { op, arg: None }),
+        [e] => {
+            if e.contains_aggregate() || uses_current_snapshot(e) {
+                return None;
+            }
+            Some(InnerSpec {
+                op,
+                arg: Some(e.clone()),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Upper bound on |sum| such that every scan-order partial sum of an
+/// all-integer input is exactly representable in `f64`.
+const MAX_EXACT_F64: i128 = 1 << 53;
+
+/// Running inner-aggregate value with its exactness bookkeeping.
+enum InnerAcc {
+    Count { n: i64 },
+    SumInt { sum: i128, abs: i128, nonnull: i64 },
+    AvgInt { sum: i128, abs: i128, count: i64 },
+    MinMax { max: bool, best: Option<Value> },
+}
+
+impl InnerAcc {
+    fn new(op: AggOp) -> InnerAcc {
+        match op {
+            AggOp::Count => InnerAcc::Count { n: 0 },
+            AggOp::Sum => InnerAcc::SumInt {
+                sum: 0,
+                abs: 0,
+                nonnull: 0,
+            },
+            AggOp::Avg => InnerAcc::AvgInt {
+                sum: 0,
+                abs: 0,
+                count: 0,
+            },
+            AggOp::Min => InnerAcc::MinMax {
+                max: false,
+                best: None,
+            },
+            AggOp::Max => InnerAcc::MinMax {
+                max: true,
+                best: None,
+            },
+        }
+    }
+
+    /// Fold one value in scan order (strict first-wins for MIN/MAX —
+    /// exactly [`AggAcc::update`]'s rule). Returns `false` when the value
+    /// is not incrementally representable (degrade to pipeline mode).
+    ///
+    /// [`AggAcc::update`]: rql_sqlengine::exec
+    fn fold(&mut self, v: Option<Value>) -> bool {
+        match self {
+            InnerAcc::Count { n } => {
+                if v.as_ref().is_none_or(|v| !v.is_null()) {
+                    *n += 1;
+                }
+                true
+            }
+            InnerAcc::SumInt { sum, abs, nonnull } => match v {
+                Some(Value::Null) => true,
+                Some(Value::Integer(i)) => {
+                    *sum += i128::from(i);
+                    *abs += i128::from(i).abs();
+                    *nonnull += 1;
+                    true
+                }
+                _ => false,
+            },
+            InnerAcc::AvgInt { sum, abs, count } => match v {
+                Some(Value::Null) => true,
+                Some(Value::Integer(i)) => {
+                    *sum += i128::from(i);
+                    *abs += i128::from(i).abs();
+                    *count += 1;
+                    true
+                }
+                _ => false,
+            },
+            InnerAcc::MinMax { max, best } => {
+                let Some(v) = v else { return false };
+                if !v.is_null() {
+                    let better = best.as_ref().is_none_or(|b| {
+                        let ord = v.total_cmp(b);
+                        ord != Ordering::Equal && (ord == Ordering::Greater) == *max
+                    });
+                    if better {
+                        *best = Some(v);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Subtract one removed value. MIN/MAX removals are handled by the
+    /// caller's re-fold, never here.
+    fn unfold(&mut self, v: Option<Value>) -> bool {
+        match self {
+            InnerAcc::Count { n } => {
+                if v.as_ref().is_none_or(|v| !v.is_null()) {
+                    *n -= 1;
+                }
+                true
+            }
+            InnerAcc::SumInt { sum, abs, nonnull } => match v {
+                Some(Value::Null) => true,
+                Some(Value::Integer(i)) => {
+                    *sum -= i128::from(i);
+                    *abs -= i128::from(i).abs();
+                    *nonnull -= 1;
+                    true
+                }
+                _ => false,
+            },
+            InnerAcc::AvgInt { sum, abs, count } => match v {
+                Some(Value::Null) => true,
+                Some(Value::Integer(i)) => {
+                    *sum -= i128::from(i);
+                    *abs -= i128::from(i).abs();
+                    *count -= 1;
+                    true
+                }
+                _ => false,
+            },
+            InnerAcc::MinMax { .. } => false,
+        }
+    }
+
+    /// Whether the exactness guard still holds after the latest folds.
+    fn guard_ok(&self) -> bool {
+        match self {
+            InnerAcc::SumInt { abs, .. } => *abs <= i128::from(i64::MAX),
+            InnerAcc::AvgInt { abs, .. } => *abs <= MAX_EXACT_F64,
+            _ => true,
+        }
+    }
+
+    /// The aggregate value, matching the engine's `AggAcc::finish`.
+    fn finish(&self) -> Value {
+        match self {
+            InnerAcc::Count { n } => Value::Integer(*n),
+            InnerAcc::SumInt { sum, nonnull, .. } => {
+                if *nonnull == 0 {
+                    Value::Null
+                } else {
+                    Value::Integer(*sum as i64)
+                }
+            }
+            InnerAcc::AvgInt { sum, count, .. } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Real(*sum as f64 / *count as f64)
+                }
+            }
+            InnerAcc::MinMax { best, .. } => best.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn arg_value(arg: &Option<CExpr>, row: &Row) -> Result<Option<Value>> {
+    match arg {
+        None => Ok(None),
+        Some(c) => eval(c, row, &[]).map(Some),
+    }
+}
+
+/// Outcome of folding one iteration's delta into the running aggregate.
+enum Applied {
+    /// The iteration's Qq value, bit-identical to a fresh evaluation.
+    Value(Value),
+    /// Exactness lost — the caller must recompute via the pipeline and
+    /// stay there.
+    Degrade,
+}
+
+/// Incremental inner-aggregate state: the compiled argument plus the
+/// running accumulator.
+struct InnerAgg {
+    /// `None` = `COUNT(*)`.
+    arg: Option<CExpr>,
+    acc: InnerAcc,
+}
+
+impl InnerAgg {
+    /// Compile the argument against the snapshot's catalog and fold the
+    /// full row set (a rebuilt scan). `Ok(None)` = shape or values not
+    /// incrementally representable; use pipeline mode.
+    fn seed(
+        spec: &InnerSpec,
+        select: &SelectStmt,
+        catalog: &Catalog,
+        rows: &[Row],
+    ) -> Result<Option<InnerAgg>> {
+        let arg = match &spec.arg {
+            None => None,
+            Some(e) => {
+                let Ok(info) = catalog.require_table(&select.from[0].name) else {
+                    return Ok(None);
+                };
+                let alias = select.from[0].binding().to_ascii_lowercase();
+                let mut scope = Scope::empty();
+                scope.push(
+                    &alias,
+                    info.schema.columns.iter().map(|c| c.name.clone()).collect(),
+                );
+                // An empty registry rejects UDF calls at compile time —
+                // a UDF argument is never folded incrementally.
+                match compile(e, &scope, &UdfRegistry::new(), None) {
+                    Ok(c) => Some(c),
+                    Err(_) => return Ok(None),
+                }
+            }
+        };
+        let mut agg = InnerAgg {
+            arg,
+            acc: InnerAcc::new(spec.op),
+        };
+        for row in rows {
+            let v = arg_value(&agg.arg, row)?;
+            if !agg.acc.fold(v) {
+                return Ok(None);
+            }
+        }
+        if !agg.acc.guard_ok() {
+            return Ok(None);
+        }
+        Ok(Some(agg))
+    }
+
+    /// Fold one non-rebuilt scan's delta and return the iteration value.
+    fn apply(&mut self, scan: &DeltaScan) -> Result<Applied> {
+        let arg = &self.arg;
+        if let InnerAcc::MinMax { max, best } = &mut self.acc {
+            let max = *max;
+            let mut refold = false;
+            for row in &scan.removed {
+                let Some(v) = arg_value(arg, row)? else {
+                    refold = true;
+                    break;
+                };
+                if v.is_null() {
+                    continue;
+                }
+                // Safe only when the removed value is strictly worse than
+                // the running best; anything else could displace it or
+                // tie its representative.
+                let strictly_worse = best.as_ref().is_some_and(|b| {
+                    let ord = v.total_cmp(b);
+                    if max {
+                        ord == Ordering::Less
+                    } else {
+                        ord == Ordering::Greater
+                    }
+                });
+                if !strictly_worse {
+                    refold = true;
+                    break;
+                }
+            }
+            if !refold {
+                for row in &scan.added {
+                    let Some(v) = arg_value(arg, row)? else {
+                        refold = true;
+                        break;
+                    };
+                    if v.is_null() {
+                        continue;
+                    }
+                    match best.as_ref() {
+                        None => *best = Some(v),
+                        Some(b) => match v.total_cmp(b) {
+                            // A tie-in-value may precede the running best
+                            // in scan order with a different
+                            // representation; the sequential fold keeps
+                            // the first, so re-derive it.
+                            Ordering::Equal => {
+                                refold = true;
+                                break;
+                            }
+                            ord => {
+                                if (ord == Ordering::Greater) == max {
+                                    *best = Some(v);
+                                }
+                            }
+                        },
+                    }
+                }
+            }
+            if refold {
+                *best = None;
+                for row in &scan.rows {
+                    let Some(v) = arg_value(arg, row)? else {
+                        return Ok(Applied::Degrade);
+                    };
+                    if v.is_null() {
+                        continue;
+                    }
+                    let better = best.as_ref().is_none_or(|b| {
+                        let ord = v.total_cmp(b);
+                        ord != Ordering::Equal && (ord == Ordering::Greater) == max
+                    });
+                    if better {
+                        *best = Some(v);
+                    }
+                }
+            }
+            return Ok(Applied::Value(self.acc.finish()));
+        }
+        for row in &scan.added {
+            let v = arg_value(arg, row)?;
+            if !self.acc.fold(v) {
+                return Ok(Applied::Degrade);
+            }
+        }
+        for row in &scan.removed {
+            let v = arg_value(arg, row)?;
+            if !self.acc.unfold(v) {
+                return Ok(Applied::Degrade);
+            }
+        }
+        if !self.acc.guard_ok() {
+            return Ok(Applied::Degrade);
+        }
+        Ok(Applied::Value(self.acc.finish()))
+    }
+}
+
+/// Extract the single value of an AggregateDataInVariable Qq result —
+/// mirrors the sequential mechanism's contract.
+fn single_value(result: &QueryResult) -> Result<Option<Value>> {
+    if result.columns.len() != 1 {
+        return Err(SqlError::Invalid(format!(
+            "AggregateDataInVariable expects Qq to return one column, got {}",
+            result.columns.len()
+        )));
+    }
+    match result.rows.len() {
+        0 => Ok(None),
+        1 => Ok(Some(result.rows[0][0].clone())),
+        n => Err(SqlError::Invalid(format!(
+            "AggregateDataInVariable expects Qq to return at most one row, got {n}"
+        ))),
+    }
+}
+
+/// Delta-driven `AggregateDataInVariable(Qs, Qq, T, AggFunc)`.
+///
+/// When Qq is a bare inner aggregate the per-iteration work after the
+/// first snapshot is O(changed rows); otherwise the pipeline mode still
+/// saves the page reads of unchanged heap pages.
+pub fn aggregate_data_in_variable_delta(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    func: AggOp,
+    policy: DeltaPolicy,
+) -> Result<RqlReport> {
+    if policy == DeltaPolicy::Off {
+        return mechanism::aggregate_data_in_variable(snap, aux, qs, qq, table, func);
+    }
+    if aux.table_row_count(table).is_ok() {
+        return Err(table_exists_error(table));
+    }
+    let parsed = parse_qq(qq)?;
+    if !shape_eligible(&parsed) {
+        return match policy {
+            DeltaPolicy::Forced => Err(forced_shape_error()),
+            _ => mechanism::aggregate_data_in_variable(snap, aux, qs, qq, table, func),
+        };
+    }
+    let (ids, qs_time) = mechanism::snapshot_set(aux, qs)?;
+    let readers = snap.store().open_snapshot_chain(&ids)?;
+    let mut runner = DeltaSelectRunner::new();
+    let inner_spec = inner_agg_shape(&parsed);
+    let mut inner: Option<InnerAgg> = None;
+    let mut degraded = inner_spec.is_none();
+    let mut state = func.init();
+    let mut column: Option<String> = None;
+    let mut report = RqlReport {
+        qs_time,
+        ..Default::default()
+    };
+    for (&sid, reader) in ids.iter().zip(readers.iter()) {
+        let rewritten = rewrite_select(&parsed, sid);
+        let (value, qq_stats, qq_rows) = match snap.delta_scan(reader, &rewritten, &mut runner)? {
+            None => {
+                if policy == DeltaPolicy::Forced {
+                    return Err(forced_runtime_error(sid));
+                }
+                // Ordinary plan; the runner has self-invalidated, so the
+                // next successful scan rebuilds and re-seeds.
+                inner = None;
+                let outcome = snap.execute_stmt(&Stmt::Select(rewritten))?;
+                let result = outcome.rows().expect("SELECT yields rows");
+                if column.is_none() {
+                    column = Some(result.columns.first().cloned().unwrap_or_default());
+                }
+                let v = single_value(&result)?;
+                (v, result.stats, result.rows.len() as u64)
+            }
+            Some((scan, mut stats)) => {
+                let incremental = !degraded && !scan.rebuilt && inner.is_some();
+                let mut applied = None;
+                if incremental {
+                    match inner.as_mut().expect("checked").apply(&scan)? {
+                        Applied::Value(v) => applied = Some(v),
+                        Applied::Degrade => {
+                            degraded = true;
+                            inner = None;
+                        }
+                    }
+                }
+                match applied {
+                    Some(v) => {
+                        stats.rows = 1;
+                        (Some(v), stats, 1)
+                    }
+                    None => {
+                        // Pipeline: same post-scan stages as the ordinary
+                        // plan over the cached base rows.
+                        let result = snap.delta_finish(reader, &rewritten, scan.rows.clone())?;
+                        stats.eval += result.stats.eval;
+                        stats.io.accumulate(&result.stats.io);
+                        stats.rows = result.stats.rows;
+                        if column.is_none() {
+                            column = Some(result.columns.first().cloned().unwrap_or_default());
+                        }
+                        if !degraded {
+                            let catalog = Catalog::load(reader)?;
+                            match InnerAgg::seed(
+                                inner_spec.as_ref().expect("degraded is false"),
+                                &parsed,
+                                &catalog,
+                                &scan.rows,
+                            )? {
+                                Some(agg) => inner = Some(agg),
+                                None => {
+                                    degraded = true;
+                                    inner = None;
+                                }
+                            }
+                        }
+                        let v = single_value(&result)?;
+                        (v, stats, result.rows.len() as u64)
+                    }
+                }
+            }
+        };
+        let udf_started = Instant::now();
+        if let Some(v) = &value {
+            func.absorb(&mut state, v);
+        }
+        report.iterations.push(IterationReport {
+            snap_id: sid,
+            qq_stats,
+            udf_time: udf_started.elapsed(),
+            qq_rows,
+            result_inserts: 0,
+            result_updates: 0,
+        });
+    }
+    let finalize_started = Instant::now();
+    let column = column.unwrap_or_else(|| "value".to_owned());
+    mechanism::create_result_table_pub(aux, table, &[column])?;
+    aux.with_table_writer(table, |w| {
+        w.insert(vec![func.finish(&state)])?;
+        Ok(())
+    })?;
+    report.finalize_time = finalize_started.elapsed();
+    Ok(report)
+}
+
+// ======================================================================
+// Pass-throughs
+// ======================================================================
+
+/// `AggregateDataInTable` has no delta path yet (the in-table fold needs
+/// retraction support — a ROADMAP open item); `Auto`/`Off` run the
+/// sequential mechanism, `Forced` errors.
+pub fn aggregate_data_in_table_delta(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    pairs: &[(String, AggOp)],
+    policy: DeltaPolicy,
+) -> Result<RqlReport> {
+    if policy == DeltaPolicy::Forced {
+        return Err(SqlError::Invalid(
+            "DeltaPolicy::Forced is not supported for AggregateDataInTable \
+             (no delta path yet; see ROADMAP open items)"
+                .into(),
+        ));
+    }
+    mechanism::aggregate_data_in_table(snap, aux, qs, qq, table, pairs)
+}
+
+/// `CollateDataIntoIntervals` has no delta path yet (lifetime extension
+/// probes the result table per record); `Auto`/`Off` run the sequential
+/// mechanism, `Forced` errors.
+pub fn collate_data_into_intervals_delta(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    policy: DeltaPolicy,
+) -> Result<RqlReport> {
+    if policy == DeltaPolicy::Forced {
+        return Err(SqlError::Invalid(
+            "DeltaPolicy::Forced is not supported for CollateDataIntoIntervals \
+             (no delta path yet; see ROADMAP open items)"
+                .into(),
+        ));
+    }
+    mechanism::collate_data_into_intervals(snap, aux, qs, qq, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(sql: &str) -> SelectStmt {
+        parse_select(sql).unwrap()
+    }
+
+    #[test]
+    fn inner_shape_detection() {
+        assert!(inner_agg_shape(&parsed("SELECT SUM(v) FROM t")).is_some());
+        assert!(inner_agg_shape(&parsed("SELECT COUNT(*) FROM t WHERE v > 3")).is_some());
+        assert!(inner_agg_shape(&parsed("SELECT MIN(v + 1) FROM t")).is_some());
+        // Wrapped, multi-item, grouped, distinct, or snapshot-dependent
+        // shapes fold via the pipeline instead.
+        assert!(inner_agg_shape(&parsed("SELECT SUM(v) + 1 FROM t")).is_none());
+        assert!(inner_agg_shape(&parsed("SELECT SUM(v), COUNT(*) FROM t")).is_none());
+        assert!(inner_agg_shape(&parsed("SELECT SUM(v) FROM t GROUP BY g")).is_none());
+        assert!(inner_agg_shape(&parsed("SELECT COUNT(DISTINCT v) FROM t")).is_none());
+        assert!(inner_agg_shape(&parsed("SELECT SUM(v) FROM t LIMIT 1")).is_none());
+        assert!(inner_agg_shape(&parsed("SELECT SUM(current_snapshot()) FROM t")).is_none());
+        assert!(inner_agg_shape(&parsed("SELECT v FROM t")).is_none());
+    }
+
+    #[test]
+    fn shape_eligibility_rules() {
+        assert!(shape_eligible(&parsed("SELECT v FROM t")));
+        assert!(shape_eligible(&parsed(
+            "SELECT current_snapshot(), v FROM t WHERE v > 0"
+        )));
+        assert!(!shape_eligible(&parsed("SELECT a FROM t, u")));
+        assert!(!shape_eligible(&parsed(
+            "SELECT v FROM t WHERE v = current_snapshot()"
+        )));
+    }
+
+    #[test]
+    fn sum_folds_and_degrades() {
+        let mut acc = InnerAcc::new(AggOp::Sum);
+        assert!(acc.fold(Some(Value::Integer(5))));
+        assert!(acc.fold(Some(Value::Null)));
+        assert!(acc.fold(Some(Value::Integer(-2))));
+        assert_eq!(acc.finish(), Value::Integer(3));
+        assert!(acc.unfold(Some(Value::Integer(5))));
+        assert_eq!(acc.finish(), Value::Integer(-2));
+        // A Real input is order-dependent under f64 addition → degrade.
+        assert!(!acc.fold(Some(Value::Real(1.5))));
+        // Empty sum is NULL, like the engine's aggregate.
+        let mut empty = InnerAcc::new(AggOp::Sum);
+        assert!(empty.fold(Some(Value::Null)));
+        assert_eq!(empty.finish(), Value::Null);
+    }
+
+    #[test]
+    fn sum_guard_trips_on_abs_overflow() {
+        let mut acc = InnerAcc::new(AggOp::Sum);
+        assert!(acc.fold(Some(Value::Integer(i64::MAX))));
+        assert!(acc.guard_ok());
+        // Net sum stays small, but |·|-mass exceeds i64::MAX: a sequential
+        // scan-order prefix could overflow, so exactness is gone.
+        assert!(acc.fold(Some(Value::Integer(i64::MIN))));
+        assert!(!acc.guard_ok());
+    }
+
+    #[test]
+    fn avg_guard_is_tighter() {
+        let mut acc = InnerAcc::new(AggOp::Avg);
+        assert!(acc.fold(Some(Value::Integer(1 << 52))));
+        assert!(acc.fold(Some(Value::Integer(1 << 52))));
+        // |sum| = 2^53 exactly: still representable, still exact.
+        assert!(acc.guard_ok());
+        assert!(acc.fold(Some(Value::Integer(1))));
+        assert!(!acc.guard_ok());
+        // The SUM guard would tolerate the same mass.
+        let mut sum = InnerAcc::new(AggOp::Sum);
+        assert!(sum.fold(Some(Value::Integer(1 << 53))));
+        assert!(sum.guard_ok());
+    }
+
+    #[test]
+    fn count_star_vs_count_arg() {
+        let mut star = InnerAcc::new(AggOp::Count);
+        assert!(star.fold(None));
+        assert!(star.fold(None));
+        assert_eq!(star.finish(), Value::Integer(2));
+        let mut arg = InnerAcc::new(AggOp::Count);
+        assert!(arg.fold(Some(Value::Null)));
+        assert!(arg.fold(Some(Value::text("x"))));
+        assert_eq!(arg.finish(), Value::Integer(1));
+        assert!(arg.unfold(Some(Value::text("x"))));
+        assert_eq!(arg.finish(), Value::Integer(0));
+    }
+
+    #[test]
+    fn minmax_strict_first_wins() {
+        let mut acc = InnerAcc::new(AggOp::Min);
+        assert!(acc.fold(Some(Value::Integer(2))));
+        // Real(2.0) ties Integer(2) under the SQL order; the strict rule
+        // keeps the first-seen representation, like the engine.
+        assert!(acc.fold(Some(Value::Real(2.0))));
+        assert_eq!(acc.finish(), Value::Integer(2));
+        assert!(acc.fold(Some(Value::Integer(1))));
+        assert_eq!(acc.finish(), Value::Integer(1));
+    }
+}

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod delta;
 pub mod mechanism;
 pub mod parallel;
 pub mod report;
@@ -68,10 +69,16 @@ pub mod session;
 pub mod snapids;
 
 pub use aggregate::{parse_col_func_pairs, AggOp, AggState};
+pub use delta::{
+    aggregate_data_in_table_delta, aggregate_data_in_variable_delta, collate_data_delta,
+    collate_data_into_intervals_delta, DeltaPolicy,
+};
 pub use mechanism::{END_SNAPSHOT_COL, START_SNAPSHOT_COL};
 pub use parallel::{aggregate_data_in_variable_parallel, collate_data_parallel};
 pub use report::{IterationReport, RqlReport};
-pub use rewrite::{render_select, rewrite_select, rewrite_sql, CURRENT_SNAPSHOT};
+pub use rewrite::{
+    render_select, rewrite_select, rewrite_sql, uses_current_snapshot, CURRENT_SNAPSHOT,
+};
 pub use session::RqlSession;
 pub use snapids::{all_snapshots, snapshot_by_name, SNAPIDS_TABLE};
 

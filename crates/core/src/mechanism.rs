@@ -39,7 +39,7 @@ pub const START_SNAPSHOT_COL: &str = "start_snapshot";
 pub const END_SNAPSHOT_COL: &str = "end_snapshot";
 
 /// Run Qs on the auxiliary database and return the snapshot ids.
-fn snapshot_set(aux: &Database, qs: &str) -> Result<(Vec<u64>, std::time::Duration)> {
+pub(crate) fn snapshot_set(aux: &Database, qs: &str) -> Result<(Vec<u64>, std::time::Duration)> {
     let started = Instant::now();
     let result = aux.query(qs)?;
     let elapsed = started.elapsed();
@@ -573,9 +573,7 @@ pub fn aggregate_data_in_table_sortmerge(
                     }
                 }
                 match cursor {
-                    Some((rid, old))
-                        if cmp_keys(old, record) == std::cmp::Ordering::Equal =>
-                    {
+                    Some((rid, old)) if cmp_keys(old, record) == std::cmp::Ordering::Equal => {
                         let mut new_row = old.clone();
                         for (pos, op, companion) in &layout.agg_columns {
                             match companion {
@@ -595,8 +593,7 @@ pub fn aggregate_data_in_table_sortmerge(
                                     };
                                 }
                                 None => {
-                                    new_row[*pos] =
-                                        op.combine(&old[*pos], &record[*pos]);
+                                    new_row[*pos] = op.combine(&old[*pos], &record[*pos]);
                                 }
                             }
                         }
@@ -681,8 +678,7 @@ pub fn collate_data_into_intervals_step(
                     // Find the lifetime row that ended exactly at the
                     // previous iteration's snapshot.
                     w.probe(0, record)?.into_iter().find(|(_, row)| {
-                        prev_here
-                            .is_some_and(|p| row[qq_arity + 1].as_i64() == Some(p as i64))
+                        prev_here.is_some_and(|p| row[qq_arity + 1].as_i64() == Some(p as i64))
                     })
                 };
                 match extend {

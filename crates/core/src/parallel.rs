@@ -66,10 +66,24 @@ fn parallel_qq(
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&sid) = ids.get(i) else { break };
-                let rewritten = rewrite_select(&parsed, sid);
-                let outcome = snap
-                    .execute_stmt(&Stmt::Select(rewritten))
-                    .map(|o| o.rows().expect("SELECT yields rows"));
+                // A panic inside Qq execution must not poison the scope
+                // (which would abort the whole process via the scoped
+                // thread's unwind): surface it as a per-snapshot error.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let rewritten = rewrite_select(&parsed, sid);
+                    snap.execute_stmt(&Stmt::Select(rewritten))
+                        .map(|o| o.rows().expect("SELECT yields rows"))
+                }))
+                .unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_owned());
+                    Err(SqlError::Invalid(format!(
+                        "Qq panicked on snapshot {sid}: {msg}"
+                    )))
+                });
                 *slots[i].lock().unwrap() = Some(outcome);
             });
         }

@@ -16,6 +16,7 @@ use rql_retro::RetroConfig;
 use rql_sqlengine::{Database, ExecOutcome, QueryResult, Result, SqlError, Value};
 
 use crate::aggregate::{parse_col_func_pairs, AggOp};
+use crate::delta::{self, DeltaPolicy};
 use crate::mechanism;
 use crate::report::RqlReport;
 use crate::snapids;
@@ -116,8 +117,7 @@ impl RqlSession {
 
     /// Drop a result table if it exists (mechanisms refuse to overwrite).
     pub fn drop_result_table(&self, table: &str) -> Result<()> {
-        self.aux
-            .execute(&format!("DROP TABLE IF EXISTS {table}"))?;
+        self.aux.execute(&format!("DROP TABLE IF EXISTS {table}"))?;
         Ok(())
     }
 
@@ -172,6 +172,61 @@ impl RqlSession {
         mechanism::collate_data_into_intervals(&self.snap, &self.aux, qs, qq, table)
     }
 
+    // ---- delta-driven variants (see [`crate::delta`]) ------------------
+
+    /// `CollateData(Qs, Qq, T)` under a [`DeltaPolicy`]: unchanged heap
+    /// pages between consecutive snapshots are served from the delta
+    /// scanner's row cache instead of being re-fetched.
+    pub fn collate_data_with_policy(
+        &self,
+        qs: &str,
+        qq: &str,
+        table: &str,
+        policy: DeltaPolicy,
+    ) -> Result<RqlReport> {
+        delta::collate_data_delta(&self.snap, &self.aux, qs, qq, table, policy)
+    }
+
+    /// `AggregateDataInVariable(Qs, Qq, T, AggFunc)` under a
+    /// [`DeltaPolicy`]; bare inner aggregates additionally fold only the
+    /// rows that changed between snapshots.
+    pub fn aggregate_data_in_variable_with_policy(
+        &self,
+        qs: &str,
+        qq: &str,
+        table: &str,
+        func: AggOp,
+        policy: DeltaPolicy,
+    ) -> Result<RqlReport> {
+        delta::aggregate_data_in_variable_delta(&self.snap, &self.aux, qs, qq, table, func, policy)
+    }
+
+    /// `AggregateDataInTable(Qs, Qq, T, ListOfColFuncPairs)` under a
+    /// [`DeltaPolicy`] (currently sequential unless `Forced`, which
+    /// errors).
+    pub fn aggregate_data_in_table_with_policy(
+        &self,
+        qs: &str,
+        qq: &str,
+        table: &str,
+        pairs: &[(String, AggOp)],
+        policy: DeltaPolicy,
+    ) -> Result<RqlReport> {
+        delta::aggregate_data_in_table_delta(&self.snap, &self.aux, qs, qq, table, pairs, policy)
+    }
+
+    /// `CollateDataIntoIntervals(Qs, Qq, T)` under a [`DeltaPolicy`]
+    /// (currently sequential unless `Forced`, which errors).
+    pub fn collate_data_into_intervals_with_policy(
+        &self,
+        qs: &str,
+        qq: &str,
+        table: &str,
+        policy: DeltaPolicy,
+    ) -> Result<RqlReport> {
+        delta::collate_data_into_intervals_delta(&self.snap, &self.aux, qs, qq, table, policy)
+    }
+
     /// Reports produced by mechanism UDFs since the last call (SQL-driven
     /// runs), in invocation order as `(result_table, report)`.
     pub fn take_reports(&self) -> Vec<(String, RqlReport)> {
@@ -210,13 +265,14 @@ impl RqlSession {
         }
         // current_snapshot() outside an RQL rewrite is an error the
         // programmer should see clearly.
-        self.snap.register_udf(crate::rewrite::CURRENT_SNAPSHOT, |_| {
-            Err(SqlError::Udf(
-                "current_snapshot() is only meaningful inside an RQL Qq \
+        self.snap
+            .register_udf(crate::rewrite::CURRENT_SNAPSHOT, |_| {
+                Err(SqlError::Udf(
+                    "current_snapshot() is only meaningful inside an RQL Qq \
                  (the mechanism substitutes the iteration's snapshot id)"
-                    .into(),
-            ))
-        });
+                        .into(),
+                ))
+            });
     }
 
     /// One UDF invocation = one loop iteration for the given snap_id.

@@ -13,9 +13,7 @@ pub const SNAPIDS_TABLE: &str = "snapids";
 
 /// Create `SnapIds` if missing.
 pub fn ensure_snapids(aux: &Database) -> Result<()> {
-    aux.execute(
-        "CREATE TABLE IF NOT EXISTS snapids (snap_id INTEGER, snap_ts TEXT, name TEXT)",
-    )?;
+    aux.execute("CREATE TABLE IF NOT EXISTS snapids (snap_id INTEGER, snap_ts TEXT, name TEXT)")?;
     Ok(())
 }
 

@@ -41,12 +41,7 @@ fn sortmerge_matches_hash_probe_variant() {
             .aggregate_data_in_table("SELECT snap_id FROM SnapIds", qq, "hash_r", &pairs)
             .unwrap();
         session
-            .aggregate_data_in_table_sortmerge(
-                "SELECT snap_id FROM SnapIds",
-                qq,
-                "merge_r",
-                &pairs,
-            )
+            .aggregate_data_in_table_sortmerge("SELECT snap_id FROM SnapIds", qq, "merge_r", &pairs)
             .unwrap();
         let a = session
             .query_aux("SELECT grp, v FROM hash_r ORDER BY grp, v")
@@ -153,15 +148,43 @@ fn sortmerge_reports_same_totals() {
         .unwrap();
     assert_eq!(hash.total_qq_rows(), merge.total_qq_rows());
     // SUM updates on every matched record in both variants.
-    assert_eq!(
-        hash.total_result_updates(),
-        merge.total_result_updates()
-    );
-    assert_eq!(
-        hash.total_result_inserts(),
-        merge.total_result_inserts()
-    );
+    assert_eq!(hash.total_result_updates(), merge.total_result_updates());
+    assert_eq!(hash.total_result_inserts(), merge.total_result_inserts());
     let r = session.query_aux("SELECT COUNT(*) FROM h2").unwrap();
     assert!(r.rows[0][0].as_i64().unwrap() > 0);
     let _ = Value::Null;
+}
+
+#[test]
+fn parallel_qq_panic_becomes_error_with_snapshot_id() {
+    let session = history();
+    session.snap_db().register_udf("boom", |args| {
+        if args[0].as_i64() == Some(3) {
+            panic!("injected failure");
+        }
+        Ok(Value::Integer(1))
+    });
+    let err = rql::collate_data_parallel(
+        session.snap_db(),
+        session.aux_db(),
+        "SELECT snap_id FROM SnapIds",
+        "SELECT boom(grp) FROM m",
+        "panic_t",
+        4,
+    )
+    .unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("panicked on snapshot"), "{msg}");
+    assert!(msg.contains("injected failure"), "{msg}");
+    // The panic did not tear down the process or poison the pool: a
+    // well-behaved run on the same session still works.
+    rql::collate_data_parallel(
+        session.snap_db(),
+        session.aux_db(),
+        "SELECT snap_id FROM SnapIds",
+        "SELECT grp FROM m",
+        "after_panic",
+        4,
+    )
+    .unwrap();
 }

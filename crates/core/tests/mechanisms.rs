@@ -77,7 +77,12 @@ fn collate_data_paper_example() {
     let pairs: Vec<(String, i64)> = r
         .rows
         .iter()
-        .map(|row| (row[0].as_str().unwrap().to_owned(), row[1].as_i64().unwrap()))
+        .map(|row| {
+            (
+                row[0].as_str().unwrap().to_owned(),
+                row[1].as_i64().unwrap(),
+            )
+        })
         .collect();
     assert_eq!(
         pairs,
@@ -180,7 +185,12 @@ fn aggregate_in_table_max_simultaneous_per_country() {
     let rows: Vec<(String, i64)> = r
         .rows
         .iter()
-        .map(|row| (row[0].as_str().unwrap().to_owned(), row[1].as_i64().unwrap()))
+        .map(|row| {
+            (
+                row[0].as_str().unwrap().to_owned(),
+                row[1].as_i64().unwrap(),
+            )
+        })
         .collect();
     // USA peaked at 2 (S1: UserA + UserC); UK peaked at 2 (S3: UserB + UserD).
     assert_eq!(rows, vec![("UK".into(), 2), ("USA".into(), 2)]);
@@ -239,11 +249,7 @@ fn intervals_reopen_after_gap() {
         .execute("BEGIN; INSERT INTO t VALUES ('x'); COMMIT WITH SNAPSHOT;")
         .unwrap(); // S3: x
     session
-        .collate_data_into_intervals(
-            "SELECT snap_id FROM SnapIds",
-            "SELECT u FROM t",
-            "Result",
-        )
+        .collate_data_into_intervals("SELECT snap_id FROM SnapIds", "SELECT u FROM t", "Result")
         .unwrap();
     let r = session
         .query_aux("SELECT start_snapshot, end_snapshot FROM Result ORDER BY 1")
@@ -342,7 +348,9 @@ fn qs_can_restrict_and_skip_snapshots() {
 #[test]
 fn avg_special_case_in_variable_and_table() {
     let session = RqlSession::with_defaults().unwrap();
-    session.execute("CREATE TABLE m (grp TEXT, v INTEGER)").unwrap();
+    session
+        .execute("CREATE TABLE m (grp TEXT, v INTEGER)")
+        .unwrap();
     session
         .execute("INSERT INTO m VALUES ('a', 10), ('b', 100)")
         .unwrap();

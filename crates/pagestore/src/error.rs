@@ -88,8 +88,12 @@ mod tests {
             available: 2,
         };
         assert!(e.to_string().contains("short read"));
-        assert!(StoreError::WriterBusy.to_string().contains("write transaction"));
-        assert!(StoreError::PageOutOfBounds(PageId(3)).to_string().contains("P3"));
+        assert!(StoreError::WriterBusy
+            .to_string()
+            .contains("write transaction"));
+        assert!(StoreError::PageOutOfBounds(PageId(3))
+            .to_string()
+            .contains("P3"));
     }
 
     #[test]

@@ -139,6 +139,17 @@ impl IoStatsSnapshot {
         }
     }
 
+    /// Component-wise sum: merge another interval into this one.
+    pub fn accumulate(&mut self, other: &IoStatsSnapshot) {
+        self.db_reads += other.db_reads;
+        self.cache_hits += other.cache_hits;
+        self.pagelog_reads += other.pagelog_reads;
+        self.cow_captures += other.cow_captures;
+        self.pages_written += other.pages_written;
+        self.maplog_entries_scanned += other.maplog_entries_scanned;
+        self.cache_evictions += other.cache_evictions;
+    }
+
     /// Total page fetches from any source.
     pub fn total_fetches(&self) -> u64 {
         self.db_reads + self.cache_hits + self.pagelog_reads

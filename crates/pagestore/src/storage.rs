@@ -11,8 +11,8 @@
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::sync::Arc;
 use std::path::Path;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -255,7 +255,12 @@ pub struct FailingStorage {
 
 impl FailingStorage {
     /// Wrap `inner`, failing after `ok_ops` successful operations.
-    pub fn new(inner: Arc<dyn LogStorage>, ok_ops: u64, fail_appends: bool, fail_reads: bool) -> Self {
+    pub fn new(
+        inner: Arc<dyn LogStorage>,
+        ok_ops: u64,
+        fail_appends: bool,
+        fail_reads: bool,
+    ) -> Self {
         FailingStorage {
             inner,
             remaining: Mutex::new(ok_ops),

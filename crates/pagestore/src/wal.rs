@@ -142,7 +142,7 @@ impl Wal {
     fn read_record(&self, off: u64, len: u64) -> Result<Option<(u64, u8, Vec<u8>)>> {
         let header_len = |kind: u8| -> Option<usize> {
             match kind {
-                KIND_PAGE => Some(20),  // txn + pid + plen
+                KIND_PAGE => Some(20),   // txn + pid + plen
                 KIND_COMMIT => Some(17), // txn + flag + sid
                 _ => None,
             }

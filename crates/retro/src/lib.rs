@@ -226,6 +226,48 @@ mod tests {
     }
 
     #[test]
+    fn pagelog_offset_keying_reads_strictly_less_than_per_snapshot() {
+        // Same history, same read pattern, only the cache keying differs:
+        // two consecutive snapshots sharing every archived pre-state.
+        // Under `ByPagelogOffset` the second snapshot's reads hit the
+        // entries cached while reading the first (shared pages map to the
+        // same Pagelog offset); under `PerSnapshot` every key embeds the
+        // snapshot id, so the identical bytes are fetched again.
+        let run = |keying: rql_pagestore::CacheKeying| {
+            let mut cfg = config(64, 1024);
+            cfg.keying = keying;
+            let store = RetroStore::in_memory(cfg);
+            for p in 0..6 {
+                write_page(&store, PageId(p), p as u32);
+            }
+            let s1 = declare(&store);
+            write_page(&store, PageId(0), 100); // diff(S1,S2) = {P0}
+            let s2 = declare(&store);
+            // Overwrite everything so both snapshots are fully archived.
+            for p in 0..6 {
+                write_page(&store, PageId(p), 200 + p as u32);
+            }
+            for sid in [s1, s2] {
+                let reader = store.open_snapshot(sid).unwrap();
+                for p in 0..6 {
+                    reader.page(PageId(p)).unwrap();
+                }
+            }
+            store.stats().snapshot().pagelog_reads
+        };
+        let by_offset = run(rql_pagestore::CacheKeying::ByPagelogOffset);
+        let per_snapshot = run(rql_pagestore::CacheKeying::PerSnapshot);
+        // ByPagelogOffset: 6 cold misses for S1 + 1 for the diff page.
+        // PerSnapshot: 6 + 6, every page re-fetched under the new key.
+        assert!(
+            by_offset < per_snapshot,
+            "offset keying must read less: {by_offset} vs {per_snapshot}"
+        );
+        assert_eq!(by_offset, 7);
+        assert_eq!(per_snapshot, 12);
+    }
+
+    #[test]
     fn diff_and_shared_match_workload() {
         let store = RetroStore::in_memory(config(64, 16));
         for p in 0..10 {
@@ -280,8 +322,7 @@ mod tests {
         let (s1, s2);
         {
             let store =
-                RetroStore::open(cfg.clone(), wal.clone(), plog.clone(), mlog.clone())
-                    .unwrap();
+                RetroStore::open(cfg.clone(), wal.clone(), plog.clone(), mlog.clone()).unwrap();
             write_page(&store, PageId(0), 1);
             s1 = declare(&store);
             write_page(&store, PageId(0), 2);
@@ -402,8 +443,7 @@ mod tests {
             adaptive.open_snapshot(1).unwrap().page(PageId(p)).unwrap();
         }
         assert!(
-            adaptive.stats().snapshot().pagelog_reads
-                >= raw.stats().snapshot().pagelog_reads,
+            adaptive.stats().snapshot().pagelog_reads >= raw.stats().snapshot().pagelog_reads,
             "diff chains cost extra reads"
         );
     }
@@ -418,8 +458,7 @@ mod tests {
         cfg.pagelog_format = PagelogFormat::Adaptive { max_chain: 3 };
         {
             let store =
-                RetroStore::open(cfg.clone(), wal.clone(), plog.clone(), mlog.clone())
-                    .unwrap();
+                RetroStore::open(cfg.clone(), wal.clone(), plog.clone(), mlog.clone()).unwrap();
             write_page(&store, PageId(0), 1);
             declare(&store);
             write_page(&store, PageId(0), 2);

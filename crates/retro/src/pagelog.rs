@@ -176,9 +176,7 @@ impl Pagelog {
                 self.storage.read_at(offset, &mut buf)?;
                 Ok((Page::from_bytes(buf), 1))
             }
-            PagelogFormat::Adaptive { max_chain } => {
-                self.read_adaptive(offset, max_chain + 2)
-            }
+            PagelogFormat::Adaptive { max_chain } => self.read_adaptive(offset, max_chain + 2),
         }
     }
 
@@ -313,15 +311,13 @@ mod tests {
         let base_off = log.append(&v1).unwrap();
         let mut v2 = v1.clone();
         v2.write_u32(100, 0xABCD);
-        let out = log
-            .append_adaptive(&v2, Some((base_off, &v1, 0)))
-            .unwrap();
+        let out = log.append_adaptive(&v2, Some((base_off, &v1, 0))).unwrap();
         assert!(out.stored_as_diff);
         assert_eq!(out.chain_depth, 1);
         let (read, reads) = log.read_with_depth(out.offset).unwrap();
         assert_eq!(read, v2);
         assert_eq!(reads, 2); // diff + base
-        // Space: diff entry far smaller than a page.
+                              // Space: diff entry far smaller than a page.
         assert!(log.size_bytes() < (256 + 5) as u64 * 2);
     }
 

@@ -124,12 +124,7 @@ impl Skippy {
     ///
     /// `spt` may already contain mappings (never overwritten — but in
     /// practice the scan starts empty).
-    pub fn scan_into(
-        &self,
-        from: usize,
-        page_limit: u64,
-        spt: &mut HashMap<PageId, u64>,
-    ) -> u64 {
+    pub fn scan_into(&self, from: usize, page_limit: u64, spt: &mut HashMap<PageId, u64>) -> u64 {
         let end = self.sealed_intervals();
         let mut scanned = 0u64;
         let mut i = from;

@@ -8,11 +8,10 @@
 //! not in the SPT are shared with the current state and served from the
 //! reader's pinned MVCC view of the database.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
-use rql_pagestore::{
-    CacheKey, CacheKeying, DbView, PageId, Result, SharedPage, StoreError,
-};
+use rql_pagestore::{CacheKey, CacheKeying, DbView, PageId, Result, SharedPage, StoreError};
 
 use crate::spt::{PageLocation, Spt, SptBuildStats};
 use crate::store::RetroStore;
@@ -46,6 +45,11 @@ pub struct SnapshotReader {
     spt: Spt,
     view: DbView,
     build_stats: SptBuildStats,
+    /// When opened as part of a chain
+    /// ([`RetroStore::open_snapshot_chain`]): pages that may differ from
+    /// the previous snapshot in the chain. `None` = unknown (opened
+    /// standalone), meaning every page must be assumed changed.
+    changed_from_prev: Option<HashSet<PageId>>,
 }
 
 impl SnapshotReader {
@@ -54,13 +58,23 @@ impl SnapshotReader {
         spt: Spt,
         view: DbView,
         build_stats: SptBuildStats,
+        changed_from_prev: Option<HashSet<PageId>>,
     ) -> Self {
         SnapshotReader {
             store,
             spt,
             view,
             build_stats,
+            changed_from_prev,
         }
+    }
+
+    /// Pages that may differ from the previous snapshot in the chain this
+    /// reader was opened with, or `None` when opened standalone (all
+    /// pages must then be assumed changed). The set is a conservative
+    /// superset of truly-differing pages.
+    pub fn changed_from_prev(&self) -> Option<&HashSet<PageId>> {
+        self.changed_from_prev.as_ref()
     }
 
     /// The snapshot this reader is pinned to.

@@ -23,8 +23,8 @@ use std::time::Instant;
 use parking_lot::{Mutex, RwLock};
 
 use rql_pagestore::{
-    BufferCache, CacheKeying, DbView, IoStats, LogStorage, Pager, PagerConfig, Result,
-    StoreError, WriteTxn,
+    BufferCache, CacheKeying, DbView, IoStats, LogStorage, Pager, PagerConfig, Result, StoreError,
+    WriteTxn,
 };
 
 use crate::maplog::Maplog;
@@ -110,8 +110,7 @@ impl RetroStore {
         maplog_storage: Arc<dyn LogStorage>,
     ) -> Result<Arc<Self>> {
         let page_size = config.pager.page_size;
-        let (pager, recovered_snaps) =
-            Pager::open_with_wal(config.pager.clone(), wal_storage)?;
+        let (pager, recovered_snaps) = Pager::open_with_wal(config.pager.clone(), wal_storage)?;
         let pager = Arc::new(pager);
         let maplog = Maplog::open(maplog_storage)?;
         if maplog.snapshot_count() != recovered_snaps.len() as u64 {
@@ -124,7 +123,9 @@ impl RetroStore {
         let metas: Vec<SnapshotMeta> = recovered_snaps
             .iter()
             .map(|&id| {
-                let b = maplog.boundary(id).expect("boundary for recovered snapshot");
+                let b = maplog
+                    .boundary(id)
+                    .expect("boundary for recovered snapshot");
                 SnapshotMeta {
                     id,
                     page_count: b.page_count,
@@ -195,8 +196,7 @@ impl RetroStore {
     }
 
     fn commit_inner(&self, txn: WriteTxn, declare: bool) -> Result<Option<u64>> {
-        let latest_page_count: Option<u64> =
-            self.metas.read().last().map(|m| m.page_count);
+        let latest_page_count: Option<u64> = self.metas.read().last().map(|m| m.page_count);
         let stats = self.pager.stats().clone();
         let txn_id = txn.id();
         // COW capture runs inside the pager's commit critical section, so
@@ -231,10 +231,8 @@ impl RetroStore {
                     let outcome = match base {
                         Some((base_off, depth)) => {
                             let base_page = self.pagelog.read(base_off)?;
-                            self.pagelog.append_adaptive(
-                                pre_page,
-                                Some((base_off, &base_page, depth)),
-                            )?
+                            self.pagelog
+                                .append_adaptive(pre_page, Some((base_off, &base_page, depth)))?
                         }
                         None => self.pagelog.append_adaptive(pre_page, None)?,
                     };
@@ -305,7 +303,70 @@ impl RetroStore {
                 entries_scanned: scan.entries_scanned,
                 duration,
             },
+            None,
         ))
+    }
+
+    /// Open readers over a whole set of snapshots at once, building their
+    /// SPTs incrementally (one full Maplog scan for the newest id, interval
+    /// overlays for the rest — see [`Maplog::build_spt_chain`]).
+    ///
+    /// Each reader after the first also carries the set of pages that may
+    /// differ from the *previous id in the input order*
+    /// ([`SnapshotReader::changed_from_prev`]), which is what delta-aware
+    /// scans consume. The same ordering invariant as [`Self::open_snapshot`]
+    /// holds: every view is pinned before any SPT is built.
+    pub fn open_snapshot_chain(self: &Arc<Self>, ids: &[u64]) -> Result<Vec<SnapshotReader>> {
+        let mut metas = Vec::with_capacity(ids.len());
+        for &sid in ids {
+            metas.push(
+                self.snapshot_meta(sid)
+                    .ok_or_else(|| StoreError::Corrupt(format!("unknown snapshot {sid}")))?,
+            );
+        }
+        let views: Vec<DbView> = ids.iter().map(|_| self.pager.view()).collect();
+        let maplog = self.maplog.lock();
+        let start = Instant::now();
+        let scans = maplog.build_spt_chain(ids, self.config.use_skippy)?;
+        let duration = start.elapsed();
+        let mut changed: Vec<Option<HashSet<rql_pagestore::PageId>>> =
+            Vec::with_capacity(ids.len());
+        for (i, &sid) in ids.iter().enumerate() {
+            changed.push(if i == 0 {
+                None
+            } else {
+                Some(maplog.changed_pages(ids[i - 1], sid)?)
+            });
+        }
+        drop(maplog);
+        let mut readers = Vec::with_capacity(ids.len());
+        let per_id = if ids.is_empty() {
+            duration
+        } else {
+            duration / ids.len() as u32
+        };
+        for (((scan, meta), view), changed) in scans.into_iter().zip(metas).zip(views).zip(changed)
+        {
+            self.stats().count_maplog_scanned(scan.entries_scanned);
+            readers.push(SnapshotReader::new(
+                Arc::clone(self),
+                Spt::new(meta.id, meta.page_count, scan.map),
+                view,
+                SptBuildStats {
+                    entries_scanned: scan.entries_scanned,
+                    duration: per_id,
+                },
+                changed,
+            ));
+        }
+        Ok(readers)
+    }
+
+    /// Pages whose content may differ between two snapshots — the
+    /// complement of the paper's `shared(S1, S2)`, computed directly from
+    /// the Maplog window between the declarations (no SPT builds).
+    pub fn changed_pages(&self, s1: u64, s2: u64) -> Result<HashSet<rql_pagestore::PageId>> {
+        self.maplog.lock().changed_pages(s1, s2)
     }
 
     /// Build just the SPT for `sid` (introspection / diff computation).

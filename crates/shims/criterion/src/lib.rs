@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate (see
+//! `crates/shims/README.md`).
+//!
+//! Provides the harness surface `benches/micro.rs` uses — groups,
+//! `bench_function`, `Bencher::{iter, iter_batched}`, `BatchSize`, and
+//! the `criterion_group!` / `criterion_main!` macros — with simple
+//! mean-wall-clock reporting instead of criterion's full statistics.
+//! Honors `CRITERION_MEASURE_MS` to lengthen or shorten measurement.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Benchmark driver; created by [`criterion_main!`].
+#[derive(Debug)]
+pub struct Criterion {
+    measure: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200u64);
+        // First CLI arg (as cargo bench passes it) filters benchmarks by
+        // substring, mirroring criterion's behavior.
+        let filter = std::env::args()
+            .nth(1)
+            .filter(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion {
+            measure: Duration::from_millis(ms),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        self.run(&id, f);
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&self, id: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            measure: self.measure,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / b.iters as u32
+        };
+        println!("{id:<48} time: [{}]  ({} iterations)", fmt_duration(mean), b.iters);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run(&full, f);
+    }
+
+    /// End the group (no-op; kept for API fidelity).
+    pub fn finish(self) {}
+}
+
+/// How batched inputs are sized; only the variants the repo uses.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per measured iteration.
+    PerIteration,
+}
+
+/// Measures closures; handed to `bench_function` callbacks.
+pub struct Bencher {
+    measure: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly until the measurement window fills.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates per-iteration cost for batching.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let est = warm_start.elapsed().max(Duration::from_nanos(50));
+        let target_iters = (self.measure.as_nanos() / est.as_nanos()).clamp(10, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = target_iters;
+    }
+
+    /// Measure `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up and estimate.
+        let input = setup();
+        let warm_start = Instant::now();
+        black_box(routine(input));
+        let est = warm_start.elapsed().max(Duration::from_nanos(50));
+        let target_iters = (self.measure.as_nanos() / est.as_nanos()).clamp(10, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..target_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = target_iters;
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion {
+            measure: Duration::from_millis(2),
+            filter: None,
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -315,17 +315,13 @@ impl Expr {
             Expr::Function { name, .. } if is_aggregate_name(name) => true,
             Expr::Function { args, .. } => args.iter().any(Expr::contains_aggregate),
             Expr::Unary { expr, .. } => expr.contains_aggregate(),
-            Expr::Binary { lhs, rhs, .. } => {
-                lhs.contains_aggregate() || rhs.contains_aggregate()
-            }
+            Expr::Binary { lhs, rhs, .. } => lhs.contains_aggregate() || rhs.contains_aggregate(),
             Expr::IsNull { expr, .. } => expr.contains_aggregate(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
             Expr::Between { expr, lo, hi, .. } => {
-                expr.contains_aggregate()
-                    || lo.contains_aggregate()
-                    || hi.contains_aggregate()
+                expr.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
             }
             Expr::Like { expr, pattern, .. } => {
                 expr.contains_aggregate() || pattern.contains_aggregate()

@@ -147,9 +147,7 @@ impl BTree {
                 } else {
                     *rightmost
                 };
-                let Some((sep, new_right)) =
-                    self.insert_rec(txn, PageId(child), full, rid)?
-                else {
+                let Some((sep, new_right)) = self.insert_rec(txn, PageId(child), full, rid)? else {
                     return Ok(None);
                 };
                 // Child split into (child: < sep) and (new_right: >= sep).

@@ -242,8 +242,7 @@ impl Catalog {
             let kind = row[0].as_str().unwrap_or("");
             let obj_name = row[1].as_str().unwrap_or("");
             let obj_table = row[2].as_str().unwrap_or("");
-            if (kind == "table" && obj_name == lower) || (kind == "index" && obj_table == lower)
-            {
+            if (kind == "table" && obj_name == lower) || (kind == "index" && obj_table == lower) {
                 to_delete.push(rid);
             }
             Ok(true)

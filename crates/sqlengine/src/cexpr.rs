@@ -28,8 +28,7 @@ impl Scope {
     /// starting offset in the joined row.
     pub fn push(&mut self, alias: &str, columns: Vec<String>) -> usize {
         let off = self.width();
-        self.bindings
-            .push((alias.to_ascii_lowercase(), columns));
+        self.bindings.push((alias.to_ascii_lowercase(), columns));
         off
     }
 
@@ -48,9 +47,7 @@ impl Scope {
             if ltable.as_deref().is_none_or(|t| t == alias) {
                 if let Some(i) = cols.iter().position(|c| *c == lname) {
                     if found.is_some() {
-                        return Err(SqlError::Invalid(format!(
-                            "ambiguous column {name}"
-                        )));
+                        return Err(SqlError::Invalid(format!("ambiguous column {name}")));
                     }
                     found = Some(off + i);
                 }
@@ -199,10 +196,11 @@ impl std::fmt::Debug for CExpr {
                 write!(f, "Between({e:?}, {lo:?}, {hi:?}, negated={n})")
             }
             CExpr::Like(e, p, n) => write!(f, "Like({e:?}, {p:?}, negated={n})"),
-            CExpr::Case { operand, arms, else_branch } => write!(
-                f,
-                "Case({operand:?}, {arms:?}, else={else_branch:?})"
-            ),
+            CExpr::Case {
+                operand,
+                arms,
+                else_branch,
+            } => write!(f, "Case({operand:?}, {arms:?}, else={else_branch:?})"),
         }
     }
 }
@@ -234,7 +232,9 @@ impl CExpr {
                     || arms
                         .iter()
                         .any(|(w, t)| w.references_columns() || t.references_columns())
-                    || else_branch.as_deref().is_some_and(CExpr::references_columns)
+                    || else_branch
+                        .as_deref()
+                        .is_some_and(CExpr::references_columns)
             }
         }
     }
@@ -300,27 +300,23 @@ fn compile_inner(
 ) -> Result<CExpr> {
     Ok(match expr {
         Expr::Literal(v) => CExpr::Const(v.clone()),
-        Expr::Column { table, name } => {
-            CExpr::Col(scope.resolve(table.as_deref(), name)?)
-        }
+        Expr::Column { table, name } => CExpr::Col(scope.resolve(table.as_deref(), name)?),
         Expr::Star => {
             return Err(SqlError::Invalid(
                 "'*' is only valid in COUNT(*) or as a projection".into(),
             ))
         }
-        Expr::Unary { op, expr } => CExpr::Unary(
-            *op,
-            Box::new(compile_inner(expr, scope, udfs, aggs)?),
-        ),
+        Expr::Unary { op, expr } => {
+            CExpr::Unary(*op, Box::new(compile_inner(expr, scope, udfs, aggs)?))
+        }
         Expr::Binary { op, lhs, rhs } => CExpr::Binary(
             *op,
             Box::new(compile_inner(lhs, scope, udfs, aggs)?),
             Box::new(compile_inner(rhs, scope, udfs, aggs)?),
         ),
-        Expr::IsNull { expr, negated } => CExpr::IsNull(
-            Box::new(compile_inner(expr, scope, udfs, aggs)?),
-            *negated,
-        ),
+        Expr::IsNull { expr, negated } => {
+            CExpr::IsNull(Box::new(compile_inner(expr, scope, udfs, aggs)?), *negated)
+        }
         Expr::InList {
             expr,
             list,
@@ -390,21 +386,13 @@ fn compile_inner(
                 let arg = match args.as_slice() {
                     [Expr::Star] => {
                         if func != AggFunc::Count {
-                            return Err(SqlError::Invalid(format!(
-                                "{name}(*) is not valid"
-                            )));
+                            return Err(SqlError::Invalid(format!("{name}(*) is not valid")));
                         }
                         None
                     }
                     [e] => Some(compile(e, scope, udfs, None)?),
-                    [] => {
-                        return Err(SqlError::Invalid(format!("{name}() needs an argument")))
-                    }
-                    _ => {
-                        return Err(SqlError::Invalid(format!(
-                            "{name}() takes one argument"
-                        )))
-                    }
+                    [] => return Err(SqlError::Invalid(format!("{name}() needs an argument"))),
+                    _ => return Err(SqlError::Invalid(format!("{name}() takes one argument"))),
                 };
                 let slot = aggs.len();
                 aggs.push(AggSpec {
@@ -436,7 +424,8 @@ fn compile_inner(
 fn is_builtin_scalar(name: &str) -> bool {
     matches!(
         name,
-        "abs" | "length"
+        "abs"
+            | "length"
             | "lower"
             | "upper"
             | "substr"
@@ -557,8 +546,7 @@ pub fn eval(cexpr: &CExpr, row: &[Value], aggs: &[Value]) -> Result<Value> {
             let h = eval(hi, row, aggs)?;
             match (v.sql_cmp(&l), v.sql_cmp(&h)) {
                 (Some(a), Some(b)) => {
-                    let inside =
-                        a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater;
+                    let inside = a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater;
                     Value::Integer(i64::from(inside != *negated))
                 }
                 _ => Value::Null,
@@ -577,10 +565,7 @@ pub fn eval(cexpr: &CExpr, row: &[Value], aggs: &[Value]) -> Result<Value> {
             arms,
             else_branch,
         } => {
-            let op_val = operand
-                .as_deref()
-                .map(|o| eval(o, row, aggs))
-                .transpose()?;
+            let op_val = operand.as_deref().map(|o| eval(o, row, aggs)).transpose()?;
             for (when, then) in arms {
                 let hit = match &op_val {
                     // Simple CASE: operand = WHEN (NULL never matches).
@@ -613,11 +598,7 @@ pub fn eval(cexpr: &CExpr, row: &[Value], aggs: &[Value]) -> Result<Value> {
     })
 }
 
-fn cmp_to_value(
-    l: &Value,
-    r: &Value,
-    pred: impl Fn(std::cmp::Ordering) -> bool,
-) -> Value {
+fn cmp_to_value(l: &Value, r: &Value, pred: impl Fn(std::cmp::Ordering) -> bool) -> Value {
     match l.sql_cmp(r) {
         None => Value::Null,
         Some(o) => Value::Integer(i64::from(pred(o))),
@@ -668,7 +649,9 @@ fn eval_builtin(name: &str, args: &[Value]) -> Result<Value> {
         }
         "substr" => {
             if args.len() != 2 && args.len() != 3 {
-                return Err(SqlError::Invalid("substr() expects 2 or 3 arguments".into()));
+                return Err(SqlError::Invalid(
+                    "substr() expects 2 or 3 arguments".into(),
+                ));
             }
             let Value::Text(t) = &args[0] else {
                 return Ok(Value::Null);
@@ -679,13 +662,7 @@ fn eval_builtin(name: &str, args: &[Value]) -> Result<Value> {
                 Some(v) => v.as_i64().unwrap_or(0).max(0) as usize,
                 None => chars.len().saturating_sub(start),
             };
-            Value::text(
-                chars
-                    .iter()
-                    .skip(start)
-                    .take(len)
-                    .collect::<String>(),
-            )
+            Value::text(chars.iter().skip(start).take(len).collect::<String>())
         }
         "coalesce" => args
             .iter()
@@ -746,13 +723,7 @@ mod tests {
 
     fn compile_where(sql: &str, scope: &Scope) -> CExpr {
         let sel = parse_select(sql).unwrap();
-        compile(
-            &sel.where_clause.unwrap(),
-            scope,
-            &UdfRegistry::new(),
-            None,
-        )
-        .unwrap()
+        compile(&sel.where_clause.unwrap(), scope, &UdfRegistry::new(), None).unwrap()
     }
 
     fn row() -> Vec<Value> {
@@ -855,13 +826,7 @@ mod tests {
     fn aggregates_rejected_without_slot_sink() {
         let s = scope();
         let sel = parse_select("SELECT * FROM t WHERE COUNT(*) > 1").unwrap();
-        assert!(compile(
-            &sel.where_clause.unwrap(),
-            &s,
-            &UdfRegistry::new(),
-            None
-        )
-        .is_err());
+        assert!(compile(&sel.where_clause.unwrap(), &s, &UdfRegistry::new(), None).is_err());
     }
 
     #[test]

@@ -16,11 +16,12 @@ use std::time::Instant;
 use parking_lot::{Mutex, RwLock};
 
 use rql_pagestore::{IoCostModel, IoStats, WriteTxn};
-use rql_retro::{RetroConfig, RetroStore};
+use rql_retro::{RetroConfig, RetroStore, SnapshotReader};
 
 use crate::ast::{InsertSource, SelectStmt, Stmt};
 use crate::catalog::Catalog;
 use crate::cexpr::{compile, eval, Scope};
+use crate::delta::{self, DeltaScan, DeltaSelectRunner};
 use crate::error::{Result, SqlError};
 use crate::exec::{run_select, QueryResult};
 use crate::exec_stats::ExecStats;
@@ -263,6 +264,103 @@ impl Database {
         self.run_select_dispatch(&with_as_of)
     }
 
+    // ---- delta-aware reads ----------------------------------------------
+
+    /// Run `select` over `reader` through `runner`'s delta-aware scan,
+    /// then the ordinary post-scan stages — output is byte-identical to
+    /// [`Self::query_as_of`] for the same snapshot. Returns `Ok(None)`
+    /// when the shape is not delta-scannable (the caller must fall back
+    /// to the ordinary path and the runner has self-invalidated).
+    ///
+    /// `reader` should come from
+    /// [`rql_retro::RetroStore::open_snapshot_chain`] so it carries a
+    /// changed-page set; without one the scan still works but rebuilds.
+    pub fn delta_query(
+        &self,
+        reader: &SnapshotReader,
+        select: &SelectStmt,
+        runner: &mut DeltaSelectRunner,
+    ) -> Result<Option<QueryResult>> {
+        let Some((scan, mut stats)) = self.delta_scan(reader, select, runner)? else {
+            return Ok(None);
+        };
+        let table = select.from[0].name.clone();
+        let udfs = self.udfs.read().clone();
+        let io_before = self.io_stats().snapshot();
+        let started = Instant::now();
+        let catalog = Catalog::load(reader)?;
+        let (columns, rows) = delta::finish_over_rows(select, scan.rows, &catalog, &udfs)?;
+        stats.eval += started.elapsed();
+        stats
+            .io
+            .accumulate(&self.io_stats().snapshot().delta(&io_before));
+        stats.rows = rows.len() as u64;
+        Ok(Some(QueryResult {
+            columns,
+            rows,
+            stats,
+            plan: vec![format!("{table}: delta seq scan")],
+        }))
+    }
+
+    /// The scan half of [`Self::delta_query`]: filtered base rows plus
+    /// the row delta against the runner's previous scan, without the
+    /// projection/aggregation stages. Incremental consumers (the RQL
+    /// delta mechanisms) fold `added`/`removed` into their own state and
+    /// only pay [`Self::delta_finish`] when they cannot.
+    pub fn delta_scan(
+        &self,
+        reader: &SnapshotReader,
+        select: &SelectStmt,
+        runner: &mut DeltaSelectRunner,
+    ) -> Result<Option<(DeltaScan, ExecStats)>> {
+        let udfs = self.udfs.read().clone();
+        let io_before = self.io_stats().snapshot();
+        let started = Instant::now();
+        let catalog = Catalog::load(reader)?;
+        let Some(scan) = runner.scan(select, reader, &catalog, &udfs)? else {
+            return Ok(None);
+        };
+        let stats = ExecStats {
+            spt_build: reader.build_stats().duration,
+            eval: started.elapsed(),
+            io: self.io_stats().snapshot().delta(&io_before),
+            pages_skipped: scan.pages_skipped,
+            delta_eligible: 1,
+            ..Default::default()
+        };
+        Ok(Some((scan, stats)))
+    }
+
+    /// The pipeline half: run `select`'s post-scan stages over base rows
+    /// a delta scan produced (in scan order). Same code path as the
+    /// ordinary plan, so given the same rows the output is identical.
+    pub fn delta_finish(
+        &self,
+        reader: &SnapshotReader,
+        select: &SelectStmt,
+        rows: Vec<Row>,
+    ) -> Result<QueryResult> {
+        let table = select.from[0].name.clone();
+        let udfs = self.udfs.read().clone();
+        let io_before = self.io_stats().snapshot();
+        let started = Instant::now();
+        let catalog = Catalog::load(reader)?;
+        let (columns, out_rows) = delta::finish_over_rows(select, rows, &catalog, &udfs)?;
+        let stats = ExecStats {
+            eval: started.elapsed(),
+            io: self.io_stats().snapshot().delta(&io_before),
+            rows: out_rows.len() as u64,
+            ..Default::default()
+        };
+        Ok(QueryResult {
+            columns,
+            rows: out_rows,
+            stats,
+            plan: vec![format!("{table}: delta seq scan")],
+        })
+    }
+
     fn eval_const_expr(&self, expr: &crate::ast::Expr) -> Result<Value> {
         let udfs = self.udfs.read().clone();
         let compiled = compile(expr, &Scope::empty(), &udfs, None)?;
@@ -325,13 +423,8 @@ impl Database {
                 if_not_exists,
                 ..
             } => self.with_write_txn(|db, txn| {
-                let schema = TableSchema::new(
-                    name,
-                    columns
-                        .iter()
-                        .map(|(n, t)| (n.clone(), *t))
-                        .collect(),
-                );
+                let schema =
+                    TableSchema::new(name, columns.iter().map(|(n, t)| (n.clone(), *t)).collect());
                 let existing = Catalog::load(&*txn)?;
                 if existing.table(name).is_some() {
                     if *if_not_exists {
@@ -365,8 +458,7 @@ impl Database {
                 let tree = crate::btree::BTree::new(info.root);
                 let rows = tinfo.heap().all_rows(&*txn)?;
                 for (rid, row) in rows {
-                    let key_vals: Vec<Value> =
-                        key_cols.iter().map(|&i| row[i].clone()).collect();
+                    let key_vals: Vec<Value> = key_cols.iter().map(|&i| row[i].clone()).collect();
                     let mut key = Vec::new();
                     encode_index_key(&key_vals, &mut key);
                     tree.insert(txn, &key, rid)?;
@@ -550,13 +642,11 @@ impl Database {
             for (rid, old_row) in &victims {
                 let mut new_row = old_row.clone();
                 for (pos, c) in &compiled_sets {
-                    new_row[*pos] =
-                        info.schema.columns[*pos].ty.coerce(eval(c, old_row, &[])?);
+                    new_row[*pos] = info.schema.columns[*pos].ty.coerce(eval(c, old_row, &[])?);
                 }
                 buf.clear();
                 encode_row(&new_row, &mut buf);
-                let new_rid =
-                    db.with_fsm(info.root, |fsm| heap.update(txn, *rid, &buf, fsm))?;
+                let new_rid = db.with_fsm(info.root, |fsm| heap.update(txn, *rid, &buf, fsm))?;
                 db.index_delete(txn, &indexes, old_row, *rid)?;
                 db.index_insert(txn, &indexes, &new_row, new_rid)?;
             }

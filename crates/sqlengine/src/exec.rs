@@ -160,36 +160,13 @@ pub fn run_select<S: PageSource>(
             ))
         })
         .collect::<Result<_>>()?;
-    let items = expand_items(&select.items, &written_bindings, &scope)?;
-    let is_aggregate = !select.group_by.is_empty()
-        || items.iter().any(|(e, _)| e.contains_aggregate())
-        || select
-            .having
-            .as_ref()
-            .is_some_and(Expr::contains_aggregate);
-
-    let (columns, mut out_rows) = if is_aggregate {
-        run_aggregate(select, &items, rows, &scope, udfs)?
-    } else {
-        run_projection(select, &items, rows, &scope, udfs)?
-    };
-
-    if select.distinct {
-        let mut seen: HashSet<GroupKey> = HashSet::with_capacity(out_rows.len());
-        out_rows.retain(|r| seen.insert(GroupKey(r.clone())));
-    }
-
-    // ORDER BY comes with sort keys appended by the projection stages;
-    // both stages handle their own ordering because key computation
-    // differs (aggregate slots vs plain rows). At this point out_rows are
-    // already ordered and trimmed.
+    let (columns, out_rows) = finish_select(select, rows, &scope, &written_bindings, udfs)?;
 
     let stats = ExecStats {
-        spt_build: Duration::ZERO,
         index_creation,
         eval: started.elapsed().saturating_sub(index_creation),
-        io: Default::default(),
         rows: out_rows.len() as u64,
+        ..Default::default()
     };
     Ok(QueryResult {
         columns,
@@ -197,6 +174,39 @@ pub fn run_select<S: PageSource>(
         stats,
         plan,
     })
+}
+
+/// The post-scan stages of a `SELECT`: wildcard expansion, projection or
+/// aggregation, DISTINCT, ORDER BY and LIMIT (the last two inside the
+/// projection stages, which append their own sort keys).
+///
+/// `rows` are fully joined and filtered input rows in scan order. Shared
+/// between [`run_select`] and the delta-aware path in [`crate::delta`],
+/// which re-runs these stages over cached base rows so its output is the
+/// ordinary plan's, byte for byte.
+pub(crate) fn finish_select(
+    select: &SelectStmt,
+    rows: Vec<Row>,
+    scope: &Scope,
+    written_bindings: &[(String, Vec<String>)],
+    udfs: &UdfRegistry,
+) -> Result<(Vec<String>, Vec<Row>)> {
+    let items = expand_items(&select.items, written_bindings, scope)?;
+    let is_aggregate = !select.group_by.is_empty()
+        || items.iter().any(|(e, _)| e.contains_aggregate())
+        || select.having.as_ref().is_some_and(Expr::contains_aggregate);
+
+    let (columns, mut out_rows) = if is_aggregate {
+        run_aggregate(select, &items, rows, scope, udfs)?
+    } else {
+        run_projection(select, &items, rows, scope, udfs)?
+    };
+
+    if select.distinct {
+        let mut seen: HashSet<GroupKey> = HashSet::with_capacity(out_rows.len());
+        out_rows.retain(|r| seen.insert(GroupKey(r.clone())));
+    }
+    Ok((columns, out_rows))
 }
 
 /// Order the FROM tables of a comma-join: tables with a native index on
@@ -224,8 +234,14 @@ fn order_comma_join<'a>(
         } = c
         {
             if let (
-                Expr::Column { table: ta, name: na },
-                Expr::Column { table: tb, name: nb },
+                Expr::Column {
+                    table: ta,
+                    name: na,
+                },
+                Expr::Column {
+                    table: tb,
+                    name: nb,
+                },
             ) = (&**lhs, &**rhs)
             {
                 join_cols.push((ta, na));
@@ -257,7 +273,7 @@ fn order_comma_join<'a>(
 }
 
 /// Split nested ANDs into conjuncts.
-fn collect_conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+pub(crate) fn collect_conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
     if let Expr::Binary {
         op: BinOp::And,
         lhs,
@@ -346,7 +362,7 @@ fn scan_base_table<S: PageSource>(
 }
 
 /// `Col(off) = <constant>` (either orientation) → `(off, value)`.
-fn equality_probe(c: &CExpr) -> Option<(usize, Value)> {
+pub(crate) fn equality_probe(c: &CExpr) -> Option<(usize, Value)> {
     let CExpr::Binary(BinOp::Eq, lhs, rhs) = c else {
         return None;
     };
@@ -697,10 +713,7 @@ fn compile_order(
         }
         // Alias reference.
         if let Expr::Column { table: None, name } = expr {
-            if let Some(idx) = columns
-                .iter()
-                .position(|c| c.eq_ignore_ascii_case(name))
-            {
+            if let Some(idx) = columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
                 keys.push((OrderKey::Output(idx), *desc));
                 continue;
             }
@@ -755,9 +768,7 @@ fn finish_rows(
     if let Some(limit_expr) = &select.limit {
         let v = match limit_expr {
             Expr::Literal(Value::Integer(i)) => *i,
-            _ => {
-                return Err(SqlError::Invalid("LIMIT must be an integer literal".into()))
-            }
+            _ => return Err(SqlError::Invalid("LIMIT must be an integer literal".into())),
         };
         rows.truncate(v.max(0) as usize);
     }
@@ -905,10 +916,7 @@ fn run_aggregate(
                 group_order.push(key);
                 v.insert(GroupState {
                     accs: aggs.iter().map(|s| AggAcc::new(s.func)).collect(),
-                    distinct_seen: aggs
-                        .iter()
-                        .map(|s| s.distinct.then(HashSet::new))
-                        .collect(),
+                    distinct_seen: aggs.iter().map(|s| s.distinct.then(HashSet::new)).collect(),
                     representative: row.clone(),
                 })
             }

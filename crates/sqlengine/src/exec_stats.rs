@@ -26,6 +26,12 @@ pub struct ExecStats {
     pub io: IoStatsSnapshot,
     /// Rows produced.
     pub rows: u64,
+    /// Heap pages a delta-aware scan served from its page cache instead
+    /// of fetching (zero for ordinary executions).
+    pub pages_skipped: u64,
+    /// 1 when this execution took the delta-aware scan path, 0 otherwise
+    /// (accumulates to "delta iterations" across a report).
+    pub delta_eligible: u64,
 }
 
 impl ExecStats {
@@ -45,14 +51,10 @@ impl ExecStats {
         self.spt_build += other.spt_build;
         self.index_creation += other.index_creation;
         self.eval += other.eval;
-        self.io.db_reads += other.io.db_reads;
-        self.io.cache_hits += other.io.cache_hits;
-        self.io.pagelog_reads += other.io.pagelog_reads;
-        self.io.cow_captures += other.io.cow_captures;
-        self.io.pages_written += other.io.pages_written;
-        self.io.maplog_entries_scanned += other.io.maplog_entries_scanned;
-        self.io.cache_evictions += other.io.cache_evictions;
+        self.io.accumulate(&other.io);
         self.rows += other.rows;
+        self.pages_skipped += other.pages_skipped;
+        self.delta_eligible += other.delta_eligible;
     }
 }
 
@@ -71,6 +73,7 @@ mod tests {
                 ..Default::default()
             },
             rows: 5,
+            ..Default::default()
         };
         let model = IoCostModel::default(); // 100 µs per pagelog read
         assert_eq!(stats.io_cost(&model), Duration::from_millis(1));

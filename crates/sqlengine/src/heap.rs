@@ -137,12 +137,7 @@ impl HeapFile {
     }
 
     /// Delete the record at `rid`.
-    pub fn delete(
-        &self,
-        txn: &mut WriteTxn,
-        rid: RecordId,
-        fsm: &mut FreeSpaceMap,
-    ) -> Result<()> {
+    pub fn delete(&self, txn: &mut WriteTxn, rid: RecordId, fsm: &mut FreeSpaceMap) -> Result<()> {
         self.ensure_fsm(txn, fsm)?;
         let mut page = txn.page_for_update(rid.page)?;
         delete_from_page(&mut page, rid.slot)?;
@@ -267,6 +262,26 @@ impl HeapFile {
         txn.write_page(self.root, root_page)?;
         Ok(new_pid)
     }
+}
+
+/// Decode all live rows of one heap page in slot order — the per-page
+/// unit a delta-aware scan caches (see [`crate::delta`]). Matches the
+/// order [`HeapFile::scan`] visits rows within a page.
+pub(crate) fn page_rows(page: &Page) -> Result<Vec<Row>> {
+    let slot_count = page.read_u16(OFF_SLOT_COUNT);
+    let mut rows = Vec::new();
+    for slot in 0..slot_count {
+        if let Some(bytes) = read_cell(page, slot) {
+            rows.push(decode_row(bytes)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// The chain successor of a heap page (`None` at end of chain).
+pub(crate) fn page_next(page: &Page) -> Option<PageId> {
+    let next = page.read_u64(OFF_NEXT);
+    (next != NIL).then_some(PageId(next))
 }
 
 fn init_heap_page(page: &mut Page) {
@@ -509,7 +524,10 @@ mod tests {
         // that only fits after compaction.
         let mut rids = Vec::new();
         for i in 0..6 {
-            rids.push(heap.insert(&mut txn, &rec(i, "0123456789"), &mut fsm).unwrap());
+            rids.push(
+                heap.insert(&mut txn, &rec(i, "0123456789"), &mut fsm)
+                    .unwrap(),
+            );
         }
         let first_page = rids[0].page;
         for rid in rids.iter().step_by(2) {

@@ -99,9 +99,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             }
             c if c == b'_' || c.is_ascii_alphabetic() => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric())
-                {
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
                     i += 1;
                 }
                 tokens.push(Token::Word(sql[start..i].to_owned()));

@@ -27,6 +27,7 @@ pub mod btree;
 pub mod catalog;
 pub mod cexpr;
 pub mod db;
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod exec_stats;
@@ -43,6 +44,7 @@ pub mod value;
 pub use ast::{Expr, SelectStmt, Stmt};
 pub use catalog::{Catalog, IndexInfo, TableInfo};
 pub use db::{Database, ExecOutcome};
+pub use delta::{DeltaScan, DeltaSelectRunner, DeltaTableScanner};
 pub use error::{Result, SqlError};
 pub use exec::QueryResult;
 pub use exec_stats::ExecStats;

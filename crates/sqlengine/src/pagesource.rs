@@ -7,6 +7,8 @@
 //! state). `SELECT AS OF` is nothing more than executing the ordinary
 //! plan over a [`SnapshotReader`] source.
 
+use std::collections::HashSet;
+
 use rql_pagestore::{DbView, PageId, Result, SharedPage, WriteTxn};
 use rql_retro::SnapshotReader;
 
@@ -17,6 +19,15 @@ pub trait PageSource {
 
     /// Number of pages visible to this source.
     fn page_count(&self) -> u64;
+
+    /// Pages that may differ from the previous source a delta-aware scan
+    /// ran over, or `None` when unknown (every page must then be assumed
+    /// changed). Only snapshot readers opened through
+    /// [`rql_retro::RetroStore::open_snapshot_chain`] report a set; the
+    /// set is a conservative superset of truly-differing pages.
+    fn changed_pages(&self) -> Option<&HashSet<PageId>> {
+        None
+    }
 }
 
 impl PageSource for DbView {
@@ -36,6 +47,10 @@ impl PageSource for SnapshotReader {
 
     fn page_count(&self) -> u64 {
         SnapshotReader::page_count(self)
+    }
+
+    fn changed_pages(&self) -> Option<&HashSet<PageId>> {
+        SnapshotReader::changed_from_prev(self)
     }
 }
 

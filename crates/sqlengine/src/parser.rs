@@ -27,7 +27,9 @@ pub fn parse_statement(sql: &str) -> Result<Stmt> {
     let stmts = parse_statements(sql)?;
     match stmts.len() {
         1 => Ok(stmts.into_iter().next().unwrap()),
-        n => Err(SqlError::Parse(format!("expected one statement, found {n}"))),
+        n => Err(SqlError::Parse(format!(
+            "expected one statement, found {n}"
+        ))),
     }
 }
 
@@ -269,8 +271,8 @@ impl Parser {
         } else if let Some(Token::Word(w)) = self.peek() {
             // Bare alias unless it is a clause keyword.
             const CLAUSES: [&str; 12] = [
-                "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER",
-                "ON", "AS", "UNION", "AND",
+                "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "ON", "AS",
+                "UNION", "AND",
             ];
             if CLAUSES.iter().any(|k| w.eq_ignore_ascii_case(k)) {
                 None
@@ -291,8 +293,8 @@ impl Parser {
             Some(self.expect_ident()?)
         } else if let Some(Token::Word(w)) = self.peek() {
             const CLAUSES: [&str; 10] = [
-                "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "ON",
-                "SET", "VALUES",
+                "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "ON", "SET",
+                "VALUES",
             ];
             if CLAUSES.iter().any(|k| w.eq_ignore_ascii_case(k)) {
                 None
@@ -564,7 +566,9 @@ impl Parser {
             });
         }
         let negated = if self.peek_kw("NOT")
-            && (self.peek_kw_at(1, "IN") || self.peek_kw_at(1, "BETWEEN") || self.peek_kw_at(1, "LIKE"))
+            && (self.peek_kw_at(1, "IN")
+                || self.peek_kw_at(1, "BETWEEN")
+                || self.peek_kw_at(1, "LIKE"))
         {
             self.pos += 1;
             true
@@ -701,8 +705,8 @@ impl Parser {
                 // turns `SELECT FROM t` into a parse error rather than a
                 // column named "from".
                 const RESERVED: [&str; 14] = [
-                    "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "ON",
-                    "AND", "OR", "NOT", "SELECT", "SET", "VALUES",
+                    "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "ON", "AND",
+                    "OR", "NOT", "SELECT", "SET", "VALUES",
                 ];
                 if RESERVED.iter().any(|k| w.eq_ignore_ascii_case(k)) {
                     self.pos -= 1;
@@ -768,10 +772,8 @@ mod tests {
 
     #[test]
     fn paper_collate_qq() {
-        let s = parse_select(
-            "SELECT DISTINCT l_userid, current_snapshot() AS sid FROM LoggedIn",
-        )
-        .unwrap();
+        let s = parse_select("SELECT DISTINCT l_userid, current_snapshot() AS sid FROM LoggedIn")
+            .unwrap();
         assert!(s.distinct);
         assert_eq!(s.items.len(), 2);
         match &s.items[1] {
@@ -890,9 +892,12 @@ mod tests {
             parse_statement("CREATE TEMP TABLE r AS SELECT a FROM t").unwrap(),
             Stmt::CreateTableAs { temp: true, .. }
         ));
-        match parse_statement("CREATE INDEX idx ON orders (o_custkey, o_orderdate)").unwrap()
-        {
-            Stmt::CreateIndex { name, table, columns } => {
+        match parse_statement("CREATE INDEX idx ON orders (o_custkey, o_orderdate)").unwrap() {
+            Stmt::CreateIndex {
+                name,
+                table,
+                columns,
+            } => {
                 assert_eq!(name, "idx");
                 assert_eq!(table, "orders");
                 assert_eq!(columns.len(), 2);
@@ -923,7 +928,9 @@ mod tests {
         let s = parse_select("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
         // OR at top, AND beneath.
         match s.where_clause.unwrap() {
-            Expr::Binary { op: BinOp::Or, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Or, rhs, ..
+            } => {
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::And, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -967,7 +974,11 @@ mod tests {
     #[test]
     fn update_statement() {
         match parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE c < 3").unwrap() {
-            Stmt::Update { table, sets, where_clause } => {
+            Stmt::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
                 assert_eq!(table, "t");
                 assert_eq!(sets.len(), 2);
                 assert!(where_clause.is_some());

@@ -129,9 +129,7 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        let byte = *bytes
-            .get(*pos)
-            .ok_or_else(|| corrupt("truncated varint"))?;
+        let byte = *bytes.get(*pos).ok_or_else(|| corrupt("truncated varint"))?;
         *pos += 1;
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -212,8 +210,16 @@ mod tests {
             Value::Integer(i64::MAX),
             Value::Integer(i64::MIN),
         ]);
-        roundtrip(vec![Value::Real(3.25), Value::Real(-0.0), Value::Real(f64::MAX)]);
-        roundtrip(vec![Value::text(""), Value::text("hello world"), Value::Null]);
+        roundtrip(vec![
+            Value::Real(3.25),
+            Value::Real(-0.0),
+            Value::Real(f64::MAX),
+        ]);
+        roundtrip(vec![
+            Value::text(""),
+            Value::text("hello world"),
+            Value::Null,
+        ]);
         roundtrip(vec![
             Value::Integer(42),
             Value::text("UserB"),

@@ -102,9 +102,8 @@ impl TableSchema {
 
     /// Index of a column, as a `Result`.
     pub fn require_column(&self, name: &str) -> Result<usize> {
-        self.column_index(name).ok_or_else(|| {
-            SqlError::Unknown(format!("column {name} in table {}", self.name))
-        })
+        self.column_index(name)
+            .ok_or_else(|| SqlError::Unknown(format!("column {name} in table {}", self.name)))
     }
 
     /// Number of columns.
@@ -126,9 +125,9 @@ impl TableSchema {
         let mut columns = Vec::new();
         if !text.is_empty() {
             for part in text.split(',') {
-                let (cname, ty) = part.split_once(':').ok_or_else(|| {
-                    SqlError::Invalid(format!("bad catalog column entry {part}"))
-                })?;
+                let (cname, ty) = part
+                    .split_once(':')
+                    .ok_or_else(|| SqlError::Invalid(format!("bad catalog column entry {part}")))?;
                 columns.push((cname.to_owned(), ColumnType::parse(ty)));
             }
         }
@@ -185,10 +184,7 @@ mod tests {
 
     #[test]
     fn coercion() {
-        assert_eq!(
-            ColumnType::Real.coerce(Value::Integer(2)),
-            Value::Real(2.0)
-        );
+        assert_eq!(ColumnType::Real.coerce(Value::Integer(2)), Value::Real(2.0));
         assert_eq!(
             ColumnType::Integer.coerce(Value::Real(2.0)),
             Value::Integer(2)

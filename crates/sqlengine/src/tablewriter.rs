@@ -197,7 +197,8 @@ mod tests {
     #[test]
     fn insert_probe_update_roundtrip() {
         let db = db();
-        db.execute("CREATE TABLE r (grp TEXT, cnt INTEGER)").unwrap();
+        db.execute("CREATE TABLE r (grp TEXT, cnt INTEGER)")
+            .unwrap();
         db.execute("CREATE INDEX r_grp ON r (grp)").unwrap();
         db.with_table_writer("r", |w| {
             assert_eq!(w.index_count(), 1);

@@ -333,21 +333,12 @@ mod tests {
 
     #[test]
     fn arithmetic_with_promotion_and_null() {
-        assert_eq!(
-            Value::Integer(2).add(&Value::Integer(3)),
-            Value::Integer(5)
-        );
+        assert_eq!(Value::Integer(2).add(&Value::Integer(3)), Value::Integer(5));
         assert_eq!(Value::Integer(2).add(&Value::Real(0.5)), Value::Real(2.5));
         assert!(Value::Integer(2).add(&Value::Null).is_null());
-        assert_eq!(
-            Value::Integer(7).div(&Value::Integer(2)),
-            Value::Integer(3)
-        );
+        assert_eq!(Value::Integer(7).div(&Value::Integer(2)), Value::Integer(3));
         assert!(Value::Integer(7).div(&Value::Integer(0)).is_null());
-        assert_eq!(
-            Value::Integer(7).rem(&Value::Integer(4)),
-            Value::Integer(3)
-        );
+        assert_eq!(Value::Integer(7).rem(&Value::Integer(4)), Value::Integer(3));
         assert_eq!(Value::Integer(5).neg(), Value::Integer(-5));
     }
 
@@ -363,7 +354,10 @@ mod tests {
         assert_eq!(t.like(&Value::text("%POLISHED%")), Value::Integer(1));
         assert_eq!(t.like(&Value::text("STANDARD%")), Value::Integer(1));
         assert_eq!(t.like(&Value::text("%BRASS%")), Value::Integer(0));
-        assert_eq!(Value::text("abc").like(&Value::text("a_c")), Value::Integer(1));
+        assert_eq!(
+            Value::text("abc").like(&Value::text("a_c")),
+            Value::Integer(1)
+        );
         assert!(Value::Null.like(&Value::text("x")).is_null());
     }
 

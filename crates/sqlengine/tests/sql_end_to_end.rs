@@ -30,10 +30,8 @@ fn create_insert_select() {
 #[test]
 fn paper_loggedin_example_figures_1_to_3() {
     let db = db();
-    db.execute(
-        "CREATE TABLE LoggedIn (l_userid TEXT, l_time TEXT, l_country TEXT)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE LoggedIn (l_userid TEXT, l_time TEXT, l_country TEXT)")
+        .unwrap();
     db.execute(
         "INSERT INTO LoggedIn VALUES \
          ('UserA', '2008-11-09 13:23:44', 'USA'), \
@@ -100,19 +98,31 @@ fn where_filters_and_expressions() {
     db.execute("INSERT INTO n VALUES (1), (2), (3), (4), (5), (6)")
         .unwrap();
     assert_eq!(
-        ints(&db.query("SELECT x FROM n WHERE x % 2 = 0 ORDER BY x").unwrap()),
+        ints(
+            &db.query("SELECT x FROM n WHERE x % 2 = 0 ORDER BY x")
+                .unwrap()
+        ),
         vec![2, 4, 6]
     );
     assert_eq!(
-        ints(&db.query("SELECT x FROM n WHERE x BETWEEN 2 AND 4 ORDER BY x").unwrap()),
+        ints(
+            &db.query("SELECT x FROM n WHERE x BETWEEN 2 AND 4 ORDER BY x")
+                .unwrap()
+        ),
         vec![2, 3, 4]
     );
     assert_eq!(
-        ints(&db.query("SELECT x FROM n WHERE x IN (1, 5, 9) ORDER BY x").unwrap()),
+        ints(
+            &db.query("SELECT x FROM n WHERE x IN (1, 5, 9) ORDER BY x")
+                .unwrap()
+        ),
         vec![1, 5]
     );
     assert_eq!(
-        ints(&db.query("SELECT x + 10 FROM n WHERE NOT x > 2 ORDER BY 1").unwrap()),
+        ints(
+            &db.query("SELECT x + 10 FROM n WHERE NOT x > 2 ORDER BY 1")
+                .unwrap()
+        ),
         vec![11, 12]
     );
 }
@@ -120,7 +130,8 @@ fn where_filters_and_expressions() {
 #[test]
 fn aggregates_and_group_by() {
     let db = db();
-    db.execute("CREATE TABLE o (cust INTEGER, price REAL)").unwrap();
+    db.execute("CREATE TABLE o (cust INTEGER, price REAL)")
+        .unwrap();
     db.execute(
         "INSERT INTO o VALUES (1, 10.0), (1, 20.0), (2, 5.0), (2, 15.0), (2, 40.0), (3, 7.0)",
     )
@@ -139,7 +150,9 @@ fn aggregates_and_group_by() {
     assert_eq!(r.rows[1][4], Value::Real(5.0));
     assert_eq!(r.rows[1][5], Value::Real(40.0));
     // Global aggregate over empty set: COUNT = 0, SUM = NULL.
-    let r = db.query("SELECT COUNT(*), SUM(price) FROM o WHERE cust = 99").unwrap();
+    let r = db
+        .query("SELECT COUNT(*), SUM(price) FROM o WHERE cust = 99")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Integer(0));
     assert!(r.rows[0][1].is_null());
     // HAVING.
@@ -168,14 +181,10 @@ fn joins_with_and_without_native_index() {
             db.execute("CREATE INDEX idx_lpart ON lineitem (l_partkey)")
                 .unwrap();
         }
-        db.execute(
-            "INSERT INTO part VALUES (1, 'TIN'), (2, 'BRASS'), (3, 'TIN')",
-        )
-        .unwrap();
-        db.execute(
-            "INSERT INTO lineitem VALUES (1, 10.0), (1, 5.0), (2, 100.0), (3, 2.5)",
-        )
-        .unwrap();
+        db.execute("INSERT INTO part VALUES (1, 'TIN'), (2, 'BRASS'), (3, 'TIN')")
+            .unwrap();
+        db.execute("INSERT INTO lineitem VALUES (1, 10.0), (1, 5.0), (2, 100.0), (3, 2.5)")
+            .unwrap();
         // Comma-join with WHERE equality (Table 1's Qq_cpu shape).
         let r = db
             .query(
@@ -222,7 +231,11 @@ fn native_index_used_for_point_lookup() {
     assert_eq!(r.rows[0][0], Value::text("v512"));
     // Index maintained across delete/update.
     db.execute("DELETE FROM t WHERE k = 512").unwrap();
-    assert!(db.query("SELECT v FROM t WHERE k = 512").unwrap().rows.is_empty());
+    assert!(db
+        .query("SELECT v FROM t WHERE k = 512")
+        .unwrap()
+        .rows
+        .is_empty());
     db.execute("UPDATE t SET k = 512 WHERE k = 700").unwrap();
     let r = db.query("SELECT v FROM t WHERE k = 512").unwrap();
     assert_eq!(r.rows[0][0], Value::text("v700"));
@@ -232,7 +245,8 @@ fn native_index_used_for_point_lookup() {
 fn distinct_order_limit() {
     let db = db();
     db.execute("CREATE TABLE d (x INTEGER)").unwrap();
-    db.execute("INSERT INTO d VALUES (3), (1), (3), (2), (1)").unwrap();
+    db.execute("INSERT INTO d VALUES (3), (1), (3), (2), (1)")
+        .unwrap();
     assert_eq!(
         ints(&db.query("SELECT DISTINCT x FROM d ORDER BY x").unwrap()),
         vec![1, 2, 3]
@@ -247,7 +261,8 @@ fn distinct_order_limit() {
 fn update_and_delete_row_counts() {
     let db = db();
     db.execute("CREATE TABLE t (a INTEGER, b INTEGER)").unwrap();
-    db.execute("INSERT INTO t VALUES (1, 0), (2, 0), (3, 0)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 0), (2, 0), (3, 0)")
+        .unwrap();
     let ExecOutcome::Affected(n) = db.execute("UPDATE t SET b = a * 2 WHERE a >= 2").unwrap()
     else {
         panic!()
@@ -266,7 +281,8 @@ fn update_and_delete_row_counts() {
 fn create_table_as_select() {
     let db = db();
     db.execute("CREATE TABLE src (a INTEGER, b TEXT)").unwrap();
-    db.execute("INSERT INTO src VALUES (1, 'x'), (2, 'y')").unwrap();
+    db.execute("INSERT INTO src VALUES (1, 'x'), (2, 'y')")
+        .unwrap();
     db.execute("CREATE TABLE dst AS SELECT a * 10 AS a10, b FROM src")
         .unwrap();
     let r = db.query("SELECT a10, b FROM dst ORDER BY a10").unwrap();
@@ -278,7 +294,8 @@ fn rollback_discards_changes() {
     let db = db();
     db.execute("CREATE TABLE t (a INTEGER)").unwrap();
     db.execute("INSERT INTO t VALUES (1)").unwrap();
-    db.execute("BEGIN; INSERT INTO t VALUES (2); ROLLBACK;").unwrap();
+    db.execute("BEGIN; INSERT INTO t VALUES (2); ROLLBACK;")
+        .unwrap();
     assert_eq!(db.table_row_count("t").unwrap(), 1);
     // And the store still works for further writes.
     db.execute("INSERT INTO t VALUES (3)").unwrap();
@@ -325,9 +342,11 @@ fn udf_can_reenter_database() {
     // The RQL loop-body pattern: a UDF invoked per row of a query runs
     // further statements on the same database.
     let db = db();
-    db.execute("CREATE TABLE snapids (snap_id INTEGER)").unwrap();
+    db.execute("CREATE TABLE snapids (snap_id INTEGER)")
+        .unwrap();
     db.execute("CREATE TABLE log (s INTEGER)").unwrap();
-    db.execute("INSERT INTO snapids VALUES (1), (2), (3)").unwrap();
+    db.execute("INSERT INTO snapids VALUES (1), (2), (3)")
+        .unwrap();
     let db2 = db.clone();
     db.register_udf("loop_body", move |args| {
         let sid = args[0].as_i64().unwrap();
@@ -361,7 +380,9 @@ fn errors_reported() {
     assert!(db.query("SELECT * FROM missing").is_err());
     db.execute("CREATE TABLE t (a INTEGER)").unwrap();
     assert!(db.execute("CREATE TABLE t (b INTEGER)").is_err());
-    assert!(db.execute("CREATE TABLE IF NOT EXISTS t (b INTEGER)").is_ok());
+    assert!(db
+        .execute("CREATE TABLE IF NOT EXISTS t (b INTEGER)")
+        .is_ok());
     assert!(db.query("SELECT nope FROM t").is_err());
     assert!(db.execute("INSERT INTO t VALUES (1, 2)").is_err());
     assert!(db.execute("COMMIT").is_err()); // no open txn
@@ -374,13 +395,16 @@ fn as_of_io_stats_reflect_sources() {
     let db = db();
     db.execute("CREATE TABLE t (a INTEGER)").unwrap();
     let values: Vec<String> = (0..2000).map(|i| format!("({i})")).collect();
-    db.execute(&format!("INSERT INTO t VALUES {}", values.join(","))).unwrap();
+    db.execute(&format!("INSERT INTO t VALUES {}", values.join(",")))
+        .unwrap();
     let sid = db.declare_snapshot().unwrap();
     // Overwrite everything so the snapshot is fully archived.
     db.execute("UPDATE t SET a = a + 10000").unwrap();
     db.store().cache().clear();
     db.io_stats().reset();
-    let r = db.query(&format!("SELECT AS OF {sid} COUNT(*) FROM t")).unwrap();
+    let r = db
+        .query(&format!("SELECT AS OF {sid} COUNT(*) FROM t"))
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Integer(2000));
     assert!(
         r.stats.io.pagelog_reads > 0,
@@ -388,7 +412,9 @@ fn as_of_io_stats_reflect_sources() {
         r.stats.io
     );
     // Re-running hits the cache instead.
-    let r2 = db.query(&format!("SELECT AS OF {sid} COUNT(*) FROM t")).unwrap();
+    let r2 = db
+        .query(&format!("SELECT AS OF {sid} COUNT(*) FROM t"))
+        .unwrap();
     assert!(r2.stats.io.cache_hits > 0);
     assert!(r2.stats.io.pagelog_reads < r.stats.io.pagelog_reads / 2);
 }

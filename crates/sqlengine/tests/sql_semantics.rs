@@ -21,7 +21,9 @@ fn where_null_rows_are_filtered_not_errors() {
     let r = db.query("SELECT COUNT(*) FROM t WHERE a IS NULL").unwrap();
     assert_eq!(r.rows[0][0], Value::Integer(1));
     // NOT (unknown) is still unknown.
-    let r = db.query("SELECT COUNT(*) FROM t WHERE NOT (a > 0)").unwrap();
+    let r = db
+        .query("SELECT COUNT(*) FROM t WHERE NOT (a > 0)")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Integer(0));
 }
 
@@ -31,9 +33,7 @@ fn null_in_list_semantics() {
     db.execute("CREATE TABLE t (a INTEGER)").unwrap();
     db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
     // 1 IN (1, NULL) is true; 2 IN (1, NULL) is unknown → filtered.
-    let r = db
-        .query("SELECT a FROM t WHERE a IN (1, NULL)")
-        .unwrap();
+    let r = db.query("SELECT a FROM t WHERE a IN (1, NULL)").unwrap();
     assert_eq!(r.rows.len(), 1);
     // NOT IN with NULL in the list filters everything (unknown).
     let r = db
@@ -77,13 +77,17 @@ fn group_by_nulls_form_one_group() {
 fn order_by_alias_position_and_expression() {
     let db = db();
     db.execute("CREATE TABLE t (a INTEGER, b INTEGER)").unwrap();
-    db.execute("INSERT INTO t VALUES (1, 9), (2, 5), (3, 7)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 9), (2, 5), (3, 7)")
+        .unwrap();
     // Alias.
     let r = db
         .query("SELECT b AS weight FROM t ORDER BY weight")
         .unwrap();
     assert_eq!(
-        r.rows.iter().map(|x| x[0].as_i64().unwrap()).collect::<Vec<_>>(),
+        r.rows
+            .iter()
+            .map(|x| x[0].as_i64().unwrap())
+            .collect::<Vec<_>>(),
         vec![5, 7, 9]
     );
     // Position.
@@ -92,7 +96,10 @@ fn order_by_alias_position_and_expression() {
     // Expression not in the projection.
     let r = db.query("SELECT a FROM t ORDER BY b * -1").unwrap();
     assert_eq!(
-        r.rows.iter().map(|x| x[0].as_i64().unwrap()).collect::<Vec<_>>(),
+        r.rows
+            .iter()
+            .map(|x| x[0].as_i64().unwrap())
+            .collect::<Vec<_>>(),
         vec![1, 3, 2]
     );
     // ORDER BY on an aggregate query.
@@ -107,9 +114,13 @@ fn having_without_group_by() {
     let db = db();
     db.execute("CREATE TABLE t (a INTEGER)").unwrap();
     db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
-    let r = db.query("SELECT SUM(a) FROM t HAVING COUNT(*) > 1").unwrap();
+    let r = db
+        .query("SELECT SUM(a) FROM t HAVING COUNT(*) > 1")
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
-    let r = db.query("SELECT SUM(a) FROM t HAVING COUNT(*) > 5").unwrap();
+    let r = db
+        .query("SELECT SUM(a) FROM t HAVING COUNT(*) > 5")
+        .unwrap();
     assert_eq!(r.rows.len(), 0);
 }
 
@@ -136,15 +147,15 @@ fn ambiguous_column_is_an_error() {
 #[test]
 fn planner_decisions_are_visible() {
     let db = db();
-    db.execute("CREATE TABLE part (p_partkey INTEGER, p_type TEXT)").unwrap();
-    db.execute("CREATE TABLE lineitem (l_partkey INTEGER, l_price REAL)").unwrap();
+    db.execute("CREATE TABLE part (p_partkey INTEGER, p_type TEXT)")
+        .unwrap();
+    db.execute("CREATE TABLE lineitem (l_partkey INTEGER, l_price REAL)")
+        .unwrap();
     db.execute("INSERT INTO part VALUES (1, 'TIN')").unwrap();
     db.execute("INSERT INTO lineitem VALUES (1, 5.0)").unwrap();
     // Without an index: base seq scan + ad-hoc hash join.
     let r = db
-        .query(
-            "SELECT COUNT(*) FROM lineitem, part WHERE p_partkey = l_partkey",
-        )
+        .query("SELECT COUNT(*) FROM lineitem, part WHERE p_partkey = l_partkey")
         .unwrap();
     assert_eq!(
         r.plan,
@@ -152,18 +163,19 @@ fn planner_decisions_are_visible() {
     );
     // With a native index on the join column: table is reordered to the
     // inner side and probed through the index.
-    db.execute("CREATE INDEX idx_lp ON lineitem (l_partkey)").unwrap();
+    db.execute("CREATE INDEX idx_lp ON lineitem (l_partkey)")
+        .unwrap();
     let r = db
-        .query(
-            "SELECT COUNT(*) FROM lineitem, part WHERE p_partkey = l_partkey",
-        )
+        .query("SELECT COUNT(*) FROM lineitem, part WHERE p_partkey = l_partkey")
         .unwrap();
     assert_eq!(
         r.plan,
         vec!["part: seq scan", "lineitem: index nested loop via idx_lp"]
     );
     // Point lookup uses the index too.
-    let r = db.query("SELECT * FROM lineitem WHERE l_partkey = 1").unwrap();
+    let r = db
+        .query("SELECT * FROM lineitem WHERE l_partkey = 1")
+        .unwrap();
     assert_eq!(r.plan, vec!["lineitem: index scan via idx_lp"]);
     // No join condition → cross join.
     let r = db.query("SELECT COUNT(*) FROM part, part p2").unwrap();
@@ -187,12 +199,18 @@ fn cross_join_cardinality() {
 #[test]
 fn three_way_join() {
     let db = db();
-    db.execute("CREATE TABLE c (ck INTEGER, name TEXT)").unwrap();
-    db.execute("CREATE TABLE o (ok INTEGER, ck INTEGER)").unwrap();
-    db.execute("CREATE TABLE l (ok INTEGER, qty INTEGER)").unwrap();
-    db.execute("INSERT INTO c VALUES (1, 'ann'), (2, 'bob')").unwrap();
-    db.execute("INSERT INTO o VALUES (10, 1), (11, 2), (12, 1)").unwrap();
-    db.execute("INSERT INTO l VALUES (10, 5), (10, 7), (11, 3), (12, 1)").unwrap();
+    db.execute("CREATE TABLE c (ck INTEGER, name TEXT)")
+        .unwrap();
+    db.execute("CREATE TABLE o (ok INTEGER, ck INTEGER)")
+        .unwrap();
+    db.execute("CREATE TABLE l (ok INTEGER, qty INTEGER)")
+        .unwrap();
+    db.execute("INSERT INTO c VALUES (1, 'ann'), (2, 'bob')")
+        .unwrap();
+    db.execute("INSERT INTO o VALUES (10, 1), (11, 2), (12, 1)")
+        .unwrap();
+    db.execute("INSERT INTO l VALUES (10, 5), (10, 7), (11, 3), (12, 1)")
+        .unwrap();
     let r = db
         .query(
             "SELECT c.name, SUM(l.qty) AS total FROM c \
@@ -226,9 +244,7 @@ fn distinct_treats_integral_real_as_equal() {
     db.execute("INSERT INTO t VALUES (1.0), (1.5)").unwrap();
     db.execute("CREATE TABLE u (v INTEGER)").unwrap();
     db.execute("INSERT INTO u VALUES (1)").unwrap();
-    let r = db
-        .query("SELECT DISTINCT v FROM t")
-        .unwrap();
+    let r = db.query("SELECT DISTINCT v FROM t").unwrap();
     assert_eq!(r.rows.len(), 2);
 }
 
@@ -236,10 +252,8 @@ fn distinct_treats_integral_real_as_equal() {
 fn text_dates_compare_lexicographically() {
     let db = db();
     db.execute("CREATE TABLE t (d DATE)").unwrap();
-    db.execute(
-        "INSERT INTO t VALUES ('1995-03-17'), ('1992-01-01'), ('1998-08-02')",
-    )
-    .unwrap();
+    db.execute("INSERT INTO t VALUES ('1995-03-17'), ('1992-01-01'), ('1998-08-02')")
+        .unwrap();
     let r = db
         .query("SELECT COUNT(*) FROM t WHERE d < '1996-01-01'")
         .unwrap();
@@ -321,10 +335,8 @@ fn like_and_not_like() {
 fn count_star_vs_count_distinct_in_groups() {
     let db = db();
     db.execute("CREATE TABLE t (g TEXT, v INTEGER)").unwrap();
-    db.execute(
-        "INSERT INTO t VALUES ('a', 1), ('a', 1), ('a', 2), ('b', NULL), ('b', 3)",
-    )
-    .unwrap();
+    db.execute("INSERT INTO t VALUES ('a', 1), ('a', 1), ('a', 2), ('b', NULL), ('b', 3)")
+        .unwrap();
     let r = db
         .query(
             "SELECT g, COUNT(*), COUNT(v), COUNT(DISTINCT v) FROM t \
@@ -354,11 +366,10 @@ fn count_star_vs_count_distinct_in_groups() {
 #[test]
 fn case_expressions() {
     let db = db();
-    db.execute("CREATE TABLE t (status TEXT, qty INTEGER)").unwrap();
-    db.execute(
-        "INSERT INTO t VALUES ('O', 10), ('F', 5), ('P', 2), (NULL, 1)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE t (status TEXT, qty INTEGER)")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES ('O', 10), ('F', 5), ('P', 2), (NULL, 1)")
+        .unwrap();
     // Searched CASE.
     let r = db
         .query(
@@ -379,7 +390,7 @@ fn case_expressions() {
     assert_eq!(r.rows[1][0], Value::text("filled"));
     assert!(r.rows[2][0].is_null()); // 'P': no arm, no ELSE
     assert!(r.rows[3][0].is_null()); // NULL operand
-    // CASE inside an aggregate (pivot pattern).
+                                     // CASE inside an aggregate (pivot pattern).
     let r = db
         .query(
             "SELECT SUM(CASE WHEN status = 'O' THEN qty ELSE 0 END), \
@@ -439,7 +450,9 @@ fn interleaved_writer_and_sql_inserts_self_heal_fsm() {
         db.execute(&format!("INSERT INTO t VALUES ({}, 'sql')", 10_000 + i))
             .unwrap();
     }
-    let r = db.query("SELECT COUNT(*) FROM t WHERE pad = 'sql'").unwrap();
+    let r = db
+        .query("SELECT COUNT(*) FROM t WHERE pad = 'sql'")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Integer(50));
     assert_eq!(db.table_row_count("t").unwrap(), 2051);
 }

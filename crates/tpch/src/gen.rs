@@ -99,7 +99,10 @@ impl Tpch {
         let mut rng = text::row_rng(TAG_PART, key);
         let name = format!(
             "{} {} {}",
-            text::pick(&mut rng, &["almond", "antique", "aquamarine", "azure", "beige"]),
+            text::pick(
+                &mut rng,
+                &["almond", "antique", "aquamarine", "azure", "beige"]
+            ),
             text::pick(&mut rng, &["lace", "linen", "metallic", "misty", "pale"]),
             text::pick(&mut rng, &["rose", "salmon", "seashell", "sienna", "sky"]),
         );
@@ -107,7 +110,11 @@ impl Tpch {
             Value::Integer(key),
             Value::text(name),
             Value::text(format!("Manufacturer#{}", rng.random_range(1..=5))),
-            Value::text(format!("Brand#{}{}", rng.random_range(1..=5), rng.random_range(1..=5))),
+            Value::text(format!(
+                "Brand#{}{}",
+                rng.random_range(1..=5),
+                rng.random_range(1..=5)
+            )),
             Value::text(text::part_type(&mut rng)),
             Value::Integer(rng.random_range(1..=50)),
             Value::text(text::container(&mut rng)),
@@ -301,7 +308,10 @@ mod tests {
     fn order_dates_increase_with_key() {
         let t = Tpch::new(0.01);
         let early = t.order_row(1)[4].as_str().unwrap().to_owned();
-        let late = t.order_row(t.orders_count())[4].as_str().unwrap().to_owned();
+        let late = t.order_row(t.orders_count())[4]
+            .as_str()
+            .unwrap()
+            .to_owned();
         assert!(early < late);
     }
 

@@ -19,6 +19,4 @@ pub mod workload;
 pub use gen::{Tpch, SCHEMA};
 pub use load::{create_native_indexes, create_schema, load_initial};
 pub use refresh::RefreshStream;
-pub use workload::{
-    build_history, SnapshotHistory, UpdateWorkload, UW15, UW30, UW60, UW7_5,
-};
+pub use workload::{build_history, SnapshotHistory, UpdateWorkload, UW15, UW30, UW60, UW7_5};

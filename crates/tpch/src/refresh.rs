@@ -136,10 +136,7 @@ mod tests {
             .query("SELECT MIN(o_orderkey), MAX(o_orderkey) FROM orders")
             .unwrap();
         assert_eq!(r.rows[0][0], Value::Integer(61));
-        assert_eq!(
-            r.rows[0][1],
-            Value::Integer(tpch.orders_count() + 60)
-        );
+        assert_eq!(r.rows[0][1], Value::Integer(tpch.orders_count() + 60));
     }
 
     #[test]

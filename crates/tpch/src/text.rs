@@ -20,8 +20,7 @@ pub const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 /// `p_container` syllables.
 pub const CONTAINER_SYL1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
 /// `p_container` second syllable.
-pub const CONTAINER_SYL2: [&str; 8] =
-    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+pub const CONTAINER_SYL2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 
 /// Customer market segments.
 pub const SEGMENTS: [&str; 5] = [
@@ -36,8 +35,12 @@ pub const SEGMENTS: [&str; 5] = [
 pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// Ship instructions.
-pub const INSTRUCTIONS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// Ship modes.
 pub const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
@@ -75,11 +78,29 @@ pub const NATIONS: [(&str, i64); 25] = [
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
 const NOUNS: [&str; 12] = [
-    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites",
-    "pinto beans", "instructions", "dependencies", "excuses", "platelets",
+    "packages",
+    "requests",
+    "accounts",
+    "deposits",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "pinto beans",
+    "instructions",
+    "dependencies",
+    "excuses",
+    "platelets",
 ];
 const VERBS: [&str; 10] = [
-    "sleep", "wake", "haggle", "nag", "cajole", "boost", "detect", "integrate", "solve",
+    "sleep",
+    "wake",
+    "haggle",
+    "nag",
+    "cajole",
+    "boost",
+    "detect",
+    "integrate",
+    "solve",
     "wake quickly against",
 ];
 const ADJECTIVES: [&str; 9] = [

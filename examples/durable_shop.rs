@@ -77,7 +77,10 @@ fn main() -> rql::Result<()> {
 
     // --- restart: everything is still there ------------------------------
     let db = open_db(&dir, false)?;
-    println!("after reopen: {} snapshots recovered", db.store().snapshot_count());
+    println!(
+        "after reopen: {} snapshots recovered",
+        db.store().snapshot_count()
+    );
 
     for day in 1..=3u64 {
         let r = db.query(&format!(

@@ -31,7 +31,10 @@ fn main() -> rql::Result<()> {
         "daily_open",
     )?;
     println!("\nOpen orders per day:");
-    for row in &session.query_aux("SELECT day, open_orders FROM daily_open ORDER BY day")?.rows {
+    for row in &session
+        .query_aux("SELECT day, open_orders FROM daily_open ORDER BY day")?
+        .rows
+    {
         println!("  day {}: {} open", row[0], row[1]);
     }
 
@@ -43,9 +46,8 @@ fn main() -> rql::Result<()> {
         "peaks",
         &[("cn".into(), AggOp::Max)],
     )?;
-    let top = session.query_aux(
-        "SELECT o_custkey, cn FROM peaks ORDER BY cn DESC, o_custkey LIMIT 5",
-    )?;
+    let top =
+        session.query_aux("SELECT o_custkey, cn FROM peaks ORDER BY cn DESC, o_custkey LIMIT 5")?;
     println!("\nTop-5 customers by peak simultaneous orders:");
     for row in &top.rows {
         println!("  customer {}: peak {}", row[0], row[1]);
@@ -66,7 +68,11 @@ fn main() -> rql::Result<()> {
     for row in &series.rows {
         println!("  day {}: {}", row[0], row[1]);
     }
-    let day1 = series.rows.first().and_then(|r| r[1].as_f64()).unwrap_or(0.0);
+    let day1 = series
+        .rows
+        .first()
+        .and_then(|r| r[1].as_f64())
+        .unwrap_or(0.0);
     let claim_holds = series
         .rows
         .iter()

@@ -65,12 +65,18 @@ fn main() -> rql::Result<()> {
         "tour2",
         AggOp::Avg,
     )?;
-    let hot_contig = report.hot_mean(|i| i.qq_stats.io.pagelog_reads as f64).unwrap();
-    let hot_skip = skipped.hot_mean(|i| i.qq_stats.io.pagelog_reads as f64).unwrap();
+    let hot_contig = report
+        .hot_mean(|i| i.qq_stats.io.pagelog_reads as f64)
+        .unwrap();
+    let hot_skip = skipped
+        .hot_mean(|i| i.qq_stats.io.pagelog_reads as f64)
+        .unwrap();
     println!(
         "\n[2] Hot-iteration pagelog reads: consecutive {hot_contig:.1} vs skip-10 \
-         {hot_skip:.1} — skipping {}× the snapshots costs {}× the misses."
-    , 10, (hot_skip / hot_contig.max(0.01)).round());
+         {hot_skip:.1} — skipping {}× the snapshots costs {}× the misses.",
+        10,
+        (hot_skip / hot_contig.max(0.01)).round()
+    );
 
     // Effect 3: recent snapshots share with the memory-resident database
     // (measured above, before aging).

@@ -27,9 +27,7 @@ fn main() -> rql::Result<()> {
     });
 
     // --- Figure 3: build the history -----------------------------------
-    session.execute(
-        "CREATE TABLE LoggedIn (l_userid TEXT, l_time TEXT, l_country TEXT)",
-    )?;
+    session.execute("CREATE TABLE LoggedIn (l_userid TEXT, l_time TEXT, l_country TEXT)")?;
     session.execute(
         "INSERT INTO LoggedIn VALUES \
          ('UserA', '2008-11-09 13:23:44', 'USA'), \
@@ -68,9 +66,9 @@ fn main() -> rql::Result<()> {
         "collated",
     )?;
     println!("\nCollateData — every (user, snapshot) appearance:");
-    print_result(&session.query_aux(
-        "SELECT l_userid, current_snapshot FROM collated ORDER BY 2, 1",
-    )?);
+    print_result(
+        &session.query_aux("SELECT l_userid, current_snapshot FROM collated ORDER BY 2, 1")?,
+    );
 
     // --- §2.2 AggregateDataInVariable -------------------------------------
     session.aggregate_data_in_variable(
@@ -99,9 +97,7 @@ fn main() -> rql::Result<()> {
         &[("l_time".into(), AggOp::Min)],
     )?;
     println!("\nAggregateDataInTable — first login time per user:");
-    print_result(&session.query_aux(
-        "SELECT l_userid, l_time FROM first_login ORDER BY l_userid",
-    )?);
+    print_result(&session.query_aux("SELECT l_userid, l_time FROM first_login ORDER BY l_userid")?);
 
     session.aggregate_data_in_table(
         "SELECT snap_id FROM SnapIds",
@@ -110,9 +106,9 @@ fn main() -> rql::Result<()> {
         &[("c".into(), AggOp::Max)],
     )?;
     println!("\nAggregateDataInTable — max simultaneous logins per country:");
-    print_result(&session.query_aux(
-        "SELECT l_country, c FROM max_per_country ORDER BY l_country",
-    )?);
+    print_result(
+        &session.query_aux("SELECT l_country, c FROM max_per_country ORDER BY l_country")?,
+    );
 
     // --- §2.4 CollateDataIntoIntervals ------------------------------------
     session.collate_data_into_intervals(

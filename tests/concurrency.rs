@@ -15,8 +15,10 @@ fn readers_never_block_and_never_see_torn_states() {
     // statements; readers (current-state and snapshot) must always see
     // the invariant sum.
     let db = Database::default_in_memory();
-    db.execute("CREATE TABLE acct (id INTEGER, bal INTEGER)").unwrap();
-    db.execute("INSERT INTO acct VALUES (1, 500), (2, 500)").unwrap();
+    db.execute("CREATE TABLE acct (id INTEGER, bal INTEGER)")
+        .unwrap();
+    db.execute("INSERT INTO acct VALUES (1, 500), (2, 500)")
+        .unwrap();
     let sid = db.declare_snapshot().unwrap();
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -101,9 +103,7 @@ fn parallel_rql_queries_share_one_cache_coherently() {
     // Small cache forces eviction churn.
     session.snap_db().store().cache().set_capacity(4);
     let expected: i64 = {
-        let r = session
-            .query("SELECT AS OF 6 SUM(v) FROM t")
-            .unwrap();
+        let r = session.query("SELECT AS OF 6 SUM(v) FROM t").unwrap();
         r.rows[0][0].as_i64().unwrap()
     };
     let handles: Vec<_> = (0..4)

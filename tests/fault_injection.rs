@@ -19,11 +19,7 @@ fn config() -> RetroConfig {
     }
 }
 
-fn store_with(
-    wal_ok: u64,
-    pagelog_ok: u64,
-    fail_reads: bool,
-) -> (Arc<Database>, Arc<MemStorage>) {
+fn store_with(wal_ok: u64, pagelog_ok: u64, fail_reads: bool) -> (Arc<Database>, Arc<MemStorage>) {
     let wal_inner = Arc::new(MemStorage::new());
     let wal = Arc::new(FailingStorage::new(wal_inner.clone(), wal_ok, true, false));
     let pagelog = Arc::new(FailingStorage::new(

@@ -164,9 +164,7 @@ fn snapshot_isolation_under_concurrent_readers() {
                 for _ in 0..20 {
                     for (sid, want) in snapshots.iter().zip(&expected) {
                         let got = session
-                            .query(&format!(
-                                "SELECT AS OF {sid} MIN(o_orderkey) FROM orders"
-                            ))
+                            .query(&format!("SELECT AS OF {sid} MIN(o_orderkey) FROM orders"))
                             .unwrap()
                             .rows[0][0]
                             .as_i64()

@@ -14,11 +14,7 @@ struct DiskDirs {
 
 impl DiskDirs {
     fn new(tag: &str) -> Self {
-        let dir = std::env::temp_dir().join(format!(
-            "rql-ondisk-{}-{}",
-            tag,
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("rql-ondisk-{}-{}", tag, std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         DiskDirs { dir }
     }
@@ -68,7 +64,8 @@ fn full_lifecycle_on_real_files() {
              o_totalprice REAL)",
         )
         .unwrap();
-        db.execute("CREATE INDEX idx_ok ON orders (o_orderkey)").unwrap();
+        db.execute("CREATE INDEX idx_ok ON orders (o_orderkey)")
+            .unwrap();
         db.with_table_writer("orders", |w| {
             for i in 0..500i64 {
                 w.insert(vec![
@@ -81,11 +78,13 @@ fn full_lifecycle_on_real_files() {
         })
         .unwrap();
         s1 = db.declare_snapshot().unwrap();
-        db.execute("DELETE FROM orders WHERE o_orderkey < 100").unwrap();
+        db.execute("DELETE FROM orders WHERE o_orderkey < 100")
+            .unwrap();
         db.execute("UPDATE orders SET o_orderstatus = 'P' WHERE o_orderkey % 50 = 0")
             .unwrap();
         s2 = db.declare_snapshot().unwrap();
-        db.execute("DELETE FROM orders WHERE o_orderkey < 200").unwrap();
+        db.execute("DELETE FROM orders WHERE o_orderkey < 200")
+            .unwrap();
         db.store().flush().unwrap();
         // Drop without any clean shutdown: recovery does the rest.
     }
@@ -104,8 +103,10 @@ fn full_lifecycle_on_real_files() {
         ))
         .unwrap();
     assert_eq!(r.rows[0][0], Value::Integer(8)); // keys 100..500 step 50
-    // Index probes after recovery, both current and retrospective.
-    let r = db.query("SELECT o_totalprice FROM orders WHERE o_orderkey = 250").unwrap();
+                                                 // Index probes after recovery, both current and retrospective.
+    let r = db
+        .query("SELECT o_totalprice FROM orders WHERE o_orderkey = 250")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Real(2500.0));
     let r = db
         .query(&format!(
@@ -114,7 +115,8 @@ fn full_lifecycle_on_real_files() {
         .unwrap();
     assert_eq!(r.rows[0][0], Value::Real(500.0));
     // And the store keeps working.
-    db.execute("INSERT INTO orders VALUES (9999, 'O', 1.0)").unwrap();
+    db.execute("INSERT INTO orders VALUES (9999, 'O', 1.0)")
+        .unwrap();
     let s3 = db.declare_snapshot().unwrap();
     let r = db
         .query(&format!("SELECT AS OF {s3} COUNT(*) FROM orders"))

@@ -230,7 +230,9 @@ fn any_value() -> impl Strategy<Value = Value> {
     prop_oneof![
         Just(Value::Null),
         any::<i64>().prop_map(Value::Integer),
-        any::<f64>().prop_filter("no NaN", |f| !f.is_nan()).prop_map(Value::Real),
+        any::<f64>()
+            .prop_filter("no NaN", |f| !f.is_nan())
+            .prop_map(Value::Real),
         "[a-zA-Z0-9 '\\u{e9}\\u{4e16}]{0,40}".prop_map(Value::Text),
     ]
 }

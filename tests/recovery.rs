@@ -51,7 +51,8 @@ fn snapshots_survive_crash_and_reopen() {
     {
         let db = storages.open();
         db.execute("CREATE TABLE t (k INTEGER, v TEXT)").unwrap();
-        db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+            .unwrap();
         db.declare_snapshot().unwrap(); // S1
         db.execute("DELETE FROM t WHERE k = 1").unwrap();
         db.execute("INSERT INTO t VALUES (3, 'three')").unwrap();
@@ -131,7 +132,8 @@ fn indexes_survive_recovery() {
         db.execute("CREATE TABLE t (k INTEGER, v TEXT)").unwrap();
         db.execute("CREATE INDEX t_k ON t (k)").unwrap();
         for i in 0..50 {
-            db.execute(&format!("INSERT INTO t VALUES ({i}, 'v{i}')")).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'v{i}')"))
+                .unwrap();
         }
         db.declare_snapshot().unwrap();
         db.execute("DELETE FROM t WHERE k < 25").unwrap();
@@ -141,7 +143,11 @@ fn indexes_survive_recovery() {
     // Point lookups through the recovered index, current and AS OF.
     let r = db.query("SELECT v FROM t WHERE k = 30").unwrap();
     assert_eq!(r.rows[0][0], Value::text("v30"));
-    assert!(db.query("SELECT v FROM t WHERE k = 10").unwrap().rows.is_empty());
+    assert!(db
+        .query("SELECT v FROM t WHERE k = 10")
+        .unwrap()
+        .rows
+        .is_empty());
     let r = db.query("SELECT AS OF 1 v FROM t WHERE k = 10").unwrap();
     assert_eq!(r.rows[0][0], Value::text("v10"));
 }
