@@ -1,0 +1,90 @@
+//! The Table 1 benchmark queries must pass the static analyzer — the
+//! same gate CI applies to the runnable examples via `rqlcheck`. Each
+//! query is checked under the mechanism it actually drives in the
+//! experiments (see `experiments/`), against the TPC-H catalog the
+//! harness creates.
+
+use rql::analyze::{analyze_mechanism_call, MechanismCall, MechanismKind, SchemaEnv};
+use rql::{DeltaPolicy, RqlSession};
+use rql_bench::queries::{qq_collate, QQ_AGG, QQ_CPU, QQ_INT, QQ_IO};
+
+/// The shape every experiment's Qs takes (`SnapshotHistory::qs`).
+const QS: &str =
+    "SELECT snap_id FROM snapids WHERE snap_id >= 1 AND snap_id <= 10 ORDER BY snap_id";
+
+fn tpch_envs() -> (SchemaEnv, SchemaEnv) {
+    let session = RqlSession::with_defaults().unwrap();
+    rql_tpch::create_schema(session.snap_db()).unwrap();
+    let snap_env = SchemaEnv::from_database(session.snap_db()).unwrap();
+    let aux_env = SchemaEnv::from_database(session.aux_db()).unwrap();
+    (snap_env, aux_env)
+}
+
+fn assert_clean(kind: MechanismKind, qq: &str, spec: Option<&str>, policy: Option<DeltaPolicy>) {
+    let (snap_env, aux_env) = tpch_envs();
+    let analysis = analyze_mechanism_call(
+        &MechanismCall {
+            kind,
+            qs: QS,
+            qq,
+            table: "lint_result",
+            spec,
+        },
+        &snap_env,
+        &aux_env,
+        policy,
+    );
+    let errors: Vec<_> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == rql::analyze::Severity::Error)
+        .collect();
+    assert!(errors.is_empty(), "{kind:?} over `{qq}`: {errors:?}");
+}
+
+#[test]
+fn table1_queries_lint_clean_under_their_mechanisms() {
+    // Qq_io and Qq_cpu drive AggregateDataInVariable(avg) in figs 6-9.
+    assert_clean(MechanismKind::AggVar, QQ_IO, Some("avg"), None);
+    assert_clean(MechanismKind::AggVar, QQ_CPU, Some("avg"), None);
+    // Qq_agg drives AggregateDataInTable over its `cn` alias (ablations)
+    // and plain CollateData (agg_vs_collate).
+    assert_clean(MechanismKind::AggTable, QQ_AGG, Some("(cn,max)"), None);
+    assert_clean(MechanismKind::Collate, QQ_AGG, None, None);
+    // Qq_int drives both CollateData and CollateDataIntoIntervals
+    // (mem_table, §5.3).
+    assert_clean(MechanismKind::Collate, QQ_INT, None, None);
+    assert_clean(MechanismKind::Intervals, QQ_INT, None, None);
+    // Qq_collate with a bound date parameter (fig 10).
+    assert_clean(
+        MechanismKind::Collate,
+        &qq_collate("1995-01-01"),
+        None,
+        None,
+    );
+}
+
+/// Policy-aware lint: the single-table scans stay eligible under
+/// `Forced`, while the join in Qq_cpu is only acceptable under `Auto`
+/// (where the analyzer predicts the sequential fallback, not an error).
+#[test]
+fn table1_queries_lint_clean_under_delta_policies() {
+    assert_clean(
+        MechanismKind::Collate,
+        QQ_IO,
+        None,
+        Some(DeltaPolicy::Forced),
+    );
+    assert_clean(
+        MechanismKind::AggVar,
+        QQ_CPU,
+        Some("avg"),
+        Some(DeltaPolicy::Auto),
+    );
+    assert_clean(
+        MechanismKind::Collate,
+        QQ_INT,
+        None,
+        Some(DeltaPolicy::Auto),
+    );
+}

@@ -1,0 +1,215 @@
+//! `rqlcheck`: static semantic analysis of RQL programs.
+//!
+//! Everything here runs before any snapshot is opened. The passes:
+//!
+//! 1. **Name/type resolution** ([`resolve`]) — Qs against the auxiliary
+//!    catalog (`SnapIds` + result tables), Qq against the snapshotable
+//!    catalog, with the engine's exact scoping rules.
+//! 2. **Mechanism-spec validation** ([`mechspec`]) — aggregate
+//!    arity/typing, result-table schema inference, collision checks; the
+//!    same contracts the mechanisms enforce mid-loop, moved to compile
+//!    time.
+//! 3. **Rewrite safety** ([`rewrite_safety`]) — proofs that the §3
+//!    rewrite (`AS OF` injection, `current_snapshot()` substitution)
+//!    finds all its sites and none are hidden in string literals.
+//! 4. **Delta eligibility** ([`delta`]) — the DESIGN.md fallback matrix
+//!    as diagnostics: `Forced`-policy fallbacks become compile-time
+//!    errors, `Auto` fallbacks become advisories.
+//!
+//! Diagnostics are structured values ([`Diagnostic`]) with stable codes
+//! (`RQL0xx` semantic, `RQL1xx` rewrite safety, `RQL2xx` delta
+//! eligibility), byte spans into the offending source, and a human
+//! renderer. The session runs [`analyze_mechanism_call`] as a mandatory
+//! pre-flight; the `rqlcheck` binary lints whole `.rql` programs via
+//! [`program`].
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+pub mod delta;
+pub mod diag;
+pub mod env;
+pub mod mechspec;
+pub mod program;
+pub mod resolve;
+pub mod rewrite_safety;
+
+use rql_sqlengine::SqlError;
+
+pub use self::delta::{explain_delta, DeltaExplain, PredictedPath};
+pub use self::diag::{Code, Diagnostic, Severity, SourceKind};
+pub use self::env::SchemaEnv;
+pub use self::mechspec::{check_mechanism, MechanismCall, MechanismFacts, MechanismKind};
+pub use self::program::{
+    analyze_program, parse_program, run_program, Program, ProgramAnalysis, ProgramStmt,
+};
+pub use crate::delta::DeltaPolicy;
+
+/// The result of analyzing one mechanism call.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Everything found, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The delta-path prediction, when a policy was specified.
+    pub delta: Option<DeltaExplain>,
+    /// The result table T's inferred column names.
+    pub result_columns: Option<Vec<String>>,
+    /// Qq tables missing from the provided snapshot catalog (the
+    /// pre-flight widens the catalog with older snapshots and retries).
+    pub qq_unknown_tables: Vec<String>,
+}
+
+impl Analysis {
+    /// Whether any diagnostic is an error (warnings/infos don't block).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The first error, mapped to the [`SqlError`] variant the runtime
+    /// would eventually raise for the same problem — so pre-flight
+    /// rejection is indistinguishable (to `matches!` on the variant)
+    /// from the mid-loop failure it preempts.
+    pub fn first_error(&self) -> Option<SqlError> {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .map(to_sql_error)
+    }
+}
+
+/// Map one error diagnostic to the runtime's error taxonomy.
+fn to_sql_error(d: &Diagnostic) -> SqlError {
+    let msg = format!("[{}] {}", d.code, d.message);
+    match d.code {
+        Code::ResultTableExists => SqlError::Constraint(msg),
+        Code::ParseError | Code::QsParseError | Code::QqParseError => match d.span {
+            Some(span) => SqlError::parse_at(msg, span),
+            None => SqlError::Invalid(msg),
+        },
+        Code::UnknownTable
+        | Code::UnknownColumn
+        | Code::UnknownFunction
+        | Code::QsUnknownTable
+        | Code::AggColumnNotInQq => SqlError::Unknown(msg),
+        // Unknown aggregate names are Unknown at runtime; the non-monoid
+        // (distinct) rejection is Invalid.
+        Code::BadAggFunc if d.message.starts_with("aggregate function") => SqlError::Unknown(msg),
+        _ => SqlError::Invalid(msg),
+    }
+}
+
+/// Analyze one mechanism call: the API-level entry the session pre-flight
+/// uses. `policy` enables the delta-eligibility pass; pass `None` when
+/// the caller did not specify one (the plain mechanism API).
+pub fn analyze_mechanism_call(
+    call: &MechanismCall<'_>,
+    snap_env: &SchemaEnv,
+    aux_env: &SchemaEnv,
+    policy: Option<DeltaPolicy>,
+) -> Analysis {
+    let mut diags = Vec::new();
+    let facts = check_mechanism(call, snap_env, aux_env, &mut diags);
+    if let Some(parsed) = &facts.qq_parsed {
+        rewrite_safety::check_qq(parsed, call.qq, SourceKind::Qq, &mut diags);
+    }
+    let delta = policy.map(|p| explain_delta(call.kind, facts.qq_parsed.as_ref(), p, &mut diags));
+    Analysis {
+        diagnostics: diags,
+        delta,
+        result_columns: facts.result_columns,
+        qq_unknown_tables: facts.qq_unknown_tables,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use rql_sqlengine::{ColumnType, TableSchema};
+
+    fn snap_env() -> SchemaEnv {
+        let mut env = SchemaEnv::new();
+        env.add_table(TableSchema::new(
+            "loggedin",
+            vec![
+                ("l_userid".into(), ColumnType::Text),
+                ("l_time".into(), ColumnType::Text),
+            ],
+        ));
+        env
+    }
+
+    #[test]
+    fn full_analysis_clean() {
+        let a = analyze_mechanism_call(
+            &MechanismCall {
+                kind: MechanismKind::Collate,
+                qs: "SELECT snap_id FROM SnapIds",
+                qq: "SELECT DISTINCT l_userid FROM LoggedIn",
+                table: "found",
+                spec: None,
+            },
+            &snap_env(),
+            &SchemaEnv::aux_default(),
+            None,
+        );
+        assert!(!a.has_errors(), "{:?}", a.diagnostics);
+        assert_eq!(a.result_columns, Some(vec!["l_userid".to_owned()]));
+    }
+
+    #[test]
+    fn error_mapping_matches_runtime_taxonomy() {
+        let a = analyze_mechanism_call(
+            &MechanismCall {
+                kind: MechanismKind::Collate,
+                qs: "SELECT snap_id FROM SnapIds",
+                qq: "SELECT nope FROM LoggedIn",
+                table: "t",
+                spec: None,
+            },
+            &snap_env(),
+            &SchemaEnv::aux_default(),
+            None,
+        );
+        assert!(matches!(a.first_error(), Some(SqlError::Unknown(_))));
+
+        let mut aux = SchemaEnv::aux_default();
+        aux.add_table(TableSchema::new("t", vec![]));
+        let a = analyze_mechanism_call(
+            &MechanismCall {
+                kind: MechanismKind::Collate,
+                qs: "SELECT snap_id FROM SnapIds",
+                qq: "SELECT l_userid FROM LoggedIn",
+                table: "t",
+                spec: None,
+            },
+            &snap_env(),
+            &aux,
+            None,
+        );
+        assert!(matches!(a.first_error(), Some(SqlError::Constraint(_))));
+    }
+
+    #[test]
+    fn delta_pass_runs_only_with_policy() {
+        let call = MechanismCall {
+            kind: MechanismKind::Collate,
+            qs: "SELECT snap_id FROM SnapIds",
+            qq: "SELECT l_userid FROM LoggedIn JOIN LoggedIn l2 ON l_userid = l2.l_userid",
+            table: "t",
+            spec: None,
+        };
+        let a = analyze_mechanism_call(&call, &snap_env(), &SchemaEnv::aux_default(), None);
+        assert!(a.delta.is_none());
+        let a = analyze_mechanism_call(
+            &call,
+            &snap_env(),
+            &SchemaEnv::aux_default(),
+            Some(DeltaPolicy::Forced),
+        );
+        assert!(a.has_errors());
+        let delta = a.delta.unwrap();
+        assert_eq!(delta.predicted_path, PredictedPath::Sequential);
+    }
+}

@@ -1,0 +1,579 @@
+//! Whole-program analysis of `.rql` files.
+//!
+//! An `.rql` program is a `;`-separated list of SQL statements with two
+//! comment directives:
+//!
+//! * `--@aux` — the next statement runs on the auxiliary database
+//!   (result-table queries); statements that call a mechanism UDF route
+//!   there automatically, everything else runs on the snapshotable
+//!   database;
+//! * `--@policy off|auto|forced` — the delta policy the program's
+//!   mechanism calls assume, enabling the RQL2xx eligibility pass.
+//!
+//! Mechanism calls use the paper's UDF form:
+//!
+//! ```sql
+//! SELECT CollateData(snap_id, 'SELECT …', 'Result') FROM SnapIds;
+//! ```
+//!
+//! The enclosing SELECT *is* Qs (projected down to the first argument),
+//! and the string-literal arguments are Qq / T / spec. Analysis threads
+//! a schema environment through the statements — DDL folds in, mechanism
+//! calls create their result table in the auxiliary environment — so a
+//! later statement sees exactly what the runtime would have created.
+//! Diagnostics found inside argument literals are remapped into program
+//! byte offsets whenever the literal has no `''` escapes.
+
+use rql_sqlengine::ast::{Expr, InsertSource, SelectItem, Stmt};
+use rql_sqlengine::lexer::{Sym, Token};
+use rql_sqlengine::{parse_statement, tokenize_spanned, ColumnType, Span, TableSchema, Value};
+
+use crate::analyze::delta::DeltaExplain;
+use crate::analyze::diag::{Code, Diagnostic, Severity, SourceKind};
+use crate::analyze::env::SchemaEnv;
+use crate::analyze::mechspec::{MechanismCall, MechanismKind};
+use crate::analyze::resolve::check_select;
+use crate::analyze::rewrite_safety;
+use crate::delta::DeltaPolicy;
+use crate::rewrite::render_select;
+use crate::session::RqlSession;
+use crate::Result;
+
+/// One statement of a parsed program.
+#[derive(Debug, Clone)]
+pub struct ProgramStmt {
+    /// The statement text (no trailing `;`).
+    pub text: String,
+    /// Byte offset of `text` within the program source.
+    pub offset: usize,
+    /// Whether it runs on the auxiliary database.
+    pub on_aux: bool,
+}
+
+/// A parsed `.rql` program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The full source text (spans index into this).
+    pub src: String,
+    /// Statements in order.
+    pub statements: Vec<ProgramStmt>,
+    /// `--@policy` directive, when present.
+    pub policy: Option<DeltaPolicy>,
+}
+
+/// Split a program into statements and directives. A lexical error
+/// (unterminated string/comment, bad literal) is returned as the single
+/// diagnostic that makes the program unanalyzable.
+pub fn parse_program(src: &str) -> std::result::Result<Program, Box<Diagnostic>> {
+    let mut policy = None;
+    let mut aux_marks: Vec<usize> = Vec::new();
+    let mut pos = 0usize;
+    for line in src.split_inclusive('\n') {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("--@") {
+            let rest = rest.trim();
+            if rest.eq_ignore_ascii_case("aux") {
+                aux_marks.push(pos);
+            } else if let Some(p) = rest
+                .to_ascii_lowercase()
+                .strip_prefix("policy")
+                .map(str::trim)
+            {
+                policy = match p {
+                    "off" => Some(DeltaPolicy::Off),
+                    "auto" => Some(DeltaPolicy::Auto),
+                    "forced" => Some(DeltaPolicy::Forced),
+                    _ => policy,
+                };
+            }
+        }
+        pos += line.len();
+    }
+
+    let tokens = match tokenize_spanned(src) {
+        Ok(t) => t,
+        Err(e) => {
+            return Err(Box::new(Diagnostic::new(
+                Code::ParseError,
+                format!("program does not lex: {}", e.message()),
+                SourceKind::Program,
+                e.span(),
+            )));
+        }
+    };
+    let mut statements = Vec::new();
+    let mut group: Vec<&rql_sqlengine::SpannedToken> = Vec::new();
+    let mut flush = |group: &mut Vec<&rql_sqlengine::SpannedToken>| {
+        if group.is_empty() {
+            return;
+        }
+        let start = group[0].span.start;
+        let end = group[group.len() - 1].span.end;
+        let mechanism = group.iter().any(
+            |t| matches!(&t.token, Token::Word(w) if MechanismKind::from_udf_name(w).is_some()),
+        );
+        let on_aux = mechanism
+            || aux_marks
+                .iter()
+                .any(|&m| statements_pending(m, start, &statements, src));
+        statements.push(ProgramStmt {
+            text: src[start..end].to_owned(),
+            offset: start,
+            on_aux,
+        });
+        group.clear();
+    };
+    for t in &tokens {
+        if matches!(t.token, Token::Sym(Sym::Semi)) {
+            flush(&mut group);
+        } else {
+            group.push(t);
+        }
+    }
+    flush(&mut group);
+    Ok(Program {
+        src: src.to_owned(),
+        statements,
+        policy,
+    })
+}
+
+/// Whether an `--@aux` mark at byte `mark` governs the statement
+/// starting at `start`: the mark precedes it and no earlier statement
+/// sits between them.
+fn statements_pending(mark: usize, start: usize, done: &[ProgramStmt], src: &str) -> bool {
+    let _ = src;
+    mark < start && !done.iter().any(|s| s.offset > mark)
+}
+
+/// Program-level analysis result.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramAnalysis {
+    /// All findings, spans in program coordinates.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Delta explains for the program's mechanism calls, in order
+    /// (present when `--@policy` was given).
+    pub delta: Vec<DeltaExplain>,
+    /// Number of mechanism calls found.
+    pub mechanism_count: usize,
+}
+
+impl ProgramAnalysis {
+    /// Whether any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Render every diagnostic against the program source.
+    pub fn render(&self, file: &str, src: &str) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| d.render(file, src))
+            .collect::<Vec<_>>()
+            .join("\n\n")
+    }
+}
+
+/// Analyze a whole program. `snap_env`/`aux_env` are the starting
+/// catalogs (empty + `aux_default` for standalone files; live captures
+/// for a session pre-flight of a script).
+pub fn analyze_program(
+    program: &Program,
+    snap_env: &SchemaEnv,
+    aux_env: &SchemaEnv,
+) -> ProgramAnalysis {
+    let mut snap_env = snap_env.clone();
+    let mut aux_env = aux_env.clone();
+    let mut out = ProgramAnalysis::default();
+
+    for stmt in &program.statements {
+        let parsed = match parse_statement(&stmt.text) {
+            Err(e) => {
+                out.diagnostics.push(Diagnostic::new(
+                    Code::ParseError,
+                    format!("statement does not parse: {}", e.message()),
+                    SourceKind::Program,
+                    e.span()
+                        .map(|s| s.offset(stmt.offset))
+                        .or_else(|| stmt_head_span(stmt)),
+                ));
+                continue;
+            }
+            Ok(p) => p,
+        };
+        if let Some(call) = extract_mechanism_call(&parsed, stmt, &mut out.diagnostics) {
+            analyze_call(
+                &call,
+                stmt,
+                program.policy,
+                &snap_env,
+                &mut aux_env,
+                &mut out,
+            );
+            continue;
+        }
+        let env = if stmt.on_aux { &aux_env } else { &snap_env };
+        check_plain_statement(&parsed, stmt, env, &mut out.diagnostics);
+        let target = if stmt.on_aux {
+            &mut aux_env
+        } else {
+            &mut snap_env
+        };
+        apply_statement_ddl(&parsed, stmt, target);
+    }
+    out
+}
+
+/// Execute a parsed program on a session (the differential harness:
+/// every program `rqlcheck` accepts must run without a semantic error).
+pub fn run_program(session: &RqlSession, program: &Program) -> Result<()> {
+    for stmt in &program.statements {
+        if stmt.on_aux {
+            session.aux_db().execute(&stmt.text)?;
+        } else {
+            session.execute(&stmt.text)?;
+        }
+    }
+    Ok(())
+}
+
+/// Span of a statement's first token, for diagnostics with no better
+/// anchor.
+fn stmt_head_span(stmt: &ProgramStmt) -> Option<Span> {
+    tokenize_spanned(&stmt.text)
+        .ok()?
+        .first()
+        .map(|t| t.span.offset(stmt.offset))
+}
+
+/// A mechanism call extracted from the UDF form, with everything needed
+/// to remap diagnostics back into program coordinates.
+struct ExtractedCall {
+    kind: MechanismKind,
+    qs_text: String,
+    qq: String,
+    table: String,
+    spec: Option<String>,
+    /// Span of the mechanism UDF name, program coordinates.
+    fn_span: Option<Span>,
+}
+
+fn extract_mechanism_call(
+    parsed: &Stmt,
+    stmt: &ProgramStmt,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<ExtractedCall> {
+    let Stmt::Select(select) = parsed else {
+        return None;
+    };
+    let (item_idx, name, args) = select.items.iter().enumerate().find_map(|(i, item)| {
+        if let SelectItem::Expr {
+            expr: Expr::Function { name, args, .. },
+            ..
+        } = item
+        {
+            MechanismKind::from_udf_name(name).map(|_| (i, name.clone(), args.clone()))
+        } else {
+            None
+        }
+    })?;
+    let kind = MechanismKind::from_udf_name(&name)?;
+    let fn_span = crate::analyze::resolve::find_word_span(&stmt.text, &name, 0)
+        .map(|s| s.offset(stmt.offset));
+    let expected = if kind.takes_spec() { 4 } else { 3 };
+    if args.len() != expected {
+        diags.push(Diagnostic::new(
+            Code::MechanismArity,
+            format!(
+                "{} expects {expected} arguments (snap_id, Qq, T{}), got {}",
+                name,
+                if kind.takes_spec() { ", spec" } else { "" },
+                args.len()
+            ),
+            SourceKind::Program,
+            fn_span,
+        ));
+        return None;
+    }
+    let text_arg = |e: &Expr| -> Option<String> {
+        if let Expr::Literal(Value::Text(s)) = e {
+            Some(s.clone())
+        } else {
+            None
+        }
+    };
+    // Dynamic (non-literal) arguments can't be analyzed statically.
+    let qq = text_arg(&args[1])?;
+    let table = text_arg(&args[2])?;
+    let spec = if kind.takes_spec() {
+        Some(text_arg(&args[3])?)
+    } else {
+        None
+    };
+    // The enclosing SELECT, projected down to the snap-id argument, is
+    // Qs: it is exactly the query the mechanism loop will drive.
+    let mut qs_select = select.clone();
+    qs_select.items = vec![SelectItem::Expr {
+        expr: args[0].clone(),
+        alias: None,
+    }];
+    let _ = item_idx;
+    Some(ExtractedCall {
+        kind,
+        qs_text: render_select(&qs_select),
+        qq,
+        table,
+        spec,
+        fn_span,
+    })
+}
+
+fn analyze_call(
+    call: &ExtractedCall,
+    stmt: &ProgramStmt,
+    policy: Option<DeltaPolicy>,
+    snap_env: &SchemaEnv,
+    aux_env: &mut SchemaEnv,
+    out: &mut ProgramAnalysis,
+) {
+    let analysis = super::analyze_mechanism_call(
+        &MechanismCall {
+            kind: call.kind,
+            qs: &call.qs_text,
+            qq: &call.qq,
+            table: &call.table,
+            spec: call.spec.as_deref(),
+        },
+        snap_env,
+        aux_env,
+        policy,
+    );
+    out.mechanism_count += 1;
+    for d in analysis.diagnostics {
+        out.diagnostics.push(remap(d, call, stmt));
+    }
+    if let Some(explain) = analysis.delta {
+        out.delta.push(explain);
+    }
+    // Thread the result table into the environment so later statements
+    // (and later mechanism calls reusing T) see it.
+    let columns = analysis
+        .result_columns
+        .unwrap_or_default()
+        .into_iter()
+        .map(|c| (c, ColumnType::Any))
+        .collect();
+    aux_env.add_table(TableSchema::new(&call.table, columns));
+}
+
+/// Remap a mechanism-call diagnostic into program coordinates: spans in
+/// the Qq/spec argument move inside the corresponding string literal
+/// (when it has no `''` escapes); everything else anchors to the
+/// mechanism name.
+fn remap(mut d: Diagnostic, call: &ExtractedCall, stmt: &ProgramStmt) -> Diagnostic {
+    let mapped = match d.source {
+        SourceKind::Qq => literal_span(&stmt.text, &call.qq, d.span),
+        SourceKind::Spec => call
+            .spec
+            .as_deref()
+            .and_then(|s| literal_span(&stmt.text, s, d.span)),
+        SourceKind::Qs | SourceKind::Program => None,
+    };
+    d.span = mapped.map(|s| s.offset(stmt.offset)).or(call.fn_span);
+    d.source = SourceKind::Program;
+    d
+}
+
+/// Find the string literal holding `content` in `text` and map `inner`
+/// (a span within `content`) into `text` coordinates. Escaped literals
+/// (`''`) shift positions, so those map to the whole literal.
+fn literal_span(text: &str, content: &str, inner: Option<Span>) -> Option<Span> {
+    let tokens = tokenize_spanned(text).ok()?;
+    let tok = tokens
+        .iter()
+        .find(|t| matches!(&t.token, Token::Str(s) if s == content))?;
+    let raw = text.get(tok.span.start + 1..tok.span.end.saturating_sub(1))?;
+    match inner {
+        Some(s) if raw == content => Some(Span::new(
+            tok.span.start + 1 + s.start,
+            tok.span.start + 1 + s.end,
+        )),
+        _ => Some(tok.span),
+    }
+}
+
+/// Checks for a non-mechanism statement: resolve its queries against the
+/// environment it runs in, and flag `current_snapshot()` outside the
+/// loop body.
+fn check_plain_statement(
+    parsed: &Stmt,
+    stmt: &ProgramStmt,
+    env: &SchemaEnv,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut local = Vec::new();
+    match parsed {
+        Stmt::Select(select) | Stmt::CreateTableAs { select, .. } => {
+            check_select(select, env, &stmt.text, SourceKind::Program, &mut local);
+            rewrite_safety::check_outside_loop(select, &stmt.text, SourceKind::Program, &mut local);
+        }
+        Stmt::Insert { table, source, .. } => {
+            if !env.has_table(table) {
+                local.push(Diagnostic::new(
+                    Code::UnknownTable,
+                    format!("unknown table {table}"),
+                    SourceKind::Program,
+                    crate::analyze::resolve::find_word_span(&stmt.text, table, 0),
+                ));
+            }
+            if let InsertSource::Select(select) = source {
+                check_select(select, env, &stmt.text, SourceKind::Program, &mut local);
+            }
+        }
+        Stmt::Update { table, .. } | Stmt::Delete { table, .. } if !env.has_table(table) => {
+            local.push(Diagnostic::new(
+                Code::UnknownTable,
+                format!("unknown table {table}"),
+                SourceKind::Program,
+                crate::analyze::resolve::find_word_span(&stmt.text, table, 0),
+            ));
+        }
+        _ => {}
+    }
+    for mut d in local {
+        d.span = d.span.map(|s| s.offset(stmt.offset));
+        diags.push(d);
+    }
+}
+
+/// Fold the statement's DDL effect, preferring an inferred schema for
+/// `CREATE TABLE AS`.
+fn apply_statement_ddl(parsed: &Stmt, stmt: &ProgramStmt, env: &mut SchemaEnv) {
+    if let Stmt::CreateTableAs { name, select, .. } = parsed {
+        let mut probe = Vec::new();
+        let facts = check_select(select, env, &stmt.text, SourceKind::Program, &mut probe);
+        let columns = facts
+            .output
+            .map(|cols| cols.into_iter().map(|c| (c.name, c.ty)).collect())
+            .unwrap_or_default();
+        env.add_table(TableSchema::new(name, columns));
+        return;
+    }
+    env.apply_ddl(parsed);
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    const PROGRAM: &str = "\
+CREATE TABLE LoggedIn (l_userid TEXT, l_time TEXT);
+INSERT INTO LoggedIn VALUES ('UserA', '09:00');
+COMMIT WITH SNAPSHOT;
+SELECT CollateData(snap_id, 'SELECT DISTINCT l_userid FROM LoggedIn', 'Found') FROM SnapIds;
+--@aux
+SELECT * FROM Found;
+";
+
+    fn analyze(src: &str) -> ProgramAnalysis {
+        let program = parse_program(src).unwrap();
+        analyze_program(&program, &SchemaEnv::new(), &SchemaEnv::aux_default())
+    }
+
+    fn codes(a: &ProgramAnalysis) -> Vec<Code> {
+        a.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program() {
+        let a = analyze(PROGRAM);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        assert_eq!(a.mechanism_count, 1);
+    }
+
+    #[test]
+    fn statement_splitting_and_routing() {
+        let program = parse_program(PROGRAM).unwrap();
+        assert_eq!(program.statements.len(), 5);
+        assert!(!program.statements[0].on_aux);
+        assert!(program.statements[3].on_aux, "mechanism call auto-routes");
+        assert!(program.statements[4].on_aux, "--@aux directive");
+        assert!(program.policy.is_none());
+    }
+
+    #[test]
+    fn policy_directive() {
+        let src = "--@policy forced\n\
+                   CREATE TABLE t (v INTEGER);\n\
+                   COMMIT WITH SNAPSHOT;\n\
+                   SELECT CollateData(snap_id, 'SELECT v FROM t, t t2', 'r') FROM SnapIds;";
+        let program = parse_program(src).unwrap();
+        assert_eq!(program.policy, Some(DeltaPolicy::Forced));
+        let a = analyze_program(&program, &SchemaEnv::new(), &SchemaEnv::aux_default());
+        assert!(
+            codes(&a).contains(&Code::ForcedDeltaIneligibleShape),
+            "{:?}",
+            a.diagnostics
+        );
+        assert_eq!(a.delta.len(), 1);
+    }
+
+    #[test]
+    fn qq_spans_remap_into_program() {
+        let src = "CREATE TABLE t (v INTEGER);\n\
+                   SELECT CollateData(snap_id, 'SELECT bogus FROM t', 'r') FROM SnapIds;";
+        let a = analyze(src);
+        assert_eq!(codes(&a), vec![Code::UnknownColumn]);
+        let span = a.diagnostics[0].span.unwrap();
+        assert_eq!(&src[span.start..span.end], "bogus");
+    }
+
+    #[test]
+    fn mechanism_arity() {
+        let src = "SELECT CollateData(snap_id, 'SELECT 1') FROM SnapIds;";
+        let a = analyze(src);
+        assert_eq!(codes(&a), vec![Code::MechanismArity]);
+    }
+
+    #[test]
+    fn current_snapshot_outside_loop() {
+        let src = "CREATE TABLE t (v INTEGER);\nSELECT current_snapshot() FROM t;";
+        let a = analyze(src);
+        assert_eq!(codes(&a), vec![Code::CurrentSnapshotOutsideLoop]);
+        let span = a.diagnostics[0].span.unwrap();
+        assert_eq!(&src[span.start..span.end], "current_snapshot");
+    }
+
+    #[test]
+    fn result_table_threads_through_env() {
+        // Second mechanism call reuses T → RQL007; the --@aux query of the
+        // result table resolves.
+        let src = "CREATE TABLE t (v INTEGER);\n\
+                   SELECT CollateData(snap_id, 'SELECT v FROM t', 'r') FROM SnapIds;\n\
+                   SELECT CollateData(snap_id, 'SELECT v FROM t', 'r') FROM SnapIds;\n\
+                   --@aux\n\
+                   SELECT v FROM r;";
+        let a = analyze(src);
+        assert_eq!(codes(&a), vec![Code::ResultTableExists]);
+    }
+
+    #[test]
+    fn lex_error_reported() {
+        let err = parse_program("SELECT 'oops").unwrap_err();
+        assert_eq!(err.code, Code::ParseError);
+        assert!(err.span.is_some());
+    }
+
+    #[test]
+    fn parse_error_spans() {
+        let src = "CREATE TABLE t (v INTEGER);\nSELECT FROM t;";
+        let a = analyze(src);
+        assert_eq!(codes(&a), vec![Code::ParseError]);
+        let span = a.diagnostics[0].span.unwrap();
+        assert!(span.start >= 28, "span {span:?} should be in stmt 2");
+    }
+}

@@ -105,6 +105,12 @@ fn shape_eligible(parsed: &SelectStmt) -> bool {
             .is_some_and(uses_current_snapshot)
 }
 
+/// Analyzer mirror of [`inner_agg_shape`]: whether Qq is the bare inner
+/// aggregate the incremental `AggregateDataInVariable` path maintains.
+pub(crate) fn has_inner_agg_shape(parsed: &SelectStmt) -> bool {
+    inner_agg_shape(parsed).is_some()
+}
+
 fn forced_shape_error() -> SqlError {
     SqlError::Invalid(
         "DeltaPolicy::Forced requires a delta-eligible Qq: a single FROM table, \

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod analyze;
 pub mod delta;
 pub mod mechanism;
 pub mod parallel;
@@ -69,6 +70,11 @@ pub mod session;
 pub mod snapids;
 
 pub use aggregate::{parse_col_func_pairs, AggOp, AggState};
+pub use analyze::{
+    analyze_mechanism_call, analyze_program, parse_program, Analysis, Code, DeltaExplain,
+    Diagnostic, MechanismCall, MechanismKind, PredictedPath, Program, ProgramAnalysis, SchemaEnv,
+    Severity,
+};
 pub use delta::{
     aggregate_data_in_table_delta, aggregate_data_in_variable_delta, collate_data_delta,
     collate_data_into_intervals_delta, DeltaPolicy,

@@ -7,6 +7,7 @@
 //! (`SELECT CollateData(snap_id, …) FROM SnapIds`, paper §3), and keeps
 //! `SnapIds` in sync with snapshot declarations.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -16,6 +17,7 @@ use rql_retro::RetroConfig;
 use rql_sqlengine::{Database, ExecOutcome, QueryResult, Result, SqlError, Value};
 
 use crate::aggregate::{parse_col_func_pairs, AggOp};
+use crate::analyze::{self, MechanismCall, MechanismKind, SchemaEnv};
 use crate::delta::{self, DeltaPolicy};
 use crate::mechanism;
 use crate::report::RqlReport;
@@ -34,6 +36,10 @@ pub struct RqlSession {
     /// Previous-iteration snapshot id per result table, threaded between
     /// `CollateDataIntoIntervals` UDF invocations.
     prev_sids: Mutex<std::collections::HashMap<String, u64>>,
+    /// Whether mechanism calls run the static analyzer as a pre-flight
+    /// (on by default; tests exercising mid-loop failure paths turn it
+    /// off via [`RqlSession::set_preflight`]).
+    preflight: AtomicBool,
 }
 
 impl RqlSession {
@@ -50,6 +56,7 @@ impl RqlSession {
             clock: Mutex::new(Box::new(default_clock)),
             last_reports: Mutex::new(Vec::new()),
             prev_sids: Mutex::new(std::collections::HashMap::new()),
+            preflight: AtomicBool::new(true),
         });
         session.register_udfs();
         Ok(session)
@@ -121,10 +128,74 @@ impl RqlSession {
         Ok(())
     }
 
+    // ---- static-analysis pre-flight ------------------------------------
+
+    /// Enable or disable the mandatory pre-flight analysis on mechanism
+    /// calls. It is on by default; tests that deliberately exercise
+    /// mid-loop failure paths (or callers that want the old
+    /// fail-at-iteration behaviour) can turn it off.
+    pub fn set_preflight(&self, enabled: bool) {
+        self.preflight.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Run the static analyzer over one mechanism call before executing
+    /// it. Errors map to the same [`SqlError`] variants the runtime would
+    /// raise, so callers matching on variants see no difference — they
+    /// just see the failure before any snapshot is opened.
+    ///
+    /// A Qq may reference tables that only exist in older snapshots (the
+    /// per-iteration `AS OF` makes them visible); when the current
+    /// catalog lacks a Qq table, the catalog is widened with every
+    /// declared snapshot's schema and analysis retried once.
+    fn preflight_mechanism(
+        &self,
+        kind: MechanismKind,
+        qs: &str,
+        qq: &str,
+        table: &str,
+        spec: Option<&str>,
+        policy: Option<DeltaPolicy>,
+    ) -> Result<()> {
+        if !self.preflight.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let mut snap_env = SchemaEnv::from_database(&self.snap)?;
+        let aux_env = SchemaEnv::from_database(&self.aux)?;
+        let call = MechanismCall {
+            kind,
+            qs,
+            qq,
+            table,
+            spec,
+        };
+        let mut analysis = analyze::analyze_mechanism_call(&call, &snap_env, &aux_env, policy);
+        if !analysis.qq_unknown_tables.is_empty() {
+            let mut widened = false;
+            for (sid, _, _) in snapids::all_snapshots(&self.aux)?.iter().rev() {
+                if let Ok(tables) = self.snap.table_schemas_as_of(*sid) {
+                    for schema in tables.into_values() {
+                        if !snap_env.has_table(&schema.name) {
+                            snap_env.add_table(schema);
+                            widened = true;
+                        }
+                    }
+                }
+            }
+            if widened {
+                analysis = analyze::analyze_mechanism_call(&call, &snap_env, &aux_env, policy);
+            }
+        }
+        match analysis.first_error() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
     // ---- the four mechanisms, API form ---------------------------------
 
     /// `CollateData(Qs, Qq, T)`.
     pub fn collate_data(&self, qs: &str, qq: &str, table: &str) -> Result<RqlReport> {
+        self.preflight_mechanism(MechanismKind::Collate, qs, qq, table, None, None)?;
         mechanism::collate_data(&self.snap, &self.aux, qs, qq, table)
     }
 
@@ -136,6 +207,8 @@ impl RqlSession {
         table: &str,
         func: AggOp,
     ) -> Result<RqlReport> {
+        let spec = func.to_string();
+        self.preflight_mechanism(MechanismKind::AggVar, qs, qq, table, Some(&spec), None)?;
         mechanism::aggregate_data_in_variable(&self.snap, &self.aux, qs, qq, table, func)
     }
 
@@ -147,6 +220,8 @@ impl RqlSession {
         table: &str,
         pairs: &[(String, AggOp)],
     ) -> Result<RqlReport> {
+        let spec = render_pairs(pairs);
+        self.preflight_mechanism(MechanismKind::AggTable, qs, qq, table, Some(&spec), None)?;
         mechanism::aggregate_data_in_table(&self.snap, &self.aux, qs, qq, table, pairs)
     }
 
@@ -159,6 +234,8 @@ impl RqlSession {
         table: &str,
         pairs: &[(String, AggOp)],
     ) -> Result<RqlReport> {
+        let spec = render_pairs(pairs);
+        self.preflight_mechanism(MechanismKind::AggTable, qs, qq, table, Some(&spec), None)?;
         mechanism::aggregate_data_in_table_sortmerge(&self.snap, &self.aux, qs, qq, table, pairs)
     }
 
@@ -169,6 +246,7 @@ impl RqlSession {
         qq: &str,
         table: &str,
     ) -> Result<RqlReport> {
+        self.preflight_mechanism(MechanismKind::Intervals, qs, qq, table, None, None)?;
         mechanism::collate_data_into_intervals(&self.snap, &self.aux, qs, qq, table)
     }
 
@@ -184,6 +262,7 @@ impl RqlSession {
         table: &str,
         policy: DeltaPolicy,
     ) -> Result<RqlReport> {
+        self.preflight_mechanism(MechanismKind::Collate, qs, qq, table, None, Some(policy))?;
         delta::collate_data_delta(&self.snap, &self.aux, qs, qq, table, policy)
     }
 
@@ -198,6 +277,15 @@ impl RqlSession {
         func: AggOp,
         policy: DeltaPolicy,
     ) -> Result<RqlReport> {
+        let spec = func.to_string();
+        self.preflight_mechanism(
+            MechanismKind::AggVar,
+            qs,
+            qq,
+            table,
+            Some(&spec),
+            Some(policy),
+        )?;
         delta::aggregate_data_in_variable_delta(&self.snap, &self.aux, qs, qq, table, func, policy)
     }
 
@@ -212,6 +300,15 @@ impl RqlSession {
         pairs: &[(String, AggOp)],
         policy: DeltaPolicy,
     ) -> Result<RqlReport> {
+        let spec = render_pairs(pairs);
+        self.preflight_mechanism(
+            MechanismKind::AggTable,
+            qs,
+            qq,
+            table,
+            Some(&spec),
+            Some(policy),
+        )?;
         delta::aggregate_data_in_table_delta(&self.snap, &self.aux, qs, qq, table, pairs, policy)
     }
 
@@ -224,6 +321,7 @@ impl RqlSession {
         table: &str,
         policy: DeltaPolicy,
     ) -> Result<RqlReport> {
+        self.preflight_mechanism(MechanismKind::Intervals, qs, qq, table, None, Some(policy))?;
         delta::collate_data_into_intervals_delta(&self.snap, &self.aux, qs, qq, table, policy)
     }
 
@@ -346,12 +444,15 @@ impl RqlSession {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum MechanismKind {
-    Collate,
-    AggVar,
-    AggTable,
-    Intervals,
+/// Render API-form pairs back to the `ListOfColFuncPairs` notation so
+/// the pre-flight validates the same string form the paper's SQL syntax
+/// takes (it round-trips through `parse_col_func_pairs`).
+fn render_pairs(pairs: &[(String, AggOp)]) -> String {
+    pairs
+        .iter()
+        .map(|(col, op)| format!("({col},{op})"))
+        .collect::<Vec<_>>()
+        .join(":")
 }
 
 fn default_clock() -> String {

@@ -192,7 +192,7 @@ impl RetroStore {
 
     /// Abort a transaction.
     pub fn abort(&self, txn: WriteTxn) {
-        self.pager.abort(txn)
+        self.pager.abort(txn);
     }
 
     fn commit_inner(&self, txn: WriteTxn, declare: bool) -> Result<Option<u64>> {

@@ -69,7 +69,11 @@ impl Criterion {
         } else {
             b.total / b.iters as u32
         };
-        println!("{id:<48} time: [{}]  ({} iterations)", fmt_duration(mean), b.iters);
+        println!(
+            "{id:<48} time: [{}]  ({} iterations)",
+            fmt_duration(mean),
+            b.iters
+        );
     }
 }
 

@@ -83,10 +83,7 @@ pub mod test_runner {
         /// Next uniform 64-bit word (xoshiro256++).
         pub fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -654,7 +651,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: {} != {}\n  both: {:?}",
-            stringify!($lhs), stringify!($rhs), l
+            stringify!($lhs),
+            stringify!($rhs),
+            l
         );
     }};
 }

@@ -5,6 +5,7 @@
 //! general SQL (joins, grouping, ordering, expression calculus, UDF calls)
 //! to express every query in Table 1 and the worked examples.
 
+use crate::lexer::Span;
 use crate::schema::ColumnType;
 use crate::value::Value;
 
@@ -138,12 +139,22 @@ pub enum SelectItem {
 }
 
 /// A table reference with optional alias.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TableRef {
     /// Table name.
     pub name: String,
     /// Alias (defaults to the table name).
     pub alias: Option<String>,
+    /// Source location of the table name, when parsed from text.
+    pub span: Option<Span>,
+}
+
+/// Spans are locations, not meaning: two references to the same table are
+/// equal even when they come from different places in the source.
+impl PartialEq for TableRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.alias == other.alias
+    }
 }
 
 impl TableRef {
@@ -379,11 +390,13 @@ mod tests {
         let t = TableRef {
             name: "orders".into(),
             alias: Some("o".into()),
+            span: None,
         };
         assert_eq!(t.binding(), "o");
         let t = TableRef {
             name: "orders".into(),
             alias: None,
+            span: None,
         };
         assert_eq!(t.binding(), "orders");
     }

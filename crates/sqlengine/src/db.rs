@@ -749,6 +749,54 @@ impl Database {
         Ok(n)
     }
 
+    /// Schemas of every table in the current catalog, keyed by
+    /// lowercase table name. Reads through an open transaction when one
+    /// exists, mirroring the SELECT dispatch path. Used by the `rqlcheck`
+    /// static analyzer to resolve names without opening snapshots.
+    pub fn table_schemas(&self) -> Result<HashMap<String, TableSchema>> {
+        let catalog = {
+            let open = self.open_txn.lock();
+            if let Some(txn) = open.as_ref() {
+                Catalog::load(txn)?
+            } else {
+                drop(open);
+                let view = self.store.current_view();
+                Catalog::load(&view)?
+            }
+        };
+        Ok(catalog
+            .table_names()
+            .into_iter()
+            .filter_map(|name| {
+                catalog
+                    .table(&name)
+                    .map(|info| (name.to_ascii_lowercase(), info.schema.clone()))
+            })
+            .collect())
+    }
+
+    /// Schemas of every table as of snapshot `sid` (for resolving
+    /// programs whose Qq references tables since dropped from the
+    /// current catalog).
+    pub fn table_schemas_as_of(&self, sid: u64) -> Result<HashMap<String, TableSchema>> {
+        let reader = self.store.open_snapshot(sid)?;
+        let catalog = Catalog::load(&reader)?;
+        Ok(catalog
+            .table_names()
+            .into_iter()
+            .filter_map(|name| {
+                catalog
+                    .table(&name)
+                    .map(|info| (name.to_ascii_lowercase(), info.schema.clone()))
+            })
+            .collect())
+    }
+
+    /// Names of all registered scalar UDFs (lowercase).
+    pub fn udf_names(&self) -> Vec<String> {
+        self.udfs.read().names()
+    }
+
     /// Time a closure and a counter window together (harness helper).
     pub fn measure<T>(&self, f: impl FnOnce() -> Result<T>) -> Result<(T, ExecStats)> {
         let before = self.io_stats().snapshot();

@@ -222,8 +222,7 @@ impl DeltaTableScanner {
                 let old_rows = self
                     .cache
                     .get(&pid.0)
-                    .map(|c| c.rows.as_slice())
-                    .unwrap_or(&[]);
+                    .map_or(&[][..], |c| c.rows.as_slice());
                 diff_rows(old_rows, &kept, &mut added, &mut removed);
                 rows.extend(kept.iter().cloned());
                 self.cache.insert(pid.0, CachedPage { next, rows: kept });

@@ -4,11 +4,21 @@ use std::fmt;
 
 use rql_pagestore::StoreError;
 
+use crate::lexer::Span;
+
 /// Errors raised by parsing, planning or executing SQL.
 #[derive(Debug)]
 pub enum SqlError {
     /// Lexer/parser failure with position context.
     Parse(String),
+    /// Lexer/parser failure carrying the byte range of the offending
+    /// source text, so front-ends can point at the exact location.
+    ParseAt {
+        /// Human-readable message (no position prefix).
+        message: String,
+        /// Byte range of the offending text.
+        span: Span,
+    },
     /// Unknown table, column, function, or other name resolution failure.
     Unknown(String),
     /// Semantically invalid statement (e.g. aggregate misuse).
@@ -25,6 +35,13 @@ impl fmt::Display for SqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::ParseAt { message, span } => {
+                write!(
+                    f,
+                    "parse error: {message} (bytes {}..{})",
+                    span.start, span.end
+                )
+            }
             SqlError::Unknown(m) => write!(f, "unknown name: {m}"),
             SqlError::Invalid(m) => write!(f, "invalid statement: {m}"),
             SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
@@ -39,6 +56,37 @@ impl std::error::Error for SqlError {
         match self {
             SqlError::Store(e) => Some(e),
             _ => None,
+        }
+    }
+}
+
+impl SqlError {
+    /// Build a [`SqlError::ParseAt`] from a message and a source span.
+    pub fn parse_at(message: impl Into<String>, span: Span) -> SqlError {
+        SqlError::ParseAt {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The source span attached to this error, if any.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            SqlError::ParseAt { span, .. } => Some(*span),
+            _ => None,
+        }
+    }
+
+    /// The bare message without the variant prefix or position suffix.
+    pub fn message(&self) -> &str {
+        match self {
+            SqlError::Parse(m)
+            | SqlError::Unknown(m)
+            | SqlError::Invalid(m)
+            | SqlError::Constraint(m)
+            | SqlError::Udf(m) => m,
+            SqlError::ParseAt { message, .. } => message,
+            SqlError::Store(_) => "storage error",
         }
     }
 }

@@ -164,7 +164,7 @@ impl HeapFile {
     pub fn get<S: PageSource>(&self, src: &S, rid: RecordId) -> Result<Vec<u8>> {
         let page = src.page(rid.page)?;
         read_cell(&page, rid.slot)
-            .map(|b| b.to_vec())
+            .map(<[u8]>::to_vec)
             .ok_or_else(|| SqlError::Invalid(format!("no record at {rid:?}")))
     }
 

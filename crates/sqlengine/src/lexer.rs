@@ -1,6 +1,53 @@
 //! SQL tokenizer.
+//!
+//! Every token carries its byte range in the source text ([`Span`]) so
+//! parse errors and the `rqlcheck` semantic analyzer can point at the
+//! offending characters instead of merely naming them.
 
 use crate::error::{Result, SqlError};
+
+/// A byte range into the SQL source text (`start..end`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// Shift both offsets by `base` (embedding a sub-query's span into
+    /// its enclosing program text).
+    pub fn offset(self, base: usize) -> Span {
+        Span {
+            start: self.start + base,
+            end: self.end + base,
+        }
+    }
+
+    /// 1-based `(line, column)` of `start` within `src` (columns count
+    /// characters, not bytes).
+    pub fn line_col(self, src: &str) -> (usize, usize) {
+        let upto = &src[..self.start.min(src.len())];
+        let line = upto.matches('\n').count() + 1;
+        let col = upto.rsplit('\n').next().map_or(0, |l| l.chars().count()) + 1;
+        (line, col)
+    }
+}
+
+/// A token plus its byte range in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Its source location.
+    pub span: Span,
+}
 
 /// A lexical token.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,58 +105,75 @@ pub enum Sym {
     Concat,
 }
 
-/// Tokenize `sql` into a token stream.
+/// Tokenize `sql` into a token stream, discarding source locations.
 pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    Ok(tokenize_spanned(sql)?
+        .into_iter()
+        .map(|st| st.token)
+        .collect())
+}
+
+/// Tokenize `sql`, keeping each token's byte range in the source.
+pub fn tokenize_spanned(sql: &str) -> Result<Vec<SpannedToken>> {
     let bytes = sql.as_bytes();
     let mut tokens = Vec::new();
     let mut i = 0usize;
     while i < bytes.len() {
         let c = bytes[i];
-        match c {
-            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+        let start = i;
+        let token = match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
             b'-' if bytes.get(i + 1) == Some(&b'-') => {
                 // Line comment.
                 while i < bytes.len() && bytes[i] != b'\n' {
                     i += 1;
                 }
+                continue;
             }
             b'/' if bytes.get(i + 1) == Some(&b'*') => {
                 // Block comment.
-                let close = sql[i + 2..]
-                    .find("*/")
-                    .ok_or_else(|| SqlError::Parse("unterminated comment".into()))?;
+                let close = sql[i + 2..].find("*/").ok_or_else(|| {
+                    SqlError::parse_at("unterminated comment", Span::new(start, sql.len()))
+                })?;
                 i += 2 + close + 2;
+                continue;
             }
             b'\'' => {
                 let (s, next) = lex_string(sql, i)?;
-                tokens.push(Token::Str(s));
                 i = next;
+                Token::Str(s)
             }
             b'"' => {
-                let close = sql[i + 1..]
-                    .find('"')
-                    .ok_or_else(|| SqlError::Parse("unterminated identifier".into()))?;
-                tokens.push(Token::Word(sql[i + 1..i + 1 + close].to_owned()));
+                let close = sql[i + 1..].find('"').ok_or_else(|| {
+                    SqlError::parse_at("unterminated identifier", Span::new(start, sql.len()))
+                })?;
                 i += close + 2;
+                Token::Word(sql[start + 1..start + 1 + close].to_owned())
             }
             b'0'..=b'9' => {
                 let (tok, next) = lex_number(sql, i)?;
-                tokens.push(tok);
                 i = next;
+                tok
             }
             c if c == b'_' || c.is_ascii_alphabetic() => {
-                let start = i;
                 while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
                     i += 1;
                 }
-                tokens.push(Token::Word(sql[start..i].to_owned()));
+                Token::Word(sql[start..i].to_owned())
             }
             _ => {
                 let (sym, len) = lex_symbol(bytes, i)?;
-                tokens.push(Token::Sym(sym));
                 i += len;
+                Token::Sym(sym)
             }
-        }
+        };
+        tokens.push(SpannedToken {
+            token,
+            span: Span::new(start, i),
+        });
     }
     Ok(tokens)
 }
@@ -120,7 +184,12 @@ fn lex_string(sql: &str, start: usize) -> Result<(String, usize)> {
     let mut i = start + 1;
     loop {
         match bytes.get(i) {
-            None => return Err(SqlError::Parse("unterminated string literal".into())),
+            None => {
+                return Err(SqlError::parse_at(
+                    "unterminated string literal",
+                    Span::new(start, sql.len()),
+                ))
+            }
             Some(b'\'') => {
                 if bytes.get(i + 1) == Some(&b'\'') {
                     out.push('\'');
@@ -130,10 +199,21 @@ fn lex_string(sql: &str, start: usize) -> Result<(String, usize)> {
                 }
             }
             Some(_) => {
-                // Consume one full UTF-8 character.
-                let ch = sql[i..].chars().next().unwrap();
-                out.push(ch);
-                i += ch.len_utf8();
+                // Consume one full UTF-8 character; fall back to a single
+                // byte if the slice boundary is ever mid-character (it
+                // cannot be, since `i` only advances by full characters).
+                match sql[i..].chars().next() {
+                    Some(ch) => {
+                        out.push(ch);
+                        i += ch.len_utf8();
+                    }
+                    None => {
+                        return Err(SqlError::parse_at(
+                            "unterminated string literal",
+                            Span::new(start, sql.len()),
+                        ))
+                    }
+                }
             }
         }
     }
@@ -167,10 +247,11 @@ fn lex_number(sql: &str, start: usize) -> Result<(Token, usize)> {
         }
     }
     let text = &sql[start..i];
+    let span = Span::new(start, i);
     let tok = if is_float {
         Token::Float(
             text.parse()
-                .map_err(|_| SqlError::Parse(format!("bad float literal {text}")))?,
+                .map_err(|_| SqlError::parse_at(format!("bad float literal {text}"), span))?,
         )
     } else {
         match text.parse::<i64>() {
@@ -178,7 +259,7 @@ fn lex_number(sql: &str, start: usize) -> Result<(Token, usize)> {
             // Integer literals beyond i64 fall back to float, like SQLite.
             Err(_) => Token::Float(
                 text.parse()
-                    .map_err(|_| SqlError::Parse(format!("bad numeric literal {text}")))?,
+                    .map_err(|_| SqlError::parse_at(format!("bad numeric literal {text}"), span))?,
             ),
         }
     };
@@ -208,10 +289,10 @@ fn lex_symbol(bytes: &[u8], i: usize) -> Result<(Sym, usize)> {
         b'>' => (Sym::Gt, 1),
         b'|' if two(b'|') => (Sym::Concat, 2),
         c => {
-            return Err(SqlError::Parse(format!(
-                "unexpected character {:?}",
-                c as char
-            )))
+            return Err(SqlError::parse_at(
+                format!("unexpected character {:?}", c as char),
+                Span::new(i, i + 1),
+            ))
         }
     };
     Ok((sym, len))
@@ -300,5 +381,29 @@ mod tests {
     fn unicode_in_strings() {
         let toks = tokenize("'héllo ≤'").unwrap();
         assert_eq!(toks, vec![Token::Str("héllo ≤".into())]);
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let src = "SELECT a,\n  'x''y' FROM t";
+        let toks = tokenize_spanned(src).unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 6));
+        assert_eq!(&src[toks[0].span.start..toks[0].span.end], "SELECT");
+        let s = toks
+            .iter()
+            .find(|t| matches!(t.token, Token::Str(_)))
+            .unwrap();
+        assert_eq!(&src[s.span.start..s.span.end], "'x''y'");
+        assert_eq!(s.span.line_col(src), (2, 3));
+        let last = toks.last().unwrap();
+        assert_eq!(&src[last.span.start..last.span.end], "t");
+    }
+
+    #[test]
+    fn lex_errors_carry_spans() {
+        let err = tokenize("a ? b").unwrap_err();
+        assert_eq!(err.span(), Some(Span::new(2, 3)));
+        let err = tokenize("'oops").unwrap_err();
+        assert_eq!(err.span(), Some(Span::new(0, 5)));
     }
 }

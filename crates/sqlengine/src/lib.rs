@@ -49,6 +49,7 @@ pub use error::{Result, SqlError};
 pub use exec::QueryResult;
 pub use exec_stats::ExecStats;
 pub use heap::{FreeSpaceMap, HeapFile, RecordId};
+pub use lexer::{tokenize_spanned, Span, SpannedToken};
 pub use pagesource::PageSource;
 pub use parser::{parse_select, parse_statement, parse_statements};
 pub use record::Row;

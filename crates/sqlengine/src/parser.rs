@@ -2,7 +2,7 @@
 
 use crate::ast::*;
 use crate::error::{Result, SqlError};
-use crate::lexer::{tokenize, Sym, Token};
+use crate::lexer::{tokenize_spanned, Span, SpannedToken, Sym, Token};
 use crate::schema::ColumnType;
 use crate::value::Value;
 
@@ -42,15 +42,17 @@ pub fn parse_select(sql: &str) -> Result<SelectStmt> {
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<SpannedToken>,
     pos: usize,
+    src_len: usize,
 }
 
 impl Parser {
     fn new(sql: &str) -> Result<Parser> {
         Ok(Parser {
-            tokens: tokenize(sql)?,
+            tokens: tokenize_spanned(sql)?,
             pos: 0,
+            src_len: sql.len(),
         })
     }
 
@@ -59,11 +61,23 @@ impl Parser {
     }
 
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn token_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset).map(|t| &t.token)
+    }
+
+    /// Span of the token at the cursor, or an empty span at end of input.
+    fn peek_span(&self) -> Span {
+        match self.tokens.get(self.pos) {
+            Some(t) => t.span,
+            None => Span::new(self.src_len, self.src_len),
+        }
     }
 
     fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).cloned();
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
         if t.is_some() {
             self.pos += 1;
         }
@@ -71,9 +85,10 @@ impl Parser {
     }
 
     fn err(&self, msg: &str) -> SqlError {
+        let span = self.peek_span();
         match self.peek() {
-            Some(t) => SqlError::Parse(format!("{msg} (at {t:?})")),
-            None => SqlError::Parse(format!("{msg} (at end of input)")),
+            Some(t) => SqlError::parse_at(format!("{msg} (at {t:?})"), span),
+            None => SqlError::parse_at(format!("{msg} (at end of input)"), span),
         }
     }
 
@@ -83,7 +98,7 @@ impl Parser {
     }
 
     fn peek_kw_at(&self, offset: usize, kw: &str) -> bool {
-        matches!(self.tokens.get(self.pos + offset), Some(Token::Word(w)) if w.eq_ignore_ascii_case(kw))
+        matches!(self.token_at(offset), Some(Token::Word(w)) if w.eq_ignore_ascii_case(kw))
     }
 
     fn eat_kw(&mut self, kw: &str) -> bool {
@@ -121,8 +136,13 @@ impl Parser {
     }
 
     fn expect_ident(&mut self) -> Result<String> {
+        Ok(self.expect_ident_spanned()?.0)
+    }
+
+    fn expect_ident_spanned(&mut self) -> Result<(String, Span)> {
+        let span = self.peek_span();
         match self.next() {
-            Some(Token::Word(w)) => Ok(w),
+            Some(Token::Word(w)) => Ok((w, span)),
             _ => {
                 self.pos = self.pos.saturating_sub(1);
                 Err(self.err("expected identifier"))
@@ -256,11 +276,9 @@ impl Parser {
             return Ok(SelectItem::Wildcard);
         }
         // t.* pattern.
-        if let (Some(Token::Word(w)), Some(Token::Sym(Sym::Dot)), Some(Token::Sym(Sym::Star))) = (
-            self.tokens.get(self.pos),
-            self.tokens.get(self.pos + 1),
-            self.tokens.get(self.pos + 2),
-        ) {
+        if let (Some(Token::Word(w)), Some(Token::Sym(Sym::Dot)), Some(Token::Sym(Sym::Star))) =
+            (self.token_at(0), self.token_at(1), self.token_at(2))
+        {
             let name = w.clone();
             self.pos += 3;
             return Ok(SelectItem::TableWildcard(name));
@@ -288,7 +306,7 @@ impl Parser {
     }
 
     fn parse_table_ref(&mut self) -> Result<TableRef> {
-        let name = self.expect_ident()?;
+        let (name, span) = self.expect_ident_spanned()?;
         let alias = if self.eat_kw("AS") {
             Some(self.expect_ident()?)
         } else if let Some(Token::Word(w)) = self.peek() {
@@ -306,7 +324,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(TableRef { name, alias })
+        Ok(TableRef {
+            name,
+            alias,
+            span: Some(span),
+        })
     }
 
     fn parse_insert(&mut self) -> Result<Stmt> {
@@ -969,6 +991,30 @@ mod tests {
         assert!(parse_statement("SELECT 1; SELECT 2").is_err()); // two stmts
         assert!(parse_statements("SELECT 1 SELECT 2").is_err()); // missing ;
         assert!(parse_statement("INSERT INTO t").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_spans() {
+        // "FROM" is reserved, so the error points at it.
+        let err = parse_statement("SELECT FROM t").unwrap_err();
+        let span = err.span().expect("span");
+        assert_eq!(span, Span::new(7, 11));
+        // A dangling operator error points back at the operator.
+        let err = parse_statement("SELECT 1 +").unwrap_err();
+        assert_eq!(err.span(), Some(Span::new(9, 10)));
+        // Pure end-of-input errors use an empty span at the end.
+        let err = parse_statement("CREATE TABLE t (a INTEGER").unwrap_err();
+        assert_eq!(err.span(), Some(Span::new(25, 25)));
+    }
+
+    #[test]
+    fn table_refs_carry_spans() {
+        let s = parse_select("SELECT * FROM orders o JOIN lineitem l ON 1=1").unwrap();
+        let src = "SELECT * FROM orders o JOIN lineitem l ON 1=1";
+        let span = s.from[0].span.expect("span");
+        assert_eq!(&src[span.start..span.end], "orders");
+        let span = s.joins[0].table.span.expect("span");
+        assert_eq!(&src[span.start..span.end], "lineitem");
     }
 
     #[test]

@@ -100,17 +100,17 @@ impl Value {
 
     /// Addition with SQL NULL propagation and int/float promotion.
     pub fn add(&self, other: &Value) -> Value {
-        numeric_binop(self, other, |a, b| a.checked_add(b), |a, b| a + b)
+        numeric_binop(self, other, i64::checked_add, |a, b| a + b)
     }
 
     /// Subtraction.
     pub fn sub(&self, other: &Value) -> Value {
-        numeric_binop(self, other, |a, b| a.checked_sub(b), |a, b| a - b)
+        numeric_binop(self, other, i64::checked_sub, |a, b| a - b)
     }
 
     /// Multiplication.
     pub fn mul(&self, other: &Value) -> Value {
-        numeric_binop(self, other, |a, b| a.checked_mul(b), |a, b| a * b)
+        numeric_binop(self, other, i64::checked_mul, |a, b| a * b)
     }
 
     /// Division; division by zero yields NULL (SQLite behaviour).

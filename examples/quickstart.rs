@@ -136,7 +136,7 @@ fn main() -> rql::Result<()> {
 fn print_result(result: &rql::QueryResult) {
     println!("  {}", result.columns.join(" | "));
     for row in &result.rows {
-        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        let cells: Vec<String> = row.iter().map(std::string::ToString::to_string).collect();
         println!("  {}", cells.join(" | "));
     }
 }

@@ -1,0 +1,137 @@
+//! `rqlcheck`: lint `.rql` programs without opening a store.
+//!
+//! Usage:
+//!
+//! ```text
+//! rqlcheck [--deny-warnings] [--quiet] <file-or-dir>...
+//! ```
+//!
+//! Directories are searched recursively for `.rql` files. Each program
+//! is parsed and analyzed against an empty snapshotable catalog plus the
+//! default auxiliary catalog (`SnapIds` and the mechanism UDFs) — the
+//! program's own DDL builds up the rest, exactly as the runtime would.
+//!
+//! Exit status: 0 when clean, 1 when any error diagnostic was produced
+//! (or any warning, under `--deny-warnings`), 2 on usage/IO problems.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rql_repro::rql::analyze::{analyze_program, parse_program, SchemaEnv, Severity};
+
+struct Options {
+    deny_warnings: bool,
+    quiet: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        deny_warnings: false,
+        quiet: false,
+        paths: Vec::new(),
+    };
+    for a in args {
+        match a.as_str() {
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: rqlcheck [--deny-warnings] [--quiet] <file-or-dir>...".into())
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if opts.paths.is_empty() {
+        return Err("usage: rqlcheck [--deny-warnings] [--quiet] <file-or-dir>...".into());
+    }
+    Ok(opts)
+}
+
+/// Collect `.rql` files from a path (recursing into directories), in
+/// sorted order for deterministic output.
+fn collect(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if path.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(path)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            collect(&entry, out)?;
+        }
+    } else if path.extension().is_some_and(|e| e == "rql") {
+        out.push(path.to_owned());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut files = Vec::new();
+    for path in &opts.paths {
+        if path.is_file() {
+            // Explicitly named files are checked regardless of extension.
+            files.push(path.clone());
+            continue;
+        }
+        if let Err(e) = collect(path, &mut files) {
+            eprintln!("rqlcheck: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if files.is_empty() {
+        eprintln!("rqlcheck: no .rql files found");
+        return ExitCode::from(2);
+    }
+
+    let (mut errors, mut warnings) = (0usize, 0usize);
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rqlcheck: {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        let name = file.display().to_string();
+        let diagnostics = match parse_program(&src) {
+            Err(diag) => vec![*diag],
+            Ok(program) => {
+                analyze_program(&program, &SchemaEnv::new(), &SchemaEnv::aux_default()).diagnostics
+            }
+        };
+        for d in &diagnostics {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+                Severity::Info => {}
+            }
+            if !opts.quiet || d.severity != Severity::Info {
+                println!("{}\n", d.render(&name, &src));
+            }
+        }
+    }
+
+    if !opts.quiet {
+        println!(
+            "rqlcheck: {} file{} checked, {errors} error{}, {warnings} warning{}",
+            files.len(),
+            if files.len() == 1 { "" } else { "s" },
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+        );
+    }
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

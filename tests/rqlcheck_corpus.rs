@@ -1,0 +1,131 @@
+//! Golden-diagnostic corpus for `rqlcheck`.
+//!
+//! Every program under `tests/rqlcheck_corpus/bad/` declares the
+//! diagnostics it must produce with `-- expect: RQLxxx[, RQLxxx...]`
+//! comment lines; the harness checks each expected code is reported
+//! with a source span, that no *unexpected errors* appear (warnings and
+//! advisories may ride along only when expected), and that the corpus
+//! as a whole exercises a healthy slice of the code registry.
+//!
+//! Programs under `good/` (and the runnable examples in `examples/rql/`)
+//! must analyze clean — and, differentially, must execute on a live
+//! session without a semantic error: whatever `rqlcheck` accepts, the
+//! runtime accepts too.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use rql_repro::rql::analyze::{
+    analyze_program, parse_program, run_program, Code, Diagnostic, SchemaEnv, Severity,
+};
+use rql_repro::rql::RqlSession;
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn rql_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "rql"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .rql files under {}", dir.display());
+    files
+}
+
+/// `-- expect:` annotations, in file order.
+fn expected_codes(src: &str) -> Vec<String> {
+    src.lines()
+        .filter_map(|l| l.trim().strip_prefix("-- expect:"))
+        .flat_map(|rest| rest.split(','))
+        .map(|c| c.trim().to_owned())
+        .filter(|c| !c.is_empty())
+        .collect()
+}
+
+fn diagnostics_for(src: &str) -> Vec<Diagnostic> {
+    match parse_program(src) {
+        Err(d) => vec![*d],
+        Ok(program) => {
+            analyze_program(&program, &SchemaEnv::new(), &SchemaEnv::aux_default()).diagnostics
+        }
+    }
+}
+
+#[test]
+fn bad_corpus_reports_expected_codes_with_spans() {
+    let mut exercised: BTreeSet<&'static str> = BTreeSet::new();
+    for file in rql_files(&repo_path("tests/rqlcheck_corpus/bad")) {
+        let src = std::fs::read_to_string(&file).unwrap();
+        let expected = expected_codes(&src);
+        assert!(
+            !expected.is_empty(),
+            "{}: bad-corpus file lacks -- expect: annotations",
+            file.display()
+        );
+        let diags = diagnostics_for(&src);
+        for code in &expected {
+            // The annotation must name a registered stable code.
+            let registered = Code::ALL
+                .iter()
+                .find(|c| c.as_str() == code)
+                .unwrap_or_else(|| panic!("{}: {code} is not a registered code", file.display()));
+            let matching: Vec<&Diagnostic> =
+                diags.iter().filter(|d| d.code.as_str() == *code).collect();
+            assert!(
+                !matching.is_empty(),
+                "{}: expected {code}, got {:?}",
+                file.display(),
+                diags
+            );
+            assert!(
+                matching.iter().any(|d| d.span.is_some()),
+                "{}: {code} reported without a source span",
+                file.display()
+            );
+            exercised.insert(registered.as_str());
+        }
+        // The expectations are complete for errors: anything
+        // error-severity beyond them is an analyzer regression.
+        for d in &diags {
+            if d.severity == Severity::Error {
+                assert!(
+                    expected.iter().any(|c| c == d.code.as_str()),
+                    "{}: unexpected error {d:?}",
+                    file.display()
+                );
+            }
+        }
+    }
+    assert!(
+        exercised.len() >= 20,
+        "corpus exercises only {} distinct codes: {exercised:?}",
+        exercised.len()
+    );
+}
+
+#[test]
+fn good_corpus_analyzes_clean_and_executes() {
+    let mut dirs = vec![repo_path("tests/rqlcheck_corpus/good")];
+    dirs.push(repo_path("examples/rql"));
+    for dir in dirs {
+        for file in rql_files(&dir) {
+            let src = std::fs::read_to_string(&file).unwrap();
+            let program =
+                parse_program(&src).unwrap_or_else(|d| panic!("{}: {d:?}", file.display()));
+            let analysis = analyze_program(&program, &SchemaEnv::new(), &SchemaEnv::aux_default());
+            let errors: Vec<&Diagnostic> = analysis
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect();
+            assert!(errors.is_empty(), "{}: {errors:?}", file.display());
+            // Differential check: accepted programs run without error.
+            let session = RqlSession::with_defaults().unwrap();
+            run_program(&session, &program)
+                .unwrap_or_else(|e| panic!("{}: runtime rejected: {e:?}", file.display()));
+        }
+    }
+}
