@@ -39,7 +39,8 @@ pub use self::diag::{Code, Diagnostic, Severity, SourceKind};
 pub use self::env::SchemaEnv;
 pub use self::mechspec::{check_mechanism, MechanismCall, MechanismFacts, MechanismKind};
 pub use self::program::{
-    analyze_program, parse_program, run_program, Program, ProgramAnalysis, ProgramStmt,
+    analyze_program, parse_program, run_program, run_program_with_reports, Program,
+    ProgramAnalysis, ProgramRun, ProgramStmt,
 };
 pub use crate::delta::DeltaPolicy;
 

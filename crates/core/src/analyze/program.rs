@@ -26,8 +26,12 @@
 
 use rql_sqlengine::ast::{Expr, InsertSource, SelectItem, Stmt};
 use rql_sqlengine::lexer::{Sym, Token};
-use rql_sqlengine::{parse_statement, tokenize_spanned, ColumnType, Span, TableSchema, Value};
+use rql_sqlengine::{
+    parse_statement, tokenize_spanned, ColumnType, ExecOutcome, QueryResult, Span, TableSchema,
+    Value,
+};
 
+use crate::aggregate::{parse_col_func_pairs, AggOp};
 use crate::analyze::delta::DeltaExplain;
 use crate::analyze::diag::{Code, Diagnostic, Severity, SourceKind};
 use crate::analyze::env::SchemaEnv;
@@ -35,6 +39,7 @@ use crate::analyze::mechspec::{MechanismCall, MechanismKind};
 use crate::analyze::resolve::check_select;
 use crate::analyze::rewrite_safety;
 use crate::delta::DeltaPolicy;
+use crate::report::RqlReport;
 use crate::rewrite::render_select;
 use crate::session::RqlSession;
 use crate::Result;
@@ -229,14 +234,91 @@ pub fn analyze_program(
 /// Execute a parsed program on a session (the differential harness:
 /// every program `rqlcheck` accepts must run without a semantic error).
 pub fn run_program(session: &RqlSession, program: &Program) -> Result<()> {
+    run_program_with_reports(session, program).map(|_| ())
+}
+
+/// Everything a program execution produced, for callers (the `rqld`
+/// server) that ship results and cost reports over a wire instead of
+/// printing them.
+#[derive(Debug, Default)]
+pub struct ProgramRun {
+    /// Rows of every top-level SELECT that was not a mechanism call, in
+    /// statement order.
+    pub tables: Vec<QueryResult>,
+    /// Mechanism reports as `(result_table, report)`, in invocation
+    /// order (API-form dispatches and UDF-form invocations alike).
+    pub reports: Vec<(String, RqlReport)>,
+    /// Snapshot ids the program declared, in order.
+    pub snapshots: Vec<u64>,
+}
+
+/// Execute a program, capturing SELECT results and mechanism reports.
+///
+/// Mechanism-call statements whose Qq/T/spec arguments are string
+/// literals dispatch through the session API form under the program's
+/// `--@policy`, so delta-eligible programs actually take the delta path
+/// (and report `pages_skipped`); the UDF form — kept for dynamic
+/// arguments — always runs the sequential loop.
+pub fn run_program_with_reports(session: &RqlSession, program: &Program) -> Result<ProgramRun> {
+    let mut out = ProgramRun::default();
     for stmt in &program.statements {
-        if stmt.on_aux {
-            session.aux_db().execute(&stmt.text)?;
-        } else {
-            session.execute(&stmt.text)?;
+        if let Ok(parsed) = parse_statement(&stmt.text) {
+            let mut scratch = Vec::new();
+            if let Some(call) = extract_mechanism_call(&parsed, stmt, &mut scratch) {
+                let report = dispatch_mechanism(session, &call, program.policy)?;
+                out.reports.push((call.table, report));
+                continue;
+            }
         }
+        let outcome = if stmt.on_aux {
+            session.aux_db().execute(&stmt.text)?
+        } else {
+            session.execute(&stmt.text)?
+        };
+        match outcome {
+            ExecOutcome::Rows(rows) => out.tables.push(rows),
+            ExecOutcome::SnapshotDeclared(sid) => out.snapshots.push(sid),
+            _ => {}
+        }
+        // A UDF-form mechanism with dynamic arguments ran inside the
+        // statement above; pick up the reports it left behind.
+        out.reports.extend(session.take_reports());
     }
-    Ok(())
+    Ok(out)
+}
+
+/// Route an extracted literal-argument mechanism call through the
+/// session API form (delta-aware when `policy` is set).
+fn dispatch_mechanism(
+    session: &RqlSession,
+    call: &ExtractedCall,
+    policy: Option<DeltaPolicy>,
+) -> Result<RqlReport> {
+    let (qs, qq, table) = (&call.qs_text, &call.qq, &call.table);
+    match call.kind {
+        MechanismKind::Collate => match policy {
+            Some(p) => session.collate_data_with_policy(qs, qq, table, p),
+            None => session.collate_data(qs, qq, table),
+        },
+        MechanismKind::AggVar => {
+            let func = AggOp::parse(call.spec.as_deref().unwrap_or_default())?;
+            match policy {
+                Some(p) => session.aggregate_data_in_variable_with_policy(qs, qq, table, func, p),
+                None => session.aggregate_data_in_variable(qs, qq, table, func),
+            }
+        }
+        MechanismKind::AggTable => {
+            let pairs = parse_col_func_pairs(call.spec.as_deref().unwrap_or_default())?;
+            match policy {
+                Some(p) => session.aggregate_data_in_table_with_policy(qs, qq, table, &pairs, p),
+                None => session.aggregate_data_in_table(qs, qq, table, &pairs),
+            }
+        }
+        MechanismKind::Intervals => match policy {
+            Some(p) => session.collate_data_into_intervals_with_policy(qs, qq, table, p),
+            None => session.collate_data_into_intervals(qs, qq, table),
+        },
+    }
 }
 
 /// Span of a statement's first token, for diagnostics with no better

@@ -169,6 +169,7 @@ pub fn collate_data_delta(
     };
     let mut exists = false;
     for (&sid, reader) in ids.iter().zip(readers.iter()) {
+        snap.cancel_token().check()?;
         let rewritten = rewrite_select(&parsed, sid);
         let result = match snap.delta_query(reader, &rewritten, &mut runner)? {
             Some(r) => r,
@@ -634,6 +635,7 @@ pub fn aggregate_data_in_variable_delta(
         ..Default::default()
     };
     for (&sid, reader) in ids.iter().zip(readers.iter()) {
+        snap.cancel_token().check()?;
         let rewritten = rewrite_select(&parsed, sid);
         let (value, qq_stats, qq_rows) = match snap.delta_scan(reader, &rewritten, &mut runner)? {
             None => {

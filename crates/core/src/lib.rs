@@ -71,9 +71,9 @@ pub mod snapids;
 
 pub use aggregate::{parse_col_func_pairs, AggOp, AggState};
 pub use analyze::{
-    analyze_mechanism_call, analyze_program, parse_program, Analysis, Code, DeltaExplain,
-    Diagnostic, MechanismCall, MechanismKind, PredictedPath, Program, ProgramAnalysis, SchemaEnv,
-    Severity,
+    analyze_mechanism_call, analyze_program, parse_program, run_program, run_program_with_reports,
+    Analysis, Code, DeltaExplain, Diagnostic, MechanismCall, MechanismKind, PredictedPath, Program,
+    ProgramAnalysis, ProgramRun, SchemaEnv, Severity,
 };
 pub use delta::{
     aggregate_data_in_table_delta, aggregate_data_in_variable_delta, collate_data_delta,
@@ -89,4 +89,6 @@ pub use session::RqlSession;
 pub use snapids::{all_snapshots, snapshot_by_name, SNAPIDS_TABLE};
 
 // Re-export the layers below for downstream users of the full system.
-pub use rql_sqlengine::{Database, ExecOutcome, QueryResult, Result, SqlError, Value};
+pub use rql_sqlengine::{
+    CancelCause, CancelToken, Database, ExecOutcome, QueryResult, Result, SqlError, Value,
+};

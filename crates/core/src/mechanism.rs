@@ -84,6 +84,10 @@ fn run_loop(
         ..Default::default()
     };
     for (i, &sid) in ids.iter().enumerate() {
+        // Cancellation checkpoint between snapshots: a `CANCEL` that
+        // lands mid-loop stops before the next Qq opens its snapshot
+        // (row-batch checkpoints inside the executor cover the rest).
+        snap.cancel_token().check()?;
         let rewritten = rewrite_select(&parsed, sid);
         let outcome = snap.execute_stmt(&Stmt::Select(rewritten))?;
         let result = outcome.rows().expect("SELECT yields rows");

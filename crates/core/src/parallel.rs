@@ -66,6 +66,13 @@ fn parallel_qq(
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&sid) = ids.get(i) else { break };
+                // Cancellation checkpoint between Qq executions: once the
+                // token trips, remaining snapshots fail fast instead of
+                // running their queries to completion.
+                if let Err(e) = snap.cancel_token().check() {
+                    *slots[i].lock().unwrap() = Some(Err(e));
+                    continue;
+                }
                 // A panic inside Qq execution must not poison the scope
                 // (which would abort the whole process via the scoped
                 // thread's unwind): surface it as a per-snapshot error.

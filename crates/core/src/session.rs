@@ -14,7 +14,7 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use parking_lot::Mutex;
 
 use rql_retro::RetroConfig;
-use rql_sqlengine::{Database, ExecOutcome, QueryResult, Result, SqlError, Value};
+use rql_sqlengine::{CancelCause, Database, ExecOutcome, QueryResult, Result, SqlError, Value};
 
 use crate::aggregate::{parse_col_func_pairs, AggOp};
 use crate::analyze::{self, MechanismCall, MechanismKind, SchemaEnv};
@@ -49,6 +49,15 @@ impl RqlSession {
         // The auxiliary database never declares snapshots; give it the
         // same page size for comparable size accounting.
         let aux = Database::in_memory(config);
+        Self::over_databases(snap, aux)
+    }
+
+    /// Assemble a session over existing databases. This is how a server
+    /// hands out per-connection sessions that *share* one snapshotable
+    /// store (each connection wraps it in its own [`Database`] facade, so
+    /// cancellation tokens stay per-connection) while keeping a private
+    /// auxiliary database for `SnapIds` and result tables.
+    pub fn over_databases(snap: Arc<Database>, aux: Arc<Database>) -> Result<Arc<RqlSession>> {
         snapids::ensure_snapids(&aux)?;
         let session = Arc::new(RqlSession {
             snap,
@@ -81,6 +90,28 @@ impl RqlSession {
     /// Replace the timestamp source (deterministic tests/benchmarks).
     pub fn set_clock(&self, clock: impl Fn() -> String + Send + 'static) {
         *self.clock.lock() = Box::new(clock);
+    }
+
+    // ---- cooperative cancellation --------------------------------------
+
+    /// Trip both databases' interrupt flags: any in-flight statement on
+    /// this session unwinds with `[RQL3xx] SqlError::Cancelled` at its
+    /// next checkpoint (between snapshots of a mechanism loop, between
+    /// Qq row batches inside the executor).
+    pub fn cancel(&self, cause: CancelCause) {
+        self.snap.cancel_token().cancel(cause);
+        self.aux.cancel_token().cancel(cause);
+    }
+
+    /// Whether a cancellation is pending (sticky until cleared).
+    pub fn is_cancelled(&self) -> bool {
+        self.snap.cancel_token().is_cancelled() || self.aux.cancel_token().is_cancelled()
+    }
+
+    /// Re-arm after a cancellation so the session can run again.
+    pub fn clear_cancel(&self) {
+        self.snap.cancel_token().clear();
+        self.aux.cancel_token().clear();
     }
 
     /// Execute application SQL on the snapshotable database, recording

@@ -11,6 +11,7 @@
 //! benchmark.)
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use parking_lot::Mutex;
 
@@ -63,40 +64,92 @@ struct LruInner {
     capacity: usize,
 }
 
+/// Caches at least this large are split into [`SHARD_COUNT`] shards so
+/// concurrent sessions don't serialize on a single mutex. Smaller caches
+/// stay single-sharded: their unit tests (and the cache-keying ablation)
+/// rely on *exact* global LRU order, which sharding only approximates.
+const SHARD_THRESHOLD: usize = 4096;
+/// Number of shards for large caches (power of two, see [`shard_index`]).
+const SHARD_COUNT: usize = 8;
+
 /// A fixed-capacity LRU page cache, safe to share between threads.
+///
+/// Internally sharded for large capacities: each shard is an independent
+/// LRU with `capacity / shards` pages, keyed by a hash of the
+/// [`CacheKey`], so the read path's lock hold time covers only a map
+/// lookup and two list splices — never I/O (the fetch path reads the
+/// Pagelog *outside* the cache lock and inserts afterwards).
 pub struct BufferCache {
-    inner: Mutex<LruInner>,
+    shards: Box<[Mutex<LruInner>]>,
+}
+
+/// Which shard a key lives in. FxHash-style multiply-mix over the
+/// discriminant and payload — cheap enough for the hot read path.
+fn shard_index(key: &CacheKey, n: usize) -> usize {
+    struct Mix(u64);
+    impl Hasher for Mix {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        fn write_u64(&mut self, v: u64) {
+            self.0 = (self.0 ^ v).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    let mut h = Mix(0xcbf2_9ce4_8422_2325);
+    key.hash(&mut h);
+    // Fold high bits in: the low bits of a multiply-mix are the weakest.
+    ((h.finish() >> 32) as usize ^ h.finish() as usize) & (n - 1)
 }
 
 impl BufferCache {
     /// Create a cache holding at most `capacity` pages. A capacity of zero
     /// disables caching entirely (every lookup misses).
     pub fn new(capacity: usize) -> Self {
+        let n = if capacity >= SHARD_THRESHOLD {
+            SHARD_COUNT
+        } else {
+            1
+        };
+        let shards: Vec<Mutex<LruInner>> = (0..n)
+            .map(|i| {
+                Mutex::new(LruInner {
+                    map: HashMap::new(),
+                    nodes: Vec::new(),
+                    free: Vec::new(),
+                    head: NIL,
+                    tail: NIL,
+                    capacity: capacity / n + usize::from(i < capacity % n),
+                })
+            })
+            .collect();
         BufferCache {
-            inner: Mutex::new(LruInner {
-                map: HashMap::new(),
-                nodes: Vec::new(),
-                free: Vec::new(),
-                head: NIL,
-                tail: NIL,
-                capacity,
-            }),
+            shards: shards.into_boxed_slice(),
         }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<LruInner> {
+        &self.shards[shard_index(key, self.shards.len())]
     }
 
     /// Look up `key`, marking it most-recently-used on a hit.
     pub fn get(&self, key: &CacheKey) -> Option<SharedPage> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard(key).lock();
         let idx = *inner.map.get(key)?;
         inner.unlink(idx);
         inner.push_front(idx);
         Some(inner.nodes[idx].page.clone())
     }
 
-    /// Insert `page` under `key`, evicting the least-recently-used entry if
-    /// at capacity. Returns the number of evictions performed (0 or 1).
+    /// Insert `page` under `key`, evicting the least-recently-used entry
+    /// of the key's shard if at capacity. Returns the number of evictions
+    /// performed (0 or 1).
     pub fn insert(&self, key: CacheKey, page: SharedPage) -> usize {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard(&key).lock();
         if inner.capacity == 0 {
             return 0;
         }
@@ -119,17 +172,19 @@ impl BufferCache {
 
     /// Remove every entry (used to force all-cold runs in experiments).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.map.clear();
-        inner.nodes.clear();
-        inner.free.clear();
-        inner.head = NIL;
-        inner.tail = NIL;
+        for shard in self.shards.iter() {
+            let mut inner = shard.lock();
+            inner.map.clear();
+            inner.nodes.clear();
+            inner.free.clear();
+            inner.head = NIL;
+            inner.tail = NIL;
+        }
     }
 
     /// Number of cached pages.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// Whether the cache holds no pages.
@@ -137,22 +192,32 @@ impl BufferCache {
         self.len() == 0
     }
 
-    /// Change the capacity; shrinking evicts LRU entries immediately.
-    /// Returns the number of entries evicted.
+    /// Change the capacity; shrinking evicts LRU entries immediately
+    /// (per shard). Returns the number of entries evicted. The shard
+    /// count is fixed at construction, so growing a small cache past the
+    /// sharding threshold keeps it single-sharded.
     pub fn set_capacity(&self, capacity: usize) -> usize {
-        let mut inner = self.inner.lock();
-        inner.capacity = capacity;
+        let n = self.shards.len();
         let mut evicted = 0;
-        while inner.map.len() > inner.capacity {
-            inner.evict_lru();
-            evicted += 1;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut inner = shard.lock();
+            inner.capacity = capacity / n + usize::from(i < capacity % n);
+            while inner.map.len() > inner.capacity {
+                inner.evict_lru();
+                evicted += 1;
+            }
         }
         evicted
     }
 
     /// Current capacity in pages.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().capacity
+        self.shards.iter().map(|s| s.lock().capacity).sum()
+    }
+
+    /// Number of independent LRU shards (1 for small caches).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 }
 
@@ -320,5 +385,61 @@ mod tests {
             }
         }
         assert!(c.len() <= 16);
+    }
+
+    #[test]
+    fn small_caches_are_single_sharded_large_are_not() {
+        assert_eq!(BufferCache::new(16).shard_count(), 1);
+        assert_eq!(BufferCache::new(0).shard_count(), 1);
+        let big = BufferCache::new(1 << 16);
+        assert!(big.shard_count() > 1);
+        // Shard capacities sum to the requested total.
+        assert_eq!(big.capacity(), 1 << 16);
+        assert_eq!(big.set_capacity(1 << 10), 0);
+        assert_eq!(big.capacity(), 1 << 10);
+    }
+
+    #[test]
+    fn sharded_cache_round_trips_and_bounds_size() {
+        let c = BufferCache::new(8192);
+        for i in 0..10_000u64 {
+            c.insert(CacheKey::Pagelog(i), page((i % 251) as u8));
+        }
+        assert!(c.len() <= 8192);
+        // Recent keys should still be resident and byte-correct.
+        let hits = (9_000..10_000u64)
+            .filter(|&i| match c.get(&CacheKey::Pagelog(i)) {
+                Some(p) => {
+                    assert_eq!(p.bytes()[0], (i % 251) as u8);
+                    true
+                }
+                None => false,
+            })
+            .count();
+        assert!(hits > 500, "expected most recent keys resident, got {hits}");
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_stay_coherent() {
+        let c = Arc::new(BufferCache::new(8192));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let k = CacheKey::Pagelog(t * 10_000 + i);
+                        c.insert(k, page((i % 251) as u8));
+                        if let Some(p) = c.get(&k) {
+                            assert_eq!(p.bytes()[0], (i % 251) as u8);
+                        }
+                        // Cross-thread reads of a shared hot set.
+                        c.get(&CacheKey::Pagelog(i % 64));
+                    }
+                });
+            }
+        });
+        assert!(c.len() <= 8192);
     }
 }

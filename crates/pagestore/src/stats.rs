@@ -154,6 +154,22 @@ impl IoStatsSnapshot {
     pub fn total_fetches(&self) -> u64 {
         self.db_reads + self.cache_hits + self.pagelog_reads
     }
+
+    /// Every counter as a stable `(name, value)` list, for metrics
+    /// exporters that render all fields without hand-maintaining the
+    /// schema at each call site. Names are snake_case and match the
+    /// field names.
+    pub fn fields(&self) -> [(&'static str, u64); 7] {
+        [
+            ("db_reads", self.db_reads),
+            ("cache_hits", self.cache_hits),
+            ("pagelog_reads", self.pagelog_reads),
+            ("cow_captures", self.cow_captures),
+            ("pages_written", self.pages_written),
+            ("maplog_entries_scanned", self.maplog_entries_scanned),
+            ("cache_evictions", self.cache_evictions),
+        ]
+    }
 }
 
 /// Deterministic I/O cost model.

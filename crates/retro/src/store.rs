@@ -64,7 +64,7 @@ pub struct RetroStore {
     config: RetroConfig,
     pager: Arc<Pager>,
     pagelog: Pagelog,
-    maplog: Mutex<Maplog>,
+    maplog: RwLock<Maplog>,
     /// Pages already archived since the latest snapshot declaration
     /// (their pre-state for that snapshot is on the Pagelog; later
     /// modifications need no further capture).
@@ -90,7 +90,7 @@ impl RetroStore {
                 page_size,
                 format,
             ),
-            maplog: Mutex::new(Maplog::new()),
+            maplog: RwLock::new(Maplog::new()),
             dirty_since_snapshot: Mutex::new(HashSet::new()),
             last_archived: Mutex::new(std::collections::HashMap::new()),
             metas: RwLock::new(Vec::new()),
@@ -138,7 +138,7 @@ impl RetroStore {
             config,
             pager,
             pagelog: Pagelog::with_format(pagelog_storage, page_size, format),
-            maplog: Mutex::new(maplog),
+            maplog: RwLock::new(maplog),
             // Conservative: after recovery, re-archive on next modification
             // (and diff chains restart from full images).
             dirty_since_snapshot: Mutex::new(HashSet::new()),
@@ -242,14 +242,14 @@ impl RetroStore {
                     outcome.offset
                 }
             };
-            self.maplog.lock().append_mapping(pid, off)?;
+            self.maplog.write().append_mapping(pid, off)?;
             stats.count_cow_capture();
             Ok(())
         })?;
         if declare {
             let sid = snapshot_id.unwrap();
             let page_count = self.pager.page_count();
-            self.maplog.lock().declare_snapshot(sid, page_count)?;
+            self.maplog.write().declare_snapshot(sid, page_count)?;
             self.dirty_since_snapshot.lock().clear();
             self.metas.write().push(SnapshotMeta {
                 id: sid,
@@ -291,7 +291,7 @@ impl RetroStore {
             .ok_or_else(|| StoreError::Corrupt(format!("unknown snapshot {sid}")))?;
         let view = self.pager.view();
         let start = Instant::now();
-        let scan = self.maplog.lock().build_spt(sid, self.config.use_skippy)?;
+        let scan = self.maplog.read().build_spt(sid, self.config.use_skippy)?;
         let duration = start.elapsed();
         self.stats().count_maplog_scanned(scan.entries_scanned);
         let spt = Spt::new(sid, meta.page_count, scan.map);
@@ -325,7 +325,7 @@ impl RetroStore {
             );
         }
         let views: Vec<DbView> = ids.iter().map(|_| self.pager.view()).collect();
-        let maplog = self.maplog.lock();
+        let maplog = self.maplog.read();
         let start = Instant::now();
         let scans = maplog.build_spt_chain(ids, self.config.use_skippy)?;
         let duration = start.elapsed();
@@ -366,7 +366,7 @@ impl RetroStore {
     /// complement of the paper's `shared(S1, S2)`, computed directly from
     /// the Maplog window between the declarations (no SPT builds).
     pub fn changed_pages(&self, s1: u64, s2: u64) -> Result<HashSet<rql_pagestore::PageId>> {
-        self.maplog.lock().changed_pages(s1, s2)
+        self.maplog.read().changed_pages(s1, s2)
     }
 
     /// Build just the SPT for `sid` (introspection / diff computation).
@@ -374,7 +374,7 @@ impl RetroStore {
         let meta = self
             .snapshot_meta(sid)
             .ok_or_else(|| StoreError::Corrupt(format!("unknown snapshot {sid}")))?;
-        let scan = self.maplog.lock().build_spt(sid, self.config.use_skippy)?;
+        let scan = self.maplog.read().build_spt(sid, self.config.use_skippy)?;
         Ok(Spt::new(sid, meta.page_count, scan.map))
     }
 
@@ -393,17 +393,17 @@ impl RetroStore {
     /// explicit durability point performs).
     pub fn flush(&self) -> Result<()> {
         self.pagelog.flush()?;
-        self.maplog.lock().sync()?;
+        self.maplog.read().sync()?;
         self.pager.sync_wal()
     }
 
     /// Total Maplog entries (space accounting).
     pub fn maplog_entries(&self) -> usize {
-        self.maplog.lock().entry_count()
+        self.maplog.read().entry_count()
     }
 
     /// Entries held by Skippy skip levels (space accounting).
     pub fn skippy_entries(&self) -> usize {
-        self.maplog.lock().skippy_entries()
+        self.maplog.read().skippy_entries()
     }
 }

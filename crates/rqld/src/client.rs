@@ -1,0 +1,154 @@
+//! Blocking client for the `rqld` wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection and one server session. The
+//! session id from the `HELLO` greeting is exposed so a *second*
+//! connection can cancel this one's in-flight query — the same
+//! out-of-band arrangement as Postgres' `BackendKeyData`.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    read_frame, write_frame, ProtoError, Request, Response, WireDiagnostic, WireResult,
+};
+
+/// Client-side errors: transport/decode trouble, or a server `ERROR`
+/// frame surfaced with its wire code.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Frame transport or decode failure.
+    Proto(ProtoError),
+    /// The server answered with an `ERROR` frame.
+    Server {
+        /// `[RQLxxx]`-style code.
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The server answered with a frame the verb does not expect.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => write!(f, "[{code}] {message}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Proto(ProtoError::Io(e))
+    }
+}
+
+/// Client-side result alias.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// A connected `rqld` client.
+pub struct Client {
+    stream: TcpStream,
+    session: u64,
+}
+
+impl Client {
+    /// Connect and consume the `HELLO` greeting.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr).map_err(ProtoError::Io)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client { stream, session: 0 };
+        match client.read_response()? {
+            Response::Hello { session } => {
+                client.session = session;
+                Ok(client)
+            }
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("expected HELLO")),
+        }
+    }
+
+    /// This connection's server-side session id (the `CANCEL` handle).
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response> {
+        let (opcode, payload) = request.encode();
+        write_frame(&mut self.stream, opcode, &payload)?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response> {
+        let (opcode, payload) = read_frame(&mut self.stream)?;
+        Ok(Response::decode(opcode, &payload)?)
+    }
+
+    /// Lint a program server-side; returns diagnostics, executes nothing.
+    pub fn prepare(&mut self, program: &str) -> Result<Vec<WireDiagnostic>> {
+        match self.round_trip(&Request::Prepare {
+            program: program.into(),
+        })? {
+            Response::Diagnostics { diagnostics } => Ok(diagnostics),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("expected DIAGNOSTICS")),
+        }
+    }
+
+    /// Execute a program; returns result tables, reports and snapshots.
+    pub fn run(&mut self, program: &str) -> Result<WireResult> {
+        match self.round_trip(&Request::Run {
+            program: program.into(),
+        })? {
+            Response::Result(result) => Ok(result),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("expected RESULT")),
+        }
+    }
+
+    /// Cancel another session's in-flight query by its `HELLO` id.
+    pub fn cancel(&mut self, session: u64) -> Result<()> {
+        match self.round_trip(&Request::Cancel { session })? {
+            Response::Ok => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("expected OK")),
+        }
+    }
+
+    /// One-line server status.
+    pub fn status(&mut self) -> Result<String> {
+        match self.round_trip(&Request::Status)? {
+            Response::Text(text) => Ok(text),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("expected TEXT")),
+        }
+    }
+
+    /// Metrics snapshot, human (`json = false`) or JSON.
+    pub fn metrics(&mut self, json: bool) -> Result<String> {
+        match self.round_trip(&Request::Metrics { json })? {
+            Response::Text(text) => Ok(text),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("expected TEXT")),
+        }
+    }
+
+    /// Ask the server to drain and stop.
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("expected OK")),
+        }
+    }
+}

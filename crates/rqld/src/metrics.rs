@@ -1,0 +1,245 @@
+//! Server metrics: counters, gauges and a log-bucketed latency
+//! histogram, rendered for the `METRICS` verb in human and JSON form.
+//!
+//! Everything is lock-free relaxed atomics — metrics are statistics,
+//! not synchronization (the same discipline as `pagestore::stats`).
+//! Page-level I/O counters are not duplicated here: the exporter takes
+//! the shared store's `IoStatsSnapshot` at render time, so `METRICS`
+//! reflects exactly what the execution layer counted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use rql_pagestore::IoStatsSnapshot;
+
+/// Latency histogram with power-of-two microsecond buckets:
+/// bucket `i` counts samples in `[2^i, 2^(i+1))` µs (bucket 0 is `<2µs`).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 32],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Record one sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - micros.leading_zeros() as usize).min(31);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> u64 {
+        self.sum_micros
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Upper bound (µs) of the bucket containing quantile `q` in `[0,1]`.
+    /// Bucketed, so the value is exact to within a factor of two.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << 31
+    }
+}
+
+/// The server's metrics registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Queries accepted for execution (RUN statements admitted).
+    pub queries_total: AtomicU64,
+    /// Queries that completed successfully.
+    pub queries_ok: AtomicU64,
+    /// Queries that failed with an error (including cancellations).
+    pub queries_failed: AtomicU64,
+    /// Queries cancelled by client `CANCEL` (subset of failed).
+    pub queries_cancelled: AtomicU64,
+    /// Queries killed by the per-query deadline (subset of failed).
+    pub queries_timed_out: AtomicU64,
+    /// Requests rejected at admission (queue full).
+    pub admission_rejected: AtomicU64,
+    /// PREPARE requests served.
+    pub prepares_total: AtomicU64,
+    /// Mechanism loop iterations (Qq executions) across all queries.
+    pub qq_iterations: AtomicU64,
+    /// Qq rows produced across all queries.
+    pub qq_rows: AtomicU64,
+    /// Heap pages skipped by delta-driven iteration.
+    pub pages_skipped: AtomicU64,
+    /// Result rows shipped to clients.
+    pub rows_returned: AtomicU64,
+    /// Currently open client connections.
+    pub connections_open: AtomicU64,
+    /// Connections accepted since start.
+    pub connections_total: AtomicU64,
+    /// Jobs waiting in the admission queue right now.
+    pub queue_depth: AtomicU64,
+    /// Jobs executing right now.
+    pub in_flight: AtomicU64,
+    /// End-to-end query latency.
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Fresh zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bump a counter by 1.
+    pub fn inc(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bump a counter by `n`.
+    pub fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrement a gauge (saturating at zero).
+    pub fn dec(&self, gauge: &AtomicU64) {
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
+    }
+
+    /// Every scalar as a stable `(name, value)` list; the histogram adds
+    /// its derived `latency_*` entries.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("queries_total", g(&self.queries_total)),
+            ("queries_ok", g(&self.queries_ok)),
+            ("queries_failed", g(&self.queries_failed)),
+            ("queries_cancelled", g(&self.queries_cancelled)),
+            ("queries_timed_out", g(&self.queries_timed_out)),
+            ("admission_rejected", g(&self.admission_rejected)),
+            ("prepares_total", g(&self.prepares_total)),
+            ("qq_iterations", g(&self.qq_iterations)),
+            ("qq_rows", g(&self.qq_rows)),
+            ("pages_skipped", g(&self.pages_skipped)),
+            ("rows_returned", g(&self.rows_returned)),
+            ("connections_open", g(&self.connections_open)),
+            ("connections_total", g(&self.connections_total)),
+            ("queue_depth", g(&self.queue_depth)),
+            ("in_flight", g(&self.in_flight)),
+            ("latency_count", self.latency.count()),
+            ("latency_mean_micros", self.latency.mean_micros()),
+            ("latency_p50_micros", self.latency.quantile_micros(0.50)),
+            ("latency_p99_micros", self.latency.quantile_micros(0.99)),
+        ]
+    }
+
+    /// Human-readable render: one `name value` line per metric, then the
+    /// store's I/O counters under an `io_` prefix.
+    pub fn render_human(&self, io: &IoStatsSnapshot) -> String {
+        let mut out = String::new();
+        for (name, value) in self.fields() {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        for (name, value) in io.fields() {
+            out.push_str("io_");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON render (flat object; all values are integers, so no escaping
+    /// or float formatting subtleties).
+    pub fn render_json(&self, io: &IoStatsSnapshot) -> String {
+        let mut parts: Vec<String> = self
+            .fields()
+            .into_iter()
+            .map(|(name, value)| format!("\"{name}\":{value}"))
+            .collect();
+        parts.extend(
+            io.fields()
+                .into_iter()
+                .map(|(name, value)| format!("\"io_{name}\":{value}")),
+        );
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(50));
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_micros(0.50);
+        assert!((64..=256).contains(&p50), "p50={p50}");
+        let p99 = h.quantile_micros(0.99);
+        assert!(p99 <= 256, "p99 covers the 100µs mass, got {p99}");
+        let p100 = h.quantile_micros(1.0);
+        assert!(p100 >= 32_768, "max sample is 50ms, got {p100}");
+        assert!(h.mean_micros() >= 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_micros(0.99), 0);
+        assert_eq!(h.mean_micros(), 0);
+    }
+
+    #[test]
+    fn renders_include_io_and_latency() {
+        let m = Metrics::new();
+        m.inc(&m.queries_total);
+        m.latency.record(Duration::from_micros(10));
+        let io = IoStatsSnapshot {
+            pagelog_reads: 7,
+            ..Default::default()
+        };
+        let human = m.render_human(&io);
+        assert!(human.contains("queries_total 1"));
+        assert!(human.contains("io_pagelog_reads 7"));
+        assert!(human.contains("latency_p99_micros"));
+        let json = m.render_json(&io);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"queries_total\":1"));
+        assert!(json.contains("\"io_pagelog_reads\":7"));
+    }
+
+    #[test]
+    fn gauge_dec_saturates() {
+        let m = Metrics::new();
+        m.dec(&m.queue_depth);
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 0);
+    }
+}

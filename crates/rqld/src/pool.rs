@@ -1,0 +1,324 @@
+//! The shared read-path stack and per-connection session pool.
+//!
+//! One [`SharedStack`] owns the process-wide snapshotable store — one
+//! pagestore buffer cache, one Pagelog, one Maplog — exactly the "shared
+//! read-path stack" of the server design. Each connection checks out a
+//! [`ServerSession`]:
+//!
+//! * its **snap** side is a fresh [`Database`] facade over the *shared*
+//!   store, so every session reads the same data through the same cache
+//!   (the cross-snapshot page-sharing effect now also crosses sessions),
+//!   while cancellation tokens stay per-connection;
+//! * its **aux** side is a private in-memory database (`SnapIds` plus
+//!   result tables), so mechanism folds never contend on a writer.
+//!
+//! The store is single-writer by design (`StoreError::WriterBusy` is an
+//! error, not a wait), so the stack serializes *write* statements from
+//! different sessions behind one mutex; reads never take it. `SnapIds`
+//! rows are fanned out through a server-side snapshot log: before each
+//! program, a session folds in every logged declaration it has not seen.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use parking_lot::{Mutex, RwLock};
+
+use rql::{self as rqlcore, snapids, Database, Program, ProgramRun, RqlSession, SqlError};
+use rql_retro::{RetroConfig, RetroStore};
+use rql_sqlengine::{parse_statement, Stmt};
+
+/// One snapshot declaration, as fanned out to every session's `SnapIds`.
+#[derive(Debug, Clone)]
+pub struct SnapEntry {
+    /// Snapshot id.
+    pub sid: u64,
+    /// Declaration timestamp.
+    pub ts: String,
+    /// User-friendly name, when given.
+    pub name: Option<String>,
+}
+
+/// The process-wide stack: shared store + write serialization + the
+/// snapshot fan-out log + session-id allocation.
+pub struct SharedStack {
+    store: Arc<RetroStore>,
+    /// Serializes snap-store write statements across sessions: the store
+    /// itself errors (`WriterBusy`) rather than blocks on a second
+    /// writer, which is correct for one embedded process but would make
+    /// concurrent clients flaky. Reads never take this.
+    write_lock: Mutex<()>,
+    snapshot_log: RwLock<Vec<SnapEntry>>,
+    next_session: AtomicU64,
+    active_sessions: AtomicU64,
+    max_sessions: u64,
+}
+
+impl SharedStack {
+    /// Build the stack and bootstrap the store's catalog while still
+    /// single-threaded (two facades racing on an empty store would both
+    /// try to bootstrap).
+    pub fn new(config: RetroConfig, max_sessions: u64) -> Arc<SharedStack> {
+        let store = RetroStore::in_memory(config);
+        let bootstrap = Database::over_store(Arc::clone(&store));
+        drop(bootstrap);
+        Arc::new(SharedStack {
+            store,
+            write_lock: Mutex::new(()),
+            snapshot_log: RwLock::new(Vec::new()),
+            next_session: AtomicU64::new(1),
+            active_sessions: AtomicU64::new(0),
+            max_sessions,
+        })
+    }
+
+    /// The shared snapshotable store.
+    pub fn store(&self) -> &Arc<RetroStore> {
+        &self.store
+    }
+
+    /// Sessions currently checked out.
+    pub fn active_sessions(&self) -> u64 {
+        self.active_sessions.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot declarations seen so far (for tests and STATUS).
+    pub fn snapshot_log_len(&self) -> usize {
+        self.snapshot_log.read().len()
+    }
+
+    /// Check out a session for a new connection. Errors when the session
+    /// cap is reached.
+    pub fn checkout(self: &Arc<Self>) -> rqlcore::Result<ServerSession> {
+        let prev = self.active_sessions.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.max_sessions {
+            self.active_sessions.fetch_sub(1, Ordering::AcqRel);
+            return Err(SqlError::Constraint(format!(
+                "session limit reached ({} active)",
+                prev
+            )));
+        }
+        let snap = Database::over_store(Arc::clone(&self.store));
+        let aux = Database::in_memory(RetroConfig::new());
+        let session = match RqlSession::over_databases(snap, aux) {
+            Ok(s) => s,
+            Err(e) => {
+                self.active_sessions.fetch_sub(1, Ordering::AcqRel);
+                return Err(e);
+            }
+        };
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        Ok(ServerSession {
+            id,
+            session,
+            stack: Arc::clone(self),
+        })
+    }
+
+    fn log_snapshots(&self, sids: &[u64]) {
+        if sids.is_empty() {
+            return;
+        }
+        let ts = wall_clock_ts();
+        let mut log = self.snapshot_log.write();
+        for &sid in sids {
+            log.push(SnapEntry {
+                sid,
+                ts: ts.clone(),
+                name: None,
+            });
+        }
+    }
+}
+
+/// A checked-out per-connection session.
+pub struct ServerSession {
+    /// Session id (the `HELLO` handle used for out-of-band `CANCEL`).
+    pub id: u64,
+    session: Arc<RqlSession>,
+    stack: Arc<SharedStack>,
+}
+
+impl Drop for ServerSession {
+    fn drop(&mut self) {
+        self.stack.active_sessions.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl ServerSession {
+    /// The underlying RQL session (for cancellation and inspection).
+    pub fn session(&self) -> &Arc<RqlSession> {
+        &self.session
+    }
+
+    /// Fold every logged snapshot declaration this session has not seen
+    /// into its private `SnapIds` (set-based, so no declaration is ever
+    /// missed or duplicated regardless of interleaving).
+    pub fn sync_snapids(&self) -> rqlcore::Result<()> {
+        let known: std::collections::HashSet<u64> = snapids::all_snapshots(self.session.aux_db())?
+            .into_iter()
+            .map(|(sid, _, _)| sid)
+            .collect();
+        let log = self.stack.snapshot_log.read();
+        for entry in log.iter() {
+            if !known.contains(&entry.sid) {
+                snapids::record_snapshot(
+                    self.session.aux_db(),
+                    entry.sid,
+                    &entry.ts,
+                    entry.name.as_deref(),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute a parsed program statement-by-statement. Statements that
+    /// write the shared snap store take the stack's global write lock,
+    /// held across a whole `BEGIN … COMMIT` span (the store is
+    /// single-writer, and a second writer would see `WriterBusy`
+    /// mid-transaction otherwise); reads and mechanism loops run
+    /// lock-free. Declared snapshots go to the fan-out log so other
+    /// sessions see them on their next sync. A transaction still open
+    /// when the program ends is rolled back — the program is the
+    /// transaction unit over the wire.
+    pub fn run_program(&self, program: &Program) -> rqlcore::Result<ProgramRun> {
+        self.sync_snapids()?;
+        let mut run = ProgramRun::default();
+        let mut write_guard = None;
+        let mut failure = None;
+        for stmt in &program.statements {
+            let single = Program {
+                src: stmt.text.clone(),
+                statements: vec![stmt.clone()],
+                policy: program.policy,
+            };
+            let writes_snap =
+                !stmt.on_aux && !matches!(parse_statement(&stmt.text), Ok(Stmt::Select(_)));
+            if writes_snap && write_guard.is_none() {
+                write_guard = Some(self.stack.write_lock.lock());
+            }
+            match rqlcore::run_program_with_reports(&self.session, &single) {
+                Ok(step) => {
+                    self.stack.log_snapshots(&step.snapshots);
+                    run.tables.extend(step.tables);
+                    run.reports.extend(step.reports);
+                    run.snapshots.extend(step.snapshots);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+            if write_guard.is_some() && !self.session.snap_db().has_open_txn() {
+                write_guard = None;
+            }
+        }
+        // Roll back before releasing the lock: an open transaction still
+        // holds the store's single writer slot.
+        if self.session.snap_db().has_open_txn() {
+            let _ = self.session.snap_db().execute("ROLLBACK");
+        }
+        drop(write_guard);
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(run),
+        }
+    }
+}
+
+/// "YYYY-MM-DD HH:MM:SS"-shaped UTC timestamp for log entries (matches
+/// the session clock's rendering closely enough for `SnapIds`).
+fn wall_clock_ts() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_secs();
+    format!("@{secs}")
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use rql::parse_program;
+
+    #[test]
+    fn sessions_share_data_and_snapids_fan_out() {
+        let stack = SharedStack::new(RetroConfig::new(), 8);
+        let a = stack.checkout().unwrap();
+        let b = stack.checkout().unwrap();
+        assert_eq!(stack.active_sessions(), 2);
+
+        let program = parse_program(
+            "CREATE TABLE t (v INTEGER);\n\
+             BEGIN;\n\
+             INSERT INTO t VALUES (1), (2);\n\
+             COMMIT WITH SNAPSHOT;",
+        )
+        .unwrap();
+        a.run_program(&program).unwrap();
+        assert_eq!(stack.snapshot_log_len(), 1);
+
+        // Session B sees A's table through the shared store, and A's
+        // snapshot through the fan-out log.
+        let q = parse_program("SELECT COUNT(*) FROM t;").unwrap();
+        let out = b.run_program(&q).unwrap();
+        assert_eq!(out.tables[0].rows[0][0], rql::Value::Integer(2));
+        let snaps = snapids::all_snapshots(b.session().aux_db()).unwrap();
+        assert_eq!(snaps.len(), 1);
+
+        // Sync is idempotent.
+        b.sync_snapids().unwrap();
+        assert_eq!(
+            snapids::all_snapshots(b.session().aux_db()).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn session_cap_is_enforced_and_released() {
+        let stack = SharedStack::new(RetroConfig::new(), 1);
+        let a = stack.checkout().unwrap();
+        assert!(stack.checkout().is_err());
+        drop(a);
+        assert!(stack.checkout().is_ok());
+    }
+
+    #[test]
+    fn mechanism_runs_against_shared_store() {
+        let stack = SharedStack::new(RetroConfig::new(), 4);
+        let writer = stack.checkout().unwrap();
+        writer
+            .run_program(
+                &parse_program(
+                    "CREATE TABLE loggedin (l_userid TEXT);\n\
+                     BEGIN;\n\
+                     INSERT INTO loggedin VALUES ('UserA');\n\
+                     COMMIT WITH SNAPSHOT;\n\
+                     BEGIN;\n\
+                     INSERT INTO loggedin VALUES ('UserB');\n\
+                     COMMIT WITH SNAPSHOT;",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+
+        let reader = stack.checkout().unwrap();
+        let out = reader
+            .run_program(
+                &parse_program(
+                    "SELECT CollateData(snap_id, 'SELECT DISTINCT l_userid FROM loggedin', \
+                     'Found') FROM SnapIds;\n\
+                     --@aux\n\
+                     SELECT COUNT(*) FROM Found;",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(out.reports.len(), 1);
+        assert_eq!(out.reports[0].0, "Found");
+        assert_eq!(out.tables[0].rows[0][0], rql::Value::Integer(3));
+    }
+}

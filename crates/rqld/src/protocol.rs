@@ -1,0 +1,667 @@
+//! The `rqld` wire protocol (v0, AUTH-less).
+//!
+//! Every frame is `[u32 length (BE)] [u8 opcode] [payload]`, where
+//! `length` counts the opcode byte plus the payload. The server greets
+//! each connection with a `HELLO` frame carrying the session id — the
+//! out-of-band handle a *different* connection uses to `CANCEL` a query
+//! running on this one (the Postgres `BackendKeyData` shape).
+//!
+//! Payloads are hand-rolled big-endian primitives: strings are
+//! `u32`-length-prefixed UTF-8; [`Value`]s are tagged
+//! (0 = Null, 1 = Integer, 2 = Real, 3 = Text); options are a `u8`
+//! presence flag. No external serialization crates — the workspace
+//! builds offline.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use rql_sqlengine::Value;
+
+/// Frames larger than this are rejected before allocation.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Protocol decode/transport errors.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Underlying socket/file error.
+    Io(io::Error),
+    /// Payload ended before a field was complete.
+    Truncated,
+    /// Unknown opcode or value tag.
+    BadTag(u8),
+    /// A string field was not UTF-8.
+    BadUtf8,
+    /// Declared frame length exceeds [`MAX_FRAME`] (or is zero).
+    BadLength(u32),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::BadTag(t) => write!(f, "unknown tag {t:#04x}"),
+            ProtoError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            ProtoError::BadLength(n) => write!(f, "bad frame length {n}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Result alias for protocol operations.
+pub type Result<T> = std::result::Result<T, ProtoError>;
+
+// ---- opcodes ---------------------------------------------------------
+
+/// Client → server verbs.
+pub mod op {
+    /// Analyze a program, return diagnostics without executing.
+    pub const PREPARE: u8 = 0x01;
+    /// Execute a program, return result tables + reports.
+    pub const RUN: u8 = 0x02;
+    /// Cancel the in-flight query of another session (by session id).
+    pub const CANCEL: u8 = 0x03;
+    /// One-line server status.
+    pub const STATUS: u8 = 0x04;
+    /// Metrics snapshot (human or JSON).
+    pub const METRICS: u8 = 0x05;
+    /// Graceful drain: finish queued work, then stop.
+    pub const SHUTDOWN: u8 = 0x06;
+}
+
+/// Server → client frames.
+pub mod resp {
+    /// Connection greeting: this connection's session id.
+    pub const HELLO: u8 = 0x81;
+    /// `PREPARE` reply: structured diagnostics.
+    pub const DIAGNOSTICS: u8 = 0x82;
+    /// `RUN` reply: result tables, mechanism reports, snapshot ids.
+    pub const RESULT: u8 = 0x83;
+    /// Failure, with an `[RQLxxx]`-style code when one applies.
+    pub const ERROR: u8 = 0x84;
+    /// Plain text (`STATUS`, `METRICS`).
+    pub const TEXT: u8 = 0x85;
+    /// Bare acknowledgement (`CANCEL`, `SHUTDOWN`).
+    pub const OK: u8 = 0x86;
+}
+
+// ---- frame I/O -------------------------------------------------------
+
+/// Write one `[len][op][payload]` frame.
+pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() as u32 + 1;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&[opcode])?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame; returns `(opcode, payload)`.
+pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>)> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf);
+    if len == 0 || len > MAX_FRAME {
+        return Err(ProtoError::BadLength(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let opcode = body[0];
+    body.remove(0);
+    Ok((opcode, body))
+}
+
+// ---- payload primitives ----------------------------------------------
+
+/// Append-only payload builder.
+#[derive(Default)]
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    /// Fresh empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish, yielding the raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a tagged [`Value`].
+    pub fn put_value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.put_u8(0),
+            Value::Integer(i) => {
+                self.put_u8(1);
+                self.put_u64(*i as u64);
+            }
+            Value::Real(r) => {
+                self.put_u8(2);
+                self.put_u64(r.to_bits());
+            }
+            Value::Text(s) => {
+                self.put_u8(3);
+                self.put_str(s);
+            }
+        }
+    }
+}
+
+/// Cursor over a received payload.
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Wrap a payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadUtf8)
+    }
+
+    /// Read a tagged [`Value`].
+    pub fn get_value(&mut self) -> Result<Value> {
+        match self.get_u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Integer(self.get_u64()? as i64)),
+            2 => Ok(Value::Real(f64::from_bits(self.get_u64()?))),
+            3 => Ok(Value::Text(self.get_str()?)),
+            t => Err(ProtoError::BadTag(t)),
+        }
+    }
+}
+
+// ---- requests --------------------------------------------------------
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Lint a program; no execution.
+    Prepare {
+        /// The `.rql` program text.
+        program: String,
+    },
+    /// Execute a program.
+    Run {
+        /// The `.rql` program text.
+        program: String,
+    },
+    /// Cancel the in-flight query of session `session`.
+    Cancel {
+        /// Target session id (from that connection's `HELLO`).
+        session: u64,
+    },
+    /// One-line server status.
+    Status,
+    /// Metrics snapshot.
+    Metrics {
+        /// `true` → JSON, `false` → human-readable table.
+        json: bool,
+    },
+    /// Graceful drain and stop.
+    Shutdown,
+}
+
+impl Request {
+    /// Encode to `(opcode, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut w = PayloadWriter::new();
+        match self {
+            Request::Prepare { program } => {
+                w.put_str(program);
+                (op::PREPARE, w.into_bytes())
+            }
+            Request::Run { program } => {
+                w.put_str(program);
+                (op::RUN, w.into_bytes())
+            }
+            Request::Cancel { session } => {
+                w.put_u64(*session);
+                (op::CANCEL, w.into_bytes())
+            }
+            Request::Status => (op::STATUS, Vec::new()),
+            Request::Metrics { json } => {
+                w.put_u8(u8::from(*json));
+                (op::METRICS, w.into_bytes())
+            }
+            Request::Shutdown => (op::SHUTDOWN, Vec::new()),
+        }
+    }
+
+    /// Decode from a received frame.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Request> {
+        let mut r = PayloadReader::new(payload);
+        match opcode {
+            op::PREPARE => Ok(Request::Prepare {
+                program: r.get_str()?,
+            }),
+            op::RUN => Ok(Request::Run {
+                program: r.get_str()?,
+            }),
+            op::CANCEL => Ok(Request::Cancel {
+                session: r.get_u64()?,
+            }),
+            op::STATUS => Ok(Request::Status),
+            op::METRICS => Ok(Request::Metrics {
+                json: r.get_u8()? != 0,
+            }),
+            op::SHUTDOWN => Ok(Request::Shutdown),
+            t => Err(ProtoError::BadTag(t)),
+        }
+    }
+}
+
+// ---- responses -------------------------------------------------------
+
+/// A diagnostic as it travels over the wire (code + span, the shape
+/// `rqlcheck` produces).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDiagnostic {
+    /// Stable code, e.g. `RQL001`.
+    pub code: String,
+    /// 0 = info, 1 = warning, 2 = error.
+    pub severity: u8,
+    /// Human message (no code prefix).
+    pub message: String,
+    /// Byte range in the submitted program, when known.
+    pub span: Option<(u32, u32)>,
+}
+
+/// One result table (a top-level SELECT's output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTable {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Row values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Per-mechanism cost summary (the wire projection of `RqlReport`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireReport {
+    /// Result table the mechanism populated.
+    pub table: String,
+    /// Loop iterations (snapshots visited).
+    pub iterations: u64,
+    /// Total Qq rows across iterations.
+    pub qq_rows: u64,
+    /// Heap pages skipped by delta-driven iteration.
+    pub pages_skipped: u64,
+    /// Pagelog fetches during the run.
+    pub pagelog_reads: u64,
+    /// Buffer-cache hits during the run.
+    pub cache_hits: u64,
+}
+
+/// `RUN` reply payload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireResult {
+    /// SELECT outputs in statement order.
+    pub tables: Vec<WireTable>,
+    /// Mechanism reports in invocation order.
+    pub reports: Vec<WireReport>,
+    /// Snapshot ids the program declared.
+    pub snapshots: Vec<u64>,
+    /// Server-side wall time, microseconds.
+    pub elapsed_micros: u64,
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Greeting with this connection's session id.
+    Hello {
+        /// Session id for out-of-band `CANCEL`.
+        session: u64,
+    },
+    /// `PREPARE` reply.
+    Diagnostics {
+        /// Findings, most severe first as produced by the analyzer.
+        diagnostics: Vec<WireDiagnostic>,
+    },
+    /// `RUN` reply.
+    Result(WireResult),
+    /// Failure.
+    Error {
+        /// `[RQLxxx]`-style code when one applies, else empty.
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Plain text reply.
+    Text(String),
+    /// Bare acknowledgement.
+    Ok,
+}
+
+impl Response {
+    /// Encode to `(opcode, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut w = PayloadWriter::new();
+        match self {
+            Response::Hello { session } => {
+                w.put_u64(*session);
+                (resp::HELLO, w.into_bytes())
+            }
+            Response::Diagnostics { diagnostics } => {
+                w.put_u32(diagnostics.len() as u32);
+                for d in diagnostics {
+                    w.put_str(&d.code);
+                    w.put_u8(d.severity);
+                    w.put_str(&d.message);
+                    match d.span {
+                        Some((s, e)) => {
+                            w.put_u8(1);
+                            w.put_u32(s);
+                            w.put_u32(e);
+                        }
+                        None => w.put_u8(0),
+                    }
+                }
+                (resp::DIAGNOSTICS, w.into_bytes())
+            }
+            Response::Result(res) => {
+                w.put_u32(res.tables.len() as u32);
+                for t in &res.tables {
+                    w.put_u32(t.columns.len() as u32);
+                    for c in &t.columns {
+                        w.put_str(c);
+                    }
+                    w.put_u32(t.rows.len() as u32);
+                    for row in &t.rows {
+                        w.put_u32(row.len() as u32);
+                        for v in row {
+                            w.put_value(v);
+                        }
+                    }
+                }
+                w.put_u32(res.reports.len() as u32);
+                for r in &res.reports {
+                    w.put_str(&r.table);
+                    w.put_u64(r.iterations);
+                    w.put_u64(r.qq_rows);
+                    w.put_u64(r.pages_skipped);
+                    w.put_u64(r.pagelog_reads);
+                    w.put_u64(r.cache_hits);
+                }
+                w.put_u32(res.snapshots.len() as u32);
+                for s in &res.snapshots {
+                    w.put_u64(*s);
+                }
+                w.put_u64(res.elapsed_micros);
+                (resp::RESULT, w.into_bytes())
+            }
+            Response::Error { code, message } => {
+                w.put_str(code);
+                w.put_str(message);
+                (resp::ERROR, w.into_bytes())
+            }
+            Response::Text(s) => {
+                w.put_str(s);
+                (resp::TEXT, w.into_bytes())
+            }
+            Response::Ok => (resp::OK, Vec::new()),
+        }
+    }
+
+    /// Decode from a received frame.
+    pub fn decode(opcode: u8, payload: &[u8]) -> Result<Response> {
+        let mut r = PayloadReader::new(payload);
+        match opcode {
+            resp::HELLO => Ok(Response::Hello {
+                session: r.get_u64()?,
+            }),
+            resp::DIAGNOSTICS => {
+                let n = r.get_u32()?;
+                let mut diagnostics = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let code = r.get_str()?;
+                    let severity = r.get_u8()?;
+                    let message = r.get_str()?;
+                    let span = if r.get_u8()? == 1 {
+                        Some((r.get_u32()?, r.get_u32()?))
+                    } else {
+                        None
+                    };
+                    diagnostics.push(WireDiagnostic {
+                        code,
+                        severity,
+                        message,
+                        span,
+                    });
+                }
+                Ok(Response::Diagnostics { diagnostics })
+            }
+            resp::RESULT => {
+                let mut res = WireResult::default();
+                let ntables = r.get_u32()?;
+                for _ in 0..ntables {
+                    let ncols = r.get_u32()?;
+                    let mut columns = Vec::with_capacity(ncols as usize);
+                    for _ in 0..ncols {
+                        columns.push(r.get_str()?);
+                    }
+                    let nrows = r.get_u32()?;
+                    let mut rows = Vec::with_capacity(nrows as usize);
+                    for _ in 0..nrows {
+                        let nvals = r.get_u32()?;
+                        let mut row = Vec::with_capacity(nvals as usize);
+                        for _ in 0..nvals {
+                            row.push(r.get_value()?);
+                        }
+                        rows.push(row);
+                    }
+                    res.tables.push(WireTable { columns, rows });
+                }
+                let nreports = r.get_u32()?;
+                for _ in 0..nreports {
+                    res.reports.push(WireReport {
+                        table: r.get_str()?,
+                        iterations: r.get_u64()?,
+                        qq_rows: r.get_u64()?,
+                        pages_skipped: r.get_u64()?,
+                        pagelog_reads: r.get_u64()?,
+                        cache_hits: r.get_u64()?,
+                    });
+                }
+                let nsnaps = r.get_u32()?;
+                for _ in 0..nsnaps {
+                    res.snapshots.push(r.get_u64()?);
+                }
+                res.elapsed_micros = r.get_u64()?;
+                Ok(Response::Result(res))
+            }
+            resp::ERROR => Ok(Response::Error {
+                code: r.get_str()?,
+                message: r.get_str()?,
+            }),
+            resp::TEXT => Ok(Response::Text(r.get_str()?)),
+            resp::OK => Ok(Response::Ok),
+            t => Err(ProtoError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let (opc, payload) = req.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, opc, &payload).unwrap();
+        let (opc2, payload2) = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(opc, opc2);
+        assert_eq!(Request::decode(opc2, &payload2).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let (opc, payload) = resp.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, opc, &payload).unwrap();
+        let (opc2, payload2) = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(Response::decode(opc2, &payload2).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Prepare {
+            program: "SELECT 1;".into(),
+        });
+        roundtrip_request(Request::Run {
+            program: "COMMIT WITH SNAPSHOT;".into(),
+        });
+        roundtrip_request(Request::Cancel { session: 42 });
+        roundtrip_request(Request::Status);
+        roundtrip_request(Request::Metrics { json: true });
+        roundtrip_request(Request::Metrics { json: false });
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Hello { session: 7 });
+        roundtrip_response(Response::Ok);
+        roundtrip_response(Response::Text("queue_depth 0".into()));
+        roundtrip_response(Response::Error {
+            code: "RQL300".into(),
+            message: "query cancelled by client".into(),
+        });
+        roundtrip_response(Response::Diagnostics {
+            diagnostics: vec![
+                WireDiagnostic {
+                    code: "RQL001".into(),
+                    severity: 2,
+                    message: "unknown table t".into(),
+                    span: Some((10, 11)),
+                },
+                WireDiagnostic {
+                    code: "RQL210".into(),
+                    severity: 0,
+                    message: "delta eligible".into(),
+                    span: None,
+                },
+            ],
+        });
+        roundtrip_response(Response::Result(WireResult {
+            tables: vec![WireTable {
+                columns: vec!["a".into(), "b".into()],
+                rows: vec![
+                    vec![Value::Integer(-3), Value::Text("x".into())],
+                    vec![Value::Null, Value::Real(2.5)],
+                ],
+            }],
+            reports: vec![WireReport {
+                table: "r".into(),
+                iterations: 4,
+                qq_rows: 16,
+                pages_skipped: 9,
+                pagelog_reads: 2,
+                cache_hits: 30,
+            }],
+            snapshots: vec![1, 2, 3],
+            elapsed_micros: 1234,
+        }));
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, op::STATUS, &[]).unwrap();
+        wire.truncate(3);
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(ProtoError::Io(_))
+        ));
+
+        let huge = (MAX_FRAME + 1).to_be_bytes();
+        assert!(matches!(
+            read_frame(&mut huge.as_slice()),
+            Err(ProtoError::BadLength(_))
+        ));
+
+        let zero = 0u32.to_be_bytes();
+        assert!(matches!(
+            read_frame(&mut zero.as_slice()),
+            Err(ProtoError::BadLength(0))
+        ));
+    }
+
+    #[test]
+    fn negative_integers_survive() {
+        let mut w = PayloadWriter::new();
+        w.put_value(&Value::Integer(i64::MIN));
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        assert_eq!(r.get_value().unwrap(), Value::Integer(i64::MIN));
+    }
+}

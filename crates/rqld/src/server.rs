@@ -1,0 +1,602 @@
+//! The `rqld` server: TCP accept loop, admission-controlled worker
+//! pool, per-query deadline watchdog, cancel registry, graceful drain.
+//!
+//! Threading model (all std, no async runtime):
+//!
+//! * one **acceptor** thread owns the listener; each connection gets a
+//!   cheap blocking **connection thread** that parses frames and waits
+//!   on response slots;
+//! * a fixed pool of **worker** threads executes `RUN` jobs pulled from
+//!   a bounded queue — the queue bound *is* the admission controller
+//!   (full queue → immediate `[RQL503]` rejection, never head-of-line
+//!   blocking);
+//! * one **watchdog** thread trips the per-session cancellation token
+//!   with [`CancelCause::Timeout`] when a job overruns its deadline —
+//!   the executor notices at its next cooperative checkpoint;
+//! * `SHUTDOWN` flips a flag: the acceptor stops accepting, workers
+//!   drain the queue and exit, and [`ServerHandle::wait`] returns once
+//!   every queued query has produced its response.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use rql::{
+    analyze_program, parse_program, CancelCause, Program, ProgramRun, SchemaEnv, Severity, SqlError,
+};
+use rql_retro::RetroConfig;
+
+use crate::metrics::Metrics;
+use crate::pool::{ServerSession, SharedStack};
+use crate::protocol::{
+    read_frame, write_frame, Request, Response, WireDiagnostic, WireReport, WireResult, WireTable,
+};
+
+/// Admission / pool sizing knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing queries (CPU concurrency bound).
+    pub workers: usize,
+    /// Bounded job-queue depth; a full queue rejects at admission.
+    pub queue_capacity: usize,
+    /// Maximum concurrently checked-out sessions (connections).
+    pub max_sessions: u64,
+    /// Per-query wall-clock deadline; `None` disables the watchdog trip.
+    pub query_timeout: Option<Duration>,
+    /// Store configuration for the shared stack.
+    pub retro: RetroConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_sessions: 64,
+            query_timeout: None,
+            retro: RetroConfig::new(),
+        }
+    }
+}
+
+/// Wire code for a runtime error. Analyzer diagnostics carry their own
+/// registry codes; runtime failures map onto the nearest class, with
+/// `RQL3xx` reserved for cancellation causes and `RQL500`/`RQL503` for
+/// server-side conditions (execution failure / admission rejection).
+pub fn error_code(e: &SqlError) -> &'static str {
+    match e {
+        SqlError::Cancelled(cause) => cause.code(),
+        SqlError::Parse(_) | SqlError::ParseAt { .. } => "RQL050",
+        SqlError::Unknown(_) => "RQL001",
+        _ => "RQL500",
+    }
+}
+
+/// Admission-rejection wire code (queue full or draining).
+pub const ADMISSION_CODE: &str = "RQL503";
+
+struct Job {
+    id: u64,
+    program: Program,
+    session: Arc<ServerSession>,
+    admitted: Instant,
+    slot: Mutex<Option<Result<ProgramRun, SqlError>>>,
+    done: Condvar,
+}
+
+struct Inner {
+    stack: Arc<SharedStack>,
+    metrics: Arc<Metrics>,
+    config: ServerConfig,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_cv: Condvar,
+    sessions: Mutex<HashMap<u64, Arc<ServerSession>>>,
+    deadlines: Mutex<HashMap<u64, (Instant, Arc<ServerSession>)>>,
+    next_job: AtomicU64,
+    shutting_down: AtomicBool,
+    started: Instant,
+}
+
+impl Inner {
+    fn draining(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Admit a RUN job or reject it. Returns `None` (with the metric
+    /// bumped) when the queue is full or the server is draining.
+    fn admit(self: &Arc<Self>, program: Program, session: Arc<ServerSession>) -> Option<Arc<Job>> {
+        let job = {
+            let mut queue = self
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if self.draining() || queue.len() >= self.config.queue_capacity {
+                drop(queue);
+                self.metrics.inc(&self.metrics.admission_rejected);
+                return None;
+            }
+            let job = Arc::new(Job {
+                id: self.next_job.fetch_add(1, Ordering::Relaxed),
+                program,
+                session,
+                admitted: Instant::now(),
+                slot: Mutex::new(None),
+                done: Condvar::new(),
+            });
+            queue.push_back(Arc::clone(&job));
+            job
+        };
+        self.metrics.inc(&self.metrics.queries_total);
+        self.metrics.inc(&self.metrics.queue_depth);
+        self.queue_cv.notify_one();
+        Some(job)
+    }
+
+    /// Worker loop: run queued jobs until the drain flag is up *and* the
+    /// queue is empty.
+    fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut queue = self
+                    .queue
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    if self.draining() {
+                        return;
+                    }
+                    queue = self
+                        .queue_cv
+                        .wait_timeout(queue, Duration::from_millis(50))
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .0;
+                }
+            };
+            self.metrics.dec(&self.metrics.queue_depth);
+            self.metrics.inc(&self.metrics.in_flight);
+            self.run_job(&job);
+            self.metrics.dec(&self.metrics.in_flight);
+        }
+    }
+
+    fn run_job(self: &Arc<Self>, job: &Arc<Job>) {
+        // Re-arm the token: cancellation is sticky (sqlite3_interrupt
+        // semantics) and a CANCEL aimed at the previous query must not
+        // kill this one.
+        job.session.session().clear_cancel();
+        if let Some(timeout) = self.config.query_timeout {
+            self.deadlines
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(job.id, (job.admitted + timeout, Arc::clone(&job.session)));
+        }
+        let result = job.session.run_program(&job.program);
+        self.deadlines
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&job.id);
+
+        match &result {
+            Ok(run) => {
+                self.metrics.inc(&self.metrics.queries_ok);
+                let rows: u64 = run.tables.iter().map(|t| t.rows.len() as u64).sum();
+                self.metrics.add(&self.metrics.rows_returned, rows);
+                for (_, report) in &run.reports {
+                    self.metrics
+                        .add(&self.metrics.qq_iterations, report.iteration_count() as u64);
+                    self.metrics
+                        .add(&self.metrics.qq_rows, report.total_qq_rows());
+                    self.metrics.add(
+                        &self.metrics.pages_skipped,
+                        report.accumulated_stats().pages_skipped,
+                    );
+                }
+            }
+            Err(SqlError::Cancelled(CancelCause::Client)) => {
+                self.metrics.inc(&self.metrics.queries_failed);
+                self.metrics.inc(&self.metrics.queries_cancelled);
+            }
+            Err(SqlError::Cancelled(CancelCause::Timeout)) => {
+                self.metrics.inc(&self.metrics.queries_failed);
+                self.metrics.inc(&self.metrics.queries_timed_out);
+            }
+            Err(_) => self.metrics.inc(&self.metrics.queries_failed),
+        }
+        self.metrics.latency.record(job.admitted.elapsed());
+
+        *job.slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+        job.done.notify_all();
+    }
+
+    /// Watchdog: trip `Timeout` on sessions whose job overran its
+    /// deadline. Runs until drain completes.
+    fn watchdog_loop(self: &Arc<Self>) {
+        while !self.draining() {
+            thread::sleep(Duration::from_millis(5));
+            let now = Instant::now();
+            let expired: Vec<Arc<ServerSession>> = {
+                let mut deadlines = self
+                    .deadlines
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let hit: Vec<u64> = deadlines
+                    .iter()
+                    .filter(|(_, (deadline, _))| *deadline <= now)
+                    .map(|(&id, _)| id)
+                    .collect();
+                hit.into_iter()
+                    .filter_map(|id| deadlines.remove(&id).map(|(_, s)| s))
+                    .collect()
+            };
+            for session in expired {
+                session.session().cancel(CancelCause::Timeout);
+            }
+        }
+    }
+
+    fn begin_shutdown(self: &Arc<Self>, addr: std::net::SocketAddr) {
+        if self.shutting_down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake every parked worker so they observe the flag, and poke
+        // the acceptor out of its blocking accept().
+        self.queue_cv.notify_all();
+        let _ = TcpStream::connect(addr);
+    }
+
+    fn status_line(&self) -> String {
+        format!(
+            "rqld up {}s, sessions={}, queue={}/{}, in_flight={}, snapshots={}",
+            self.started.elapsed().as_secs(),
+            self.stack.active_sessions(),
+            self.metrics.queue_depth.load(Ordering::Relaxed),
+            self.config.queue_capacity,
+            self.metrics.in_flight.load(Ordering::Relaxed),
+            self.stack.snapshot_log_len(),
+        )
+    }
+}
+
+/// Running server: join handles plus the shared state.
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    addr: std::net::SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.inner.metrics
+    }
+
+    /// Initiate a drain from the host process (same as a `SHUTDOWN`
+    /// frame): stop accepting, finish queued work.
+    pub fn shutdown(&self) {
+        self.inner.begin_shutdown(self.addr);
+    }
+
+    /// Block until drain completes: acceptor gone, queue empty, workers
+    /// and watchdog joined.
+    pub fn wait(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bind `addr` and start the full thread complement. Catalog bootstrap
+/// happens here, single-threaded, before any connection is accepted.
+pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stack = SharedStack::new(config.retro.clone(), config.max_sessions);
+    let inner = Arc::new(Inner {
+        stack,
+        metrics: Arc::new(Metrics::new()),
+        config,
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        sessions: Mutex::new(HashMap::new()),
+        deadlines: Mutex::new(HashMap::new()),
+        next_job: AtomicU64::new(1),
+        shutting_down: AtomicBool::new(false),
+        started: Instant::now(),
+    });
+
+    let workers = (0..inner.config.workers.max(1))
+        .map(|_| {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || inner.worker_loop())
+        })
+        .collect();
+    let watchdog = {
+        let inner = Arc::clone(&inner);
+        Some(thread::spawn(move || inner.watchdog_loop()))
+    };
+    let acceptor = {
+        let inner = Arc::clone(&inner);
+        Some(thread::spawn(move || {
+            for stream in listener.incoming() {
+                if inner.draining() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let inner = Arc::clone(&inner);
+                thread::spawn(move || serve_connection(&inner, stream));
+            }
+        }))
+    };
+
+    Ok(ServerHandle {
+        inner,
+        addr: local,
+        acceptor,
+        workers,
+        watchdog,
+    })
+}
+
+fn send(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let (opcode, payload) = response.encode();
+    write_frame(stream, opcode, &payload)
+}
+
+fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    inner.metrics.inc(&inner.metrics.connections_total);
+    let session = match inner.stack.checkout() {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            let _ = send(
+                &mut stream,
+                &Response::Error {
+                    code: ADMISSION_CODE.into(),
+                    message: e.to_string(),
+                },
+            );
+            return;
+        }
+    };
+    inner.metrics.inc(&inner.metrics.connections_open);
+    inner
+        .sessions
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(session.id, Arc::clone(&session));
+
+    let result = connection_loop(inner, &mut stream, &session);
+
+    inner
+        .sessions
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .remove(&session.id);
+    inner.metrics.dec(&inner.metrics.connections_open);
+    // A dropped connection cancels whatever it had in flight.
+    session.session().cancel(CancelCause::Client);
+    let _ = result;
+}
+
+fn connection_loop(
+    inner: &Arc<Inner>,
+    stream: &mut TcpStream,
+    session: &Arc<ServerSession>,
+) -> io::Result<()> {
+    send(
+        stream,
+        &Response::Hello {
+            session: session.id,
+        },
+    )?;
+    loop {
+        let Ok((opcode, payload)) = read_frame(stream) else {
+            return Ok(()); // EOF or bad frame: close quietly
+        };
+        let request = match Request::decode(opcode, &payload) {
+            Ok(r) => r,
+            Err(e) => {
+                send(
+                    stream,
+                    &Response::Error {
+                        code: "RQL050".into(),
+                        message: format!("bad frame: {e}"),
+                    },
+                )?;
+                continue;
+            }
+        };
+        match request {
+            Request::Prepare { program } => {
+                inner.metrics.inc(&inner.metrics.prepares_total);
+                let diagnostics = prepare(session, &program);
+                send(stream, &Response::Diagnostics { diagnostics })?;
+            }
+            Request::Run { program } => {
+                let started = Instant::now();
+                let parsed = match parse_program(&program) {
+                    Ok(p) => p,
+                    Err(d) => {
+                        inner.metrics.inc(&inner.metrics.queries_total);
+                        inner.metrics.inc(&inner.metrics.queries_failed);
+                        send(
+                            stream,
+                            &Response::Error {
+                                code: d.code.as_str().into(),
+                                message: d.message,
+                            },
+                        )?;
+                        continue;
+                    }
+                };
+                let Some(job) = inner.admit(parsed, Arc::clone(session)) else {
+                    send(
+                        stream,
+                        &Response::Error {
+                            code: ADMISSION_CODE.into(),
+                            message: "server busy: admission queue full or draining".into(),
+                        },
+                    )?;
+                    continue;
+                };
+                let outcome = {
+                    let mut slot = job
+                        .slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    loop {
+                        if let Some(outcome) = slot.take() {
+                            break outcome;
+                        }
+                        slot = job
+                            .done
+                            .wait(slot)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                };
+                match outcome {
+                    Ok(run) => {
+                        let wire = wire_result(&run, started.elapsed());
+                        send(stream, &Response::Result(wire))?;
+                    }
+                    Err(e) => send(stream, &error_response(&e))?,
+                }
+            }
+            Request::Cancel { session: target } => {
+                let found = inner
+                    .sessions
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .get(&target)
+                    .map(Arc::clone);
+                match found {
+                    Some(victim) => {
+                        victim.session().cancel(CancelCause::Client);
+                        send(stream, &Response::Ok)?;
+                    }
+                    None => send(
+                        stream,
+                        &Response::Error {
+                            code: "RQL500".into(),
+                            message: format!("no such session: {target}"),
+                        },
+                    )?,
+                }
+            }
+            Request::Status => send(stream, &Response::Text(inner.status_line()))?,
+            Request::Metrics { json } => {
+                let io = inner.stack.store().stats().snapshot();
+                let text = if json {
+                    inner.metrics.render_json(&io)
+                } else {
+                    inner.metrics.render_human(&io)
+                };
+                send(stream, &Response::Text(text))?;
+            }
+            Request::Shutdown => {
+                send(stream, &Response::Ok)?;
+                inner.begin_shutdown(inner_addr(stream));
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// The server's own address as seen from this connection (used to poke
+/// the acceptor awake during shutdown).
+fn inner_addr(stream: &TcpStream) -> std::net::SocketAddr {
+    stream
+        .local_addr()
+        .unwrap_or_else(|_| std::net::SocketAddr::from(([127, 0, 0, 1], 0)))
+}
+
+fn error_response(e: &SqlError) -> Response {
+    Response::Error {
+        code: error_code(e).into(),
+        message: e.to_string(),
+    }
+}
+
+/// Analyzer pre-flight for `PREPARE`: lint against the live catalogs of
+/// both databases, no execution.
+fn prepare(session: &Arc<ServerSession>, text: &str) -> Vec<WireDiagnostic> {
+    let program = match parse_program(text) {
+        Ok(p) => p,
+        Err(d) => return vec![wire_diagnostic(*d)],
+    };
+    // Sync first so Qs queries over SnapIds resolve against reality.
+    let _ = session.sync_snapids();
+    let rql_session = session.session();
+    let snap_env = SchemaEnv::from_database(rql_session.snap_db()).unwrap_or_default();
+    let aux_env = SchemaEnv::from_database(rql_session.aux_db()).unwrap_or_default();
+    analyze_program(&program, &snap_env, &aux_env)
+        .diagnostics
+        .into_iter()
+        .map(wire_diagnostic)
+        .collect()
+}
+
+fn wire_diagnostic(d: rql::Diagnostic) -> WireDiagnostic {
+    WireDiagnostic {
+        code: d.code.as_str().into(),
+        severity: match d.severity {
+            Severity::Info => 0,
+            Severity::Warning => 1,
+            Severity::Error => 2,
+        },
+        message: d.message,
+        span: d.span.map(|s| (s.start as u32, s.end as u32)),
+    }
+}
+
+fn wire_result(run: &ProgramRun, elapsed: Duration) -> WireResult {
+    WireResult {
+        tables: run
+            .tables
+            .iter()
+            .map(|t| WireTable {
+                columns: t.columns.clone(),
+                rows: t.rows.iter().map(|r| r.to_vec()).collect(),
+            })
+            .collect(),
+        reports: run
+            .reports
+            .iter()
+            .map(|(table, report)| {
+                let stats = report.accumulated_stats();
+                WireReport {
+                    table: table.clone(),
+                    iterations: report.iteration_count() as u64,
+                    qq_rows: report.total_qq_rows(),
+                    pages_skipped: stats.pages_skipped,
+                    pagelog_reads: stats.io.pagelog_reads,
+                    cache_hits: stats.io.cache_hits,
+                }
+            })
+            .collect(),
+        snapshots: run.snapshots.clone(),
+        elapsed_micros: elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+    }
+}

@@ -1,0 +1,142 @@
+//! Cooperative query cancellation.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between the thread
+//! running a query and whoever wants to stop it (a client `CANCEL`, a
+//! server-side deadline watchdog). The executor polls the token at
+//! checkpoints — between heap-scan row batches, between joined tables,
+//! and (one layer up) between snapshots of an RQL mechanism loop — and
+//! unwinds with [`SqlError::Cancelled`](crate::SqlError::Cancelled) when
+//! it has been tripped. This is the `sqlite3_interrupt` analog: the flag
+//! is sticky until [`CancelToken::clear`] is called, so a cancellation
+//! that lands between statements still stops the next one.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use crate::error::{Result, SqlError};
+
+/// Why a query was cancelled. The cause picks the `[RQL3xx]` runtime
+/// diagnostic code surfaced to clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// The client asked for it (`CANCEL` verb, Ctrl-C, …) — `RQL300`.
+    Client,
+    /// A wall-clock deadline expired — `RQL301`.
+    Timeout,
+}
+
+impl CancelCause {
+    /// Stable diagnostic code for this cause.
+    pub fn code(self) -> &'static str {
+        match self {
+            CancelCause::Client => "RQL300",
+            CancelCause::Timeout => "RQL301",
+        }
+    }
+
+    /// Human-readable reason (no code prefix).
+    pub fn reason(self) -> &'static str {
+        match self {
+            CancelCause::Client => "query cancelled by client",
+            CancelCause::Timeout => "query deadline exceeded",
+        }
+    }
+}
+
+impl fmt::Display for CancelCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code(), self.reason())
+    }
+}
+
+const STATE_LIVE: u8 = 0;
+const STATE_CLIENT: u8 = 1;
+const STATE_TIMEOUT: u8 = 2;
+
+/// Shared cancellation flag. Clones observe the same state.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A fresh, un-tripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the token. The first cause wins; later calls are no-ops so a
+    /// racing client-cancel and timeout report one coherent code.
+    pub fn cancel(&self, cause: CancelCause) {
+        let v = match cause {
+            CancelCause::Client => STATE_CLIENT,
+            CancelCause::Timeout => STATE_TIMEOUT,
+        };
+        let _ = self
+            .state
+            .compare_exchange(STATE_LIVE, v, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// Has the token been tripped (and with what cause)?
+    pub fn cause(&self) -> Option<CancelCause> {
+        match self.state.load(Ordering::Acquire) {
+            STATE_CLIENT => Some(CancelCause::Client),
+            STATE_TIMEOUT => Some(CancelCause::Timeout),
+            _ => None,
+        }
+    }
+
+    /// `true` once [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.load(Ordering::Acquire) != STATE_LIVE
+    }
+
+    /// Checkpoint: `Err(SqlError::Cancelled)` if the token is tripped.
+    pub fn check(&self) -> Result<()> {
+        match self.cause() {
+            Some(cause) => Err(SqlError::Cancelled(cause)),
+            None => Ok(()),
+        }
+    }
+
+    /// Re-arm the token for the next query (the flag is sticky otherwise,
+    /// matching `sqlite3_interrupt` semantics).
+    pub fn clear(&self) {
+        self.state.store(STATE_LIVE, Ordering::Release);
+    }
+}
+
+/// Poll cadence for row-loop checkpoints: check the atomic once per this
+/// many rows so the hot loop stays branch-cheap.
+pub const CHECK_EVERY_ROWS: usize = 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_cause_wins_and_clear_rearms() {
+        let t = CancelToken::new();
+        assert!(t.check().is_ok());
+        assert!(!t.is_cancelled());
+        t.cancel(CancelCause::Timeout);
+        t.cancel(CancelCause::Client); // loses the race
+        assert_eq!(t.cause(), Some(CancelCause::Timeout));
+        let err = t.check().unwrap_err();
+        assert!(err.to_string().contains("RQL301"), "{err}");
+        t.clear();
+        assert!(t.check().is_ok());
+        t.cancel(CancelCause::Client);
+        assert!(t.check().unwrap_err().to_string().contains("RQL300"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        u.cancel(CancelCause::Client);
+        assert!(t.is_cancelled());
+        assert_eq!(t.cause(), Some(CancelCause::Client));
+    }
+}

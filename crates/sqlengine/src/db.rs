@@ -19,11 +19,12 @@ use rql_pagestore::{IoCostModel, IoStats, WriteTxn};
 use rql_retro::{RetroConfig, RetroStore, SnapshotReader};
 
 use crate::ast::{InsertSource, SelectStmt, Stmt};
+use crate::cancel::CancelToken;
 use crate::catalog::Catalog;
 use crate::cexpr::{compile, eval, Scope};
 use crate::delta::{self, DeltaScan, DeltaSelectRunner};
 use crate::error::{Result, SqlError};
-use crate::exec::{run_select, QueryResult};
+use crate::exec::{run_select_cancellable, QueryResult};
 use crate::exec_stats::ExecStats;
 use crate::heap::{FreeSpaceMap, RecordId};
 use crate::parser::parse_statements;
@@ -65,6 +66,11 @@ pub struct Database {
     fsms: Mutex<HashMap<u64, FreeSpaceMap>>,
     /// I/O cost model used when reporting modeled latencies.
     cost_model: IoCostModel,
+    /// Cooperative interrupt flag (the `sqlite3_interrupt` analog):
+    /// polled by the executor at scan/join checkpoints. Sticky until
+    /// [`CancelToken::clear`]; shared with watchdogs via
+    /// [`Database::cancel_token`].
+    cancel: CancelToken,
 }
 
 impl Database {
@@ -86,9 +92,18 @@ impl Database {
             open_txn: Mutex::new(None),
             fsms: Mutex::new(HashMap::new()),
             cost_model: IoCostModel::default(),
+            cancel: CancelToken::new(),
         };
         db.ensure_catalog();
         Arc::new(db)
+    }
+
+    /// The database's interrupt flag. Clone it into a watchdog or server
+    /// cancel registry; tripping it unwinds any in-flight query on this
+    /// database with `[RQL3xx] SqlError::Cancelled` at its next
+    /// checkpoint. Call [`CancelToken::clear`] to run queries again.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     fn ensure_catalog(&self) {
@@ -97,6 +112,13 @@ impl Database {
             Catalog::bootstrap(&mut txn).expect("catalog bootstrap");
             self.store.commit(txn).expect("catalog commit");
         }
+    }
+
+    /// Whether an explicit transaction (`BEGIN` without a matching
+    /// `COMMIT`/`ROLLBACK`) is open. Servers use this to scope a global
+    /// write lock to the whole transaction rather than one statement.
+    pub fn has_open_txn(&self) -> bool {
+        self.open_txn.lock().is_some()
     }
 
     /// The underlying snapshot store.
@@ -226,7 +248,8 @@ impl Database {
                 let reader = self.store.open_snapshot(sid as u64)?;
                 let spt_build = reader.build_stats().duration;
                 let catalog = Catalog::load(&reader)?;
-                let mut r = run_select(select, &reader, &catalog, &udfs)?;
+                let mut r =
+                    run_select_cancellable(select, &reader, &catalog, &udfs, Some(&self.cancel))?;
                 r.stats.spt_build = spt_build;
                 r
             }
@@ -239,12 +262,12 @@ impl Database {
                 let mut open = self.open_txn.lock();
                 if let Some(txn) = open.as_mut() {
                     let catalog = Catalog::load(&*txn)?;
-                    run_select(select, &*txn, &catalog, &udfs)?
+                    run_select_cancellable(select, &*txn, &catalog, &udfs, Some(&self.cancel))?
                 } else {
                     drop(open);
                     let view = self.store.current_view();
                     let catalog = Catalog::load(&view)?;
-                    run_select(select, &view, &catalog, &udfs)?
+                    run_select_cancellable(select, &view, &catalog, &udfs, Some(&self.cancel))?
                 }
             }
         };

@@ -4,6 +4,7 @@ use std::fmt;
 
 use rql_pagestore::StoreError;
 
+use crate::cancel::CancelCause;
 use crate::lexer::Span;
 
 /// Errors raised by parsing, planning or executing SQL.
@@ -29,6 +30,9 @@ pub enum SqlError {
     Store(StoreError),
     /// A user-defined function reported an error.
     Udf(String),
+    /// The query was cooperatively cancelled mid-flight (client `CANCEL`
+    /// or deadline). Carries the cause so the `[RQL3xx]` code survives.
+    Cancelled(CancelCause),
 }
 
 impl fmt::Display for SqlError {
@@ -47,6 +51,7 @@ impl fmt::Display for SqlError {
             SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
             SqlError::Store(e) => write!(f, "storage error: {e}"),
             SqlError::Udf(m) => write!(f, "udf error: {m}"),
+            SqlError::Cancelled(cause) => write!(f, "cancelled: {cause}"),
         }
     }
 }
@@ -87,6 +92,7 @@ impl SqlError {
             | SqlError::Udf(m) => m,
             SqlError::ParseAt { message, .. } => message,
             SqlError::Store(_) => "storage error",
+            SqlError::Cancelled(cause) => cause.reason(),
         }
     }
 }

@@ -20,6 +20,7 @@ use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use crate::ast::{BinOp, Expr, SelectItem, SelectStmt};
+use crate::cancel::{CancelToken, CHECK_EVERY_ROWS};
 use crate::catalog::{Catalog, IndexInfo, TableInfo};
 use crate::cexpr::{compile, eval, AggFunc, AggSpec, CExpr, Scope};
 use crate::error::{Result, SqlError};
@@ -59,7 +60,23 @@ pub fn run_select<S: PageSource>(
     catalog: &Catalog,
     udfs: &UdfRegistry,
 ) -> Result<QueryResult> {
+    run_select_cancellable(select, src, catalog, udfs, None)
+}
+
+/// [`run_select`] with a cooperative [`CancelToken`] polled at scan and
+/// join checkpoints (every [`CHECK_EVERY_ROWS`] rows), so a long scan
+/// unwinds with `SqlError::Cancelled` within one batch of a trip.
+pub fn run_select_cancellable<S: PageSource>(
+    select: &SelectStmt,
+    src: &S,
+    catalog: &Catalog,
+    udfs: &UdfRegistry,
+    cancel: Option<&CancelToken>,
+) -> Result<QueryResult> {
     let started = Instant::now();
+    if let Some(token) = cancel {
+        token.check()?;
+    }
     let mut index_creation = Duration::ZERO;
     let mut plan: Vec<String> = Vec::new();
 
@@ -122,8 +139,12 @@ pub fn run_select<S: PageSource>(
             &conjuncts,
             &mut used,
             &mut plan,
+            cancel,
         )?;
         for k in 1..bindings.len() {
+            if let Some(token) = cancel {
+                token.check()?;
+            }
             rows = join_next_table(
                 src,
                 catalog,
@@ -134,6 +155,7 @@ pub fn run_select<S: PageSource>(
                 &mut used,
                 &mut index_creation,
                 &mut plan,
+                cancel,
             )?;
         }
     }
@@ -298,6 +320,7 @@ fn scan_base_table<S: PageSource>(
     conjuncts: &[(CExpr, usize)],
     used: &mut [bool],
     plan: &mut Vec<String>,
+    cancel: Option<&CancelToken>,
 ) -> Result<Vec<Row>> {
     let (_, info) = binding;
     let heap = info.heap();
@@ -338,7 +361,14 @@ fn scan_base_table<S: PageSource>(
             let mut key = Vec::new();
             encode_index_key(std::slice::from_ref(&v), &mut key);
             let tree = crate::btree::BTree::new(idx.root);
+            let mut seen = 0usize;
             for rid in tree.scan_prefix(src, &key)? {
+                seen += 1;
+                if seen.is_multiple_of(CHECK_EVERY_ROWS) {
+                    if let Some(token) = cancel {
+                        token.check()?;
+                    }
+                }
                 let row = heap.get_row(src, rid)?;
                 if keep(&row)? {
                     rows.push(row);
@@ -347,7 +377,14 @@ fn scan_base_table<S: PageSource>(
         }
         None => {
             plan.push(format!("{}: seq scan", info.schema.name));
+            let mut seen = 0usize;
             heap.scan(src, |_, row| {
+                seen += 1;
+                if seen.is_multiple_of(CHECK_EVERY_ROWS) {
+                    if let Some(token) = cancel {
+                        token.check()?;
+                    }
+                }
                 if keep(&row)? {
                     rows.push(row);
                 }
@@ -386,10 +423,23 @@ fn join_next_table<S: PageSource>(
     used: &mut [bool],
     index_creation: &mut Duration,
     plan: &mut Vec<String>,
+    cancel: Option<&CancelToken>,
 ) -> Result<Vec<Row>> {
     let (_, info) = binding;
     let heap = info.heap();
     let prefix_width = range.0;
+    // Row-batch cancellation checkpoint shared by every join strategy
+    // below: polls the token once per CHECK_EVERY_ROWS rows touched.
+    let mut touched = 0usize;
+    let mut checkpoint = move || -> Result<()> {
+        touched += 1;
+        if touched.is_multiple_of(CHECK_EVERY_ROWS) {
+            if let Some(token) = cancel {
+                token.check()?;
+            }
+        }
+        Ok(())
+    };
 
     // Conjuncts that are (newly) applicable once this table is bound:
     // unused, and every referenced offset is within the extended prefix.
@@ -495,6 +545,7 @@ fn join_next_table<S: PageSource>(
                         let mut key = Vec::new();
                         encode_index_key(std::slice::from_ref(&key_val), &mut key);
                         for rid in tree.scan_prefix(src, &key)? {
+                            checkpoint()?;
                             let trow = heap.get_row(src, rid)?;
                             let padded = pad(&trow);
                             if !local_keep(&padded)? {
@@ -519,6 +570,7 @@ fn join_next_table<S: PageSource>(
                     let build_start = Instant::now();
                     let mut hash: HashMap<GroupKey, Vec<Row>> = HashMap::new();
                     heap.scan(src, |_, trow| {
+                        checkpoint()?;
                         let padded = pad(&trow);
                         if local_keep(&padded)? {
                             let key_val = eval(&this_side, &padded, &[])?;
@@ -536,6 +588,7 @@ fn join_next_table<S: PageSource>(
                         }
                         if let Some(matches) = hash.get(&GroupKey(vec![key_val])) {
                             for trow in matches {
+                                checkpoint()?;
                                 let mut joined = prow.clone();
                                 joined.extend(trow.iter().cloned());
                                 out.push(joined);
@@ -551,6 +604,7 @@ fn join_next_table<S: PageSource>(
             plan.push(format!("{}: nested-loop cross join", info.schema.name));
             let mut inner: Vec<Row> = Vec::new();
             heap.scan(src, |_, trow| {
+                checkpoint()?;
                 let padded = pad(&trow);
                 if local_keep(&padded)? {
                     inner.push(trow);
@@ -559,6 +613,7 @@ fn join_next_table<S: PageSource>(
             })?;
             for prow in &prefix_rows {
                 for trow in &inner {
+                    checkpoint()?;
                     let mut joined = prow.clone();
                     joined.extend(trow.iter().cloned());
                     out.push(joined);

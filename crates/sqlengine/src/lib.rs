@@ -24,6 +24,7 @@
 
 pub mod ast;
 pub mod btree;
+pub mod cancel;
 pub mod catalog;
 pub mod cexpr;
 pub mod db;
@@ -42,6 +43,7 @@ pub mod udf;
 pub mod value;
 
 pub use ast::{Expr, SelectStmt, Stmt};
+pub use cancel::{CancelCause, CancelToken};
 pub use catalog::{Catalog, IndexInfo, TableInfo};
 pub use db::{Database, ExecOutcome};
 pub use delta::{DeltaScan, DeltaSelectRunner, DeltaTableScanner};

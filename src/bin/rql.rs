@@ -1,0 +1,180 @@
+//! `rql`: command-line client for a running `rqld` server.
+//!
+//! Usage:
+//!
+//! ```text
+//! rql [--addr ADDR] run <file.rql>...     execute programs, print tables
+//! rql [--addr ADDR] exec '<program>'      execute an inline program
+//! rql [--addr ADDR] check <file.rql>...   analyzer pre-flight (PREPARE)
+//! rql [--addr ADDR] status                one-line server status
+//! rql [--addr ADDR] metrics [--json]      metrics snapshot
+//! rql [--addr ADDR] cancel <session-id>   cancel another session's query
+//! rql [--addr ADDR] shutdown              drain and stop the server
+//! ```
+//!
+//! Exit status: 0 on success, 1 when the server reports an error or
+//! `check` finds error diagnostics, 2 on usage/connection problems.
+
+use std::process::ExitCode;
+
+use rql_repro::rqld::{Client, ClientError, WireResult};
+
+const USAGE: &str = "usage: rql [--addr ADDR] \
+                     <run FILE...|exec PROGRAM|check FILE...|status|metrics [--json]|cancel ID|shutdown>";
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7464".to_owned();
+    if args.first().is_some_and(|a| a == "--addr") {
+        if args.len() < 2 {
+            eprintln!("--addr needs a value");
+            return ExitCode::from(2);
+        }
+        addr = args[1].clone();
+        args.drain(..2);
+    }
+    let Some(command) = args.first().cloned() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("rql: connect {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = match command.as_str() {
+        "run" => cmd_run(&mut client, rest),
+        "exec" => match rest {
+            [program] => run_one(&mut client, program, "<inline>"),
+            _ => usage(),
+        },
+        "check" => cmd_check(&mut client, rest),
+        "status" => client.status().map(|s| println!("{s}")).map_err(fail),
+        "metrics" => {
+            let json = rest.iter().any(|a| a == "--json");
+            client
+                .metrics(json)
+                .map(|s| print!("{s}{}", if s.ends_with('\n') { "" } else { "\n" }))
+                .map_err(fail)
+        }
+        "cancel" => match rest {
+            [id] => match id.parse::<u64>() {
+                Ok(id) => client
+                    .cancel(id)
+                    .map(|()| println!("cancelled session {id}"))
+                    .map_err(fail),
+                Err(_) => usage(),
+            },
+            _ => usage(),
+        },
+        "shutdown" => client
+            .shutdown()
+            .map(|()| println!("server draining"))
+            .map_err(fail),
+        "--help" | "-h" => usage(),
+        _ => usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => code,
+    }
+}
+
+fn usage() -> Result<(), ExitCode> {
+    eprintln!("{USAGE}");
+    Err(ExitCode::from(2))
+}
+
+fn fail(e: ClientError) -> ExitCode {
+    eprintln!("rql: {e}");
+    ExitCode::FAILURE
+}
+
+fn cmd_run(client: &mut Client, files: &[String]) -> Result<(), ExitCode> {
+    if files.is_empty() {
+        return usage();
+    }
+    for file in files {
+        let src = std::fs::read_to_string(file).map_err(|e| {
+            eprintln!("rql: {file}: {e}");
+            ExitCode::from(2)
+        })?;
+        run_one(client, &src, file)?;
+    }
+    Ok(())
+}
+
+fn run_one(client: &mut Client, program: &str, name: &str) -> Result<(), ExitCode> {
+    let result = client.run(program).map_err(fail)?;
+    print_result(name, &result);
+    Ok(())
+}
+
+fn cmd_check(client: &mut Client, files: &[String]) -> Result<(), ExitCode> {
+    if files.is_empty() {
+        return usage();
+    }
+    let mut errors = 0usize;
+    for file in files {
+        let src = std::fs::read_to_string(file).map_err(|e| {
+            eprintln!("rql: {file}: {e}");
+            ExitCode::from(2)
+        })?;
+        let diagnostics = client.prepare(&src).map_err(fail)?;
+        for d in &diagnostics {
+            let severity = match d.severity {
+                2 => "error",
+                1 => "warning",
+                _ => "info",
+            };
+            if d.severity == 2 {
+                errors += 1;
+            }
+            let at = d
+                .span
+                .map(|(s, e)| format!(" (bytes {s}..{e})"))
+                .unwrap_or_default();
+            println!("{file}: {severity}[{}]: {}{at}", d.code, d.message);
+        }
+        if diagnostics.is_empty() {
+            println!("{file}: clean");
+        }
+    }
+    if errors > 0 {
+        Err(ExitCode::FAILURE)
+    } else {
+        Ok(())
+    }
+}
+
+fn print_result(name: &str, result: &WireResult) {
+    for table in &result.tables {
+        println!("{}", table.columns.join(" | "));
+        for row in &table.rows {
+            let cells: Vec<String> = row.iter().map(ToString::to_string).collect();
+            println!("{}", cells.join(" | "));
+        }
+        println!();
+    }
+    for report in &result.reports {
+        println!(
+            "-- {}: {} iterations, {} Qq rows, {} pages skipped, {} pagelog reads, {} cache hits",
+            report.table,
+            report.iterations,
+            report.qq_rows,
+            report.pages_skipped,
+            report.pagelog_reads,
+            report.cache_hits
+        );
+    }
+    if !result.snapshots.is_empty() {
+        let ids: Vec<String> = result.snapshots.iter().map(ToString::to_string).collect();
+        println!("-- snapshots declared: {}", ids.join(", "));
+    }
+    println!("-- {name}: ok in {}µs", result.elapsed_micros);
+}

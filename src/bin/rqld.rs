@@ -1,0 +1,89 @@
+//! `rqld`: the concurrent RQL server.
+//!
+//! Usage:
+//!
+//! ```text
+//! rqld [--listen ADDR] [--workers N] [--queue N] [--max-sessions N]
+//!      [--timeout-ms N]
+//! ```
+//!
+//! Binds a TCP listener (default `127.0.0.1:7464`), bootstraps one
+//! shared in-memory snapshot store, and serves the RQL wire protocol
+//! until a client sends `SHUTDOWN` — then drains queued queries and
+//! exits. Talk to it with the `rql` client binary.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use rql_repro::rqld::{serve, ServerConfig};
+
+struct Options {
+    listen: String,
+    config: ServerConfig,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    const USAGE: &str = "usage: rqld [--listen ADDR] [--workers N] [--queue N] \
+                         [--max-sessions N] [--timeout-ms N]";
+    let mut opts = Options {
+        listen: "127.0.0.1:7464".into(),
+        config: ServerConfig::default(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--listen" => opts.listen = value("--listen")?,
+            "--workers" => {
+                opts.config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue" => {
+                opts.config.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--max-sessions" => {
+                opts.config.max_sessions = value("--max-sessions")?
+                    .parse()
+                    .map_err(|e| format!("--max-sessions: {e}"))?;
+            }
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-ms: {e}"))?;
+                opts.config.query_timeout = Some(Duration::from_millis(ms));
+            }
+            "--help" | "-h" => return Err(USAGE.into()),
+            flag => return Err(format!("unknown flag {flag}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let handle = match serve(opts.listen.as_str(), opts.config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("rqld: bind {}: {e}", opts.listen);
+            return ExitCode::from(2);
+        }
+    };
+    println!("rqld listening on {}", handle.local_addr());
+    handle.wait();
+    println!("rqld: drained, bye");
+    ExitCode::SUCCESS
+}

@@ -16,10 +16,13 @@
 //! * [`rql`] — the paper's contribution: the four RQL mechanisms over
 //!   snapshot sets;
 //! * [`tpch`] — deterministic TPC-H workload generator, refresh
-//!   functions and update workloads driving the experiments.
+//!   functions and update workloads driving the experiments;
+//! * [`rqld`] — the concurrent RQL server (wire protocol, session
+//!   pool, admission control, metrics) and its blocking client.
 
 pub use rql;
 pub use rql_pagestore as pagestore;
 pub use rql_retro as retro;
 pub use rql_sqlengine as sqlengine;
 pub use rql_tpch as tpch;
+pub use rqld;

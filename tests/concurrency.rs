@@ -52,6 +52,12 @@ fn readers_never_block_and_never_see_torn_states() {
             db.declare_snapshot().unwrap();
         }
     }
+    // On an oversubscribed machine the writer can finish all 120 updates
+    // before any reader completes an iteration — hold the stop signal
+    // until at least one reader has made progress.
+    while reads.load(Ordering::Relaxed) == 0 {
+        std::thread::yield_now();
+    }
     stop.store(true, Ordering::Relaxed);
     for h in handles {
         h.join().unwrap();

@@ -1,0 +1,335 @@
+//! `rqld` end-to-end concurrency tests: N client threads against one
+//! in-process server — differential-equal results vs embedded
+//! execution, mid-flight cancellation (`RQL300`) and deadline timeout
+//! (`RQL301`), graceful-shutdown drain with no lost or duplicated
+//! responses, and non-zero delta/latency metrics over `METRICS`.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use rql::{parse_program, run_program_with_reports, RqlSession};
+use rql_repro::rqld::{serve, Client, ClientError, ServerConfig, ServerHandle};
+use rql_sqlengine::Value;
+
+/// Shared fixture: a few users logging in and out across snapshots.
+const SETUP: &str = "\
+CREATE TABLE events (e_user TEXT, e_kind TEXT, e_val INTEGER);
+BEGIN;
+INSERT INTO events VALUES ('ann', 'login', 1), ('bob', 'login', 2);
+COMMIT WITH SNAPSHOT;
+BEGIN;
+INSERT INTO events VALUES ('cat', 'login', 3), ('ann', 'click', 4);
+COMMIT WITH SNAPSHOT;
+BEGIN;
+DELETE FROM events WHERE e_user = 'bob';
+INSERT INTO events VALUES ('dan', 'login', 5);
+COMMIT WITH SNAPSHOT;
+BEGIN;
+INSERT INTO events VALUES ('bob', 'login', 6), ('eve', 'click', 7);
+COMMIT WITH SNAPSHOT;
+";
+
+/// One query per Table-1 mechanism, each ending in a deterministic
+/// `--@aux` read-back of its result table.
+const QUERIES: &[&str] = &[
+    "SELECT CollateData(snap_id, 'SELECT DISTINCT e_user FROM events', 'CollUsers') \
+     FROM SnapIds;\n\
+     --@aux\n\
+     SELECT DISTINCT e_user FROM CollUsers ORDER BY e_user;",
+    "SELECT AggregateDataInVariable(snap_id, 'SELECT COUNT(e_val) FROM events', \
+     'MaxRows', 'max') FROM SnapIds;\n\
+     --@aux\n\
+     SELECT * FROM MaxRows;",
+    "SELECT AggregateDataInTable(snap_id, 'SELECT e_user, e_val FROM events', \
+     'MinVal', '(e_val,min)') FROM SnapIds;\n\
+     --@aux\n\
+     SELECT e_user, e_val FROM MinVal ORDER BY e_user;",
+    "SELECT CollateDataIntoIntervals(snap_id, 'SELECT e_user FROM events', 'Pres') \
+     FROM SnapIds;\n\
+     --@aux\n\
+     SELECT e_user, start_snapshot, end_snapshot FROM Pres \
+     ORDER BY e_user, start_snapshot, end_snapshot;",
+];
+
+fn start_server(config: ServerConfig) -> (ServerHandle, SocketAddr) {
+    let handle = serve("127.0.0.1:0", config).expect("bind");
+    let addr = handle.local_addr();
+    (handle, addr)
+}
+
+/// Run `program` on a fresh embedded session that replayed `setup`,
+/// returning the final table of each statement as plain row vectors.
+fn embedded_rows(session: &Arc<RqlSession>, program: &str) -> Vec<Vec<Vec<Value>>> {
+    let program = parse_program(program).expect("parse");
+    let run = run_program_with_reports(session, &program).expect("embedded run");
+    run.tables
+        .iter()
+        .map(|t| t.rows.iter().map(|r| r.to_vec()).collect())
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_match_embedded_execution() {
+    let (handle, addr) = start_server(ServerConfig::default());
+
+    // Seed the shared store over the wire.
+    let mut writer = Client::connect(addr).expect("connect writer");
+    writer.run(SETUP).expect("setup");
+
+    // The oracle: one embedded session replaying the same history.
+    let oracle = RqlSession::with_defaults().expect("embedded session");
+    let _ = embedded_rows(&oracle, SETUP);
+    let expected: Vec<Vec<Vec<Vec<Value>>>> =
+        QUERIES.iter().map(|q| embedded_rows(&oracle, q)).collect();
+
+    const CLIENTS: usize = 8;
+    let results: Vec<Vec<Vec<Vec<Vec<Value>>>>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    // Stagger the mix so threads hit different mechanisms
+                    // simultaneously.
+                    (0..QUERIES.len())
+                        .map(|j| {
+                            let q = QUERIES[(i + j) % QUERIES.len()];
+                            let result = client.run(q).expect("run");
+                            result
+                                .tables
+                                .iter()
+                                .map(|t| t.rows.clone())
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    // Exactly one response per issued query (no lost or duplicated
+    // responses), and each matches the embedded oracle.
+    assert_eq!(results.len(), CLIENTS);
+    for (i, per_client) in results.iter().enumerate() {
+        assert_eq!(per_client.len(), QUERIES.len());
+        for (j, got) in per_client.iter().enumerate() {
+            let want = &expected[(i + j) % QUERIES.len()];
+            assert_eq!(got, want, "client {i}, query {j} diverged from embedded");
+        }
+    }
+
+    // The server counted every query (setup + 8 clients × 4 queries).
+    let metrics = writer.metrics(false).expect("metrics");
+    let get = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing in:\n{metrics}"))
+    };
+    assert_eq!(get("queries_total"), 1 + (CLIENTS * QUERIES.len()) as u64);
+    assert_eq!(get("queries_ok"), get("queries_total"));
+    assert_eq!(get("queries_failed"), 0);
+    assert!(get("latency_count") > 0);
+    assert!(get("latency_p99_micros") > 0);
+    assert!(get("qq_iterations") > 0);
+    assert!(get("qq_rows") > 0);
+
+    handle.shutdown();
+    handle.wait();
+}
+
+/// A cross join big enough that cancellation/timeout lands mid-scan
+/// (cooperative checkpoints fire every 1024 rows).
+fn seed_slow_tables(client: &mut Client) {
+    client
+        .run("CREATE TABLE big1 (k INTEGER); CREATE TABLE big2 (k INTEGER);")
+        .expect("create");
+    for chunk in 0..10i64 {
+        let values: Vec<String> = (chunk * 200..(chunk + 1) * 200)
+            .map(|k| format!("({k})"))
+            .collect();
+        let values = values.join(", ");
+        client
+            .run(&format!(
+                "INSERT INTO big1 VALUES {values}; INSERT INTO big2 VALUES {values};"
+            ))
+            .expect("insert");
+    }
+    client
+        .run("BEGIN; COMMIT WITH SNAPSHOT;")
+        .expect("snapshot");
+}
+
+const SLOW_QUERY: &str = "SELECT COUNT(*) FROM big1, big2 WHERE big1.k + big2.k > 1";
+
+#[test]
+fn cancel_interrupts_in_flight_query_with_rql300() {
+    let (handle, addr) = start_server(ServerConfig::default());
+    let mut admin = Client::connect(addr).expect("connect admin");
+    seed_slow_tables(&mut admin);
+
+    let victim = Client::connect(addr).expect("connect victim");
+    let victim_id = victim.session_id();
+    let runner = thread::spawn(move || {
+        let mut victim = victim;
+        victim.run(SLOW_QUERY)
+    });
+    // Let the query get into its scan, then cancel from another session.
+    thread::sleep(Duration::from_millis(150));
+    admin.cancel(victim_id).expect("cancel");
+
+    match runner.join().expect("join") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "RQL300"),
+        other => panic!("expected RQL300 cancellation, got {other:?}"),
+    }
+
+    let metrics = admin.metrics(false).expect("metrics");
+    assert!(
+        metrics.contains("queries_cancelled 1"),
+        "cancel not counted:\n{metrics}"
+    );
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn deadline_trips_timeout_with_rql301() {
+    let (handle, addr) = start_server(ServerConfig {
+        query_timeout: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    seed_slow_tables(&mut client);
+
+    match client.run(SLOW_QUERY) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "RQL301"),
+        other => panic!("expected RQL301 timeout, got {other:?}"),
+    }
+    // A fresh query on the same connection runs fine: the token re-arms.
+    let ok = client
+        .run("SELECT COUNT(*) FROM big1")
+        .expect("post-timeout");
+    assert_eq!(ok.tables[0].rows[0][0], Value::Integer(2000));
+
+    let metrics = client.metrics(false).expect("metrics");
+    assert!(
+        metrics.contains("queries_timed_out 1"),
+        "timeout not counted:\n{metrics}"
+    );
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_queries() {
+    let (handle, addr) = start_server(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let mut admin = Client::connect(addr).expect("connect admin");
+    admin.run(SETUP).expect("setup");
+
+    let outcomes: Vec<Result<usize, String>> = thread::scope(|scope| {
+        let workers: Vec<_> = (0..6)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    match client.run(QUERIES[i % QUERIES.len()]) {
+                        Ok(result) => Ok(result.tables.len()),
+                        Err(ClientError::Server { code, message }) => {
+                            Err(format!("[{code}] {message}"))
+                        }
+                        Err(e) => Err(format!("{e}")),
+                    }
+                })
+            })
+            .collect();
+        // Give the queries a moment to be admitted, then drain.
+        thread::sleep(Duration::from_millis(50));
+        admin.shutdown().expect("shutdown ack");
+        workers
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    // Every issued query got exactly one terminal answer: either its
+    // result (drained) or an admission rejection — never a hang or a
+    // dropped response.
+    assert_eq!(outcomes.len(), 6);
+    for outcome in &outcomes {
+        match outcome {
+            Ok(tables) => assert!(*tables > 0),
+            Err(msg) => assert!(
+                msg.starts_with("[RQL503]"),
+                "unexpected failure during drain: {msg}"
+            ),
+        }
+    }
+    handle.wait();
+
+    // The listener is gone after the drain.
+    assert!(Client::connect(addr).is_err());
+}
+
+#[test]
+fn delta_policy_skips_pages_over_the_wire() {
+    let (handle, addr) = start_server(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    // A multi-page table with localized churn between snapshots: the
+    // forced delta path must serve unchanged heap pages from its cache.
+    client
+        .run("CREATE TABLE big (k INTEGER, v INTEGER)")
+        .expect("create");
+    for chunk in 0..30i64 {
+        let values: Vec<String> = (chunk * 100..(chunk + 1) * 100)
+            .map(|k| format!("({k}, {})", k * 3))
+            .collect();
+        client
+            .run(&format!("INSERT INTO big VALUES {}", values.join(", ")))
+            .expect("insert");
+    }
+    client
+        .run("BEGIN; COMMIT WITH SNAPSHOT;")
+        .expect("snapshot");
+    for s in 1..6i64 {
+        client
+            .run(&format!(
+                "UPDATE big SET v = {s} WHERE k = {};\nBEGIN;\nCOMMIT WITH SNAPSHOT;",
+                s * 7
+            ))
+            .expect("churn");
+    }
+
+    let result = client
+        .run(
+            "--@policy forced\n\
+             SELECT CollateData(snap_id, 'SELECT k, v FROM big WHERE v % 2 = 1', 'DeltaT') \
+             FROM SnapIds;\n\
+             --@aux\n\
+             SELECT COUNT(*) FROM DeltaT;",
+        )
+        .expect("delta collate");
+    assert_eq!(result.reports.len(), 1);
+    let report = &result.reports[0];
+    assert_eq!(report.iterations, 6);
+    assert!(
+        report.pages_skipped > 0,
+        "forced delta should skip unchanged pages, got {report:?}"
+    );
+
+    let metrics = client.metrics(true).expect("metrics json");
+    assert!(
+        !metrics.contains("\"pages_skipped\":0,"),
+        "server-side pages_skipped metric stayed zero:\n{metrics}"
+    );
+    handle.shutdown();
+    handle.wait();
+}
