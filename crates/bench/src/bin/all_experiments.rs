@@ -33,6 +33,7 @@ fn main() {
         ("§5.3 memory", experiments::mem_table::run),
         ("Ablations", experiments::ablations::run),
         ("Delta iteration", experiments::delta_iteration::run),
+        ("Memo cache", experiments::memo_cache::run),
     ];
     let mut failures = 0;
     for (name, f) in sections {

@@ -1,0 +1,11 @@
+//! Runs the memoization-cache ablation (cold vs warm Table-1 workload)
+//! and prints its markdown section; writes `BENCH_memo.json`.
+fn main() {
+    match rql_bench::experiments::memo_cache::run() {
+        Ok(md) => print!("{md}"),
+        Err(e) => {
+            eprintln!("memo_cache: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -13,4 +13,5 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod mem_table;
+pub mod memo_cache;
 pub mod table1;

@@ -10,12 +10,13 @@
 //! snapshot is opened, and an `Auto` program gets an `info` explaining
 //! which path it will actually use.
 
-use rql_sqlengine::ast::{is_aggregate_name, Expr, SelectStmt};
+use rql_sqlengine::ast::SelectStmt;
 use rql_sqlengine::DeltaSelectRunner;
 
 use crate::analyze::diag::{Code, Diagnostic, SourceKind};
 use crate::delta::{has_inner_agg_shape, DeltaPolicy};
-use crate::rewrite::{uses_current_snapshot, CURRENT_SNAPSHOT};
+use crate::memoize::expr_calls_udf;
+use crate::rewrite::uses_current_snapshot;
 
 use super::mechspec::MechanismKind;
 
@@ -56,45 +57,10 @@ pub struct DeltaExplain {
 /// Whether the WHERE clause calls a user-defined function. Builtins,
 /// aggregates, and `current_snapshot()` are engine-evaluated; anything
 /// else compiles to a UDF call, which the delta scan's row cache cannot
-/// replay.
+/// replay. The walker (and its builtin whitelist) is shared with the
+/// memoization-eligibility rule in [`crate::memoize`].
 fn udf_in_where(select: &SelectStmt) -> bool {
-    fn walk(e: &Expr) -> bool {
-        match e {
-            Expr::Function { name, args, .. } => {
-                let builtin = matches!(
-                    name.as_str(),
-                    "abs"
-                        | "length"
-                        | "lower"
-                        | "upper"
-                        | "typeof"
-                        | "ifnull"
-                        | "nullif"
-                        | "round"
-                        | "substr"
-                        | "coalesce"
-                );
-                (!builtin && !is_aggregate_name(name) && name != CURRENT_SNAPSHOT)
-                    || args.iter().any(walk)
-            }
-            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => walk(expr),
-            Expr::Binary { lhs, rhs, .. } => walk(lhs) || walk(rhs),
-            Expr::InList { expr, list, .. } => walk(expr) || list.iter().any(walk),
-            Expr::Between { expr, lo, hi, .. } => walk(expr) || walk(lo) || walk(hi),
-            Expr::Like { expr, pattern, .. } => walk(expr) || walk(pattern),
-            Expr::Case {
-                operand,
-                arms,
-                else_branch,
-            } => {
-                operand.as_deref().is_some_and(walk)
-                    || arms.iter().any(|(w, t)| walk(w) || walk(t))
-                    || else_branch.as_deref().is_some_and(walk)
-            }
-            Expr::Literal(_) | Expr::Column { .. } | Expr::Star => false,
-        }
-    }
-    select.where_clause.as_ref().is_some_and(walk)
+    select.where_clause.as_ref().is_some_and(expr_calls_udf)
 }
 
 /// Evaluate the fallback matrix for one mechanism call and append the

@@ -62,11 +62,12 @@ pub enum Code {
     AutoDeltaFallback,
     ForcedDeltaUdfInWhere,
     IncrementalUnavailable,
+    MemoIneligible,
 }
 
 impl Code {
     /// Every code, for registry-coverage assertions.
-    pub const ALL: [Code; 35] = [
+    pub const ALL: [Code; 36] = [
         Code::UnknownTable,
         Code::UnknownColumn,
         Code::UnknownFunction,
@@ -102,6 +103,7 @@ impl Code {
         Code::AutoDeltaFallback,
         Code::ForcedDeltaUdfInWhere,
         Code::IncrementalUnavailable,
+        Code::MemoIneligible,
     ];
 
     /// The stable code string, e.g. `"RQL002"`.
@@ -142,6 +144,7 @@ impl Code {
             Code::AutoDeltaFallback => "RQL204",
             Code::ForcedDeltaUdfInWhere => "RQL205",
             Code::IncrementalUnavailable => "RQL206",
+            Code::MemoIneligible => "RQL207",
         }
     }
 
@@ -193,6 +196,9 @@ impl Code {
             Code::AutoDeltaFallback => "Auto delta policy will fall back to the sequential path",
             Code::ForcedDeltaUdfInWhere => "Forced delta policy but WHERE calls a UDF",
             Code::IncrementalUnavailable => "delta runs in pipeline mode; no incremental aggregate",
+            Code::MemoIneligible => {
+                "Qq calls a user-defined function; its per-snapshot results are never memoized"
+            }
         }
     }
 
@@ -204,7 +210,9 @@ impl Code {
             | Code::QsNonIntegerColumn
             | Code::CurrentSnapshotInStringLiteral
             | Code::AsOfInStringLiteral => Severity::Warning,
-            Code::AutoDeltaFallback | Code::IncrementalUnavailable => Severity::Info,
+            Code::AutoDeltaFallback | Code::IncrementalUnavailable | Code::MemoIneligible => {
+                Severity::Info
+            }
             _ => Severity::Error,
         }
     }

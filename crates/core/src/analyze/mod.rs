@@ -112,6 +112,18 @@ pub fn analyze_mechanism_call(
     let facts = check_mechanism(call, snap_env, aux_env, &mut diags);
     if let Some(parsed) = &facts.qq_parsed {
         rewrite_safety::check_qq(parsed, call.qq, SourceKind::Qq, &mut diags);
+        // Memoization eligibility (RQL207): a UDF call anywhere in Qq
+        // makes its per-snapshot results non-deterministic from the
+        // snapshot alone, so the memo cache never stores or serves them.
+        if !crate::memoize::memo_eligible(parsed) {
+            diags.push(Diagnostic::new(
+                Code::MemoIneligible,
+                "Qq calls a user-defined function, so its per-snapshot \
+                 results are not memoized (every run re-executes Qq)",
+                SourceKind::Qq,
+                None,
+            ));
+        }
     }
     let delta = policy.map(|p| explain_delta(call.kind, facts.qq_parsed.as_ref(), p, &mut diags));
     Analysis {

@@ -59,12 +59,13 @@ use std::time::Instant;
 use rql_sqlengine::ast::{Expr, SelectItem, Stmt};
 use rql_sqlengine::cexpr::{compile, eval, CExpr, Scope};
 use rql_sqlengine::{
-    parse_select, Catalog, Database, DeltaScan, DeltaSelectRunner, QueryResult, Result, Row,
-    SelectStmt, SqlError, UdfRegistry, Value,
+    parse_select, Catalog, Database, DeltaScan, DeltaSelectRunner, ExecStats, QueryResult, Result,
+    Row, SelectStmt, SqlError, UdfRegistry, Value,
 };
 
 use crate::aggregate::AggOp;
-use crate::mechanism;
+use crate::mechanism::{self, MemoHandle};
+use crate::memoize::QqMemo;
 use crate::report::{IterationReport, RqlReport};
 use crate::rewrite::{rewrite_select, uses_current_snapshot};
 
@@ -145,8 +146,24 @@ pub fn collate_data_delta(
     table: &str,
     policy: DeltaPolicy,
 ) -> Result<RqlReport> {
+    collate_data_delta_with_memo(snap, aux, qs, qq, table, policy, None)
+}
+
+/// [`collate_data_delta`] with an optional memo store attached. A memo
+/// hit at snapshot `i` skips both the page reads *and* the chain break:
+/// the runner is re-primed from the memoized scanner seed, so snapshot
+/// `i+1` still scans only its changed pages.
+pub(crate) fn collate_data_delta_with_memo(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    policy: DeltaPolicy,
+    memo: MemoHandle,
+) -> Result<RqlReport> {
     if policy == DeltaPolicy::Off {
-        return mechanism::collate_data(snap, aux, qs, qq, table);
+        return mechanism::collate_data_with_memo(snap, aux, qs, qq, table, memo);
     }
     if aux.table_row_count(table).is_ok() {
         return Err(SqlError::Constraint(format!(
@@ -157,9 +174,10 @@ pub fn collate_data_delta(
     if !shape_eligible(&parsed) {
         return match policy {
             DeltaPolicy::Forced => Err(forced_shape_error()),
-            _ => mechanism::collate_data(snap, aux, qs, qq, table),
+            _ => mechanism::collate_data_with_memo(snap, aux, qs, qq, table, memo),
         };
     }
+    let memo = QqMemo::attach(memo, &parsed);
     let (ids, qs_time) = mechanism::snapshot_set(aux, qs)?;
     let readers = snap.store().open_snapshot_chain(&ids)?;
     let mut runner = DeltaSelectRunner::new();
@@ -171,15 +189,46 @@ pub fn collate_data_delta(
     for (&sid, reader) in ids.iter().zip(readers.iter()) {
         snap.cancel_token().check()?;
         let rewritten = rewrite_select(&parsed, sid);
-        let result = match snap.delta_query(reader, &rewritten, &mut runner)? {
-            Some(r) => r,
-            None => {
-                if policy == DeltaPolicy::Forced {
-                    return Err(forced_runtime_error(sid));
+        let cached = memo
+            .as_ref()
+            .and_then(|m| m.lookup_result(reader, &parsed, sid));
+        let result = match cached {
+            Some(r) => {
+                // Keep the chain delta across the skipped execution: the
+                // memoized seed is the scanner state as of `sid`, so the
+                // next iteration's changed-set (relative to `sid`) still
+                // applies. No seed → invalidate and let it rebuild.
+                match memo
+                    .as_ref()
+                    .and_then(|m| m.lookup_seed(reader, &parsed, sid))
+                {
+                    Some(seed) => runner.import_seed(seed),
+                    None => runner.invalidate(),
                 }
-                let outcome = snap.execute_stmt(&Stmt::Select(rewritten))?;
-                outcome.rows().expect("SELECT yields rows")
+                r
             }
+            None => match snap.delta_query(reader, &rewritten, &mut runner)? {
+                Some(r) => {
+                    if let Some(m) = &memo {
+                        m.record_result(reader, &parsed, sid, &r);
+                        if let Some(seed) = runner.export_seed() {
+                            m.record_seed(reader, &parsed, sid, seed);
+                        }
+                    }
+                    r
+                }
+                None => {
+                    if policy == DeltaPolicy::Forced {
+                        return Err(forced_runtime_error(sid));
+                    }
+                    let outcome = snap.execute_stmt(&Stmt::Select(rewritten))?;
+                    let r = outcome.rows().expect("SELECT yields rows");
+                    if let Some(m) = &memo {
+                        m.record_result(reader, &parsed, sid, &r);
+                    }
+                    r
+                }
+            },
         };
         let udf_started = Instant::now();
         if !exists {
@@ -609,8 +658,29 @@ pub fn aggregate_data_in_variable_delta(
     func: AggOp,
     policy: DeltaPolicy,
 ) -> Result<RqlReport> {
+    aggregate_data_in_variable_delta_with_memo(snap, aux, qs, qq, table, func, policy, None)
+}
+
+/// [`aggregate_data_in_variable_delta`] with an optional memo store. A
+/// memo hit yields the iteration's Qq value directly; the runner is
+/// re-primed from the memoized seed (keeping the chain delta) and the
+/// running inner aggregate — stale after the skip — re-seeds from the
+/// next live scan's row set.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn aggregate_data_in_variable_delta_with_memo(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    func: AggOp,
+    policy: DeltaPolicy,
+    memo: MemoHandle,
+) -> Result<RqlReport> {
     if policy == DeltaPolicy::Off {
-        return mechanism::aggregate_data_in_variable(snap, aux, qs, qq, table, func);
+        return mechanism::aggregate_data_in_variable_with_memo(
+            snap, aux, qs, qq, table, func, memo,
+        );
     }
     if aux.table_row_count(table).is_ok() {
         return Err(table_exists_error(table));
@@ -619,9 +689,12 @@ pub fn aggregate_data_in_variable_delta(
     if !shape_eligible(&parsed) {
         return match policy {
             DeltaPolicy::Forced => Err(forced_shape_error()),
-            _ => mechanism::aggregate_data_in_variable(snap, aux, qs, qq, table, func),
+            _ => mechanism::aggregate_data_in_variable_with_memo(
+                snap, aux, qs, qq, table, func, memo,
+            ),
         };
     }
+    let memo = QqMemo::attach(memo, &parsed);
     let (ids, qs_time) = mechanism::snapshot_set(aux, qs)?;
     let readers = snap.store().open_snapshot_chain(&ids)?;
     let mut runner = DeltaSelectRunner::new();
@@ -637,6 +710,40 @@ pub fn aggregate_data_in_variable_delta(
     for (&sid, reader) in ids.iter().zip(readers.iter()) {
         snap.cancel_token().check()?;
         let rewritten = rewrite_select(&parsed, sid);
+        if let Some(result) = memo
+            .as_ref()
+            .and_then(|m| m.lookup_result(reader, &parsed, sid))
+        {
+            // Memo hit: chain continuity as in CollateData — re-prime the
+            // runner from the memoized seed. The running inner aggregate
+            // cannot absorb a skipped iteration, so it goes stale and
+            // re-seeds from the next live scan's row set.
+            match memo
+                .as_ref()
+                .and_then(|m| m.lookup_seed(reader, &parsed, sid))
+            {
+                Some(seed) => runner.import_seed(seed),
+                None => runner.invalidate(),
+            }
+            inner = None;
+            if column.is_none() {
+                column = Some(result.columns.first().cloned().unwrap_or_default());
+            }
+            let v = single_value(&result)?;
+            let udf_started = Instant::now();
+            if let Some(v) = &v {
+                func.absorb(&mut state, v);
+            }
+            report.iterations.push(IterationReport {
+                snap_id: sid,
+                qq_stats: result.stats,
+                udf_time: udf_started.elapsed(),
+                qq_rows: result.rows.len() as u64,
+                result_inserts: 0,
+                result_updates: 0,
+            });
+            continue;
+        }
         let (value, qq_stats, qq_rows) = match snap.delta_scan(reader, &rewritten, &mut runner)? {
             None => {
                 if policy == DeltaPolicy::Forced {
@@ -647,6 +754,9 @@ pub fn aggregate_data_in_variable_delta(
                 inner = None;
                 let outcome = snap.execute_stmt(&Stmt::Select(rewritten))?;
                 let result = outcome.rows().expect("SELECT yields rows");
+                if let Some(m) = &memo {
+                    m.record_result(reader, &parsed, sid, &result);
+                }
                 if column.is_none() {
                     column = Some(result.columns.first().cloned().unwrap_or_default());
                 }
@@ -668,6 +778,26 @@ pub fn aggregate_data_in_variable_delta(
                 match applied {
                     Some(v) => {
                         stats.rows = 1;
+                        if let Some(m) = &memo {
+                            // The value a fresh execution would return is
+                            // exactly this one row; memoize it in that
+                            // shape so hits feed `single_value` unchanged.
+                            let col = column.clone().unwrap_or_else(|| "value".to_owned());
+                            m.record_result(
+                                reader,
+                                &parsed,
+                                sid,
+                                &QueryResult {
+                                    columns: vec![col],
+                                    rows: vec![vec![v.clone()]],
+                                    stats: ExecStats::default(),
+                                    plan: Vec::new(),
+                                },
+                            );
+                            if let Some(seed) = runner.export_seed() {
+                                m.record_seed(reader, &parsed, sid, seed);
+                            }
+                        }
                         (Some(v), stats, 1)
                     }
                     None => {
@@ -693,6 +823,12 @@ pub fn aggregate_data_in_variable_delta(
                                     degraded = true;
                                     inner = None;
                                 }
+                            }
+                        }
+                        if let Some(m) = &memo {
+                            m.record_result(reader, &parsed, sid, &result);
+                            if let Some(seed) = runner.export_seed() {
+                                m.record_seed(reader, &parsed, sid, seed);
                             }
                         }
                         let v = single_value(&result)?;
@@ -741,6 +877,21 @@ pub fn aggregate_data_in_table_delta(
     pairs: &[(String, AggOp)],
     policy: DeltaPolicy,
 ) -> Result<RqlReport> {
+    aggregate_data_in_table_delta_with_memo(snap, aux, qs, qq, table, pairs, policy, None)
+}
+
+/// [`aggregate_data_in_table_delta`] with an optional memo store.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn aggregate_data_in_table_delta_with_memo(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    pairs: &[(String, AggOp)],
+    policy: DeltaPolicy,
+    memo: MemoHandle,
+) -> Result<RqlReport> {
     if policy == DeltaPolicy::Forced {
         return Err(SqlError::Invalid(
             "DeltaPolicy::Forced is not supported for AggregateDataInTable \
@@ -748,7 +899,7 @@ pub fn aggregate_data_in_table_delta(
                 .into(),
         ));
     }
-    mechanism::aggregate_data_in_table(snap, aux, qs, qq, table, pairs)
+    mechanism::aggregate_data_in_table_with_memo(snap, aux, qs, qq, table, pairs, memo)
 }
 
 /// `CollateDataIntoIntervals` has no delta path yet (lifetime extension
@@ -762,6 +913,19 @@ pub fn collate_data_into_intervals_delta(
     table: &str,
     policy: DeltaPolicy,
 ) -> Result<RqlReport> {
+    collate_data_into_intervals_delta_with_memo(snap, aux, qs, qq, table, policy, None)
+}
+
+/// [`collate_data_into_intervals_delta`] with an optional memo store.
+pub(crate) fn collate_data_into_intervals_delta_with_memo(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    policy: DeltaPolicy,
+    memo: MemoHandle,
+) -> Result<RqlReport> {
     if policy == DeltaPolicy::Forced {
         return Err(SqlError::Invalid(
             "DeltaPolicy::Forced is not supported for CollateDataIntoIntervals \
@@ -769,7 +933,7 @@ pub fn collate_data_into_intervals_delta(
                 .into(),
         ));
     }
-    mechanism::collate_data_into_intervals(snap, aux, qs, qq, table)
+    mechanism::collate_data_into_intervals_with_memo(snap, aux, qs, qq, table, memo)
 }
 
 #[cfg(test)]

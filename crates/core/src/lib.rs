@@ -63,6 +63,7 @@ pub mod aggregate;
 pub mod analyze;
 pub mod delta;
 pub mod mechanism;
+pub mod memoize;
 pub mod parallel;
 pub mod report;
 pub mod rewrite;
@@ -80,6 +81,7 @@ pub use delta::{
     collate_data_into_intervals_delta, DeltaPolicy,
 };
 pub use mechanism::{END_SNAPSHOT_COL, START_SNAPSHOT_COL};
+pub use memoize::{memo_eligible, page_version_vector, qq_fingerprint};
 pub use parallel::{aggregate_data_in_variable_parallel, collate_data_parallel};
 pub use report::{IterationReport, RqlReport};
 pub use rewrite::{

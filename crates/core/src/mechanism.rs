@@ -21,8 +21,10 @@
 //!   SnapIds`) call it once per `SnapIds` row, which is exactly how the
 //!   paper's SQLite UDF callback gets invoked.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use rql_memo::MemoStore;
 use rql_sqlengine::ast::Stmt;
 use rql_sqlengine::{
     parse_select, ColumnType, Database, QueryResult, Result, Row, SelectStmt, SqlError,
@@ -30,8 +32,13 @@ use rql_sqlengine::{
 };
 
 use crate::aggregate::{AggOp, AggState};
+use crate::memoize::QqMemo;
 use crate::report::{IterationReport, RqlReport};
 use crate::rewrite::rewrite_select;
+
+/// Optional shared memo store threaded from the session into the
+/// mechanism loops (`None` = memoization off).
+pub(crate) type MemoHandle = Option<Arc<MemoStore>>;
 
 /// Start-of-lifetime column added by `CollateDataIntoIntervals`.
 pub const START_SNAPSHOT_COL: &str = "start_snapshot";
@@ -70,6 +77,7 @@ fn run_loop(
     aux: &Database,
     qs: &str,
     qq: &str,
+    memo: MemoHandle,
     mut body: impl FnMut(usize, u64, &QueryResult) -> Result<(u64, u64)>,
 ) -> Result<RqlReport> {
     let (ids, qs_time) = snapshot_set(aux, qs)?;
@@ -79,6 +87,7 @@ fn run_loop(
             "Qq must not contain AS OF; RQL binds the snapshot per iteration".into(),
         ));
     }
+    let memo = QqMemo::attach(memo, &parsed);
     let mut report = RqlReport {
         qs_time,
         ..Default::default()
@@ -88,9 +97,24 @@ fn run_loop(
         // lands mid-loop stops before the next Qq opens its snapshot
         // (row-batch checkpoints inside the executor cover the rest).
         snap.cancel_token().check()?;
-        let rewritten = rewrite_select(&parsed, sid);
-        let outcome = snap.execute_stmt(&Stmt::Select(rewritten))?;
-        let result = outcome.rows().expect("SELECT yields rows");
+        // Snapshots are immutable, so a memoized Qq result at `sid` is
+        // byte-identical to re-execution; hits skip the executor (and
+        // report zeroed Qq stats — no pages read, nothing evaluated).
+        let result = match memo
+            .as_ref()
+            .and_then(|m| m.lookup_result_seq(snap, &parsed, sid))
+        {
+            Some(cached) => cached,
+            None => {
+                let rewritten = rewrite_select(&parsed, sid);
+                let outcome = snap.execute_stmt(&Stmt::Select(rewritten))?;
+                let result = outcome.rows().expect("SELECT yields rows");
+                if let Some(m) = &memo {
+                    m.record_result_seq(snap, &parsed, sid, &result);
+                }
+                result
+            }
+        };
         let udf_started = Instant::now();
         let (result_inserts, result_updates) = body(i, sid, &result)?;
         report.iterations.push(IterationReport {
@@ -165,12 +189,24 @@ pub fn collate_data(
     qq: &str,
     table: &str,
 ) -> Result<RqlReport> {
+    collate_data_with_memo(snap, aux, qs, qq, table, None)
+}
+
+/// [`collate_data`] with an optional memo store attached.
+pub(crate) fn collate_data_with_memo(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    memo: MemoHandle,
+) -> Result<RqlReport> {
     if table_exists(aux, table) {
         return Err(SqlError::Constraint(format!(
             "result table {table} already exists (CollateData creates it)"
         )));
     }
-    collate_data_step(snap, aux, qs, qq, table)
+    collate_data_step_with_memo(snap, aux, qs, qq, table, memo)
 }
 
 /// Step form of [`collate_data`]: appends to `T` if it already exists.
@@ -181,8 +217,20 @@ pub fn collate_data_step(
     qq: &str,
     table: &str,
 ) -> Result<RqlReport> {
+    collate_data_step_with_memo(snap, aux, qs, qq, table, None)
+}
+
+/// [`collate_data_step`] with an optional memo store attached.
+pub(crate) fn collate_data_step_with_memo(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    memo: MemoHandle,
+) -> Result<RqlReport> {
     let mut exists = table_exists(aux, table);
-    run_loop(snap, aux, qs, qq, |_i, _sid, result| {
+    run_loop(snap, aux, qs, qq, memo, |_i, _sid, result| {
         if !exists {
             create_result_table(aux, table, &result.columns)?;
             exists = true;
@@ -229,6 +277,19 @@ pub fn aggregate_data_in_variable(
     table: &str,
     func: AggOp,
 ) -> Result<RqlReport> {
+    aggregate_data_in_variable_with_memo(snap, aux, qs, qq, table, func, None)
+}
+
+/// [`aggregate_data_in_variable`] with an optional memo store attached.
+pub(crate) fn aggregate_data_in_variable_with_memo(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    func: AggOp,
+    memo: MemoHandle,
+) -> Result<RqlReport> {
     if table_exists(aux, table) {
         return Err(SqlError::Constraint(format!(
             "result table {table} already exists"
@@ -236,7 +297,7 @@ pub fn aggregate_data_in_variable(
     }
     let mut state: AggState = func.init();
     let mut column: Option<String> = None;
-    let mut report = run_loop(snap, aux, qs, qq, |_i, _sid, result| {
+    let mut report = run_loop(snap, aux, qs, qq, memo, |_i, _sid, result| {
         if column.is_none() {
             column = Some(result.columns.first().cloned().unwrap_or_default());
         }
@@ -268,7 +329,20 @@ pub fn aggregate_data_in_variable_step(
     table: &str,
     func: AggOp,
 ) -> Result<RqlReport> {
-    run_loop(snap, aux, qs, qq, |_i, _sid, result| {
+    aggregate_data_in_variable_step_with_memo(snap, aux, qs, qq, table, func, None)
+}
+
+/// [`aggregate_data_in_variable_step`] with an optional memo store.
+pub(crate) fn aggregate_data_in_variable_step_with_memo(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    func: AggOp,
+    memo: MemoHandle,
+) -> Result<RqlReport> {
+    run_loop(snap, aux, qs, qq, memo, |_i, _sid, result| {
         let v = single_value(result)?.cloned();
         let column = result.columns.first().cloned().unwrap_or_default();
         if !table_exists(aux, table) {
@@ -462,12 +536,25 @@ pub fn aggregate_data_in_table(
     table: &str,
     pairs: &[(String, AggOp)],
 ) -> Result<RqlReport> {
+    aggregate_data_in_table_with_memo(snap, aux, qs, qq, table, pairs, None)
+}
+
+/// [`aggregate_data_in_table`] with an optional memo store attached.
+pub(crate) fn aggregate_data_in_table_with_memo(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    pairs: &[(String, AggOp)],
+    memo: MemoHandle,
+) -> Result<RqlReport> {
     if table_exists(aux, table) {
         return Err(SqlError::Constraint(format!(
             "result table {table} already exists"
         )));
     }
-    aggregate_data_in_table_step(snap, aux, qs, qq, table, pairs)
+    aggregate_data_in_table_step_with_memo(snap, aux, qs, qq, table, pairs, memo)
 }
 
 /// Step form of [`aggregate_data_in_table`]: folds into a pre-existing
@@ -480,9 +567,22 @@ pub fn aggregate_data_in_table_step(
     table: &str,
     pairs: &[(String, AggOp)],
 ) -> Result<RqlReport> {
+    aggregate_data_in_table_step_with_memo(snap, aux, qs, qq, table, pairs, None)
+}
+
+/// [`aggregate_data_in_table_step`] with an optional memo store.
+pub(crate) fn aggregate_data_in_table_step_with_memo(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    pairs: &[(String, AggOp)],
+    memo: MemoHandle,
+) -> Result<RqlReport> {
     let mut layout: Option<AggTableLayout> = None;
     let mut blind_first = false;
-    run_loop(snap, aux, qs, qq, |i, _sid, result| {
+    run_loop(snap, aux, qs, qq, memo, |i, _sid, result| {
         if layout.is_none() {
             let l = agg_table_layout(&result.columns, pairs)?;
             if !table_exists(aux, table) {
@@ -543,7 +643,9 @@ pub fn aggregate_data_in_table_sortmerge(
         )));
     }
     let mut layout: Option<AggTableLayout> = None;
-    run_loop(snap, aux, qs, qq, |_i, _sid, result| {
+    // The sort-merge ablation stays memo-free: it exists to measure the
+    // paper's costlier alternative, and a cache would mask that cost.
+    run_loop(snap, aux, qs, qq, None, |_i, _sid, result| {
         if layout.is_none() {
             let l = agg_table_layout(&result.columns, pairs)?;
             create_result_table(aux, table, &l.table_columns)?;
@@ -631,12 +733,24 @@ pub fn collate_data_into_intervals(
     qq: &str,
     table: &str,
 ) -> Result<RqlReport> {
+    collate_data_into_intervals_with_memo(snap, aux, qs, qq, table, None)
+}
+
+/// [`collate_data_into_intervals`] with an optional memo store.
+pub(crate) fn collate_data_into_intervals_with_memo(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    memo: MemoHandle,
+) -> Result<RqlReport> {
     if table_exists(aux, table) {
         return Err(SqlError::Constraint(format!(
             "result table {table} already exists"
         )));
     }
-    collate_data_into_intervals_step(snap, aux, qs, qq, table, None).map(|(r, _)| r)
+    collate_data_into_intervals_step_with_memo(snap, aux, qs, qq, table, None, memo).map(|(r, _)| r)
 }
 
 /// Step form of [`collate_data_into_intervals`]. `prev_sid` is the
@@ -651,9 +765,22 @@ pub fn collate_data_into_intervals_step(
     table: &str,
     prev_sid: Option<u64>,
 ) -> Result<(RqlReport, Option<u64>)> {
+    collate_data_into_intervals_step_with_memo(snap, aux, qs, qq, table, prev_sid, None)
+}
+
+/// [`collate_data_into_intervals_step`] with an optional memo store.
+pub(crate) fn collate_data_into_intervals_step_with_memo(
+    snap: &Database,
+    aux: &Database,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    prev_sid: Option<u64>,
+    memo: MemoHandle,
+) -> Result<(RqlReport, Option<u64>)> {
     let mut prev = prev_sid;
     let mut qq_arity = 0usize;
-    let report = run_loop(snap, aux, qs, qq, |_i, sid, result| {
+    let report = run_loop(snap, aux, qs, qq, memo, |_i, sid, result| {
         qq_arity = result.columns.len();
         let first = !table_exists(aux, table);
         if first {

@@ -13,6 +13,7 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 use parking_lot::Mutex;
 
+use rql_memo::MemoStore;
 use rql_retro::RetroConfig;
 use rql_sqlengine::{CancelCause, Database, ExecOutcome, QueryResult, Result, SqlError, Value};
 
@@ -40,6 +41,11 @@ pub struct RqlSession {
     /// (on by default; tests exercising mid-loop failure paths turn it
     /// off via [`RqlSession::set_preflight`]).
     preflight: AtomicBool,
+    /// Optional Qq memoization store (see `rql-memo`). `None` — the
+    /// embedded default — means every Qq executes live; a server that
+    /// wants cross-session reuse attaches one shared store via
+    /// [`RqlSession::set_memo`].
+    memo: Mutex<Option<Arc<MemoStore>>>,
 }
 
 impl RqlSession {
@@ -66,6 +72,7 @@ impl RqlSession {
             last_reports: Mutex::new(Vec::new()),
             prev_sids: Mutex::new(std::collections::HashMap::new()),
             preflight: AtomicBool::new(true),
+            memo: Mutex::new(None),
         });
         session.register_udfs();
         Ok(session)
@@ -90,6 +97,21 @@ impl RqlSession {
     /// Replace the timestamp source (deterministic tests/benchmarks).
     pub fn set_clock(&self, clock: impl Fn() -> String + Send + 'static) {
         *self.clock.lock() = Box::new(clock);
+    }
+
+    // ---- Qq memoization ------------------------------------------------
+
+    /// Attach (or with `None`, detach) a Qq memoization store. Snapshots
+    /// are immutable, so the store may be shared across sessions over
+    /// the same snapshotable store — that is exactly what the `rqld`
+    /// server does, one store behind the whole session pool.
+    pub fn set_memo(&self, memo: Option<Arc<MemoStore>>) {
+        *self.memo.lock() = memo;
+    }
+
+    /// The currently attached memo store, if any.
+    pub fn memo(&self) -> Option<Arc<MemoStore>> {
+        self.memo.lock().clone()
     }
 
     // ---- cooperative cancellation --------------------------------------
@@ -227,7 +249,7 @@ impl RqlSession {
     /// `CollateData(Qs, Qq, T)`.
     pub fn collate_data(&self, qs: &str, qq: &str, table: &str) -> Result<RqlReport> {
         self.preflight_mechanism(MechanismKind::Collate, qs, qq, table, None, None)?;
-        mechanism::collate_data(&self.snap, &self.aux, qs, qq, table)
+        mechanism::collate_data_with_memo(&self.snap, &self.aux, qs, qq, table, self.memo())
     }
 
     /// `AggregateDataInVariable(Qs, Qq, T, AggFunc)`.
@@ -240,7 +262,15 @@ impl RqlSession {
     ) -> Result<RqlReport> {
         let spec = func.to_string();
         self.preflight_mechanism(MechanismKind::AggVar, qs, qq, table, Some(&spec), None)?;
-        mechanism::aggregate_data_in_variable(&self.snap, &self.aux, qs, qq, table, func)
+        mechanism::aggregate_data_in_variable_with_memo(
+            &self.snap,
+            &self.aux,
+            qs,
+            qq,
+            table,
+            func,
+            self.memo(),
+        )
     }
 
     /// `AggregateDataInTable(Qs, Qq, T, ListOfColFuncPairs)`.
@@ -253,7 +283,15 @@ impl RqlSession {
     ) -> Result<RqlReport> {
         let spec = render_pairs(pairs);
         self.preflight_mechanism(MechanismKind::AggTable, qs, qq, table, Some(&spec), None)?;
-        mechanism::aggregate_data_in_table(&self.snap, &self.aux, qs, qq, table, pairs)
+        mechanism::aggregate_data_in_table_with_memo(
+            &self.snap,
+            &self.aux,
+            qs,
+            qq,
+            table,
+            pairs,
+            self.memo(),
+        )
     }
 
     /// Sort-merge ablation of `AggregateDataInTable` (paper §3: the
@@ -278,7 +316,14 @@ impl RqlSession {
         table: &str,
     ) -> Result<RqlReport> {
         self.preflight_mechanism(MechanismKind::Intervals, qs, qq, table, None, None)?;
-        mechanism::collate_data_into_intervals(&self.snap, &self.aux, qs, qq, table)
+        mechanism::collate_data_into_intervals_with_memo(
+            &self.snap,
+            &self.aux,
+            qs,
+            qq,
+            table,
+            self.memo(),
+        )
     }
 
     // ---- delta-driven variants (see [`crate::delta`]) ------------------
@@ -294,7 +339,15 @@ impl RqlSession {
         policy: DeltaPolicy,
     ) -> Result<RqlReport> {
         self.preflight_mechanism(MechanismKind::Collate, qs, qq, table, None, Some(policy))?;
-        delta::collate_data_delta(&self.snap, &self.aux, qs, qq, table, policy)
+        delta::collate_data_delta_with_memo(
+            &self.snap,
+            &self.aux,
+            qs,
+            qq,
+            table,
+            policy,
+            self.memo(),
+        )
     }
 
     /// `AggregateDataInVariable(Qs, Qq, T, AggFunc)` under a
@@ -317,7 +370,16 @@ impl RqlSession {
             Some(&spec),
             Some(policy),
         )?;
-        delta::aggregate_data_in_variable_delta(&self.snap, &self.aux, qs, qq, table, func, policy)
+        delta::aggregate_data_in_variable_delta_with_memo(
+            &self.snap,
+            &self.aux,
+            qs,
+            qq,
+            table,
+            func,
+            policy,
+            self.memo(),
+        )
     }
 
     /// `AggregateDataInTable(Qs, Qq, T, ListOfColFuncPairs)` under a
@@ -340,7 +402,16 @@ impl RqlSession {
             Some(&spec),
             Some(policy),
         )?;
-        delta::aggregate_data_in_table_delta(&self.snap, &self.aux, qs, qq, table, pairs, policy)
+        delta::aggregate_data_in_table_delta_with_memo(
+            &self.snap,
+            &self.aux,
+            qs,
+            qq,
+            table,
+            pairs,
+            policy,
+            self.memo(),
+        )
     }
 
     /// `CollateDataIntoIntervals(Qs, Qq, T)` under a [`DeltaPolicy`]
@@ -353,7 +424,15 @@ impl RqlSession {
         policy: DeltaPolicy,
     ) -> Result<RqlReport> {
         self.preflight_mechanism(MechanismKind::Intervals, qs, qq, table, None, Some(policy))?;
-        delta::collate_data_into_intervals_delta(&self.snap, &self.aux, qs, qq, table, policy)
+        delta::collate_data_into_intervals_delta_with_memo(
+            &self.snap,
+            &self.aux,
+            qs,
+            qq,
+            table,
+            policy,
+            self.memo(),
+        )
     }
 
     /// Reports produced by mechanism UDFs since the last call (SQL-driven
@@ -434,7 +513,14 @@ impl RqlSession {
         let report = match kind {
             MechanismKind::Collate => {
                 expect(3)?;
-                mechanism::collate_data_step(&self.snap, &self.aux, &qs, qq, table)?
+                mechanism::collate_data_step_with_memo(
+                    &self.snap,
+                    &self.aux,
+                    &qs,
+                    qq,
+                    table,
+                    self.memo(),
+                )?
             }
             MechanismKind::AggVar => {
                 expect(4)?;
@@ -443,8 +529,14 @@ impl RqlSession {
                         .as_str()
                         .ok_or_else(|| SqlError::Udf("AggFunc must be text".into()))?,
                 )?;
-                mechanism::aggregate_data_in_variable_step(
-                    &self.snap, &self.aux, &qs, qq, table, func,
+                mechanism::aggregate_data_in_variable_step_with_memo(
+                    &self.snap,
+                    &self.aux,
+                    &qs,
+                    qq,
+                    table,
+                    func,
+                    self.memo(),
                 )?
             }
             MechanismKind::AggTable => {
@@ -454,15 +546,27 @@ impl RqlSession {
                         .as_str()
                         .ok_or_else(|| SqlError::Udf("ListOfColFuncPairs must be text".into()))?,
                 )?;
-                mechanism::aggregate_data_in_table_step(
-                    &self.snap, &self.aux, &qs, qq, table, &pairs,
+                mechanism::aggregate_data_in_table_step_with_memo(
+                    &self.snap,
+                    &self.aux,
+                    &qs,
+                    qq,
+                    table,
+                    &pairs,
+                    self.memo(),
                 )?
             }
             MechanismKind::Intervals => {
                 expect(3)?;
                 let prev = self.prev_sids.lock().get(table).copied();
-                let (report, last) = mechanism::collate_data_into_intervals_step(
-                    &self.snap, &self.aux, &qs, qq, table, prev,
+                let (report, last) = mechanism::collate_data_into_intervals_step_with_memo(
+                    &self.snap,
+                    &self.aux,
+                    &qs,
+                    qq,
+                    table,
+                    prev,
+                    self.memo(),
                 )?;
                 if let Some(last) = last {
                     self.prev_sids.lock().insert(table.to_owned(), last);

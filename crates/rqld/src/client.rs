@@ -107,8 +107,16 @@ impl Client {
 
     /// Execute a program; returns result tables, reports and snapshots.
     pub fn run(&mut self, program: &str) -> Result<WireResult> {
+        self.run_opts(program, false)
+    }
+
+    /// [`Client::run`] with a per-request memo override: `no_memo = true`
+    /// asks the server to bypass its shared memo store for this program
+    /// (the `--no-memo` ablation switch).
+    pub fn run_opts(&mut self, program: &str, no_memo: bool) -> Result<WireResult> {
         match self.round_trip(&Request::Run {
             program: program.into(),
+            no_memo,
         })? {
             Response::Result(result) => Ok(result),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),

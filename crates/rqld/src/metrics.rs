@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use rql_memo::MemoStatsSnapshot;
 use rql_pagestore::IoStatsSnapshot;
 
 /// Latency histogram with power-of-two microsecond buckets:
@@ -151,8 +152,9 @@ impl Metrics {
     }
 
     /// Human-readable render: one `name value` line per metric, then the
-    /// store's I/O counters under an `io_` prefix.
-    pub fn render_human(&self, io: &IoStatsSnapshot) -> String {
+    /// store's I/O counters under an `io_` prefix and the shared memo
+    /// store's counters under a `memo_` prefix.
+    pub fn render_human(&self, io: &IoStatsSnapshot, memo: &MemoStatsSnapshot) -> String {
         let mut out = String::new();
         for (name, value) in self.fields() {
             out.push_str(name);
@@ -167,12 +169,19 @@ impl Metrics {
             out.push_str(&value.to_string());
             out.push('\n');
         }
+        for (name, value) in memo.fields() {
+            out.push_str("memo_");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
         out
     }
 
     /// JSON render (flat object; all values are integers, so no escaping
     /// or float formatting subtleties).
-    pub fn render_json(&self, io: &IoStatsSnapshot) -> String {
+    pub fn render_json(&self, io: &IoStatsSnapshot, memo: &MemoStatsSnapshot) -> String {
         let mut parts: Vec<String> = self
             .fields()
             .into_iter()
@@ -182,6 +191,11 @@ impl Metrics {
             io.fields()
                 .into_iter()
                 .map(|(name, value)| format!("\"io_{name}\":{value}")),
+        );
+        parts.extend(
+            memo.fields()
+                .into_iter()
+                .map(|(name, value)| format!("\"memo_{name}\":{value}")),
         );
         format!("{{{}}}", parts.join(","))
     }
@@ -218,7 +232,7 @@ mod tests {
     }
 
     #[test]
-    fn renders_include_io_and_latency() {
+    fn renders_include_io_memo_and_latency() {
         let m = Metrics::new();
         m.inc(&m.queries_total);
         m.latency.record(Duration::from_micros(10));
@@ -226,14 +240,24 @@ mod tests {
             pagelog_reads: 7,
             ..Default::default()
         };
-        let human = m.render_human(&io);
+        let memo = MemoStatsSnapshot {
+            hits: 5,
+            misses: 2,
+            ..Default::default()
+        };
+        let human = m.render_human(&io, &memo);
         assert!(human.contains("queries_total 1"));
         assert!(human.contains("io_pagelog_reads 7"));
+        assert!(human.contains("memo_hits 5"));
+        assert!(human.contains("memo_misses 2"));
+        assert!(human.contains("memo_spill_errors 0"));
         assert!(human.contains("latency_p99_micros"));
-        let json = m.render_json(&io);
+        let json = m.render_json(&io, &memo);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"queries_total\":1"));
         assert!(json.contains("\"io_pagelog_reads\":7"));
+        assert!(json.contains("\"memo_hits\":5"));
+        assert!(json.contains("\"memo_evictions\":0"));
     }
 
     #[test]

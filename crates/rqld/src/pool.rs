@@ -25,6 +25,7 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use parking_lot::{Mutex, RwLock};
 
 use rql::{self as rqlcore, snapids, Database, Program, ProgramRun, RqlSession, SqlError};
+use rql_memo::{MemoConfig, MemoStatsSnapshot, MemoStore};
 use rql_retro::{RetroConfig, RetroStore};
 use rql_sqlengine::{parse_statement, Stmt};
 
@@ -52,6 +53,10 @@ pub struct SharedStack {
     next_session: AtomicU64,
     active_sessions: AtomicU64,
     max_sessions: u64,
+    /// One memoization store shared by every checked-out session, so a
+    /// Qq result computed by any connection serves all of them. `None`
+    /// when the server runs with memoization disabled (`--no-memo`).
+    memo: Option<Arc<MemoStore>>,
 }
 
 impl SharedStack {
@@ -59,6 +64,20 @@ impl SharedStack {
     /// single-threaded (two facades racing on an empty store would both
     /// try to bootstrap).
     pub fn new(config: RetroConfig, max_sessions: u64) -> Arc<SharedStack> {
+        Self::new_with_memo(
+            config,
+            max_sessions,
+            Some(Arc::new(MemoStore::new(MemoConfig::default()))),
+        )
+    }
+
+    /// Like [`SharedStack::new`], with an explicit memo store (`None`
+    /// disables cross-session memoization entirely).
+    pub fn new_with_memo(
+        config: RetroConfig,
+        max_sessions: u64,
+        memo: Option<Arc<MemoStore>>,
+    ) -> Arc<SharedStack> {
         let store = RetroStore::in_memory(config);
         let bootstrap = Database::over_store(Arc::clone(&store));
         drop(bootstrap);
@@ -69,7 +88,14 @@ impl SharedStack {
             next_session: AtomicU64::new(1),
             active_sessions: AtomicU64::new(0),
             max_sessions,
+            memo,
         })
+    }
+
+    /// Counters of the shared memo store (zeroes when memoization is
+    /// disabled, so `METRICS` renders a stable field set either way).
+    pub fn memo_stats(&self) -> MemoStatsSnapshot {
+        self.memo.as_ref().map(|m| m.stats()).unwrap_or_default()
     }
 
     /// The shared snapshotable store.
@@ -107,6 +133,9 @@ impl SharedStack {
                 return Err(e);
             }
         };
+        // Every session shares the stack's memo store: a Qq result
+        // computed by one connection is a warm hit for all the others.
+        session.set_memo(self.memo.clone());
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         Ok(ServerSession {
             id,
@@ -183,6 +212,31 @@ impl ServerSession {
     /// when the program ends is rolled back — the program is the
     /// transaction unit over the wire.
     pub fn run_program(&self, program: &Program) -> rqlcore::Result<ProgramRun> {
+        self.run_program_opts(program, false)
+    }
+
+    /// [`ServerSession::run_program`] with a per-request memo override:
+    /// `no_memo = true` detaches the shared memo store for the duration
+    /// of this program (the client's `--no-memo` ablation switch) and
+    /// re-attaches it afterwards. Requests on one connection are
+    /// serialized, so the temporary detach cannot race another job on
+    /// this session.
+    pub fn run_program_opts(
+        &self,
+        program: &Program,
+        no_memo: bool,
+    ) -> rqlcore::Result<ProgramRun> {
+        if no_memo {
+            self.session.set_memo(None);
+        }
+        let out = self.run_program_inner(program);
+        if no_memo {
+            self.session.set_memo(self.stack.memo.clone());
+        }
+        out
+    }
+
+    fn run_program_inner(&self, program: &Program) -> rqlcore::Result<ProgramRun> {
         self.sync_snapids()?;
         let mut run = ProgramRun::default();
         let mut write_guard = None;
@@ -274,6 +328,61 @@ mod tests {
         assert_eq!(
             snapids::all_snapshots(b.session().aux_db()).unwrap().len(),
             1
+        );
+    }
+
+    #[test]
+    fn memo_is_shared_across_sessions_and_detachable_per_request() {
+        let stack = SharedStack::new(RetroConfig::new(), 4);
+        let writer = stack.checkout().unwrap();
+        writer
+            .run_program(
+                &parse_program(
+                    "CREATE TABLE t (v INTEGER);\n\
+                     BEGIN;\n\
+                     INSERT INTO t VALUES (1), (2);\n\
+                     COMMIT WITH SNAPSHOT;\n\
+                     BEGIN;\n\
+                     INSERT INTO t VALUES (3);\n\
+                     COMMIT WITH SNAPSHOT;",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+
+        // The memo key is the Qq fingerprint, not the result table, so
+        // each run can land in a fresh table (the aux db rejects reuse).
+        let mech = |table: &str| {
+            parse_program(&format!(
+                "SELECT CollateData(snap_id, 'SELECT v FROM t', '{table}') FROM SnapIds;"
+            ))
+            .unwrap()
+        };
+        let a = stack.checkout().unwrap();
+        a.run_program(&mech("r1")).unwrap();
+        let cold = stack.memo_stats();
+        assert!(cold.inserts > 0, "first run populates the memo: {cold:?}");
+
+        // A different session replays the same Qq: every iteration hits.
+        let b = stack.checkout().unwrap();
+        b.run_program(&mech("r2")).unwrap();
+        let warm = stack.memo_stats();
+        assert!(
+            warm.hits >= cold.hits + 2,
+            "second session should hit the shared memo: {warm:?}"
+        );
+
+        // Per-request opt-out leaves the counters untouched and then
+        // re-attaches the shared store.
+        let before = stack.memo_stats();
+        b.run_program_opts(&mech("r3"), true).unwrap();
+        let after = stack.memo_stats();
+        assert_eq!(before.hits, after.hits, "no-memo run must not hit");
+        assert_eq!(before.misses, after.misses, "no-memo run must not miss");
+        b.run_program(&mech("r4")).unwrap();
+        assert!(
+            stack.memo_stats().hits > after.hits,
+            "memo re-attached after the opt-out request"
         );
     }
 

@@ -252,6 +252,10 @@ pub enum Request {
     Run {
         /// The `.rql` program text.
         program: String,
+        /// Skip the server's shared memo store for this request (the
+        /// `--no-memo` ablation switch). Encoded as an optional trailing
+        /// byte, so v0 clients that omit it decode as `false`.
+        no_memo: bool,
     },
     /// Cancel the in-flight query of session `session`.
     Cancel {
@@ -278,8 +282,9 @@ impl Request {
                 w.put_str(program);
                 (op::PREPARE, w.into_bytes())
             }
-            Request::Run { program } => {
+            Request::Run { program, no_memo } => {
                 w.put_str(program);
+                w.put_u8(u8::from(*no_memo));
                 (op::RUN, w.into_bytes())
             }
             Request::Cancel { session } => {
@@ -302,9 +307,14 @@ impl Request {
             op::PREPARE => Ok(Request::Prepare {
                 program: r.get_str()?,
             }),
-            op::RUN => Ok(Request::Run {
-                program: r.get_str()?,
-            }),
+            op::RUN => {
+                let program = r.get_str()?;
+                // Trailing flag is optional: a frame that ends right
+                // after the program string is an older encoding and
+                // means "use the memo".
+                let no_memo = r.get_u8().is_ok_and(|b| b != 0);
+                Ok(Request::Run { program, no_memo })
+            }
             op::CANCEL => Ok(Request::Cancel {
                 session: r.get_u64()?,
             }),
@@ -579,6 +589,11 @@ mod tests {
         });
         roundtrip_request(Request::Run {
             program: "COMMIT WITH SNAPSHOT;".into(),
+            no_memo: false,
+        });
+        roundtrip_request(Request::Run {
+            program: "SELECT 1;".into(),
+            no_memo: true,
         });
         roundtrip_request(Request::Cancel { session: 42 });
         roundtrip_request(Request::Status);
@@ -654,6 +669,22 @@ mod tests {
             read_frame(&mut zero.as_slice()),
             Err(ProtoError::BadLength(0))
         ));
+    }
+
+    #[test]
+    fn run_without_trailing_flag_decodes_as_memo_on() {
+        // A v0 RUN frame (program string only, no trailing flag byte)
+        // must still decode, defaulting to the memo-enabled path.
+        let mut w = PayloadWriter::new();
+        w.put_str("SELECT 1;");
+        let decoded = Request::decode(op::RUN, &w.into_bytes()).unwrap();
+        assert_eq!(
+            decoded,
+            Request::Run {
+                program: "SELECT 1;".into(),
+                no_memo: false,
+            }
+        );
     }
 
     #[test]

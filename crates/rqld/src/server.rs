@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 use rql::{
     analyze_program, parse_program, CancelCause, Program, ProgramRun, SchemaEnv, Severity, SqlError,
 };
+use rql_memo::{MemoConfig, MemoStore};
 use rql_retro::RetroConfig;
 
 use crate::metrics::Metrics;
@@ -49,6 +50,9 @@ pub struct ServerConfig {
     pub query_timeout: Option<Duration>,
     /// Store configuration for the shared stack.
     pub retro: RetroConfig,
+    /// Share one Qq memoization store across all sessions (`--no-memo`
+    /// turns this off for the whole server).
+    pub memo: bool,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +63,7 @@ impl Default for ServerConfig {
             max_sessions: 64,
             query_timeout: None,
             retro: RetroConfig::new(),
+            memo: true,
         }
     }
 }
@@ -82,6 +87,7 @@ pub const ADMISSION_CODE: &str = "RQL503";
 struct Job {
     id: u64,
     program: Program,
+    no_memo: bool,
     session: Arc<ServerSession>,
     admitted: Instant,
     slot: Mutex<Option<Result<ProgramRun, SqlError>>>,
@@ -108,7 +114,12 @@ impl Inner {
 
     /// Admit a RUN job or reject it. Returns `None` (with the metric
     /// bumped) when the queue is full or the server is draining.
-    fn admit(self: &Arc<Self>, program: Program, session: Arc<ServerSession>) -> Option<Arc<Job>> {
+    fn admit(
+        self: &Arc<Self>,
+        program: Program,
+        no_memo: bool,
+        session: Arc<ServerSession>,
+    ) -> Option<Arc<Job>> {
         let job = {
             let mut queue = self
                 .queue
@@ -122,6 +133,7 @@ impl Inner {
             let job = Arc::new(Job {
                 id: self.next_job.fetch_add(1, Ordering::Relaxed),
                 program,
+                no_memo,
                 session,
                 admitted: Instant::now(),
                 slot: Mutex::new(None),
@@ -177,7 +189,7 @@ impl Inner {
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .insert(job.id, (job.admitted + timeout, Arc::clone(&job.session)));
         }
-        let result = job.session.run_program(&job.program);
+        let result = job.session.run_program_opts(&job.program, job.no_memo);
         self.deadlines
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -312,7 +324,10 @@ impl ServerHandle {
 pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
-    let stack = SharedStack::new(config.retro.clone(), config.max_sessions);
+    let memo = config
+        .memo
+        .then(|| Arc::new(MemoStore::new(MemoConfig::default())));
+    let stack = SharedStack::new_with_memo(config.retro.clone(), config.max_sessions, memo);
     let inner = Arc::new(Inner {
         stack,
         metrics: Arc::new(Metrics::new()),
@@ -434,7 +449,7 @@ fn connection_loop(
                 let diagnostics = prepare(session, &program);
                 send(stream, &Response::Diagnostics { diagnostics })?;
             }
-            Request::Run { program } => {
+            Request::Run { program, no_memo } => {
                 let started = Instant::now();
                 let parsed = match parse_program(&program) {
                     Ok(p) => p,
@@ -451,7 +466,7 @@ fn connection_loop(
                         continue;
                     }
                 };
-                let Some(job) = inner.admit(parsed, Arc::clone(session)) else {
+                let Some(job) = inner.admit(parsed, no_memo, Arc::clone(session)) else {
                     send(
                         stream,
                         &Response::Error {
@@ -508,10 +523,11 @@ fn connection_loop(
             Request::Status => send(stream, &Response::Text(inner.status_line()))?,
             Request::Metrics { json } => {
                 let io = inner.stack.store().stats().snapshot();
+                let memo = inner.stack.memo_stats();
                 let text = if json {
-                    inner.metrics.render_json(&io)
+                    inner.metrics.render_json(&io, &memo)
                 } else {
-                    inner.metrics.render_human(&io)
+                    inner.metrics.render_human(&io, &memo)
                 };
                 send(stream, &Response::Text(text))?;
             }

@@ -128,6 +128,31 @@ struct CachedPage {
     rows: Vec<Row>,
 }
 
+/// One page's worth of exported scanner state (see [`ScannerSeed`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedPage {
+    /// Heap page id.
+    pub page: u64,
+    /// Chain successor as of the seeding scan.
+    pub next: Option<u64>,
+    /// Filtered rows of the page, in slot order.
+    pub rows: Vec<Row>,
+}
+
+/// A portable snapshot of a [`DeltaTableScanner`]'s cache, keyed by the
+/// (query fingerprint, snapshot) it was exported at. Importing a seed
+/// puts a scanner in exactly the state it had after scanning that
+/// snapshot, so the *next* scan in chain order stays on the delta path
+/// instead of rebuilding — this is what lets a memoized iteration keep
+/// the chain warm without re-reading any heap pages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScannerSeed {
+    /// Heap root page the cache was built from.
+    pub root: u64,
+    /// Per-page cache entries, in no particular order.
+    pub pages: Vec<SeedPage>,
+}
+
 /// A stateful scanner over one table's heap chain that re-reads only
 /// changed pages between consecutive scans.
 ///
@@ -162,6 +187,44 @@ impl DeltaTableScanner {
         self.root = None;
         self.cache.clear();
         self.valid = false;
+    }
+
+    /// Export the cache as a portable seed, or `None` if the scanner has
+    /// no usable state (never scanned, or invalidated).
+    pub fn export_seed(&self) -> Option<ScannerSeed> {
+        let root = match (self.valid, self.root) {
+            (true, Some(r)) => r.0,
+            _ => return None,
+        };
+        let pages = self
+            .cache
+            .iter()
+            .map(|(&page, entry)| SeedPage {
+                page,
+                next: entry.next.map(|p| p.0),
+                rows: entry.rows.clone(),
+            })
+            .collect();
+        Some(ScannerSeed { root, pages })
+    }
+
+    /// Replace the scanner's state with an imported seed. The caller
+    /// must guarantee the seed was exported for the same table, the same
+    /// filter, and the snapshot *preceding* the next scan in chain order
+    /// — the scanner itself can only check the root.
+    pub fn import_seed(&mut self, seed: ScannerSeed) {
+        self.cache.clear();
+        self.root = Some(PageId(seed.root));
+        for p in seed.pages {
+            self.cache.insert(
+                p.page,
+                CachedPage {
+                    next: p.next.map(PageId),
+                    rows: p.rows,
+                },
+            );
+        }
+        self.valid = true;
     }
 
     /// Scan the heap rooted at `root` through `src`, returning filtered
@@ -364,6 +427,18 @@ impl DeltaSelectRunner {
     /// scanner did not observe).
     pub fn invalidate(&mut self) {
         self.scanner.invalidate();
+    }
+
+    /// Export the underlying scanner's state (see
+    /// [`DeltaTableScanner::export_seed`]).
+    pub fn export_seed(&self) -> Option<ScannerSeed> {
+        self.scanner.export_seed()
+    }
+
+    /// Import scanner state previously exported at the preceding
+    /// snapshot of the chain (see [`DeltaTableScanner::import_seed`]).
+    pub fn import_seed(&mut self, seed: ScannerSeed) {
+        self.scanner.import_seed(seed);
     }
 
     /// Structural eligibility: a single FROM table and no joins. Cheap
@@ -610,6 +685,54 @@ mod tests {
         assert_eq!(scan2.removed, vec![vec![Value::Integer(5)]]);
         let expected = db.query_as_of(s2, "SELECT a FROM t").unwrap();
         assert_eq!(scan2.rows, expected.rows);
+    }
+
+    #[test]
+    fn seed_export_import_keeps_chain_delta() {
+        let db = small_page_db();
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)").unwrap();
+        for i in 0..60 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'padpadpad-{i}')"))
+                .unwrap();
+        }
+        let s1 = snapshot(&db);
+        db.execute("UPDATE t SET b = 'CHANGED' WHERE a = 30")
+            .unwrap();
+        let s2 = snapshot(&db);
+
+        let readers = db.store().open_snapshot_chain(&[s1, s2]).unwrap();
+        let select = parse_select("SELECT a, b FROM t").unwrap();
+        let udfs = UdfRegistry::new();
+
+        // Scan s1, export, and continue on a *fresh* runner via the seed.
+        let mut seeder = DeltaSelectRunner::new();
+        let c1 = Catalog::load(&readers[0]).unwrap();
+        seeder
+            .scan(&select, &readers[0], &c1, &udfs)
+            .unwrap()
+            .unwrap();
+        let seed = seeder.export_seed().expect("seed after scan");
+
+        let mut fresh = DeltaSelectRunner::new();
+        assert!(fresh.export_seed().is_none(), "fresh scanner has no seed");
+        fresh.import_seed(seed);
+        let c2 = Catalog::load(&readers[1]).unwrap();
+        let scan2 = fresh
+            .scan(&select, &readers[1], &c2, &udfs)
+            .unwrap()
+            .unwrap();
+        assert!(!scan2.rebuilt, "imported seed must keep the delta path");
+        assert!(scan2.pages_skipped > 0);
+        let expected = db.query_as_of(s2, "SELECT a, b FROM t").unwrap();
+        assert_eq!(scan2.rows, expected.rows);
+        assert_eq!(
+            scan2.added,
+            vec![vec![Value::Integer(30), Value::text("CHANGED")]]
+        );
+        assert_eq!(
+            scan2.removed,
+            vec![vec![Value::Integer(30), Value::text("padpadpad-30")]]
+        );
     }
 
     #[test]

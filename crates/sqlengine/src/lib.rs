@@ -46,7 +46,7 @@ pub use ast::{Expr, SelectStmt, Stmt};
 pub use cancel::{CancelCause, CancelToken};
 pub use catalog::{Catalog, IndexInfo, TableInfo};
 pub use db::{Database, ExecOutcome};
-pub use delta::{DeltaScan, DeltaSelectRunner, DeltaTableScanner};
+pub use delta::{DeltaScan, DeltaSelectRunner, DeltaTableScanner, ScannerSeed, SeedPage};
 pub use error::{Result, SqlError};
 pub use exec::QueryResult;
 pub use exec_stats::ExecStats;

@@ -3,8 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! rql [--addr ADDR] run <file.rql>...     execute programs, print tables
-//! rql [--addr ADDR] exec '<program>'      execute an inline program
+//! rql [--addr ADDR] [--no-memo] run <file.rql>...     execute programs, print tables
+//! rql [--addr ADDR] [--no-memo] exec '<program>'      execute an inline program
 //! rql [--addr ADDR] check <file.rql>...   analyzer pre-flight (PREPARE)
 //! rql [--addr ADDR] status                one-line server status
 //! rql [--addr ADDR] metrics [--json]      metrics snapshot
@@ -19,19 +19,27 @@ use std::process::ExitCode;
 
 use rql_repro::rqld::{Client, ClientError, WireResult};
 
-const USAGE: &str = "usage: rql [--addr ADDR] \
+const USAGE: &str = "usage: rql [--addr ADDR] [--no-memo] \
                      <run FILE...|exec PROGRAM|check FILE...|status|metrics [--json]|cancel ID|shutdown>";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7464".to_owned();
-    if args.first().is_some_and(|a| a == "--addr") {
-        if args.len() < 2 {
-            eprintln!("--addr needs a value");
-            return ExitCode::from(2);
+    let mut no_memo = false;
+    loop {
+        if args.first().is_some_and(|a| a == "--addr") {
+            if args.len() < 2 {
+                eprintln!("--addr needs a value");
+                return ExitCode::from(2);
+            }
+            addr = args[1].clone();
+            args.drain(..2);
+        } else if args.first().is_some_and(|a| a == "--no-memo") {
+            no_memo = true;
+            args.remove(0);
+        } else {
+            break;
         }
-        addr = args[1].clone();
-        args.drain(..2);
     }
     let Some(command) = args.first().cloned() else {
         eprintln!("{USAGE}");
@@ -48,9 +56,9 @@ fn main() -> ExitCode {
     };
 
     let outcome = match command.as_str() {
-        "run" => cmd_run(&mut client, rest),
+        "run" => cmd_run(&mut client, rest, no_memo),
         "exec" => match rest {
-            [program] => run_one(&mut client, program, "<inline>"),
+            [program] => run_one(&mut client, program, "<inline>", no_memo),
             _ => usage(),
         },
         "check" => cmd_check(&mut client, rest),
@@ -95,7 +103,7 @@ fn fail(e: ClientError) -> ExitCode {
     ExitCode::FAILURE
 }
 
-fn cmd_run(client: &mut Client, files: &[String]) -> Result<(), ExitCode> {
+fn cmd_run(client: &mut Client, files: &[String], no_memo: bool) -> Result<(), ExitCode> {
     if files.is_empty() {
         return usage();
     }
@@ -104,13 +112,13 @@ fn cmd_run(client: &mut Client, files: &[String]) -> Result<(), ExitCode> {
             eprintln!("rql: {file}: {e}");
             ExitCode::from(2)
         })?;
-        run_one(client, &src, file)?;
+        run_one(client, &src, file, no_memo)?;
     }
     Ok(())
 }
 
-fn run_one(client: &mut Client, program: &str, name: &str) -> Result<(), ExitCode> {
-    let result = client.run(program).map_err(fail)?;
+fn run_one(client: &mut Client, program: &str, name: &str, no_memo: bool) -> Result<(), ExitCode> {
+    let result = client.run_opts(program, no_memo).map_err(fail)?;
     print_result(name, &result);
     Ok(())
 }

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! rqld [--listen ADDR] [--workers N] [--queue N] [--max-sessions N]
-//!      [--timeout-ms N]
+//!      [--timeout-ms N] [--no-memo]
 //! ```
 //!
 //! Binds a TCP listener (default `127.0.0.1:7464`), bootstraps one
@@ -24,7 +24,7 @@ struct Options {
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     const USAGE: &str = "usage: rqld [--listen ADDR] [--workers N] [--queue N] \
-                         [--max-sessions N] [--timeout-ms N]";
+                         [--max-sessions N] [--timeout-ms N] [--no-memo]";
     let mut opts = Options {
         listen: "127.0.0.1:7464".into(),
         config: ServerConfig::default(),
@@ -59,6 +59,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--timeout-ms: {e}"))?;
                 opts.config.query_timeout = Some(Duration::from_millis(ms));
             }
+            "--no-memo" => opts.config.memo = false,
             "--help" | "-h" => return Err(USAGE.into()),
             flag => return Err(format!("unknown flag {flag}\n{USAGE}")),
         }

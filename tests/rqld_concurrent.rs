@@ -144,6 +144,92 @@ fn concurrent_clients_match_embedded_execution() {
     handle.wait();
 }
 
+/// Shared-memo differential: many clients race the same Qq set cold on
+/// one server (every lookup/insert interleaving lands on the shared
+/// [`MemoStore`]), and a memo-disabled server replays the identical
+/// workload — both must agree with the embedded oracle byte-for-byte,
+/// and only the memo-enabled server may show memo traffic.
+#[test]
+fn shared_memo_concurrent_clients_match_memo_off_server() {
+    let (memo_handle, memo_addr) = start_server(ServerConfig::default());
+    let (plain_handle, plain_addr) = start_server(ServerConfig {
+        memo: false,
+        ..ServerConfig::default()
+    });
+
+    let mut memo_admin = Client::connect(memo_addr).expect("connect");
+    memo_admin.run(SETUP).expect("setup");
+    let mut plain_admin = Client::connect(plain_addr).expect("connect");
+    plain_admin.run(SETUP).expect("setup");
+
+    let oracle = RqlSession::with_defaults().expect("embedded session");
+    let _ = embedded_rows(&oracle, SETUP);
+    let expected: Vec<Vec<Vec<Vec<Value>>>> =
+        QUERIES.iter().map(|q| embedded_rows(&oracle, q)).collect();
+
+    // 8 clients all start on query 0, so the cold memo is raced hard;
+    // then each walks the full mechanism mix.
+    const CLIENTS: usize = 8;
+    let results: Vec<Vec<Vec<Vec<Vec<Value>>>>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(memo_addr).expect("connect");
+                    QUERIES
+                        .iter()
+                        .map(|q| {
+                            let result = client.run(q).expect("run");
+                            result
+                                .tables
+                                .iter()
+                                .map(|t| t.rows.clone())
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    for (i, per_client) in results.iter().enumerate() {
+        for (j, got) in per_client.iter().enumerate() {
+            assert_eq!(got, &expected[j], "memo client {i}, query {j} diverged");
+        }
+    }
+
+    // The memo-off server serves the same answers.
+    for (j, q) in QUERIES.iter().enumerate() {
+        let result = plain_admin.run(q).expect("plain run");
+        let got: Vec<Vec<Vec<Value>>> = result.tables.iter().map(|t| t.rows.clone()).collect();
+        assert_eq!(got, expected[j], "memo-off server, query {j} diverged");
+    }
+
+    let get = |metrics: &str, name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing in:\n{metrics}"))
+    };
+    let memo_metrics = memo_admin.metrics(false).expect("metrics");
+    assert!(get(&memo_metrics, "memo_inserts") > 0, "{memo_metrics}");
+    assert!(
+        get(&memo_metrics, "memo_hits") > 0,
+        "8 clients replaying the same Qq must hit the shared memo:\n{memo_metrics}"
+    );
+    let plain_metrics = plain_admin.metrics(false).expect("metrics");
+    assert_eq!(get(&plain_metrics, "memo_hits"), 0);
+    assert_eq!(get(&plain_metrics, "memo_inserts"), 0);
+
+    memo_handle.shutdown();
+    memo_handle.wait();
+    plain_handle.shutdown();
+    plain_handle.wait();
+}
+
 /// A cross join big enough that cancellation/timeout lands mid-scan
 /// (cooperative checkpoints fire every 1024 rows).
 fn seed_slow_tables(client: &mut Client) {
