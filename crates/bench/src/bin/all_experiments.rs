@@ -6,13 +6,11 @@
 //! RQL_BENCH_FAST=1 cargo run --release -p rql-bench --bin all_experiments  # smoke run
 //! ```
 
-use std::time::Instant;
-
 use rql_bench::experiments;
-use rql_bench::harness::{bench_sf, cost_model};
+use rql_bench::harness::{bench_sf, cost_model, phase};
 
 fn main() {
-    let started = Instant::now();
+    let started = std::time::Instant::now();
     println!("# RQL reproduction — experimental results\n");
     println!(
         "Configuration: scale factor {}, modeled Pagelog read cost {:?}, page size 4 KiB.\n",
@@ -37,11 +35,11 @@ fn main() {
     ];
     let mut failures = 0;
     for (name, f) in sections {
-        let t = Instant::now();
-        match f() {
+        let (result, elapsed) = phase(name, f);
+        match result {
             Ok(md) => {
                 print!("{md}");
-                eprintln!("[{name}] done in {:?}", t.elapsed());
+                eprintln!("[{name}] done in {elapsed:?}");
             }
             Err(e) => {
                 println!("## {name}\n\nFAILED: {e}\n");
@@ -51,6 +49,12 @@ fn main() {
         }
     }
     eprintln!("all experiments finished in {:?}", started.elapsed());
+    // RQL_TRACE=out.json: export the phase spans for Perfetto.
+    match rql_trace::export_from_env() {
+        Some((path, Ok(()))) => eprintln!("trace written to {}", path.display()),
+        Some((path, Err(e))) => eprintln!("RQL_TRACE export to {} failed: {e}", path.display()),
+        None => {}
+    }
     if failures > 0 {
         std::process::exit(1);
     }

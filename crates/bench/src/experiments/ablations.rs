@@ -8,13 +8,11 @@
 //! 3. **Parallel iteration** — §7's future work: Qq phases executed on a
 //!    thread pool, byte-identical results, wall-clock speedup.
 
-use std::time::Instant;
-
 use rql_retro::RetroConfig;
 use rql_sqlengine::Result;
 use rql_tpch::{build_history, UW30};
 
-use crate::harness::{bench_config, bench_sf, fast_mode, run_from_cold};
+use crate::harness::{bench_config, bench_sf, fast_mode, phase, run_from_cold};
 use crate::queries::{QQ_AGG, QQ_IO};
 
 /// Run the ablations, returning a markdown section.
@@ -29,18 +27,20 @@ pub fn run() -> Result<String> {
         h.age_all_snapshots()?;
         let qs = h.qs(1, interval, 1);
         let pairs = vec![("cn".to_string(), rql::AggOp::Max)];
-        let t = Instant::now();
-        run_from_cold(&h.session, "abl_hash", || {
-            h.session
-                .aggregate_data_in_table(&qs, QQ_AGG, "abl_hash", &pairs)
-        })?;
-        let hash_time = t.elapsed();
-        let t = Instant::now();
-        run_from_cold(&h.session, "abl_merge", || {
-            h.session
-                .aggregate_data_in_table_sortmerge(&qs, QQ_AGG, "abl_merge", &pairs)
-        })?;
-        let merge_time = t.elapsed();
+        let (res, hash_time) = phase("ablation:agg-probe", || {
+            run_from_cold(&h.session, "abl_hash", || {
+                h.session
+                    .aggregate_data_in_table(&qs, QQ_AGG, "abl_hash", &pairs)
+            })
+        });
+        res?;
+        let (res, merge_time) = phase("ablation:agg-sortmerge", || {
+            run_from_cold(&h.session, "abl_merge", || {
+                h.session
+                    .aggregate_data_in_table_sortmerge(&qs, QQ_AGG, "abl_merge", &pairs)
+            })
+        });
+        res?;
         let same = {
             let a = h
                 .session
@@ -158,24 +158,26 @@ pub fn run() -> Result<String> {
         let mut h = build_history(bench_config(), bench_sf(), UW30, interval, false)?;
         h.age_all_snapshots()?;
         let qs = h.qs(1, interval, 1);
-        let t = Instant::now();
-        run_from_cold(&h.session, "abl_seq", || {
-            h.session.collate_data(&qs, QQ_IO, "abl_seq")
-        })?;
-        let seq = t.elapsed();
+        let (res, seq) = phase("ablation:collate-sequential", || {
+            run_from_cold(&h.session, "abl_seq", || {
+                h.session.collate_data(&qs, QQ_IO, "abl_seq")
+            })
+        });
+        res?;
         let threads = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
-        let t = Instant::now();
-        run_from_cold(&h.session, "abl_par", || {
-            rql::collate_data_parallel(
-                h.session.snap_db(),
-                h.session.aux_db(),
-                &qs,
-                QQ_IO,
-                "abl_par",
-                threads,
-            )
-        })?;
-        let par = t.elapsed();
+        let (res, par) = phase("ablation:collate-parallel", || {
+            run_from_cold(&h.session, "abl_par", || {
+                rql::collate_data_parallel(
+                    h.session.snap_db(),
+                    h.session.aux_db(),
+                    &qs,
+                    QQ_IO,
+                    "abl_par",
+                    threads,
+                )
+            })
+        });
+        res?;
         let same = {
             let a = h.session.query_aux("SELECT COUNT(*) FROM abl_seq")?;
             let b = h.session.query_aux("SELECT COUNT(*) FROM abl_par")?;

@@ -2,13 +2,13 @@
 //! aggregation with `CollateData` + a final SQL query vs.
 //! `AggregateDataInTable`, under UW30 with `Qq_agg`.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rql::{AggOp, RqlReport};
 use rql_sqlengine::Result;
 use rql_tpch::{build_history, SnapshotHistory, UW30};
 
-use crate::harness::{bench_config, bench_sf, fast_mode, run_from_cold};
+use crate::harness::{bench_config, bench_sf, fast_mode, phase, run_from_cold};
 use crate::queries::QQ_AGG;
 
 /// One approach's outcome.
@@ -64,9 +64,10 @@ pub fn run_collate(h: &SnapshotHistory, two_aggs: bool) -> Result<ApproachRun> {
     } else {
         format!("SELECT o_custkey, MAX(cn) AS cn, av FROM {table} GROUP BY o_custkey")
     };
-    let started = Instant::now();
-    let final_rows = h.session.query_aux(&final_query)?.rows.len();
-    let extra_query = started.elapsed();
+    let (final_rows, extra_query) = phase("collate:final-aggregation", || {
+        h.session.query_aux(&final_query).map(|r| r.rows.len())
+    });
+    let final_rows = final_rows?;
     let (result_bytes, result_rows) = measure_result_table(h, table)?;
     let aux_pages_written = h
         .session

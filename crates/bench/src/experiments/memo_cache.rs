@@ -18,7 +18,7 @@ use rql_memo::{MemoConfig, MemoStore};
 use rql_sqlengine::{Result, Row};
 use rql_tpch::{build_history, UW15};
 
-use crate::harness::{bench_config, bench_sf, cost_model, fast_mode, run_from_cold};
+use crate::harness::{bench_config, bench_sf, cost_model, fast_mode, phase, run_from_cold};
 use crate::queries::{QQ_INT, QQ_IO};
 
 const QS: &str = "SELECT snap_id FROM SnapIds";
@@ -79,19 +79,24 @@ pub fn run() -> Result<String> {
     let session = history.session;
 
     // Lane 1 — memo detached: what `rql --no-memo` / `rqld --no-memo`
-    // executes. Every iteration pays the full Qq.
+    // executes. Every iteration pays the full Qq. Each lane runs inside
+    // a trace phase so its wall time lands in `BENCH_memo.json` and in
+    // `RQL_TRACE` exports alike.
     session.set_memo(None);
-    let (nomemo_ms, nomemo_tables) = run_suite(&session, "n")?;
+    let (res, nomemo_wall) = phase("memo:lane-nomemo", || run_suite(&session, "n"));
+    let (nomemo_ms, nomemo_tables) = res?;
 
     // Lane 2 — memo attached, cold: live execution plus write-through
     // population of the cache.
     let memo = Arc::new(MemoStore::new(MemoConfig::default()));
     session.set_memo(Some(Arc::clone(&memo)));
-    let (cold_ms, cold_tables) = run_suite(&session, "c")?;
+    let (res, cold_wall) = phase("memo:lane-cold", || run_suite(&session, "c"));
+    let (cold_ms, cold_tables) = res?;
     let after_cold = memo.stats();
 
     // Lane 3 — memo attached, warm: the same Qq set replays from cache.
-    let (warm_ms, warm_tables) = run_suite(&session, "w")?;
+    let (res, warm_wall) = phase("memo:lane-warm", || run_suite(&session, "w"));
+    let (warm_ms, warm_tables) = res?;
     let stats = memo.stats();
 
     let identical = nomemo_tables == cold_tables && cold_tables == warm_tables;
@@ -113,8 +118,17 @@ pub fn run() -> Result<String> {
          \"warm_hit_rate\":{hit_rate:.4},\
          \"identical_results\":{identical},\
          \"memo_hits\":{},\"memo_misses\":{},\"memo_inserts\":{},\
-         \"memo_evictions\":{},\"memo_bytes\":{}}}\n",
-        stats.hits, stats.misses, stats.inserts, stats.evictions, stats.bytes,
+         \"memo_evictions\":{},\"memo_bytes\":{},\
+         \"phases\":{{\"nomemo_wall_ms\":{:.3},\"cold_wall_ms\":{:.3},\
+         \"warm_wall_ms\":{:.3}}}}}\n",
+        stats.hits,
+        stats.misses,
+        stats.inserts,
+        stats.evictions,
+        stats.bytes,
+        nomemo_wall.as_secs_f64() * 1e3,
+        cold_wall.as_secs_f64() * 1e3,
+        warm_wall.as_secs_f64() * 1e3,
     );
     // Best-effort artifact: the markdown is the primary output.
     let _ = std::fs::write("BENCH_memo.json", &json);

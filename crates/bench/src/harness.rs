@@ -47,6 +47,19 @@ pub fn cost_model() -> IoCostModel {
     }
 }
 
+/// Time one bench phase: emits a labeled [`rql_trace::SpanId::BenchPhase`]
+/// span (so `RQL_TRACE=out.json` exports carry the phase breakdown) and
+/// returns the phase's wall time alongside the closure's result. This is
+/// the harness's replacement for ad-hoc `Instant::now()` pairs — every
+/// phase timed this way shows up consistently in both the markdown
+/// report and the trace export.
+pub fn phase<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, Duration) {
+    let _span = rql_trace::span_labeled(rql_trace::SpanId::BenchPhase, name);
+    let started = std::time::Instant::now();
+    let out = f();
+    (out, started.elapsed())
+}
+
 /// Cost of an *all-cold* run over `sids` with query `qq`: every
 /// iteration starts with an empty snapshot-page cache, so each fetches
 /// exactly what a stand-alone snapshot query would (paper §5.1).
@@ -68,6 +81,8 @@ pub fn all_cold_run(session: &RqlSession, sids: &[u64], qq: &str) -> Result<RqlR
             qq_rows: result.rows.len() as u64,
             result_inserts: 0,
             result_updates: 0,
+            memo_hit: false,
+            wall: Duration::ZERO,
         });
     }
     Ok(report)

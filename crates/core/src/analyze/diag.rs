@@ -63,11 +63,12 @@ pub enum Code {
     ForcedDeltaUdfInWhere,
     IncrementalUnavailable,
     MemoIneligible,
+    ProfiledUdfOpaque,
 }
 
 impl Code {
     /// Every code, for registry-coverage assertions.
-    pub const ALL: [Code; 36] = [
+    pub const ALL: [Code; 37] = [
         Code::UnknownTable,
         Code::UnknownColumn,
         Code::UnknownFunction,
@@ -104,6 +105,7 @@ impl Code {
         Code::ForcedDeltaUdfInWhere,
         Code::IncrementalUnavailable,
         Code::MemoIneligible,
+        Code::ProfiledUdfOpaque,
     ];
 
     /// The stable code string, e.g. `"RQL002"`.
@@ -145,6 +147,7 @@ impl Code {
             Code::ForcedDeltaUdfInWhere => "RQL205",
             Code::IncrementalUnavailable => "RQL206",
             Code::MemoIneligible => "RQL207",
+            Code::ProfiledUdfOpaque => "RQL208",
         }
     }
 
@@ -199,6 +202,10 @@ impl Code {
             Code::MemoIneligible => {
                 "Qq calls a user-defined function; its per-snapshot results are never memoized"
             }
+            Code::ProfiledUdfOpaque => {
+                "Qq calls a user-defined function; the profile report cannot attribute its \
+                 time to engine phases"
+            }
         }
     }
 
@@ -210,9 +217,10 @@ impl Code {
             | Code::QsNonIntegerColumn
             | Code::CurrentSnapshotInStringLiteral
             | Code::AsOfInStringLiteral => Severity::Warning,
-            Code::AutoDeltaFallback | Code::IncrementalUnavailable | Code::MemoIneligible => {
-                Severity::Info
-            }
+            Code::AutoDeltaFallback
+            | Code::IncrementalUnavailable
+            | Code::MemoIneligible
+            | Code::ProfiledUdfOpaque => Severity::Info,
             _ => Severity::Error,
         }
     }

@@ -123,6 +123,18 @@ pub fn analyze_mechanism_call(
                 SourceKind::Qq,
                 None,
             ));
+            // Profiling opacity (RQL208) rides along with RQL207: the
+            // same UDF call that defeats the memo also hides its time
+            // from the profile's engine-phase breakdown — it lands in
+            // the iteration's eval bucket undifferentiated.
+            diags.push(Diagnostic::new(
+                Code::ProfiledUdfOpaque,
+                "Qq calls a user-defined function, so a profiled session \
+                 cannot attribute its time to engine phases (it is folded \
+                 into eval undifferentiated)",
+                SourceKind::Qq,
+                None,
+            ));
         }
     }
     let delta = policy.map(|p| explain_delta(call.kind, facts.qq_parsed.as_ref(), p, &mut diags));

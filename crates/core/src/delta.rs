@@ -187,11 +187,19 @@ pub(crate) fn collate_data_delta_with_memo(
     };
     let mut exists = false;
     for (&sid, reader) in ids.iter().zip(readers.iter()) {
+        let _qq_span = rql_trace::span_arg(rql_trace::SpanId::QqIteration, sid);
+        let iter_started = Instant::now();
         snap.cancel_token().check()?;
         let rewritten = rewrite_select(&parsed, sid);
         let cached = memo
             .as_ref()
             .and_then(|m| m.lookup_result(reader, &parsed, sid));
+        let memo_hit = cached.is_some();
+        if memo_hit {
+            rql_trace::instant_arg(rql_trace::SpanId::MemoHit, sid);
+        } else if memo.is_some() {
+            rql_trace::instant_arg(rql_trace::SpanId::MemoMiss, sid);
+        }
         let result = match cached {
             Some(r) => {
                 // Keep the chain delta across the skipped execution: the
@@ -209,6 +217,7 @@ pub(crate) fn collate_data_delta_with_memo(
             }
             None => match snap.delta_query(reader, &rewritten, &mut runner)? {
                 Some(r) => {
+                    rql_trace::instant_arg(rql_trace::SpanId::DeltaPath, sid);
                     if let Some(m) = &memo {
                         m.record_result(reader, &parsed, sid, &r);
                         if let Some(seed) = runner.export_seed() {
@@ -221,6 +230,7 @@ pub(crate) fn collate_data_delta_with_memo(
                     if policy == DeltaPolicy::Forced {
                         return Err(forced_runtime_error(sid));
                     }
+                    rql_trace::instant_arg(rql_trace::SpanId::SeqPath, sid);
                     let outcome = snap.execute_stmt(&Stmt::Select(rewritten))?;
                     let r = outcome.rows().expect("SELECT yields rows");
                     if let Some(m) = &memo {
@@ -248,6 +258,8 @@ pub(crate) fn collate_data_delta_with_memo(
             qq_rows: result.rows.len() as u64,
             result_inserts: inserts,
             result_updates: updates,
+            memo_hit,
+            wall: iter_started.elapsed(),
         });
     }
     Ok(report)
@@ -708,12 +720,15 @@ pub(crate) fn aggregate_data_in_variable_delta_with_memo(
         ..Default::default()
     };
     for (&sid, reader) in ids.iter().zip(readers.iter()) {
+        let _qq_span = rql_trace::span_arg(rql_trace::SpanId::QqIteration, sid);
+        let iter_started = Instant::now();
         snap.cancel_token().check()?;
         let rewritten = rewrite_select(&parsed, sid);
         if let Some(result) = memo
             .as_ref()
             .and_then(|m| m.lookup_result(reader, &parsed, sid))
         {
+            rql_trace::instant_arg(rql_trace::SpanId::MemoHit, sid);
             // Memo hit: chain continuity as in CollateData — re-prime the
             // runner from the memoized seed. The running inner aggregate
             // cannot absorb a skipped iteration, so it goes stale and
@@ -741,8 +756,13 @@ pub(crate) fn aggregate_data_in_variable_delta_with_memo(
                 qq_rows: result.rows.len() as u64,
                 result_inserts: 0,
                 result_updates: 0,
+                memo_hit: true,
+                wall: iter_started.elapsed(),
             });
             continue;
+        }
+        if memo.is_some() {
+            rql_trace::instant_arg(rql_trace::SpanId::MemoMiss, sid);
         }
         let (value, qq_stats, qq_rows) = match snap.delta_scan(reader, &rewritten, &mut runner)? {
             None => {
@@ -751,6 +771,7 @@ pub(crate) fn aggregate_data_in_variable_delta_with_memo(
                 }
                 // Ordinary plan; the runner has self-invalidated, so the
                 // next successful scan rebuilds and re-seeds.
+                rql_trace::instant_arg(rql_trace::SpanId::SeqPath, sid);
                 inner = None;
                 let outcome = snap.execute_stmt(&Stmt::Select(rewritten))?;
                 let result = outcome.rows().expect("SELECT yields rows");
@@ -764,6 +785,7 @@ pub(crate) fn aggregate_data_in_variable_delta_with_memo(
                 (v, result.stats, result.rows.len() as u64)
             }
             Some((scan, mut stats)) => {
+                rql_trace::instant_arg(rql_trace::SpanId::DeltaPath, sid);
                 let incremental = !degraded && !scan.rebuilt && inner.is_some();
                 let mut applied = None;
                 if incremental {
@@ -848,8 +870,11 @@ pub(crate) fn aggregate_data_in_variable_delta_with_memo(
             qq_rows,
             result_inserts: 0,
             result_updates: 0,
+            memo_hit: false,
+            wall: iter_started.elapsed(),
         });
     }
+    let _fin_span = rql_trace::span(rql_trace::SpanId::Finalize);
     let finalize_started = Instant::now();
     let column = column.unwrap_or_else(|| "value".to_owned());
     mechanism::create_result_table_pub(aux, table, &[column])?;

@@ -65,6 +65,7 @@ pub mod delta;
 pub mod mechanism;
 pub mod memoize;
 pub mod parallel;
+pub mod profile;
 pub mod report;
 pub mod rewrite;
 pub mod session;
@@ -83,6 +84,7 @@ pub use delta::{
 pub use mechanism::{END_SNAPSHOT_COL, START_SNAPSHOT_COL};
 pub use memoize::{memo_eligible, page_version_vector, qq_fingerprint};
 pub use parallel::{aggregate_data_in_variable_parallel, collate_data_parallel};
+pub use profile::{MechanismProfile, QueryProfile, SnapshotCost};
 pub use report::{IterationReport, RqlReport};
 pub use rewrite::{
     render_select, rewrite_select, rewrite_sql, uses_current_snapshot, CURRENT_SNAPSHOT,

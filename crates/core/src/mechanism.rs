@@ -80,6 +80,7 @@ fn run_loop(
     memo: MemoHandle,
     mut body: impl FnMut(usize, u64, &QueryResult) -> Result<(u64, u64)>,
 ) -> Result<RqlReport> {
+    let _qs_span = rql_trace::span(rql_trace::SpanId::QsLoop);
     let (ids, qs_time) = snapshot_set(aux, qs)?;
     let parsed: SelectStmt = parse_select(qq)?;
     if parsed.as_of.is_some() {
@@ -93,6 +94,8 @@ fn run_loop(
         ..Default::default()
     };
     for (i, &sid) in ids.iter().enumerate() {
+        let _qq_span = rql_trace::span_arg(rql_trace::SpanId::QqIteration, sid);
+        let iter_started = Instant::now();
         // Cancellation checkpoint between snapshots: a `CANCEL` that
         // lands mid-loop stops before the next Qq opens its snapshot
         // (row-batch checkpoints inside the executor cover the rest).
@@ -100,23 +103,30 @@ fn run_loop(
         // Snapshots are immutable, so a memoized Qq result at `sid` is
         // byte-identical to re-execution; hits skip the executor (and
         // report zeroed Qq stats — no pages read, nothing evaluated).
-        let result = match memo
+        let (result, memo_hit) = match memo
             .as_ref()
             .and_then(|m| m.lookup_result_seq(snap, &parsed, sid))
         {
-            Some(cached) => cached,
+            Some(cached) => {
+                rql_trace::instant_arg(rql_trace::SpanId::MemoHit, sid);
+                (cached, true)
+            }
             None => {
+                if memo.is_some() {
+                    rql_trace::instant_arg(rql_trace::SpanId::MemoMiss, sid);
+                }
                 let rewritten = rewrite_select(&parsed, sid);
                 let outcome = snap.execute_stmt(&Stmt::Select(rewritten))?;
                 let result = outcome.rows().expect("SELECT yields rows");
                 if let Some(m) = &memo {
                     m.record_result_seq(snap, &parsed, sid, &result);
                 }
-                result
+                (result, false)
             }
         };
         let udf_started = Instant::now();
         let (result_inserts, result_updates) = body(i, sid, &result)?;
+        rql_trace::instant_arg(rql_trace::SpanId::RowsFolded, result.rows.len() as u64);
         report.iterations.push(IterationReport {
             snap_id: sid,
             qq_stats: result.stats,
@@ -124,6 +134,8 @@ fn run_loop(
             qq_rows: result.rows.len() as u64,
             result_inserts,
             result_updates,
+            memo_hit,
+            wall: iter_started.elapsed(),
         });
     }
     Ok(report)
@@ -306,6 +318,7 @@ pub(crate) fn aggregate_data_in_variable_with_memo(
         }
         Ok((0, 0))
     })?;
+    let _fin_span = rql_trace::span(rql_trace::SpanId::Finalize);
     let finalize_started = Instant::now();
     let column = column.unwrap_or_else(|| "value".to_owned());
     create_result_table(aux, table, &[column])?;

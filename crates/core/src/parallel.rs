@@ -116,6 +116,8 @@ fn reports_from(results: &[(u64, QueryResult)]) -> Vec<IterationReport> {
             qq_rows: r.rows.len() as u64,
             result_inserts: 0,
             result_updates: 0,
+            memo_hit: false,
+            wall: std::time::Duration::ZERO,
         })
         .collect()
 }

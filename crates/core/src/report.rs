@@ -27,6 +27,13 @@ pub struct IterationReport {
     /// Rows updated in the result table this iteration (§5.2: SUM updates
     /// every group, MAX only the groups whose maximum changed).
     pub result_updates: u64,
+    /// Whether the Qq result came from the memo store (hits skip the
+    /// executor, so `qq_stats` is zeroed for them).
+    pub memo_hit: bool,
+    /// Wall-clock time of the whole iteration: Qq execution (or memo
+    /// lookup) plus result folding. The profile report's per-snapshot
+    /// cost table is built from this.
+    pub wall: Duration,
 }
 
 impl IterationReport {
@@ -94,6 +101,11 @@ impl RqlReport {
         self.iterations.iter().map(|i| i.result_updates).sum()
     }
 
+    /// Iterations whose Qq result was served from the memo store.
+    pub fn memo_hits(&self) -> u64 {
+        self.iterations.iter().filter(|i| i.memo_hit).count() as u64
+    }
+
     /// The first (cold) iteration, if any.
     pub fn cold(&self) -> Option<&IterationReport> {
         self.iterations.first()
@@ -129,6 +141,8 @@ mod tests {
             qq_rows: 10,
             result_inserts: 0,
             result_updates: 0,
+            memo_hit: false,
+            wall: Duration::from_millis(eval_ms + udf_ms),
         }
     }
 

@@ -365,6 +365,7 @@ impl MemoStore {
     /// it; `pvv` returning `None` means "unverifiable" and misses. A
     /// stale entry (pvv mismatch) is dropped from both tiers.
     pub fn lookup(&self, key: &MemoKey, pvv: impl FnOnce() -> Option<u64>) -> Option<MemoValue> {
+        let _span = rql_trace::span(rql_trace::SpanId::MemoProbe);
         let idx = self.shard_of(key);
         let mem_pvv = self.shards[idx].lock().map.get(key).map(|e| e.pvv);
         let spill_path = if mem_pvv.is_none() {
@@ -434,6 +435,7 @@ impl MemoStore {
     /// to the spill tier when configured; evicts least-recently-used
     /// entries until the shard is back under budget.
     pub fn insert(&self, key: MemoKey, pvv: u64, value: MemoValue) {
+        let _span = rql_trace::span(rql_trace::SpanId::MemoInsert);
         self.stats.inserts.fetch_add(1, Ordering::Relaxed);
         self.spill_write(&key, pvv, &value);
         self.insert_mem(key, pvv, value);
@@ -513,6 +515,7 @@ impl MemoStore {
         let Some(path) = self.spill_path(key) else {
             return;
         };
+        let _span = rql_trace::span(rql_trace::SpanId::MemoSpillWrite);
         let mut payload = Vec::new();
         value.encode(&mut payload);
         let mut frame = Vec::with_capacity(payload.len() + 45);
@@ -553,6 +556,7 @@ impl MemoStore {
     /// Returns `(stored_pvv, value)`; any fault counts a `spill_error`,
     /// removes the file and returns `None` (the caller recomputes).
     fn spill_read(&self, key: &MemoKey, path: &Path) -> Option<(u64, MemoValue)> {
+        let _span = rql_trace::span(rql_trace::SpanId::MemoSpillRead);
         let fault = || {
             self.stats.spill_errors.fetch_add(1, Ordering::Relaxed);
             let _ = fs::remove_file(path);

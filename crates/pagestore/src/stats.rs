@@ -7,9 +7,15 @@
 //! [`IoCostModel`] converts counted Pagelog reads into a modeled latency so
 //! the figures keep their shape on hardware where the OS page cache would
 //! otherwise hide the I/O.
+//!
+//! Each `count_*` method also emits the matching trace instant, so the
+//! event stream and the counters come from the *same call sites* and can
+//! never disagree (DESIGN.md §9).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use rql_trace::{instant, instant_arg, SpanId};
 
 /// Monotonic event counters for a store.
 ///
@@ -43,42 +49,49 @@ impl IoStats {
     #[inline]
     pub fn count_db_read(&self) {
         self.db_reads.fetch_add(1, Ordering::Relaxed);
+        instant(SpanId::DbRead);
     }
 
     /// Record a buffer-cache hit.
     #[inline]
     pub fn count_cache_hit(&self) {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        instant(SpanId::CacheHit);
     }
 
     /// Record a Pagelog fetch (disk I/O in the paper's setup).
     #[inline]
     pub fn count_pagelog_read(&self) {
         self.pagelog_reads.fetch_add(1, Ordering::Relaxed);
+        instant(SpanId::PagelogRead);
     }
 
     /// Record a COW pre-state capture.
     #[inline]
     pub fn count_cow_capture(&self) {
         self.cow_captures.fetch_add(1, Ordering::Relaxed);
+        instant(SpanId::CowCapture);
     }
 
     /// Record a committed page write.
     #[inline]
     pub fn count_page_written(&self) {
         self.pages_written.fetch_add(1, Ordering::Relaxed);
+        instant(SpanId::PageWrite);
     }
 
     /// Record `n` Maplog entries scanned during an SPT build.
     #[inline]
     pub fn count_maplog_scanned(&self, n: u64) {
         self.maplog_entries_scanned.fetch_add(n, Ordering::Relaxed);
+        instant_arg(SpanId::MaplogScan, n);
     }
 
     /// Record a buffer-cache eviction.
     #[inline]
     pub fn count_cache_eviction(&self) {
         self.cache_evictions.fetch_add(1, Ordering::Relaxed);
+        instant(SpanId::CacheEviction);
     }
 
     /// Snapshot the counters.

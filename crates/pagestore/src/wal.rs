@@ -84,6 +84,7 @@ impl Wal {
         rec.extend_from_slice(&ck.to_le_bytes());
         self.storage.append(&rec)?;
         if self.sync_on_commit {
+            let _span = rql_trace::span(rql_trace::SpanId::WalFsync);
             self.storage.sync()?;
         }
         Ok(())

@@ -286,12 +286,16 @@ impl RetroStore {
     /// state as the pre-state, so whichever source the reader ends up
     /// using returns identical bytes.
     pub fn open_snapshot(self: &Arc<Self>, sid: u64) -> Result<SnapshotReader> {
+        let _span = rql_trace::span_arg(rql_trace::SpanId::ChainOpen, sid);
         let meta = self
             .snapshot_meta(sid)
             .ok_or_else(|| StoreError::Corrupt(format!("unknown snapshot {sid}")))?;
         let view = self.pager.view();
         let start = Instant::now();
-        let scan = self.maplog.read().build_spt(sid, self.config.use_skippy)?;
+        let scan = {
+            let _spt = rql_trace::span_arg(rql_trace::SpanId::SptBuild, sid);
+            self.maplog.read().build_spt(sid, self.config.use_skippy)?
+        };
         let duration = start.elapsed();
         self.stats().count_maplog_scanned(scan.entries_scanned);
         let spt = Spt::new(sid, meta.page_count, scan.map);
@@ -317,6 +321,7 @@ impl RetroStore {
     /// scans consume. The same ordering invariant as [`Self::open_snapshot`]
     /// holds: every view is pinned before any SPT is built.
     pub fn open_snapshot_chain(self: &Arc<Self>, ids: &[u64]) -> Result<Vec<SnapshotReader>> {
+        let _span = rql_trace::span_arg(rql_trace::SpanId::ChainOpen, ids.len() as u64);
         let mut metas = Vec::with_capacity(ids.len());
         for &sid in ids {
             metas.push(
@@ -327,7 +332,10 @@ impl RetroStore {
         let views: Vec<DbView> = ids.iter().map(|_| self.pager.view()).collect();
         let maplog = self.maplog.read();
         let start = Instant::now();
-        let scans = maplog.build_spt_chain(ids, self.config.use_skippy)?;
+        let scans = {
+            let _spt = rql_trace::span_arg(rql_trace::SpanId::SptBuild, ids.len() as u64);
+            maplog.build_spt_chain(ids, self.config.use_skippy)?
+        };
         let duration = start.elapsed();
         let mut changed: Vec<Option<HashSet<rql_pagestore::PageId>>> =
             Vec::with_capacity(ids.len());

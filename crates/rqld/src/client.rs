@@ -9,7 +9,7 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::protocol::{
-    read_frame, write_frame, ProtoError, Request, Response, WireDiagnostic, WireResult,
+    read_frame, write_frame, ProtoError, Request, Response, WireDiagnostic, WireProfile, WireResult,
 };
 
 /// Client-side errors: transport/decode trouble, or a server `ERROR`
@@ -124,6 +124,19 @@ impl Client {
         }
     }
 
+    /// Execute a program and ask for the per-snapshot cost profile along
+    /// with the results (the wire form of `rql --profile`).
+    pub fn profile(&mut self, program: &str, no_memo: bool) -> Result<WireProfile> {
+        match self.round_trip(&Request::Profile {
+            program: program.into(),
+            no_memo,
+        })? {
+            Response::Profile(profile) => Ok(profile),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("expected PROFILE")),
+        }
+    }
+
     /// Cancel another session's in-flight query by its `HELLO` id.
     pub fn cancel(&mut self, session: u64) -> Result<()> {
         match self.round_trip(&Request::Cancel { session })? {
@@ -135,7 +148,17 @@ impl Client {
 
     /// One-line server status.
     pub fn status(&mut self) -> Result<String> {
-        match self.round_trip(&Request::Status)? {
+        match self.round_trip(&Request::Status { flight: false })? {
+            Response::Text(text) => Ok(text),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("expected TEXT")),
+        }
+    }
+
+    /// Status plus the server's flight-recorder dump (live ring and the
+    /// dump frozen at the last failed job, if any).
+    pub fn status_flight(&mut self) -> Result<String> {
+        match self.round_trip(&Request::Status { flight: true })? {
             Response::Text(text) => Ok(text),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             _ => Err(ClientError::Unexpected("expected TEXT")),

@@ -1,102 +1,55 @@
 //! Server metrics: counters, gauges and a log-bucketed latency
 //! histogram, rendered for the `METRICS` verb in human and JSON form.
 //!
-//! Everything is lock-free relaxed atomics — metrics are statistics,
-//! not synchronization (the same discipline as `pagestore::stats`).
+//! The counter and histogram *types* live in `rql-trace` (they are the
+//! observability layer's primitives; this module used to own them and
+//! re-exports [`LatencyHistogram`] for compatibility). This registry
+//! holds the server-level instances and the render logic — field names
+//! and order are a wire-stable surface consumed by dashboards, so the
+//! migration onto trace counters kept the output byte-identical.
 //! Page-level I/O counters are not duplicated here: the exporter takes
 //! the shared store's `IoStatsSnapshot` at render time, so `METRICS`
 //! reflects exactly what the execution layer counted.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
 use rql_memo::MemoStatsSnapshot;
 use rql_pagestore::IoStatsSnapshot;
+use rql_trace::Counter;
 
-/// Latency histogram with power-of-two microsecond buckets:
-/// bucket `i` counts samples in `[2^i, 2^(i+1))` µs (bucket 0 is `<2µs`).
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; 32],
-    count: AtomicU64,
-    sum_micros: AtomicU64,
-}
-
-impl LatencyHistogram {
-    /// Record one sample.
-    pub fn record(&self, latency: Duration) {
-        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let idx = (64 - micros.leading_zeros() as usize).min(31);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_micros(&self) -> u64 {
-        self.sum_micros
-            .load(Ordering::Relaxed)
-            .checked_div(self.count())
-            .unwrap_or(0)
-    }
-
-    /// Upper bound (µs) of the bucket containing quantile `q` in `[0,1]`.
-    /// Bucketed, so the value is exact to within a factor of two.
-    pub fn quantile_micros(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << i;
-            }
-        }
-        1u64 << 31
-    }
-}
+pub use rql_trace::LatencyHistogram;
 
 /// The server's metrics registry.
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Queries accepted for execution (RUN statements admitted).
-    pub queries_total: AtomicU64,
+    pub queries_total: Counter,
     /// Queries that completed successfully.
-    pub queries_ok: AtomicU64,
+    pub queries_ok: Counter,
     /// Queries that failed with an error (including cancellations).
-    pub queries_failed: AtomicU64,
+    pub queries_failed: Counter,
     /// Queries cancelled by client `CANCEL` (subset of failed).
-    pub queries_cancelled: AtomicU64,
+    pub queries_cancelled: Counter,
     /// Queries killed by the per-query deadline (subset of failed).
-    pub queries_timed_out: AtomicU64,
+    pub queries_timed_out: Counter,
     /// Requests rejected at admission (queue full).
-    pub admission_rejected: AtomicU64,
+    pub admission_rejected: Counter,
     /// PREPARE requests served.
-    pub prepares_total: AtomicU64,
+    pub prepares_total: Counter,
     /// Mechanism loop iterations (Qq executions) across all queries.
-    pub qq_iterations: AtomicU64,
+    pub qq_iterations: Counter,
     /// Qq rows produced across all queries.
-    pub qq_rows: AtomicU64,
+    pub qq_rows: Counter,
     /// Heap pages skipped by delta-driven iteration.
-    pub pages_skipped: AtomicU64,
+    pub pages_skipped: Counter,
     /// Result rows shipped to clients.
-    pub rows_returned: AtomicU64,
+    pub rows_returned: Counter,
     /// Currently open client connections.
-    pub connections_open: AtomicU64,
+    pub connections_open: Counter,
     /// Connections accepted since start.
-    pub connections_total: AtomicU64,
+    pub connections_total: Counter,
     /// Jobs waiting in the admission queue right now.
-    pub queue_depth: AtomicU64,
+    pub queue_depth: Counter,
     /// Jobs executing right now.
-    pub in_flight: AtomicU64,
+    pub in_flight: Counter,
     /// End-to-end query latency.
     pub latency: LatencyHistogram,
 }
@@ -108,42 +61,39 @@ impl Metrics {
     }
 
     /// Bump a counter by 1.
-    pub fn inc(&self, counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub fn inc(&self, counter: &Counter) {
+        counter.inc();
     }
 
     /// Bump a counter by `n`.
-    pub fn add(&self, counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    pub fn add(&self, counter: &Counter, n: u64) {
+        counter.add(n);
     }
 
     /// Decrement a gauge (saturating at zero).
-    pub fn dec(&self, gauge: &AtomicU64) {
-        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-            Some(v.saturating_sub(1))
-        });
+    pub fn dec(&self, gauge: &Counter) {
+        gauge.dec();
     }
 
     /// Every scalar as a stable `(name, value)` list; the histogram adds
     /// its derived `latency_*` entries.
     pub fn fields(&self) -> Vec<(&'static str, u64)> {
-        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
         vec![
-            ("queries_total", g(&self.queries_total)),
-            ("queries_ok", g(&self.queries_ok)),
-            ("queries_failed", g(&self.queries_failed)),
-            ("queries_cancelled", g(&self.queries_cancelled)),
-            ("queries_timed_out", g(&self.queries_timed_out)),
-            ("admission_rejected", g(&self.admission_rejected)),
-            ("prepares_total", g(&self.prepares_total)),
-            ("qq_iterations", g(&self.qq_iterations)),
-            ("qq_rows", g(&self.qq_rows)),
-            ("pages_skipped", g(&self.pages_skipped)),
-            ("rows_returned", g(&self.rows_returned)),
-            ("connections_open", g(&self.connections_open)),
-            ("connections_total", g(&self.connections_total)),
-            ("queue_depth", g(&self.queue_depth)),
-            ("in_flight", g(&self.in_flight)),
+            ("queries_total", self.queries_total.get()),
+            ("queries_ok", self.queries_ok.get()),
+            ("queries_failed", self.queries_failed.get()),
+            ("queries_cancelled", self.queries_cancelled.get()),
+            ("queries_timed_out", self.queries_timed_out.get()),
+            ("admission_rejected", self.admission_rejected.get()),
+            ("prepares_total", self.prepares_total.get()),
+            ("qq_iterations", self.qq_iterations.get()),
+            ("qq_rows", self.qq_rows.get()),
+            ("pages_skipped", self.pages_skipped.get()),
+            ("rows_returned", self.rows_returned.get()),
+            ("connections_open", self.connections_open.get()),
+            ("connections_total", self.connections_total.get()),
+            ("queue_depth", self.queue_depth.get()),
+            ("in_flight", self.in_flight.get()),
             ("latency_count", self.latency.count()),
             ("latency_mean_micros", self.latency.mean_micros()),
             ("latency_p50_micros", self.latency.quantile_micros(0.50)),
@@ -205,6 +155,8 @@ impl Metrics {
 mod tests {
     #![allow(clippy::unwrap_used)]
 
+    use std::time::Duration;
+
     use super::*;
 
     #[test]
@@ -264,6 +216,37 @@ mod tests {
     fn gauge_dec_saturates() {
         let m = Metrics::new();
         m.dec(&m.queue_depth);
-        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 0);
+        assert_eq!(m.queue_depth.get(), 0);
+    }
+
+    #[test]
+    fn field_order_is_wire_stable() {
+        // Dashboards key on this exact sequence; the trace-counter
+        // migration must never reorder or rename it.
+        let names: Vec<&str> = Metrics::new().fields().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "queries_total",
+                "queries_ok",
+                "queries_failed",
+                "queries_cancelled",
+                "queries_timed_out",
+                "admission_rejected",
+                "prepares_total",
+                "qq_iterations",
+                "qq_rows",
+                "pages_skipped",
+                "rows_returned",
+                "connections_open",
+                "connections_total",
+                "queue_depth",
+                "in_flight",
+                "latency_count",
+                "latency_mean_micros",
+                "latency_p50_micros",
+                "latency_p99_micros",
+            ]
+        );
     }
 }

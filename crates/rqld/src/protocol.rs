@@ -74,6 +74,8 @@ pub mod op {
     pub const METRICS: u8 = 0x05;
     /// Graceful drain: finish queued work, then stop.
     pub const SHUTDOWN: u8 = 0x06;
+    /// Execute a program and return its result plus a profile report.
+    pub const PROFILE: u8 = 0x07;
 }
 
 /// Server → client frames.
@@ -90,6 +92,8 @@ pub mod resp {
     pub const TEXT: u8 = 0x85;
     /// Bare acknowledgement (`CANCEL`, `SHUTDOWN`).
     pub const OK: u8 = 0x86;
+    /// `PROFILE` reply: a `RESULT` body plus profile renderings.
+    pub const PROFILE: u8 = 0x87;
 }
 
 // ---- frame I/O -------------------------------------------------------
@@ -263,7 +267,11 @@ pub enum Request {
         session: u64,
     },
     /// One-line server status.
-    Status,
+    Status {
+        /// Append a flight-recorder dump to the status line. Encoded as
+        /// an optional trailing byte, so v0 clients decode as `false`.
+        flight: bool,
+    },
     /// Metrics snapshot.
     Metrics {
         /// `true` → JSON, `false` → human-readable table.
@@ -271,6 +279,13 @@ pub enum Request {
     },
     /// Graceful drain and stop.
     Shutdown,
+    /// Execute a program, returning results plus a profile report.
+    Profile {
+        /// The `.rql` program text.
+        program: String,
+        /// Skip the server's shared memo store (as in [`Request::Run`]).
+        no_memo: bool,
+    },
 }
 
 impl Request {
@@ -291,12 +306,24 @@ impl Request {
                 w.put_u64(*session);
                 (op::CANCEL, w.into_bytes())
             }
-            Request::Status => (op::STATUS, Vec::new()),
+            Request::Status { flight } => {
+                // The flag is only written when set, keeping the plain
+                // STATUS frame byte-identical to v0.
+                if *flight {
+                    w.put_u8(1);
+                }
+                (op::STATUS, w.into_bytes())
+            }
             Request::Metrics { json } => {
                 w.put_u8(u8::from(*json));
                 (op::METRICS, w.into_bytes())
             }
             Request::Shutdown => (op::SHUTDOWN, Vec::new()),
+            Request::Profile { program, no_memo } => {
+                w.put_str(program);
+                w.put_u8(u8::from(*no_memo));
+                (op::PROFILE, w.into_bytes())
+            }
         }
     }
 
@@ -318,11 +345,18 @@ impl Request {
             op::CANCEL => Ok(Request::Cancel {
                 session: r.get_u64()?,
             }),
-            op::STATUS => Ok(Request::Status),
+            op::STATUS => Ok(Request::Status {
+                flight: r.get_u8().is_ok_and(|b| b != 0),
+            }),
             op::METRICS => Ok(Request::Metrics {
                 json: r.get_u8()? != 0,
             }),
             op::SHUTDOWN => Ok(Request::Shutdown),
+            op::PROFILE => {
+                let program = r.get_str()?;
+                let no_memo = r.get_u8().is_ok_and(|b| b != 0);
+                Ok(Request::Profile { program, no_memo })
+            }
             t => Err(ProtoError::BadTag(t)),
         }
     }
@@ -383,6 +417,95 @@ pub struct WireResult {
     pub elapsed_micros: u64,
 }
 
+/// `PROFILE` reply payload: the run's result plus the server-rendered
+/// profile report in both human and JSON form (the server renders, so
+/// every client — CLI, scripts — shows identical tables).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireProfile {
+    /// The same body a `RUN` would return.
+    pub result: WireResult,
+    /// Human tree rendering of the per-snapshot cost table.
+    pub human: String,
+    /// JSON rendering of the same profile.
+    pub json: String,
+}
+
+impl WireResult {
+    /// Encode into an existing payload (shared by `RESULT` and
+    /// `PROFILE`).
+    fn encode_into(&self, w: &mut PayloadWriter) {
+        w.put_u32(self.tables.len() as u32);
+        for t in &self.tables {
+            w.put_u32(t.columns.len() as u32);
+            for c in &t.columns {
+                w.put_str(c);
+            }
+            w.put_u32(t.rows.len() as u32);
+            for row in &t.rows {
+                w.put_u32(row.len() as u32);
+                for v in row {
+                    w.put_value(v);
+                }
+            }
+        }
+        w.put_u32(self.reports.len() as u32);
+        for r in &self.reports {
+            w.put_str(&r.table);
+            w.put_u64(r.iterations);
+            w.put_u64(r.qq_rows);
+            w.put_u64(r.pages_skipped);
+            w.put_u64(r.pagelog_reads);
+            w.put_u64(r.cache_hits);
+        }
+        w.put_u32(self.snapshots.len() as u32);
+        for s in &self.snapshots {
+            w.put_u64(*s);
+        }
+        w.put_u64(self.elapsed_micros);
+    }
+
+    /// Decode from a payload cursor (shared by `RESULT` and `PROFILE`).
+    fn decode_from(r: &mut PayloadReader<'_>) -> Result<WireResult> {
+        let mut res = WireResult::default();
+        let ntables = r.get_u32()?;
+        for _ in 0..ntables {
+            let ncols = r.get_u32()?;
+            let mut columns = Vec::with_capacity(ncols as usize);
+            for _ in 0..ncols {
+                columns.push(r.get_str()?);
+            }
+            let nrows = r.get_u32()?;
+            let mut rows = Vec::with_capacity(nrows as usize);
+            for _ in 0..nrows {
+                let nvals = r.get_u32()?;
+                let mut row = Vec::with_capacity(nvals as usize);
+                for _ in 0..nvals {
+                    row.push(r.get_value()?);
+                }
+                rows.push(row);
+            }
+            res.tables.push(WireTable { columns, rows });
+        }
+        let nreports = r.get_u32()?;
+        for _ in 0..nreports {
+            res.reports.push(WireReport {
+                table: r.get_str()?,
+                iterations: r.get_u64()?,
+                qq_rows: r.get_u64()?,
+                pages_skipped: r.get_u64()?,
+                pagelog_reads: r.get_u64()?,
+                cache_hits: r.get_u64()?,
+            });
+        }
+        let nsnaps = r.get_u32()?;
+        for _ in 0..nsnaps {
+            res.snapshots.push(r.get_u64()?);
+        }
+        res.elapsed_micros = r.get_u64()?;
+        Ok(res)
+    }
+}
+
 /// A decoded server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -409,6 +532,8 @@ pub enum Response {
     Text(String),
     /// Bare acknowledgement.
     Ok,
+    /// `PROFILE` reply.
+    Profile(WireProfile),
 }
 
 impl Response {
@@ -438,35 +563,14 @@ impl Response {
                 (resp::DIAGNOSTICS, w.into_bytes())
             }
             Response::Result(res) => {
-                w.put_u32(res.tables.len() as u32);
-                for t in &res.tables {
-                    w.put_u32(t.columns.len() as u32);
-                    for c in &t.columns {
-                        w.put_str(c);
-                    }
-                    w.put_u32(t.rows.len() as u32);
-                    for row in &t.rows {
-                        w.put_u32(row.len() as u32);
-                        for v in row {
-                            w.put_value(v);
-                        }
-                    }
-                }
-                w.put_u32(res.reports.len() as u32);
-                for r in &res.reports {
-                    w.put_str(&r.table);
-                    w.put_u64(r.iterations);
-                    w.put_u64(r.qq_rows);
-                    w.put_u64(r.pages_skipped);
-                    w.put_u64(r.pagelog_reads);
-                    w.put_u64(r.cache_hits);
-                }
-                w.put_u32(res.snapshots.len() as u32);
-                for s in &res.snapshots {
-                    w.put_u64(*s);
-                }
-                w.put_u64(res.elapsed_micros);
+                res.encode_into(&mut w);
                 (resp::RESULT, w.into_bytes())
+            }
+            Response::Profile(p) => {
+                p.result.encode_into(&mut w);
+                w.put_str(&p.human);
+                w.put_str(&p.json);
+                (resp::PROFILE, w.into_bytes())
             }
             Response::Error { code, message } => {
                 w.put_str(code);
@@ -509,44 +613,16 @@ impl Response {
                 }
                 Ok(Response::Diagnostics { diagnostics })
             }
-            resp::RESULT => {
-                let mut res = WireResult::default();
-                let ntables = r.get_u32()?;
-                for _ in 0..ntables {
-                    let ncols = r.get_u32()?;
-                    let mut columns = Vec::with_capacity(ncols as usize);
-                    for _ in 0..ncols {
-                        columns.push(r.get_str()?);
-                    }
-                    let nrows = r.get_u32()?;
-                    let mut rows = Vec::with_capacity(nrows as usize);
-                    for _ in 0..nrows {
-                        let nvals = r.get_u32()?;
-                        let mut row = Vec::with_capacity(nvals as usize);
-                        for _ in 0..nvals {
-                            row.push(r.get_value()?);
-                        }
-                        rows.push(row);
-                    }
-                    res.tables.push(WireTable { columns, rows });
-                }
-                let nreports = r.get_u32()?;
-                for _ in 0..nreports {
-                    res.reports.push(WireReport {
-                        table: r.get_str()?,
-                        iterations: r.get_u64()?,
-                        qq_rows: r.get_u64()?,
-                        pages_skipped: r.get_u64()?,
-                        pagelog_reads: r.get_u64()?,
-                        cache_hits: r.get_u64()?,
-                    });
-                }
-                let nsnaps = r.get_u32()?;
-                for _ in 0..nsnaps {
-                    res.snapshots.push(r.get_u64()?);
-                }
-                res.elapsed_micros = r.get_u64()?;
-                Ok(Response::Result(res))
+            resp::RESULT => Ok(Response::Result(WireResult::decode_from(&mut r)?)),
+            resp::PROFILE => {
+                let result = WireResult::decode_from(&mut r)?;
+                let human = r.get_str()?;
+                let json = r.get_str()?;
+                Ok(Response::Profile(WireProfile {
+                    result,
+                    human,
+                    json,
+                }))
             }
             resp::ERROR => Ok(Response::Error {
                 code: r.get_str()?,
@@ -596,10 +672,28 @@ mod tests {
             no_memo: true,
         });
         roundtrip_request(Request::Cancel { session: 42 });
-        roundtrip_request(Request::Status);
+        roundtrip_request(Request::Status { flight: false });
+        roundtrip_request(Request::Status { flight: true });
         roundtrip_request(Request::Metrics { json: true });
         roundtrip_request(Request::Metrics { json: false });
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Profile {
+            program: "SELECT 1;".into(),
+            no_memo: true,
+        });
+    }
+
+    #[test]
+    fn plain_status_stays_byte_identical_to_v0() {
+        // `flight: false` must encode to an empty payload — the exact
+        // v0 STATUS frame — and a v0 frame must decode as non-flight.
+        let (opc, payload) = Request::Status { flight: false }.encode();
+        assert_eq!(opc, op::STATUS);
+        assert!(payload.is_empty());
+        assert_eq!(
+            Request::decode(op::STATUS, &[]).unwrap(),
+            Request::Status { flight: false }
+        );
     }
 
     #[test]
@@ -645,6 +739,23 @@ mod tests {
             }],
             snapshots: vec![1, 2, 3],
             elapsed_micros: 1234,
+        }));
+        roundtrip_response(Response::Profile(WireProfile {
+            result: WireResult {
+                tables: Vec::new(),
+                reports: vec![WireReport {
+                    table: "r".into(),
+                    iterations: 2,
+                    qq_rows: 8,
+                    pages_skipped: 0,
+                    pagelog_reads: 5,
+                    cache_hits: 1,
+                }],
+                snapshots: vec![1, 2],
+                elapsed_micros: 99,
+            },
+            human: "profile: 1 mechanism call(s)\n".into(),
+            json: "{\"mechanisms\":[]}".into(),
         }));
     }
 

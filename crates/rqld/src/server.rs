@@ -34,7 +34,8 @@ use rql_retro::RetroConfig;
 use crate::metrics::Metrics;
 use crate::pool::{ServerSession, SharedStack};
 use crate::protocol::{
-    read_frame, write_frame, Request, Response, WireDiagnostic, WireReport, WireResult, WireTable,
+    read_frame, write_frame, Request, Response, WireDiagnostic, WireProfile, WireReport,
+    WireResult, WireTable,
 };
 
 /// Admission / pool sizing knobs.
@@ -53,6 +54,9 @@ pub struct ServerConfig {
     /// Share one Qq memoization store across all sessions (`--no-memo`
     /// turns this off for the whole server).
     pub memo: bool,
+    /// Log queries slower than this to stderr (`--slow-ms N`); `None`
+    /// disables the slow-query log.
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +68,7 @@ impl Default for ServerConfig {
             query_timeout: None,
             retro: RetroConfig::new(),
             memo: true,
+            slow_query: None,
         }
     }
 }
@@ -105,6 +110,10 @@ struct Inner {
     next_job: AtomicU64,
     shutting_down: AtomicBool,
     started: Instant,
+    /// Flight-recorder dump captured at the last failed job (watchdog
+    /// timeout, cancellation, Qq error), served by `STATUS --flight`
+    /// even after the ring has moved on.
+    last_flight: Mutex<Option<String>>,
 }
 
 impl Inner {
@@ -144,6 +153,7 @@ impl Inner {
         };
         self.metrics.inc(&self.metrics.queries_total);
         self.metrics.inc(&self.metrics.queue_depth);
+        rql_trace::instant_arg(rql_trace::SpanId::JobAdmit, job.id);
         self.queue_cv.notify_one();
         Some(job)
     }
@@ -173,6 +183,7 @@ impl Inner {
             };
             self.metrics.dec(&self.metrics.queue_depth);
             self.metrics.inc(&self.metrics.in_flight);
+            rql_trace::instant_arg(rql_trace::SpanId::JobDequeue, job.id);
             self.run_job(&job);
             self.metrics.dec(&self.metrics.in_flight);
         }
@@ -189,11 +200,36 @@ impl Inner {
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .insert(job.id, (job.admitted + timeout, Arc::clone(&job.session)));
         }
-        let result = job.session.run_program_opts(&job.program, job.no_memo);
+        let result = {
+            let _span = rql_trace::span_arg(rql_trace::SpanId::JobRun, job.id);
+            job.session.run_program_opts(&job.program, job.no_memo)
+        };
         self.deadlines
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .remove(&job.id);
+
+        // Any failure freezes the flight recorder: the ring keeps
+        // rolling, but the dump at the moment of the error is what a
+        // post-mortem needs (`STATUS --flight` serves it).
+        if result.is_err() {
+            *self
+                .last_flight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) =
+                Some(rql_trace::flight_dump());
+        }
+        if let Some(threshold) = self.config.slow_query {
+            let elapsed = job.admitted.elapsed();
+            if elapsed >= threshold {
+                eprintln!(
+                    "rqld: slow query: job {} took {:.1}ms (threshold {:.1}ms)",
+                    job.id,
+                    elapsed.as_secs_f64() * 1e3,
+                    threshold.as_secs_f64() * 1e3,
+                );
+            }
+        }
 
         match &result {
             Ok(run) => {
@@ -270,9 +306,9 @@ impl Inner {
             "rqld up {}s, sessions={}, queue={}/{}, in_flight={}, snapshots={}",
             self.started.elapsed().as_secs(),
             self.stack.active_sessions(),
-            self.metrics.queue_depth.load(Ordering::Relaxed),
+            self.metrics.queue_depth.get(),
             self.config.queue_capacity,
-            self.metrics.in_flight.load(Ordering::Relaxed),
+            self.metrics.in_flight.get(),
             self.stack.snapshot_log_len(),
         )
     }
@@ -339,6 +375,7 @@ pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Serve
         next_job: AtomicU64::new(1),
         shutting_down: AtomicBool::new(false),
         started: Instant::now(),
+        last_flight: Mutex::new(None),
     });
 
     let workers = (0..inner.config.workers.max(1))
@@ -381,6 +418,7 @@ fn send(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
 
 fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
+    rql_trace::instant(rql_trace::SpanId::ConnAccept);
     inner.metrics.inc(&inner.metrics.connections_total);
     let session = match inner.stack.checkout() {
         Ok(s) => Arc::new(s),
@@ -451,50 +489,37 @@ fn connection_loop(
             }
             Request::Run { program, no_memo } => {
                 let started = Instant::now();
-                let parsed = match parse_program(&program) {
-                    Ok(p) => p,
-                    Err(d) => {
-                        inner.metrics.inc(&inner.metrics.queries_total);
-                        inner.metrics.inc(&inner.metrics.queries_failed);
-                        send(
-                            stream,
-                            &Response::Error {
-                                code: d.code.as_str().into(),
-                                message: d.message,
-                            },
-                        )?;
-                        continue;
-                    }
-                };
-                let Some(job) = inner.admit(parsed, no_memo, Arc::clone(session)) else {
-                    send(
-                        stream,
-                        &Response::Error {
-                            code: ADMISSION_CODE.into(),
-                            message: "server busy: admission queue full or draining".into(),
-                        },
-                    )?;
+                let Some(outcome) = submit(inner, stream, session, &program, no_memo)? else {
                     continue;
-                };
-                let outcome = {
-                    let mut slot = job
-                        .slot
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    loop {
-                        if let Some(outcome) = slot.take() {
-                            break outcome;
-                        }
-                        slot = job
-                            .done
-                            .wait(slot)
-                            .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    }
                 };
                 match outcome {
                     Ok(run) => {
                         let wire = wire_result(&run, started.elapsed());
                         send(stream, &Response::Result(wire))?;
+                        rql_trace::instant(rql_trace::SpanId::JobReply);
+                    }
+                    Err(e) => send(stream, &error_response(&e))?,
+                }
+            }
+            Request::Profile { program, no_memo } => {
+                // Same admission/execution path as RUN; the response adds
+                // the per-snapshot cost breakdown derived from the run's
+                // own reports (so it reconciles with METRICS by
+                // construction).
+                let started = Instant::now();
+                let Some(outcome) = submit(inner, stream, session, &program, no_memo)? else {
+                    continue;
+                };
+                match outcome {
+                    Ok(run) => {
+                        let profile = rql::QueryProfile::from_run(&run);
+                        let wire = WireProfile {
+                            result: wire_result(&run, started.elapsed()),
+                            human: profile.render_human(false),
+                            json: profile.render_json(false),
+                        };
+                        send(stream, &Response::Profile(wire))?;
+                        rql_trace::instant(rql_trace::SpanId::JobReply);
                     }
                     Err(e) => send(stream, &error_response(&e))?,
                 }
@@ -520,7 +545,25 @@ fn connection_loop(
                     )?,
                 }
             }
-            Request::Status => send(stream, &Response::Text(inner.status_line()))?,
+            Request::Status { flight } => {
+                let mut text = inner.status_line();
+                if flight {
+                    // Live ring contents first, then the dump frozen at
+                    // the last failed job (if any survived one).
+                    text.push('\n');
+                    text.push_str(&rql_trace::flight_dump());
+                    let last = inner
+                        .last_flight
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .clone();
+                    if let Some(dump) = last {
+                        text.push_str("\n--- last failure ---\n");
+                        text.push_str(&dump);
+                    }
+                }
+                send(stream, &Response::Text(text))?;
+            }
             Request::Metrics { json } => {
                 let io = inner.stack.store().stats().snapshot();
                 let memo = inner.stack.memo_stats();
@@ -538,6 +581,59 @@ fn connection_loop(
             }
         }
     }
+}
+
+/// Parse, admit and execute one program, blocking on the job slot.
+/// Returns `Ok(None)` when a parse or admission failure was already
+/// answered on the wire (the caller just continues its loop).
+fn submit(
+    inner: &Arc<Inner>,
+    stream: &mut TcpStream,
+    session: &Arc<ServerSession>,
+    program: &str,
+    no_memo: bool,
+) -> io::Result<Option<Result<ProgramRun, SqlError>>> {
+    let parsed = match parse_program(program) {
+        Ok(p) => p,
+        Err(d) => {
+            inner.metrics.inc(&inner.metrics.queries_total);
+            inner.metrics.inc(&inner.metrics.queries_failed);
+            send(
+                stream,
+                &Response::Error {
+                    code: d.code.as_str().into(),
+                    message: d.message,
+                },
+            )?;
+            return Ok(None);
+        }
+    };
+    let Some(job) = inner.admit(parsed, no_memo, Arc::clone(session)) else {
+        send(
+            stream,
+            &Response::Error {
+                code: ADMISSION_CODE.into(),
+                message: "server busy: admission queue full or draining".into(),
+            },
+        )?;
+        return Ok(None);
+    };
+    let outcome = {
+        let mut slot = job
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(outcome) = slot.take() {
+                break outcome;
+            }
+            slot = job
+                .done
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    };
+    Ok(Some(outcome))
 }
 
 /// The server's own address as seen from this connection (used to poke

@@ -322,6 +322,7 @@ fn scan_base_table<S: PageSource>(
     plan: &mut Vec<String>,
     cancel: Option<&CancelToken>,
 ) -> Result<Vec<Row>> {
+    let _span = rql_trace::span(rql_trace::SpanId::Scan);
     let (_, info) = binding;
     let heap = info.heap();
     let applicable: Vec<usize> = conjuncts
@@ -425,6 +426,7 @@ fn join_next_table<S: PageSource>(
     plan: &mut Vec<String>,
     cancel: Option<&CancelToken>,
 ) -> Result<Vec<Row>> {
+    let _span = rql_trace::span(rql_trace::SpanId::Join);
     let (_, info) = binding;
     let heap = info.heap();
     let prefix_width = range.0;
@@ -569,17 +571,20 @@ fn join_next_table<S: PageSource>(
                     ));
                     let build_start = Instant::now();
                     let mut hash: HashMap<GroupKey, Vec<Row>> = HashMap::new();
-                    heap.scan(src, |_, trow| {
-                        checkpoint()?;
-                        let padded = pad(&trow);
-                        if local_keep(&padded)? {
-                            let key_val = eval(&this_side, &padded, &[])?;
-                            if !key_val.is_null() {
-                                hash.entry(GroupKey(vec![key_val])).or_default().push(trow);
+                    {
+                        let _idx_span = rql_trace::span(rql_trace::SpanId::IndexBuild);
+                        heap.scan(src, |_, trow| {
+                            checkpoint()?;
+                            let padded = pad(&trow);
+                            if local_keep(&padded)? {
+                                let key_val = eval(&this_side, &padded, &[])?;
+                                if !key_val.is_null() {
+                                    hash.entry(GroupKey(vec![key_val])).or_default().push(trow);
+                                }
                             }
-                        }
-                        Ok(true)
-                    })?;
+                            Ok(true)
+                        })?;
+                    }
                     *index_creation += build_start.elapsed();
                     for prow in &prefix_rows {
                         let key_val = eval(&prefix_side, prow, &[])?;

@@ -1,0 +1,143 @@
+//! Aggregated counters and the latency histogram.
+//!
+//! These are the trace layer's *summary* side: relaxed atomics bumped
+//! on the hot path and read at render time. `rqld`'s metrics registry
+//! builds on these types directly, so the `METRICS` verb and the
+//! per-query `PROFILE` report draw from one accounting layer and can
+//! never disagree. (Formerly `rqld::metrics::LatencyHistogram`; moved
+//! here so embedded users get the same machinery without a server.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically-written relaxed counter (also usable as a gauge via
+/// [`Counter::dec`], which saturates at zero).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Fresh zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract 1, saturating at zero (gauge semantics).
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Latency histogram with power-of-two microsecond buckets:
+/// bucket `i` counts samples in `[2^i, 2^(i+1))` µs (bucket 0 is `<2µs`).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 32],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Record one sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - micros.leading_zeros() as usize).min(31);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> u64 {
+        self.sum_micros
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Upper bound (µs) of the bucket containing quantile `q` in `[0,1]`.
+    /// Bucketed, so the value is exact to within a factor of two.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << 31
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_inc_add_dec_saturate() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        for _ in 0..10 {
+            c.dec();
+        }
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(50));
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_micros(0.50);
+        assert!((64..=256).contains(&p50), "p50={p50}");
+        let p99 = h.quantile_micros(0.99);
+        assert!(p99 <= 256, "p99 covers the 100µs mass, got {p99}");
+        let p100 = h.quantile_micros(1.0);
+        assert!(p100 >= 32_768, "max sample is 50ms, got {p100}");
+        assert!(h.mean_micros() >= 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_micros(0.99), 0);
+        assert_eq!(h.mean_micros(), 0);
+    }
+}

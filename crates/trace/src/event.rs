@@ -1,0 +1,188 @@
+//! The event vocabulary: a closed set of span identities plus the
+//! enter/exit/instant kinds they occur as.
+//!
+//! Everything here is plain-old-data on purpose. A [`SpanId`] is a
+//! `u16`-sized enum — not an interned string — so recording an event
+//! never allocates and never chases a pointer; names and categories are
+//! `&'static str` tables resolved only at *decode* time (export, flight
+//! dump). Free-form text enters the system exclusively through
+//! [`crate::label`], a tiny registry of `&'static str` labels interned
+//! once per call site.
+
+/// How a [`SpanId`] occurs in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A scoped span opened (duration not yet known).
+    Enter = 0,
+    /// A scoped span closed; the event carries the full duration.
+    Exit = 1,
+    /// A point event with no duration.
+    Instant = 2,
+}
+
+impl EventKind {
+    /// Decode from the packed representation.
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        match v {
+            0 => Some(EventKind::Enter),
+            1 => Some(EventKind::Exit),
+            2 => Some(EventKind::Instant),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! span_ids {
+    ($( $(#[$doc:meta])* $variant:ident = ($num:literal, $name:literal, $cat:literal), )+) => {
+        /// Identity of a traced operation, one variant per instrumented
+        /// site class across the stack.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u16)]
+        #[non_exhaustive]
+        pub enum SpanId {
+            $( $(#[$doc])* $variant = $num, )+
+        }
+
+        impl SpanId {
+            /// Every registered span id (decode-side iteration).
+            pub const ALL: &'static [SpanId] = &[ $( SpanId::$variant, )+ ];
+
+            /// Stable lower-snake event name (Chrome-trace `name`).
+            pub fn name(self) -> &'static str {
+                match self { $( SpanId::$variant => $name, )+ }
+            }
+
+            /// Subsystem category (Chrome-trace `cat`).
+            pub fn category(self) -> &'static str {
+                match self { $( SpanId::$variant => $cat, )+ }
+            }
+
+            /// Decode from the packed representation.
+            pub fn from_u16(v: u16) -> Option<SpanId> {
+                match v {
+                    $( $num => Some(SpanId::$variant), )+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+span_ids! {
+    // -- pagestore -----------------------------------------------------
+    /// A page fetched from the base database file.
+    DbRead = (1, "db_read", "pagestore"),
+    /// A page fetched from the Pagelog archive.
+    PagelogRead = (2, "pagelog_read", "pagestore"),
+    /// A page written back through the pager.
+    PageWrite = (3, "page_write", "pagestore"),
+    /// Buffer-cache hit.
+    CacheHit = (4, "cache_hit", "pagestore"),
+    /// Buffer-cache eviction.
+    CacheEviction = (5, "cache_eviction", "pagestore"),
+    /// Pre-image captured copy-on-write into the Pagelog.
+    CowCapture = (6, "cow_capture", "pagestore"),
+    /// Maplog entries scanned while resolving a snapshot (arg = count).
+    MaplogScan = (7, "maplog_scan", "pagestore"),
+    /// WAL durability sync (fsync analog).
+    WalFsync = (8, "wal_fsync", "pagestore"),
+    // -- retro ---------------------------------------------------------
+    /// Snapshot chain opened for reading (arg = snapshot id).
+    ChainOpen = (16, "chain_open", "retro"),
+    /// Snapshot page table built/located (arg = snapshot id).
+    SptBuild = (17, "spt_build", "retro"),
+    // -- sqlengine -----------------------------------------------------
+    /// Base-table scan (arg = rows produced).
+    Scan = (32, "scan", "sqlengine"),
+    /// Join step against one more table (arg = rows produced).
+    Join = (33, "join", "sqlengine"),
+    /// Ad-hoc index build inside a query (paper §5, Figure 9).
+    IndexBuild = (34, "index_build", "sqlengine"),
+    // -- core (RQL mechanisms) -----------------------------------------
+    /// Qs evaluated on the auxiliary database (arg = snapshots found).
+    QsLoop = (48, "qs", "rql"),
+    /// One Qq iteration (arg = snapshot id).
+    QqIteration = (49, "qq_iteration", "rql"),
+    /// Memoized Qq result served (arg = snapshot id).
+    MemoHit = (50, "memo_hit", "rql"),
+    /// Memo probed and missed; Qq executed live (arg = snapshot id).
+    MemoMiss = (51, "memo_miss", "rql"),
+    /// Rows folded into the result table (arg = row count).
+    RowsFolded = (52, "rows_folded", "rql"),
+    /// Iteration took the delta-driven path (arg = snapshot id).
+    DeltaPath = (53, "delta_path", "rql"),
+    /// Iteration took the sequential fallback path (arg = snapshot id).
+    SeqPath = (54, "seq_path", "rql"),
+    /// Mechanism finalization (e.g. AggVariable result materialization).
+    Finalize = (55, "finalize", "rql"),
+    // -- memo ----------------------------------------------------------
+    /// Memo store probe (lookup).
+    MemoProbe = (64, "memo_probe", "memo"),
+    /// Memo store insert.
+    MemoInsert = (65, "memo_insert", "memo"),
+    /// Spill-tier write.
+    MemoSpillWrite = (66, "memo_spill_write", "memo"),
+    /// Spill-tier read-back.
+    MemoSpillRead = (67, "memo_spill_read", "memo"),
+    // -- rqld ----------------------------------------------------------
+    /// Connection accepted.
+    ConnAccept = (80, "conn_accept", "rqld"),
+    /// RUN job admitted to the queue (arg = job id).
+    JobAdmit = (81, "job_admit", "rqld"),
+    /// RUN job pulled from the queue by a worker (arg = job id).
+    JobDequeue = (82, "job_dequeue", "rqld"),
+    /// RUN job executing on a worker (arg = job id).
+    JobRun = (83, "job_run", "rqld"),
+    /// Response frame written back to the client (arg = job id).
+    JobReply = (84, "job_reply", "rqld"),
+    // -- bench ---------------------------------------------------------
+    /// A named experiment phase (label = phase name).
+    BenchPhase = (96, "bench_phase", "bench"),
+}
+
+/// One decoded trace event, as read back from the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (total order of ring claims).
+    pub seq: u64,
+    /// Enter / exit / instant.
+    pub kind: EventKind,
+    /// What happened.
+    pub span: SpanId,
+    /// Recording thread (stable per-thread ordinal, not an OS tid).
+    pub tid: u64,
+    /// Nanoseconds since the process trace epoch.
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds (exit events; zero otherwise).
+    pub dur_nanos: u64,
+    /// Free argument (snapshot id, row count, job id — see [`SpanId`]).
+    pub arg: u64,
+    /// Optional interned label (bench phase names).
+    pub label: Option<&'static str>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_ids_roundtrip_and_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &id in SpanId::ALL {
+            assert_eq!(SpanId::from_u16(id as u16), Some(id));
+            assert!(seen.insert(id as u16), "duplicate span number {id:?}");
+            assert!(!id.name().is_empty());
+            assert!(!id.category().is_empty());
+        }
+        assert_eq!(SpanId::from_u16(0xFFFF), None);
+    }
+
+    #[test]
+    fn event_kinds_roundtrip() {
+        for kind in [EventKind::Enter, EventKind::Exit, EventKind::Instant] {
+            assert_eq!(EventKind::from_u8(kind as u8), Some(kind));
+        }
+        assert_eq!(EventKind::from_u8(9), None);
+    }
+}

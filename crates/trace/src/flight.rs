@@ -1,0 +1,187 @@
+//! The flight recorder: render the ring's recent history for humans,
+//! dump it on panic, and verify enter/exit discipline.
+//!
+//! The global ring is always recording (unless `RQL_TRACE_OFF`), so
+//! "the flight recorder" is not a separate buffer — it is a bounded
+//! view over the same ring, formatted as one event per line. `rqld`
+//! dumps it on watchdog timeouts, Qq errors and `STATUS --flight`;
+//! [`install_panic_hook`] wires it to panics for any binary.
+
+use std::fmt::Write as _;
+use std::sync::Once;
+
+use crate::event::{EventKind, TraceEvent};
+use crate::ring::global;
+
+/// Most-recent events included in a flight dump.
+pub const FLIGHT_DUMP_EVENTS: usize = 256;
+
+/// Render the last [`FLIGHT_DUMP_EVENTS`] events of the global ring,
+/// newest last. Always returns at least a header line, so callers can
+/// embed the dump unconditionally.
+pub fn flight_dump() -> String {
+    let events = global().snapshot();
+    let tail_start = events.len().saturating_sub(FLIGHT_DUMP_EVENTS);
+    let tail = &events[tail_start..];
+    let mut out = format!(
+        "flight recorder: {} of {} retained events (ring capacity {}, {} recorded)\n",
+        tail.len(),
+        events.len(),
+        global().capacity(),
+        global().recorded(),
+    );
+    for e in tail {
+        render_line(&mut out, e);
+    }
+    out
+}
+
+fn render_line(out: &mut String, e: &TraceEvent) {
+    let kind = match e.kind {
+        EventKind::Enter => ">",
+        EventKind::Exit => "<",
+        EventKind::Instant => "*",
+    };
+    let _ = write!(
+        out,
+        "  [{:>8}] t{:<3} {:>12.3}ms {} {}/{}",
+        e.seq,
+        e.tid,
+        e.start_nanos as f64 / 1e6,
+        kind,
+        e.span.category(),
+        e.span.name(),
+    );
+    if e.kind == EventKind::Exit {
+        let _ = write!(out, " dur={:.3}ms", e.dur_nanos as f64 / 1e6);
+    }
+    if e.arg != 0 {
+        let _ = write!(out, " arg={}", e.arg);
+    }
+    if let Some(label) = e.label {
+        let _ = write!(out, " label={label}");
+    }
+    out.push('\n');
+}
+
+/// Install a panic hook that writes a flight dump to stderr (once per
+/// process; chains to the previous hook). Idempotent.
+pub fn install_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            previous(info);
+            eprintln!("{}", flight_dump());
+        }));
+    });
+}
+
+/// Verify stack discipline over a drained event sequence: per thread, in
+/// sequence order, every exit must match the innermost open enter.
+///
+/// The check is wrap-tolerant — an exit whose enter was overwritten by
+/// ring wraparound matches nothing in the reconstructed stack and is
+/// ignored; only a *crossing* (an exit closing a span that is open but
+/// not innermost) is an error, because that is exactly what a leaked
+/// guard on a cancel/timeout path would produce.
+pub fn check_balanced(events: &[TraceEvent]) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut stacks: HashMap<u64, Vec<&TraceEvent>> = HashMap::new();
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.seq);
+    for e in sorted {
+        let stack = stacks.entry(e.tid).or_default();
+        match e.kind {
+            EventKind::Enter => stack.push(e),
+            EventKind::Exit => {
+                match stack.last() {
+                    Some(top) if top.span == e.span && top.start_nanos == e.start_nanos => {
+                        stack.pop();
+                    }
+                    _ if stack
+                        .iter()
+                        .any(|open| open.span == e.span && open.start_nanos == e.start_nanos) =>
+                    {
+                        return Err(format!(
+                            "crossed spans on thread {}: exit of {:?} (seq {}) closes a \
+                             non-innermost enter",
+                            e.tid, e.span, e.seq
+                        ));
+                    }
+                    // Enter lost to wraparound: nothing to match.
+                    _ => {}
+                }
+            }
+            EventKind::Instant => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::event::SpanId;
+
+    fn ev(seq: u64, kind: EventKind, span: SpanId, tid: u64, start: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            kind,
+            span,
+            tid,
+            start_nanos: start,
+            dur_nanos: 0,
+            arg: 0,
+            label: None,
+        }
+    }
+
+    #[test]
+    fn balanced_sequences_pass() {
+        let events = vec![
+            ev(0, EventKind::Enter, SpanId::QsLoop, 1, 10),
+            ev(1, EventKind::Enter, SpanId::QqIteration, 1, 20),
+            ev(2, EventKind::Instant, SpanId::MemoMiss, 1, 25),
+            ev(3, EventKind::Exit, SpanId::QqIteration, 1, 20),
+            ev(4, EventKind::Exit, SpanId::QsLoop, 1, 10),
+        ];
+        assert!(check_balanced(&events).is_ok());
+    }
+
+    #[test]
+    fn crossed_spans_are_detected() {
+        let events = vec![
+            ev(0, EventKind::Enter, SpanId::QsLoop, 1, 10),
+            ev(1, EventKind::Enter, SpanId::QqIteration, 1, 20),
+            ev(2, EventKind::Exit, SpanId::QsLoop, 1, 10), // closes outer first
+        ];
+        assert!(check_balanced(&events).is_err());
+    }
+
+    #[test]
+    fn wrapped_away_enters_are_tolerated() {
+        // The enter fell off the ring; only the exit survives.
+        let events = vec![ev(7, EventKind::Exit, SpanId::Scan, 2, 5)];
+        assert!(check_balanced(&events).is_ok());
+    }
+
+    #[test]
+    fn interleaved_threads_do_not_confuse_the_checker() {
+        let events = vec![
+            ev(0, EventKind::Enter, SpanId::Scan, 1, 10),
+            ev(1, EventKind::Enter, SpanId::Scan, 2, 11),
+            ev(2, EventKind::Exit, SpanId::Scan, 2, 11),
+            ev(3, EventKind::Exit, SpanId::Scan, 1, 10),
+        ];
+        assert!(check_balanced(&events).is_ok());
+    }
+
+    #[test]
+    fn dump_always_has_a_header() {
+        let dump = flight_dump();
+        assert!(dump.starts_with("flight recorder:"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Interning for free-form `&'static str` labels (bench phase names).
+//!
+//! Events store a `u32` label id so the hot path stays pointer-free and
+//! allocation-free; the registry is a lock-guarded `Vec<&'static str>`
+//! touched once per *distinct* label (a handful per process), never per
+//! event. Id 0 is reserved for "no label".
+
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+fn registry() -> &'static Mutex<Vec<&'static str>> {
+    static REGISTRY: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Intern `label`, returning its non-zero id. Idempotent: the same
+/// string contents always map to the same id.
+pub fn intern(label: &'static str) -> u32 {
+    let mut reg = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(pos) = reg.iter().position(|&l| l == label) {
+        return pos as u32 + 1;
+    }
+    reg.push(label);
+    reg.len() as u32
+}
+
+/// Resolve an id back to its label (`None` for 0 or unknown ids).
+pub fn resolve(id: u32) -> Option<&'static str> {
+    if id == 0 {
+        return None;
+    }
+    let reg = registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    reg.get(id as usize - 1).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_resolves() {
+        let a = intern("load");
+        let b = intern("query");
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+        assert_eq!(intern("load"), a);
+        assert_eq!(resolve(a), Some("load"));
+        assert_eq!(resolve(b), Some("query"));
+        assert_eq!(resolve(0), None);
+        assert_eq!(resolve(u32::MAX), None);
+    }
+}

@@ -1,0 +1,235 @@
+//! Scoped spans and instant events — the recording API the rest of the
+//! stack calls.
+//!
+//! Each thread keeps a small span stack; [`span`] pushes and returns a
+//! scope guard whose `Drop` pops and emits the exit event, so *every*
+//! exit path — including `?` early returns and cancellation unwinding —
+//! closes its spans. A `debug_assert` checks the popped frame matches
+//! the guard, catching any enter/exit imbalance before it reaches the
+//! ring.
+//!
+//! When tracing is disabled ([`set_enabled`]`(false)` or
+//! `RQL_TRACE_OFF=1`), every entry point returns immediately: no ring
+//! write, no clock read, no allocation.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use crate::event::{EventKind, SpanId};
+use crate::label;
+use crate::ring::{global, now_nanos};
+
+// ---- enable gate -----------------------------------------------------
+
+/// 0 = uninitialized, 1 = enabled, 2 = disabled.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+fn init_enabled() -> bool {
+    let off = std::env::var("RQL_TRACE_OFF").is_ok_and(|v| !v.is_empty() && v != "0");
+    let on = !off;
+    // Racing initializers agree (both read the same env), so a plain
+    // store is fine.
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+    on
+}
+
+/// Whether tracing is recording. Defaults to on (the flight recorder is
+/// always-on) unless `RQL_TRACE_OFF=1` is set at first use.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => init_enabled(),
+    }
+}
+
+/// Turn recording on or off process-wide (tests, overhead benches).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+// ---- per-thread state ------------------------------------------------
+
+/// Stable small per-thread ordinal, cheaper and more readable in dumps
+/// than the OS thread id.
+fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: Cell<u64> = const { Cell::new(0) };
+    }
+    TID.with(|t| {
+        let mut v = t.get();
+        if v == 0 {
+            v = NEXT.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+        }
+        v
+    })
+}
+
+#[derive(Clone, Copy)]
+struct OpenSpan {
+    id: SpanId,
+    start: u64,
+    arg: u64,
+    label_id: u32,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<OpenSpan>> = const { RefCell::new(Vec::new()) };
+}
+
+// ---- the API ---------------------------------------------------------
+
+/// Scope guard returned by [`span`]; emits the exit event on drop.
+///
+/// Deliberately neither `Clone` nor `Send`: a span belongs to the stack
+/// of the thread that opened it.
+#[must_use = "a span closes when this guard drops; binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    id: Option<SpanId>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    fn noop() -> SpanGuard {
+        SpanGuard {
+            id: None,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(id) = self.id else { return };
+        let frame = STACK.with(|s| s.borrow_mut().pop());
+        let Some(frame) = frame else {
+            debug_assert!(false, "span stack underflow closing {id:?}");
+            return;
+        };
+        debug_assert_eq!(
+            frame.id, id,
+            "span stack unbalanced: closing {id:?} but {:?} is open",
+            frame.id
+        );
+        let now = now_nanos();
+        global().record(
+            EventKind::Exit,
+            frame.id,
+            thread_ordinal(),
+            frame.start,
+            now.saturating_sub(frame.start),
+            frame.arg,
+            frame.label_id,
+        );
+    }
+}
+
+fn open(id: SpanId, arg: u64, label_id: u32) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::noop();
+    }
+    let start = now_nanos();
+    let tid = thread_ordinal();
+    STACK.with(|s| {
+        s.borrow_mut().push(OpenSpan {
+            id,
+            start,
+            arg,
+            label_id,
+        });
+    });
+    global().record(EventKind::Enter, id, tid, start, 0, arg, label_id);
+    SpanGuard {
+        id: Some(id),
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Open a scoped span; it closes (and records its duration) when the
+/// returned guard drops.
+#[inline]
+pub fn span(id: SpanId) -> SpanGuard {
+    open(id, 0, 0)
+}
+
+/// [`span`] carrying an argument (snapshot id, job id, …).
+#[inline]
+pub fn span_arg(id: SpanId, arg: u64) -> SpanGuard {
+    open(id, arg, 0)
+}
+
+/// [`span`] carrying an interned free-form label (bench phase names).
+#[inline]
+pub fn span_labeled(id: SpanId, label_text: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::noop();
+    }
+    open(id, 0, label::intern(label_text))
+}
+
+/// Record a point event.
+#[inline]
+pub fn instant(id: SpanId) {
+    instant_arg(id, 0);
+}
+
+/// Record a point event with an argument.
+#[inline]
+pub fn instant_arg(id: SpanId, arg: u64) {
+    if !enabled() {
+        return;
+    }
+    global().record(
+        EventKind::Instant,
+        id,
+        thread_ordinal(),
+        now_nanos(),
+        0,
+        arg,
+        0,
+    );
+}
+
+/// Depth of the current thread's open-span stack (tests/assertions).
+pub fn open_span_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_balance_even_on_early_return() {
+        set_enabled(true);
+        fn inner(fail: bool) -> Result<(), ()> {
+            let _g = span(SpanId::Scan);
+            let _h = span_arg(SpanId::Join, 9);
+            if fail {
+                return Err(());
+            }
+            Ok(())
+        }
+        assert_eq!(open_span_depth(), 0);
+        let _ = inner(false);
+        assert_eq!(open_span_depth(), 0);
+        let _ = inner(true);
+        assert_eq!(open_span_depth(), 0);
+    }
+
+    #[test]
+    fn disabled_records_nothing_and_keeps_stack_empty() {
+        set_enabled(false);
+        let before = global().recorded();
+        {
+            let _g = span(SpanId::QsLoop);
+            instant(SpanId::CacheHit);
+            assert_eq!(open_span_depth(), 0);
+        }
+        assert_eq!(global().recorded(), before);
+        set_enabled(true);
+    }
+}

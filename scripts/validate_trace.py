@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validate an RQL_TRACE Chrome-trace export against the checked-in schema.
+
+Usage: validate_trace.py TRACE.json [SCHEMA.json]
+
+Stdlib-only (CI runners have no jsonschema package): implements the
+small subset of JSON Schema the checked-in schema actually uses —
+type, required, enum, const, minimum, minLength, properties, items,
+allOf and if/then. Exits non-zero with a path-qualified message on the
+first violation.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    sys.exit(f"trace schema violation at {path or '$'}: {msg}")
+
+
+def type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "null":
+        return value is None
+    sys.exit(f"schema bug: unknown type {expected!r}")
+
+
+def matches(value, schema):
+    """Non-asserting check used by if/then."""
+    try:
+        validate(value, schema, "", probe=True)
+        return True
+    except SystemExit:
+        raise
+    except _Mismatch:
+        return False
+
+
+class _Mismatch(Exception):
+    pass
+
+
+def report(path, msg, probe):
+    if probe:
+        raise _Mismatch(msg)
+    fail(path, msg)
+
+
+def validate(value, schema, path, probe=False):
+    if "const" in schema and value != schema["const"]:
+        report(path, f"expected {schema['const']!r}, got {value!r}", probe)
+    if "type" in schema and not type_ok(value, schema["type"]):
+        report(path, f"expected {schema['type']}, got {type(value).__name__}", probe)
+    if "enum" in schema and value not in schema["enum"]:
+        report(path, f"{value!r} not in {schema['enum']}", probe)
+    if "minimum" in schema and isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            report(path, f"{value} < minimum {schema['minimum']}", probe)
+    if "minLength" in schema and isinstance(value, str):
+        if len(value) < schema["minLength"]:
+            report(path, f"length {len(value)} < minLength {schema['minLength']}", probe)
+    if isinstance(value, dict):
+        for name in schema.get("required", []):
+            if name not in value:
+                report(path, f"missing required property {name!r}", probe)
+        for name, sub in schema.get("properties", {}).items():
+            if name in value:
+                validate(value[name], sub, f"{path}.{name}", probe)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", probe)
+    for branch in schema.get("allOf", []):
+        if "if" in branch:
+            try:
+                if matches(value, branch["if"]):
+                    validate(value, branch.get("then", {}), path, probe)
+            except _Mismatch:
+                pass
+        else:
+            validate(value, branch, path, probe)
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        sys.exit(__doc__.strip())
+    trace_path = sys.argv[1]
+    schema_path = sys.argv[2] if len(sys.argv) == 3 else "tests/chrome_trace.schema.json"
+    with open(trace_path) as f:
+        trace = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+    validate(trace, schema, "")
+    events = trace.get("traceEvents", [])
+    if not events:
+        sys.exit(f"{trace_path}: traceEvents is empty — the server recorded nothing")
+    phases = {e["ph"] for e in events}
+    print(
+        f"{trace_path}: OK — {len(events)} events, "
+        f"phases {sorted(phases)}, "
+        f"{len({e['tid'] for e in events})} thread(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -3,14 +3,19 @@
 //! Usage:
 //!
 //! ```text
-//! rql [--addr ADDR] [--no-memo] run <file.rql>...     execute programs, print tables
-//! rql [--addr ADDR] [--no-memo] exec '<program>'      execute an inline program
+//! rql [--addr ADDR] [--no-memo] [--profile] run <file.rql>...   execute programs, print tables
+//! rql [--addr ADDR] [--no-memo] [--profile] exec '<program>'    execute an inline program
 //! rql [--addr ADDR] check <file.rql>...   analyzer pre-flight (PREPARE)
-//! rql [--addr ADDR] status                one-line server status
+//! rql [--addr ADDR] status [--flight]     one-line server status (+flight recorder)
 //! rql [--addr ADDR] metrics [--json]      metrics snapshot
 //! rql [--addr ADDR] cancel <session-id>   cancel another session's query
 //! rql [--addr ADDR] shutdown              drain and stop the server
 //! ```
+//!
+//! `--profile` switches `run`/`exec` onto the `PROFILE` wire verb: the
+//! server executes the program as usual and additionally returns the
+//! per-snapshot cost table (pages read, pages shared-skipped, memo
+//! outcome, wall/CPU time), printed after the results.
 //!
 //! Exit status: 0 on success, 1 when the server reports an error or
 //! `check` finds error diagnostics, 2 on usage/connection problems.
@@ -19,13 +24,14 @@ use std::process::ExitCode;
 
 use rql_repro::rqld::{Client, ClientError, WireResult};
 
-const USAGE: &str = "usage: rql [--addr ADDR] [--no-memo] \
-                     <run FILE...|exec PROGRAM|check FILE...|status|metrics [--json]|cancel ID|shutdown>";
+const USAGE: &str = "usage: rql [--addr ADDR] [--no-memo] [--profile] \
+                     <run FILE...|exec PROGRAM|check FILE...|status [--flight]|metrics [--json]|cancel ID|shutdown>";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7464".to_owned();
     let mut no_memo = false;
+    let mut profile = false;
     loop {
         if args.first().is_some_and(|a| a == "--addr") {
             if args.len() < 2 {
@@ -36,6 +42,9 @@ fn main() -> ExitCode {
             args.drain(..2);
         } else if args.first().is_some_and(|a| a == "--no-memo") {
             no_memo = true;
+            args.remove(0);
+        } else if args.first().is_some_and(|a| a == "--profile") {
+            profile = true;
             args.remove(0);
         } else {
             break;
@@ -56,13 +65,21 @@ fn main() -> ExitCode {
     };
 
     let outcome = match command.as_str() {
-        "run" => cmd_run(&mut client, rest, no_memo),
+        "run" => cmd_run(&mut client, rest, no_memo, profile),
         "exec" => match rest {
-            [program] => run_one(&mut client, program, "<inline>", no_memo),
+            [program] => run_one(&mut client, program, "<inline>", no_memo, profile),
             _ => usage(),
         },
         "check" => cmd_check(&mut client, rest),
-        "status" => client.status().map(|s| println!("{s}")).map_err(fail),
+        "status" => {
+            let flight = rest.iter().any(|a| a == "--flight");
+            let text = if flight {
+                client.status_flight()
+            } else {
+                client.status()
+            };
+            text.map(|s| println!("{s}")).map_err(fail)
+        }
         "metrics" => {
             let json = rest.iter().any(|a| a == "--json");
             client
@@ -103,7 +120,12 @@ fn fail(e: ClientError) -> ExitCode {
     ExitCode::FAILURE
 }
 
-fn cmd_run(client: &mut Client, files: &[String], no_memo: bool) -> Result<(), ExitCode> {
+fn cmd_run(
+    client: &mut Client,
+    files: &[String],
+    no_memo: bool,
+    profile: bool,
+) -> Result<(), ExitCode> {
     if files.is_empty() {
         return usage();
     }
@@ -112,14 +134,29 @@ fn cmd_run(client: &mut Client, files: &[String], no_memo: bool) -> Result<(), E
             eprintln!("rql: {file}: {e}");
             ExitCode::from(2)
         })?;
-        run_one(client, &src, file, no_memo)?;
+        run_one(client, &src, file, no_memo, profile)?;
     }
     Ok(())
 }
 
-fn run_one(client: &mut Client, program: &str, name: &str, no_memo: bool) -> Result<(), ExitCode> {
-    let result = client.run_opts(program, no_memo).map_err(fail)?;
-    print_result(name, &result);
+fn run_one(
+    client: &mut Client,
+    program: &str,
+    name: &str,
+    no_memo: bool,
+    profile: bool,
+) -> Result<(), ExitCode> {
+    if profile {
+        let profiled = client.profile(program, no_memo).map_err(fail)?;
+        print_result(name, &profiled.result);
+        print!("{}", profiled.human);
+        if !profiled.human.ends_with('\n') {
+            println!();
+        }
+    } else {
+        let result = client.run_opts(program, no_memo).map_err(fail)?;
+        print_result(name, &result);
+    }
     Ok(())
 }
 

@@ -4,13 +4,18 @@
 //!
 //! ```text
 //! rqld [--listen ADDR] [--workers N] [--queue N] [--max-sessions N]
-//!      [--timeout-ms N] [--no-memo]
+//!      [--timeout-ms N] [--no-memo] [--slow-ms N]
 //! ```
 //!
 //! Binds a TCP listener (default `127.0.0.1:7464`), bootstraps one
 //! shared in-memory snapshot store, and serves the RQL wire protocol
 //! until a client sends `SHUTDOWN` — then drains queued queries and
 //! exits. Talk to it with the `rql` client binary.
+//!
+//! Observability: `--slow-ms N` logs any query slower than `N` ms to
+//! stderr; `RQL_TRACE=out.json` writes a Chrome-trace/Perfetto JSON of
+//! the trace ring at drain; a panic dumps the flight recorder (the
+//! last ring events) before unwinding.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -24,7 +29,7 @@ struct Options {
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     const USAGE: &str = "usage: rqld [--listen ADDR] [--workers N] [--queue N] \
-                         [--max-sessions N] [--timeout-ms N] [--no-memo]";
+                         [--max-sessions N] [--timeout-ms N] [--no-memo] [--slow-ms N]";
     let mut opts = Options {
         listen: "127.0.0.1:7464".into(),
         config: ServerConfig::default(),
@@ -60,6 +65,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.config.query_timeout = Some(Duration::from_millis(ms));
             }
             "--no-memo" => opts.config.memo = false,
+            "--slow-ms" => {
+                let ms: u64 = value("--slow-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slow-ms: {e}"))?;
+                opts.config.slow_query = Some(Duration::from_millis(ms));
+            }
             "--help" | "-h" => return Err(USAGE.into()),
             flag => return Err(format!("unknown flag {flag}\n{USAGE}")),
         }
@@ -76,6 +87,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Flight recorder on panic: dump the last ring events to stderr
+    // before the default hook unwinds.
+    rql_repro::trace::install_panic_hook();
     let handle = match serve(opts.listen.as_str(), opts.config) {
         Ok(h) => h,
         Err(e) => {
@@ -85,6 +99,15 @@ fn main() -> ExitCode {
     };
     println!("rqld listening on {}", handle.local_addr());
     handle.wait();
+    // RQL_TRACE=out.json: export everything the ring retained as
+    // Chrome-trace JSON (loadable in Perfetto / chrome://tracing).
+    match rql_repro::trace::export_from_env() {
+        Some((path, Ok(()))) => println!("rqld: trace written to {}", path.display()),
+        Some((path, Err(e))) => {
+            eprintln!("rqld: RQL_TRACE export to {} failed: {e}", path.display());
+        }
+        None => {}
+    }
     println!("rqld: drained, bye");
     ExitCode::SUCCESS
 }

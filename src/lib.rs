@@ -7,6 +7,9 @@
 //!
 //! Layer map (bottom up):
 //!
+//! * [`trace`] — structured span/event tracing: thread-local span
+//!   stacks over a lock-free ring buffer, Chrome-trace export, flight
+//!   recorder (the observability spine every layer reports into);
 //! * [`pagestore`] — page-based transactional storage (Berkeley DB
 //!   analog): pager, buffer cache, WAL, MVCC read views;
 //! * [`retro`] — the Retro page-level copy-on-write snapshot system:
@@ -25,4 +28,5 @@ pub use rql_pagestore as pagestore;
 pub use rql_retro as retro;
 pub use rql_sqlengine as sqlengine;
 pub use rql_tpch as tpch;
+pub use rql_trace as trace;
 pub use rqld;

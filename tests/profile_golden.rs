@@ -1,0 +1,39 @@
+//! Golden test for the `--profile` report: a Table-1 query
+//! (`AggregateDataInTable`, examples/rql/first_login.rql) run on an
+//! embedded session must render exactly the checked-in per-snapshot
+//! cost table. Times are redacted (`-`), so the golden pins the
+//! counter columns — pages read, pagelog reads, pages skipped, memo
+//! outcome, scan path, row counts — which are fully deterministic.
+//!
+//! To regenerate after an intentional change:
+//! `UPDATE_GOLDEN=1 cargo test --test profile_golden`.
+
+use rql::{parse_program, run_program_with_reports, QueryProfile, RqlSession};
+
+const GOLDEN_PATH: &str = "tests/golden/profile_table1.txt";
+
+#[test]
+fn table1_profile_matches_golden() {
+    let source = std::fs::read_to_string("examples/rql/first_login.rql").expect("example source");
+    let session = RqlSession::with_defaults().expect("session");
+    let program = parse_program(&source).expect("parse");
+    let run = run_program_with_reports(&session, &program).expect("run");
+
+    let profile = QueryProfile::from_run(&run);
+    let got = profile.render_human(true);
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH).expect("golden file");
+    assert_eq!(
+        got, want,
+        "profile drifted from {GOLDEN_PATH}; run with UPDATE_GOLDEN=1 if intentional"
+    );
+
+    // The same run's JSON rendering carries the same counters.
+    let json = profile.render_json(true);
+    assert!(json.contains("\"table\":\"FirstLogin\""), "{json}");
+    assert_eq!(json.matches("\"snap_id\"").count(), 2, "{json}");
+}

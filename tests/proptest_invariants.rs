@@ -11,6 +11,9 @@
 //!   membership, for arbitrary membership timelines.
 //! * **Record codec** — encode/decode round-trips arbitrary rows; index
 //!   keys order like values.
+//! * **Tracing neutrality** — running the same workload with the trace
+//!   layer recording vs disabled produces byte-identical results
+//!   (observability must never perturb execution).
 
 use std::collections::BTreeMap;
 
@@ -100,6 +103,55 @@ proptest! {
             .map(|row| (row[0].as_i64().unwrap() as u8, row[1].as_i64().unwrap()))
             .collect();
         prop_assert_eq!(&got, &model);
+    }
+}
+
+// ---- tracing neutrality -----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn tracing_never_changes_results(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        // One full workload: arbitrary mutations + snapshots, then a
+        // mechanism over the whole history and an ordered read-back.
+        let run = |ops: &[Op]| -> Vec<Vec<Value>> {
+            let session = RqlSession::with_defaults().unwrap();
+            session.execute("CREATE TABLE kv (k INTEGER, v INTEGER)").unwrap();
+            let mut declared = false;
+            for op in ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        session.execute(&format!("DELETE FROM kv WHERE k = {k}")).unwrap();
+                        session.execute(&format!("INSERT INTO kv VALUES ({k}, {v})")).unwrap();
+                    }
+                    Op::Delete(k) => {
+                        session.execute(&format!("DELETE FROM kv WHERE k = {k}")).unwrap();
+                    }
+                    Op::Update(k, v) => {
+                        session.execute(&format!("UPDATE kv SET v = {v} WHERE k = {k}")).unwrap();
+                    }
+                    Op::Snapshot => {
+                        session.declare_snapshot(None).unwrap();
+                        declared = true;
+                    }
+                }
+            }
+            if !declared {
+                session.declare_snapshot(None).unwrap();
+            }
+            session
+                .collate_data("SELECT snap_id FROM SnapIds", "SELECT k, v FROM kv", "t")
+                .unwrap();
+            session.query_aux("SELECT k, v FROM t ORDER BY k, v").unwrap().rows
+        };
+
+        rql_trace::set_enabled(true);
+        let traced = run(&ops);
+        rql_trace::set_enabled(false);
+        let untraced = run(&ops);
+        rql_trace::set_enabled(true);
+        prop_assert_eq!(traced, untraced, "tracing perturbed results");
     }
 }
 

@@ -11,6 +11,7 @@ use std::time::Duration;
 
 use rql::{parse_program, run_program_with_reports, RqlSession};
 use rql_repro::rqld::{serve, Client, ClientError, ServerConfig, ServerHandle};
+use rql_repro::trace;
 use rql_sqlengine::Value;
 
 /// Shared fixture: a few users logging in and out across snapshots.
@@ -254,6 +255,64 @@ fn seed_slow_tables(client: &mut Client) {
 
 const SLOW_QUERY: &str = "SELECT COUNT(*) FROM big1, big2 WHERE big1.k + big2.k > 1";
 
+/// The trace ring under 8 writer threads with heavy wraparound: every
+/// surviving slot must be a valid, untorn event; sequence numbers must
+/// be unique; and the wrap-tolerant stack-discipline checker must not
+/// see crossed spans. (This test rides the TSan lane in CI, so the
+/// seqlock protocol itself is exercised under the sanitizer.)
+#[test]
+fn trace_ring_wraparound_under_concurrent_load() {
+    use rql_repro::trace::{check_balanced, EventKind, Ring, SpanId};
+
+    const CAPACITY: usize = 512;
+    const THREADS: u64 = 8;
+    const SPANS_PER_THREAD: u64 = 4_000;
+
+    let ring = Ring::with_capacity(CAPACITY);
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let ring = &ring;
+            scope.spawn(move || {
+                for i in 0..SPANS_PER_THREAD {
+                    // A matched enter/exit pair per iteration, with a
+                    // start stamp unique to (thread, iteration) so the
+                    // balance checker can pair them up exactly.
+                    let start = t * SPANS_PER_THREAD + i + 1;
+                    ring.record(EventKind::Enter, SpanId::Scan, t, start, 0, 0, 0);
+                    ring.record(EventKind::Exit, SpanId::Scan, t, start, 7, 0, 0);
+                }
+            });
+        }
+    });
+
+    // Every claim was counted, the ring wrapped many times over, and
+    // the retained tail fits the capacity.
+    assert_eq!(ring.recorded(), THREADS * SPANS_PER_THREAD * 2);
+    let events = ring.snapshot();
+    assert!(events.len() <= CAPACITY);
+    assert!(
+        events.len() > CAPACITY / 2,
+        "quiescent ring should retain most slots, got {}",
+        events.len()
+    );
+
+    // No torn reads: sequence numbers are unique and every event decodes
+    // to the span the writers recorded.
+    let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), events.len(), "duplicate seq = torn slot");
+    for e in &events {
+        assert_eq!(e.span, SpanId::Scan);
+        assert!(e.tid < THREADS);
+        assert!(e.start_nanos >= 1);
+    }
+
+    // Wrap-tolerant stack discipline: lost enters are fine, crossings
+    // are not.
+    check_balanced(&events).expect("balanced under wraparound");
+}
+
 #[test]
 fn cancel_interrupts_in_flight_query_with_rql300() {
     let (handle, addr) = start_server(ServerConfig::default());
@@ -280,6 +339,12 @@ fn cancel_interrupts_in_flight_query_with_rql300() {
         metrics.contains("queries_cancelled 1"),
         "cancel not counted:\n{metrics}"
     );
+
+    // The cancelled query's span guards must have unwound cleanly: the
+    // global trace ring shows no crossed enter/exit pairs (a leaked
+    // guard on the cancel path would cross its enclosing span).
+    trace::check_balanced(&trace::global().snapshot()).expect("spans balanced after cancel");
+
     handle.shutdown();
     handle.wait();
 }
@@ -308,6 +373,22 @@ fn deadline_trips_timeout_with_rql301() {
         metrics.contains("queries_timed_out 1"),
         "timeout not counted:\n{metrics}"
     );
+
+    // The watchdog-tripped failure froze a flight-recorder dump, and
+    // `STATUS --flight` serves it along with the live ring.
+    let flight = client.status_flight().expect("status --flight");
+    assert!(
+        flight.contains("flight recorder:"),
+        "no live flight dump in STATUS --flight:\n{flight}"
+    );
+    assert!(
+        flight.contains("--- last failure ---"),
+        "timeout did not freeze a last-failure dump:\n{flight}"
+    );
+    // Plain STATUS stays a one-liner.
+    let status = client.status().expect("status");
+    assert!(!status.contains("flight recorder:"), "{status}");
+
     handle.shutdown();
     handle.wait();
 }
