@@ -32,6 +32,7 @@ fn main() {
         ("Ablations", experiments::ablations::run),
         ("Delta iteration", experiments::delta_iteration::run),
         ("Memo cache", experiments::memo_cache::run),
+        ("Prune scan", experiments::prune_scan::run),
     ];
     let mut failures = 0;
     for (name, f) in sections {

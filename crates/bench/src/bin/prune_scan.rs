@@ -1,0 +1,11 @@
+//! Runs the pruning-sidecar selectivity sweep (pruned vs opaque
+//! baseline) and prints its markdown section; writes `BENCH_prune.json`.
+fn main() {
+    match rql_bench::experiments::prune_scan::run() {
+        Ok(md) => print!("{md}"),
+        Err(e) => {
+            eprintln!("prune_scan: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -120,7 +120,7 @@ pub fn run() -> Result<String> {
         speedups.push((spacing, speedup));
         out.push_str(&format!(
             "| {spacing} | {seq_cost:.3} | {delta_cost:.3} | {speedup:.2}× | {} | {} | {} | {same} |\n",
-            s.io.pagelog_reads, d.io.pagelog_reads, d.pages_skipped,
+            s.io.pagelog_reads, d.io.pagelog_reads, d.pages_skipped_delta,
         ));
     }
     out.push('\n');

@@ -18,7 +18,9 @@ use rql_memo::{MemoConfig, MemoStore};
 use rql_sqlengine::{Result, Row};
 use rql_tpch::{build_history, UW15};
 
-use crate::harness::{bench_config, bench_sf, cost_model, fast_mode, phase, run_from_cold};
+use crate::harness::{
+    bench_config, bench_sf, cost_model, fast_mode, phase, run_from_cold, BENCH_SCHEMA_VERSION,
+};
 use crate::queries::{QQ_INT, QQ_IO};
 
 const QS: &str = "SELECT snap_id FROM SnapIds";
@@ -110,7 +112,9 @@ pub fn run() -> Result<String> {
     let speedup = nomemo_ms / warm_ms.max(floor_ms);
 
     let json = format!(
-        "{{\"snapshots\":{snapshots},\"mechanisms\":4,\
+        "{{\"schema_version\":{BENCH_SCHEMA_VERSION},\
+         \"experiment\":\"memo_cache\",\
+         \"snapshots\":{snapshots},\"mechanisms\":4,\
          \"nomemo_qq_cost_ms\":{nomemo_ms:.3},\
          \"cold_qq_cost_ms\":{cold_ms:.3},\
          \"warm_qq_cost_ms\":{warm_ms:.3},\

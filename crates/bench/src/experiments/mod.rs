@@ -14,4 +14,5 @@ pub mod fig8;
 pub mod fig9;
 pub mod mem_table;
 pub mod memo_cache;
+pub mod prune_scan;
 pub mod table1;

@@ -15,6 +15,11 @@ use rql_pagestore::IoCostModel;
 use rql_retro::RetroConfig;
 use rql_sqlengine::{ExecStats, Result};
 
+/// Schema version stamped into every `BENCH_*.json` artifact. Bump when
+/// a field is renamed or its meaning changes; `scripts/validate_bench.py`
+/// checks it.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
 /// Scale factor used by the experiments (overridable via
 /// `RQL_BENCH_SF`). 0.002 ⇒ 3,000 orders ≈ 1/500 of the paper's SF-1.
 pub fn bench_sf() -> f64 {
@@ -180,9 +185,13 @@ pub fn hot_mean_stats(report: &RqlReport) -> (ExecStats, Duration) {
             pages_written: acc.io.pages_written / n as u64,
             maplog_entries_scanned: acc.io.maplog_entries_scanned / n as u64,
             cache_evictions: acc.io.cache_evictions / n as u64,
+            pages_pruned: acc.io.pages_pruned / n as u64,
+            snapshots_pruned: acc.io.snapshots_pruned / n as u64,
+            sidecar_bytes: acc.io.sidecar_bytes / n as u64,
         },
         rows: acc.rows / n as u64,
-        pages_skipped: acc.pages_skipped / n as u64,
+        pages_skipped_delta: acc.pages_skipped_delta / n as u64,
+        pages_pruned_filter: acc.pages_pruned_filter / n as u64,
         delta_eligible: acc.delta_eligible / n as u64,
     };
     (stats, udf / n)

@@ -64,11 +64,12 @@ pub enum Code {
     IncrementalUnavailable,
     MemoIneligible,
     ProfiledUdfOpaque,
+    PruneIneligibleWhere,
 }
 
 impl Code {
     /// Every code, for registry-coverage assertions.
-    pub const ALL: [Code; 37] = [
+    pub const ALL: [Code; 38] = [
         Code::UnknownTable,
         Code::UnknownColumn,
         Code::UnknownFunction,
@@ -106,6 +107,7 @@ impl Code {
         Code::IncrementalUnavailable,
         Code::MemoIneligible,
         Code::ProfiledUdfOpaque,
+        Code::PruneIneligibleWhere,
     ];
 
     /// The stable code string, e.g. `"RQL002"`.
@@ -148,6 +150,7 @@ impl Code {
             Code::IncrementalUnavailable => "RQL206",
             Code::MemoIneligible => "RQL207",
             Code::ProfiledUdfOpaque => "RQL208",
+            Code::PruneIneligibleWhere => "RQL209",
         }
     }
 
@@ -206,6 +209,10 @@ impl Code {
                 "Qq calls a user-defined function; the profile report cannot attribute its \
                  time to engine phases"
             }
+            Code::PruneIneligibleWhere => {
+                "no Qq WHERE conjunct compares a bare column to a constant, so zone-map/bloom \
+                 sidecars can never prune a page for this scan"
+            }
         }
     }
 
@@ -216,7 +223,8 @@ impl Code {
             | Code::UngroupedColumn
             | Code::QsNonIntegerColumn
             | Code::CurrentSnapshotInStringLiteral
-            | Code::AsOfInStringLiteral => Severity::Warning,
+            | Code::AsOfInStringLiteral
+            | Code::PruneIneligibleWhere => Severity::Warning,
             Code::AutoDeltaFallback
             | Code::IncrementalUnavailable
             | Code::MemoIneligible

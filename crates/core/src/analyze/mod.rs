@@ -32,6 +32,7 @@ pub mod program;
 pub mod resolve;
 pub mod rewrite_safety;
 
+use rql_sqlengine::ast::{BinOp, Expr};
 use rql_sqlengine::SqlError;
 
 pub use self::delta::{explain_delta, DeltaExplain, PredictedPath};
@@ -99,6 +100,41 @@ fn to_sql_error(d: &Diagnostic) -> SqlError {
     }
 }
 
+/// Can zone-map/bloom sidecar pruning ever refute a page for this WHERE
+/// clause? Mirrors the runtime's predicate-summary extraction: at least
+/// one top-level conjunct must be a direct column-vs-constant comparison
+/// (`col <op> literal`, either orientation; `=`, `<`, `<=`, `>`, `>=`)
+/// or a non-negated `col BETWEEN literal AND literal`, with non-NULL
+/// constants. Anything else — a UDF or arithmetic wrapped around the
+/// column, `OR` at the top, `!=`, `LIKE` — is opaque to the sidecars.
+fn prunable_where(e: &Expr) -> bool {
+    fn is_col(e: &Expr) -> bool {
+        matches!(e, Expr::Column { .. })
+    }
+    fn is_const(e: &Expr) -> bool {
+        matches!(e, Expr::Literal(v) if !v.is_null())
+    }
+    match e {
+        Expr::Binary {
+            op: BinOp::And,
+            lhs,
+            rhs,
+        } => prunable_where(lhs) || prunable_where(rhs),
+        Expr::Binary {
+            op: BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge,
+            lhs,
+            rhs,
+        } => (is_col(lhs) && is_const(rhs)) || (is_const(lhs) && is_col(rhs)),
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated: false,
+        } => is_col(expr) && is_const(lo) && is_const(hi),
+        _ => false,
+    }
+}
+
 /// Analyze one mechanism call: the API-level entry the session pre-flight
 /// uses. `policy` enables the delta-eligibility pass; pass `None` when
 /// the caller did not specify one (the plain mechanism API).
@@ -135,6 +171,28 @@ pub fn analyze_mechanism_call(
                 SourceKind::Qq,
                 None,
             ));
+        }
+        // Pruning eligibility (RQL209): a WHERE clause with no direct
+        // column-vs-constant conjunct gives the zone-map/bloom sidecars
+        // nothing to refute — every page is fetched and filtered row by
+        // row no matter how selective the predicate is.
+        if let Some(w) = &parsed.where_clause {
+            if !prunable_where(w) {
+                let why = if crate::memoize::expr_calls_udf(w) {
+                    "it filters through a UDF call"
+                } else {
+                    "no conjunct compares a bare column to a constant"
+                };
+                diags.push(Diagnostic::new(
+                    Code::PruneIneligibleWhere,
+                    format!(
+                        "Qq's WHERE clause is opaque to page-pruning sidecars ({why}); \
+                         every page is read and filtered row by row"
+                    ),
+                    SourceKind::Qq,
+                    None,
+                ));
+            }
         }
     }
     let delta = policy.map(|p| explain_delta(call.kind, facts.qq_parsed.as_ref(), p, &mut diags));

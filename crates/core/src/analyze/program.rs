@@ -276,7 +276,7 @@ pub fn run_program_with_reports(session: &RqlSession, program: &Program) -> Resu
             session.execute(&stmt.text)?
         };
         match outcome {
-            ExecOutcome::Rows(rows) => out.tables.push(rows),
+            ExecOutcome::Rows(rows) => out.tables.push(*rows),
             ExecOutcome::SnapshotDeclared(sid) => out.snapshots.push(sid),
             _ => {}
         }

@@ -60,7 +60,7 @@ use rql_sqlengine::ast::{Expr, SelectItem, Stmt};
 use rql_sqlengine::cexpr::{compile, eval, CExpr, Scope};
 use rql_sqlengine::{
     parse_select, Catalog, Database, DeltaScan, DeltaSelectRunner, ExecStats, QueryResult, Result,
-    Row, SelectStmt, SqlError, UdfRegistry, Value,
+    Row, SelectStmt, SkipReason, SqlError, UdfRegistry, Value,
 };
 
 use crate::aggregate::AggOp;
@@ -177,7 +177,7 @@ pub(crate) fn collate_data_delta_with_memo(
             _ => mechanism::collate_data_with_memo(snap, aux, qs, qq, table, memo),
         };
     }
-    let memo = QqMemo::attach(memo, &parsed);
+    let memo = QqMemo::attach(memo, snap, &parsed);
     let (ids, qs_time) = mechanism::snapshot_set(aux, qs)?;
     let readers = snap.store().open_snapshot_chain(&ids)?;
     let mut runner = DeltaSelectRunner::new();
@@ -186,6 +186,15 @@ pub(crate) fn collate_data_delta_with_memo(
         ..Default::default()
     };
     let mut exists = false;
+    // A snapshot whose scan fetched zero pages and produced no row delta
+    // may reuse the previous iteration's output outright — but only when
+    // the post-scan stages are deterministic (no UDF anywhere) and
+    // snapshot-invariant (no current_snapshot() outside WHERE; the
+    // rewrite probe below differs between two sids exactly when the
+    // substituted literal appears somewhere).
+    let reusable = crate::memoize::memo_eligible(&parsed)
+        && rewrite_select(&parsed, 0) == rewrite_select(&parsed, 1);
+    let mut prev: Option<(Vec<String>, Vec<Row>)> = None;
     for (&sid, reader) in ids.iter().zip(readers.iter()) {
         let _qq_span = rql_trace::span_arg(rql_trace::SpanId::QqIteration, sid);
         let iter_started = Instant::now();
@@ -215,9 +224,45 @@ pub(crate) fn collate_data_delta_with_memo(
                 }
                 r
             }
-            None => match snap.delta_query(reader, &rewritten, &mut runner)? {
-                Some(r) => {
+            None => match snap.delta_scan(reader, &rewritten, &mut runner)? {
+                Some((scan, mut stats)) => {
                     rql_trace::instant_arg(rql_trace::SpanId::DeltaPath, sid);
+                    let skip = scan.snapshot_skip();
+                    if skip == Some(SkipReason::Pruned) {
+                        // The store-level counter feeds METRICS; the local
+                        // snapshot was taken inside delta_scan, before this
+                        // decision, so the iteration's stats need the bump
+                        // too or the report under-counts.
+                        snap.io_stats().count_snapshot_pruned();
+                        stats.io.snapshots_pruned += 1;
+                        rql_trace::instant_arg(rql_trace::SpanId::SnapshotPruned, sid);
+                    }
+                    let r = match &prev {
+                        Some((cols, rows)) if reusable && skip.is_some() => {
+                            // Zero heap fetches and an empty row delta:
+                            // the filtered base rows are byte-identical to
+                            // the previous iteration's, so its output is
+                            // this iteration's output — skip the post-scan
+                            // stages entirely.
+                            stats.rows = rows.len() as u64;
+                            QueryResult {
+                                columns: cols.clone(),
+                                rows: rows.clone(),
+                                stats,
+                                plan: vec![format!(
+                                    "{}: delta seq scan (output reused)",
+                                    rewritten.from[0].name
+                                )],
+                            }
+                        }
+                        _ => {
+                            let fin = snap.delta_finish(reader, &rewritten, scan.rows)?;
+                            stats.eval += fin.stats.eval;
+                            stats.io.accumulate(&fin.stats.io);
+                            stats.rows = fin.stats.rows;
+                            QueryResult { stats, ..fin }
+                        }
+                    };
                     if let Some(m) = &memo {
                         m.record_result(reader, &parsed, sid, &r);
                         if let Some(seed) = runner.export_seed() {
@@ -261,6 +306,7 @@ pub(crate) fn collate_data_delta_with_memo(
             memo_hit,
             wall: iter_started.elapsed(),
         });
+        prev = Some((result.columns, result.rows));
     }
     Ok(report)
 }
@@ -706,7 +752,7 @@ pub(crate) fn aggregate_data_in_variable_delta_with_memo(
             ),
         };
     }
-    let memo = QqMemo::attach(memo, &parsed);
+    let memo = QqMemo::attach(memo, snap, &parsed);
     let (ids, qs_time) = mechanism::snapshot_set(aux, qs)?;
     let readers = snap.store().open_snapshot_chain(&ids)?;
     let mut runner = DeltaSelectRunner::new();
@@ -786,6 +832,11 @@ pub(crate) fn aggregate_data_in_variable_delta_with_memo(
             }
             Some((scan, mut stats)) => {
                 rql_trace::instant_arg(rql_trace::SpanId::DeltaPath, sid);
+                if scan.snapshot_skip() == Some(SkipReason::Pruned) {
+                    snap.io_stats().count_snapshot_pruned();
+                    stats.io.snapshots_pruned += 1;
+                    rql_trace::instant_arg(rql_trace::SpanId::SnapshotPruned, sid);
+                }
                 let incremental = !degraded && !scan.rebuilt && inner.is_some();
                 let mut applied = None;
                 if incremental {

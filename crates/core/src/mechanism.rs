@@ -88,7 +88,7 @@ fn run_loop(
             "Qq must not contain AS OF; RQL binds the snapshot per iteration".into(),
         ));
     }
-    let memo = QqMemo::attach(memo, &parsed);
+    let memo = QqMemo::attach(memo, snap, &parsed);
     let mut report = RqlReport {
         qs_time,
         ..Default::default()

@@ -160,19 +160,38 @@ pub fn page_version_vector(reader: &SnapshotReader, parsed: &SelectStmt) -> Opti
 pub(crate) struct QqMemo {
     store: Arc<MemoStore>,
     fingerprint: u64,
+    /// The database's pruning-sidecar configuration hash
+    /// ([`Database::filter_config_hash`]), XOR-folded into every page
+    /// version vector. Sound pruning never changes a result, so this is
+    /// defensive versioning: changing the filter-column set (or the
+    /// sidecar format) invalidates entries recorded under the old
+    /// configuration instead of trusting them across the boundary.
+    config_salt: u64,
 }
 
 impl QqMemo {
-    /// Attach to `store` for one parsed Qq, if eligible.
-    pub(crate) fn attach(store: Option<Arc<MemoStore>>, parsed: &SelectStmt) -> Option<QqMemo> {
+    /// Attach to `store` for one parsed Qq, if eligible. `snap` is the
+    /// snapshot-side database whose pruning configuration salts the page
+    /// version vectors.
+    pub(crate) fn attach(
+        store: Option<Arc<MemoStore>>,
+        snap: &Database,
+        parsed: &SelectStmt,
+    ) -> Option<QqMemo> {
         let store = store?;
         if !memo_eligible(parsed) {
             return None;
         }
         Some(QqMemo {
             fingerprint: qq_fingerprint(parsed),
+            config_salt: snap.filter_config_hash(),
             store,
         })
+    }
+
+    /// Page version vector salted with the pruning configuration.
+    fn pvv(&self, reader: &SnapshotReader, parsed: &SelectStmt) -> Option<u64> {
+        page_version_vector(reader, parsed).map(|h| h ^ self.config_salt)
     }
 
     fn key(&self, sid: u64, kind: EntryKind) -> MemoKey {
@@ -204,10 +223,7 @@ impl QqMemo {
         sid: u64,
     ) -> Option<QueryResult> {
         let key = self.key(sid, EntryKind::Result);
-        match self
-            .store
-            .lookup(&key, || page_version_vector(reader, parsed))
-        {
+        match self.store.lookup(&key, || self.pvv(reader, parsed)) {
             Some(MemoValue::Result { columns, rows }) => Some(Self::hit_result(columns, rows)),
             _ => None,
         }
@@ -221,7 +237,7 @@ impl QqMemo {
         sid: u64,
         result: &QueryResult,
     ) {
-        if let Some(pvv) = page_version_vector(reader, parsed) {
+        if let Some(pvv) = self.pvv(reader, parsed) {
             self.store.insert(
                 self.key(sid, EntryKind::Result),
                 pvv,
@@ -241,10 +257,7 @@ impl QqMemo {
         sid: u64,
     ) -> Option<ScannerSeed> {
         let key = self.key(sid, EntryKind::Seed);
-        match self
-            .store
-            .lookup(&key, || page_version_vector(reader, parsed))
-        {
+        match self.store.lookup(&key, || self.pvv(reader, parsed)) {
             Some(MemoValue::Seed(seed)) => Some(seed),
             _ => None,
         }
@@ -259,7 +272,7 @@ impl QqMemo {
         sid: u64,
         seed: ScannerSeed,
     ) {
-        if let Some(pvv) = page_version_vector(reader, parsed) {
+        if let Some(pvv) = self.pvv(reader, parsed) {
             self.store
                 .insert(self.key(sid, EntryKind::Seed), pvv, MemoValue::Seed(seed));
         }
@@ -277,7 +290,7 @@ impl QqMemo {
         let key = self.key(sid, EntryKind::Result);
         let pvv = || {
             let reader = snap.store().open_snapshot(sid).ok()?;
-            page_version_vector(&reader, parsed)
+            self.pvv(&reader, parsed)
         };
         match self.store.lookup(&key, pvv) {
             Some(MemoValue::Result { columns, rows }) => Some(Self::hit_result(columns, rows)),

@@ -27,6 +27,9 @@ pub struct SnapshotCost {
     /// Pages a delta-aware scan skipped because they were shared with
     /// the previous snapshot in the chain.
     pub pages_shared_skipped: u64,
+    /// Pages skipped because a zone-map/bloom sidecar refuted the Qq
+    /// WHERE clause.
+    pub pages_pruned: u64,
     /// Whether the Qq result came from the memo store.
     pub memo_hit: bool,
     /// Whether the iteration took the delta-aware scan path.
@@ -62,7 +65,8 @@ impl MechanismProfile {
                 snap_id: it.snap_id,
                 pages_read: it.qq_stats.io.total_fetches(),
                 pagelog_reads: it.qq_stats.io.pagelog_reads,
-                pages_shared_skipped: it.qq_stats.pages_skipped,
+                pages_shared_skipped: it.qq_stats.pages_skipped_delta,
+                pages_pruned: it.qq_stats.pages_pruned_filter,
                 memo_hit: it.memo_hit,
                 delta_path: it.qq_stats.delta_eligible > 0,
                 qq_rows: it.qq_rows,
@@ -164,17 +168,27 @@ impl QueryProfile {
             );
             let _ = writeln!(
                 out,
-                "{pad}{:>8} {:>7} {:>7} {:>8} {:>5} {:>6} {:>8} {:>10} {:>10}",
-                "snap", "pages", "pagelog", "skipped", "memo", "path", "rows", "wall", "cpu"
+                "{pad}{:>8} {:>7} {:>7} {:>8} {:>7} {:>5} {:>6} {:>8} {:>10} {:>10}",
+                "snap",
+                "pages",
+                "pagelog",
+                "skipped",
+                "pruned",
+                "memo",
+                "path",
+                "rows",
+                "wall",
+                "cpu"
             );
             for s in &m.snapshots {
                 let _ = writeln!(
                     out,
-                    "{pad}{:>8} {:>7} {:>7} {:>8} {:>5} {:>6} {:>8} {:>10} {:>10}",
+                    "{pad}{:>8} {:>7} {:>7} {:>8} {:>7} {:>5} {:>6} {:>8} {:>10} {:>10}",
                     s.snap_id,
                     s.pages_read,
                     s.pagelog_reads,
                     s.pages_shared_skipped,
+                    s.pages_pruned,
                     if s.memo_hit { "hit" } else { "miss" },
                     if s.delta_path { "delta" } else { "seq" },
                     s.qq_rows,
@@ -184,11 +198,12 @@ impl QueryProfile {
             }
             let _ = writeln!(
                 out,
-                "{pad}{:>8} {:>7} {:>7} {:>8} {:>5} {:>6} {:>8} {:>10} {:>10}",
+                "{pad}{:>8} {:>7} {:>7} {:>8} {:>7} {:>5} {:>6} {:>8} {:>10} {:>10}",
                 "total",
                 m.total(|s| s.pages_read),
                 m.total(|s| s.pagelog_reads),
                 m.total(|s| s.pages_shared_skipped),
+                m.total(|s| s.pages_pruned),
                 m.memo_hits(),
                 m.total(|s| u64::from(s.delta_path)),
                 m.total(|s| s.qq_rows),
@@ -233,12 +248,14 @@ impl QueryProfile {
                 let _ = write!(
                     out,
                     "{{\"snap_id\":{},\"pages_read\":{},\"pagelog_reads\":{},\
-                     \"pages_shared_skipped\":{},\"memo_hit\":{},\"delta_path\":{},\
+                     \"pages_shared_skipped\":{},\"pages_pruned\":{},\"memo_hit\":{},\
+                     \"delta_path\":{},\
                      \"qq_rows\":{},\"wall_micros\":{},\"cpu_micros\":{}}}",
                     s.snap_id,
                     s.pages_read,
                     s.pagelog_reads,
                     s.pages_shared_skipped,
+                    s.pages_pruned,
                     s.memo_hit,
                     s.delta_path,
                     s.qq_rows,
@@ -292,7 +309,7 @@ mod tests {
                             pagelog_reads: 2,
                             ..Default::default()
                         },
-                        pages_skipped: 0,
+                        pages_skipped_delta: 0,
                         ..Default::default()
                     },
                     udf_time: Duration::from_millis(1),
@@ -305,7 +322,8 @@ mod tests {
                 IterationReport {
                     snap_id: 2,
                     qq_stats: ExecStats {
-                        pages_skipped: 5,
+                        pages_skipped_delta: 5,
+                        pages_pruned_filter: 2,
                         delta_eligible: 1,
                         ..Default::default()
                     },
@@ -346,7 +364,11 @@ mod tests {
         );
         assert_eq!(
             m.total(|s| s.pages_shared_skipped),
-            r.accumulated_stats().pages_skipped
+            r.accumulated_stats().pages_skipped_delta
+        );
+        assert_eq!(
+            m.total(|s| s.pages_pruned),
+            r.accumulated_stats().pages_pruned_filter
         );
         assert_eq!(m.memo_hits(), r.memo_hits());
         assert_eq!(m.total(|s| s.qq_rows), r.total_qq_rows());
@@ -364,6 +386,7 @@ mod tests {
         );
         assert!(json.contains("\"memo_hit\":true"));
         assert!(json.contains("\"pages_shared_skipped\":5"));
+        assert!(json.contains("\"pages_pruned\":2"));
         let redacted = p.render_json(true);
         assert!(redacted.contains("\"wall_micros\":null"));
     }

@@ -250,10 +250,10 @@ fn delta_skips_pages_and_fetches_less() {
 
     let seq_stats = seq.accumulated_stats();
     let delta_stats = delta.accumulated_stats();
-    assert_eq!(seq_stats.pages_skipped, 0);
+    assert_eq!(seq_stats.pages_skipped_delta, 0);
     assert_eq!(seq_stats.delta_eligible, 0);
     assert!(
-        delta_stats.pages_skipped > 0,
+        delta_stats.pages_skipped_delta > 0,
         "unchanged heap pages should be served from the delta cache, got {delta_stats:?}"
     );
     assert_eq!(delta_stats.delta_eligible, delta.iterations.len() as u64);

@@ -31,7 +31,7 @@ pub mod wal;
 
 pub use cache::{BufferCache, CacheKey, CacheKeying};
 pub use error::{Result, StoreError};
-pub use page::{Page, PageId, SharedPage, DEFAULT_PAGE_SIZE};
+pub use page::{fnv1a, Page, PageId, SharedPage, DEFAULT_PAGE_SIZE};
 pub use pager::{DbView, Pager, PagerConfig, WriteTxn};
 pub use stats::{IoCostModel, IoStats, IoStatsSnapshot};
 pub use storage::{FailingStorage, FileStorage, LogStorage, MemStorage};

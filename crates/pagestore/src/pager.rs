@@ -325,6 +325,13 @@ impl WriteTxn {
         self.writes.len()
     }
 
+    /// Iterate the staged writes (page id + post-image), in no particular
+    /// order. Lets layered stores derive per-page metadata (e.g. pruning
+    /// sidecars) from the exact images about to be published.
+    pub fn staged_pages(&self) -> impl Iterator<Item = (PageId, &Page)> {
+        self.writes.iter().map(|(pid, page)| (*pid, page))
+    }
+
     /// Whether the transaction has staged any writes.
     pub fn is_read_only(&self) -> bool {
         self.writes.is_empty()

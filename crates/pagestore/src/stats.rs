@@ -37,6 +37,14 @@ pub struct IoStats {
     pub maplog_entries_scanned: AtomicU64,
     /// Buffer-cache evictions.
     pub cache_evictions: AtomicU64,
+    /// Heap pages skipped because a pruning sidecar refuted the predicate
+    /// (the page body was never fetched).
+    pub pages_pruned: AtomicU64,
+    /// Qq iterations skipped entirely because every changed page was
+    /// refuted by its sidecar.
+    pub snapshots_pruned: AtomicU64,
+    /// Bytes of pruning-sidecar state built (cumulative).
+    pub sidecar_bytes: AtomicU64,
 }
 
 impl IoStats {
@@ -94,6 +102,28 @@ impl IoStats {
         instant(SpanId::CacheEviction);
     }
 
+    /// Record a heap page pruned by its sidecar (body never fetched).
+    #[inline]
+    pub fn count_page_pruned(&self) {
+        self.pages_pruned.fetch_add(1, Ordering::Relaxed);
+        instant(SpanId::PagePruned);
+    }
+
+    /// Record a Qq iteration skipped because pruning refuted every
+    /// changed page.
+    #[inline]
+    pub fn count_snapshot_pruned(&self) {
+        self.snapshots_pruned.fetch_add(1, Ordering::Relaxed);
+        instant(SpanId::SnapshotPruned);
+    }
+
+    /// Record `n` bytes of sidecar state built.
+    #[inline]
+    pub fn count_sidecar_bytes(&self, n: u64) {
+        self.sidecar_bytes.fetch_add(n, Ordering::Relaxed);
+        instant_arg(SpanId::SidecarBuild, n);
+    }
+
     /// Snapshot the counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -104,6 +134,9 @@ impl IoStats {
             pages_written: self.pages_written.load(Ordering::Relaxed),
             maplog_entries_scanned: self.maplog_entries_scanned.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            pages_pruned: self.pages_pruned.load(Ordering::Relaxed),
+            snapshots_pruned: self.snapshots_pruned.load(Ordering::Relaxed),
+            sidecar_bytes: self.sidecar_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -116,6 +149,9 @@ impl IoStats {
         self.pages_written.store(0, Ordering::Relaxed);
         self.maplog_entries_scanned.store(0, Ordering::Relaxed);
         self.cache_evictions.store(0, Ordering::Relaxed);
+        self.pages_pruned.store(0, Ordering::Relaxed);
+        self.snapshots_pruned.store(0, Ordering::Relaxed);
+        self.sidecar_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -136,6 +172,12 @@ pub struct IoStatsSnapshot {
     pub maplog_entries_scanned: u64,
     /// See [`IoStats::cache_evictions`].
     pub cache_evictions: u64,
+    /// See [`IoStats::pages_pruned`].
+    pub pages_pruned: u64,
+    /// See [`IoStats::snapshots_pruned`].
+    pub snapshots_pruned: u64,
+    /// See [`IoStats::sidecar_bytes`].
+    pub sidecar_bytes: u64,
 }
 
 impl IoStatsSnapshot {
@@ -149,6 +191,9 @@ impl IoStatsSnapshot {
             pages_written: self.pages_written - earlier.pages_written,
             maplog_entries_scanned: self.maplog_entries_scanned - earlier.maplog_entries_scanned,
             cache_evictions: self.cache_evictions - earlier.cache_evictions,
+            pages_pruned: self.pages_pruned - earlier.pages_pruned,
+            snapshots_pruned: self.snapshots_pruned - earlier.snapshots_pruned,
+            sidecar_bytes: self.sidecar_bytes - earlier.sidecar_bytes,
         }
     }
 
@@ -161,6 +206,9 @@ impl IoStatsSnapshot {
         self.pages_written += other.pages_written;
         self.maplog_entries_scanned += other.maplog_entries_scanned;
         self.cache_evictions += other.cache_evictions;
+        self.pages_pruned += other.pages_pruned;
+        self.snapshots_pruned += other.snapshots_pruned;
+        self.sidecar_bytes += other.sidecar_bytes;
     }
 
     /// Total page fetches from any source.
@@ -172,7 +220,7 @@ impl IoStatsSnapshot {
     /// exporters that render all fields without hand-maintaining the
     /// schema at each call site. Names are snake_case and match the
     /// field names.
-    pub fn fields(&self) -> [(&'static str, u64); 7] {
+    pub fn fields(&self) -> [(&'static str, u64); 10] {
         [
             ("db_reads", self.db_reads),
             ("cache_hits", self.cache_hits),
@@ -181,6 +229,9 @@ impl IoStatsSnapshot {
             ("pages_written", self.pages_written),
             ("maplog_entries_scanned", self.maplog_entries_scanned),
             ("cache_evictions", self.cache_evictions),
+            ("pages_pruned", self.pages_pruned),
+            ("snapshots_pruned", self.snapshots_pruned),
+            ("sidecar_bytes", self.sidecar_bytes),
         ]
     }
 }

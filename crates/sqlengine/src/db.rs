@@ -30,14 +30,15 @@ use crate::heap::{FreeSpaceMap, RecordId};
 use crate::parser::parse_statements;
 use crate::record::{encode_index_key, encode_row, Row};
 use crate::schema::{ColumnType, IndexSchema, TableSchema};
+use crate::sidecar::PredSummary;
 use crate::udf::UdfRegistry;
 use crate::value::Value;
 
 /// Result of executing one statement.
 #[derive(Debug)]
 pub enum ExecOutcome {
-    /// A query's rows.
-    Rows(QueryResult),
+    /// A query's rows (boxed: `QueryResult` dwarfs the other variants).
+    Rows(Box<QueryResult>),
     /// DML row count.
     Affected(u64),
     /// `COMMIT WITH SNAPSHOT` declared this snapshot.
@@ -50,7 +51,7 @@ impl ExecOutcome {
     /// The query result, if this outcome carries rows.
     pub fn rows(self) -> Option<QueryResult> {
         match self {
-            ExecOutcome::Rows(r) => Some(r),
+            ExecOutcome::Rows(r) => Some(*r),
             _ => None,
         }
     }
@@ -71,6 +72,20 @@ pub struct Database {
     /// [`CancelToken::clear`]; shared with watchdogs via
     /// [`Database::cancel_token`].
     cancel: CancelToken,
+    /// Pruning filter columns per lowercase table name. Declared entries
+    /// ([`Database::declare_filter_columns`]) are fixed; undeclared ones
+    /// grow by auto-inference from the refutable conjuncts of snapshot
+    /// (`AS OF`/delta) queries.
+    filter_cols: RwLock<HashMap<String, FilterCols>>,
+}
+
+/// One table's sidecar filter-column configuration.
+#[derive(Debug, Clone)]
+struct FilterCols {
+    /// Table-local column indices, sorted, deduplicated.
+    cols: Vec<usize>,
+    /// `true` when explicitly declared — auto-inference leaves it alone.
+    declared: bool,
 }
 
 impl Database {
@@ -93,6 +108,7 @@ impl Database {
             fsms: Mutex::new(HashMap::new()),
             cost_model: IoCostModel::default(),
             cancel: CancelToken::new(),
+            filter_cols: RwLock::new(HashMap::new()),
         };
         db.ensure_catalog();
         Arc::new(db)
@@ -159,7 +175,7 @@ impl Database {
     /// Execute a single query and return its rows.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
         match self.execute(sql)? {
-            ExecOutcome::Rows(r) => Ok(r),
+            ExecOutcome::Rows(r) => Ok(*r),
             _ => Err(SqlError::Invalid("statement returned no rows".into())),
         }
     }
@@ -187,7 +203,9 @@ impl Database {
     /// Execute one parsed statement.
     pub fn execute_stmt(&self, stmt: &Stmt) -> Result<ExecOutcome> {
         match stmt {
-            Stmt::Select(select) => Ok(ExecOutcome::Rows(self.run_select_dispatch(select)?)),
+            Stmt::Select(select) => Ok(ExecOutcome::Rows(Box::new(
+                self.run_select_dispatch(select)?,
+            ))),
             Stmt::Begin => {
                 let mut open = self.open_txn.lock();
                 if open.is_some() {
@@ -251,6 +269,10 @@ impl Database {
                 let mut r =
                     run_select_cancellable(select, &reader, &catalog, &udfs, Some(&self.cancel))?;
                 r.stats.spt_build = spt_build;
+                // Snapshot scans are the pruning workload: learn this
+                // query's refutable columns so future commits (and a
+                // backfill now) carry sidecars for them.
+                self.note_query_filter_cols(select, &catalog, &udfs);
                 r
             }
             None => {
@@ -272,6 +294,7 @@ impl Database {
             }
         };
         result.stats.io = self.io_stats().snapshot().delta(&io_before);
+        result.stats.pages_pruned_filter = result.stats.io.pages_pruned;
         Ok(result)
     }
 
@@ -344,11 +367,13 @@ impl Database {
         let Some(scan) = runner.scan(select, reader, &catalog, &udfs)? else {
             return Ok(None);
         };
+        self.note_query_filter_cols(select, &catalog, &udfs);
         let stats = ExecStats {
             spt_build: reader.build_stats().duration,
             eval: started.elapsed(),
             io: self.io_stats().snapshot().delta(&io_before),
-            pages_skipped: scan.pages_skipped,
+            pages_skipped_delta: scan.pages_skipped,
+            pages_pruned_filter: scan.pages_pruned,
             delta_eligible: 1,
             ..Default::default()
         };
@@ -388,6 +413,194 @@ impl Database {
         let udfs = self.udfs.read().clone();
         let compiled = compile(expr, &Scope::empty(), &udfs, None)?;
         eval(&compiled, &[], &[])
+    }
+
+    // ---- pruning sidecars ------------------------------------------------
+
+    /// Declare the sidecar filter columns for `table` — the DDL-hint
+    /// override. From the next commit on, written pages carry zone-map +
+    /// bloom sidecars over these columns; current pages are backfilled
+    /// immediately. Auto-inference stops touching a declared table.
+    /// Returns how many current pages were backfilled.
+    pub fn declare_filter_columns(&self, table: &str, cols: &[&str]) -> Result<usize> {
+        let view = self.store.current_view();
+        let catalog = Catalog::load(&view)?;
+        let info = catalog.require_table(table)?;
+        let mut idx = Vec::with_capacity(cols.len());
+        for c in cols {
+            idx.push(info.schema.require_column(c)?);
+        }
+        idx.sort_unstable();
+        idx.dedup();
+        self.filter_cols.write().insert(
+            info.schema.name.to_ascii_lowercase(),
+            FilterCols {
+                cols: idx,
+                declared: true,
+            },
+        );
+        self.refresh_sidecar_builder();
+        self.backfill_sidecars()
+    }
+
+    /// The filter columns currently driving sidecar builds for `table`
+    /// (sorted table-local indices), or `None` when the table has no
+    /// pruning configuration.
+    pub fn filter_columns(&self, table: &str) -> Option<Vec<usize>> {
+        self.filter_cols
+            .read()
+            .get(&table.to_ascii_lowercase())
+            .map(|f| f.cols.clone())
+    }
+
+    /// Hash of the pruning configuration: sidecar format version plus
+    /// every table's filter columns. Folded into memoization keys so a
+    /// cached result is never matched across a configuration change
+    /// (results don't depend on sidecars, but the page-version vectors
+    /// compared for a hit are read under this configuration).
+    pub fn filter_config_hash(&self) -> u64 {
+        let reg = self.filter_cols.read();
+        let mut items: Vec<(&String, &FilterCols)> = reg.iter().collect();
+        items.sort_by(|a, b| a.0.cmp(b.0));
+        let mut buf = vec![crate::sidecar::SIDECAR_FORMAT_VERSION];
+        for (name, fc) in items {
+            buf.extend_from_slice(name.as_bytes());
+            buf.push(0);
+            for c in &fc.cols {
+                buf.extend_from_slice(&(*c as u64).to_le_bytes());
+            }
+            buf.push(u8::from(fc.declared));
+        }
+        rql_pagestore::fnv1a(&buf)
+    }
+
+    /// Build and install sidecars for the current pages of every table
+    /// with filter columns. The install is epoch-guarded inside
+    /// [`RetroStore::install_current_sidecars`]: a commit racing this
+    /// backfill wins, and losing only means those pages stay
+    /// sidecar-less until rewritten. Returns how many were installed.
+    pub fn backfill_sidecars(&self) -> Result<usize> {
+        let reg: Vec<(String, Vec<usize>)> = {
+            let reg = self.filter_cols.read();
+            reg.iter()
+                .filter(|(_, f)| !f.cols.is_empty())
+                .map(|(k, f)| (k.clone(), f.cols.clone()))
+                .collect()
+        };
+        if reg.is_empty() {
+            return Ok(0);
+        }
+        // The epoch must be read before the view is pinned: any commit
+        // between the two bumps it and voids this whole batch.
+        let epoch = self.store.sidecar_epoch();
+        let view = self.store.current_view();
+        let catalog = Catalog::load(&view)?;
+        let mut entries = Vec::new();
+        for (tname, cols) in &reg {
+            let Some(info) = catalog.table(tname) else {
+                continue;
+            };
+            let mut pid = info.root;
+            loop {
+                let page = view.page(pid)?;
+                if let Some(bytes) = crate::sidecar::build_sidecar(pid, &page, cols) {
+                    entries.push((pid, bytes));
+                }
+                match crate::heap::page_next(&page) {
+                    Some(n) => pid = n,
+                    None => break,
+                }
+            }
+        }
+        Ok(self.store.install_current_sidecars(epoch, entries))
+    }
+
+    /// Re-install the store's sidecar builder over the union of every
+    /// table's filter columns. The builder is table-blind (it sees bare
+    /// page images at commit), so it summarizes the union; columns a
+    /// page's rows don't have are skipped by the builder itself.
+    fn refresh_sidecar_builder(&self) {
+        let union: Vec<usize> = {
+            let reg = self.filter_cols.read();
+            let mut u: Vec<usize> = reg.values().flat_map(|f| f.cols.iter().copied()).collect();
+            u.sort_unstable();
+            u.dedup();
+            u
+        };
+        if union.is_empty() {
+            return;
+        }
+        self.store.set_sidecar_builder(Arc::new(move |pid, page| {
+            crate::sidecar::build_sidecar(pid, page, &union)
+        }));
+    }
+
+    /// Auto-inference: fold the refutable (`col ⋄ const`) columns of a
+    /// single-table snapshot query into the table's filter set, unless
+    /// it was explicitly declared. On growth, refresh the commit-time
+    /// builder and backfill current pages so pruning starts now rather
+    /// than after the next rewrite of each page.
+    fn note_query_filter_cols(&self, select: &SelectStmt, catalog: &Catalog, udfs: &UdfRegistry) {
+        if select.from.len() != 1 || !select.joins.is_empty() {
+            return;
+        }
+        let Some(w) = &select.where_clause else {
+            return;
+        };
+        let Ok(info) = catalog.require_table(&select.from[0].name) else {
+            return;
+        };
+        let alias = select.from[0].binding().to_ascii_lowercase();
+        let mut scope = Scope::empty();
+        scope.push(
+            &alias,
+            info.schema.columns.iter().map(|c| c.name.clone()).collect(),
+        );
+        let mut conjuncts = Vec::new();
+        crate::exec::collect_conjuncts(w, &mut conjuncts);
+        let mut compiled = Vec::with_capacity(conjuncts.len());
+        for c in conjuncts {
+            let Ok(cc) = compile(c, &scope, udfs, None) else {
+                return;
+            };
+            compiled.push(cc);
+        }
+        let pred = PredSummary::from_conjuncts(compiled.iter(), 0);
+        let mut cols: Vec<usize> = pred
+            .atoms
+            .iter()
+            .map(super::sidecar::PredAtom::col)
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        if cols.is_empty() {
+            return;
+        }
+        let grew = {
+            let mut reg = self.filter_cols.write();
+            let entry = reg
+                .entry(info.schema.name.to_ascii_lowercase())
+                .or_insert_with(|| FilterCols {
+                    cols: Vec::new(),
+                    declared: false,
+                });
+            if entry.declared {
+                false
+            } else {
+                let before = entry.cols.len();
+                for c in cols {
+                    if !entry.cols.contains(&c) {
+                        entry.cols.push(c);
+                    }
+                }
+                entry.cols.sort_unstable();
+                entry.cols.len() > before
+            }
+        };
+        if grew {
+            self.refresh_sidecar_builder();
+            let _ = self.backfill_sidecars();
+        }
     }
 
     // ---- writes ----------------------------------------------------------

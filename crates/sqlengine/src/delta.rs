@@ -39,6 +39,7 @@ use crate::exec;
 use crate::heap::{page_next, page_rows};
 use crate::pagesource::PageSource;
 use crate::record::Row;
+use crate::sidecar::PredSummary;
 use crate::udf::UdfRegistry;
 use crate::value::Value;
 
@@ -118,6 +119,45 @@ pub struct DeltaScan {
     pub pages_read: u64,
     /// Heap pages served from the scanner's cache without a fetch.
     pub pages_skipped: u64,
+    /// Heap pages whose sidecar refuted the filter — skipped without a
+    /// fetch *and* without cached rows.
+    pub pages_pruned: u64,
+}
+
+/// Why a whole snapshot iteration needed no page fetch and produced no
+/// row delta — the consumer may reuse the previous iteration's output
+/// verbatim instead of re-running the post-scan stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// Every page was served from the scanner's cache (nothing changed
+    /// since the previous snapshot).
+    Delta,
+    /// The snapshot's changed pages were all refuted by their sidecars:
+    /// the work set was non-empty but pruning emptied it.
+    Pruned,
+}
+
+impl DeltaScan {
+    /// `Some(reason)` when this scan read zero heap pages and the row set
+    /// is byte-identical to the previous iteration's, so downstream
+    /// filtering/projection can be skipped outright. `Pruned` wins over
+    /// `Delta` when sidecar refutation is what emptied the fetch list.
+    pub fn snapshot_skip(&self) -> Option<SkipReason> {
+        if self.rebuilt
+            || self.pages_read != 0
+            || !self.added.is_empty()
+            || !self.removed.is_empty()
+        {
+            return None;
+        }
+        if self.pages_pruned > 0 {
+            Some(SkipReason::Pruned)
+        } else if self.pages_skipped > 0 {
+            Some(SkipReason::Delta)
+        } else {
+            None
+        }
+    }
 }
 
 /// Per-page cached state from the previous scan.
@@ -231,13 +271,19 @@ impl DeltaTableScanner {
     /// rows plus the delta against the previous scan. Falls back to a
     /// full rebuild when `src` reports no changed set, the root moved, or
     /// the scanner was invalidated.
+    ///
+    /// When `pred` is non-empty, pages whose sidecar (via
+    /// [`PageSource::sidecar_for`]) refutes it are skipped without a
+    /// fetch; `pred` must be an over-approximation of `filter` (every
+    /// row passing `filter` satisfies every atom of `pred`).
     pub fn scan<S: PageSource>(
         &mut self,
         src: &S,
         root: PageId,
         filter: &dyn Fn(&Row) -> Result<bool>,
+        pred: &PredSummary,
     ) -> Result<DeltaScan> {
-        let result = self.scan_inner(src, root, filter);
+        let result = self.scan_inner(src, root, filter, pred);
         if result.is_err() {
             // A partial walk may have updated some cache entries but not
             // produced a delta; don't let a retry diff against it.
@@ -251,10 +297,11 @@ impl DeltaTableScanner {
         src: &S,
         root: PageId,
         filter: &dyn Fn(&Row) -> Result<bool>,
+        pred: &PredSummary,
     ) -> Result<DeltaScan> {
         let use_delta = self.valid && self.root == Some(root) && src.changed_pages().is_some();
         if !use_delta {
-            return self.rebuild(src, root, filter);
+            return self.rebuild(src, root, filter, pred);
         }
         let changed = src.changed_pages().expect("checked above");
 
@@ -264,6 +311,7 @@ impl DeltaTableScanner {
         let mut visited: HashSet<u64> = HashSet::new();
         let mut pages_read = 0u64;
         let mut pages_skipped = 0u64;
+        let mut pages_pruned = 0u64;
         let mut pid = root;
         loop {
             if !visited.insert(pid.0) {
@@ -273,6 +321,31 @@ impl DeltaTableScanner {
                 )));
             }
             let next = if changed.contains(&pid) || !self.cache.contains_key(&pid.0) {
+                if let Some(next) = prune_page(src, pid, pred) {
+                    // The sidecar proved no row of this page version can
+                    // pass the filter: same outcome as fetching the page
+                    // and keeping nothing, minus the fetch.
+                    pages_pruned += 1;
+                    let old_rows = self
+                        .cache
+                        .get(&pid.0)
+                        .map_or(&[][..], |c| c.rows.as_slice());
+                    diff_rows(old_rows, &[], &mut added, &mut removed);
+                    self.cache.insert(
+                        pid.0,
+                        CachedPage {
+                            next,
+                            rows: Vec::new(),
+                        },
+                    );
+                    match next {
+                        Some(n) => {
+                            pid = n;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
                 let page = src.page(pid)?;
                 pages_read += 1;
                 let mut kept = Vec::new();
@@ -322,6 +395,7 @@ impl DeltaTableScanner {
             rebuilt: false,
             pages_read,
             pages_skipped,
+            pages_pruned,
         })
     }
 
@@ -330,12 +404,14 @@ impl DeltaTableScanner {
         src: &S,
         root: PageId,
         filter: &dyn Fn(&Row) -> Result<bool>,
+        pred: &PredSummary,
     ) -> Result<DeltaScan> {
         self.cache.clear();
         self.root = Some(root);
         let mut rows: Vec<Row> = Vec::new();
         let mut visited: HashSet<u64> = HashSet::new();
         let mut pages_read = 0u64;
+        let mut pages_pruned = 0u64;
         let mut pid = root;
         loop {
             if !visited.insert(pid.0) {
@@ -343,6 +419,23 @@ impl DeltaTableScanner {
                     "heap chain cycle at page {}",
                     pid.0
                 )));
+            }
+            if let Some(next) = prune_page(src, pid, pred) {
+                pages_pruned += 1;
+                self.cache.insert(
+                    pid.0,
+                    CachedPage {
+                        next,
+                        rows: Vec::new(),
+                    },
+                );
+                match next {
+                    Some(n) => {
+                        pid = n;
+                        continue;
+                    }
+                    None => break,
+                }
             }
             let page = src.page(pid)?;
             pages_read += 1;
@@ -367,8 +460,26 @@ impl DeltaTableScanner {
             removed: Vec::new(),
             rebuilt: true,
             pages_read,
+            pages_pruned,
             pages_skipped: 0,
         })
+    }
+}
+
+/// Consult `src`'s sidecar for `pid`: `Some(next)` when the sidecar
+/// refutes `pred` (the page can be skipped and the chain continued at
+/// `next`), `None` when the page must be read — no sidecar, a decode
+/// fault, an empty predicate, or a summary that can't rule the page out.
+fn prune_page<S: PageSource>(src: &S, pid: PageId, pred: &PredSummary) -> Option<Option<PageId>> {
+    if pred.is_empty() {
+        return None;
+    }
+    let sc = src.sidecar_for(pid)?;
+    if sc.refutes(pred) {
+        src.count_page_pruned();
+        Some(sc.next)
+    } else {
+        None
     }
 }
 
@@ -493,6 +604,9 @@ impl DeltaSelectRunner {
                 }
             }
         }
+        // Single-table scope: compiled `Col` offsets *are* table column
+        // indices, so the refutable summary uses col_base 0.
+        let pred = PredSummary::from_conjuncts(compiled.iter(), 0);
         let filter = |row: &Row| -> Result<bool> {
             for c in &compiled {
                 if !eval(c, row, &[])?.is_truthy() {
@@ -501,7 +615,7 @@ impl DeltaSelectRunner {
             }
             Ok(true)
         };
-        self.scanner.scan(src, info.root, &filter).map(Some)
+        self.scanner.scan(src, info.root, &filter, &pred).map(Some)
     }
 }
 

@@ -378,8 +378,15 @@ fn scan_base_table<S: PageSource>(
         }
         None => {
             plan.push(format!("{}: seq scan", info.schema.name));
+            // Refutable summary of the conjuncts this scan applies; the
+            // compiled offsets are absolute, so rebase to the table's
+            // column range. Sidecar-less sources prune nothing.
+            let pred = crate::sidecar::PredSummary::from_conjuncts(
+                applicable.iter().map(|&i| &conjuncts[i].0),
+                range.0,
+            );
             let mut seen = 0usize;
-            heap.scan(src, |_, row| {
+            heap.scan_pruned(src, &pred, |_, row| {
                 seen += 1;
                 if seen.is_multiple_of(CHECK_EVERY_ROWS) {
                     if let Some(token) = cancel {

@@ -28,7 +28,11 @@ pub struct ExecStats {
     pub rows: u64,
     /// Heap pages a delta-aware scan served from its page cache instead
     /// of fetching (zero for ordinary executions).
-    pub pages_skipped: u64,
+    pub pages_skipped_delta: u64,
+    /// Heap pages skipped because their zone-map/bloom sidecar refuted
+    /// the WHERE clause — no fetch, no cached rows (both the delta and
+    /// the ordinary seq-scan path report these).
+    pub pages_pruned_filter: u64,
     /// 1 when this execution took the delta-aware scan path, 0 otherwise
     /// (accumulates to "delta iterations" across a report).
     pub delta_eligible: u64,
@@ -53,7 +57,8 @@ impl ExecStats {
         self.eval += other.eval;
         self.io.accumulate(&other.io);
         self.rows += other.rows;
-        self.pages_skipped += other.pages_skipped;
+        self.pages_skipped_delta += other.pages_skipped_delta;
+        self.pages_pruned_filter += other.pages_pruned_filter;
         self.delta_eligible += other.delta_eligible;
     }
 }

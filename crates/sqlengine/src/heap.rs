@@ -26,7 +26,7 @@ use crate::record::{decode_row, Row};
 
 const HEADER: usize = 16;
 const SLOT_SIZE: usize = 4;
-const OFF_NEXT: usize = 0;
+pub(crate) const OFF_NEXT: usize = 0;
 const OFF_SLOT_COUNT: usize = 8;
 const OFF_CELL_START: usize = 10;
 const OFF_DEAD: usize = 12;
@@ -195,6 +195,53 @@ impl HeapFile {
             let next = page.read_u64(OFF_NEXT);
             if next == NIL {
                 return Ok(());
+            }
+            pid = PageId(next);
+        }
+    }
+
+    /// Like [`Self::scan`], but consults the source's pruning sidecars
+    /// first: a page whose sidecar refutes `pred` is skipped — its chain
+    /// successor taken from the sidecar — without fetching the body.
+    /// Returns the number of pages pruned. `pred` must over-approximate
+    /// whatever filtering `f` applies.
+    pub fn scan_pruned<S: PageSource>(
+        &self,
+        src: &S,
+        pred: &crate::sidecar::PredSummary,
+        mut f: impl FnMut(RecordId, Row) -> Result<bool>,
+    ) -> Result<u64> {
+        let mut pruned = 0u64;
+        let mut pid = self.root;
+        loop {
+            if !pred.is_empty() {
+                if let Some(sc) = src.sidecar_for(pid) {
+                    if sc.refutes(pred) {
+                        src.count_page_pruned();
+                        pruned += 1;
+                        match sc.next {
+                            Some(n) => {
+                                pid = n;
+                                continue;
+                            }
+                            None => return Ok(pruned),
+                        }
+                    }
+                }
+            }
+            let page = src.page(pid)?;
+            let slot_count = page.read_u16(OFF_SLOT_COUNT);
+            for slot in 0..slot_count {
+                if let Some(bytes) = read_cell(&page, slot) {
+                    let row = decode_row(bytes)?;
+                    if !f(RecordId { page: pid, slot }, row)? {
+                        return Ok(pruned);
+                    }
+                }
+            }
+            let next = page.read_u64(OFF_NEXT);
+            if next == NIL {
+                return Ok(pruned);
             }
             pid = PageId(next);
         }

@@ -38,6 +38,7 @@ pub mod pagesource;
 pub mod parser;
 pub mod record;
 pub mod schema;
+pub mod sidecar;
 pub mod tablewriter;
 pub mod udf;
 pub mod value;
@@ -46,7 +47,9 @@ pub use ast::{Expr, SelectStmt, Stmt};
 pub use cancel::{CancelCause, CancelToken};
 pub use catalog::{Catalog, IndexInfo, TableInfo};
 pub use db::{Database, ExecOutcome};
-pub use delta::{DeltaScan, DeltaSelectRunner, DeltaTableScanner, ScannerSeed, SeedPage};
+pub use delta::{
+    DeltaScan, DeltaSelectRunner, DeltaTableScanner, ScannerSeed, SeedPage, SkipReason,
+};
 pub use error::{Result, SqlError};
 pub use exec::QueryResult;
 pub use exec_stats::ExecStats;
@@ -56,6 +59,7 @@ pub use pagesource::PageSource;
 pub use parser::{parse_select, parse_statement, parse_statements};
 pub use record::Row;
 pub use schema::{ColumnDef, ColumnType, IndexSchema, TableSchema};
+pub use sidecar::{build_sidecar, PredAtom, PredSummary, Sidecar, SIDECAR_FORMAT_VERSION};
 pub use tablewriter::TableWriter;
 pub use udf::UdfRegistry;
 pub use value::{GroupKey, Value};

@@ -8,9 +8,12 @@
 //! plan over a [`SnapshotReader`] source.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use rql_pagestore::{DbView, PageId, Result, SharedPage, WriteTxn};
 use rql_retro::SnapshotReader;
+
+use crate::sidecar::Sidecar;
 
 /// A source of immutable page reads.
 pub trait PageSource {
@@ -28,6 +31,19 @@ pub trait PageSource {
     fn changed_pages(&self) -> Option<&HashSet<PageId>> {
         None
     }
+
+    /// Decoded, validated pruning sidecar for the page *version* this
+    /// source would serve for `pid`, or `None` (= don't prune, read the
+    /// page). Only snapshot readers resolve sidecars: current-state and
+    /// in-transaction scans run over the memory-resident database where
+    /// a page fetch costs nothing worth saving.
+    fn sidecar_for(&self, _pid: PageId) -> Option<Sidecar> {
+        None
+    }
+
+    /// Record a page skipped thanks to its sidecar (routes to the
+    /// store's I/O counters where supported).
+    fn count_page_pruned(&self) {}
 }
 
 impl PageSource for DbView {
@@ -51,6 +67,17 @@ impl PageSource for SnapshotReader {
 
     fn changed_pages(&self) -> Option<&HashSet<PageId>> {
         SnapshotReader::changed_from_prev(self)
+    }
+
+    fn sidecar_for(&self, pid: PageId) -> Option<Sidecar> {
+        let bytes: Arc<Vec<u8>> = SnapshotReader::sidecar_for(self, pid)?;
+        // Any decode fault (corrupt, misrouted, truncated) yields `None`
+        // here and a counted full page read at the caller.
+        Sidecar::decode(&bytes, pid)
+    }
+
+    fn count_page_pruned(&self) {
+        SnapshotReader::count_page_pruned(self);
     }
 }
 

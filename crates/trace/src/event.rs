@@ -87,6 +87,10 @@ span_ids! {
     MaplogScan = (7, "maplog_scan", "pagestore"),
     /// WAL durability sync (fsync analog).
     WalFsync = (8, "wal_fsync", "pagestore"),
+    /// Heap page skipped because its sidecar refuted the predicate.
+    PagePruned = (9, "page_pruned", "pagestore"),
+    /// Pruning sidecar built for a staged page (arg = sidecar bytes).
+    SidecarBuild = (10, "sidecar_build", "pagestore"),
     // -- retro ---------------------------------------------------------
     /// Snapshot chain opened for reading (arg = snapshot id).
     ChainOpen = (16, "chain_open", "retro"),
@@ -116,6 +120,9 @@ span_ids! {
     SeqPath = (54, "seq_path", "rql"),
     /// Mechanism finalization (e.g. AggVariable result materialization).
     Finalize = (55, "finalize", "rql"),
+    /// Iteration skipped entirely: every changed page was refuted by its
+    /// sidecar, so the prior snapshot's rows were reused (arg = snapshot id).
+    SnapshotPruned = (56, "snapshot_pruned", "rql"),
     // -- memo ----------------------------------------------------------
     /// Memo store probe (lookup).
     MemoProbe = (64, "memo_probe", "memo"),

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json bench artifacts.
+
+Usage: validate_bench.py [FILE...]
+
+With no arguments, validates every BENCH_*.json in the current
+directory. Stdlib-only (CI runners have no jsonschema package). Checks,
+for every artifact:
+
+  - well-formed JSON object
+  - schema_version present and equal to the supported version
+  - experiment present and known
+  - the experiment's required keys present with the right JSON types
+  - identical_results is true (a bench that changed answers is a bug,
+    not a regression)
+
+Acceptance thresholds (speedup targets) are *reported*, not enforced:
+they are workload- and machine-sensitive, and the markdown already
+flags them OK/UNEXPECTED. Exits non-zero with a path-qualified message
+on the first structural violation.
+"""
+
+import glob
+import json
+import sys
+
+SUPPORTED_SCHEMA_VERSION = 1
+
+NUM = (int, float)
+
+# experiment -> {key: required type(s)}
+REQUIRED = {
+    "memo_cache": {
+        "snapshots": int,
+        "nomemo_qq_cost_ms": NUM,
+        "cold_qq_cost_ms": NUM,
+        "warm_qq_cost_ms": NUM,
+        "warm_speedup_vs_nomemo": NUM,
+        "warm_hit_rate": NUM,
+        "identical_results": bool,
+        "memo_hits": int,
+        "memo_misses": int,
+        "phases": dict,
+    },
+    "prune_scan": {
+        "rows": int,
+        "snapshots": int,
+        "lanes": list,
+        "delta_1pct": dict,
+        "speedup_at_1pct": NUM,
+        "identical_results": bool,
+        "pass": bool,
+    },
+}
+
+PRUNE_LANE = {
+    "selectivity": str,
+    "threshold": int,
+    "baseline_cost_ms": NUM,
+    "pruned_cost_ms": NUM,
+    "speedup": NUM,
+    "pagelog_reads_baseline": int,
+    "pagelog_reads_pruned": int,
+    "pages_pruned": int,
+    "identical_results": bool,
+}
+
+
+def fail(path, msg):
+    sys.exit(f"bench artifact invalid at {path}: {msg}")
+
+
+def check_keys(obj, spec, path):
+    for key, typ in spec.items():
+        if key not in obj:
+            fail(path, f"missing key {key!r}")
+        value = obj[key]
+        if isinstance(value, bool) and typ is not bool:
+            fail(f"{path}.{key}", f"expected {typ}, got bool")
+        if not isinstance(value, typ):
+            fail(f"{path}.{key}", f"expected {typ}, got {type(value).__name__}")
+
+
+def validate(name):
+    try:
+        with open(name, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(name, str(e))
+    if not isinstance(doc, dict):
+        fail(name, "top level is not an object")
+    version = doc.get("schema_version")
+    if version != SUPPORTED_SCHEMA_VERSION:
+        fail(f"{name}.schema_version", f"expected {SUPPORTED_SCHEMA_VERSION}, got {version!r}")
+    experiment = doc.get("experiment")
+    if experiment not in REQUIRED:
+        fail(f"{name}.experiment", f"unknown experiment {experiment!r}")
+    check_keys(doc, REQUIRED[experiment], name)
+    if not doc["identical_results"]:
+        fail(f"{name}.identical_results", "lanes returned different answers")
+    if experiment == "prune_scan":
+        if not doc["lanes"]:
+            fail(f"{name}.lanes", "empty sweep")
+        for i, lane in enumerate(doc["lanes"]):
+            if not isinstance(lane, dict):
+                fail(f"{name}.lanes[{i}]", "lane is not an object")
+            check_keys(lane, PRUNE_LANE, f"{name}.lanes[{i}]")
+            if not lane["identical_results"]:
+                fail(f"{name}.lanes[{i}]", "pruned lane returned different answers")
+    print(f"{name}: OK ({experiment}, schema_version {version})")
+
+
+def main():
+    names = sys.argv[1:] or sorted(glob.glob("BENCH_*.json"))
+    if not names:
+        sys.exit("validate_bench.py: no BENCH_*.json artifacts found")
+    for name in names:
+        validate(name)
+
+
+if __name__ == "__main__":
+    main()

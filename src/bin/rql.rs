@@ -208,11 +208,13 @@ fn print_result(name: &str, result: &WireResult) {
     }
     for report in &result.reports {
         println!(
-            "-- {}: {} iterations, {} Qq rows, {} pages skipped, {} pagelog reads, {} cache hits",
+            "-- {}: {} iterations, {} Qq rows, {} pages delta-skipped, {} pages pruned, \
+             {} pagelog reads, {} cache hits",
             report.table,
             report.iterations,
             report.qq_rows,
-            report.pages_skipped,
+            report.pages_skipped_delta,
+            report.pages_pruned_filter,
             report.pagelog_reads,
             report.cache_hits
         );

@@ -488,14 +488,28 @@ fn delta_policy_skips_pages_over_the_wire() {
     let report = &result.reports[0];
     assert_eq!(report.iterations, 6);
     assert!(
-        report.pages_skipped > 0,
+        report.pages_skipped_delta > 0,
         "forced delta should skip unchanged pages, got {report:?}"
     );
 
     let metrics = client.metrics(true).expect("metrics json");
     assert!(
-        !metrics.contains("\"pages_skipped\":0,"),
-        "server-side pages_skipped metric stayed zero:\n{metrics}"
+        !metrics.contains("\"pages_skipped_delta\":0,"),
+        "server-side pages_skipped_delta metric stayed zero:\n{metrics}"
+    );
+    // The pruning counters must round-trip through METRICS as JSON
+    // (io_-prefixed, from the shared store's I/O snapshot).
+    assert!(
+        metrics.contains("\"io_pages_pruned\":"),
+        "METRICS json missing io_pages_pruned:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("\"io_sidecar_bytes\":"),
+        "METRICS json missing io_sidecar_bytes:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("\"pages_pruned_filter\":"),
+        "METRICS json missing pages_pruned_filter:\n{metrics}"
     );
     handle.shutdown();
     handle.wait();
