@@ -13,7 +13,14 @@
 //! * `RQL1xx` — rewrite-safety (the `AS OF` injection and
 //!   `current_snapshot()` substitution of paper §3);
 //! * `RQL2xx` — delta-eligibility (the DESIGN.md §5b fallback matrix as
-//!   compile-time diagnostics).
+//!   compile-time diagnostics);
+//! * `RQL31x` — whole-program dataflow (def-use over result tables;
+//!   `RQL300`–`RQL309` stay reserved for the runtime/server codes the
+//!   wire protocol already uses: RQL300 client cancel, RQL301 timeout).
+//!
+//! A diagnostic may carry a [`Fix`]: a byte-span replacement with a
+//! rustc-style [`Applicability`]. `rqlcheck --fix` applies only
+//! [`Applicability::MachineApplicable`] fixes.
 
 use std::fmt;
 
@@ -65,11 +72,16 @@ pub enum Code {
     MemoIneligible,
     ProfiledUdfOpaque,
     PruneIneligibleWhere,
+    // ---- RQL31x: whole-program dataflow --------------------------------
+    DeadResultTable,
+    UseBeforeDefine,
+    SnapshotSetMismatch,
+    RedundantRecompute,
 }
 
 impl Code {
     /// Every code, for registry-coverage assertions.
-    pub const ALL: [Code; 38] = [
+    pub const ALL: [Code; 42] = [
         Code::UnknownTable,
         Code::UnknownColumn,
         Code::UnknownFunction,
@@ -108,6 +120,10 @@ impl Code {
         Code::MemoIneligible,
         Code::ProfiledUdfOpaque,
         Code::PruneIneligibleWhere,
+        Code::DeadResultTable,
+        Code::UseBeforeDefine,
+        Code::SnapshotSetMismatch,
+        Code::RedundantRecompute,
     ];
 
     /// The stable code string, e.g. `"RQL002"`.
@@ -151,6 +167,13 @@ impl Code {
             Code::MemoIneligible => "RQL207",
             Code::ProfiledUdfOpaque => "RQL208",
             Code::PruneIneligibleWhere => "RQL209",
+            // RQL300–RQL309 are reserved: the runtime/server taxonomy
+            // already emits RQL300 (client cancel) and RQL301 (timeout)
+            // over the wire, so dataflow codes start at RQL310.
+            Code::DeadResultTable => "RQL310",
+            Code::UseBeforeDefine => "RQL311",
+            Code::SnapshotSetMismatch => "RQL312",
+            Code::RedundantRecompute => "RQL313",
         }
     }
 
@@ -213,6 +236,20 @@ impl Code {
                 "no Qq WHERE conjunct compares a bare column to a constant, so zone-map/bloom \
                  sidecars can never prune a page for this scan"
             }
+            Code::DeadResultTable => {
+                "a mechanism call populates a result table no later statement ever reads"
+            }
+            Code::UseBeforeDefine => {
+                "a statement reads a result table that is only defined by a later statement"
+            }
+            Code::SnapshotSetMismatch => {
+                "two mechanism calls run the same Qq over different snapshot sets, so memo/delta \
+                 seeds recorded by one do not line up with the other"
+            }
+            Code::RedundantRecompute => {
+                "two mechanism calls with identical canonical fingerprints recompute the same \
+                 result over the same snapshot set"
+            }
         }
     }
 
@@ -224,7 +261,10 @@ impl Code {
             | Code::QsNonIntegerColumn
             | Code::CurrentSnapshotInStringLiteral
             | Code::AsOfInStringLiteral
-            | Code::PruneIneligibleWhere => Severity::Warning,
+            | Code::PruneIneligibleWhere
+            | Code::DeadResultTable
+            | Code::SnapshotSetMismatch
+            | Code::RedundantRecompute => Severity::Warning,
             Code::AutoDeltaFallback
             | Code::IncrementalUnavailable
             | Code::MemoIneligible
@@ -277,6 +317,49 @@ pub enum SourceKind {
     Spec,
 }
 
+/// How confidently a [`Fix`] can be applied without human review.
+/// Mirrors rustc's applicability ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applicability {
+    /// Semantics-preserving; `rqlcheck --fix` applies it automatically.
+    MachineApplicable,
+    /// Plausibly what the author meant, but could change behavior —
+    /// surfaced in output, never auto-applied.
+    MaybeIncorrect,
+    /// The replacement contains placeholder text a human must fill in.
+    HasPlaceholders,
+}
+
+impl Applicability {
+    /// Stable string form, used by the JSON/SARIF emitters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Applicability::MachineApplicable => "machine-applicable",
+            Applicability::MaybeIncorrect => "maybe-incorrect",
+            Applicability::HasPlaceholders => "has-placeholders",
+        }
+    }
+}
+
+impl fmt::Display for Applicability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A concrete edit that resolves a diagnostic: replace the byte range
+/// `span` (in the same source text the diagnostic's span indexes) with
+/// `replacement`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// Byte range to replace, in the diagnostic's [`SourceKind`] text.
+    pub span: Span,
+    /// Replacement text (may be empty: a pure deletion).
+    pub replacement: String,
+    /// How safely the edit can be applied unreviewed.
+    pub applicability: Applicability,
+}
+
 /// One finding of the static analyzer.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
@@ -290,6 +373,8 @@ pub struct Diagnostic {
     pub source: SourceKind,
     /// Byte range of the offending text, when locatable.
     pub span: Option<Span>,
+    /// A structured edit resolving the finding, when one can be derived.
+    pub fix: Option<Fix>,
 }
 
 impl Diagnostic {
@@ -306,7 +391,23 @@ impl Diagnostic {
             message: message.into(),
             source,
             span,
+            fix: None,
         }
+    }
+
+    /// Attach a structured fix (builder style).
+    pub fn with_fix(
+        mut self,
+        span: Span,
+        replacement: impl Into<String>,
+        applicability: Applicability,
+    ) -> Diagnostic {
+        self.fix = Some(Fix {
+            span,
+            replacement: replacement.into(),
+            applicability,
+        });
+        self
     }
 
     /// Render for humans: `severity[code]: message` plus, when a span is
@@ -337,8 +438,28 @@ impl Diagnostic {
     }
 }
 
+/// Drop exact repeats: the same (code, source, span, message) surfaces
+/// once per analysis, keeping the first occurrence (which carries the
+/// fix, when any copy does). The pre-flight's historical-catalog
+/// widening retry re-runs passes over the same text, and multi-reference
+/// FROM lists resolve a missing table once per reference — both used to
+/// re-emit identical findings.
+pub fn dedupe(diags: &mut Vec<Diagnostic>) {
+    let mut seen = std::collections::HashSet::new();
+    diags.retain(|d| {
+        seen.insert((
+            d.code,
+            d.source as u8,
+            d.span.map(|s| (s.start, s.end)),
+            d.message.clone(),
+        ))
+    });
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]
@@ -357,6 +478,43 @@ mod tests {
         assert_eq!(Code::UnknownTable.as_str(), "RQL001");
         assert_eq!(Code::AsOfInQq.as_str(), "RQL101");
         assert_eq!(Code::ForcedDeltaUnsupportedMechanism.as_str(), "RQL201");
+        assert_eq!(Code::DeadResultTable.as_str(), "RQL310");
+    }
+
+    #[test]
+    fn dataflow_codes_skip_reserved_runtime_range() {
+        // RQL300–RQL309 belong to the runtime/server taxonomy.
+        for code in Code::ALL {
+            let n: u32 = code.as_str()[3..].parse().unwrap();
+            assert!(!(300..310).contains(&n), "{code} is in the reserved range");
+        }
+    }
+
+    #[test]
+    fn with_fix_attaches_and_dedupe_keeps_first() {
+        let span = Span::new(0, 3);
+        let fixed = Diagnostic::new(
+            Code::DeadResultTable,
+            "dead",
+            SourceKind::Program,
+            Some(span),
+        )
+        .with_fix(span, "", Applicability::MachineApplicable);
+        let bare = Diagnostic::new(
+            Code::DeadResultTable,
+            "dead",
+            SourceKind::Program,
+            Some(span),
+        );
+        let other = Diagnostic::new(Code::DeadResultTable, "dead", SourceKind::Program, None);
+        let mut diags = vec![fixed, bare, other];
+        dedupe(&mut diags);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags[0].fix.is_some(), "first occurrence keeps its fix");
+        assert_eq!(
+            diags[0].fix.as_ref().unwrap().applicability,
+            Applicability::MachineApplicable
+        );
     }
 
     #[test]

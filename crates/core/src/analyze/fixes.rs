@@ -1,0 +1,153 @@
+//! Applying structured fixes to program text.
+//!
+//! `rqlcheck --fix` drives [`fix_program`]: analyze, apply every
+//! machine-applicable edit whose span is in program coordinates, and
+//! re-analyze, until no such edit remains (or the iteration bound trips
+//! — fixes that keep producing fixes indicate an analyzer bug, not a
+//! user one, so the loop refuses to spin).
+
+use crate::analyze::diag::{Applicability, Diagnostic, Fix, SourceKind};
+use crate::analyze::env::SchemaEnv;
+use crate::analyze::program::{analyze_program, parse_program};
+
+/// Fixes that `--fix` is allowed to apply unreviewed: machine-applicable
+/// edits whose span indexes the whole program text.
+pub fn machine_applicable(diags: &[Diagnostic]) -> Vec<&Fix> {
+    diags
+        .iter()
+        .filter(|d| d.source == SourceKind::Program)
+        .filter_map(|d| d.fix.as_ref())
+        .filter(|f| f.applicability == Applicability::MachineApplicable)
+        .collect()
+}
+
+/// Apply a batch of fixes to `src`. Fixes are sorted by span start;
+/// overlapping or out-of-bounds edits are skipped (first writer wins),
+/// so one pass is always well-defined. Returns the edited text and how
+/// many fixes were applied.
+pub fn apply_fixes(src: &str, fixes: &[&Fix]) -> (String, usize) {
+    let mut sorted: Vec<&&Fix> = fixes.iter().collect();
+    sorted.sort_by_key(|f| (f.span.start, f.span.end));
+    let mut out = String::with_capacity(src.len());
+    let mut cursor = 0usize;
+    let mut applied = 0usize;
+    for f in sorted {
+        let (start, end) = (f.span.start, f.span.end);
+        if start < cursor || end < start || end > src.len() {
+            continue;
+        }
+        if !src.is_char_boundary(start) || !src.is_char_boundary(end) {
+            continue;
+        }
+        out.push_str(&src[cursor..start]);
+        out.push_str(&f.replacement);
+        cursor = end;
+        applied += 1;
+    }
+    out.push_str(&src[cursor..]);
+    (out, applied)
+}
+
+/// The result of driving fixes to fixpoint.
+#[derive(Debug, Clone)]
+pub struct FixOutcome {
+    /// The (possibly edited) program text.
+    pub src: String,
+    /// Total fixes applied across all iterations.
+    pub applied: usize,
+    /// Analysis rounds run (≥ 1 when the program parses).
+    pub iterations: usize,
+    /// Whether the loop reached a state with no machine-applicable fix
+    /// left (as opposed to tripping the iteration bound).
+    pub converged: bool,
+}
+
+/// Iterations before [`fix_program`] declares divergence. Each round
+/// applies every non-overlapping fix at once, so legitimate cascades
+/// (fix A unmasks fix B) settle in two or three rounds.
+const MAX_FIX_ROUNDS: usize = 8;
+
+/// Analyze `src` and apply machine-applicable fixes until none remain.
+/// `snap_env`/`aux_env` are the starting catalogs, exactly as for
+/// [`analyze_program`].
+pub fn fix_program(src: &str, snap_env: &SchemaEnv, aux_env: &SchemaEnv) -> FixOutcome {
+    let mut out = FixOutcome {
+        src: src.to_owned(),
+        applied: 0,
+        iterations: 0,
+        converged: false,
+    };
+    for _ in 0..MAX_FIX_ROUNDS {
+        out.iterations += 1;
+        // An unparseable program has no analysis, hence no fixes.
+        let Ok(program) = parse_program(&out.src) else {
+            out.converged = true;
+            return out;
+        };
+        let analysis = analyze_program(&program, snap_env, aux_env);
+        let fixes = machine_applicable(&analysis.diagnostics);
+        if fixes.is_empty() {
+            out.converged = true;
+            return out;
+        }
+        let (next, applied) = apply_fixes(&out.src, &fixes);
+        if applied == 0 || next == out.src {
+            out.converged = true;
+            return out;
+        }
+        out.src = next;
+        out.applied += applied;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::diag::Fix;
+    use rql_sqlengine::Span;
+
+    fn fix(start: usize, end: usize, rep: &str) -> Fix {
+        Fix {
+            span: Span::new(start, end),
+            replacement: rep.to_owned(),
+            applicability: Applicability::MachineApplicable,
+        }
+    }
+
+    #[test]
+    fn apply_sorted_non_overlapping() {
+        let src = "abcdef";
+        let f1 = fix(4, 6, "Z");
+        let f2 = fix(0, 2, "X");
+        let (out, n) = apply_fixes(src, &[&f1, &f2]);
+        assert_eq!(out, "XcdZ");
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn overlapping_and_out_of_bounds_skipped() {
+        let src = "abcdef";
+        let f1 = fix(0, 4, "X");
+        let f2 = fix(2, 5, "Y"); // overlaps f1
+        let f3 = fix(5, 99, "Z"); // out of bounds
+        let (out, n) = apply_fixes(src, &[&f1, &f2, &f3]);
+        assert_eq!(out, "Xef");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn fix_program_removes_dead_mechanism_call() {
+        let src = "CREATE TABLE t (v INTEGER);\n\
+                   COMMIT WITH SNAPSHOT;\n\
+                   SELECT CollateData(snap_id, 'SELECT v FROM t', 'dead') FROM SnapIds;\n\
+                   SELECT CollateData(snap_id, 'SELECT v FROM t', 'kept') FROM SnapIds;\n\
+                   --@aux\n\
+                   SELECT v FROM kept;\n";
+        let out = fix_program(src, &SchemaEnv::new(), &SchemaEnv::aux_default());
+        assert!(out.converged);
+        assert_eq!(out.applied, 1, "{}", out.src);
+        assert!(!out.src.contains("'dead'"), "{}", out.src);
+        assert!(out.src.contains("'kept'"), "{}", out.src);
+    }
+}

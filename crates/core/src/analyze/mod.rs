@@ -24,25 +24,30 @@
 //! [`program`].
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
+pub(crate) mod dataflow;
 pub mod delta;
 pub mod diag;
 pub mod env;
+pub mod fixes;
 pub mod mechspec;
 pub mod program;
 pub mod resolve;
 pub mod rewrite_safety;
+pub mod sarif;
 
-use rql_sqlengine::ast::{BinOp, Expr};
-use rql_sqlengine::SqlError;
+use rql_sqlengine::ast::{BinOp, Expr, SelectStmt};
+use rql_sqlengine::{ColumnType, Span, SqlError, Value};
 
 pub use self::delta::{explain_delta, DeltaExplain, PredictedPath};
-pub use self::diag::{Code, Diagnostic, Severity, SourceKind};
+pub use self::diag::{dedupe, Applicability, Code, Diagnostic, Fix, Severity, SourceKind};
 pub use self::env::SchemaEnv;
+pub use self::fixes::{apply_fixes, fix_program, machine_applicable, FixOutcome};
 pub use self::mechspec::{check_mechanism, MechanismCall, MechanismFacts, MechanismKind};
 pub use self::program::{
     analyze_program, parse_program, run_program, run_program_with_reports, Program,
     ProgramAnalysis, ProgramRun, ProgramStmt,
 };
+pub use self::sarif::{render_sarif, SarifFile};
 pub use crate::delta::DeltaPolicy;
 
 /// The result of analyzing one mechanism call.
@@ -92,7 +97,8 @@ fn to_sql_error(d: &Diagnostic) -> SqlError {
         | Code::UnknownColumn
         | Code::UnknownFunction
         | Code::QsUnknownTable
-        | Code::AggColumnNotInQq => SqlError::Unknown(msg),
+        | Code::AggColumnNotInQq
+        | Code::UseBeforeDefine => SqlError::Unknown(msg),
         // Unknown aggregate names are Unknown at runtime; the non-monoid
         // (distinct) rejection is Invalid.
         Code::BadAggFunc if d.message.starts_with("aggregate function") => SqlError::Unknown(msg),
@@ -135,6 +141,116 @@ fn prunable_where(e: &Expr) -> bool {
     }
 }
 
+/// Strip arithmetic identities that hide a column from the pruning
+/// sidecars: `col + 0`, `0 + col`, `col - 0`, `col * 1`, `1 * col`,
+/// `col / 1`, applied bottom-up so nested identities peel off too.
+fn strip_arith_identities(e: &Expr) -> Expr {
+    fn identity(e: Expr) -> Expr {
+        if let Expr::Binary { op, lhs, rhs } = &e {
+            let zero = |x: &Expr| matches!(x, Expr::Literal(Value::Integer(0)));
+            let one = |x: &Expr| matches!(x, Expr::Literal(Value::Integer(1)));
+            match op {
+                BinOp::Add if zero(rhs) => return (**lhs).clone(),
+                BinOp::Add if zero(lhs) => return (**rhs).clone(),
+                BinOp::Sub if zero(rhs) => return (**lhs).clone(),
+                BinOp::Mul if one(rhs) => return (**lhs).clone(),
+                BinOp::Mul if one(lhs) => return (**rhs).clone(),
+                BinOp::Div if one(rhs) => return (**lhs).clone(),
+                _ => {}
+            }
+        }
+        e
+    }
+    match e {
+        Expr::Binary { op, lhs, rhs } => identity(Expr::Binary {
+            op: *op,
+            lhs: Box::new(strip_arith_identities(lhs)),
+            rhs: Box::new(strip_arith_identities(rhs)),
+        }),
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(strip_arith_identities(expr)),
+            lo: Box::new(strip_arith_identities(lo)),
+            hi: Box::new(strip_arith_identities(hi)),
+            negated: *negated,
+        },
+        _ => e.clone(),
+    }
+}
+
+/// Whether every column referenced in `e` resolves to an Integer or Real
+/// column of a FROM/JOIN table of `select` in `env`. Unresolvable or
+/// text/any-typed columns return false (the caller downgrades the fix).
+fn where_columns_numeric(e: &Expr, select: &SelectStmt, env: &SchemaEnv) -> bool {
+    let mut cols: Vec<(Option<String>, String)> = Vec::new();
+    collect_columns(e, &mut cols);
+    let tables: Vec<&rql_sqlengine::ast::TableRef> = select
+        .from
+        .iter()
+        .chain(select.joins.iter().map(|j| &j.table))
+        .collect();
+    cols.iter().all(|(qual, name)| {
+        let candidates = tables.iter().filter(|t| match qual {
+            Some(q) => t.binding().eq_ignore_ascii_case(q),
+            None => true,
+        });
+        let mut tys = candidates.filter_map(|t| {
+            let schema = env.table(&t.name)?;
+            let idx = schema.column_index(name)?;
+            Some(schema.columns[idx].ty)
+        });
+        tys.any(|ty| matches!(ty, ColumnType::Integer | ColumnType::Real))
+    })
+}
+
+/// Collect every column reference in an expression.
+fn collect_columns(e: &Expr, out: &mut Vec<(Option<String>, String)>) {
+    match e {
+        Expr::Column { table, name } => out.push((table.clone(), name.clone())),
+        Expr::Unary { expr, .. } => collect_columns(expr, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_columns(lhs, out);
+            collect_columns(rhs, out);
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                collect_columns(a, out);
+            }
+        }
+        Expr::IsNull { expr, .. } => collect_columns(expr, out),
+        Expr::Between { expr, lo, hi, .. } => {
+            collect_columns(expr, out);
+            collect_columns(lo, out);
+            collect_columns(hi, out);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_columns(expr, out);
+            collect_columns(pattern, out);
+        }
+        Expr::Case {
+            operand,
+            arms,
+            else_branch,
+        } => {
+            if let Some(op) = operand {
+                collect_columns(op, out);
+            }
+            for (w, t) in arms {
+                collect_columns(w, out);
+                collect_columns(t, out);
+            }
+            if let Some(el) = else_branch {
+                collect_columns(el, out);
+            }
+        }
+        _ => {}
+    }
+}
+
 /// Analyze one mechanism call: the API-level entry the session pre-flight
 /// uses. `policy` enables the delta-eligibility pass; pass `None` when
 /// the caller did not specify one (the plain mechanism API).
@@ -152,13 +268,21 @@ pub fn analyze_mechanism_call(
         // makes its per-snapshot results non-deterministic from the
         // snapshot alone, so the memo cache never stores or serves them.
         if !crate::memoize::memo_eligible(parsed) {
-            diags.push(Diagnostic::new(
-                Code::MemoIneligible,
-                "Qq calls a user-defined function, so its per-snapshot \
-                 results are not memoized (every run re-executes Qq)",
-                SourceKind::Qq,
-                None,
-            ));
+            diags.push(
+                Diagnostic::new(
+                    Code::MemoIneligible,
+                    "Qq calls a user-defined function, so its per-snapshot \
+                     results are not memoized (every run re-executes Qq)",
+                    SourceKind::Qq,
+                    None,
+                )
+                .with_fix(
+                    Span::new(0, call.qq.len()),
+                    "<rewrite Qq without the UDF call: inline its definition \
+                     as a plain SQL expression so results are memoizable>",
+                    diag::Applicability::HasPlaceholders,
+                ),
+            );
             // Profiling opacity (RQL208) rides along with RQL207: the
             // same UDF call that defeats the memo also hides its time
             // from the profile's engine-phase breakdown — it lands in
@@ -183,7 +307,7 @@ pub fn analyze_mechanism_call(
                 } else {
                     "no conjunct compares a bare column to a constant"
                 };
-                diags.push(Diagnostic::new(
+                let mut d = Diagnostic::new(
                     Code::PruneIneligibleWhere,
                     format!(
                         "Qq's WHERE clause is opaque to page-pruning sidecars ({why}); \
@@ -191,11 +315,34 @@ pub fn analyze_mechanism_call(
                     ),
                     SourceKind::Qq,
                     None,
-                ));
+                );
+                // When only arithmetic identities (`+ 0`, `* 1`, …) hide
+                // the column, strip them and offer the rewritten Qq.
+                // Machine-applicable only when every column in the
+                // rewritten WHERE is numerically typed — on text columns
+                // the arithmetic coerced the comparison, so stripping it
+                // could change results.
+                let simplified = strip_arith_identities(w);
+                if simplified != *w && prunable_where(&simplified) {
+                    let mut fixed = parsed.clone();
+                    fixed.where_clause = Some(simplified.clone());
+                    let applicability = if where_columns_numeric(&simplified, parsed, snap_env) {
+                        diag::Applicability::MachineApplicable
+                    } else {
+                        diag::Applicability::MaybeIncorrect
+                    };
+                    d = d.with_fix(
+                        Span::new(0, call.qq.len()),
+                        crate::rewrite::render_select(&fixed),
+                        applicability,
+                    );
+                }
+                diags.push(d);
             }
         }
     }
     let delta = policy.map(|p| explain_delta(call.kind, facts.qq_parsed.as_ref(), p, &mut diags));
+    diag::dedupe(&mut diags);
     Analysis {
         diagnostics: diags,
         delta,

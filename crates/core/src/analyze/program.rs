@@ -24,7 +24,7 @@
 //! Diagnostics found inside argument literals are remapped into program
 //! byte offsets whenever the literal has no `''` escapes.
 
-use rql_sqlengine::ast::{Expr, InsertSource, SelectItem, Stmt};
+use rql_sqlengine::ast::{Expr, InsertSource, SelectItem, SelectStmt, Stmt};
 use rql_sqlengine::lexer::{Sym, Token};
 use rql_sqlengine::{
     parse_statement, tokenize_spanned, ColumnType, ExecOutcome, QueryResult, Span, TableSchema,
@@ -32,8 +32,9 @@ use rql_sqlengine::{
 };
 
 use crate::aggregate::{parse_col_func_pairs, AggOp};
+use crate::analyze::dataflow::{self, DfNode, DfStmt, MechNode, PlainNode};
 use crate::analyze::delta::DeltaExplain;
-use crate::analyze::diag::{Code, Diagnostic, Severity, SourceKind};
+use crate::analyze::diag::{dedupe, Applicability, Code, Diagnostic, Fix, Severity, SourceKind};
 use crate::analyze::env::SchemaEnv;
 use crate::analyze::mechspec::{MechanismCall, MechanismKind};
 use crate::analyze::resolve::check_select;
@@ -64,6 +65,9 @@ pub struct Program {
     pub statements: Vec<ProgramStmt>,
     /// `--@policy` directive, when present.
     pub policy: Option<DeltaPolicy>,
+    /// Span of the `--@policy` directive text, when present (anchor for
+    /// the RQL204 policy fix).
+    pub policy_span: Option<Span>,
 }
 
 /// Split a program into statements and directives. A lexical error
@@ -71,6 +75,7 @@ pub struct Program {
 /// diagnostic that makes the program unanalyzable.
 pub fn parse_program(src: &str) -> std::result::Result<Program, Box<Diagnostic>> {
     let mut policy = None;
+    let mut policy_span = None;
     let mut aux_marks: Vec<usize> = Vec::new();
     let mut pos = 0usize;
     for line in src.split_inclusive('\n') {
@@ -84,12 +89,20 @@ pub fn parse_program(src: &str) -> std::result::Result<Program, Box<Diagnostic>>
                 .strip_prefix("policy")
                 .map(str::trim)
             {
-                policy = match p {
+                let parsed = match p {
                     "off" => Some(DeltaPolicy::Off),
                     "auto" => Some(DeltaPolicy::Auto),
                     "forced" => Some(DeltaPolicy::Forced),
-                    _ => policy,
+                    _ => None,
                 };
+                if parsed.is_some() {
+                    policy = parsed;
+                    let indent = line.len() - trimmed.len();
+                    policy_span = Some(Span::new(
+                        pos + indent,
+                        pos + indent + trimmed.trim_end().len(),
+                    ));
+                }
             }
         }
         pos += line.len();
@@ -140,6 +153,7 @@ pub fn parse_program(src: &str) -> std::result::Result<Program, Box<Diagnostic>>
         src: src.to_owned(),
         statements,
         policy,
+        policy_span,
     })
 }
 
@@ -161,6 +175,10 @@ pub struct ProgramAnalysis {
     pub delta: Vec<DeltaExplain>,
     /// Number of mechanism calls found.
     pub mechanism_count: usize,
+    /// Qq tables missing from the snapshot catalog, across every
+    /// mechanism call (the session pre-flight widens with historical
+    /// snapshots and re-analyzes when this is non-empty).
+    pub qq_unknown_tables: Vec<String>,
 }
 
 impl ProgramAnalysis {
@@ -192,8 +210,11 @@ pub fn analyze_program(
     let mut snap_env = snap_env.clone();
     let mut aux_env = aux_env.clone();
     let mut out = ProgramAnalysis::default();
+    let mut df: Vec<DfStmt> = Vec::with_capacity(program.statements.len());
 
     for stmt in &program.statements {
+        let text_span = Span::new(stmt.offset, stmt.offset + stmt.text.len());
+        let range = dataflow::stmt_range(&program.src, text_span);
         let parsed = match parse_statement(&stmt.text) {
             Err(e) => {
                 out.diagnostics.push(Diagnostic::new(
@@ -204,11 +225,21 @@ pub fn analyze_program(
                         .map(|s| s.offset(stmt.offset))
                         .or_else(|| stmt_head_span(stmt)),
                 ));
+                df.push(DfStmt {
+                    node: DfNode::Opaque,
+                    range,
+                    text_span,
+                });
                 continue;
             }
             Ok(p) => p,
         };
         if let Some(call) = extract_mechanism_call(&parsed, stmt, &mut out.diagnostics) {
+            df.push(DfStmt {
+                node: DfNode::Mechanism(Box::new(mech_node(&call))),
+                range,
+                text_span,
+            });
             analyze_call(
                 &call,
                 stmt,
@@ -219,6 +250,19 @@ pub fn analyze_program(
             );
             continue;
         }
+        // A statement naming a mechanism UDF that didn't extract has
+        // dynamic arguments (or a malformed call): it may read or define
+        // anything, so the def-use passes stand down for the program.
+        let node = if stmt_names_mechanism(&stmt.text) {
+            DfNode::Opaque
+        } else {
+            DfNode::Plain(plain_node(&parsed, stmt))
+        };
+        df.push(DfStmt {
+            node,
+            range,
+            text_span,
+        });
         let env = if stmt.on_aux { &aux_env } else { &snap_env };
         check_plain_statement(&parsed, stmt, env, &mut out.diagnostics);
         let target = if stmt.on_aux {
@@ -228,7 +272,127 @@ pub fn analyze_program(
         };
         apply_statement_ddl(&parsed, stmt, target);
     }
+    dataflow::check_dataflow(&program.src, program.policy, &df, &mut out.diagnostics);
+    attach_policy_fix(program, &mut out);
+    dedupe(&mut out.diagnostics);
     out
+}
+
+/// Attach the `--@policy off` fix to RQL204 advisories: the advisory
+/// says the auto policy falls back to the sequential path anyway, so
+/// declaring `off` states the reality and silences the advisory without
+/// changing results. Machine-applicable only when the directive governs
+/// a single mechanism call — with several, another call might genuinely
+/// ride the delta path and the edit would deoptimize it.
+fn attach_policy_fix(program: &Program, out: &mut ProgramAnalysis) {
+    let Some(pspan) = program.policy_span else {
+        return;
+    };
+    let applicability = if out.mechanism_count == 1 {
+        Applicability::MachineApplicable
+    } else {
+        Applicability::MaybeIncorrect
+    };
+    for d in &mut out.diagnostics {
+        if d.code == Code::AutoDeltaFallback && d.fix.is_none() {
+            d.fix = Some(Fix {
+                span: pspan,
+                replacement: "--@policy off".to_owned(),
+                applicability,
+            });
+        }
+    }
+}
+
+/// Whether the statement text names a mechanism UDF at all.
+fn stmt_names_mechanism(text: &str) -> bool {
+    tokenize_spanned(text).is_ok_and(|tokens| {
+        tokens.iter().any(
+            |t| matches!(&t.token, Token::Word(w) if MechanismKind::from_udf_name(w).is_some()),
+        )
+    })
+}
+
+/// Dataflow facts for an extracted mechanism call.
+fn mech_node(call: &ExtractedCall) -> MechNode {
+    let qq_parsed = rql_sqlengine::parse_select(&call.qq).ok();
+    let qs_reads = call
+        .qs_select
+        .from
+        .iter()
+        .chain(call.qs_select.joins.iter().map(|j| &j.table))
+        .map(|t| t.name.to_ascii_lowercase())
+        .collect();
+    MechNode {
+        kind: call.kind,
+        table: call.table.to_ascii_lowercase(),
+        qs_reads,
+        qs_canon: call.qs_text.clone(),
+        qq_canon: qq_parsed.as_ref().map(render_select),
+        memo_eligible: qq_parsed
+            .as_ref()
+            .is_some_and(crate::memoize::memo_eligible),
+        spec: call.spec.clone(),
+        fn_span: call.fn_span,
+        enclosing: call.enclosing.clone(),
+        call_item: call.call_item.clone(),
+    }
+}
+
+/// Dataflow facts for a plain statement: tables it reads or mutates,
+/// tables its DDL creates.
+fn plain_node(parsed: &Stmt, stmt: &ProgramStmt) -> PlainNode {
+    fn read_select(
+        select: &rql_sqlengine::ast::SelectStmt,
+        offset: usize,
+        reads: &mut Vec<(String, Option<Span>)>,
+    ) {
+        for t in select
+            .from
+            .iter()
+            .chain(select.joins.iter().map(|j| &j.table))
+        {
+            reads.push((
+                t.name.to_ascii_lowercase(),
+                t.span.map(|s| s.offset(offset)),
+            ));
+        }
+    }
+    let mut reads: Vec<(String, Option<Span>)> = Vec::new();
+    let mut writes: Vec<String> = Vec::new();
+    match parsed {
+        Stmt::Select(select) => read_select(select, stmt.offset, &mut reads),
+        Stmt::CreateTableAs { name, select, .. } => {
+            read_select(select, stmt.offset, &mut reads);
+            writes.push(name.to_ascii_lowercase());
+        }
+        Stmt::Insert { table, source, .. } => {
+            // Mutating a table counts as using it: an INSERT into a
+            // result table keeps the table live.
+            reads.push((
+                table.to_ascii_lowercase(),
+                crate::analyze::resolve::find_word_span(&stmt.text, table, 0)
+                    .map(|s| s.offset(stmt.offset)),
+            ));
+            if let InsertSource::Select(select) = source {
+                read_select(select, stmt.offset, &mut reads);
+            }
+        }
+        Stmt::Update { table, .. } | Stmt::Delete { table, .. } => {
+            reads.push((
+                table.to_ascii_lowercase(),
+                crate::analyze::resolve::find_word_span(&stmt.text, table, 0)
+                    .map(|s| s.offset(stmt.offset)),
+            ));
+        }
+        Stmt::CreateTable { name, .. } => writes.push(name.to_ascii_lowercase()),
+        _ => {}
+    }
+    PlainNode {
+        on_aux: stmt.on_aux,
+        reads,
+        writes,
+    }
 }
 
 /// Execute a parsed program on a session (the differential harness:
@@ -340,6 +504,13 @@ struct ExtractedCall {
     spec: Option<String>,
     /// Span of the mechanism UDF name, program coordinates.
     fn_span: Option<Span>,
+    /// The enclosing SELECT projected down to the snap-id argument (the
+    /// Qs the loop drives), parsed form.
+    qs_select: SelectStmt,
+    /// The full enclosing SELECT as written.
+    enclosing: SelectStmt,
+    /// The projection item holding the mechanism call.
+    call_item: SelectItem,
 }
 
 fn extract_mechanism_call(
@@ -401,7 +572,7 @@ fn extract_mechanism_call(
         expr: args[0].clone(),
         alias: None,
     }];
-    let _ = item_idx;
+    let call_item = select.items[item_idx].clone();
     Some(ExtractedCall {
         kind,
         qs_text: render_select(&qs_select),
@@ -409,6 +580,9 @@ fn extract_mechanism_call(
         table,
         spec,
         fn_span,
+        qs_select,
+        enclosing: select.clone(),
+        call_item,
     })
 }
 
@@ -433,6 +607,8 @@ fn analyze_call(
         policy,
     );
     out.mechanism_count += 1;
+    out.qq_unknown_tables
+        .extend(analysis.qq_unknown_tables.iter().cloned());
     for d in analysis.diagnostics {
         out.diagnostics.push(remap(d, call, stmt));
     }
@@ -455,17 +631,43 @@ fn analyze_call(
 /// (when it has no `''` escapes); everything else anchors to the
 /// mechanism name.
 fn remap(mut d: Diagnostic, call: &ExtractedCall, stmt: &ProgramStmt) -> Diagnostic {
-    let mapped = match d.source {
-        SourceKind::Qq => literal_span(&stmt.text, &call.qq, d.span),
-        SourceKind::Spec => call
-            .spec
-            .as_deref()
-            .and_then(|s| literal_span(&stmt.text, s, d.span)),
+    let content = match d.source {
+        SourceKind::Qq => Some(call.qq.as_str()),
+        SourceKind::Spec => call.spec.as_deref(),
         SourceKind::Qs | SourceKind::Program => None,
     };
+    let mapped = content.and_then(|c| literal_span(&stmt.text, c, d.span));
     d.span = mapped.map(|s| s.offset(stmt.offset)).or(call.fn_span);
+    // A fix inside an argument literal moves with it — provided the
+    // literal has no `''` escapes (positions shift) and the replacement
+    // survives re-quoting. Otherwise the fix is dropped: better no edit
+    // than a wrong one.
+    d.fix = d.fix.take().and_then(|f| {
+        let content = content?;
+        let lit = exact_literal_span(&stmt.text, content)?;
+        if f.span.end > content.len() || f.span.start > f.span.end {
+            return None;
+        }
+        Some(crate::analyze::diag::Fix {
+            span: Span::new(lit.start + f.span.start, lit.start + f.span.end).offset(stmt.offset),
+            replacement: f.replacement.replace('\'', "''"),
+            applicability: f.applicability,
+        })
+    });
     d.source = SourceKind::Program;
     d
+}
+
+/// The span of `content` inside its enclosing single-quoted literal in
+/// `text`, only when the raw literal text equals `content` exactly (no
+/// `''` escapes — those shift byte positions).
+fn exact_literal_span(text: &str, content: &str) -> Option<Span> {
+    let tokens = tokenize_spanned(text).ok()?;
+    let tok = tokens
+        .iter()
+        .find(|t| matches!(&t.token, Token::Str(s) if s == content))?;
+    let raw = text.get(tok.span.start + 1..tok.span.end.saturating_sub(1))?;
+    (raw == content).then(|| Span::new(tok.span.start + 1, tok.span.end.saturating_sub(1)))
 }
 
 /// Find the string literal holding `content` in `text` and map `inner`
@@ -609,7 +811,8 @@ SELECT * FROM Found;
         let src = "CREATE TABLE t (v INTEGER);\n\
                    SELECT CollateData(snap_id, 'SELECT bogus FROM t', 'r') FROM SnapIds;";
         let a = analyze(src);
-        assert_eq!(codes(&a), vec![Code::UnknownColumn]);
+        // The unread result table rides along as RQL310.
+        assert_eq!(codes(&a), vec![Code::UnknownColumn, Code::DeadResultTable]);
         let span = a.diagnostics[0].span.unwrap();
         assert_eq!(&src[span.start..span.end], "bogus");
     }
@@ -641,6 +844,167 @@ SELECT * FROM Found;
                    SELECT v FROM r;";
         let a = analyze(src);
         assert_eq!(codes(&a), vec![Code::ResultTableExists]);
+    }
+
+    #[test]
+    fn dead_result_table_has_machine_applicable_fix() {
+        let src = "CREATE TABLE t (v INTEGER);\n\
+                   SELECT CollateData(snap_id, 'SELECT v FROM t', 'r') FROM SnapIds;\n";
+        let a = analyze(src);
+        let d = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::DeadResultTable)
+            .unwrap();
+        let fix = d.fix.as_ref().unwrap();
+        assert_eq!(fix.applicability, Applicability::MachineApplicable);
+        // Applying the fix deletes the whole statement including `;`.
+        let edited = format!("{}{}", &src[..fix.span.start], &src[fix.span.end..]);
+        assert!(!edited.contains("CollateData"), "{edited}");
+    }
+
+    #[test]
+    fn use_before_define_reported_with_reorder_fix() {
+        let src = "CREATE TABLE t (v INTEGER);\n\
+                   --@aux\n\
+                   SELECT v FROM r;\n\
+                   SELECT CollateData(snap_id, 'SELECT v FROM t', 'r') FROM SnapIds;\n\
+                   --@aux\n\
+                   SELECT v FROM r;\n";
+        let a = analyze(src);
+        assert!(
+            codes(&a).contains(&Code::UseBeforeDefine),
+            "{:?}",
+            a.diagnostics
+        );
+        assert!(
+            codes(&a).contains(&Code::UnknownTable),
+            "RQL001 rides along"
+        );
+        let d = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::UseBeforeDefine)
+            .unwrap();
+        assert!(d.span.is_some());
+        let fix = d.fix.as_ref().unwrap();
+        assert_eq!(fix.applicability, Applicability::MaybeIncorrect);
+        assert!(
+            fix.replacement.contains("CollateData"),
+            "{}",
+            fix.replacement
+        );
+    }
+
+    #[test]
+    fn snapshot_set_mismatch_under_policy() {
+        let src = "--@policy auto\n\
+                   CREATE TABLE t (v INTEGER);\n\
+                   SELECT CollateData(snap_id, 'SELECT v FROM t', 'a') FROM SnapIds;\n\
+                   SELECT CollateData(snap_id, 'SELECT v FROM t', 'b') FROM SnapIds WHERE snap_id > 2;\n\
+                   --@aux\n\
+                   SELECT v FROM a;\n\
+                   --@aux\n\
+                   SELECT v FROM b;\n";
+        let a = analyze(src);
+        let d = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::SnapshotSetMismatch)
+            .unwrap();
+        let fix = d.fix.as_ref().unwrap();
+        assert_eq!(fix.applicability, Applicability::MaybeIncorrect);
+        assert!(
+            !fix.replacement.to_lowercase().contains("where"),
+            "fix rebuilds on the earlier (unfiltered) Qs: {}",
+            fix.replacement
+        );
+    }
+
+    #[test]
+    fn redundant_recompute_fix_copies_table() {
+        let src = "CREATE TABLE t (v INTEGER);\n\
+                   SELECT CollateData(snap_id, 'SELECT v FROM t', 'a') FROM SnapIds;\n\
+                   SELECT CollateData(snap_id, 'SELECT v FROM t', 'b') FROM SnapIds;\n\
+                   --@aux\n\
+                   SELECT v FROM a;\n\
+                   --@aux\n\
+                   SELECT v FROM b;\n";
+        let a = analyze(src);
+        let d = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::RedundantRecompute)
+            .unwrap();
+        let fix = d.fix.as_ref().unwrap();
+        assert_eq!(fix.applicability, Applicability::MachineApplicable);
+        assert!(
+            fix.replacement
+                .contains("CREATE TABLE b AS SELECT * FROM a"),
+            "{}",
+            fix.replacement
+        );
+    }
+
+    #[test]
+    fn auto_fallback_gets_policy_fix() {
+        let src = "--@policy auto\n\
+                   CREATE TABLE t (v INTEGER);\n\
+                   SELECT CollateData(snap_id, 'SELECT a.v FROM t a, t b', 'r') FROM SnapIds;\n\
+                   --@aux\n\
+                   SELECT * FROM r;\n";
+        let a = analyze(src);
+        let d = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::AutoDeltaFallback)
+            .unwrap();
+        let fix = d.fix.as_ref().unwrap();
+        assert_eq!(fix.applicability, Applicability::MachineApplicable);
+        assert_eq!(fix.replacement, "--@policy off");
+        assert_eq!(&src[fix.span.start..fix.span.end], "--@policy auto");
+    }
+
+    #[test]
+    fn prune_identity_where_fix_remaps_into_literal() {
+        let src = "CREATE TABLE t (v INTEGER);\n\
+                   SELECT CollateData(snap_id, 'SELECT v FROM t WHERE v + 0 = 5', 'r') FROM SnapIds;\n\
+                   --@aux\n\
+                   SELECT * FROM r;\n";
+        let a = analyze(src);
+        let d = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::PruneIneligibleWhere)
+            .unwrap();
+        let fix = d.fix.as_ref().unwrap();
+        assert_eq!(fix.applicability, Applicability::MachineApplicable);
+        // The fix replaces the Qq literal's content with the rewritten query.
+        assert_eq!(
+            &src[fix.span.start..fix.span.end],
+            "SELECT v FROM t WHERE v + 0 = 5"
+        );
+        assert!(
+            fix.replacement.contains("WHERE (v = 5)"),
+            "{}",
+            fix.replacement
+        );
+    }
+
+    #[test]
+    fn dynamic_mechanism_args_suppress_liveness_passes() {
+        // The second call's Qq is a column, not a literal: the def-use
+        // graph cannot see what it defines, so RQL310 must not fire.
+        let src = "CREATE TABLE t (v INTEGER, q TEXT);\n\
+                   SELECT CollateData(snap_id, 'SELECT v FROM t', 'r') FROM SnapIds;\n\
+                   --@aux\n\
+                   SELECT CollateData(snap_id, name, 'x') FROM SnapIds;\n";
+        let a = analyze(src);
+        assert!(
+            !codes(&a).contains(&Code::DeadResultTable),
+            "{:?}",
+            a.diagnostics
+        );
     }
 
     #[test]

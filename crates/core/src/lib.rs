@@ -73,9 +73,10 @@ pub mod snapids;
 
 pub use aggregate::{parse_col_func_pairs, AggOp, AggState};
 pub use analyze::{
-    analyze_mechanism_call, analyze_program, parse_program, run_program, run_program_with_reports,
-    Analysis, Code, DeltaExplain, Diagnostic, MechanismCall, MechanismKind, PredictedPath, Program,
-    ProgramAnalysis, ProgramRun, SchemaEnv, Severity,
+    analyze_mechanism_call, analyze_program, apply_fixes, fix_program, machine_applicable,
+    parse_program, render_sarif, run_program, run_program_with_reports, Analysis, Applicability,
+    Code, DeltaExplain, Diagnostic, Fix, FixOutcome, MechanismCall, MechanismKind, PredictedPath,
+    Program, ProgramAnalysis, ProgramRun, SarifFile, SchemaEnv, Severity, SourceKind,
 };
 pub use delta::{
     aggregate_data_in_table_delta, aggregate_data_in_variable_delta, collate_data_delta,

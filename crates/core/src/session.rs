@@ -244,6 +244,38 @@ impl RqlSession {
         }
     }
 
+    /// Program-level pre-flight: analyze a whole `.rql` program against
+    /// this session's live catalogs, running the dataflow passes and —
+    /// when Qq references tables absent from the current snapshot — the
+    /// same historical-catalog widening retry as the per-call pre-flight.
+    /// The retry *replaces* the first analysis (and [`analyze_program`]
+    /// dedupes), so a finding surfaces once no matter how many rounds
+    /// re-derived it.
+    ///
+    /// [`analyze_program`]: crate::analyze::analyze_program
+    pub fn check_program(&self, program: &analyze::Program) -> Result<analyze::ProgramAnalysis> {
+        let mut snap_env = SchemaEnv::from_database(&self.snap)?;
+        let aux_env = SchemaEnv::from_database(&self.aux)?;
+        let mut analysis = analyze::analyze_program(program, &snap_env, &aux_env);
+        if !analysis.qq_unknown_tables.is_empty() {
+            let mut widened = false;
+            for (sid, _, _) in snapids::all_snapshots(&self.aux)?.iter().rev() {
+                if let Ok(tables) = self.snap.table_schemas_as_of(*sid) {
+                    for schema in tables.into_values() {
+                        if !snap_env.has_table(&schema.name) {
+                            snap_env.add_table(schema);
+                            widened = true;
+                        }
+                    }
+                }
+            }
+            if widened {
+                analysis = analyze::analyze_program(program, &snap_env, &aux_env);
+            }
+        }
+        Ok(analysis)
+    }
+
     // ---- the four mechanisms, API form ---------------------------------
 
     /// `CollateData(Qs, Qq, T)`.

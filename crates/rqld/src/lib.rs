@@ -32,6 +32,6 @@ pub use client::{Client, ClientError};
 pub use metrics::{LatencyHistogram, Metrics};
 pub use pool::{ServerSession, SharedStack, SnapEntry};
 pub use protocol::{
-    Request, Response, WireDiagnostic, WireReport, WireResult, WireTable, MAX_FRAME,
+    Request, Response, WireDiagnostic, WireFix, WireReport, WireResult, WireTable, MAX_FRAME,
 };
 pub use server::{error_code, serve, ServerConfig, ServerHandle, ADMISSION_CODE};

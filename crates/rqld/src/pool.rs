@@ -246,6 +246,7 @@ impl ServerSession {
                 src: stmt.text.clone(),
                 statements: vec![stmt.clone()],
                 policy: program.policy,
+                policy_span: None,
             };
             let writes_snap =
                 !stmt.on_aux && !matches!(parse_statement(&stmt.text), Ok(Stmt::Select(_)));

@@ -364,6 +364,22 @@ impl Request {
 
 // ---- responses -------------------------------------------------------
 
+/// A structured fix as it travels over the wire. Fixes ride in a
+/// trailer *after* the diagnostics array (see [`Response::encode`]), so
+/// v0 clients — which stop reading at the end of the array — are
+/// oblivious to them, and new clients tolerate their absence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFix {
+    /// Byte range in the submitted program to replace.
+    pub start: u32,
+    /// End of the byte range (exclusive).
+    pub end: u32,
+    /// 0 = machine-applicable, 1 = maybe-incorrect, 2 = has-placeholders.
+    pub applicability: u8,
+    /// Replacement text.
+    pub replacement: String,
+}
+
 /// A diagnostic as it travels over the wire (code + span, the shape
 /// `rqlcheck` produces).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -376,6 +392,9 @@ pub struct WireDiagnostic {
     pub message: String,
     /// Byte range in the submitted program, when known.
     pub span: Option<(u32, u32)>,
+    /// Structured fix, when the analyzer derived one (wire trailer;
+    /// absent when talking to a v0 peer).
+    pub fix: Option<WireFix>,
 }
 
 /// One result table (a top-level SELECT's output).
@@ -565,6 +584,22 @@ impl Response {
                         None => w.put_u8(0),
                     }
                 }
+                // Backward-compatible trailer: (diag index, fix) pairs.
+                // v0 decoders stop at the end of the array above and
+                // never see these bytes.
+                let fixes: Vec<(u32, &WireFix)> = diagnostics
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, d)| d.fix.as_ref().map(|f| (i as u32, f)))
+                    .collect();
+                w.put_u32(fixes.len() as u32);
+                for (idx, f) in fixes {
+                    w.put_u32(idx);
+                    w.put_u32(f.start);
+                    w.put_u32(f.end);
+                    w.put_u8(f.applicability);
+                    w.put_str(&f.replacement);
+                }
                 (resp::DIAGNOSTICS, w.into_bytes())
             }
             Response::Result(res) => {
@@ -614,7 +649,31 @@ impl Response {
                         severity,
                         message,
                         span,
+                        fix: None,
                     });
+                }
+                // Fix trailer (absent from v0 peers: a truncated read
+                // here just leaves every fix as None).
+                if let Ok(fix_count) = r.get_u32() {
+                    for _ in 0..fix_count {
+                        let (Ok(idx), Ok(start), Ok(end), Ok(applicability), Ok(replacement)) = (
+                            r.get_u32(),
+                            r.get_u32(),
+                            r.get_u32(),
+                            r.get_u8(),
+                            r.get_str(),
+                        ) else {
+                            break;
+                        };
+                        if let Some(d) = diagnostics.get_mut(idx as usize) {
+                            d.fix = Some(WireFix {
+                                start,
+                                end,
+                                applicability,
+                                replacement,
+                            });
+                        }
+                    }
                 }
                 Ok(Response::Diagnostics { diagnostics })
             }
@@ -702,6 +761,24 @@ mod tests {
     }
 
     #[test]
+    fn v0_diagnostics_payload_without_fix_trailer_decodes() {
+        // A v0 peer's payload ends right after the diagnostics array.
+        let mut w = PayloadWriter::new();
+        w.put_u32(1);
+        w.put_str("RQL001");
+        w.put_u8(2);
+        w.put_str("unknown table t");
+        w.put_u8(0);
+        let decoded = Response::decode(resp::DIAGNOSTICS, &w.into_bytes()).unwrap();
+        let Response::Diagnostics { diagnostics } = decoded else {
+            panic!("wrong variant");
+        };
+        assert_eq!(diagnostics.len(), 1);
+        assert_eq!(diagnostics[0].code, "RQL001");
+        assert!(diagnostics[0].fix.is_none());
+    }
+
+    #[test]
     fn responses_roundtrip() {
         roundtrip_response(Response::Hello { session: 7 });
         roundtrip_response(Response::Ok);
@@ -717,12 +794,26 @@ mod tests {
                     severity: 2,
                     message: "unknown table t".into(),
                     span: Some((10, 11)),
+                    fix: None,
                 },
                 WireDiagnostic {
                     code: "RQL210".into(),
                     severity: 0,
                     message: "delta eligible".into(),
                     span: None,
+                    fix: None,
+                },
+                WireDiagnostic {
+                    code: "RQL310".into(),
+                    severity: 1,
+                    message: "result table 'dead' is never read".into(),
+                    span: Some((40, 51)),
+                    fix: Some(WireFix {
+                        start: 28,
+                        end: 99,
+                        applicability: 0,
+                        replacement: String::new(),
+                    }),
                 },
             ],
         });

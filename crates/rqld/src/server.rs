@@ -34,7 +34,7 @@ use rql_retro::RetroConfig;
 use crate::metrics::Metrics;
 use crate::pool::{ServerSession, SharedStack};
 use crate::protocol::{
-    read_frame, write_frame, Request, Response, WireDiagnostic, WireProfile, WireReport,
+    read_frame, write_frame, Request, Response, WireDiagnostic, WireFix, WireProfile, WireReport,
     WireResult, WireTable,
 };
 
@@ -665,9 +665,18 @@ fn prepare(session: &Arc<ServerSession>, text: &str) -> Vec<WireDiagnostic> {
     // Sync first so Qs queries over SnapIds resolve against reality.
     let _ = session.sync_snapids();
     let rql_session = session.session();
-    let snap_env = SchemaEnv::from_database(rql_session.snap_db()).unwrap_or_default();
-    let aux_env = SchemaEnv::from_database(rql_session.aux_db()).unwrap_or_default();
-    analyze_program(&program, &snap_env, &aux_env)
+    // check_program layers the whole-program dataflow passes, the
+    // historical-catalog widening retry, and dedup on top of the plain
+    // statement analysis; fall back to the latter only if env capture fails.
+    let analysis = match rql_session.check_program(&program) {
+        Ok(a) => a,
+        Err(_) => {
+            let snap_env = SchemaEnv::from_database(rql_session.snap_db()).unwrap_or_default();
+            let aux_env = SchemaEnv::from_database(rql_session.aux_db()).unwrap_or_default();
+            analyze_program(&program, &snap_env, &aux_env)
+        }
+    };
+    analysis
         .diagnostics
         .into_iter()
         .map(wire_diagnostic)
@@ -675,6 +684,21 @@ fn prepare(session: &Arc<ServerSession>, text: &str) -> Vec<WireDiagnostic> {
 }
 
 fn wire_diagnostic(d: rql::Diagnostic) -> WireDiagnostic {
+    // Only program-coordinate fixes make sense on the wire: the client
+    // applies them against the text it sent in PREPARE.
+    let fix = d
+        .fix
+        .filter(|_| d.source == rql::SourceKind::Program)
+        .map(|f| WireFix {
+            start: f.span.start as u32,
+            end: f.span.end as u32,
+            applicability: match f.applicability {
+                rql::Applicability::MachineApplicable => 0,
+                rql::Applicability::MaybeIncorrect => 1,
+                rql::Applicability::HasPlaceholders => 2,
+            },
+            replacement: f.replacement,
+        });
     WireDiagnostic {
         code: d.code.as_str().into(),
         severity: match d.severity {
@@ -684,6 +708,7 @@ fn wire_diagnostic(d: rql::Diagnostic) -> WireDiagnostic {
         },
         message: d.message,
         span: d.span.map(|s| (s.start as u32, s.end as u32)),
+        fix,
     }
 }
 

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate `rqlcheck --format sarif` output against the vendored schema.
+
+Usage: validate_sarif.py LOG.sarif [SCHEMA.json] [--expect-fixes]
+
+Stdlib-only (CI runners have no jsonschema package): implements the
+small subset of JSON Schema the vendored schema actually uses — type,
+required, enum, const, minimum, minLength, properties and items — and
+then cross-checks SARIF semantics the schema cannot express:
+
+  * version is exactly 2.1.0;
+  * every result's ruleId names a rule in tool.driver.rules, and its
+    ruleIndex points at that same rule;
+  * every artifactLocation index points into run.artifacts, and the URI
+    at that index matches;
+  * with --expect-fixes, at least one result carries a fix (the CI step
+    lints the bad corpus, which always produces fixable findings).
+
+Exits non-zero with a path-qualified message on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    sys.exit(f"sarif schema violation at {path or '$'}: {msg}")
+
+
+def type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "null":
+        return value is None
+    sys.exit(f"schema bug: unknown type {expected!r}")
+
+
+def validate(value, schema, path):
+    if "const" in schema and value != schema["const"]:
+        fail(path, f"expected {schema['const']!r}, got {value!r}")
+    if "type" in schema and not type_ok(value, schema["type"]):
+        fail(path, f"expected {schema['type']}, got {type(value).__name__}")
+    if "enum" in schema and value not in schema["enum"]:
+        fail(path, f"{value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            fail(path, f"{value} < minimum {schema['minimum']}")
+    if "minLength" in schema and isinstance(value, str):
+        if len(value) < schema["minLength"]:
+            fail(path, f"length {len(value)} < minLength {schema['minLength']}")
+    if isinstance(value, dict):
+        for name in schema.get("required", []):
+            if name not in value:
+                fail(path, f"missing required property {name!r}")
+        for name, sub in schema.get("properties", {}).items():
+            if name in value:
+                validate(value[name], sub, f"{path}.{name}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]")
+
+
+def check_semantics(log, expect_fixes):
+    """SARIF cross-references the schema subset cannot express."""
+    fix_count = 0
+    for ri, run in enumerate(log["runs"]):
+        rules = run["tool"]["driver"]["rules"]
+        rule_ids = [r["id"] for r in rules]
+        artifacts = run.get("artifacts", [])
+        for i, result in enumerate(run["results"]):
+            where = f"$.runs[{ri}].results[{i}]"
+            rule_id = result["ruleId"]
+            if rule_id not in rule_ids:
+                fail(where, f"ruleId {rule_id!r} not in tool.driver.rules")
+            idx = result.get("ruleIndex")
+            if idx is not None and (idx >= len(rules) or rules[idx]["id"] != rule_id):
+                fail(where, f"ruleIndex {idx} does not point at {rule_id!r}")
+            for li, loc in enumerate(result["locations"]):
+                art = loc["physicalLocation"]["artifactLocation"]
+                aidx = art.get("index")
+                if aidx is not None:
+                    if aidx >= len(artifacts):
+                        fail(f"{where}.locations[{li}]", f"artifact index {aidx} out of range")
+                    uri = artifacts[aidx]["location"]["uri"]
+                    if uri != art["uri"]:
+                        fail(
+                            f"{where}.locations[{li}]",
+                            f"artifact uri {art['uri']!r} != artifacts[{aidx}] {uri!r}",
+                        )
+            fix_count += len(result.get("fixes", []))
+    if expect_fixes and fix_count == 0:
+        sys.exit("sarif semantic violation: --expect-fixes given but no result carries a fix")
+    return fix_count
+
+
+def main():
+    argv = sys.argv[1:]
+    expect_fixes = "--expect-fixes" in argv
+    argv = [a for a in argv if a != "--expect-fixes"]
+    if len(argv) not in (1, 2):
+        sys.exit(__doc__.strip())
+    log_path = argv[0]
+    schema_path = argv[1] if len(argv) == 2 else "tests/sarif_min.schema.json"
+    with open(log_path) as f:
+        log = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+    validate(log, schema, "")
+    fix_count = check_semantics(log, expect_fixes)
+    results = sum(len(run["results"]) for run in log["runs"])
+    rules = sum(len(run["tool"]["driver"]["rules"]) for run in log["runs"])
+    print(f"{log_path}: OK — {results} result(s), {rules} rule(s), {fix_count} fix(es)")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,7 @@
 //! ```text
 //! rql [--addr ADDR] [--no-memo] [--profile] run <file.rql>...   execute programs, print tables
 //! rql [--addr ADDR] [--no-memo] [--profile] exec '<program>'    execute an inline program
-//! rql [--addr ADDR] check <file.rql>...   analyzer pre-flight (PREPARE)
+//! rql [--addr ADDR] check [--json] <file.rql>...   analyzer pre-flight (PREPARE)
 //! rql [--addr ADDR] status [--flight]     one-line server status (+flight recorder)
 //! rql [--addr ADDR] metrics [--json]      metrics snapshot
 //! rql [--addr ADDR] cancel <session-id>   cancel another session's query
@@ -25,7 +25,7 @@ use std::process::ExitCode;
 use rql_repro::rqld::{Client, ClientError, WireResult};
 
 const USAGE: &str = "usage: rql [--addr ADDR] [--no-memo] [--profile] \
-                     <run FILE...|exec PROGRAM|check FILE...|status [--flight]|metrics [--json]|cancel ID|shutdown>";
+                     <run FILE...|exec PROGRAM|check [--json] FILE...|status [--flight]|metrics [--json]|cancel ID|shutdown>";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -161,10 +161,13 @@ fn run_one(
 }
 
 fn cmd_check(client: &mut Client, files: &[String]) -> Result<(), ExitCode> {
+    let json = files.iter().any(|a| a == "--json");
+    let files: Vec<&String> = files.iter().filter(|a| *a != "--json").collect();
     if files.is_empty() {
         return usage();
     }
     let mut errors = 0usize;
+    let mut json_items: Vec<String> = Vec::new();
     for file in files {
         let src = std::fs::read_to_string(file).map_err(|e| {
             eprintln!("rql: {file}: {e}");
@@ -180,21 +183,90 @@ fn cmd_check(client: &mut Client, files: &[String]) -> Result<(), ExitCode> {
             if d.severity == 2 {
                 errors += 1;
             }
+            if json {
+                json_items.push(diag_json(file, d, severity));
+                continue;
+            }
             let at = d
                 .span
                 .map(|(s, e)| format!(" (bytes {s}..{e})"))
                 .unwrap_or_default();
             println!("{file}: {severity}[{}]: {}{at}", d.code, d.message);
+            if let Some(fix) = &d.fix {
+                println!(
+                    "{file}:   fix ({}): replace bytes {}..{} with {:?}",
+                    applicability_name(fix.applicability),
+                    fix.start,
+                    fix.end,
+                    fix.replacement
+                );
+            }
         }
-        if diagnostics.is_empty() {
+        if !json && diagnostics.is_empty() {
             println!("{file}: clean");
         }
+    }
+    if json {
+        println!("[{}]", json_items.join(","));
     }
     if errors > 0 {
         Err(ExitCode::FAILURE)
     } else {
         Ok(())
     }
+}
+
+fn applicability_name(a: u8) -> &'static str {
+    match a {
+        0 => "machine-applicable",
+        1 => "maybe-incorrect",
+        _ => "has-placeholders",
+    }
+}
+
+/// One diagnostic as a JSON object (used by `check --json`, which CI
+/// scripts parse to assert PREPARE round-trips fixes over the wire).
+fn diag_json(file: &str, d: &rql_repro::rqld::WireDiagnostic, severity: &str) -> String {
+    let mut obj = format!(
+        "{{\"file\":{},\"code\":{},\"severity\":{},\"message\":{}",
+        json_str(file),
+        json_str(&d.code),
+        json_str(severity),
+        json_str(&d.message),
+    );
+    if let Some((s, e)) = d.span {
+        obj.push_str(&format!(",\"span\":[{s},{e}]"));
+    }
+    if let Some(fix) = &d.fix {
+        obj.push_str(&format!(
+            ",\"fix\":{{\"span\":[{},{}],\"replacement\":{},\"applicability\":{}}}",
+            fix.start,
+            fix.end,
+            json_str(&fix.replacement),
+            json_str(applicability_name(fix.applicability)),
+        ));
+    }
+    obj.push('}');
+    obj
+}
+
+/// JSON string literal with full escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn print_result(name: &str, result: &WireResult) {

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! rqlcheck [--deny-warnings] [--quiet] <file-or-dir>...
+//! rqlcheck [--deny-warnings] [--quiet] [--fix] [--format text|sarif] <file-or-dir>...
 //! ```
 //!
 //! Directories are searched recursively for `.rql` files. Each program
@@ -11,17 +11,36 @@
 //! default auxiliary catalog (`SnapIds` and the mechanism UDFs) — the
 //! program's own DDL builds up the rest, exactly as the runtime would.
 //!
+//! `--fix` applies every machine-applicable fix and re-analyzes to a
+//! fixpoint, rewriting the file in place; remaining diagnostics are then
+//! reported against the fixed text. `--format sarif` emits a single
+//! SARIF 2.1.0 log (all files, one run) on stdout instead of the human
+//! rendering.
+//!
 //! Exit status: 0 when clean, 1 when any error diagnostic was produced
 //! (or any warning, under `--deny-warnings`), 2 on usage/IO problems.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use rql_repro::rql::analyze::{analyze_program, parse_program, SchemaEnv, Severity};
+use rql_repro::rql::analyze::{
+    analyze_program, fix_program, parse_program, render_sarif, SarifFile, SchemaEnv, Severity,
+};
+
+const USAGE: &str =
+    "usage: rqlcheck [--deny-warnings] [--quiet] [--fix] [--format text|sarif] <file-or-dir>...";
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Sarif,
+}
 
 struct Options {
     deny_warnings: bool,
     quiet: bool,
+    fix: bool,
+    format: Format,
     paths: Vec<PathBuf>,
 }
 
@@ -29,21 +48,29 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         deny_warnings: false,
         quiet: false,
+        fix: false,
+        format: Format::Text,
         paths: Vec::new(),
     };
-    for a in args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--deny-warnings" => opts.deny_warnings = true,
             "--quiet" | "-q" => opts.quiet = true,
-            "--help" | "-h" => {
-                return Err("usage: rqlcheck [--deny-warnings] [--quiet] <file-or-dir>...".into())
-            }
+            "--fix" => opts.fix = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => opts.format = Format::Text,
+                Some("sarif") => opts.format = Format::Sarif,
+                Some(other) => return Err(format!("unknown format {other} (text|sarif)")),
+                None => return Err("--format requires an argument (text|sarif)".into()),
+            },
+            "--help" | "-h" => return Err(USAGE.into()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
             path => opts.paths.push(PathBuf::from(path)),
         }
     }
     if opts.paths.is_empty() {
-        return Err("usage: rqlcheck [--deny-warnings] [--quiet] <file-or-dir>...".into());
+        return Err(USAGE.into());
     }
     Ok(opts)
 }
@@ -92,9 +119,11 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let (mut errors, mut warnings) = (0usize, 0usize);
+    let (mut errors, mut warnings, mut fixed) = (0usize, 0usize, 0usize);
+    // (path, final source, diagnostics) per file, for SARIF rendering.
+    let mut checked: Vec<(String, String, Vec<_>)> = Vec::new();
     for file in &files {
-        let src = match std::fs::read_to_string(file) {
+        let mut src = match std::fs::read_to_string(file) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("rqlcheck: {}: {e}", file.display());
@@ -102,6 +131,30 @@ fn main() -> ExitCode {
             }
         };
         let name = file.display().to_string();
+        if opts.fix {
+            let outcome = fix_program(&src, &SchemaEnv::new(), &SchemaEnv::aux_default());
+            if outcome.applied > 0 {
+                if let Err(e) = std::fs::write(file, &outcome.src) {
+                    eprintln!("rqlcheck: {}: {e}", file.display());
+                    return ExitCode::from(2);
+                }
+                if !opts.quiet && opts.format == Format::Text {
+                    println!(
+                        "rqlcheck: fixed {} issue{} in {} ({} round{})",
+                        outcome.applied,
+                        if outcome.applied == 1 { "" } else { "s" },
+                        name,
+                        outcome.iterations,
+                        if outcome.iterations == 1 { "" } else { "s" },
+                    );
+                }
+                fixed += outcome.applied;
+                src = outcome.src;
+            }
+            if !outcome.converged {
+                eprintln!("rqlcheck: {name}: fixes did not converge; leaving remaining issues");
+            }
+        }
         let diagnostics = match parse_program(&src) {
             Err(diag) => vec![*diag],
             Ok(program) => {
@@ -114,15 +167,31 @@ fn main() -> ExitCode {
                 Severity::Warning => warnings += 1,
                 Severity::Info => {}
             }
-            if !opts.quiet || d.severity != Severity::Info {
+            if opts.format == Format::Text && (!opts.quiet || d.severity != Severity::Info) {
                 println!("{}\n", d.render(&name, &src));
             }
         }
+        checked.push((name, src, diagnostics));
     }
 
-    if !opts.quiet {
+    if opts.format == Format::Sarif {
+        let sarif_files: Vec<SarifFile<'_>> = checked
+            .iter()
+            .map(|(name, src, diagnostics)| SarifFile {
+                path: name,
+                src,
+                diagnostics,
+            })
+            .collect();
+        println!("{}", render_sarif(&sarif_files));
+    } else if !opts.quiet {
+        let fixed_note = if fixed > 0 {
+            format!(", {fixed} fixed")
+        } else {
+            String::new()
+        };
         println!(
-            "rqlcheck: {} file{} checked, {errors} error{}, {warnings} warning{}",
+            "rqlcheck: {} file{} checked, {errors} error{}, {warnings} warning{}{fixed_note}",
             files.len(),
             if files.len() == 1 { "" } else { "s" },
             if errors == 1 { "" } else { "s" },

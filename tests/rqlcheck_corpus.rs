@@ -16,7 +16,8 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 use rql_repro::rql::analyze::{
-    analyze_program, parse_program, run_program, Code, Diagnostic, SchemaEnv, Severity,
+    analyze_program, fix_program, parse_program, run_program, run_program_with_reports,
+    Applicability, Code, Diagnostic, SchemaEnv, Severity, SourceKind,
 };
 use rql_repro::rql::RqlSession;
 
@@ -127,5 +128,88 @@ fn good_corpus_analyzes_clean_and_executes() {
             run_program(&session, &program)
                 .unwrap_or_else(|e| panic!("{}: runtime rejected: {e:?}", file.display()));
         }
+    }
+}
+
+/// `--fix` on the bad corpus must converge: the fixpoint loop is bounded
+/// and every file settles rather than oscillating.
+#[test]
+fn bad_corpus_fixes_converge() {
+    for file in rql_files(&repo_path("tests/rqlcheck_corpus/bad")) {
+        let src = std::fs::read_to_string(&file).unwrap();
+        let outcome = fix_program(&src, &SchemaEnv::new(), &SchemaEnv::aux_default());
+        assert!(
+            outcome.converged,
+            "{}: fixes did not converge after {} rounds",
+            file.display(),
+            outcome.iterations
+        );
+        // Whatever was machine-applicably fixed stays fixed: the final
+        // text carries no further machine-applicable fixes.
+        let diags = diagnostics_for(&outcome.src);
+        let leftover: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| {
+                d.source == SourceKind::Program
+                    && d.fix
+                        .as_ref()
+                        .is_some_and(|f| f.applicability == Applicability::MachineApplicable)
+            })
+            .collect();
+        assert!(leftover.is_empty(), "{}: {leftover:?}", file.display());
+    }
+}
+
+/// The `fix/` fixture pair: fixing `before.rql` must reproduce
+/// `after.rql` byte for byte, the fixed program must analyze clean of
+/// every machine-applicably fixed code, and both programs must produce
+/// identical SELECT output when executed on fresh sessions.
+#[test]
+fn fix_fixture_matches_golden_and_executes_identically() {
+    let before =
+        std::fs::read_to_string(repo_path("tests/rqlcheck_corpus/fix/before.rql")).unwrap();
+    let after = std::fs::read_to_string(repo_path("tests/rqlcheck_corpus/fix/after.rql")).unwrap();
+
+    let outcome = fix_program(&before, &SchemaEnv::new(), &SchemaEnv::aux_default());
+    assert!(outcome.converged, "fix loop did not converge");
+    assert!(
+        outcome.applied >= 3,
+        "expected >= 3 fixes, got {}",
+        outcome.applied
+    );
+    assert_eq!(
+        outcome.src, after,
+        "fixed before.rql diverges from golden after.rql"
+    );
+
+    // The fixed program is warning-free for the fixed codes.
+    let diags = diagnostics_for(&after);
+    for d in &diags {
+        assert!(
+            !matches!(
+                d.code,
+                Code::DeadResultTable | Code::RedundantRecompute | Code::PruneIneligibleWhere
+            ),
+            "after.rql still reports {d:?}"
+        );
+    }
+
+    // Differential execution: the fix must not change observable output.
+    let run = |src: &str| {
+        let program = parse_program(src).unwrap_or_else(|d| panic!("{d:?}"));
+        let session = RqlSession::with_defaults().unwrap();
+        run_program_with_reports(&session, &program)
+            .unwrap_or_else(|e| panic!("runtime rejected: {e:?}"))
+    };
+    let before_run = run(&before);
+    let after_run = run(&outcome.src);
+    assert_eq!(
+        before_run.tables.len(),
+        after_run.tables.len(),
+        "fix changed the number of SELECT results"
+    );
+    for (b, a) in before_run.tables.iter().zip(&after_run.tables) {
+        assert_eq!(b.columns, a.columns, "fix changed SELECT columns");
+        assert_eq!(b.rows, a.rows, "fix changed SELECT rows");
     }
 }
