@@ -1,0 +1,12 @@
+//! Runs the standing-query maintenance lane (incremental advance vs
+//! per-commit batch recompute) and prints its markdown section; writes
+//! `BENCH_standing.json`.
+fn main() {
+    match rql_bench::experiments::standing_maintenance::run() {
+        Ok(md) => print!("{md}"),
+        Err(e) => {
+            eprintln!("standing_maintenance: {e}");
+            std::process::exit(1);
+        }
+    }
+}

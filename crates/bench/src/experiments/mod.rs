@@ -15,4 +15,5 @@ pub mod fig9;
 pub mod mem_table;
 pub mod memo_cache;
 pub mod prune_scan;
+pub mod standing_maintenance;
 pub mod table1;

@@ -72,7 +72,10 @@ pub fn explain_delta(
     policy: DeltaPolicy,
     diags: &mut Vec<Diagnostic>,
 ) -> DeltaExplain {
-    let mechanism_supported = matches!(kind, MechanismKind::Collate | MechanismKind::AggVar);
+    let mechanism_supported = matches!(
+        kind,
+        MechanismKind::Collate | MechanismKind::AggVar | MechanismKind::AggTable
+    );
     let shape_eligible = qq.is_some_and(DeltaSelectRunner::eligible_shape);
     let snapshot_dependent_where =
         qq.is_some_and(|q| q.where_clause.as_ref().is_some_and(uses_current_snapshot));
@@ -89,14 +92,9 @@ pub fn explain_delta(
         reasons.push("delta policy is Off; sequential mechanism".to_owned());
         PredictedPath::Sequential
     } else if !mechanism_supported {
-        let msg = format!(
-            "{} has no delta path yet (see ROADMAP open items); the \
-             sequential mechanism runs instead",
-            match kind {
-                MechanismKind::AggTable => "AggregateDataInTable",
-                _ => "CollateDataIntoIntervals",
-            }
-        );
+        let msg = "CollateDataIntoIntervals has no delta path yet (see ROADMAP \
+                   open items); the sequential mechanism runs instead"
+            .to_owned();
         if policy == DeltaPolicy::Forced {
             push(diags, Code::ForcedDeltaUnsupportedMechanism, msg);
         } else {
@@ -207,9 +205,20 @@ mod tests {
     }
 
     #[test]
+    fn agg_table_predicts_pipeline() {
+        let (ex, codes) = explain(
+            MechanismKind::AggTable,
+            "SELECT cn, l_time FROM lineitem",
+            DeltaPolicy::Forced,
+        );
+        assert_eq!(ex.predicted_path, PredictedPath::Pipeline);
+        assert!(codes.is_empty(), "{codes:?}");
+    }
+
+    #[test]
     fn forced_failures() {
         let (_, codes) = explain(
-            MechanismKind::AggTable,
+            MechanismKind::Intervals,
             "SELECT v FROM t",
             DeltaPolicy::Forced,
         );

@@ -72,6 +72,7 @@ pub enum Code {
     MemoIneligible,
     ProfiledUdfOpaque,
     PruneIneligibleWhere,
+    MaintainIneligible,
     // ---- RQL31x: whole-program dataflow --------------------------------
     DeadResultTable,
     UseBeforeDefine,
@@ -81,7 +82,7 @@ pub enum Code {
 
 impl Code {
     /// Every code, for registry-coverage assertions.
-    pub const ALL: [Code; 42] = [
+    pub const ALL: [Code; 43] = [
         Code::UnknownTable,
         Code::UnknownColumn,
         Code::UnknownFunction,
@@ -120,6 +121,7 @@ impl Code {
         Code::MemoIneligible,
         Code::ProfiledUdfOpaque,
         Code::PruneIneligibleWhere,
+        Code::MaintainIneligible,
         Code::DeadResultTable,
         Code::UseBeforeDefine,
         Code::SnapshotSetMismatch,
@@ -167,6 +169,7 @@ impl Code {
             Code::MemoIneligible => "RQL207",
             Code::ProfiledUdfOpaque => "RQL208",
             Code::PruneIneligibleWhere => "RQL209",
+            Code::MaintainIneligible => "RQL210",
             // RQL300–RQL309 are reserved: the runtime/server taxonomy
             // already emits RQL300 (client cancel) and RQL301 (timeout)
             // over the wire, so dataflow codes start at RQL310.
@@ -235,6 +238,11 @@ impl Code {
             Code::PruneIneligibleWhere => {
                 "no Qq WHERE conjunct compares a bare column to a constant, so zone-map/bloom \
                  sidecars can never prune a page for this scan"
+            }
+            Code::MaintainIneligible => {
+                "MAINTAIN QUERY requires a mechanism call with literal arguments and a \
+                 deterministic, UDF-free Qq; this program cannot be registered as a standing \
+                 query"
             }
             Code::DeadResultTable => {
                 "a mechanism call populates a result table no later statement ever reads"

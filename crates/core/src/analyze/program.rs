@@ -215,6 +215,63 @@ pub fn analyze_program(
     for stmt in &program.statements {
         let text_span = Span::new(stmt.offset, stmt.offset + stmt.text.len());
         let range = dataflow::stmt_range(&program.src, text_span);
+        // `MAINTAIN QUERY name AS <call>` is not a SQL statement; peel
+        // the prefix and analyze the inner mechanism call in place (its
+        // result table enters the aux catalog like any batch call's), on
+        // top of the standing-query eligibility rules (RQL210).
+        if let Some((name, inner_off)) = crate::maintain::maintain_prefix(&stmt.text) {
+            let inner = ProgramStmt {
+                text: stmt.text[inner_off..].to_owned(),
+                offset: stmt.offset + inner_off,
+                on_aux: true,
+            };
+            let call = parse_statement(&inner.text)
+                .ok()
+                .and_then(|p| extract_mechanism_call(&p, &inner, &mut out.diagnostics));
+            match call {
+                Some(call) => {
+                    if let Some(reason) = crate::maintain::maintain_ineligibility(&call.qq) {
+                        out.diagnostics.push(Diagnostic::new(
+                            Code::MaintainIneligible,
+                            format!("MAINTAIN QUERY {name}: {reason}"),
+                            SourceKind::Program,
+                            call.fn_span.or_else(|| stmt_head_span(stmt)),
+                        ));
+                    }
+                    df.push(DfStmt {
+                        node: DfNode::Mechanism(Box::new(mech_node(&call))),
+                        range,
+                        text_span,
+                    });
+                    analyze_call(
+                        &call,
+                        &inner,
+                        program.policy,
+                        &snap_env,
+                        &mut aux_env,
+                        &mut out,
+                    );
+                }
+                None => {
+                    out.diagnostics.push(Diagnostic::new(
+                        Code::MaintainIneligible,
+                        format!(
+                            "MAINTAIN QUERY {name}: the body must be a mechanism call with \
+                             literal Qq/T/spec arguments (dynamic arguments cannot be \
+                             re-evaluated per commit)"
+                        ),
+                        SourceKind::Program,
+                        stmt_head_span(stmt),
+                    ));
+                    df.push(DfStmt {
+                        node: DfNode::Opaque,
+                        range,
+                        text_span,
+                    });
+                }
+            }
+            continue;
+        }
         let parsed = match parse_statement(&stmt.text) {
             Err(e) => {
                 out.diagnostics.push(Diagnostic::new(
@@ -426,6 +483,24 @@ pub struct ProgramRun {
 pub fn run_program_with_reports(session: &RqlSession, program: &Program) -> Result<ProgramRun> {
     let mut out = ProgramRun::default();
     for stmt in &program.statements {
+        // In a batch run, `MAINTAIN QUERY` executes its seed pass — one
+        // mechanism run over the backlog Qs — which is byte-identical to
+        // what registration would leave in the result table. (Standing
+        // registration, which keeps maintaining afterwards, is the
+        // server's job; see `crate::maintain`.)
+        if let Some(spec) = crate::maintain::parse_maintain(&stmt.text)? {
+            let report = dispatch_mechanism_parts(
+                session,
+                spec.kind,
+                &spec.qs,
+                &spec.qq,
+                &spec.table,
+                spec.spec.as_deref(),
+                program.policy,
+            )?;
+            out.reports.push((spec.table, report));
+            continue;
+        }
         if let Ok(parsed) = parse_statement(&stmt.text) {
             let mut scratch = Vec::new();
             if let Some(call) = extract_mechanism_call(&parsed, stmt, &mut scratch) {
@@ -458,21 +533,42 @@ fn dispatch_mechanism(
     call: &ExtractedCall,
     policy: Option<DeltaPolicy>,
 ) -> Result<RqlReport> {
-    let (qs, qq, table) = (&call.qs_text, &call.qq, &call.table);
-    match call.kind {
+    dispatch_mechanism_parts(
+        session,
+        call.kind,
+        &call.qs_text,
+        &call.qq,
+        &call.table,
+        call.spec.as_deref(),
+        policy,
+    )
+}
+
+/// The same dispatch from bare textual parts — shared by the statement
+/// form above and the `MAINTAIN QUERY` seed-equivalent batch run.
+fn dispatch_mechanism_parts(
+    session: &RqlSession,
+    kind: MechanismKind,
+    qs: &str,
+    qq: &str,
+    table: &str,
+    spec: Option<&str>,
+    policy: Option<DeltaPolicy>,
+) -> Result<RqlReport> {
+    match kind {
         MechanismKind::Collate => match policy {
             Some(p) => session.collate_data_with_policy(qs, qq, table, p),
             None => session.collate_data(qs, qq, table),
         },
         MechanismKind::AggVar => {
-            let func = AggOp::parse(call.spec.as_deref().unwrap_or_default())?;
+            let func = AggOp::parse(spec.unwrap_or_default())?;
             match policy {
                 Some(p) => session.aggregate_data_in_variable_with_policy(qs, qq, table, func, p),
                 None => session.aggregate_data_in_variable(qs, qq, table, func),
             }
         }
         MechanismKind::AggTable => {
-            let pairs = parse_col_func_pairs(call.spec.as_deref().unwrap_or_default())?;
+            let pairs = parse_col_func_pairs(spec.unwrap_or_default())?;
             match policy {
                 Some(p) => session.aggregate_data_in_table_with_policy(qs, qq, table, &pairs, p),
                 None => session.aggregate_data_in_table(qs, qq, table, &pairs),
@@ -483,6 +579,36 @@ fn dispatch_mechanism(
             None => session.collate_data_into_intervals(qs, qq, table),
         },
     }
+}
+
+/// A mechanism call's textual arguments, extracted from one statement —
+/// what `MAINTAIN QUERY` registration needs (literal arguments only;
+/// dynamic arguments return `None`).
+pub(crate) struct CallTexts {
+    pub(crate) kind: MechanismKind,
+    pub(crate) qs: String,
+    pub(crate) qq: String,
+    pub(crate) table: String,
+    pub(crate) spec: Option<String>,
+}
+
+/// Extract a literal-argument mechanism call from a statement's text.
+pub(crate) fn extract_call_texts(text: &str) -> Option<CallTexts> {
+    let parsed = parse_statement(text).ok()?;
+    let stmt = ProgramStmt {
+        text: text.to_owned(),
+        offset: 0,
+        on_aux: true,
+    };
+    let mut scratch = Vec::new();
+    let call = extract_mechanism_call(&parsed, &stmt, &mut scratch)?;
+    Some(CallTexts {
+        kind: call.kind,
+        qs: call.qs_text,
+        qq: call.qq,
+        table: call.table,
+        spec: call.spec,
+    })
 }
 
 /// Span of a statement's first token, for diagnostics with no better

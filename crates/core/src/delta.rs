@@ -46,16 +46,26 @@
 //! detects (root moved → rebuild) and the driver answers by re-seeding
 //! from the rebuilt row set.
 //!
+//! `AggregateDataInTable` adds a third mode on top of the pipeline scan:
+//! a **write-skipping in-table fold** ([`AggTableFold`]). The fold state
+//! remembers each group's record sublist and whether its last fold pass
+//! wrote anything; a group that is stable *and* was write-free is
+//! skipped without even a probe (provably a no-op — see the type's
+//! byte-identity argument), which eliminates the per-record index probes
+//! for the stable majority of groups while keeping the result table
+//! byte-identical to the sequential mechanism.
+//!
 //! Shapes the delta scan cannot reproduce byte-for-byte (joins, indexed
 //! probes, UDFs in WHERE, `current_snapshot()` in WHERE) fall back to
 //! the ordinary plan per [`DeltaPolicy`]: `Auto` silently, `Forced` with
-//! an error. `AggregateDataInTable` and `CollateDataIntoIntervals` run
-//! sequentially under `Auto` (extending deltas to the in-table fold is a
-//! ROADMAP open item).
+//! an error. `CollateDataIntoIntervals` still runs sequentially under
+//! `Auto` (lifetime extension probes the result table per record —
+//! extending deltas to it remains a ROADMAP open item).
 
 use std::cmp::Ordering;
 use std::time::Instant;
 
+use rql_retro::SnapshotReader;
 use rql_sqlengine::ast::{Expr, SelectItem, Stmt};
 use rql_sqlengine::cexpr::{compile, eval, CExpr, Scope};
 use rql_sqlengine::{
@@ -132,6 +142,174 @@ fn table_exists_error(table: &str) -> SqlError {
 }
 
 // ======================================================================
+// DeltaQqStream — shared per-snapshot Qq evaluation
+// ======================================================================
+
+/// Per-snapshot Qq evaluation over a delta chain: runner state, memo
+/// lookups, output reuse on whole-snapshot skips, and the
+/// `DeltaPolicy::Forced` contract, factored out so `CollateData`,
+/// `AggregateDataInTable`, and the standing-query maintainer drive one
+/// implementation. Call [`advance`](Self::advance) once per snapshot in
+/// chain order, then read [`current`](Self::current).
+pub(crate) struct DeltaQqStream {
+    parsed: SelectStmt,
+    memo: Option<QqMemo>,
+    runner: DeltaSelectRunner,
+    policy: DeltaPolicy,
+    /// Whether a whole-snapshot skip may reuse the previous output
+    /// outright (deterministic, snapshot-invariant post-scan stages).
+    reusable: bool,
+    /// Shape-ineligible Qq (joins, or `current_snapshot()` in WHERE —
+    /// the scanner's cached filter would be wrong): never attempt the
+    /// delta scan, evaluate sequentially every snapshot. The batch
+    /// drivers pre-check and route to the sequential mechanism instead;
+    /// this guard keeps the stream correct for callers that cannot
+    /// (the standing-query maintainer takes whatever Qq was registered).
+    seq_only: bool,
+    current: Option<QueryResult>,
+}
+
+impl DeltaQqStream {
+    pub(crate) fn new(
+        snap: &Database,
+        parsed: SelectStmt,
+        policy: DeltaPolicy,
+        memo: MemoHandle,
+    ) -> Self {
+        let memo = QqMemo::attach(memo, snap, &parsed);
+        // A snapshot whose scan fetched zero pages and produced no row
+        // delta may reuse the previous iteration's output outright — but
+        // only when the post-scan stages are deterministic (no UDF
+        // anywhere) and snapshot-invariant (no current_snapshot() outside
+        // WHERE; the rewrite probe differs between two sids exactly when
+        // the substituted literal appears somewhere).
+        let reusable = crate::memoize::memo_eligible(&parsed)
+            && rewrite_select(&parsed, 0) == rewrite_select(&parsed, 1);
+        let seq_only = !shape_eligible(&parsed);
+        DeltaQqStream {
+            parsed,
+            memo,
+            runner: DeltaSelectRunner::new(),
+            policy,
+            reusable,
+            seq_only,
+            current: None,
+        }
+    }
+
+    /// This snapshot's Qq output (valid after [`advance`](Self::advance)).
+    pub(crate) fn current(&self) -> &QueryResult {
+        self.current.as_ref().expect("advance() before current()")
+    }
+
+    /// Evaluate Qq at `sid` through the delta-aware scan, consuming the
+    /// chain delta carried by `reader`. Returns whether the memo served
+    /// the result.
+    pub(crate) fn advance(
+        &mut self,
+        snap: &Database,
+        reader: &SnapshotReader,
+        sid: u64,
+    ) -> Result<bool> {
+        snap.cancel_token().check()?;
+        let rewritten = rewrite_select(&self.parsed, sid);
+        let cached = self
+            .memo
+            .as_ref()
+            .and_then(|m| m.lookup_result(reader, &self.parsed, sid));
+        let memo_hit = cached.is_some();
+        if memo_hit {
+            rql_trace::instant_arg(rql_trace::SpanId::MemoHit, sid);
+        } else if self.memo.is_some() {
+            rql_trace::instant_arg(rql_trace::SpanId::MemoMiss, sid);
+        }
+        let result = match cached {
+            Some(r) => {
+                // Keep the chain delta across the skipped execution: the
+                // memoized seed is the scanner state as of `sid`, so the
+                // next iteration's changed-set (relative to `sid`) still
+                // applies. No seed → invalidate and let it rebuild.
+                match self
+                    .memo
+                    .as_ref()
+                    .and_then(|m| m.lookup_seed(reader, &self.parsed, sid))
+                {
+                    Some(seed) => self.runner.import_seed(seed),
+                    None => self.runner.invalidate(),
+                }
+                r
+            }
+            None => match if self.seq_only {
+                None
+            } else {
+                snap.delta_scan(reader, &rewritten, &mut self.runner)?
+            } {
+                Some((scan, mut stats)) => {
+                    rql_trace::instant_arg(rql_trace::SpanId::DeltaPath, sid);
+                    let skip = scan.snapshot_skip();
+                    if skip == Some(SkipReason::Pruned) {
+                        // The store-level counter feeds METRICS; the local
+                        // snapshot was taken inside delta_scan, before this
+                        // decision, so the iteration's stats need the bump
+                        // too or the report under-counts.
+                        snap.io_stats().count_snapshot_pruned();
+                        stats.io.snapshots_pruned += 1;
+                        rql_trace::instant_arg(rql_trace::SpanId::SnapshotPruned, sid);
+                    }
+                    let r = match &self.current {
+                        Some(prev) if self.reusable && skip.is_some() => {
+                            // Zero heap fetches and an empty row delta:
+                            // the filtered base rows are byte-identical to
+                            // the previous iteration's, so its output is
+                            // this iteration's output — skip the post-scan
+                            // stages entirely.
+                            stats.rows = prev.rows.len() as u64;
+                            QueryResult {
+                                columns: prev.columns.clone(),
+                                rows: prev.rows.clone(),
+                                stats,
+                                plan: vec![format!(
+                                    "{}: delta seq scan (output reused)",
+                                    rewritten.from[0].name
+                                )],
+                            }
+                        }
+                        _ => {
+                            let fin = snap.delta_finish(reader, &rewritten, scan.rows)?;
+                            stats.eval += fin.stats.eval;
+                            stats.io.accumulate(&fin.stats.io);
+                            stats.rows = fin.stats.rows;
+                            QueryResult { stats, ..fin }
+                        }
+                    };
+                    if let Some(m) = &self.memo {
+                        m.record_result(reader, &self.parsed, sid, &r);
+                        if let Some(seed) = self.runner.export_seed() {
+                            m.record_seed(reader, &self.parsed, sid, seed);
+                        }
+                    }
+                    r
+                }
+                None => {
+                    if self.policy == DeltaPolicy::Forced {
+                        return Err(forced_runtime_error(sid));
+                    }
+                    rql_trace::instant_arg(rql_trace::SpanId::SeqPath, sid);
+                    let outcome = snap.execute_stmt(&Stmt::Select(rewritten))?;
+                    let r = outcome.rows().expect("SELECT yields rows");
+                    if let Some(m) = &self.memo {
+                        m.record_result(reader, &self.parsed, sid, &r);
+                    }
+                    r
+                }
+            },
+        };
+        self.current = Some(result);
+        Ok(memo_hit)
+    }
+}
+
+// ======================================================================
 // CollateData
 // ======================================================================
 
@@ -177,114 +355,19 @@ pub(crate) fn collate_data_delta_with_memo(
             _ => mechanism::collate_data_with_memo(snap, aux, qs, qq, table, memo),
         };
     }
-    let memo = QqMemo::attach(memo, snap, &parsed);
     let (ids, qs_time) = mechanism::snapshot_set(aux, qs)?;
     let readers = snap.store().open_snapshot_chain(&ids)?;
-    let mut runner = DeltaSelectRunner::new();
+    let mut stream = DeltaQqStream::new(snap, parsed, policy, memo);
     let mut report = RqlReport {
         qs_time,
         ..Default::default()
     };
     let mut exists = false;
-    // A snapshot whose scan fetched zero pages and produced no row delta
-    // may reuse the previous iteration's output outright — but only when
-    // the post-scan stages are deterministic (no UDF anywhere) and
-    // snapshot-invariant (no current_snapshot() outside WHERE; the
-    // rewrite probe below differs between two sids exactly when the
-    // substituted literal appears somewhere).
-    let reusable = crate::memoize::memo_eligible(&parsed)
-        && rewrite_select(&parsed, 0) == rewrite_select(&parsed, 1);
-    let mut prev: Option<(Vec<String>, Vec<Row>)> = None;
     for (&sid, reader) in ids.iter().zip(readers.iter()) {
         let _qq_span = rql_trace::span_arg(rql_trace::SpanId::QqIteration, sid);
         let iter_started = Instant::now();
-        snap.cancel_token().check()?;
-        let rewritten = rewrite_select(&parsed, sid);
-        let cached = memo
-            .as_ref()
-            .and_then(|m| m.lookup_result(reader, &parsed, sid));
-        let memo_hit = cached.is_some();
-        if memo_hit {
-            rql_trace::instant_arg(rql_trace::SpanId::MemoHit, sid);
-        } else if memo.is_some() {
-            rql_trace::instant_arg(rql_trace::SpanId::MemoMiss, sid);
-        }
-        let result = match cached {
-            Some(r) => {
-                // Keep the chain delta across the skipped execution: the
-                // memoized seed is the scanner state as of `sid`, so the
-                // next iteration's changed-set (relative to `sid`) still
-                // applies. No seed → invalidate and let it rebuild.
-                match memo
-                    .as_ref()
-                    .and_then(|m| m.lookup_seed(reader, &parsed, sid))
-                {
-                    Some(seed) => runner.import_seed(seed),
-                    None => runner.invalidate(),
-                }
-                r
-            }
-            None => match snap.delta_scan(reader, &rewritten, &mut runner)? {
-                Some((scan, mut stats)) => {
-                    rql_trace::instant_arg(rql_trace::SpanId::DeltaPath, sid);
-                    let skip = scan.snapshot_skip();
-                    if skip == Some(SkipReason::Pruned) {
-                        // The store-level counter feeds METRICS; the local
-                        // snapshot was taken inside delta_scan, before this
-                        // decision, so the iteration's stats need the bump
-                        // too or the report under-counts.
-                        snap.io_stats().count_snapshot_pruned();
-                        stats.io.snapshots_pruned += 1;
-                        rql_trace::instant_arg(rql_trace::SpanId::SnapshotPruned, sid);
-                    }
-                    let r = match &prev {
-                        Some((cols, rows)) if reusable && skip.is_some() => {
-                            // Zero heap fetches and an empty row delta:
-                            // the filtered base rows are byte-identical to
-                            // the previous iteration's, so its output is
-                            // this iteration's output — skip the post-scan
-                            // stages entirely.
-                            stats.rows = rows.len() as u64;
-                            QueryResult {
-                                columns: cols.clone(),
-                                rows: rows.clone(),
-                                stats,
-                                plan: vec![format!(
-                                    "{}: delta seq scan (output reused)",
-                                    rewritten.from[0].name
-                                )],
-                            }
-                        }
-                        _ => {
-                            let fin = snap.delta_finish(reader, &rewritten, scan.rows)?;
-                            stats.eval += fin.stats.eval;
-                            stats.io.accumulate(&fin.stats.io);
-                            stats.rows = fin.stats.rows;
-                            QueryResult { stats, ..fin }
-                        }
-                    };
-                    if let Some(m) = &memo {
-                        m.record_result(reader, &parsed, sid, &r);
-                        if let Some(seed) = runner.export_seed() {
-                            m.record_seed(reader, &parsed, sid, seed);
-                        }
-                    }
-                    r
-                }
-                None => {
-                    if policy == DeltaPolicy::Forced {
-                        return Err(forced_runtime_error(sid));
-                    }
-                    rql_trace::instant_arg(rql_trace::SpanId::SeqPath, sid);
-                    let outcome = snap.execute_stmt(&Stmt::Select(rewritten))?;
-                    let r = outcome.rows().expect("SELECT yields rows");
-                    if let Some(m) = &memo {
-                        m.record_result(reader, &parsed, sid, &r);
-                    }
-                    r
-                }
-            },
-        };
+        let memo_hit = stream.advance(snap, reader, sid)?;
+        let result = stream.current();
         let udf_started = Instant::now();
         if !exists {
             mechanism::create_result_table_pub(aux, table, &result.columns)?;
@@ -306,7 +389,6 @@ pub(crate) fn collate_data_delta_with_memo(
             memo_hit,
             wall: iter_started.elapsed(),
         });
-        prev = Some((result.columns, result.rows));
     }
     Ok(report)
 }
@@ -938,12 +1020,222 @@ pub(crate) fn aggregate_data_in_variable_delta_with_memo(
 }
 
 // ======================================================================
-// Pass-throughs
+// AggregateDataInTable — write-skipping in-table fold
 // ======================================================================
 
-/// `AggregateDataInTable` has no delta path yet (the in-table fold needs
-/// retraction support — a ROADMAP open item); `Auto`/`Off` run the
-/// sequential mechanism, `Forced` errors.
+/// Grouping key under result-table probe equivalence: two keys are equal
+/// iff [`TableWriter::probe`](rql_sqlengine::TableWriter) would land
+/// them on the same result row (`total_cmp == Equal`, so `2` ≡ `2.0`
+/// and NULL ≡ NULL).
+#[derive(Clone)]
+pub(crate) struct GroupKey(pub(crate) Vec<Value>);
+
+impl GroupKey {
+    fn of(layout: &mechanism::AggTableLayout, record: &Row) -> GroupKey {
+        GroupKey(
+            layout
+                .group_positions
+                .iter()
+                .map(|&p| record[p].clone())
+                .collect(),
+        )
+    }
+}
+
+impl PartialEq for GroupKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for GroupKey {}
+impl PartialOrd for GroupKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for GroupKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| a.total_cmp(b))
+            .find(|o| *o != Ordering::Equal)
+            .unwrap_or_else(|| self.0.len().cmp(&other.0.len()))
+    }
+}
+
+struct GroupState {
+    /// The group's record sublist, in Qq output order.
+    records: Vec<Row>,
+    /// Whether this group's last fold pass provably wrote nothing.
+    noop: bool,
+    /// Whether this pass's fold wrote (insert or update).
+    wrote: bool,
+}
+
+/// One fold pass's outcome — writer counters plus the row-level effects
+/// the standing-query maintainer turns into push frames.
+pub(crate) struct FoldReport {
+    pub(crate) inserts: u64,
+    pub(crate) updates: u64,
+    /// Groups skipped without even a probe (stable records, proven
+    /// write-free by the previous pass).
+    pub(crate) groups_skipped: u64,
+    /// Row-level effects, populated only when requested.
+    pub(crate) effects: Vec<mechanism::FoldEffect>,
+}
+
+/// Incremental `AggregateDataInTable` fold state, persistent across
+/// iterations (and, for standing queries, across commits).
+///
+/// Byte-identity argument: the result table's bytes depend only on the
+/// *write* sequence against it (probes are read-only, and
+/// `heap.update` = delete+insert relocates on every write). A group
+/// whose record sublist is unchanged since the previous pass AND whose
+/// previous pass wrote nothing would fold to the same no-op again — the
+/// fold is deterministic in (stored row, records), and no other group's
+/// writes touch its stored row. Skipping exactly those groups therefore
+/// preserves the sequential mechanism's write sequence byte-for-byte
+/// while eliminating the probes for the stable majority (MAX groups in
+/// Figure 13's hot iterations). Everything else replays
+/// [`AggTableLayout::fold`](mechanism::AggTableLayout) per record in Qq
+/// output order, exactly like the sequential loop.
+pub(crate) struct AggTableFold {
+    table: String,
+    pairs: Vec<(String, AggOp)>,
+    layout: Option<mechanism::AggTableLayout>,
+    /// Next pass blind-inserts (the table was just created; the paper's
+    /// first iteration over a fresh table skips the probes).
+    blind_next: bool,
+    prev: std::collections::BTreeMap<GroupKey, GroupState>,
+}
+
+impl AggTableFold {
+    pub(crate) fn new(table: &str, pairs: &[(String, AggOp)]) -> Self {
+        AggTableFold {
+            table: table.to_string(),
+            pairs: pairs.to_vec(),
+            layout: None,
+            blind_next: false,
+            prev: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Fold one iteration's Qq output into the result table, creating
+    /// table + grouping index on first use (same DDL as the sequential
+    /// step form).
+    pub(crate) fn apply(
+        &mut self,
+        aux: &Database,
+        result: &QueryResult,
+        collect_effects: bool,
+    ) -> Result<FoldReport> {
+        if self.layout.is_none() {
+            let l = mechanism::agg_table_layout(&result.columns, &self.pairs)?;
+            if !mechanism::table_exists(aux, &self.table) {
+                mechanism::create_result_table_pub(aux, &self.table, &l.table_columns)?;
+                // Paper §3: "we also create an index on Result using as
+                // key the values in non-aggregating columns".
+                let group_cols: Vec<String> = l
+                    .group_positions
+                    .iter()
+                    .map(|&p| format!("\"{}\"", result.columns[p].to_ascii_lowercase()))
+                    .collect();
+                aux.execute(&format!(
+                    "CREATE INDEX __rql_idx_{} ON {} ({})",
+                    self.table.to_ascii_lowercase(),
+                    self.table,
+                    group_cols.join(", ")
+                ))?;
+                self.blind_next = true;
+            }
+            self.layout = Some(l);
+        }
+        let layout = self.layout.as_ref().expect("layout initialized");
+        let blind = self.blind_next;
+        self.blind_next = false;
+
+        // Group this iteration's records under probe equivalence.
+        let mut cur: std::collections::BTreeMap<GroupKey, GroupState> =
+            std::collections::BTreeMap::new();
+        for record in &result.rows {
+            cur.entry(GroupKey::of(layout, record))
+                .or_insert_with(|| GroupState {
+                    records: Vec::new(),
+                    noop: false,
+                    wrote: false,
+                })
+                .records
+                .push(record.clone());
+        }
+        // Decide skips against the previous pass.
+        let mut groups_skipped = 0u64;
+        if !blind {
+            for (key, state) in cur.iter_mut() {
+                if let Some(prev) = self.prev.get(key) {
+                    if prev.noop && prev.records == state.records {
+                        state.noop = true;
+                        groups_skipped += 1;
+                    }
+                }
+            }
+        }
+
+        let mut effects = Vec::new();
+        let (inserts, updates) = aux.with_table_writer(&self.table, |w| {
+            if blind {
+                // First pass over a fresh table inserts blindly (the Qq
+                // output is unique on the grouping columns).
+                for record in &result.rows {
+                    let fresh = layout.fresh_row(record);
+                    if collect_effects {
+                        effects.push(mechanism::FoldEffect::Inserted(fresh.clone()));
+                    }
+                    w.insert(fresh)?;
+                }
+            } else {
+                for record in &result.rows {
+                    let key = GroupKey::of(layout, record);
+                    let state = cur.get_mut(&key).expect("record grouped above");
+                    if state.noop {
+                        continue;
+                    }
+                    match layout.fold(w, record)? {
+                        mechanism::FoldEffect::Unchanged => {}
+                        effect => {
+                            state.wrote = true;
+                            if collect_effects {
+                                effects.push(effect);
+                            }
+                        }
+                    }
+                }
+            }
+            Ok((w.inserted(), w.updated()))
+        })?;
+
+        for state in cur.values_mut() {
+            if blind {
+                state.noop = false;
+            } else if !state.noop {
+                state.noop = !state.wrote;
+            }
+            state.wrote = false;
+        }
+        self.prev = cur;
+        Ok(FoldReport {
+            inserts,
+            updates,
+            groups_skipped,
+            effects,
+        })
+    }
+}
+
+/// Delta-driven `AggregateDataInTable(Qs, Qq, T, pairs)`: identical
+/// result-table bytes to [`mechanism::aggregate_data_in_table`], but Qq
+/// runs through the delta-aware scan and the in-table fold skips probes
+/// for groups proven write-free by the previous iteration.
 pub fn aggregate_data_in_table_delta(
     snap: &Database,
     aux: &Database,
@@ -968,14 +1260,48 @@ pub(crate) fn aggregate_data_in_table_delta_with_memo(
     policy: DeltaPolicy,
     memo: MemoHandle,
 ) -> Result<RqlReport> {
-    if policy == DeltaPolicy::Forced {
-        return Err(SqlError::Invalid(
-            "DeltaPolicy::Forced is not supported for AggregateDataInTable \
-             (no delta path yet; see ROADMAP open items)"
-                .into(),
-        ));
+    if policy == DeltaPolicy::Off {
+        return mechanism::aggregate_data_in_table_with_memo(snap, aux, qs, qq, table, pairs, memo);
     }
-    mechanism::aggregate_data_in_table_with_memo(snap, aux, qs, qq, table, pairs, memo)
+    if mechanism::table_exists(aux, table) {
+        return Err(table_exists_error(table));
+    }
+    let parsed = parse_qq(qq)?;
+    if !shape_eligible(&parsed) {
+        return match policy {
+            DeltaPolicy::Forced => Err(forced_shape_error()),
+            _ => {
+                mechanism::aggregate_data_in_table_with_memo(snap, aux, qs, qq, table, pairs, memo)
+            }
+        };
+    }
+    let (ids, qs_time) = mechanism::snapshot_set(aux, qs)?;
+    let readers = snap.store().open_snapshot_chain(&ids)?;
+    let mut stream = DeltaQqStream::new(snap, parsed, policy, memo);
+    let mut fold = AggTableFold::new(table, pairs);
+    let mut report = RqlReport {
+        qs_time,
+        ..Default::default()
+    };
+    for (&sid, reader) in ids.iter().zip(readers.iter()) {
+        let _qq_span = rql_trace::span_arg(rql_trace::SpanId::QqIteration, sid);
+        let iter_started = Instant::now();
+        let memo_hit = stream.advance(snap, reader, sid)?;
+        let result = stream.current();
+        let udf_started = Instant::now();
+        let folded = fold.apply(aux, result, false)?;
+        report.iterations.push(IterationReport {
+            snap_id: sid,
+            qq_stats: result.stats,
+            udf_time: udf_started.elapsed(),
+            qq_rows: result.rows.len() as u64,
+            result_inserts: folded.inserts,
+            result_updates: folded.updates,
+            memo_hit,
+            wall: iter_started.elapsed(),
+        });
+    }
+    Ok(report)
 }
 
 /// `CollateDataIntoIntervals` has no delta path yet (lifetime extension

@@ -62,6 +62,7 @@
 pub mod aggregate;
 pub mod analyze;
 pub mod delta;
+pub mod maintain;
 pub mod mechanism;
 pub mod memoize;
 pub mod parallel;
@@ -81,6 +82,10 @@ pub use analyze::{
 pub use delta::{
     aggregate_data_in_table_delta, aggregate_data_in_variable_delta, collate_data_delta,
     collate_data_into_intervals_delta, DeltaPolicy,
+};
+pub use maintain::{
+    maintain_ineligibility, maintain_prefix, parse_maintain, MaintainSpec, MaintainStats,
+    Maintainer, ResultDelta,
 };
 pub use mechanism::{END_SNAPSHOT_COL, START_SNAPSHOT_COL};
 pub use memoize::{memo_eligible, page_version_vector, qq_fingerprint};

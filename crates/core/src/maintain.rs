@@ -1,0 +1,696 @@
+//! Standing retrospective queries: `MAINTAIN QUERY` registration and
+//! per-commit incremental maintenance.
+//!
+//! A standing query is a mechanism call whose result table outlives the
+//! batch pass: registration runs one batch over the backlog (the
+//! snapshot set Qs selects at registration time) to *seed* the result
+//! table, then every snapshot committed afterwards is folded in
+//! incrementally. The maintained table is byte-identical, at every
+//! point, to what a fresh batch run over the same snapshot id sequence
+//! would produce — the differential proptest in
+//! `tests/standing_differential.rs` asserts exactly that.
+//!
+//! Per-commit cost is proportional to changed pages, not database size:
+//! the [`Maintainer`] keeps the delta machinery alive across commits —
+//! a [`DeltaQqStream`] whose scanner cache holds the previous snapshot's
+//! filtered rows, plus the mechanism's fold state
+//! ([`AggTableFold`](crate::delta) for `AggregateDataInTable`, the
+//! running [`AggState`] for `AggregateDataInVariable`, the previous
+//! snapshot id for `CollateDataIntoIntervals`). On each commit it opens
+//! the two-snapshot chain `[last, new]`, so the SPT is built
+//! incrementally and the scan touches only the pages that changed.
+//!
+//! Statement form:
+//!
+//! ```sql
+//! MAINTAIN QUERY top_balances AS
+//!   SELECT AggregateDataInTable(snap_id, 'SELECT cn, l_time FROM lineitem',
+//!                               'Result', '(l_time,max)')
+//!   FROM SnapIds;
+//! ```
+//!
+//! Eligibility (enforced at registration, surfaced at PREPARE as
+//! `RQL210`): the mechanism arguments must be string literals, and Qq
+//! must be deterministic (no UDF calls) — a standing query's pushed
+//! result deltas must be reproducible from the snapshot stream alone.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rql_memo::MemoStore;
+use rql_sqlengine::lexer::Token;
+use rql_sqlengine::{parse_select, tokenize_spanned, Database, QueryResult, Result, Row, SqlError};
+
+use crate::aggregate::{parse_col_func_pairs, AggOp, AggState};
+use crate::analyze::program::extract_call_texts;
+use crate::analyze::MechanismKind;
+use crate::delta::{AggTableFold, DeltaPolicy, DeltaQqStream, GroupKey};
+use crate::mechanism::{self, FoldEffect};
+use crate::report::RqlReport;
+use crate::session::RqlSession;
+
+/// A parsed `MAINTAIN QUERY name AS <mechanism call>` statement.
+#[derive(Debug, Clone)]
+pub struct MaintainSpec {
+    /// The standing query's registered name.
+    pub name: String,
+    /// Which mechanism maintains the result table.
+    pub kind: MechanismKind,
+    /// The backlog Qs (evaluated once, at registration).
+    pub qs: String,
+    /// The per-snapshot Qq.
+    pub qq: String,
+    /// The maintained result table.
+    pub table: String,
+    /// Aggregate spec (AggVar / AggTable forms).
+    pub spec: Option<String>,
+    /// The inner mechanism statement as written (for `check_program`).
+    pub call_text: String,
+}
+
+/// Detect the `MAINTAIN QUERY <name> AS` prefix. Returns the query name
+/// and the byte offset of the inner statement within `text`.
+pub fn maintain_prefix(text: &str) -> Option<(String, usize)> {
+    let tokens = tokenize_spanned(text).ok()?;
+    let word = |i: usize| -> Option<&str> {
+        match &tokens.get(i)?.token {
+            Token::Word(w) => Some(w.as_str()),
+            _ => None,
+        }
+    };
+    if !word(0)?.eq_ignore_ascii_case("maintain") || !word(1)?.eq_ignore_ascii_case("query") {
+        return None;
+    }
+    let name = word(2)?.to_owned();
+    if !word(3)?.eq_ignore_ascii_case("as") {
+        return None;
+    }
+    let inner_start = tokens.get(4)?.span.start;
+    Some((name, inner_start))
+}
+
+/// Parse a full `MAINTAIN QUERY` statement. `Ok(None)` when `text` is
+/// not a MAINTAIN statement at all; `Err` when it is one but malformed
+/// or ineligible.
+pub fn parse_maintain(text: &str) -> Result<Option<MaintainSpec>> {
+    let Some((name, inner_start)) = maintain_prefix(text) else {
+        return Ok(None);
+    };
+    let call_text = text[inner_start..].trim().trim_end_matches(';').to_owned();
+    let Some(call) = extract_call_texts(&call_text) else {
+        return Err(SqlError::Invalid(format!(
+            "[RQL210] MAINTAIN QUERY {name}: the body must be a mechanism call with \
+             literal Qq/T/spec arguments (dynamic arguments cannot be re-evaluated \
+             per commit)"
+        )));
+    };
+    let spec = MaintainSpec {
+        name,
+        kind: call.kind,
+        qs: call.qs,
+        qq: call.qq,
+        table: call.table,
+        spec: call.spec,
+        call_text,
+    };
+    if let Some(reason) = maintain_ineligibility(&spec.qq) {
+        return Err(SqlError::Invalid(format!(
+            "[RQL210] MAINTAIN QUERY {}: {reason}",
+            spec.name
+        )));
+    }
+    Ok(Some(spec))
+}
+
+/// Why a Qq cannot back a standing query, or `None` when it can.
+/// Mirrored by the `RQL210` analyzer diagnostic.
+pub fn maintain_ineligibility(qq: &str) -> Option<String> {
+    let parsed = match parse_select(qq) {
+        Ok(p) => p,
+        Err(e) => return Some(format!("Qq does not parse: {e}")),
+    };
+    if parsed.as_of.is_some() {
+        return Some(
+            "Qq must not contain AS OF; the maintainer binds the snapshot per commit".into(),
+        );
+    }
+    if !crate::memoize::memo_eligible(&parsed) {
+        return Some(
+            "Qq calls a user-defined function; a standing query's pushed result \
+             deltas must be reproducible from the snapshot stream alone"
+                .into(),
+        );
+    }
+    None
+}
+
+/// The per-snapshot change to a maintained result table — what gets
+/// framed and pushed to subscribers.
+#[derive(Debug, Clone, Default)]
+pub struct ResultDelta {
+    /// The snapshot that caused the change.
+    pub snap_id: u64,
+    /// Rows now present that were not before (multiset semantics).
+    pub added: Vec<Row>,
+    /// Rows removed (multiset semantics).
+    pub removed: Vec<Row>,
+}
+
+/// Maintenance counters, exported through METRICS per registered query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaintainStats {
+    /// Snapshots folded by the registration batch pass.
+    pub snapshots_seeded: u64,
+    /// Snapshots folded incrementally since registration.
+    pub snapshots_maintained: u64,
+    /// Pagelog page fetches across all maintenance passes.
+    pub pages_scanned: u64,
+    /// Pages served from the delta cache or pruned instead of fetched.
+    pub pages_skipped: u64,
+    /// Rows shipped in result-delta frames (added + removed).
+    pub rows_pushed: u64,
+    /// AggTable groups skipped by the write-skipping fold (records and
+    /// stored row both unchanged since the previous pass).
+    pub groups_skipped: u64,
+}
+
+/// Per-mechanism maintenance state.
+enum MechState {
+    Collate {
+        stream: DeltaQqStream,
+        table_created: bool,
+    },
+    AggTable {
+        stream: DeltaQqStream,
+        fold: AggTableFold,
+    },
+    AggVar {
+        stream: DeltaQqStream,
+        func: AggOp,
+        state: AggState,
+        column: Option<String>,
+        /// The single result row as last written (for delta frames).
+        last_row: Option<Row>,
+    },
+    Intervals {
+        prev_sid: Option<u64>,
+    },
+}
+
+/// One registered standing query's live maintenance state.
+///
+/// Not `Sync`: a maintainer belongs to whoever processes commits for it
+/// (the standing engine serializes advances per query).
+pub struct Maintainer {
+    snap: Arc<Database>,
+    aux: Arc<Database>,
+    memo: Option<Arc<MemoStore>>,
+    spec: MaintainSpec,
+    state: MechState,
+    last_sid: Option<u64>,
+    stats: MaintainStats,
+}
+
+impl Maintainer {
+    /// Register a standing query on a session: validate via
+    /// [`RqlSession::check_program`], refuse an existing result table,
+    /// run the seeding batch pass over the backlog Qs, and return the
+    /// live maintainer plus the seed report.
+    pub fn register(session: &RqlSession, spec: MaintainSpec) -> Result<(Maintainer, RqlReport)> {
+        let _span = rql_trace::span(rql_trace::SpanId::StandingSeed);
+        if let Some(reason) = maintain_ineligibility(&spec.qq) {
+            return Err(SqlError::Invalid(format!(
+                "[RQL210] MAINTAIN QUERY {}: {reason}",
+                spec.name
+            )));
+        }
+        let program_src = format!("{};", spec.call_text);
+        let program = crate::analyze::parse_program(&program_src).map_err(|d| {
+            SqlError::Invalid(format!("MAINTAIN QUERY {}: {}", spec.name, d.message))
+        })?;
+        let analysis = session.check_program(&program)?;
+        if analysis.has_errors() {
+            return Err(SqlError::Invalid(format!(
+                "MAINTAIN QUERY {} failed validation:\n{}",
+                spec.name,
+                analysis.render("maintain", &program_src)
+            )));
+        }
+        let snap = Arc::clone(session.snap_db());
+        let aux = Arc::clone(session.aux_db());
+        if mechanism::table_exists(&aux, &spec.table) {
+            return Err(SqlError::Constraint(format!(
+                "result table {} already exists",
+                spec.table
+            )));
+        }
+        let memo = session.memo();
+        let mut maintainer = Maintainer {
+            snap,
+            aux,
+            memo,
+            spec,
+            state: MechState::Intervals { prev_sid: None }, // replaced below
+            last_sid: None,
+            stats: MaintainStats::default(),
+        };
+        let report = maintainer.seed()?;
+        Ok((maintainer, report))
+    }
+
+    /// The registered spec.
+    pub fn spec(&self) -> &MaintainSpec {
+        &self.spec
+    }
+
+    /// Maintenance counters so far.
+    pub fn stats(&self) -> MaintainStats {
+        self.stats
+    }
+
+    /// The last snapshot folded into the result table.
+    pub fn last_sid(&self) -> Option<u64> {
+        self.last_sid
+    }
+
+    /// Full current result table content, in scan order (what SUBSCRIBE
+    /// sends before the delta stream starts).
+    pub fn current_result(&self) -> Result<QueryResult> {
+        self.aux
+            .query(&format!("SELECT * FROM {}", self.spec.table))
+    }
+
+    fn parsed_qq(&self) -> Result<rql_sqlengine::SelectStmt> {
+        let parsed = parse_select(&self.spec.qq)?;
+        if parsed.as_of.is_some() {
+            return Err(SqlError::Invalid(
+                "Qq must not contain AS OF; RQL binds the snapshot per iteration".into(),
+            ));
+        }
+        Ok(parsed)
+    }
+
+    fn pairs(&self) -> Result<Vec<(String, AggOp)>> {
+        parse_col_func_pairs(self.spec.spec.as_deref().unwrap_or_default())
+    }
+
+    /// The registration batch pass: fold the backlog, leaving the delta
+    /// machinery primed at the last seeded snapshot.
+    fn seed(&mut self) -> Result<RqlReport> {
+        let (ids, qs_time) = mechanism::snapshot_set(&self.aux, &self.spec.qs)?;
+        let mut report = RqlReport {
+            qs_time,
+            ..Default::default()
+        };
+        self.state = match self.spec.kind {
+            MechanismKind::Collate => MechState::Collate {
+                stream: DeltaQqStream::new(
+                    &self.snap,
+                    self.parsed_qq()?,
+                    DeltaPolicy::Auto,
+                    self.memo.clone(),
+                ),
+                table_created: false,
+            },
+            MechanismKind::AggTable => MechState::AggTable {
+                stream: DeltaQqStream::new(
+                    &self.snap,
+                    self.parsed_qq()?,
+                    DeltaPolicy::Auto,
+                    self.memo.clone(),
+                ),
+                fold: AggTableFold::new(&self.spec.table, &self.pairs()?),
+            },
+            MechanismKind::AggVar => {
+                let func = AggOp::parse(self.spec.spec.as_deref().unwrap_or_default())?;
+                MechState::AggVar {
+                    stream: DeltaQqStream::new(
+                        &self.snap,
+                        self.parsed_qq()?,
+                        DeltaPolicy::Auto,
+                        self.memo.clone(),
+                    ),
+                    state: func.init(),
+                    func,
+                    column: None,
+                    last_row: None,
+                }
+            }
+            MechanismKind::Intervals => MechState::Intervals { prev_sid: None },
+        };
+        if let MechState::Intervals { prev_sid } = &mut self.state {
+            // The interval fold is inherently sequential (it probes the
+            // result table per record); seed via the step mechanism and
+            // remember where it left off.
+            let (rep, last) = mechanism::collate_data_into_intervals_step_with_memo(
+                &self.snap,
+                &self.aux,
+                &self.spec.qs,
+                &self.spec.qq,
+                &self.spec.table,
+                None,
+                self.memo.clone(),
+            )?;
+            *prev_sid = last;
+            self.last_sid = ids.last().copied();
+            self.account(&rep);
+            self.stats.snapshots_seeded = rep.iterations.len() as u64;
+            return Ok(rep);
+        }
+        let readers = self.snap.store().open_snapshot_chain(&ids)?;
+        for (&sid, reader) in ids.iter().zip(readers.iter()) {
+            let _qq_span = rql_trace::span_arg(rql_trace::SpanId::QqIteration, sid);
+            let iter_started = Instant::now();
+            let (memo_hit, delta) = self.fold_one(sid, reader)?;
+            let _ = delta;
+            let result_stats = self.current_stream_stats();
+            report.iterations.push(crate::report::IterationReport {
+                snap_id: sid,
+                qq_stats: result_stats,
+                udf_time: std::time::Duration::ZERO,
+                qq_rows: result_stats.rows,
+                result_inserts: 0,
+                result_updates: 0,
+                memo_hit,
+                wall: iter_started.elapsed(),
+            });
+            self.last_sid = Some(sid);
+        }
+        // AggVar materializes its single-row table only at the end of
+        // the batch pass — and the maintainer re-materializes it per
+        // commit, so the table always equals the batch-final state.
+        if let MechState::AggVar { .. } = &self.state {
+            self.rewrite_aggvar_table()?;
+        }
+        self.account(&report);
+        self.stats.snapshots_seeded = report.iterations.len() as u64;
+        Ok(report)
+    }
+
+    /// Fold one committed snapshot into the result table and return the
+    /// result-table delta it caused. Out-of-order or duplicate commits
+    /// (sid ≤ last maintained) are ignored.
+    pub fn advance(&mut self, sid: u64) -> Result<ResultDelta> {
+        let _span = rql_trace::span_arg(rql_trace::SpanId::StandingMaintain, sid);
+        if self.last_sid.is_some_and(|last| sid <= last) {
+            return Ok(ResultDelta {
+                snap_id: sid,
+                ..Default::default()
+            });
+        }
+        let delta = if let MechState::Intervals { prev_sid } = &mut self.state {
+            let before = self
+                .aux
+                .query(&format!("SELECT * FROM {}", self.spec.table));
+            let prev = *prev_sid;
+            let (rep, last) = mechanism::collate_data_into_intervals_step_with_memo(
+                &self.snap,
+                &self.aux,
+                &format!("SELECT {sid}"),
+                &self.spec.qq,
+                &self.spec.table,
+                prev,
+                self.memo.clone(),
+            )?;
+            if let MechState::Intervals { prev_sid } = &mut self.state {
+                *prev_sid = last;
+            }
+            self.account(&rep);
+            let after = self
+                .aux
+                .query(&format!("SELECT * FROM {}", self.spec.table))?;
+            let before_rows = before.map(|r| r.rows).unwrap_or_default();
+            let (added, removed) = diff_multiset(&before_rows, &after.rows);
+            ResultDelta {
+                snap_id: sid,
+                added,
+                removed,
+            }
+        } else {
+            let chain: Vec<u64> = match self.last_sid {
+                Some(last) => vec![last, sid],
+                None => vec![sid],
+            };
+            let readers = self.snap.store().open_snapshot_chain(&chain)?;
+            let reader = readers.last().expect("chain is non-empty");
+            let (_, delta) = self.fold_one(sid, reader)?;
+            let stats = self.current_stream_stats();
+            self.stats.pages_scanned += stats.io.pagelog_reads + stats.io.db_reads;
+            self.stats.pages_skipped += stats.pages_skipped_delta + stats.pages_pruned_filter;
+            delta
+        };
+        self.last_sid = Some(sid);
+        self.stats.snapshots_maintained += 1;
+        self.stats.rows_pushed += (delta.added.len() + delta.removed.len()) as u64;
+        Ok(delta)
+    }
+
+    /// Fold the Qq output at `sid` (read through `reader`) into the
+    /// result table. Shared by the seed pass and `advance`.
+    fn fold_one(
+        &mut self,
+        sid: u64,
+        reader: &rql_retro::SnapshotReader,
+    ) -> Result<(bool, ResultDelta)> {
+        let snap = Arc::clone(&self.snap);
+        let aux = Arc::clone(&self.aux);
+        let table = self.spec.table.clone();
+        match &mut self.state {
+            MechState::Collate {
+                stream,
+                table_created,
+            } => {
+                let memo_hit = stream.advance(&snap, reader, sid)?;
+                let result = stream.current();
+                if !*table_created {
+                    mechanism::create_result_table_pub(&aux, &table, &result.columns)?;
+                    *table_created = true;
+                }
+                aux.with_table_writer(&table, |w| {
+                    for row in &result.rows {
+                        w.insert(row.clone())?;
+                    }
+                    Ok(())
+                })?;
+                Ok((
+                    memo_hit,
+                    ResultDelta {
+                        snap_id: sid,
+                        added: result.rows.clone(),
+                        removed: Vec::new(),
+                    },
+                ))
+            }
+            MechState::AggTable { stream, fold } => {
+                let memo_hit = stream.advance(&snap, reader, sid)?;
+                let folded = fold.apply(&aux, stream.current(), true)?;
+                self.stats.groups_skipped += folded.groups_skipped;
+                let mut delta = ResultDelta {
+                    snap_id: sid,
+                    ..Default::default()
+                };
+                for effect in folded.effects {
+                    match effect {
+                        FoldEffect::Inserted(row) => delta.added.push(row),
+                        FoldEffect::Updated { old, new } => {
+                            delta.removed.push(old);
+                            delta.added.push(new);
+                        }
+                        FoldEffect::Unchanged => {}
+                    }
+                }
+                Ok((memo_hit, delta))
+            }
+            MechState::AggVar {
+                stream,
+                func,
+                state,
+                column,
+                ..
+            } => {
+                let memo_hit = stream.advance(&snap, reader, sid)?;
+                let result = stream.current();
+                if column.is_none() {
+                    column.replace(result.columns.first().cloned().unwrap_or_default());
+                }
+                if result.columns.len() != 1 {
+                    return Err(SqlError::Invalid(format!(
+                        "AggregateDataInVariable expects Qq to return one column, got {}",
+                        result.columns.len()
+                    )));
+                }
+                let value = match result.rows.len() {
+                    0 => None,
+                    1 => Some(result.rows[0][0].clone()),
+                    n => {
+                        return Err(SqlError::Invalid(format!(
+                            "AggregateDataInVariable expects Qq to return at most one row, got {n}"
+                        )))
+                    }
+                };
+                if let Some(v) = value {
+                    func.absorb(state, &v);
+                }
+                // During seeding the table is rewritten once at the end;
+                // advance() rewrites per commit.
+                let delta = if self.last_sid.is_some() {
+                    let old = match &self.state {
+                        MechState::AggVar { last_row, .. } => last_row.clone(),
+                        _ => unreachable!(),
+                    };
+                    self.rewrite_aggvar_table()?;
+                    let new = match &self.state {
+                        MechState::AggVar { last_row, .. } => last_row.clone(),
+                        _ => unreachable!(),
+                    };
+                    ResultDelta {
+                        snap_id: sid,
+                        added: new.into_iter().collect(),
+                        removed: old.into_iter().collect(),
+                    }
+                } else {
+                    ResultDelta {
+                        snap_id: sid,
+                        ..Default::default()
+                    }
+                };
+                Ok((memo_hit, delta))
+            }
+            MechState::Intervals { .. } => unreachable!("intervals fold via step mechanism"),
+        }
+    }
+
+    /// Drop and re-materialize the AggVar single-row result table from
+    /// the running state — byte-identical to what a fresh batch run's
+    /// finalize would create.
+    fn rewrite_aggvar_table(&mut self) -> Result<()> {
+        let MechState::AggVar {
+            func,
+            state,
+            column,
+            last_row,
+            ..
+        } = &mut self.state
+        else {
+            unreachable!("rewrite_aggvar_table on non-AggVar state");
+        };
+        let column = column.clone().unwrap_or_else(|| "value".to_owned());
+        self.aux
+            .execute(&format!("DROP TABLE IF EXISTS {}", self.spec.table))?;
+        mechanism::create_result_table_pub(&self.aux, &self.spec.table, &[column])?;
+        let row = vec![func.finish(state)];
+        *last_row = Some(row.clone());
+        self.aux.with_table_writer(&self.spec.table, |w| {
+            w.insert(row.clone())?;
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    fn current_stream_stats(&self) -> rql_sqlengine::ExecStats {
+        match &self.state {
+            MechState::Collate { stream, .. }
+            | MechState::AggTable { stream, .. }
+            | MechState::AggVar { stream, .. } => stream.current().stats,
+            MechState::Intervals { .. } => rql_sqlengine::ExecStats::default(),
+        }
+    }
+
+    fn account(&mut self, report: &RqlReport) {
+        for it in &report.iterations {
+            self.stats.pages_scanned += it.qq_stats.io.pagelog_reads + it.qq_stats.io.db_reads;
+            self.stats.pages_skipped +=
+                it.qq_stats.pages_skipped_delta + it.qq_stats.pages_pruned_filter;
+        }
+    }
+}
+
+/// Multiset difference between two row lists under [`GroupKey`]
+/// equivalence: `(in b but not a, in a but not b)`.
+fn diff_multiset(a: &[Row], b: &[Row]) -> (Vec<Row>, Vec<Row>) {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<GroupKey, i64> = BTreeMap::new();
+    for row in b {
+        *counts.entry(GroupKey(row.clone())).or_insert(0) += 1;
+    }
+    for row in a {
+        *counts.entry(GroupKey(row.clone())).or_insert(0) -= 1;
+    }
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    for row in b {
+        let c = counts.get_mut(&GroupKey(row.clone())).expect("counted");
+        if *c > 0 {
+            added.push(row.clone());
+            *c -= 1;
+        }
+    }
+    // Reset positives consumed; negatives mark removals.
+    for row in a {
+        let c = counts.get_mut(&GroupKey(row.clone())).expect("counted");
+        if *c < 0 {
+            removed.push(row.clone());
+            *c += 1;
+        }
+    }
+    (added, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rql_sqlengine::Value;
+
+    #[test]
+    fn maintain_prefix_detection() {
+        let (name, off) =
+            maintain_prefix("MAINTAIN QUERY top AS SELECT CollateData(1, 'q', 't') FROM snapids")
+                .unwrap();
+        assert_eq!(name, "top");
+        assert!(off > 0);
+        assert!(maintain_prefix("SELECT 1").is_none());
+        assert!(maintain_prefix("maintain query x as select 1").is_some());
+    }
+
+    #[test]
+    fn parse_rejects_dynamic_args() {
+        let err = parse_maintain(
+            "MAINTAIN QUERY q AS SELECT CollateData(snap_id, qq_col, 'T') FROM snapids",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("RQL210"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_udf_qq() {
+        let err = parse_maintain(
+            "MAINTAIN QUERY q AS SELECT CollateData(snap_id, 'SELECT my_udf(v) FROM t', 'T') \
+             FROM snapids",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("RQL210"), "{err}");
+    }
+
+    #[test]
+    fn parse_accepts_literal_call() {
+        let spec = parse_maintain(
+            "MAINTAIN QUERY balances AS SELECT AggregateDataInTable(snap_id, \
+             'SELECT cn, v FROM t', 'Result', '(v,max)') FROM snapids",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(spec.name, "balances");
+        assert_eq!(spec.kind, MechanismKind::AggTable);
+        assert_eq!(spec.table, "Result");
+        assert_eq!(spec.spec.as_deref(), Some("(v,max)"));
+    }
+
+    #[test]
+    fn diff_multiset_basics() {
+        let a = vec![vec![Value::Integer(1)], vec![Value::Integer(2)]];
+        let b = vec![vec![Value::Integer(2)], vec![Value::Integer(3)]];
+        let (added, removed) = diff_multiset(&a, &b);
+        assert_eq!(added, vec![vec![Value::Integer(3)]]);
+        assert_eq!(removed, vec![vec![Value::Integer(1)]]);
+    }
+}

@@ -142,7 +142,7 @@ fn run_loop(
 }
 
 /// Whether `table` exists in the auxiliary database.
-fn table_exists(aux: &Database, table: &str) -> bool {
+pub(crate) fn table_exists(aux: &Database, table: &str) -> bool {
     aux.table_row_count(table).is_ok()
 }
 
@@ -422,17 +422,37 @@ pub(crate) fn aggregate_data_in_variable_step_with_memo(
 // ======================================================================
 
 /// Internal layout of an `AggregateDataInTable` result table.
-struct AggTableLayout {
+pub(crate) struct AggTableLayout {
     /// Positions of grouping columns within the Qq output.
-    group_positions: Vec<usize>,
+    pub(crate) group_positions: Vec<usize>,
     /// `(qq_position, op, companion_base)` per aggregated column;
     /// `companion_base` indexes the `(sum, count)` pair for AVG columns.
-    agg_columns: Vec<(usize, AggOp, Option<usize>)>,
+    pub(crate) agg_columns: Vec<(usize, AggOp, Option<usize>)>,
     /// All result-table column names (Qq columns + AVG companions).
-    table_columns: Vec<String>,
+    pub(crate) table_columns: Vec<String>,
 }
 
-fn agg_table_layout(qq_columns: &[String], pairs: &[(String, AggOp)]) -> Result<AggTableLayout> {
+/// What one [`AggTableLayout::fold`] did to the result table — consumed
+/// by the delta driver (write-skipping) and the standing-query
+/// maintainer (result-delta frames).
+pub(crate) enum FoldEffect {
+    /// A fresh row was inserted for a new grouping key.
+    Inserted(Row),
+    /// The group's row was rewritten.
+    Updated {
+        /// The row before the fold.
+        old: Row,
+        /// The row after the fold.
+        new: Row,
+    },
+    /// The aggregate did not change; nothing was written.
+    Unchanged,
+}
+
+pub(crate) fn agg_table_layout(
+    qq_columns: &[String],
+    pairs: &[(String, AggOp)],
+) -> Result<AggTableLayout> {
     let mut agg_columns = Vec::new();
     let mut table_columns: Vec<String> = qq_columns.to_vec();
     for (col, op) in pairs {
@@ -469,7 +489,7 @@ fn agg_table_layout(qq_columns: &[String], pairs: &[(String, AggOp)]) -> Result<
 
 impl AggTableLayout {
     /// Result-table row for a record's first appearance.
-    fn fresh_row(&self, record: &Row) -> Row {
+    pub(crate) fn fresh_row(&self, record: &Row) -> Row {
         let mut row = Vec::with_capacity(self.table_columns.len());
         row.extend(record.iter().cloned());
         for (pos, op, companion) in &self.agg_columns {
@@ -485,7 +505,7 @@ impl AggTableLayout {
 
     /// Fold one record into the result table: probe on the grouping
     /// columns, then update the hit or insert fresh (paper §3).
-    fn fold(&self, w: &mut TableWriter, record: &Row) -> Result<()> {
+    pub(crate) fn fold(&self, w: &mut TableWriter, record: &Row) -> Result<FoldEffect> {
         let key: Vec<Value> = self
             .group_positions
             .iter()
@@ -494,8 +514,9 @@ impl AggTableLayout {
         let mut hits = w.probe(0, &key)?;
         match hits.len() {
             0 => {
-                w.insert(self.fresh_row(record))?;
-                Ok(())
+                let fresh = self.fresh_row(record);
+                w.insert(fresh.clone())?;
+                Ok(FoldEffect::Inserted(fresh))
             }
             1 => {
                 let (rid, old) = hits.pop().unwrap();
@@ -526,9 +547,11 @@ impl AggTableLayout {
                 // rarely changes; SUM changes on every contribution —
                 // the asymmetry of Figure 13's hot iterations).
                 if new_row != old {
-                    w.update(rid, &old, new_row)?;
+                    w.update(rid, &old, new_row.clone())?;
+                    Ok(FoldEffect::Updated { old, new: new_row })
+                } else {
+                    Ok(FoldEffect::Unchanged)
                 }
-                Ok(())
             }
             n => Err(SqlError::Invalid(format!(
                 "aggregation ill-defined: {n} result rows share one grouping key \

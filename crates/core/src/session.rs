@@ -415,8 +415,8 @@ impl RqlSession {
     }
 
     /// `AggregateDataInTable(Qs, Qq, T, ListOfColFuncPairs)` under a
-    /// [`DeltaPolicy`] (currently sequential unless `Forced`, which
-    /// errors).
+    /// [`DeltaPolicy`]: the delta scan feeds a write-skipping in-table
+    /// fold that probes only the groups whose contribution changed.
     pub fn aggregate_data_in_table_with_policy(
         &self,
         qs: &str,

@@ -301,16 +301,18 @@ fn forced_policy_errors_on_ineligible_shapes() {
     assert!(session
         .collate_data_with_policy(QS, "SELECT grp FROM m AS OF 1", "x3", DeltaPolicy::Forced)
         .is_err());
-    // Mechanisms without a delta path refuse Forced...
+    // AggregateDataInTable has a delta path now; Forced errors only on
+    // ineligible shapes, like CollateData.
     assert!(session
         .aggregate_data_in_table_with_policy(
             QS,
-            "SELECT grp, v FROM m",
+            "SELECT grp, v FROM m WHERE v < current_snapshot()",
             "x4",
             &[("v".to_string(), AggOp::Sum)],
             DeltaPolicy::Forced,
         )
         .is_err());
+    // CollateDataIntoIntervals still has no delta path and refuses Forced.
     assert!(
         session
             .collate_data_into_intervals_with_policy(
@@ -321,14 +323,14 @@ fn forced_policy_errors_on_ineligible_shapes() {
             )
             .is_err()
     );
-    // ...but run sequentially under Auto.
+    // Eligible AggTable shapes run the pipeline under Forced.
     session
         .aggregate_data_in_table_with_policy(
             QS,
             "SELECT grp, v FROM m",
             "x6",
             &[("v".to_string(), AggOp::Sum)],
-            DeltaPolicy::Auto,
+            DeltaPolicy::Forced,
         )
         .unwrap();
     session

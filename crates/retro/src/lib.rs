@@ -31,7 +31,7 @@ pub use pagelog::{ArchiveOutcome, Pagelog, PagelogFormat};
 pub use skippy::{Segment, Skippy};
 pub use snapshot::{FetchSource, SnapshotMeta, SnapshotReader};
 pub use spt::{PageLocation, Spt, SptBuildStats};
-pub use store::{RetroConfig, RetroStore, SidecarBuilder, SidecarMap};
+pub use store::{RetroConfig, RetroStore, SidecarBuilder, SidecarMap, SnapshotHook};
 
 #[cfg(test)]
 mod tests {

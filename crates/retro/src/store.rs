@@ -101,7 +101,17 @@ pub struct RetroStore {
     /// `None` until the SQL layer declares filter columns; sidecar
     /// maintenance is free when pruning is unused.
     sidecar_builder: RwLock<Option<SidecarBuilder>>,
+    /// Observers notified after every snapshot declaration, once the
+    /// snapshot is fully published (metas pushed, all commit-path locks
+    /// released) — a hook may immediately open the snapshot it is told
+    /// about. Hooks run synchronously on the committing thread, in
+    /// registration order; the standing-query engine uses this to
+    /// maintain registered result tables per commit.
+    snapshot_hooks: RwLock<Vec<SnapshotHook>>,
 }
+
+/// A snapshot-declaration observer (see [`RetroStore::add_snapshot_hook`]).
+pub type SnapshotHook = Arc<dyn Fn(u64) + Send + Sync>;
 
 impl RetroStore {
     /// Ephemeral store: memory-backed Pagelog, no WAL, no Maplog
@@ -126,6 +136,7 @@ impl RetroStore {
             sidecar_archive: Mutex::new(HashMap::new()),
             sidecar_epoch: AtomicU64::new(0),
             sidecar_builder: RwLock::new(None),
+            snapshot_hooks: RwLock::new(Vec::new()),
         })
     }
 
@@ -183,6 +194,7 @@ impl RetroStore {
             sidecar_archive: Mutex::new(HashMap::new()),
             sidecar_epoch: AtomicU64::new(0),
             sidecar_builder: RwLock::new(None),
+            snapshot_hooks: RwLock::new(Vec::new()),
         }))
     }
 
@@ -365,9 +377,24 @@ impl RetroStore {
                 page_count,
                 txn_id,
             });
+            // The snapshot is fully published and every commit-path lock
+            // is released: observers may open snapshot `sid` right away.
+            let hooks = self.snapshot_hooks.read().clone();
+            for hook in hooks {
+                hook(sid);
+            }
             return Ok(Some(sid));
         }
         Ok(None)
+    }
+
+    /// Register an observer called with the snapshot id after every
+    /// snapshot declaration (see the `snapshot_hooks` field for the
+    /// exact timing contract). Hooks cannot be removed individually;
+    /// long-lived observers should consult their own registry and treat
+    /// unknown or stale ids as no-ops.
+    pub fn add_snapshot_hook(&self, hook: SnapshotHook) {
+        self.snapshot_hooks.write().push(hook);
     }
 
     /// Install the sidecar builder. From the next commit on, every

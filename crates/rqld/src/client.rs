@@ -9,8 +9,24 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::protocol::{
-    read_frame, write_frame, ProtoError, Request, Response, WireDiagnostic, WireProfile, WireResult,
+    read_frame, write_frame, ProtoError, Request, Response, WireDelta, WireDiagnostic, WireProfile,
+    WireResult,
 };
+
+/// One event on a subscribed connection (see [`Client::subscribe`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubscriptionEvent {
+    /// A per-snapshot result-table change was pushed.
+    Delta(WireDelta),
+    /// The subscription ended; the connection is back in
+    /// request-response mode.
+    End {
+        /// The standing query's name.
+        name: String,
+        /// Why it ended (`"unregistered"` or `"drained"`).
+        reason: String,
+    },
+}
 
 /// Client-side errors: transport/decode trouble, or a server `ERROR`
 /// frame surfaced with its wire code.
@@ -171,6 +187,51 @@ impl Client {
             Response::Text(text) => Ok(text),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             _ => Err(ClientError::Unexpected("expected TEXT")),
+        }
+    }
+
+    /// Register a standing query (`MAINTAIN QUERY name AS …`). Returns
+    /// the server's confirmation line
+    /// (`registered name=… table=… snapshots_seeded=…`).
+    pub fn register(&mut self, statement: &str) -> Result<String> {
+        match self.round_trip(&Request::Register {
+            statement: statement.into(),
+        })? {
+            Response::Text(text) => Ok(text),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("expected TEXT")),
+        }
+    }
+
+    /// Unregister a standing query by name. Its subscribers get a
+    /// terminal `END` frame; the maintained table is left in place.
+    pub fn unregister(&mut self, name: &str) -> Result<()> {
+        match self.round_trip(&Request::Unregister { name: name.into() })? {
+            Response::Ok => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("expected OK")),
+        }
+    }
+
+    /// Subscribe to a standing query. Returns the opening `RESULT` frame
+    /// (the full maintained table as of subscription time); the
+    /// connection is then in push mode — call [`Client::next_event`]
+    /// until it yields [`SubscriptionEvent::End`].
+    pub fn subscribe(&mut self, name: &str) -> Result<WireResult> {
+        match self.round_trip(&Request::Subscribe { name: name.into() })? {
+            Response::Result(result) => Ok(result),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("expected RESULT")),
+        }
+    }
+
+    /// Block for the next pushed frame on a subscribed connection.
+    pub fn next_event(&mut self) -> Result<SubscriptionEvent> {
+        match self.read_response()? {
+            Response::Delta(delta) => Ok(SubscriptionEvent::Delta(delta)),
+            Response::End { name, reason } => Ok(SubscriptionEvent::End { name, reason }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("expected DELTA or END")),
         }
     }
 

@@ -28,10 +28,11 @@ pub mod pool;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
-pub use metrics::{LatencyHistogram, Metrics};
+pub use client::{Client, ClientError, SubscriptionEvent};
+pub use metrics::{LatencyHistogram, Metrics, StandingSnapshot};
 pub use pool::{ServerSession, SharedStack, SnapEntry};
 pub use protocol::{
-    Request, Response, WireDiagnostic, WireFix, WireReport, WireResult, WireTable, MAX_FRAME,
+    Request, Response, WireDelta, WireDiagnostic, WireFix, WireReport, WireResult, WireTable,
+    MAX_FRAME,
 };
 pub use server::{error_code, serve, ServerConfig, ServerHandle, ADMISSION_CODE};

@@ -13,9 +13,82 @@
 
 use rql_memo::MemoStatsSnapshot;
 use rql_pagestore::IoStatsSnapshot;
+use rql_standing::QueryStatus;
 use rql_trace::Counter;
 
 pub use rql_trace::LatencyHistogram;
+
+/// Aggregated standing-query counters, sampled from the
+/// [`rql_standing::StandingEngine`] at render time (like the store's
+/// `IoStatsSnapshot`: the engine owns the live numbers, the exporter
+/// only reads them, so `METRICS` cannot drift from maintenance reality).
+#[derive(Debug, Default, Clone)]
+pub struct StandingSnapshot {
+    /// Registered standing queries.
+    pub queries: u64,
+    /// Live subscriptions across all queries.
+    pub subscribers: u64,
+    /// Snapshots folded by seeding batch passes.
+    pub snapshots_seeded: u64,
+    /// Snapshots folded incrementally after registration.
+    pub snapshots_maintained: u64,
+    /// Heap/pagelog pages read by maintenance passes.
+    pub pages_scanned: u64,
+    /// Pages skipped by delta caching or sidecar pruning.
+    pub pages_skipped: u64,
+    /// Delta rows (added + removed) pushed to subscribers.
+    pub rows_pushed: u64,
+    /// Maintenance passes that failed (gaps in maintained tables).
+    pub maintain_errors: u64,
+    /// Push-latency observations (one per subscriber frame).
+    pub push_count: u64,
+    /// Mean push latency in microseconds (count-weighted across queries).
+    pub push_mean_micros: u64,
+    /// Worst per-query p99 push latency in microseconds.
+    pub push_p99_micros: u64,
+}
+
+impl StandingSnapshot {
+    /// Aggregate the per-query statuses the engine reports.
+    pub fn from_statuses(statuses: &[QueryStatus]) -> StandingSnapshot {
+        let mut s = StandingSnapshot {
+            queries: statuses.len() as u64,
+            ..Default::default()
+        };
+        let mut weighted_mean = 0u64;
+        for q in statuses {
+            s.subscribers += q.subscribers;
+            s.snapshots_seeded += q.stats.snapshots_seeded;
+            s.snapshots_maintained += q.stats.snapshots_maintained;
+            s.pages_scanned += q.stats.pages_scanned;
+            s.pages_skipped += q.stats.pages_skipped;
+            s.rows_pushed += q.stats.rows_pushed;
+            s.maintain_errors += q.maintain_errors;
+            s.push_count += q.push_count;
+            weighted_mean += q.push_mean_micros.saturating_mul(q.push_count);
+            s.push_p99_micros = s.push_p99_micros.max(q.push_p99_micros);
+        }
+        s.push_mean_micros = weighted_mean.checked_div(s.push_count).unwrap_or(0);
+        s
+    }
+
+    /// Stable `(name, value)` list, appended under a `standing_` prefix.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("queries", self.queries),
+            ("subscribers", self.subscribers),
+            ("snapshots_seeded", self.snapshots_seeded),
+            ("snapshots_maintained", self.snapshots_maintained),
+            ("pages_scanned", self.pages_scanned),
+            ("pages_skipped", self.pages_skipped),
+            ("rows_pushed", self.rows_pushed),
+            ("maintain_errors", self.maintain_errors),
+            ("push_count", self.push_count),
+            ("push_mean_micros", self.push_mean_micros),
+            ("push_p99_micros", self.push_p99_micros),
+        ]
+    }
+}
 
 /// The server's metrics registry.
 #[derive(Debug, Default)]
@@ -107,9 +180,15 @@ impl Metrics {
     }
 
     /// Human-readable render: one `name value` line per metric, then the
-    /// store's I/O counters under an `io_` prefix and the shared memo
-    /// store's counters under a `memo_` prefix.
-    pub fn render_human(&self, io: &IoStatsSnapshot, memo: &MemoStatsSnapshot) -> String {
+    /// store's I/O counters under an `io_` prefix, the shared memo
+    /// store's counters under a `memo_` prefix, and the standing-query
+    /// engine's counters under a `standing_` prefix.
+    pub fn render_human(
+        &self,
+        io: &IoStatsSnapshot,
+        memo: &MemoStatsSnapshot,
+        standing: &StandingSnapshot,
+    ) -> String {
         let mut out = String::new();
         for (name, value) in self.fields() {
             out.push_str(name);
@@ -117,41 +196,46 @@ impl Metrics {
             out.push_str(&value.to_string());
             out.push('\n');
         }
-        for (name, value) in io.fields() {
-            out.push_str("io_");
-            out.push_str(name);
-            out.push(' ');
-            out.push_str(&value.to_string());
-            out.push('\n');
-        }
-        for (name, value) in memo.fields() {
-            out.push_str("memo_");
-            out.push_str(name);
-            out.push(' ');
-            out.push_str(&value.to_string());
-            out.push('\n');
+        for (prefix, fields) in [
+            ("io_", io.fields().to_vec()),
+            ("memo_", memo.fields().to_vec()),
+            ("standing_", standing.fields()),
+        ] {
+            for (name, value) in fields {
+                out.push_str(prefix);
+                out.push_str(name);
+                out.push(' ');
+                out.push_str(&value.to_string());
+                out.push('\n');
+            }
         }
         out
     }
 
     /// JSON render (flat object; all values are integers, so no escaping
     /// or float formatting subtleties).
-    pub fn render_json(&self, io: &IoStatsSnapshot, memo: &MemoStatsSnapshot) -> String {
+    pub fn render_json(
+        &self,
+        io: &IoStatsSnapshot,
+        memo: &MemoStatsSnapshot,
+        standing: &StandingSnapshot,
+    ) -> String {
         let mut parts: Vec<String> = self
             .fields()
             .into_iter()
             .map(|(name, value)| format!("\"{name}\":{value}"))
             .collect();
-        parts.extend(
-            io.fields()
-                .into_iter()
-                .map(|(name, value)| format!("\"io_{name}\":{value}")),
-        );
-        parts.extend(
-            memo.fields()
-                .into_iter()
-                .map(|(name, value)| format!("\"memo_{name}\":{value}")),
-        );
+        for (prefix, fields) in [
+            ("io_", io.fields().to_vec()),
+            ("memo_", memo.fields().to_vec()),
+            ("standing_", standing.fields()),
+        ] {
+            parts.extend(
+                fields
+                    .into_iter()
+                    .map(|(name, value)| format!("\"{prefix}{name}\":{value}")),
+            );
+        }
         format!("{{{}}}", parts.join(","))
     }
 }
@@ -202,19 +286,88 @@ mod tests {
             misses: 2,
             ..Default::default()
         };
-        let human = m.render_human(&io, &memo);
+        let standing = StandingSnapshot {
+            queries: 2,
+            rows_pushed: 9,
+            ..Default::default()
+        };
+        let human = m.render_human(&io, &memo, &standing);
         assert!(human.contains("queries_total 1"));
         assert!(human.contains("io_pagelog_reads 7"));
         assert!(human.contains("memo_hits 5"));
         assert!(human.contains("memo_misses 2"));
         assert!(human.contains("memo_spill_errors 0"));
         assert!(human.contains("latency_p99_micros"));
-        let json = m.render_json(&io, &memo);
+        assert!(human.contains("standing_queries 2"));
+        assert!(human.contains("standing_rows_pushed 9"));
+        let json = m.render_json(&io, &memo, &standing);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"queries_total\":1"));
         assert!(json.contains("\"io_pagelog_reads\":7"));
         assert!(json.contains("\"memo_hits\":5"));
         assert!(json.contains("\"memo_evictions\":0"));
+        assert!(json.contains("\"standing_queries\":2"));
+        assert!(json.contains("\"standing_push_p99_micros\":0"));
+    }
+
+    #[test]
+    fn standing_snapshot_aggregates_statuses() {
+        let mk = |subs: u64, count: u64, mean: u64, p99: u64| QueryStatus {
+            name: "q".into(),
+            table: "T".into(),
+            mechanism: "collatedata",
+            subscribers: subs,
+            stats: rql::MaintainStats {
+                snapshots_seeded: 1,
+                snapshots_maintained: 2,
+                pages_scanned: 10,
+                pages_skipped: 5,
+                rows_pushed: 3,
+                groups_skipped: 0,
+            },
+            maintain_errors: 1,
+            push_count: count,
+            push_mean_micros: mean,
+            push_p99_micros: p99,
+        };
+        let s = StandingSnapshot::from_statuses(&[mk(1, 2, 100, 200), mk(2, 6, 20, 500)]);
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.subscribers, 3);
+        assert_eq!(s.snapshots_seeded, 2);
+        assert_eq!(s.snapshots_maintained, 4);
+        assert_eq!(s.pages_scanned, 20);
+        assert_eq!(s.rows_pushed, 6);
+        assert_eq!(s.maintain_errors, 2);
+        assert_eq!(s.push_count, 8);
+        // (100*2 + 20*6) / 8 = 40: count-weighted, not a mean of means.
+        assert_eq!(s.push_mean_micros, 40);
+        assert_eq!(s.push_p99_micros, 500);
+        assert_eq!(StandingSnapshot::from_statuses(&[]).push_mean_micros, 0);
+    }
+
+    #[test]
+    fn standing_field_order_is_wire_stable() {
+        let names: Vec<&str> = StandingSnapshot::default()
+            .fields()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "queries",
+                "subscribers",
+                "snapshots_seeded",
+                "snapshots_maintained",
+                "pages_scanned",
+                "pages_skipped",
+                "rows_pushed",
+                "maintain_errors",
+                "push_count",
+                "push_mean_micros",
+                "push_p99_micros",
+            ]
+        );
     }
 
     #[test]

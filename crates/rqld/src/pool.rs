@@ -144,6 +144,50 @@ impl SharedStack {
         })
     }
 
+    /// A session for server-hosted background work (standing-query
+    /// maintenance): shares the store and memo like any checkout, but is
+    /// owned by the server itself and does not count against the
+    /// connection cap.
+    pub fn host_session(self: &Arc<Self>) -> rqlcore::Result<Arc<RqlSession>> {
+        let snap = Database::over_store(Arc::clone(&self.store));
+        let aux = Database::in_memory(RetroConfig::new());
+        let session = RqlSession::over_databases(snap, aux)?;
+        session.set_memo(self.memo.clone());
+        Ok(session)
+    }
+
+    /// Hold the stack's writer serialization lock for a write outside
+    /// any checked-out session. Standing-query registration takes this
+    /// across its seeding pass: seeding writes the host session's aux
+    /// store, which a concurrent commit also writes (maintenance runs on
+    /// the committing thread) — unserialized, one of them would hit the
+    /// store's `WriterBusy` error.
+    pub fn writer_gate(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.write_lock.lock()
+    }
+
+    /// Fold every logged snapshot declaration `session` has not seen into
+    /// its private `SnapIds` (same contract as
+    /// [`ServerSession::sync_snapids`], usable for host sessions too).
+    pub fn sync_snapids_into(&self, session: &RqlSession) -> rqlcore::Result<()> {
+        let known: std::collections::HashSet<u64> = snapids::all_snapshots(session.aux_db())?
+            .into_iter()
+            .map(|(sid, _, _)| sid)
+            .collect();
+        let log = self.snapshot_log.read();
+        for entry in log.iter() {
+            if !known.contains(&entry.sid) {
+                snapids::record_snapshot(
+                    session.aux_db(),
+                    entry.sid,
+                    &entry.ts,
+                    entry.name.as_deref(),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
     fn log_snapshots(&self, sids: &[u64]) {
         if sids.is_empty() {
             return;
@@ -184,22 +228,7 @@ impl ServerSession {
     /// into its private `SnapIds` (set-based, so no declaration is ever
     /// missed or duplicated regardless of interleaving).
     pub fn sync_snapids(&self) -> rqlcore::Result<()> {
-        let known: std::collections::HashSet<u64> = snapids::all_snapshots(self.session.aux_db())?
-            .into_iter()
-            .map(|(sid, _, _)| sid)
-            .collect();
-        let log = self.stack.snapshot_log.read();
-        for entry in log.iter() {
-            if !known.contains(&entry.sid) {
-                snapids::record_snapshot(
-                    self.session.aux_db(),
-                    entry.sid,
-                    &entry.ts,
-                    entry.name.as_deref(),
-                )?;
-            }
-        }
-        Ok(())
+        self.stack.sync_snapids_into(&self.session)
     }
 
     /// Execute a parsed program statement-by-statement. Statements that

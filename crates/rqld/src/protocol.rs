@@ -76,6 +76,14 @@ pub mod op {
     pub const SHUTDOWN: u8 = 0x06;
     /// Execute a program and return its result plus a profile report.
     pub const PROFILE: u8 = 0x07;
+    /// Register a standing query (`MAINTAIN QUERY name AS …`).
+    pub const REGISTER: u8 = 0x08;
+    /// Unregister a standing query by name.
+    pub const UNREGISTER: u8 = 0x09;
+    /// Subscribe to a standing query's result-delta stream. The reply is
+    /// a `RESULT` frame (the current maintained table), then `DELTA`
+    /// frames per commit until a terminal `END` frame or disconnect.
+    pub const SUBSCRIBE: u8 = 0x0A;
 }
 
 /// Server → client frames.
@@ -94,6 +102,13 @@ pub mod resp {
     pub const OK: u8 = 0x86;
     /// `PROFILE` reply: a `RESULT` body plus profile renderings.
     pub const PROFILE: u8 = 0x87;
+    /// Pushed result-delta frame for one subscribed standing query:
+    /// rows added/removed by one snapshot. Row shape matches the
+    /// columns of the `RESULT` frame that opened the subscription.
+    pub const DELTA: u8 = 0x88;
+    /// Terminal subscription frame: no more deltas follow (query
+    /// unregistered, or the server is draining).
+    pub const END: u8 = 0x89;
 }
 
 // ---- frame I/O -------------------------------------------------------
@@ -286,6 +301,21 @@ pub enum Request {
         /// Skip the server's shared memo store (as in [`Request::Run`]).
         no_memo: bool,
     },
+    /// Register a standing query.
+    Register {
+        /// The full `MAINTAIN QUERY name AS …` statement.
+        statement: String,
+    },
+    /// Unregister a standing query.
+    Unregister {
+        /// The registered query name.
+        name: String,
+    },
+    /// Subscribe to a standing query's delta stream.
+    Subscribe {
+        /// The registered query name.
+        name: String,
+    },
 }
 
 impl Request {
@@ -324,6 +354,18 @@ impl Request {
                 w.put_u8(u8::from(*no_memo));
                 (op::PROFILE, w.into_bytes())
             }
+            Request::Register { statement } => {
+                w.put_str(statement);
+                (op::REGISTER, w.into_bytes())
+            }
+            Request::Unregister { name } => {
+                w.put_str(name);
+                (op::UNREGISTER, w.into_bytes())
+            }
+            Request::Subscribe { name } => {
+                w.put_str(name);
+                (op::SUBSCRIBE, w.into_bytes())
+            }
         }
     }
 
@@ -357,6 +399,11 @@ impl Request {
                 let no_memo = r.get_u8().is_ok_and(|b| b != 0);
                 Ok(Request::Profile { program, no_memo })
             }
+            op::REGISTER => Ok(Request::Register {
+                statement: r.get_str()?,
+            }),
+            op::UNREGISTER => Ok(Request::Unregister { name: r.get_str()? }),
+            op::SUBSCRIBE => Ok(Request::Subscribe { name: r.get_str()? }),
             t => Err(ProtoError::BadTag(t)),
         }
     }
@@ -530,6 +577,21 @@ impl WireResult {
     }
 }
 
+/// A pushed result-delta frame: what one snapshot did to one standing
+/// query's maintained table. Row shape matches the `RESULT` frame that
+/// opened the subscription.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireDelta {
+    /// The standing query's registered name.
+    pub name: String,
+    /// The snapshot that caused the change.
+    pub snap_id: u64,
+    /// Rows added to the result table (multiset semantics).
+    pub added: Vec<Vec<Value>>,
+    /// Rows removed from the result table (multiset semantics).
+    pub removed: Vec<Vec<Value>>,
+}
+
 /// A decoded server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -558,6 +620,15 @@ pub enum Response {
     Ok,
     /// `PROFILE` reply.
     Profile(WireProfile),
+    /// Pushed result-delta frame (subscriptions only).
+    Delta(WireDelta),
+    /// Terminal subscription frame.
+    End {
+        /// The standing query's registered name.
+        name: String,
+        /// Why the stream ended (`unregistered`, `drained`).
+        reason: String,
+    },
 }
 
 impl Response {
@@ -622,6 +693,25 @@ impl Response {
                 (resp::TEXT, w.into_bytes())
             }
             Response::Ok => (resp::OK, Vec::new()),
+            Response::Delta(d) => {
+                w.put_str(&d.name);
+                w.put_u64(d.snap_id);
+                for rows in [&d.added, &d.removed] {
+                    w.put_u32(rows.len() as u32);
+                    for row in rows {
+                        w.put_u32(row.len() as u32);
+                        for v in row {
+                            w.put_value(v);
+                        }
+                    }
+                }
+                (resp::DELTA, w.into_bytes())
+            }
+            Response::End { name, reason } => {
+                w.put_str(name);
+                w.put_str(reason);
+                (resp::END, w.into_bytes())
+            }
         }
     }
 
@@ -694,6 +784,33 @@ impl Response {
             }),
             resp::TEXT => Ok(Response::Text(r.get_str()?)),
             resp::OK => Ok(Response::Ok),
+            resp::DELTA => {
+                let name = r.get_str()?;
+                let snap_id = r.get_u64()?;
+                let mut lists = [Vec::new(), Vec::new()];
+                for rows in &mut lists {
+                    let nrows = r.get_u32()?;
+                    for _ in 0..nrows {
+                        let nvals = r.get_u32()?;
+                        let mut row = Vec::with_capacity(nvals as usize);
+                        for _ in 0..nvals {
+                            row.push(r.get_value()?);
+                        }
+                        rows.push(row);
+                    }
+                }
+                let [added, removed] = lists;
+                Ok(Response::Delta(WireDelta {
+                    name,
+                    snap_id,
+                    added,
+                    removed,
+                }))
+            }
+            resp::END => Ok(Response::End {
+                name: r.get_str()?,
+                reason: r.get_str()?,
+            }),
             t => Err(ProtoError::BadTag(t)),
         }
     }
@@ -745,6 +862,13 @@ mod tests {
             program: "SELECT 1;".into(),
             no_memo: true,
         });
+        roundtrip_request(Request::Register {
+            statement: "MAINTAIN QUERY w AS SELECT CollateData(snap_id, 'SELECT 1', 'T') \
+                        FROM SnapIds"
+                .into(),
+        });
+        roundtrip_request(Request::Unregister { name: "w".into() });
+        roundtrip_request(Request::Subscribe { name: "w".into() });
     }
 
     #[test]
@@ -855,6 +979,17 @@ mod tests {
             human: "profile: 1 mechanism call(s)\n".into(),
             json: "{\"mechanisms\":[]}".into(),
         }));
+        roundtrip_response(Response::Delta(WireDelta {
+            name: "w".into(),
+            snap_id: 9,
+            added: vec![vec![Value::Integer(1), Value::Text("x".into())]],
+            removed: vec![vec![Value::Null, Value::Real(0.5)], vec![Value::Integer(2)]],
+        }));
+        roundtrip_response(Response::Delta(WireDelta::default()));
+        roundtrip_response(Response::End {
+            name: "w".into(),
+            reason: "drained".into(),
+        });
     }
 
     #[test]

@@ -26,16 +26,18 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use rql::{
-    analyze_program, parse_program, CancelCause, Program, ProgramRun, SchemaEnv, Severity, SqlError,
+    analyze_program, parse_program, CancelCause, Program, ProgramRun, RqlSession, SchemaEnv,
+    Severity, SqlError,
 };
 use rql_memo::{MemoConfig, MemoStore};
 use rql_retro::RetroConfig;
+use rql_standing::{PushFrame, StandingEngine, Subscription};
 
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, StandingSnapshot};
 use crate::pool::{ServerSession, SharedStack};
 use crate::protocol::{
-    read_frame, write_frame, Request, Response, WireDiagnostic, WireFix, WireProfile, WireReport,
-    WireResult, WireTable,
+    read_frame, write_frame, Request, Response, WireDelta, WireDiagnostic, WireFix, WireProfile,
+    WireReport, WireResult, WireTable,
 };
 
 /// Admission / pool sizing knobs.
@@ -110,6 +112,13 @@ struct Inner {
     next_job: AtomicU64,
     shutting_down: AtomicBool,
     started: Instant,
+    /// Standing-query registry, attached to the shared store's snapshot
+    /// hook: maintenance runs on whichever connection thread commits.
+    standing: Arc<StandingEngine>,
+    /// The server-owned session hosting every standing query's result
+    /// table (registration seeds and maintains against this session, so
+    /// standing queries outlive the connection that registered them).
+    standing_session: Arc<RqlSession>,
     /// Flight-recorder dump captured at the last failed job (watchdog
     /// timeout, cancellation, Qq error), served by `STATUS --flight`
     /// even after the ring has moved on.
@@ -299,6 +308,10 @@ impl Inner {
         if self.shutting_down.swap(true, Ordering::AcqRel) {
             return;
         }
+        // Subscribers first: each gets a terminal END frame (reason
+        // "drained") instead of a silently dropped socket, and the
+        // blocked subscription writers wake up to deliver it.
+        self.standing.drain();
         // Wake every parked worker so they observe the flag, and poke
         // the acceptor out of its blocking accept().
         self.queue_cv.notify_all();
@@ -338,6 +351,11 @@ impl ServerHandle {
         &self.inner.metrics
     }
 
+    /// The server's standing-query engine (registry + push fan-out).
+    pub fn standing(&self) -> &Arc<StandingEngine> {
+        &self.inner.standing
+    }
+
     /// Initiate a drain from the host process (same as a `SHUTDOWN`
     /// frame): stop accepting, finish queued work.
     pub fn shutdown(&self) {
@@ -368,6 +386,11 @@ pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Serve
         .memo
         .then(|| Arc::new(MemoStore::new(MemoConfig::default())));
     let stack = SharedStack::new_with_memo(config.retro.clone(), config.max_sessions, memo);
+    let standing = StandingEngine::new();
+    standing.attach(stack.store());
+    let standing_session = stack
+        .host_session()
+        .map_err(|e| io::Error::other(e.to_string()))?;
     let inner = Arc::new(Inner {
         stack,
         metrics: Arc::new(Metrics::new()),
@@ -379,6 +402,8 @@ pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Serve
         next_job: AtomicU64::new(1),
         shutting_down: AtomicBool::new(false),
         started: Instant::now(),
+        standing,
+        standing_session,
         last_flight: Mutex::new(None),
     });
 
@@ -571,12 +596,54 @@ fn connection_loop(
             Request::Metrics { json } => {
                 let io = inner.stack.store().stats().snapshot();
                 let memo = inner.stack.memo_stats();
+                let standing = StandingSnapshot::from_statuses(&inner.standing.statuses());
                 let text = if json {
-                    inner.metrics.render_json(&io, &memo)
+                    inner.metrics.render_json(&io, &memo, &standing)
                 } else {
-                    inner.metrics.render_human(&io, &memo)
+                    inner.metrics.render_human(&io, &memo, &standing)
                 };
                 send(stream, &Response::Text(text))?;
+            }
+            Request::Register { statement } => {
+                // Seeding writes the host session's aux store; hold the
+                // stack's writer gate so it cannot race a commit (whose
+                // maintenance pass writes the same store).
+                let gate = inner.stack.writer_gate();
+                let response = match inner
+                    .stack
+                    .sync_snapids_into(&inner.standing_session)
+                    .and_then(|()| inner.standing.register(&inner.standing_session, &statement))
+                {
+                    Ok(out) => Response::Text(format!(
+                        "registered name={} table={} snapshots_seeded={}",
+                        out.name, out.table, out.snapshots_seeded
+                    )),
+                    Err(e) => standing_error(&e),
+                };
+                drop(gate);
+                send(stream, &response)?;
+            }
+            Request::Unregister { name } => {
+                if inner.standing.unregister(&name) {
+                    send(stream, &Response::Ok)?;
+                } else {
+                    send(stream, &unknown_standing(&name))?;
+                }
+            }
+            Request::Subscribe { name } => {
+                match inner.standing.subscribe(&name) {
+                    None => send(stream, &unknown_standing(&name))?,
+                    Some(Err(e)) => send(stream, &error_response(&e))?,
+                    Some(Ok(sub)) => {
+                        // Opening frame: the full maintained table as of
+                        // subscription time; every later delta applies on
+                        // top of it.
+                        send(stream, &Response::Result(initial_result(&sub)))?;
+                        stream_subscription(&name, &sub, stream)?;
+                        // Terminal frame written (or channel closed):
+                        // back to request-response mode.
+                    }
+                }
             }
             Request::Shutdown => {
                 send(stream, &Response::Ok)?;
@@ -653,6 +720,81 @@ fn error_response(e: &SqlError) -> Response {
         code: error_code(e).into(),
         message: e.to_string(),
     }
+}
+
+/// Registration failures carry their registry code inline (`[RQL210] …`
+/// from the MAINTAIN eligibility checks); lift it into the frame's code
+/// field so clients see the same shape as analyzer diagnostics.
+fn standing_error(e: &SqlError) -> Response {
+    let message = e.to_string();
+    if let Some(start) = message.find("[RQL") {
+        if let Some(len) = message[start..].find(']') {
+            return Response::Error {
+                code: message[start + 1..start + len].to_owned(),
+                message,
+            };
+        }
+    }
+    error_response(e)
+}
+
+fn unknown_standing(name: &str) -> Response {
+    Response::Error {
+        code: "RQL500".into(),
+        message: format!("no standing query named {name}"),
+    }
+}
+
+/// The opening `RESULT` frame of a subscription: one table holding the
+/// maintained result as of subscription time.
+fn initial_result(sub: &Subscription) -> WireResult {
+    WireResult {
+        tables: vec![WireTable {
+            columns: sub.initial.columns.clone(),
+            rows: sub.initial.rows.iter().map(|r| r.to_vec()).collect(),
+        }],
+        reports: Vec::new(),
+        snapshots: Vec::new(),
+        elapsed_micros: 0,
+    }
+}
+
+/// Drain a subscription's frame channel onto the socket: one `DELTA`
+/// frame per maintained snapshot, then a terminal `END` frame when the
+/// query is unregistered or the server drains. Blocks this connection
+/// thread (a subscribed connection is push-mode until the stream ends);
+/// a send failure means the client went away, which unsubscribes it —
+/// the engine prunes the channel on its next push.
+fn stream_subscription(name: &str, sub: &Subscription, stream: &mut TcpStream) -> io::Result<()> {
+    for frame in sub.frames.iter() {
+        match frame {
+            PushFrame::Delta(d) => {
+                send(
+                    stream,
+                    &Response::Delta(WireDelta {
+                        name: name.to_owned(),
+                        snap_id: d.snap_id,
+                        added: d.added.iter().map(|r| r.to_vec()).collect(),
+                        removed: d.removed.iter().map(|r| r.to_vec()).collect(),
+                    }),
+                )?;
+                rql_trace::instant(rql_trace::SpanId::JobReply);
+            }
+            PushFrame::End(reason) => {
+                send(
+                    stream,
+                    &Response::End {
+                        name: name.to_owned(),
+                        reason: reason.as_str().to_owned(),
+                    },
+                )?;
+                return Ok(());
+            }
+        }
+    }
+    // Channel closed without a terminal frame: the engine itself is
+    // gone; the connection just returns to request-response mode.
+    Ok(())
 }
 
 /// Analyzer pre-flight for `PREPARE`: lint against the live catalogs of

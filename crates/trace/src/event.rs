@@ -143,6 +143,16 @@ span_ids! {
     JobRun = (83, "job_run", "rqld"),
     /// Response frame written back to the client (arg = job id).
     JobReply = (84, "job_reply", "rqld"),
+    // -- standing (continuous RQL) --------------------------------------
+    /// A standing query registered: seed batch pass over the backlog
+    /// (arg = snapshots seeded).
+    StandingSeed = (88, "standing_seed", "standing"),
+    /// One standing query maintained through one committed snapshot
+    /// (arg = snapshot id).
+    StandingMaintain = (89, "standing_maintain", "standing"),
+    /// A result-delta frame pushed to one subscriber (arg = rows in the
+    /// frame).
+    StandingPush = (90, "standing_push", "standing"),
     // -- bench ---------------------------------------------------------
     /// A named experiment phase (label = phase name).
     BenchPhase = (96, "bench_phase", "bench"),

@@ -51,6 +51,20 @@ REQUIRED = {
         "identical_results": bool,
         "pass": bool,
     },
+    "standing_maintenance": {
+        "rows": int,
+        "backlog_snapshots": int,
+        "churn_rounds": int,
+        "seed_ms": NUM,
+        "batch_total_ms": NUM,
+        "incremental_total_ms": NUM,
+        "speedup": NUM,
+        "pages_scanned": int,
+        "pages_skipped": int,
+        "rows_pushed": int,
+        "identical_results": bool,
+        "pass": bool,
+    },
 }
 
 PRUNE_LANE = {

@@ -9,8 +9,16 @@
 //! rql [--addr ADDR] status [--flight]     one-line server status (+flight recorder)
 //! rql [--addr ADDR] metrics [--json]      metrics snapshot
 //! rql [--addr ADDR] cancel <session-id>   cancel another session's query
+//! rql [--addr ADDR] register '<MAINTAIN QUERY …>'   register a standing query
+//! rql [--addr ADDR] unregister <name>     unregister a standing query
+//! rql [--addr ADDR] watch [--frames N] <name>   subscribe and print pushed deltas
 //! rql [--addr ADDR] shutdown              drain and stop the server
 //! ```
+//!
+//! `watch` prints the full maintained table, then one line per pushed
+//! delta row (`+`/`-` prefixed) until the stream ends with a terminal
+//! END frame — or, with `--frames N`, exits success after N delta
+//! frames (used by scripted smoke tests).
 //!
 //! `--profile` switches `run`/`exec` onto the `PROFILE` wire verb: the
 //! server executes the program as usual and additionally returns the
@@ -22,10 +30,11 @@
 
 use std::process::ExitCode;
 
-use rql_repro::rqld::{Client, ClientError, WireResult};
+use rql_repro::rqld::{Client, ClientError, SubscriptionEvent, WireResult};
 
 const USAGE: &str = "usage: rql [--addr ADDR] [--no-memo] [--profile] \
-                     <run FILE...|exec PROGRAM|check [--json] FILE...|status [--flight]|metrics [--json]|cancel ID|shutdown>";
+                     <run FILE...|exec PROGRAM|check [--json] FILE...|status [--flight]|metrics [--json]\
+                     |cancel ID|register STATEMENT|unregister NAME|watch [--frames N] NAME|shutdown>";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -97,6 +106,21 @@ fn main() -> ExitCode {
             },
             _ => usage(),
         },
+        "register" => match rest {
+            [statement] => client
+                .register(statement)
+                .map(|ack| println!("{ack}"))
+                .map_err(fail),
+            _ => usage(),
+        },
+        "unregister" => match rest {
+            [name] => client
+                .unregister(name)
+                .map(|()| println!("unregistered {name}"))
+                .map_err(fail),
+            _ => usage(),
+        },
+        "watch" => cmd_watch(&mut client, rest),
         "shutdown" => client
             .shutdown()
             .map(|()| println!("server draining"))
@@ -158,6 +182,56 @@ fn run_one(
         print_result(name, &result);
     }
     Ok(())
+}
+
+/// `watch NAME`: subscribe, print the opening table, then stream pushed
+/// deltas until the terminal END frame (or after `--frames N` deltas).
+fn cmd_watch(client: &mut Client, rest: &[String]) -> Result<(), ExitCode> {
+    let mut frames_limit: Option<u64> = None;
+    let mut name: Option<&String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--frames" {
+            let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                return usage();
+            };
+            frames_limit = Some(n);
+        } else if name.is_none() {
+            name = Some(arg);
+        } else {
+            return usage();
+        }
+    }
+    let Some(name) = name else {
+        return usage();
+    };
+    let initial = client.subscribe(name).map_err(fail)?;
+    print_result(&format!("watch {name}"), &initial);
+    let mut seen = 0u64;
+    loop {
+        if frames_limit.is_some_and(|n| seen >= n) {
+            println!("-- {seen} delta frame(s), detaching");
+            return Ok(());
+        }
+        match client.next_event().map_err(fail)? {
+            SubscriptionEvent::Delta(d) => {
+                seen += 1;
+                println!("== snapshot {}", d.snap_id);
+                for row in &d.removed {
+                    let cells: Vec<String> = row.iter().map(ToString::to_string).collect();
+                    println!("- {}", cells.join(" | "));
+                }
+                for row in &d.added {
+                    let cells: Vec<String> = row.iter().map(ToString::to_string).collect();
+                    println!("+ {}", cells.join(" | "));
+                }
+            }
+            SubscriptionEvent::End { reason, .. } => {
+                println!("-- subscription ended: {reason}");
+                return Ok(());
+            }
+        }
+    }
 }
 
 fn cmd_check(client: &mut Client, files: &[String]) -> Result<(), ExitCode> {

@@ -10,7 +10,7 @@ use std::thread;
 use std::time::Duration;
 
 use rql::{parse_program, run_program_with_reports, RqlSession};
-use rql_repro::rqld::{serve, Client, ClientError, ServerConfig, ServerHandle};
+use rql_repro::rqld::{serve, Client, ClientError, ServerConfig, ServerHandle, SubscriptionEvent};
 use rql_repro::trace;
 use rql_sqlengine::Value;
 
@@ -443,6 +443,149 @@ fn graceful_shutdown_drains_in_flight_queries() {
 
     // The listener is gone after the drain.
     assert!(Client::connect(addr).is_err());
+}
+
+/// The full standing-query wire lifecycle: REGISTER seeds from the
+/// backlog, SUBSCRIBE returns the seeded table and then streams one
+/// DELTA frame per committed snapshot, UNREGISTER ends the stream with
+/// a terminal END frame, and METRICS exposes the maintenance counters.
+#[test]
+fn standing_query_lifecycle_over_the_wire() {
+    let (handle, addr) = start_server(ServerConfig::default());
+    let mut admin = Client::connect(addr).expect("connect admin");
+    admin.run(SETUP).expect("setup");
+
+    let reg = "MAINTAIN QUERY watch AS SELECT CollateData(snap_id, \
+               'SELECT e_user, e_val FROM events', 'Watched') FROM SnapIds";
+    let ack = admin.register(reg).expect("register");
+    assert!(ack.contains("name=watch"), "{ack}");
+    assert!(ack.contains("table=Watched"), "{ack}");
+    assert!(ack.contains("snapshots_seeded=4"), "{ack}");
+
+    // Duplicates and ineligible bodies are rejected; the RQL210
+    // eligibility code survives the wire as the frame's error code.
+    match admin.register(reg) {
+        Err(ClientError::Server { message, .. }) => {
+            assert!(message.contains("already registered"), "{message}");
+        }
+        other => panic!("duplicate registration should fail, got {other:?}"),
+    }
+    match admin.register(
+        "MAINTAIN QUERY bad AS SELECT CollateData(snap_id, \
+         'SELECT my_udf(e_val) FROM events', 'Bad') FROM SnapIds",
+    ) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "RQL210"),
+        other => panic!("UDF Qq should be MAINTAIN-ineligible, got {other:?}"),
+    }
+
+    // A second connection subscribes: the opening RESULT frame is the
+    // seeded table (4 snapshots × 2-3 live rows each).
+    let mut sub = Client::connect(addr).expect("connect subscriber");
+    let initial = sub.subscribe("watch").expect("subscribe");
+    assert_eq!(initial.tables.len(), 1);
+    assert!(!initial.tables[0].rows.is_empty());
+    let initial_rows = initial.tables[0].rows.len();
+
+    // A commit on the admin connection pushes one DELTA frame carrying
+    // exactly the new snapshot's Qq rows.
+    admin
+        .run(
+            "BEGIN;\nINSERT INTO events VALUES ('fay', 'login', 8);\n\
+             COMMIT WITH SNAPSHOT;",
+        )
+        .expect("commit");
+    match sub.next_event().expect("delta frame") {
+        SubscriptionEvent::Delta(d) => {
+            assert_eq!(d.name, "watch");
+            assert!(d.snap_id > 0);
+            assert!(!d.added.is_empty(), "new snapshot adds rows: {d:?}");
+            assert!(d.removed.is_empty(), "collate never removes: {d:?}");
+            assert!(
+                d.added
+                    .iter()
+                    .any(|r| r.contains(&Value::Text("fay".into()))),
+                "pushed delta should carry the new row: {d:?}"
+            );
+        }
+        other => panic!("expected DELTA, got {other:?}"),
+    }
+
+    // Maintenance grew the server-side table: a fresh subscription's
+    // opening frame now includes the pushed rows (the table is hosted by
+    // the server, not any one connection's aux database).
+    let mut late = Client::connect(addr).expect("connect late subscriber");
+    let caught_up = late.subscribe("watch").expect("subscribe late");
+    assert!(
+        caught_up.tables[0].rows.len() > initial_rows,
+        "{} vs {initial_rows}",
+        caught_up.tables[0].rows.len()
+    );
+
+    // METRICS carries the standing counters, and they round-trip as JSON.
+    let metrics = admin.metrics(true).expect("metrics json");
+    for key in [
+        "\"standing_queries\":1",
+        "\"standing_subscribers\":2",
+        "\"standing_snapshots_seeded\":4",
+        "\"standing_snapshots_maintained\":1",
+        "\"standing_maintain_errors\":0",
+    ] {
+        assert!(metrics.contains(key), "missing {key} in:\n{metrics}");
+    }
+    assert!(
+        !metrics.contains("\"standing_rows_pushed\":0,"),
+        "maintenance pushed rows:\n{metrics}"
+    );
+
+    // UNREGISTER ends the stream with a terminal frame and frees the
+    // name; the subscriber's connection is back in request-response mode.
+    admin.unregister("watch").expect("unregister");
+    match sub.next_event().expect("end frame") {
+        SubscriptionEvent::End { name, reason } => {
+            assert_eq!(name, "watch");
+            assert_eq!(reason, "unregistered");
+        }
+        other => panic!("expected END, got {other:?}"),
+    }
+    assert!(sub.status().is_ok(), "connection usable after END");
+    match admin.unregister("watch") {
+        Err(ClientError::Server { message, .. }) => {
+            assert!(message.contains("no standing query"), "{message}");
+        }
+        other => panic!("double unregister should fail, got {other:?}"),
+    }
+
+    handle.shutdown();
+    handle.wait();
+}
+
+/// Graceful drain closes active subscriptions with a terminal END
+/// frame (reason "drained") instead of dropping the socket.
+#[test]
+fn graceful_drain_ends_subscriptions_with_terminal_frame() {
+    let (handle, addr) = start_server(ServerConfig::default());
+    let mut admin = Client::connect(addr).expect("connect admin");
+    admin.run(SETUP).expect("setup");
+    admin
+        .register(
+            "MAINTAIN QUERY watch AS SELECT CollateData(snap_id, \
+             'SELECT e_user FROM events', 'Watched') FROM SnapIds",
+        )
+        .expect("register");
+
+    let mut sub = Client::connect(addr).expect("connect subscriber");
+    let initial = sub.subscribe("watch").expect("subscribe");
+    assert!(!initial.tables[0].rows.is_empty());
+
+    admin.shutdown().expect("shutdown ack");
+    match sub.next_event().expect("terminal frame before close") {
+        SubscriptionEvent::End { name, reason } => {
+            assert_eq!(name, "watch");
+            assert_eq!(reason, "drained");
+        }
+        other => panic!("expected END(drained), got {other:?}"),
+    }
+    handle.wait();
 }
 
 #[test]
