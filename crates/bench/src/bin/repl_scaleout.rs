@@ -1,0 +1,12 @@
+//! Runs the replication scale-out lane (aggregate Qq throughput of a
+//! leader + 2 streaming followers vs the leader alone) and prints its
+//! markdown section; writes `BENCH_repl.json`.
+fn main() {
+    match rql_bench::experiments::repl_scaleout::run() {
+        Ok(md) => print!("{md}"),
+        Err(e) => {
+            eprintln!("repl_scaleout: {e}");
+            std::process::exit(1);
+        }
+    }
+}

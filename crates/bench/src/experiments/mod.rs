@@ -15,5 +15,6 @@ pub mod fig9;
 pub mod mem_table;
 pub mod memo_cache;
 pub mod prune_scan;
+pub mod repl_scaleout;
 pub mod standing_maintenance;
 pub mod table1;

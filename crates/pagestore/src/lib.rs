@@ -35,4 +35,4 @@ pub use page::{fnv1a, Page, PageId, SharedPage, DEFAULT_PAGE_SIZE};
 pub use pager::{DbView, Pager, PagerConfig, WriteTxn};
 pub use stats::{IoCostModel, IoStats, IoStatsSnapshot};
 pub use storage::{FailingStorage, FileStorage, LogStorage, MemStorage};
-pub use wal::{RecoveredState, Wal};
+pub use wal::{next_committed_segment, CommittedSegment, RecoveredState, Wal};

@@ -78,8 +78,15 @@ impl Pager {
         config: PagerConfig,
         wal_storage: Arc<dyn LogStorage>,
     ) -> Result<(Self, Vec<u64>)> {
-        let wal = Wal::new(wal_storage, config.wal_sync_on_commit);
+        let wal = Wal::new(Arc::clone(&wal_storage), config.wal_sync_on_commit);
         let recovered = wal.recover()?;
+        // Drop any torn tail so new appends land at the recovered commit
+        // boundary: without this, bytes after a crash-torn record would be
+        // stranded garbage in front of every later commit, and a second
+        // recovery would stop at them and lose that later work.
+        if recovered.valid_len < wal_storage.len() {
+            wal_storage.truncate(recovered.valid_len)?;
+        }
         let mut max_pid = None;
         for pid in recovered.pages.keys() {
             max_pid = Some(max_pid.map_or(pid.0, |m: u64| m.max(pid.0)));
@@ -161,6 +168,37 @@ impl Pager {
             alloc_count: 0,
             finished: false,
         })
+    }
+
+    /// Begin a write transaction with an explicit id instead of the local
+    /// counter — the replication replay path, where a follower must commit
+    /// under the leader's txn id so its regenerated WAL stays byte-identical
+    /// to the leader's. The local counter is advanced past `txn_id` so any
+    /// later locally-assigned id stays unique.
+    pub fn begin_write_at(self: &Arc<Self>, txn_id: u64) -> Result<WriteTxn> {
+        if self
+            .writer_active
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(StoreError::WriterBusy);
+        }
+        self.next_txn.fetch_max(txn_id + 1, Ordering::Relaxed);
+        Ok(WriteTxn {
+            pager: Arc::clone(self),
+            txn_id,
+            writes: HashMap::new(),
+            base_count: self.page_count(),
+            alloc_count: 0,
+            finished: false,
+        })
+    }
+
+    /// Bytes currently on the WAL (0 without a WAL). Every value observed
+    /// between commits is a committed-record boundary, which is what the
+    /// replication protocol resumes from.
+    pub fn wal_len(&self) -> u64 {
+        self.wal.as_ref().map_or(0, super::wal::Wal::len)
     }
 
     /// Publish a transaction's writes, WAL-logging them first.

@@ -19,6 +19,117 @@ use crate::storage::LogStorage;
 const KIND_PAGE: u8 = 1;
 const KIND_COMMIT: u8 = 2;
 
+/// One committed transaction parsed off the WAL: the unit a replication
+/// leader ships and a follower replays. The byte range `[start, end)` is
+/// the exact span of this transaction's records on the log, so a follower
+/// that replays the segment with the same txn id regenerates an identical
+/// WAL and can resume by comparing raw lengths.
+#[derive(Debug, Clone)]
+pub struct CommittedSegment {
+    /// Transaction id from the commit record.
+    pub txn_id: u64,
+    /// Snapshot id, when the transaction declared one.
+    pub snapshot: Option<u64>,
+    /// Page after-images in log order (the pager writes them sorted).
+    pub pages: Vec<(PageId, Page)>,
+    /// Log offset of the first record of this transaction.
+    pub start: u64,
+    /// Log offset just past the commit record.
+    pub end: u64,
+}
+
+/// Parse the next committed transaction from `storage` starting at `from`,
+/// scanning no further than `upto`. Returns `None` when the range holds no
+/// complete commit (a transaction still in flight, a torn tail, or simply
+/// the end of the log) — the store is single-writer, so records between
+/// two commits all belong to one transaction.
+pub fn next_committed_segment(
+    storage: &dyn LogStorage,
+    from: u64,
+    upto: u64,
+) -> Result<Option<CommittedSegment>> {
+    let mut pages = Vec::new();
+    let mut off = from;
+    while off < upto {
+        let Some((rec_end, kind, body)) = read_record(storage, off, upto)? else {
+            return Ok(None); // incomplete record within the range
+        };
+        match kind {
+            KIND_PAGE => {
+                let pid = PageId(u64::from_le_bytes(body[8..16].try_into().unwrap()));
+                let plen = u32::from_le_bytes(body[16..20].try_into().unwrap()) as usize;
+                if body.len() != 20 + plen {
+                    return Err(StoreError::CorruptWal { offset: off });
+                }
+                pages.push((pid, Page::from_bytes(body[20..].to_vec())));
+            }
+            KIND_COMMIT => {
+                let txn_id = u64::from_le_bytes(body[0..8].try_into().unwrap());
+                let has_snap = body[8] == 1;
+                let sid = u64::from_le_bytes(body[9..17].try_into().unwrap());
+                return Ok(Some(CommittedSegment {
+                    txn_id,
+                    snapshot: has_snap.then_some(sid),
+                    pages,
+                    start: from,
+                    end: rec_end,
+                }));
+            }
+            _ => return Err(StoreError::CorruptWal { offset: off }),
+        }
+        off = rec_end;
+    }
+    Ok(None)
+}
+
+/// Read one record starting at `off`, bounded by `len`. Returns `None`
+/// for an incomplete or checksum-failing (torn) record.
+fn read_record(storage: &dyn LogStorage, off: u64, len: u64) -> Result<Option<(u64, u8, Vec<u8>)>> {
+    let header_len = |kind: u8| -> Option<usize> {
+        match kind {
+            KIND_PAGE => Some(20),   // txn + pid + plen
+            KIND_COMMIT => Some(17), // txn + flag + sid
+            _ => None,
+        }
+    };
+    if off + 1 > len {
+        return Ok(None);
+    }
+    let mut kind_buf = [0u8; 1];
+    storage.read_at(off, &mut kind_buf)?;
+    let kind = kind_buf[0];
+    let Some(hlen) = header_len(kind) else {
+        return Err(StoreError::CorruptWal { offset: off });
+    };
+    if off + 1 + hlen as u64 > len {
+        return Ok(None);
+    }
+    let mut header = vec![0u8; hlen];
+    storage.read_at(off + 1, &mut header)?;
+    let body_extra = if kind == KIND_PAGE {
+        u32::from_le_bytes(header[16..20].try_into().unwrap()) as usize
+    } else {
+        0
+    };
+    let body_len = hlen + body_extra;
+    let rec_end = off + 1 + body_len as u64 + 8;
+    if rec_end > len {
+        return Ok(None);
+    }
+    let mut body = vec![0u8; body_len];
+    storage.read_at(off + 1, &mut body)?;
+    let mut ck_buf = [0u8; 8];
+    storage.read_at(off + 1 + body_len as u64, &mut ck_buf)?;
+    let stored = u64::from_le_bytes(ck_buf);
+    let mut full = Vec::with_capacity(1 + body_len);
+    full.push(kind);
+    full.extend_from_slice(&body);
+    if fnv1a(&full) != stored {
+        return Ok(None); // torn write at the tail
+    }
+    Ok(Some((rec_end, kind, body)))
+}
+
 /// The write-ahead log.
 pub struct Wal {
     storage: Arc<dyn LogStorage>,
@@ -103,7 +214,7 @@ impl Wal {
         let len = self.storage.len();
         let mut off = 0u64;
         while off < len {
-            let Some((rec_end, kind, body)) = self.read_record(off, len)? else {
+            let Some((rec_end, kind, body)) = read_record(self.storage.as_ref(), off, len)? else {
                 break; // torn tail
             };
             match kind {
@@ -137,54 +248,6 @@ impl Wal {
             off = rec_end;
         }
         Ok(state)
-    }
-
-    /// Read one record starting at `off`. Returns `None` for a torn tail.
-    fn read_record(&self, off: u64, len: u64) -> Result<Option<(u64, u8, Vec<u8>)>> {
-        let header_len = |kind: u8| -> Option<usize> {
-            match kind {
-                KIND_PAGE => Some(20),   // txn + pid + plen
-                KIND_COMMIT => Some(17), // txn + flag + sid
-                _ => None,
-            }
-        };
-        if off + 1 > len {
-            return Ok(None);
-        }
-        let mut kind_buf = [0u8; 1];
-        self.storage.read_at(off, &mut kind_buf)?;
-        let kind = kind_buf[0];
-        let Some(hlen) = header_len(kind) else {
-            return Err(StoreError::CorruptWal { offset: off });
-        };
-        if off + 1 + hlen as u64 > len {
-            return Ok(None);
-        }
-        let mut header = vec![0u8; hlen];
-        self.storage.read_at(off + 1, &mut header)?;
-        let body_extra = if kind == KIND_PAGE {
-            u32::from_le_bytes(header[16..20].try_into().unwrap()) as usize
-        } else {
-            0
-        };
-        let body_len = hlen + body_extra;
-        let rec_end = off + 1 + body_len as u64 + 8;
-        if rec_end > len {
-            return Ok(None);
-        }
-        let mut body = vec![0u8; body_len];
-        self.storage.read_at(off + 1, &mut body)?;
-        let mut ck_buf = [0u8; 8];
-        self.storage
-            .read_at(off + 1 + body_len as u64, &mut ck_buf)?;
-        let stored = u64::from_le_bytes(ck_buf);
-        let mut full = Vec::with_capacity(1 + body_len);
-        full.push(kind);
-        full.extend_from_slice(&body);
-        if fnv1a(&full) != stored {
-            return Ok(None); // torn write at the tail
-        }
-        Ok(Some((rec_end, kind, body)))
     }
 
     /// Force buffered records to stable storage.
@@ -311,6 +374,58 @@ mod tests {
         let st = wal.recover().unwrap();
         // Replay stops at the corrupt record; only txn 1 recovered.
         assert_eq!(st.last_txn, 1);
+    }
+
+    #[test]
+    fn committed_segments_parse_in_commit_order() {
+        let (storage, wal) = mem_wal();
+        wal.log_write(1, PageId(0), &page_with(1)).unwrap();
+        wal.log_write(1, PageId(2), &page_with(2)).unwrap();
+        wal.log_commit(1, None).unwrap();
+        let first_end = storage.len();
+        wal.log_write(2, PageId(0), &page_with(3)).unwrap();
+        wal.log_commit(2, Some(1)).unwrap();
+        let len = storage.len();
+
+        let s1 = next_committed_segment(storage.as_ref(), 0, len)
+            .unwrap()
+            .unwrap();
+        assert_eq!(s1.txn_id, 1);
+        assert_eq!(s1.snapshot, None);
+        assert_eq!(s1.pages.len(), 2);
+        assert_eq!(s1.pages[0].0, PageId(0));
+        assert_eq!(s1.pages[1].0, PageId(2));
+        assert_eq!((s1.start, s1.end), (0, first_end));
+
+        let s2 = next_committed_segment(storage.as_ref(), s1.end, len)
+            .unwrap()
+            .unwrap();
+        assert_eq!(s2.txn_id, 2);
+        assert_eq!(s2.snapshot, Some(1));
+        assert_eq!(s2.pages.len(), 1);
+        assert_eq!(s2.end, len);
+
+        // Past the last commit: nothing.
+        assert!(next_committed_segment(storage.as_ref(), len, len)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn incomplete_segment_returns_none() {
+        let (storage, wal) = mem_wal();
+        wal.log_write(1, PageId(0), &page_with(1)).unwrap();
+        // No commit record yet: the transaction is still in flight.
+        let len = storage.len();
+        assert!(next_committed_segment(storage.as_ref(), 0, len)
+            .unwrap()
+            .is_none());
+        // A torn commit record is likewise not a complete segment.
+        wal.log_commit(1, None).unwrap();
+        let cut = len + (storage.len() - len) / 2;
+        assert!(next_committed_segment(storage.as_ref(), 0, cut)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

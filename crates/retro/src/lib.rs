@@ -31,7 +31,10 @@ pub use pagelog::{ArchiveOutcome, Pagelog, PagelogFormat};
 pub use skippy::{Segment, Skippy};
 pub use snapshot::{FetchSource, SnapshotMeta, SnapshotReader};
 pub use spt::{PageLocation, Spt, SptBuildStats};
-pub use store::{RetroConfig, RetroStore, SidecarBuilder, SidecarMap, SnapshotHook};
+pub use store::{
+    CommitHook, ReplCheckpoint, ReplLogs, RetroConfig, RetroStore, SidecarBuilder, SidecarMap,
+    SnapshotHook,
+};
 
 #[cfg(test)]
 mod tests {
@@ -335,6 +338,197 @@ mod tests {
         assert_eq!(read_tag(&store, s1, PageId(0)), 1);
         assert_eq!(read_tag(&store, s2, PageId(0)), 2);
         assert_eq!(store.pager().read_page(PageId(0)).unwrap().read_u32(0), 3);
+    }
+
+    #[test]
+    fn crash_torn_logs_reconcile_on_reopen() {
+        use rql_pagestore::{LogStorage, MemStorage};
+        let mk_history = || {
+            let wal: Arc<MemStorage> = Arc::new(MemStorage::new());
+            let plog: Arc<MemStorage> = Arc::new(MemStorage::new());
+            let mlog: Arc<MemStorage> = Arc::new(MemStorage::new());
+            let cfg = config(64, 16);
+            let s1 = {
+                let store =
+                    RetroStore::open(cfg.clone(), wal.clone(), plog.clone(), mlog.clone()).unwrap();
+                write_page(&store, PageId(0), 1);
+                let s1 = declare(&store);
+                write_page(&store, PageId(0), 2);
+                declare(&store);
+                store.flush().unwrap();
+                s1
+            };
+            (cfg, wal, plog, mlog, s1)
+        };
+
+        // Maplog ahead: the WAL commit record of the declaring transaction
+        // is torn (checksum trailer lost), so recovery discards the second
+        // snapshot — the excess Maplog boundary must go with it.
+        let (cfg, wal, plog, mlog, s1) = mk_history();
+        wal.truncate(wal.len() - 8).unwrap();
+        let store = RetroStore::open(cfg, wal, plog, mlog).unwrap();
+        assert_eq!(store.snapshot_count(), 1);
+        assert_eq!(read_tag(&store, s1, PageId(0)), 1);
+        assert_eq!(store.pager().read_page(PageId(0)).unwrap().read_u32(0), 2);
+        // The reconciled store keeps working: declare another snapshot.
+        write_page(&store, PageId(0), 3);
+        let s_new = declare(&store);
+        assert_eq!(read_tag(&store, s_new, PageId(0)), 3);
+
+        // WAL ahead: the boundary record (last Maplog append) is lost, so
+        // the WAL is cut back to the start of the declaring segment.
+        let (cfg, wal, plog, mlog, s1) = mk_history();
+        mlog.truncate(mlog.len() - 17).unwrap();
+        let store = RetroStore::open(cfg.clone(), wal.clone(), plog.clone(), mlog.clone()).unwrap();
+        assert_eq!(store.snapshot_count(), 1);
+        assert_eq!(read_tag(&store, s1, PageId(0)), 1);
+        // The non-declaring write before the lost boundary survives.
+        assert_eq!(store.pager().read_page(PageId(0)).unwrap().read_u32(0), 2);
+        drop(store);
+        // Idempotent: a second reopen finds the logs already consistent.
+        let store = RetroStore::open(cfg, wal, plog, mlog).unwrap();
+        assert_eq!(store.snapshot_count(), 1);
+    }
+
+    fn all_bytes(s: &rql_pagestore::MemStorage) -> Vec<u8> {
+        use rql_pagestore::LogStorage;
+        let mut buf = vec![0u8; s.len() as usize];
+        s.read_at(0, &mut buf).unwrap();
+        buf
+    }
+
+    /// Replay every committed WAL segment from `from` on `dst`, returning
+    /// the new cursor — exactly what a follower applier does.
+    fn replay_wal(src: &rql_pagestore::MemStorage, dst: &Arc<RetroStore>, mut from: u64) -> u64 {
+        use rql_pagestore::{next_committed_segment, LogStorage};
+        let upto = src.len();
+        while let Some(seg) = next_committed_segment(src, from, upto).unwrap() {
+            dst.apply_replicated(&seg).unwrap();
+            from = seg.end;
+        }
+        from
+    }
+
+    #[test]
+    fn replicated_apply_regenerates_identical_logs() {
+        use rql_pagestore::MemStorage;
+        let cfg = config(64, 16);
+        let mk = || {
+            let wal: Arc<MemStorage> = Arc::new(MemStorage::new());
+            let plog: Arc<MemStorage> = Arc::new(MemStorage::new());
+            let mlog: Arc<MemStorage> = Arc::new(MemStorage::new());
+            let store =
+                RetroStore::open(cfg.clone(), wal.clone(), plog.clone(), mlog.clone()).unwrap();
+            (store, wal, plog, mlog)
+        };
+        let (leader, lwal, lplog, lmlog) = mk();
+        let (follower, fwal, fplog, fmlog) = mk();
+
+        write_page(&leader, PageId(0), 1);
+        write_page(&leader, PageId(1), 10);
+        let s1 = declare(&leader);
+        write_page(&leader, PageId(0), 2);
+        let s2 = declare(&leader);
+
+        let cursor = replay_wal(&lwal, &follower, 0);
+        assert_eq!(cursor, leader.wal_len());
+        assert_eq!(follower.wal_len(), leader.wal_len());
+        assert_eq!(all_bytes(&fwal), all_bytes(&lwal), "wal bytes");
+        assert_eq!(all_bytes(&fplog), all_bytes(&lplog), "pagelog bytes");
+        assert_eq!(all_bytes(&fmlog), all_bytes(&lmlog), "maplog bytes");
+        assert_eq!(follower.snapshot_count(), 2);
+        for sid in [s1, s2] {
+            assert_eq!(
+                read_tag(&leader, sid, PageId(0)),
+                read_tag(&follower, sid, PageId(0))
+            );
+        }
+        assert_eq!(read_tag(&follower, s1, PageId(1)), 10);
+
+        // More commits stream later: resume from the cursor, not zero.
+        write_page(&leader, PageId(2), 77); // allocates page 2
+        let s3 = declare(&leader);
+        let cursor = replay_wal(&lwal, &follower, cursor);
+        assert_eq!(cursor, leader.wal_len());
+        assert_eq!(all_bytes(&fwal), all_bytes(&lwal));
+        assert_eq!(all_bytes(&fplog), all_bytes(&lplog));
+        assert_eq!(all_bytes(&fmlog), all_bytes(&lmlog));
+        assert_eq!(read_tag(&follower, s3, PageId(2)), 77);
+        assert_eq!(
+            follower.pager().read_page(PageId(2)).unwrap().read_u32(0),
+            77
+        );
+    }
+
+    #[test]
+    fn replicated_apply_rejects_offset_divergence() {
+        use rql_pagestore::{next_committed_segment, LogStorage, MemStorage};
+        let cfg = config(64, 16);
+        let wal: Arc<MemStorage> = Arc::new(MemStorage::new());
+        let leader = RetroStore::open(
+            cfg.clone(),
+            wal.clone(),
+            Arc::new(MemStorage::new()),
+            Arc::new(MemStorage::new()),
+        )
+        .unwrap();
+        write_page(&leader, PageId(0), 1);
+        declare(&leader);
+        let seg = next_committed_segment(wal.as_ref(), 0, wal.len())
+            .unwrap()
+            .unwrap();
+        let follower = RetroStore::open(
+            cfg,
+            Arc::new(MemStorage::new()),
+            Arc::new(MemStorage::new()),
+            Arc::new(MemStorage::new()),
+        )
+        .unwrap();
+        // Applying out of order (a segment that does not start at the
+        // follower's WAL tail) must fail before touching anything.
+        let mut bad = seg.clone();
+        bad.start += 1;
+        assert!(follower.apply_replicated(&bad).is_err());
+        assert_eq!(follower.wal_len(), 0);
+        // In order it applies, and re-applying the same segment fails.
+        follower.apply_replicated(&seg).unwrap();
+        assert!(follower.apply_replicated(&seg).is_err());
+    }
+
+    #[test]
+    fn rebuild_archived_sidecars_restores_archive_after_reopen() {
+        use rql_pagestore::MemStorage;
+        let wal: Arc<MemStorage> = Arc::new(MemStorage::new());
+        let plog: Arc<MemStorage> = Arc::new(MemStorage::new());
+        let mlog: Arc<MemStorage> = Arc::new(MemStorage::new());
+        let cfg = config(64, 16);
+        // Sidecar = first 4 bytes of the page image (a toy summary).
+        let builder: SidecarBuilder = Arc::new(|_pid, page| Some(page.bytes()[0..4].to_vec()));
+        let expected;
+        {
+            let store =
+                RetroStore::open(cfg.clone(), wal.clone(), plog.clone(), mlog.clone()).unwrap();
+            store.set_sidecar_builder(builder.clone());
+            write_page(&store, PageId(0), 1);
+            declare(&store);
+            write_page(&store, PageId(0), 2); // archives pre-state of P0
+            let entries = store.maplog_entries();
+            assert_eq!(entries, 1);
+            expected = store.archived_sidecar(0).expect("archived at offset 0");
+            store.flush().unwrap();
+        }
+        let store = RetroStore::open(cfg, wal, plog, mlog).unwrap();
+        assert!(
+            store.archived_sidecar(0).is_none(),
+            "sidecars are in-memory: lost across reopen"
+        );
+        // Without a builder the rebuild is a no-op.
+        assert_eq!(store.rebuild_archived_sidecars().unwrap(), 0);
+        store.set_sidecar_builder(builder);
+        assert_eq!(store.rebuild_archived_sidecars().unwrap(), 1);
+        assert_eq!(store.archived_sidecar(0).unwrap(), expected);
+        // Idempotent: nothing left to build.
+        assert_eq!(store.rebuild_archived_sidecars().unwrap(), 0);
     }
 
     #[test]

@@ -165,6 +165,13 @@ impl Maplog {
         self.entries.len()
     }
 
+    /// All mappings in append order (an owned copy, so callers can walk
+    /// them — e.g. to rebuild archived sidecars — without holding the
+    /// Maplog lock).
+    pub fn entries(&self) -> Vec<(PageId, u64)> {
+        self.entries.clone()
+    }
+
     /// Build the snapshot page table for `snap_id`.
     ///
     /// With `use_skippy` the sealed intervals are covered by skip-level

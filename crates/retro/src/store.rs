@@ -24,8 +24,8 @@ use std::time::Instant;
 use parking_lot::{Mutex, RwLock};
 
 use rql_pagestore::{
-    BufferCache, CacheKeying, DbView, IoStats, LogStorage, Pager, PagerConfig, Result, StoreError,
-    WriteTxn,
+    BufferCache, CacheKeying, CommittedSegment, DbView, IoStats, LogStorage, Pager, PagerConfig,
+    Result, StoreError, WriteTxn,
 };
 
 use crate::maplog::Maplog;
@@ -108,10 +108,56 @@ pub struct RetroStore {
     /// registration order; the standing-query engine uses this to
     /// maintain registered result tables per commit.
     snapshot_hooks: RwLock<Vec<SnapshotHook>>,
+    /// Serializes whole commits: the pager's writer token is released
+    /// inside `Pager::commit`, so without this a second commit could
+    /// interleave between one commit's page publish and its Maplog
+    /// declaration. Held across the full commit body (publish + archive
+    /// appends + declaration), released before hooks fire, and taken by
+    /// [`RetroStore::repl_checkpoint`] to cut a mutually consistent
+    /// prefix of the three logs.
+    commit_serial: Mutex<()>,
+    /// Observers notified after *every* commit (declaring or not), with
+    /// all commit-path locks released. The replication leader registers
+    /// one to learn that the WAL has grown.
+    commit_hooks: RwLock<Vec<CommitHook>>,
+    /// The raw log storages behind a durably opened store
+    /// ([`RetroStore::open`]); the replication layer reads segments and
+    /// seed bytes straight from these. `None` for in-memory stores.
+    logs: Option<ReplLogs>,
 }
 
 /// A snapshot-declaration observer (see [`RetroStore::add_snapshot_hook`]).
 pub type SnapshotHook = Arc<dyn Fn(u64) + Send + Sync>;
+
+/// A commit observer (see [`RetroStore::add_commit_hook`]).
+pub type CommitHook = Arc<dyn Fn() + Send + Sync>;
+
+/// The three durable log storages behind an open store, in the form the
+/// replication layer ships them: raw append-only byte logs.
+#[derive(Clone)]
+pub struct ReplLogs {
+    /// The redo WAL (the replication log: committed segments are parsed
+    /// straight off it).
+    pub wal: Arc<dyn LogStorage>,
+    /// The Pagelog pre-state archive.
+    pub pagelog: Arc<dyn LogStorage>,
+    /// The persisted Maplog.
+    pub maplog: Arc<dyn LogStorage>,
+}
+
+/// A mutually consistent cut of the three logs, taken with no commit in
+/// flight — what a seeding leader copies to a new follower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplCheckpoint {
+    /// WAL bytes at the cut (a committed-record boundary).
+    pub wal_len: u64,
+    /// Pagelog bytes at the cut.
+    pub pagelog_len: u64,
+    /// Maplog bytes at the cut.
+    pub maplog_len: u64,
+    /// Snapshots declared at the cut.
+    pub snapshot_count: u64,
+}
 
 impl RetroStore {
     /// Ephemeral store: memory-backed Pagelog, no WAL, no Maplog
@@ -137,6 +183,9 @@ impl RetroStore {
             sidecar_epoch: AtomicU64::new(0),
             sidecar_builder: RwLock::new(None),
             snapshot_hooks: RwLock::new(Vec::new()),
+            commit_serial: Mutex::new(()),
+            commit_hooks: RwLock::new(Vec::new()),
+            logs: None,
         })
     }
 
@@ -153,9 +202,11 @@ impl RetroStore {
         maplog_storage: Arc<dyn LogStorage>,
     ) -> Result<Arc<Self>> {
         let page_size = config.pager.page_size;
-        let (pager, recovered_snaps) = Pager::open_with_wal(config.pager.clone(), wal_storage)?;
+        reconcile_logs(wal_storage.as_ref(), maplog_storage.as_ref())?;
+        let (pager, recovered_snaps) =
+            Pager::open_with_wal(config.pager.clone(), Arc::clone(&wal_storage))?;
         let pager = Arc::new(pager);
-        let maplog = Maplog::open(maplog_storage)?;
+        let maplog = Maplog::open(Arc::clone(&maplog_storage))?;
         if maplog.snapshot_count() != recovered_snaps.len() as u64 {
             return Err(StoreError::Corrupt(format!(
                 "maplog has {} snapshots but WAL recovered {}",
@@ -177,6 +228,11 @@ impl RetroStore {
             })
             .collect();
         let format = config.pagelog_format;
+        let logs = ReplLogs {
+            wal: wal_storage,
+            pagelog: Arc::clone(&pagelog_storage),
+            maplog: maplog_storage,
+        };
         Ok(Arc::new(RetroStore {
             config,
             pager,
@@ -187,15 +243,25 @@ impl RetroStore {
             dirty_since_snapshot: Mutex::new(HashSet::new()),
             last_archived: Mutex::new(std::collections::HashMap::new()),
             metas: RwLock::new(metas),
-            // Sidecar state is in-memory only: after recovery there are
-            // no sidecars, so scans simply don't prune until pages are
-            // rewritten (or a backfill runs) — absent is always safe.
+            // Sidecar state is in-memory: recovery starts with none (absent
+            // is always safe — scans just don't prune). Once the SQL layer
+            // reinstalls its builder, `rebuild_archived_sidecars` restores
+            // the archive entries from the Maplog + Pagelog, and current
+            // entries come back via the usual backfill.
             current_sidecars: RwLock::new(Arc::new(HashMap::new())),
             sidecar_archive: Mutex::new(HashMap::new()),
             sidecar_epoch: AtomicU64::new(0),
             sidecar_builder: RwLock::new(None),
             snapshot_hooks: RwLock::new(Vec::new()),
+            commit_serial: Mutex::new(()),
+            commit_hooks: RwLock::new(Vec::new()),
+            logs: Some(logs),
         }))
+    }
+
+    /// The configuration this store was opened with.
+    pub fn config(&self) -> &RetroConfig {
+        &self.config
     }
 
     /// The underlying pager.
@@ -247,6 +313,28 @@ impl RetroStore {
     }
 
     fn commit_inner(&self, txn: WriteTxn, declare: bool) -> Result<Option<u64>> {
+        let declared = {
+            let _serial = self.commit_serial.lock();
+            self.commit_locked(txn, declare)?
+        };
+        if let Some(sid) = declared {
+            // The snapshot is fully published and every commit-path lock
+            // is released: observers may open snapshot `sid` right away.
+            let hooks = self.snapshot_hooks.read().clone();
+            for hook in hooks {
+                hook(sid);
+            }
+        }
+        let hooks = self.commit_hooks.read().clone();
+        for hook in hooks {
+            hook();
+        }
+        Ok(declared)
+    }
+
+    /// The commit body, run under `commit_serial` so the page publish and
+    /// all log appends of one commit land before any part of the next.
+    fn commit_locked(&self, txn: WriteTxn, declare: bool) -> Result<Option<u64>> {
         let latest_page_count: Option<u64> = self.metas.read().last().map(|m| m.page_count);
         let stats = self.pager.stats().clone();
         let txn_id = txn.id();
@@ -377,12 +465,6 @@ impl RetroStore {
                 page_count,
                 txn_id,
             });
-            // The snapshot is fully published and every commit-path lock
-            // is released: observers may open snapshot `sid` right away.
-            let hooks = self.snapshot_hooks.read().clone();
-            for hook in hooks {
-                hook(sid);
-            }
             return Ok(Some(sid));
         }
         Ok(None)
@@ -395,6 +477,126 @@ impl RetroStore {
     /// unknown or stale ids as no-ops.
     pub fn add_snapshot_hook(&self, hook: SnapshotHook) {
         self.snapshot_hooks.write().push(hook);
+    }
+
+    /// Register an observer called after *every* successful commit
+    /// (snapshot-declaring or not), with all commit-path locks released.
+    /// The replication leader registers one to wake its segment shippers;
+    /// hooks carry no payload — observers read [`RetroStore::wal_len`]
+    /// themselves, which is order-insensitive even if two commits' hook
+    /// runs interleave.
+    pub fn add_commit_hook(&self, hook: CommitHook) {
+        self.commit_hooks.write().push(hook);
+    }
+
+    /// The raw log storages behind a durably opened store, for the
+    /// replication layer (`None` when in-memory).
+    pub fn repl_logs(&self) -> Option<ReplLogs> {
+        self.logs.clone()
+    }
+
+    /// Bytes on the WAL (0 without a WAL). Between commits this is always
+    /// a committed-record boundary.
+    pub fn wal_len(&self) -> u64 {
+        self.pager.wal_len()
+    }
+
+    /// Cut a mutually consistent prefix of the three logs: takes the
+    /// commit serialization lock (so no commit is mid-flight), flushes
+    /// everything durable, and returns the three lengths. Because the
+    /// logs are append-only, the returned prefix is immutable and can be
+    /// copied to a seeding follower without holding any lock.
+    pub fn repl_checkpoint(&self) -> Result<ReplCheckpoint> {
+        let logs = self
+            .logs
+            .as_ref()
+            .ok_or_else(|| StoreError::Corrupt("replication requires a durable store".into()))?;
+        let _serial = self.commit_serial.lock();
+        self.flush()?;
+        Ok(ReplCheckpoint {
+            wal_len: logs.wal.len(),
+            pagelog_len: logs.pagelog.len(),
+            maplog_len: logs.maplog.len(),
+            snapshot_count: self.snapshot_count(),
+        })
+    }
+
+    /// Replay one committed leader segment on a follower store.
+    ///
+    /// The segment is committed under the leader's transaction id with
+    /// the same page set, so the follower's WAL/Pagelog/Maplog stay
+    /// byte-identical to the leader's — which is what lets a follower
+    /// resume a stream by comparing raw WAL lengths. Returns the declared
+    /// snapshot id, if any. Any divergence (offset mismatch before, id or
+    /// length mismatch after) is reported as corruption; the caller
+    /// should tear down and reseed.
+    pub fn apply_replicated(self: &Arc<Self>, seg: &CommittedSegment) -> Result<Option<u64>> {
+        let local = self.wal_len();
+        if local != seg.start {
+            return Err(StoreError::Corrupt(format!(
+                "replicated segment starts at wal offset {} but local wal is at {}",
+                seg.start, local
+            )));
+        }
+        let mut txn = self.pager.begin_write_at(seg.txn_id)?;
+        // Allocations are implied by out-of-bounds page ids: the pager
+        // logs every allocated page (zeroed or not), so the segment's
+        // max id is exactly the leader's post-commit page count - 1.
+        let mut want = txn.page_count();
+        for (pid, _) in &seg.pages {
+            want = want.max(pid.0 + 1);
+        }
+        while txn.page_count() < want {
+            txn.allocate_page();
+        }
+        for (pid, page) in &seg.pages {
+            txn.write_page(*pid, page.clone())?;
+        }
+        let sid = self.commit_inner(txn, seg.snapshot.is_some())?;
+        if sid != seg.snapshot {
+            return Err(StoreError::Corrupt(format!(
+                "replicated commit {} declared snapshot {:?} but leader declared {:?}",
+                seg.txn_id, sid, seg.snapshot
+            )));
+        }
+        let now = self.wal_len();
+        if now != seg.end {
+            return Err(StoreError::Corrupt(format!(
+                "replicated apply diverged: local wal at {} but leader segment ends at {}",
+                now, seg.end
+            )));
+        }
+        Ok(sid)
+    }
+
+    /// Rebuild sidecars for archived pre-states from the Maplog + Pagelog.
+    ///
+    /// After recovery (or a follower seed) the sidecar archive is empty —
+    /// it is in-memory state — so `AS OF` scans of old snapshots stop
+    /// pruning. With a builder installed, this walks every Maplog mapping,
+    /// reads the archived page image, and rebuilds the sidecar keyed by
+    /// its Pagelog offset. Entries that already exist are skipped, so
+    /// repeated calls only pay for what recovery lost. Returns how many
+    /// sidecars were built.
+    pub fn rebuild_archived_sidecars(&self) -> Result<usize> {
+        let Some(builder) = self.sidecar_builder.read().clone() else {
+            return Ok(0);
+        };
+        let entries: Vec<(rql_pagestore::PageId, u64)> = self.maplog.read().entries();
+        let stats = self.pager.stats().clone();
+        let mut built = 0usize;
+        for (pid, off) in entries {
+            if self.sidecar_archive.lock().contains_key(&off) {
+                continue;
+            }
+            let page = self.pagelog.read(off)?;
+            if let Some(bytes) = builder(pid, &page) {
+                stats.count_sidecar_bytes(bytes.len() as u64);
+                self.sidecar_archive.lock().insert(off, Arc::new(bytes));
+                built += 1;
+            }
+        }
+        Ok(built)
     }
 
     /// Install the sidecar builder. From the next commit on, every
@@ -623,4 +825,63 @@ impl RetroStore {
     pub fn skippy_entries(&self) -> usize {
         self.maplog.read().skippy_entries()
     }
+}
+
+/// Reconcile crash-torn tails across the WAL and the Maplog before
+/// recovery proper.
+///
+/// A commit persists in three steps: Maplog mappings (pre-states), then
+/// the WAL commit record (the commit point), then — for declaring
+/// commits — the Maplog boundary. A crash between any two steps leaves
+/// the logs disagreeing on the snapshot count:
+///
+/// * **Maplog ahead** (boundary persisted, WAL commit lost): the
+///   boundary and everything after it belong to commits the WAL will
+///   discard — truncate the Maplog at the first excess boundary.
+///   Mappings appended *before* it by those torn commits are kept: the
+///   pages' pre-states were archived but never replaced, so the next
+///   commit re-archives identical bytes and first-occurrence-wins SPT
+///   construction resolves the duplicates.
+/// * **WAL ahead** (boundary lost): the declaring commit cannot be
+///   reconstructed (its page count is gone), so truncate the WAL back
+///   to the start of that commit's segment. The lost tail re-ships on
+///   the next replication resume, or is simply absent on a single node
+///   — equivalent to crashing slightly earlier.
+///
+/// Idempotent; a no-op when the logs already agree.
+fn reconcile_logs(wal: &dyn LogStorage, maplog: &dyn LogStorage) -> Result<()> {
+    // Fixed-size Maplog records: drop a torn partial tail first.
+    const MAPLOG_REC: u64 = 17;
+    let mut mlen = maplog.len();
+    if !mlen.is_multiple_of(MAPLOG_REC) {
+        mlen -= mlen % MAPLOG_REC;
+        maplog.truncate(mlen)?;
+    }
+    // Offsets of boundary records, in order.
+    let mut boundaries = Vec::new();
+    let mut moff = 0u64;
+    while moff < mlen {
+        let mut kind = [0u8; 1];
+        maplog.read_at(moff, &mut kind)?;
+        if kind[0] == 2 {
+            boundaries.push(moff);
+        }
+        moff += MAPLOG_REC;
+    }
+    // Start offsets of WAL segments that declare a snapshot, in order.
+    let wal_len = wal.len();
+    let mut declaring = Vec::new();
+    let mut woff = 0u64;
+    while let Some(seg) = rql_pagestore::next_committed_segment(wal, woff, wal_len)? {
+        if seg.snapshot.is_some() {
+            declaring.push(seg.start);
+        }
+        woff = seg.end;
+    }
+    if boundaries.len() > declaring.len() {
+        maplog.truncate(boundaries[declaring.len()])?;
+    } else if declaring.len() > boundaries.len() {
+        wal.truncate(declaring[boundaries.len()])?;
+    }
+    Ok(())
 }

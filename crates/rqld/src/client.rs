@@ -190,6 +190,16 @@ impl Client {
         }
     }
 
+    /// Replication status snapshot, human (`json = false`) or JSON: the
+    /// server's role, phase, lag gauges and shipping/applying counters.
+    pub fn replstatus(&mut self, json: bool) -> Result<String> {
+        match self.round_trip(&Request::ReplStatus { json })? {
+            Response::Text(text) => Ok(text),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected("expected TEXT")),
+        }
+    }
+
     /// Register a standing query (`MAINTAIN QUERY name AS …`). Returns
     /// the server's confirmation line
     /// (`registered name=… table=… snapshots_seeded=…`).

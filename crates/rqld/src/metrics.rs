@@ -13,6 +13,7 @@
 
 use rql_memo::MemoStatsSnapshot;
 use rql_pagestore::IoStatsSnapshot;
+use rql_repl::ReplSnapshot;
 use rql_standing::QueryStatus;
 use rql_trace::Counter;
 
@@ -181,13 +182,15 @@ impl Metrics {
 
     /// Human-readable render: one `name value` line per metric, then the
     /// store's I/O counters under an `io_` prefix, the shared memo
-    /// store's counters under a `memo_` prefix, and the standing-query
-    /// engine's counters under a `standing_` prefix.
+    /// store's counters under a `memo_` prefix, the standing-query
+    /// engine's counters under a `standing_` prefix, and the replication
+    /// counters under a `repl_` prefix.
     pub fn render_human(
         &self,
         io: &IoStatsSnapshot,
         memo: &MemoStatsSnapshot,
         standing: &StandingSnapshot,
+        repl: &ReplSnapshot,
     ) -> String {
         let mut out = String::new();
         for (name, value) in self.fields() {
@@ -200,6 +203,7 @@ impl Metrics {
             ("io_", io.fields().to_vec()),
             ("memo_", memo.fields().to_vec()),
             ("standing_", standing.fields()),
+            ("repl_", repl.fields()),
         ] {
             for (name, value) in fields {
                 out.push_str(prefix);
@@ -219,6 +223,7 @@ impl Metrics {
         io: &IoStatsSnapshot,
         memo: &MemoStatsSnapshot,
         standing: &StandingSnapshot,
+        repl: &ReplSnapshot,
     ) -> String {
         let mut parts: Vec<String> = self
             .fields()
@@ -229,6 +234,7 @@ impl Metrics {
             ("io_", io.fields().to_vec()),
             ("memo_", memo.fields().to_vec()),
             ("standing_", standing.fields()),
+            ("repl_", repl.fields()),
         ] {
             parts.extend(
                 fields
@@ -291,7 +297,12 @@ mod tests {
             rows_pushed: 9,
             ..Default::default()
         };
-        let human = m.render_human(&io, &memo, &standing);
+        let repl = ReplSnapshot {
+            role: 1,
+            segments_shipped: 3,
+            ..Default::default()
+        };
+        let human = m.render_human(&io, &memo, &standing, &repl);
         assert!(human.contains("queries_total 1"));
         assert!(human.contains("io_pagelog_reads 7"));
         assert!(human.contains("memo_hits 5"));
@@ -300,7 +311,9 @@ mod tests {
         assert!(human.contains("latency_p99_micros"));
         assert!(human.contains("standing_queries 2"));
         assert!(human.contains("standing_rows_pushed 9"));
-        let json = m.render_json(&io, &memo, &standing);
+        assert!(human.contains("repl_role 1"));
+        assert!(human.contains("repl_segments_shipped 3"));
+        let json = m.render_json(&io, &memo, &standing, &repl);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"queries_total\":1"));
         assert!(json.contains("\"io_pagelog_reads\":7"));
@@ -308,6 +321,37 @@ mod tests {
         assert!(json.contains("\"memo_evictions\":0"));
         assert!(json.contains("\"standing_queries\":2"));
         assert!(json.contains("\"standing_push_p99_micros\":0"));
+        assert!(json.contains("\"repl_role\":1"));
+        assert!(json.contains("\"repl_lag_bytes\":0"));
+    }
+
+    #[test]
+    fn repl_field_order_is_wire_stable() {
+        // The `repl_` section mirrors `rql replstatus`; dashboards key on
+        // this exact sequence, which may only ever grow at the end.
+        let names: Vec<&str> = ReplSnapshot::default()
+            .fields()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "role",
+                "phase",
+                "followers",
+                "seeds_served",
+                "segments_shipped",
+                "bytes_shipped",
+                "sheds",
+                "segments_applied",
+                "bytes_applied",
+                "seed_bytes",
+                "reconnects",
+                "lag_bytes",
+                "lag_snapshots",
+            ]
+        );
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub struct SharedStack {
     /// Qq result computed by any connection serves all of them. `None`
     /// when the server runs with memoization disabled (`--no-memo`).
     memo: Option<Arc<MemoStore>>,
+    /// Reject snap-store write statements with `[RQL505]` — the stack
+    /// fronts a replication follower whose store only the apply thread
+    /// may write.
+    read_only: bool,
 }
 
 impl SharedStack {
@@ -78,7 +82,22 @@ impl SharedStack {
         max_sessions: u64,
         memo: Option<Arc<MemoStore>>,
     ) -> Arc<SharedStack> {
-        let store = RetroStore::in_memory(config);
+        Self::new_over_store(RetroStore::in_memory(config), max_sessions, memo, false)
+    }
+
+    /// Build the stack over an existing store — a durable store opened
+    /// from disk, or a replication follower's replica. The catalog is
+    /// bootstrapped only when the store is empty (a seeded replica
+    /// already carries the leader's catalog commit). `read_only = true`
+    /// rejects every snap-store write statement with `[RQL505]`: on a
+    /// follower, the replication apply thread is the only writer, and a
+    /// local commit would diverge the replica from the leader's WAL.
+    pub fn new_over_store(
+        store: Arc<RetroStore>,
+        max_sessions: u64,
+        memo: Option<Arc<MemoStore>>,
+        read_only: bool,
+    ) -> Arc<SharedStack> {
         let bootstrap = Database::over_store(Arc::clone(&store));
         drop(bootstrap);
         Arc::new(SharedStack {
@@ -89,7 +108,13 @@ impl SharedStack {
             active_sessions: AtomicU64::new(0),
             max_sessions,
             memo,
+            read_only,
         })
+    }
+
+    /// Whether snap-store writes are rejected (replication follower).
+    pub fn read_only(&self) -> bool {
+        self.read_only
     }
 
     /// Counters of the shared memo store (zeroes when memoization is
@@ -188,6 +213,31 @@ impl SharedStack {
         Ok(())
     }
 
+    /// Record externally declared snapshots in the fan-out log, so every
+    /// session's `SnapIds` picks them up on its next sync. This is how a
+    /// follower `rqld` surfaces snapshots replicated from the leader —
+    /// the same path local `COMMIT WITH SNAPSHOT` declarations take.
+    /// Unlike local declarations (whose sids are unique by construction)
+    /// external notes may race a snapshot-hook delivery of the same sid,
+    /// so this dedups against the log under its write lock.
+    pub fn note_snapshots(&self, sids: &[u64]) {
+        if sids.is_empty() {
+            return;
+        }
+        let ts = wall_clock_ts();
+        let mut log = self.snapshot_log.write();
+        for &sid in sids {
+            if log.iter().any(|e| e.sid == sid) {
+                continue;
+            }
+            log.push(SnapEntry {
+                sid,
+                ts: ts.clone(),
+                name: None,
+            });
+        }
+    }
+
     fn log_snapshots(&self, sids: &[u64]) {
         if sids.is_empty() {
             return;
@@ -279,6 +329,14 @@ impl ServerSession {
             };
             let writes_snap =
                 !stmt.on_aux && !matches!(parse_statement(&stmt.text), Ok(Stmt::Select(_)));
+            if writes_snap && self.stack.read_only {
+                failure = Some(SqlError::Constraint(
+                    "[RQL505] read-only replica: this server follows a leader; \
+                     send writes to the leader"
+                        .into(),
+                ));
+                break;
+            }
             if writes_snap && write_guard.is_none() {
                 write_guard = Some(self.stack.write_lock.lock());
             }
@@ -413,6 +471,35 @@ mod tests {
         assert!(
             stack.memo_stats().hits > after.hits,
             "memo re-attached after the opt-out request"
+        );
+    }
+
+    #[test]
+    fn read_only_stack_rejects_snap_writes_with_rql505() {
+        let store = RetroStore::in_memory(RetroConfig::new());
+        let stack = SharedStack::new_over_store(store, 4, None, true);
+        assert!(stack.read_only());
+        let s = stack.checkout().unwrap();
+
+        // Snap-store writes bounce with the replica code...
+        let err = s
+            .run_program(&parse_program("CREATE TABLE t (v INTEGER);").unwrap())
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("[RQL505]"),
+            "want RQL505, got: {err}"
+        );
+
+        // ...while aux writes (mechanism scratch space) still work.
+        s.run_program(&parse_program("--@aux\nCREATE TABLE scratch (v INTEGER);").unwrap())
+            .unwrap();
+
+        // Externally noted snapshots fan out like local declarations.
+        stack.note_snapshots(&[7]);
+        s.sync_snapids().unwrap();
+        assert_eq!(
+            snapids::all_snapshots(s.session().aux_db()).unwrap().len(),
+            1
         );
     }
 

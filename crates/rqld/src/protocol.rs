@@ -84,6 +84,9 @@ pub mod op {
     /// a `RESULT` frame (the current maintained table), then `DELTA`
     /// frames per commit until a terminal `END` frame or disconnect.
     pub const SUBSCRIBE: u8 = 0x0A;
+    /// Replication status snapshot (human or JSON): role, phase, lag and
+    /// shipping/applying counters from the `repl_` metrics section.
+    pub const REPLSTATUS: u8 = 0x0B;
 }
 
 /// Server → client frames.
@@ -316,6 +319,11 @@ pub enum Request {
         /// The registered query name.
         name: String,
     },
+    /// Replication status snapshot.
+    ReplStatus {
+        /// `true` → JSON, `false` → human-readable lines.
+        json: bool,
+    },
 }
 
 impl Request {
@@ -366,6 +374,10 @@ impl Request {
                 w.put_str(name);
                 (op::SUBSCRIBE, w.into_bytes())
             }
+            Request::ReplStatus { json } => {
+                w.put_u8(u8::from(*json));
+                (op::REPLSTATUS, w.into_bytes())
+            }
         }
     }
 
@@ -404,6 +416,9 @@ impl Request {
             }),
             op::UNREGISTER => Ok(Request::Unregister { name: r.get_str()? }),
             op::SUBSCRIBE => Ok(Request::Subscribe { name: r.get_str()? }),
+            op::REPLSTATUS => Ok(Request::ReplStatus {
+                json: r.get_u8()? != 0,
+            }),
             t => Err(ProtoError::BadTag(t)),
         }
     }
@@ -869,6 +884,8 @@ mod tests {
         });
         roundtrip_request(Request::Unregister { name: "w".into() });
         roundtrip_request(Request::Subscribe { name: "w".into() });
+        roundtrip_request(Request::ReplStatus { json: true });
+        roundtrip_request(Request::ReplStatus { json: false });
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -30,7 +31,9 @@ use rql::{
     Severity, SqlError,
 };
 use rql_memo::{MemoConfig, MemoStore};
-use rql_retro::RetroConfig;
+use rql_pagestore::FileStorage;
+use rql_repl::{FollowerConfig, LeaderConfig, ReplFollower, ReplLeader, ReplMetrics, ReplSnapshot};
+use rql_retro::{RetroConfig, RetroStore};
 use rql_standing::{PushFrame, StandingEngine, Subscription};
 
 use crate::metrics::{Metrics, StandingSnapshot};
@@ -59,6 +62,18 @@ pub struct ServerConfig {
     /// Log queries slower than this to stderr (`--slow-ms N`); `None`
     /// disables the slow-query log.
     pub slow_query: Option<Duration>,
+    /// Durable store directory: the WAL/Pagelog/Maplog live here and
+    /// survive restarts. `None` keeps the store in memory. Required for
+    /// both replication roles (a leader ships its on-disk logs; a
+    /// follower seeds into them).
+    pub data_dir: Option<PathBuf>,
+    /// Leader mode: accept replication followers on this address and
+    /// ship committed segments to them.
+    pub repl_listen: Option<String>,
+    /// Follower mode: bootstrap from and stream the leader at this
+    /// address. The server becomes a read-only replica — writes and
+    /// standing-query registration are rejected with `RQL505`.
+    pub follow: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +86,9 @@ impl Default for ServerConfig {
             retro: RetroConfig::new(),
             memo: true,
             slow_query: None,
+            data_dir: None,
+            repl_listen: None,
+            follow: None,
         }
     }
 }
@@ -123,6 +141,14 @@ struct Inner {
     /// timeout, cancellation, Qq error), served by `STATUS --flight`
     /// even after the ring has moved on.
     last_flight: Mutex<Option<String>>,
+    /// Replication counters, rendered by `METRICS` (under `repl_`) and
+    /// `REPLSTATUS`. Stays zeroed when replication is not configured.
+    repl_metrics: Arc<ReplMetrics>,
+    /// Leader-side segment shipper, kept alive for the server's
+    /// lifetime; torn down at drain so followers see a clean close.
+    repl_leader: Mutex<Option<ReplLeader>>,
+    /// Follower-side applier; torn down at drain (flushes the replica).
+    repl_follower: Mutex<Option<ReplFollower>>,
 }
 
 impl Inner {
@@ -312,6 +338,25 @@ impl Inner {
         // "drained") instead of a silently dropped socket, and the
         // blocked subscription writers wake up to deliver it.
         self.standing.drain();
+        // Replication endpoints next: the leader stops shipping (its
+        // followers reconnect-and-resume elsewhere or wait), a follower
+        // stops applying and flushes its replica.
+        if let Some(mut leader) = self
+            .repl_leader
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
+            leader.shutdown();
+        }
+        if let Some(mut follower) = self
+            .repl_follower
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
+            follower.shutdown();
+        }
         // Wake every parked worker so they observe the flag, and poke
         // the acceptor out of its blocking accept().
         self.queue_cv.notify_all();
@@ -356,6 +401,17 @@ impl ServerHandle {
         &self.inner.standing
     }
 
+    /// The replication listener's bound address (leader mode only;
+    /// useful when `repl_listen` used port 0).
+    pub fn repl_addr(&self) -> Option<std::net::SocketAddr> {
+        self.inner
+            .repl_leader
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+            .map(ReplLeader::addr)
+    }
+
     /// Initiate a drain from the host process (same as a `SHUTDOWN`
     /// frame): stop accepting, finish queued work.
     pub fn shutdown(&self) {
@@ -377,20 +433,112 @@ impl ServerHandle {
     }
 }
 
+/// Open (or create) the three durable logs under `dir` and the store
+/// over them. Crash reconciliation and WAL recovery run inside
+/// [`RetroStore::open`]. The file names match what a replication
+/// follower seeds into, so a follower's data dir can be promoted to a
+/// standalone (or leader) store by restarting without `--follow`.
+fn open_durable_store(dir: &std::path::Path, config: RetroConfig) -> io::Result<Arc<RetroStore>> {
+    std::fs::create_dir_all(dir)?;
+    let mk = |name: &str| -> io::Result<Arc<FileStorage>> {
+        let path = dir.join(name);
+        let storage = if path.exists() {
+            FileStorage::open(&path)
+        } else {
+            FileStorage::create(&path)
+        };
+        storage.map(Arc::new).map_err(io::Error::other)
+    };
+    RetroStore::open(
+        config,
+        mk("wal.log")?,
+        mk("pagelog.log")?,
+        mk("maplog.log")?,
+    )
+    .map_err(|e| io::Error::other(e.to_string()))
+}
+
 /// Bind `addr` and start the full thread complement. Catalog bootstrap
-/// happens here, single-threaded, before any connection is accepted.
+/// happens here, single-threaded, before any connection is accepted —
+/// and, in leader mode, before the replication listener opens, so every
+/// seed a follower receives already carries the catalog commit.
 pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let memo = config
         .memo
         .then(|| Arc::new(MemoStore::new(MemoConfig::default())));
-    let stack = SharedStack::new_with_memo(config.retro.clone(), config.max_sessions, memo);
+    let repl_metrics = Arc::new(ReplMetrics::new());
+
+    let mut repl_follower = None;
+    let stack = if let Some(leader_addr) = &config.follow {
+        // Follower: bootstrap the replica (seed, or reopen + resume)
+        // before serving anything — queries need a store, and the apply
+        // thread stays its only writer, so the stack is read-only.
+        let dir = config
+            .data_dir
+            .clone()
+            .ok_or_else(|| io::Error::other("--follow requires --data-dir"))?;
+        let mut fcfg = FollowerConfig::new(leader_addr.clone(), dir);
+        fcfg.retro = config.retro.clone();
+        let follower = ReplFollower::start(fcfg, Arc::clone(&repl_metrics));
+        let store = follower
+            .wait_for_store(Duration::from_secs(60))
+            .ok_or_else(|| {
+                io::Error::other(match follower.last_error() {
+                    Some(e) => format!("replication bootstrap failed: {e}"),
+                    None => "replication bootstrap timed out".into(),
+                })
+            })?;
+        repl_follower = Some(follower);
+        SharedStack::new_over_store(store, config.max_sessions, memo, true)
+    } else if let Some(dir) = &config.data_dir {
+        let store = open_durable_store(dir, config.retro.clone())?;
+        SharedStack::new_over_store(store, config.max_sessions, memo, false)
+    } else {
+        SharedStack::new_with_memo(config.retro.clone(), config.max_sessions, memo)
+    };
+
+    // Surface replicated declarations to every session's SnapIds the
+    // same way local `COMMIT WITH SNAPSHOT` does: each snapshot the
+    // apply thread lands goes through the fan-out log.
+    if repl_follower.is_some() {
+        let weak = Arc::downgrade(&stack);
+        stack.store().add_snapshot_hook(Arc::new(move |sid| {
+            if let Some(stack) = weak.upgrade() {
+                stack.note_snapshots(&[sid]);
+            }
+        }));
+    }
+    // Snapshots that predate this process (reopened durable store, or a
+    // follower's seed) exist only in the store; note them so sessions
+    // can `SELECT … FROM SnapIds` over the full history. Snapshot ids
+    // are dense 1..=count; the SnapIds sync dedups, so overlap with the
+    // hook above is harmless.
+    let preexisting: Vec<u64> = (1..=stack.store().snapshot_count()).collect();
+    stack.note_snapshots(&preexisting);
+
     let standing = StandingEngine::new();
     standing.attach(stack.store());
     let standing_session = stack
         .host_session()
         .map_err(|e| io::Error::other(e.to_string()))?;
+
+    let repl_leader = match &config.repl_listen {
+        Some(repl_addr) => {
+            let repl_listener = TcpListener::bind(repl_addr.as_str())?;
+            let leader = ReplLeader::start(
+                Arc::clone(stack.store()),
+                repl_listener,
+                Arc::clone(&repl_metrics),
+                LeaderConfig::default(),
+            )
+            .map_err(|e| io::Error::other(e.to_string()))?;
+            Some(leader)
+        }
+        None => None,
+    };
+
     let inner = Arc::new(Inner {
         stack,
         metrics: Arc::new(Metrics::new()),
@@ -405,6 +553,9 @@ pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Serve
         standing,
         standing_session,
         last_flight: Mutex::new(None),
+        repl_metrics,
+        repl_leader: Mutex::new(repl_leader),
+        repl_follower: Mutex::new(repl_follower),
     });
 
     let workers = (0..inner.config.workers.max(1))
@@ -527,7 +678,7 @@ fn connection_loop(
                         send(stream, &Response::Result(wire))?;
                         rql_trace::instant(rql_trace::SpanId::JobReply);
                     }
-                    Err(e) => send(stream, &error_response(&e))?,
+                    Err(e) => send(stream, &standing_error(&e))?,
                 }
             }
             Request::Profile { program, no_memo } => {
@@ -550,7 +701,7 @@ fn connection_loop(
                         send(stream, &Response::Profile(wire))?;
                         rql_trace::instant(rql_trace::SpanId::JobReply);
                     }
-                    Err(e) => send(stream, &error_response(&e))?,
+                    Err(e) => send(stream, &standing_error(&e))?,
                 }
             }
             Request::Cancel { session: target } => {
@@ -597,14 +748,23 @@ fn connection_loop(
                 let io = inner.stack.store().stats().snapshot();
                 let memo = inner.stack.memo_stats();
                 let standing = StandingSnapshot::from_statuses(&inner.standing.statuses());
+                let repl = inner.repl_metrics.snapshot();
                 let text = if json {
-                    inner.metrics.render_json(&io, &memo, &standing)
+                    inner.metrics.render_json(&io, &memo, &standing, &repl)
                 } else {
-                    inner.metrics.render_human(&io, &memo, &standing)
+                    inner.metrics.render_human(&io, &memo, &standing, &repl)
                 };
                 send(stream, &Response::Text(text))?;
             }
+            Request::ReplStatus { json } => {
+                let snap = inner.repl_metrics.snapshot();
+                send(stream, &Response::Text(render_replstatus(&snap, json)))?;
+            }
             Request::Register { statement } => {
+                if inner.stack.read_only() {
+                    send(stream, &read_only_error("MAINTAIN registration"))?;
+                    continue;
+                }
                 // Seeding writes the host session's aux store; hold the
                 // stack's writer gate so it cannot race a commit (whose
                 // maintenance pass writes the same store).
@@ -722,9 +882,53 @@ fn error_response(e: &SqlError) -> Response {
     }
 }
 
-/// Registration failures carry their registry code inline (`[RQL210] …`
-/// from the MAINTAIN eligibility checks); lift it into the frame's code
-/// field so clients see the same shape as analyzer diagnostics.
+/// `RQL505`: this server is a read-only replica; the write belongs on
+/// the leader.
+fn read_only_error(what: &str) -> Response {
+    Response::Error {
+        code: "RQL505".into(),
+        message: format!("read-only replica: {what} must go to the leader"),
+    }
+}
+
+/// The `REPLSTATUS` reply: the `repl_` metric section on its own, with
+/// the role/phase gauges spelled out in the human form. Field order
+/// follows [`ReplSnapshot::fields`] — wire-stable, grow-at-end only.
+fn render_replstatus(s: &ReplSnapshot, json: bool) -> String {
+    if json {
+        let parts: Vec<String> = s
+            .fields()
+            .into_iter()
+            .map(|(name, value)| format!("\"{name}\":{value}"))
+            .collect();
+        return format!("{{{}}}", parts.join(","));
+    }
+    let mut out = String::new();
+    for (name, value) in s.fields() {
+        let word = match (name, value) {
+            ("role", rql_repl::role::NONE) => Some("none"),
+            ("role", rql_repl::role::LEADER) => Some("leader"),
+            ("role", rql_repl::role::FOLLOWER) => Some("follower"),
+            ("phase", rql_repl::phase::IDLE) => Some("idle"),
+            ("phase", rql_repl::phase::SEEDING) => Some("seeding"),
+            ("phase", rql_repl::phase::STREAMING) => Some("streaming"),
+            _ => None,
+        };
+        out.push_str(name);
+        out.push(' ');
+        match word {
+            Some(w) => out.push_str(w),
+            None => out.push_str(&value.to_string()),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Failures that carry their registry code inline (`[RQL210] …` from
+/// the MAINTAIN eligibility checks, `[RQL505] …` from the read-only
+/// replica gate) get it lifted into the frame's code field so clients
+/// see the same shape as analyzer diagnostics.
 fn standing_error(e: &SqlError) -> Response {
     let message = e.to_string();
     if let Some(start) = message.find("[RQL") {

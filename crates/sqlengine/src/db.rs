@@ -440,6 +440,11 @@ impl Database {
             },
         );
         self.refresh_sidecar_builder();
+        // A store opened from disk (crash recovery, or a replication
+        // follower's seed) lost its in-memory archived sidecars; with a
+        // builder installed, regrow them from the Maplog so `AS OF`
+        // scans of old snapshots prune again.
+        let _ = self.store.rebuild_archived_sidecars();
         self.backfill_sidecars()
     }
 
@@ -599,6 +604,9 @@ impl Database {
         };
         if grew {
             self.refresh_sidecar_builder();
+            // Same recovery path as `declare_filter_columns`: archived
+            // pre-states from before this process get sidecars too.
+            let _ = self.store.rebuild_archived_sidecars();
             let _ = self.backfill_sidecars();
         }
     }

@@ -51,6 +51,19 @@ REQUIRED = {
         "identical_results": bool,
         "pass": bool,
     },
+    "repl_scaleout": {
+        "rows": int,
+        "backlog_snapshots": int,
+        "rounds_per_node": int,
+        "followers": int,
+        "seed_ms": NUM,
+        "leader_qps": NUM,
+        "follower_qps": list,
+        "aggregate_qps": NUM,
+        "speedup": NUM,
+        "identical_results": bool,
+        "pass": bool,
+    },
     "standing_maintenance": {
         "rows": int,
         "backlog_snapshots": int,
@@ -112,6 +125,13 @@ def validate(name):
     check_keys(doc, REQUIRED[experiment], name)
     if not doc["identical_results"]:
         fail(f"{name}.identical_results", "lanes returned different answers")
+    if experiment == "repl_scaleout":
+        qps = doc["follower_qps"]
+        if len(qps) != doc["followers"]:
+            fail(f"{name}.follower_qps", f"expected {doc['followers']} entries, got {len(qps)}")
+        for i, q in enumerate(qps):
+            if isinstance(q, bool) or not isinstance(q, NUM):
+                fail(f"{name}.follower_qps[{i}]", f"expected number, got {type(q).__name__}")
     if experiment == "prune_scan":
         if not doc["lanes"]:
             fail(f"{name}.lanes", "empty sweep")

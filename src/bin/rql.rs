@@ -8,6 +8,7 @@
 //! rql [--addr ADDR] check [--json] <file.rql>...   analyzer pre-flight (PREPARE)
 //! rql [--addr ADDR] status [--flight]     one-line server status (+flight recorder)
 //! rql [--addr ADDR] metrics [--json]      metrics snapshot
+//! rql [--addr ADDR] replstatus [--json]   replication role, phase and lag
 //! rql [--addr ADDR] cancel <session-id>   cancel another session's query
 //! rql [--addr ADDR] register '<MAINTAIN QUERY …>'   register a standing query
 //! rql [--addr ADDR] unregister <name>     unregister a standing query
@@ -34,7 +35,8 @@ use rql_repro::rqld::{Client, ClientError, SubscriptionEvent, WireResult};
 
 const USAGE: &str = "usage: rql [--addr ADDR] [--no-memo] [--profile] \
                      <run FILE...|exec PROGRAM|check [--json] FILE...|status [--flight]|metrics [--json]\
-                     |cancel ID|register STATEMENT|unregister NAME|watch [--frames N] NAME|shutdown>";
+                     |replstatus [--json]|cancel ID|register STATEMENT|unregister NAME\
+                     |watch [--frames N] NAME|shutdown>";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,6 +95,13 @@ fn main() -> ExitCode {
             let json = rest.iter().any(|a| a == "--json");
             client
                 .metrics(json)
+                .map(|s| print!("{s}{}", if s.ends_with('\n') { "" } else { "\n" }))
+                .map_err(fail)
+        }
+        "replstatus" => {
+            let json = rest.iter().any(|a| a == "--json");
+            client
+                .replstatus(json)
                 .map(|s| print!("{s}{}", if s.ends_with('\n') { "" } else { "\n" }))
                 .map_err(fail)
         }

@@ -4,13 +4,22 @@
 //!
 //! ```text
 //! rqld [--listen ADDR] [--workers N] [--queue N] [--max-sessions N]
-//!      [--timeout-ms N] [--no-memo] [--slow-ms N]
+//!      [--timeout-ms N] [--no-memo] [--slow-ms N] [--data-dir DIR]
+//!      [--repl-listen ADDR] [--follow ADDR]
 //! ```
 //!
 //! Binds a TCP listener (default `127.0.0.1:7464`), bootstraps one
-//! shared in-memory snapshot store, and serves the RQL wire protocol
-//! until a client sends `SHUTDOWN` — then drains queued queries and
-//! exits. Talk to it with the `rql` client binary.
+//! shared snapshot store, and serves the RQL wire protocol until a
+//! client sends `SHUTDOWN` — then drains queued queries and exits. Talk
+//! to it with the `rql` client binary.
+//!
+//! Replication: `--data-dir DIR` puts the store's logs on disk.
+//! `--repl-listen ADDR` makes this server a leader: followers connect
+//! there, get seeded, and receive every committed segment. `--follow
+//! ADDR` makes it a follower: it bootstraps from the leader into
+//! `--data-dir` and serves read-only queries over the replica (writes
+//! are rejected with `RQL505`). Check either side with
+//! `rql replstatus`.
 //!
 //! Observability: `--slow-ms N` logs any query slower than `N` ms to
 //! stderr; `RQL_TRACE=out.json` writes a Chrome-trace/Perfetto JSON of
@@ -29,7 +38,8 @@ struct Options {
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     const USAGE: &str = "usage: rqld [--listen ADDR] [--workers N] [--queue N] \
-                         [--max-sessions N] [--timeout-ms N] [--no-memo] [--slow-ms N]";
+                         [--max-sessions N] [--timeout-ms N] [--no-memo] [--slow-ms N] \
+                         [--data-dir DIR] [--repl-listen ADDR] [--follow ADDR]";
     let mut opts = Options {
         listen: "127.0.0.1:7464".into(),
         config: ServerConfig::default(),
@@ -65,6 +75,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.config.query_timeout = Some(Duration::from_millis(ms));
             }
             "--no-memo" => opts.config.memo = false,
+            "--data-dir" => {
+                opts.config.data_dir = Some(value("--data-dir")?.into());
+            }
+            "--repl-listen" => {
+                opts.config.repl_listen = Some(value("--repl-listen")?);
+            }
+            "--follow" => {
+                opts.config.follow = Some(value("--follow")?);
+            }
             "--slow-ms" => {
                 let ms: u64 = value("--slow-ms")?
                     .parse()
@@ -74,6 +93,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--help" | "-h" => return Err(USAGE.into()),
             flag => return Err(format!("unknown flag {flag}\n{USAGE}")),
         }
+    }
+    if opts.config.follow.is_some() && opts.config.data_dir.is_none() {
+        return Err(format!("--follow requires --data-dir\n{USAGE}"));
+    }
+    if opts.config.repl_listen.is_some() && opts.config.data_dir.is_none() {
+        return Err(format!("--repl-listen requires --data-dir\n{USAGE}"));
+    }
+    if opts.config.repl_listen.is_some() && opts.config.follow.is_some() {
+        return Err(format!(
+            "--repl-listen and --follow are mutually exclusive\n{USAGE}"
+        ));
     }
     Ok(opts)
 }

@@ -1,0 +1,390 @@
+//! Leader/follower replication through two full `rqld` servers: a
+//! leader over a durable store ships every committed segment to a
+//! follower serving read-only queries. Covers the differential contract
+//! (8 concurrent follower clients must see byte-identical results to
+//! the leader for every shipped snapshot), the `RQL505` read-only
+//! surface, `REPLSTATUS` wire stability, kill-mid-seed recovery
+//! (partial files, no marker → wipe and reseed) and kill-mid-stream
+//! recovery (torn WAL tail on restart → truncate, resume from the
+//! durable offset, converge).
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rql_repro::rqld::{serve, Client, ClientError, ServerConfig, ServerHandle};
+use rql_sqlengine::Value;
+
+/// Same fixture as `rqld_concurrent`: users logging in and out across
+/// four declared snapshots.
+const SETUP: &str = "\
+CREATE TABLE events (e_user TEXT, e_kind TEXT, e_val INTEGER);
+BEGIN;
+INSERT INTO events VALUES ('ann', 'login', 1), ('bob', 'login', 2);
+COMMIT WITH SNAPSHOT;
+BEGIN;
+INSERT INTO events VALUES ('cat', 'login', 3), ('ann', 'click', 4);
+COMMIT WITH SNAPSHOT;
+BEGIN;
+DELETE FROM events WHERE e_user = 'bob';
+INSERT INTO events VALUES ('dan', 'login', 5);
+COMMIT WITH SNAPSHOT;
+BEGIN;
+INSERT INTO events VALUES ('bob', 'login', 6), ('eve', 'click', 7);
+COMMIT WITH SNAPSHOT;
+";
+
+/// One retrospective query per Table-1 mechanism; each folds *every*
+/// declared snapshot, so leader/follower equality here is equality for
+/// every shipped snapshot.
+const QUERIES: &[&str] = &[
+    "SELECT CollateData(snap_id, 'SELECT DISTINCT e_user FROM events', 'CollUsers') \
+     FROM SnapIds;\n\
+     --@aux\n\
+     SELECT DISTINCT e_user FROM CollUsers ORDER BY e_user;",
+    "SELECT AggregateDataInVariable(snap_id, 'SELECT COUNT(e_val) FROM events', \
+     'MaxRows', 'max') FROM SnapIds;\n\
+     --@aux\n\
+     SELECT * FROM MaxRows;",
+    "SELECT AggregateDataInTable(snap_id, 'SELECT e_user, e_val FROM events', \
+     'MinVal', '(e_val,min)') FROM SnapIds;\n\
+     --@aux\n\
+     SELECT e_user, e_val FROM MinVal ORDER BY e_user;",
+    "SELECT CollateDataIntoIntervals(snap_id, 'SELECT e_user FROM events', 'Pres') \
+     FROM SnapIds;\n\
+     --@aux\n\
+     SELECT e_user, start_snapshot, end_snapshot FROM Pres \
+     ORDER BY e_user, start_snapshot, end_snapshot;",
+];
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let n = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        let path =
+            std::env::temp_dir().join(format!("rql-replsrv-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn start_leader(dir: &TempDir) -> (ServerHandle, SocketAddr, SocketAddr) {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            data_dir: Some(dir.0.clone()),
+            repl_listen: Some("127.0.0.1:0".into()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("leader serve");
+    let addr = handle.local_addr();
+    let repl = handle.repl_addr().expect("leader repl addr");
+    (handle, addr, repl)
+}
+
+fn start_follower(dir: &TempDir, leader_repl: SocketAddr) -> (ServerHandle, SocketAddr) {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            data_dir: Some(dir.0.clone()),
+            follow: Some(leader_repl.to_string()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("follower serve");
+    let addr = handle.local_addr();
+    (handle, addr)
+}
+
+/// Poll the follower's `STATUS` line until it has seen `want` snapshots.
+fn wait_for_snapshots(addr: SocketAddr, want: u64, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    let needle = format!("snapshots={want}");
+    loop {
+        let mut c = Client::connect(addr).expect("connect for status");
+        let status = c.status().expect("status");
+        if status.contains(&needle) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower never reached {needle}: {status}"
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn run_rows(client: &mut Client, program: &str) -> Vec<Vec<Vec<Value>>> {
+    let result = client.run(program).expect("run");
+    result.tables.iter().map(|t| t.rows.clone()).collect()
+}
+
+#[test]
+fn eight_followers_match_leader_for_every_snapshot() {
+    let leader_dir = TempDir::new("difflead");
+    let follower_dir = TempDir::new("difffoll");
+    let (leader, leader_addr, leader_repl) = start_leader(&leader_dir);
+
+    let mut writer = Client::connect(leader_addr).expect("connect leader");
+    writer.run(SETUP).expect("setup");
+
+    let (follower, follower_addr) = start_follower(&follower_dir, leader_repl);
+    wait_for_snapshots(follower_addr, 4, Duration::from_secs(30));
+
+    // The ground truth: the leader's own answers.
+    let expected: Vec<Vec<Vec<Vec<Value>>>> =
+        QUERIES.iter().map(|q| run_rows(&mut writer, q)).collect();
+
+    // 8 concurrent clients on the follower, staggered across the
+    // mechanism mix; every answer must equal the leader's byte-for-byte.
+    const CLIENTS: usize = 8;
+    let results: Vec<Vec<Vec<Vec<Vec<Value>>>>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(follower_addr).expect("connect follower");
+                    (0..QUERIES.len())
+                        .map(|j| run_rows(&mut client, QUERIES[(i + j) % QUERIES.len()]))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    for (i, per_client) in results.iter().enumerate() {
+        for (j, got) in per_client.iter().enumerate() {
+            let want = &expected[(i + j) % QUERIES.len()];
+            assert_eq!(
+                got, want,
+                "follower client {i}, query {j} diverged from leader"
+            );
+        }
+    }
+
+    // Live streaming: a fifth snapshot committed now reaches follower
+    // queries without any reconnect.
+    writer
+        .run(
+            "BEGIN;\n\
+             INSERT INTO events VALUES ('fay', 'login', 8);\n\
+             COMMIT WITH SNAPSHOT;",
+        )
+        .expect("live commit");
+    wait_for_snapshots(follower_addr, 5, Duration::from_secs(30));
+    let mut lc = Client::connect(leader_addr).expect("connect leader");
+    let mut fc = Client::connect(follower_addr).expect("connect follower");
+    assert_eq!(run_rows(&mut lc, QUERIES[0]), run_rows(&mut fc, QUERIES[0]));
+
+    follower.shutdown();
+    follower.wait();
+    leader.shutdown();
+    leader.wait();
+}
+
+#[test]
+fn follower_rejects_writes_and_registration_with_rql505() {
+    let leader_dir = TempDir::new("rolead");
+    let follower_dir = TempDir::new("rofoll");
+    let (leader, leader_addr, leader_repl) = start_leader(&leader_dir);
+    let mut writer = Client::connect(leader_addr).expect("connect leader");
+    writer.run(SETUP).expect("setup");
+
+    let (follower, follower_addr) = start_follower(&follower_dir, leader_repl);
+    wait_for_snapshots(follower_addr, 4, Duration::from_secs(30));
+    let mut fc = Client::connect(follower_addr).expect("connect follower");
+
+    // Snap-store writes bounce with the replica code.
+    let err = fc
+        .run("INSERT INTO events VALUES ('eve', 'login', 9);")
+        .expect_err("write on replica");
+    match &err {
+        ClientError::Server { code, .. } => assert_eq!(code, "RQL505", "{err}"),
+        other => panic!("expected server error, got {other}"),
+    }
+
+    // Standing-query registration bounces the same way.
+    let err = fc
+        .register("MAINTAIN QUERY w AS SELECT DISTINCT e_user FROM events;")
+        .expect_err("register on replica");
+    match &err {
+        ClientError::Server { code, .. } => assert_eq!(code, "RQL505", "{err}"),
+        other => panic!("expected server error, got {other}"),
+    }
+
+    // Reads and aux scratch space still work.
+    let rows = run_rows(&mut fc, QUERIES[0]);
+    assert!(!rows.is_empty());
+
+    follower.shutdown();
+    follower.wait();
+    leader.shutdown();
+    leader.wait();
+}
+
+#[test]
+fn replstatus_fields_are_wire_stable_on_both_ends() {
+    const FIELDS: [&str; 13] = [
+        "role",
+        "phase",
+        "followers",
+        "seeds_served",
+        "segments_shipped",
+        "bytes_shipped",
+        "sheds",
+        "segments_applied",
+        "bytes_applied",
+        "seed_bytes",
+        "reconnects",
+        "lag_bytes",
+        "lag_snapshots",
+    ];
+    let assert_order = |json: &str| {
+        let mut pos = 0usize;
+        for name in FIELDS {
+            let key = format!("\"{name}\":");
+            let at = json
+                .find(&key)
+                .unwrap_or_else(|| panic!("missing {key} in {json}"));
+            assert!(at >= pos, "{name} out of order in {json}");
+            pos = at;
+        }
+    };
+
+    let leader_dir = TempDir::new("rslead");
+    let follower_dir = TempDir::new("rsfoll");
+    let (leader, leader_addr, leader_repl) = start_leader(&leader_dir);
+    let mut writer = Client::connect(leader_addr).expect("connect leader");
+    writer.run(SETUP).expect("setup");
+    let (follower, follower_addr) = start_follower(&follower_dir, leader_repl);
+    wait_for_snapshots(follower_addr, 4, Duration::from_secs(30));
+
+    // Leader side: JSON field order locked, human form names the role.
+    let json = writer.replstatus(true).expect("leader replstatus json");
+    assert_order(&json);
+    assert!(json.starts_with("{\"role\":1"), "leader role: {json}");
+    let human = writer.replstatus(false).expect("leader replstatus");
+    assert!(human.starts_with("role leader\n"), "leader human: {human}");
+    let first_fields: Vec<&str> = human.lines().filter_map(|l| l.split(' ').next()).collect();
+    assert_eq!(first_fields, FIELDS, "human line order: {human}");
+
+    // Follower side: same shape, follower role, non-zero apply counters.
+    let mut fc = Client::connect(follower_addr).expect("connect follower");
+    let fjson = fc.replstatus(true).expect("follower replstatus json");
+    assert_order(&fjson);
+    assert!(fjson.starts_with("{\"role\":2"), "follower role: {fjson}");
+    assert!(
+        fjson.contains("\"seed_bytes\":") && !fjson.contains("\"seed_bytes\":0,"),
+        "follower seeded: {fjson}"
+    );
+    let fhuman = fc.replstatus(false).expect("follower replstatus");
+    assert!(fhuman.starts_with("role follower\n"), "{fhuman}");
+
+    // The METRICS surface carries the same counters under `repl_`.
+    let metrics = writer.metrics(true).expect("metrics json");
+    assert!(metrics.contains("\"repl_role\":1"), "{metrics}");
+    assert!(metrics.contains("\"repl_seeds_served\":1"), "{metrics}");
+
+    follower.shutdown();
+    follower.wait();
+    leader.shutdown();
+    leader.wait();
+}
+
+#[test]
+fn kill_mid_seed_leaves_partial_files_and_reseeds() {
+    let leader_dir = TempDir::new("seedlead");
+    let follower_dir = TempDir::new("seedfoll");
+    let (leader, leader_addr, leader_repl) = start_leader(&leader_dir);
+    let mut writer = Client::connect(leader_addr).expect("connect leader");
+    writer.run(SETUP).expect("setup");
+
+    // A crash mid-seed leaves partial log files and no `repl.seeded`
+    // marker: the restarted follower must wipe them and reseed.
+    std::fs::write(follower_dir.0.join("wal.log"), b"partial seed garbage").unwrap();
+    std::fs::write(follower_dir.0.join("pagelog.log"), b"more garbage").unwrap();
+
+    let (follower, follower_addr) = start_follower(&follower_dir, leader_repl);
+    wait_for_snapshots(follower_addr, 4, Duration::from_secs(30));
+    let mut fc = Client::connect(follower_addr).expect("connect follower");
+    assert_eq!(
+        run_rows(&mut writer, QUERIES[0]),
+        run_rows(&mut fc, QUERIES[0])
+    );
+
+    follower.shutdown();
+    follower.wait();
+    leader.shutdown();
+    leader.wait();
+}
+
+#[test]
+fn kill_mid_stream_truncated_wal_resumes_from_durable_offset() {
+    let leader_dir = TempDir::new("streamlead");
+    let follower_dir = TempDir::new("streamfoll");
+    let (leader, leader_addr, leader_repl) = start_leader(&leader_dir);
+    let mut writer = Client::connect(leader_addr).expect("connect leader");
+    writer.run(SETUP).expect("setup");
+
+    let (follower, follower_addr) = start_follower(&follower_dir, leader_repl);
+    wait_for_snapshots(follower_addr, 4, Duration::from_secs(30));
+    follower.shutdown();
+    follower.wait();
+
+    // Simulate a crash that tore the follower's WAL tail mid-record:
+    // recovery must truncate to the last committed segment and resume
+    // from that durable offset — no reseed.
+    let wal = follower_dir.0.join("wal.log");
+    let len = std::fs::metadata(&wal).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    f.set_len(len - 8).unwrap();
+    f.sync_all().unwrap();
+    drop(f);
+
+    // More leader commits while the follower is down.
+    writer
+        .run(
+            "BEGIN;\n\
+             INSERT INTO events VALUES ('gus', 'login', 9);\n\
+             COMMIT WITH SNAPSHOT;",
+        )
+        .expect("commit while follower down");
+
+    let (follower, follower_addr) = start_follower(&follower_dir, leader_repl);
+    wait_for_snapshots(follower_addr, 5, Duration::from_secs(30));
+    let mut fc = Client::connect(follower_addr).expect("connect follower");
+    assert_eq!(
+        run_rows(&mut writer, QUERIES[0]),
+        run_rows(&mut fc, QUERIES[0])
+    );
+    assert_eq!(
+        run_rows(&mut writer, QUERIES[3]),
+        run_rows(&mut fc, QUERIES[3])
+    );
+
+    // One seed total: the restart resumed, it did not re-bootstrap.
+    let json = writer.replstatus(true).expect("replstatus");
+    assert!(
+        json.contains("\"seeds_served\":1"),
+        "resume reseeded: {json}"
+    );
+
+    follower.shutdown();
+    follower.wait();
+    leader.shutdown();
+    leader.wait();
+}
