@@ -224,6 +224,10 @@ fn run(shared: &Arc<FollowerShared>) {
                 if started.elapsed() > Duration::from_secs(5) {
                     backoff = shared.cfg.backoff_min;
                 }
+                // Lag is unmeasurable while disconnected: drop out of
+                // STREAMING so readiness probes report not-ready until
+                // the next session re-establishes the stream.
+                shared.metrics.phase.store(phase::IDLE, Ordering::Relaxed);
                 shared.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
                 sleep_interruptible(shared, backoff);
                 backoff = (backoff * 2).min(shared.cfg.backoff_max);
@@ -324,12 +328,28 @@ fn session(shared: &Arc<FollowerShared>) -> Result<()> {
         match frame {
             Frame::Segment { .. } => {
                 let wire = frame.wire_size();
+                let origin = frame.origin();
                 let seg = frame.into_segment()?;
-                let declared = store
-                    .apply_replicated(&seg)
-                    .map_err(|e| ReplError::Diverged(e.to_string()))?;
-                if declared.is_some() && shared.cfg.sync_each_snapshot {
-                    store.flush()?;
+                {
+                    // The apply span's arg is the originating txn id —
+                    // the same value as the leader's `commit` span arg —
+                    // so stitch_trace.py can draw the causal link.
+                    let _apply = rql_trace::span_arg(
+                        rql_trace::SpanId::ReplApply,
+                        origin.map_or(seg.txn_id, |o| o.span_id),
+                    );
+                    let declared = store
+                        .apply_replicated(&seg)
+                        .map_err(|e| ReplError::Diverged(e.to_string()))?;
+                    if declared.is_some() && shared.cfg.sync_each_snapshot {
+                        store.flush()?;
+                    }
+                }
+                if let Some(o) = origin {
+                    shared.metrics.lag_micros.store(
+                        rql_trace::unix_micros().saturating_sub(o.wall_micros),
+                        Ordering::Relaxed,
+                    );
                 }
                 shared
                     .metrics
@@ -344,6 +364,7 @@ fn session(shared: &Arc<FollowerShared>) -> Result<()> {
             Frame::Spt {
                 snapshot_id,
                 page_count,
+                origin: _,
             } => {
                 let local = store
                     .snapshot_meta(snapshot_id)
@@ -361,14 +382,17 @@ fn session(shared: &Arc<FollowerShared>) -> Result<()> {
                 wal_len,
                 snapshot_count,
             } => {
-                shared
-                    .metrics
-                    .lag_bytes
-                    .store(wal_len.saturating_sub(store.wal_len()), Ordering::Relaxed);
+                let behind = wal_len.saturating_sub(store.wal_len());
+                shared.metrics.lag_bytes.store(behind, Ordering::Relaxed);
                 shared.metrics.lag_snapshots.store(
                     snapshot_count.saturating_sub(store.snapshot_count()),
                     Ordering::Relaxed,
                 );
+                if behind == 0 {
+                    // Fully caught up on an idle stream: the last
+                    // apply-time lag sample is stale, not current lag.
+                    shared.metrics.lag_micros.store(0, Ordering::Relaxed);
+                }
                 send_ack(shared, &mut writer, &store)?;
             }
             other => {

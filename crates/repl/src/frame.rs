@@ -36,6 +36,26 @@ pub mod log_id {
     pub const MAPLOG: u8 = 2;
 }
 
+/// Optional provenance trailer on [`Frame::Segment`] and [`Frame::Spt`]:
+/// which leader commit produced the data and when, for cross-node trace
+/// stitching and time-lag measurement.
+///
+/// Encoded as 16 trailing payload bytes (`[u64 span_id][u64 wall_micros]`,
+/// little-endian). Decoders treat the trailer as optional, so a new
+/// follower accepts frames from an old leader; upgrade followers before
+/// leaders when rolling a cluster forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitOrigin {
+    /// The leader's commit span identifier: the committing transaction
+    /// id, which is the `arg` of the leader's `commit` trace span.
+    pub span_id: u64,
+    /// Leader wall clock when the frame was shipped, in microseconds
+    /// since the Unix epoch. Followers subtract this from their own
+    /// clock to produce `repl_lag_seconds` (subject to clock skew,
+    /// like any cross-machine lag measure).
+    pub wall_micros: u64,
+}
+
 mod op {
     pub const HELLO: u8 = 0x01;
     pub const SEED_START: u8 = 0x02;
@@ -97,6 +117,9 @@ pub enum Frame {
         snapshot: Option<u64>,
         /// Page after-images in log order.
         pages: Vec<(u64, Vec<u8>)>,
+        /// Originating-commit trailer (absent on frames from leaders
+        /// that predate it).
+        origin: Option<CommitOrigin>,
     },
     /// Post-declaration verification: the follower must agree on the
     /// snapshot's page count before acking further work.
@@ -105,6 +128,9 @@ pub enum Frame {
         snapshot_id: u64,
         /// Universe size the SPT covers on the leader.
         page_count: u64,
+        /// Originating-commit trailer (absent on frames from leaders
+        /// that predate it).
+        origin: Option<CommitOrigin>,
     },
     /// Leader → follower liveness + lag reference when no commits flow.
     Heartbeat {
@@ -128,6 +154,13 @@ fn put_u32(buf: &mut Vec<u8>, v: u32) {
 
 fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_origin(buf: &mut Vec<u8>, origin: &Option<CommitOrigin>) {
+    if let Some(o) = origin {
+        put_u64(buf, o.span_id);
+        put_u64(buf, o.wall_micros);
+    }
 }
 
 struct Cursor<'a> {
@@ -155,6 +188,19 @@ impl<'a> Cursor<'a> {
 
     fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an optional [`CommitOrigin`] trailer: consumes the final 16
+    /// bytes when present, returns `None` on frames from peers that
+    /// predate it.
+    fn maybe_origin(&mut self) -> Result<Option<CommitOrigin>> {
+        if self.buf.len() - self.pos < 16 {
+            return Ok(None);
+        }
+        Ok(Some(CommitOrigin {
+            span_id: self.u64()?,
+            wall_micros: self.u64()?,
+        }))
     }
 
     fn done(&self) -> Result<()> {
@@ -217,6 +263,7 @@ impl Frame {
                 txn_id,
                 snapshot,
                 pages,
+                origin,
             } => {
                 put_u64(&mut p, *start);
                 put_u64(&mut p, *end);
@@ -229,13 +276,16 @@ impl Frame {
                     put_u32(&mut p, bytes.len() as u32);
                     p.extend_from_slice(bytes);
                 }
+                put_origin(&mut p, origin);
             }
             Frame::Spt {
                 snapshot_id,
                 page_count,
+                origin,
             } => {
                 put_u64(&mut p, *snapshot_id);
                 put_u64(&mut p, *page_count);
+                put_origin(&mut p, origin);
             }
             Frame::Heartbeat {
                 wal_len,
@@ -300,11 +350,13 @@ impl Frame {
                     txn_id,
                     snapshot: has_snap.then_some(sid),
                     pages,
+                    origin: c.maybe_origin()?,
                 }
             }
             op::SPT => Frame::Spt {
                 snapshot_id: c.u64()?,
                 page_count: c.u64()?,
+                origin: c.maybe_origin()?,
             },
             op::HEARTBEAT => Frame::Heartbeat {
                 wal_len: c.u64()?,
@@ -330,8 +382,9 @@ impl Frame {
         (4 + 1 + self.payload().len() + 8) as u64
     }
 
-    /// Build a segment frame from a parsed WAL segment.
-    pub fn from_segment(seg: &CommittedSegment) -> Frame {
+    /// Build a segment frame from a parsed WAL segment, stamped with
+    /// its originating-commit trailer.
+    pub fn from_segment(seg: &CommittedSegment, origin: Option<CommitOrigin>) -> Frame {
         Frame::Segment {
             start: seg.start,
             end: seg.end,
@@ -342,6 +395,15 @@ impl Frame {
                 .iter()
                 .map(|(pid, page)| (pid.0, page.bytes().to_vec()))
                 .collect(),
+            origin,
+        }
+    }
+
+    /// The originating-commit trailer, when this frame carries one.
+    pub fn origin(&self) -> Option<CommitOrigin> {
+        match self {
+            Frame::Segment { origin, .. } | Frame::Spt { origin, .. } => *origin,
+            _ => None,
         }
     }
 
@@ -353,6 +415,7 @@ impl Frame {
             txn_id,
             snapshot,
             pages,
+            origin: _,
         } = self
         else {
             return Err(ReplError::Protocol("expected SEGMENT frame".into()));
@@ -444,6 +507,10 @@ mod tests {
             txn_id: 7,
             snapshot: Some(3),
             pages: vec![(0, vec![0u8; 64]), (5, vec![9u8; 64])],
+            origin: Some(CommitOrigin {
+                span_id: 7,
+                wall_micros: 1_723_000_000_000_000,
+            }),
         });
         roundtrip(Frame::Segment {
             start: 0,
@@ -451,10 +518,20 @@ mod tests {
             txn_id: 1,
             snapshot: None,
             pages: vec![],
+            origin: None,
         });
         roundtrip(Frame::Spt {
             snapshot_id: 3,
             page_count: 40,
+            origin: Some(CommitOrigin {
+                span_id: 9,
+                wall_micros: 42,
+            }),
+        });
+        roundtrip(Frame::Spt {
+            snapshot_id: 3,
+            page_count: 40,
+            origin: None,
         });
         roundtrip(Frame::Heartbeat {
             wal_len: 5,
@@ -504,12 +581,64 @@ mod tests {
             txn_id: 9,
             snapshot: Some(2),
             pages: vec![(3, vec![7u8; 64])],
+            origin: None,
         };
         let seg = frame.clone().into_segment().unwrap();
         assert_eq!(seg.txn_id, 9);
         assert_eq!(seg.snapshot, Some(2));
         assert_eq!(seg.pages.len(), 1);
         assert_eq!(seg.pages[0].0 .0, 3);
-        assert_eq!(Frame::from_segment(&seg), frame);
+        assert_eq!(Frame::from_segment(&seg, None), frame);
+    }
+
+    #[test]
+    fn pre_trailer_segment_and_spt_payloads_still_decode() {
+        // A v0 peer encodes Segment/Spt without the 16-byte origin
+        // trailer; decoding must yield `origin: None`, not an error.
+        for frame in [
+            Frame::Segment {
+                start: 10,
+                end: 99,
+                txn_id: 7,
+                snapshot: Some(3),
+                pages: vec![(0, vec![0u8; 64])],
+                origin: Some(CommitOrigin {
+                    span_id: 7,
+                    wall_micros: 55,
+                }),
+            },
+            Frame::Spt {
+                snapshot_id: 3,
+                page_count: 40,
+                origin: Some(CommitOrigin {
+                    span_id: 7,
+                    wall_micros: 55,
+                }),
+            },
+        ] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &frame).unwrap();
+            // Rebuild the frame body without the last 16 payload bytes,
+            // fixing up the length prefix and checksum — byte-identical
+            // to what a pre-trailer peer writes.
+            let body_len = u32::from_be_bytes(buf[0..4].try_into().unwrap()) as usize;
+            let head = &buf[4..4 + body_len - 8]; // op + payload
+            let stripped_head = &head[..head.len() - 16];
+            let mut legacy = Vec::new();
+            legacy.extend_from_slice(&((stripped_head.len() + 8) as u32).to_be_bytes());
+            legacy.extend_from_slice(stripped_head);
+            legacy.extend_from_slice(&rql_pagestore::fnv1a(stripped_head).to_le_bytes());
+            let got = read_frame(&mut legacy.as_slice()).unwrap();
+            assert_eq!(got.origin(), None);
+            match (&frame, &got) {
+                (Frame::Segment { txn_id: a, .. }, Frame::Segment { txn_id: b, .. }) => {
+                    assert_eq!(a, b)
+                }
+                (Frame::Spt { snapshot_id: a, .. }, Frame::Spt { snapshot_id: b, .. }) => {
+                    assert_eq!(a, b)
+                }
+                other => panic!("frame kind changed: {other:?}"),
+            }
+        }
     }
 }

@@ -420,7 +420,16 @@ fn stream_segments(
                 if conn.dead.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
                     return Ok(());
                 }
-                let frame = Frame::from_segment(&seg);
+                // The origin trailer ties this frame to the commit that
+                // produced it: span_id is the txn id (the leader's
+                // `commit` span arg), wall_micros the ship-time clock
+                // followers subtract from to compute time lag.
+                let origin = Some(crate::frame::CommitOrigin {
+                    span_id: seg.txn_id,
+                    wall_micros: rql_trace::unix_micros(),
+                });
+                let ship = rql_trace::span_arg(rql_trace::SpanId::ReplShip, seg.txn_id);
+                let frame = Frame::from_segment(&seg, origin);
                 let size = frame.wire_size();
                 write_frame(writer, &frame)?;
                 shared
@@ -440,10 +449,12 @@ fn stream_segments(
                             &Frame::Spt {
                                 snapshot_id: sid,
                                 page_count: meta.page_count,
+                                origin,
                             },
                         )?;
                     }
                 }
+                drop(ship);
                 *cursor = seg.end;
                 shared.update_lag();
             }

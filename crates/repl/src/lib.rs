@@ -33,7 +33,7 @@ pub mod leader;
 pub mod metrics;
 
 pub use follower::{FollowerConfig, ReplFollower};
-pub use frame::{read_frame, write_frame, Frame, MAX_FRAME, PROTO_VERSION};
+pub use frame::{read_frame, write_frame, CommitOrigin, Frame, MAX_FRAME, PROTO_VERSION};
 pub use leader::{LeaderConfig, ReplLeader};
 pub use metrics::{phase, role, ReplMetrics, ReplSnapshot};
 

@@ -56,6 +56,10 @@ pub struct ReplMetrics {
     pub lag_bytes: AtomicU64,
     /// Replication lag in declared snapshots.
     pub lag_snapshots: AtomicU64,
+    /// Replication time lag in microseconds (follower side): own wall
+    /// clock at apply minus the leader's propagated commit wall clock.
+    /// Zeroed by heartbeats when fully caught up.
+    pub lag_micros: AtomicU64,
 }
 
 impl ReplMetrics {
@@ -81,6 +85,7 @@ impl ReplMetrics {
             reconnects: g(&self.reconnects),
             lag_bytes: g(&self.lag_bytes),
             lag_snapshots: g(&self.lag_snapshots),
+            lag_micros: g(&self.lag_micros),
         }
     }
 }
@@ -114,6 +119,8 @@ pub struct ReplSnapshot {
     pub lag_bytes: u64,
     /// Lag in snapshots.
     pub lag_snapshots: u64,
+    /// Time lag in microseconds (from propagated commit wall clocks).
+    pub lag_micros: u64,
 }
 
 impl ReplSnapshot {
@@ -135,6 +142,7 @@ impl ReplSnapshot {
             ("reconnects", self.reconnects),
             ("lag_bytes", self.lag_bytes),
             ("lag_snapshots", self.lag_snapshots),
+            ("lag_micros", self.lag_micros),
         ]
     }
 }
@@ -155,6 +163,7 @@ mod tests {
         let fields = snap.fields();
         assert_eq!(fields[0], ("role", 1));
         assert_eq!(fields[4], ("segments_shipped", 42));
-        assert_eq!(fields.len(), 13);
+        assert_eq!(fields.len(), 14);
+        assert_eq!(fields[13].0, "lag_micros");
     }
 }

@@ -76,6 +76,7 @@ pub type Result<T> = std::result::Result<T, ClientError>;
 pub struct Client {
     stream: TcpStream,
     session: u64,
+    trace_id: Option<[u8; 16]>,
 }
 
 impl Client {
@@ -83,7 +84,11 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
         let stream = TcpStream::connect(addr).map_err(ProtoError::Io)?;
         let _ = stream.set_nodelay(true);
-        let mut client = Client { stream, session: 0 };
+        let mut client = Client {
+            stream,
+            session: 0,
+            trace_id: None,
+        };
         match client.read_response()? {
             Response::Hello { session } => {
                 client.session = session;
@@ -97,6 +102,14 @@ impl Client {
     /// This connection's server-side session id (the `CANCEL` handle).
     pub fn session_id(&self) -> u64 {
         self.session
+    }
+
+    /// Attach a client-generated 16-byte trace id to every subsequent
+    /// PREPARE/RUN/PROFILE request (the `rql --trace-id` switch). The
+    /// server records it in its trace ring, letting `stitch_trace.py`
+    /// correlate this client's work across per-node exports.
+    pub fn set_trace_id(&mut self, id: Option<[u8; 16]>) {
+        self.trace_id = id;
     }
 
     fn round_trip(&mut self, request: &Request) -> Result<Response> {
@@ -114,6 +127,7 @@ impl Client {
     pub fn prepare(&mut self, program: &str) -> Result<Vec<WireDiagnostic>> {
         match self.round_trip(&Request::Prepare {
             program: program.into(),
+            trace: self.trace_id,
         })? {
             Response::Diagnostics { diagnostics } => Ok(diagnostics),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
@@ -133,6 +147,7 @@ impl Client {
         match self.round_trip(&Request::Run {
             program: program.into(),
             no_memo,
+            trace: self.trace_id,
         })? {
             Response::Result(result) => Ok(result),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
@@ -146,6 +161,7 @@ impl Client {
         match self.round_trip(&Request::Profile {
             program: program.into(),
             no_memo,
+            trace: self.trace_id,
         })? {
             Response::Profile(profile) => Ok(profile),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),

@@ -15,6 +15,8 @@
 //!   per-query deadline watchdog, out-of-band `CANCEL`, graceful drain;
 //! * [`metrics`] — counters and a log-bucketed latency histogram served
 //!   by the `METRICS` verb;
+//! * [`observe`] — the same registries rendered as a Prometheus text
+//!   exposition page, served on `--metrics-listen`'s `/metrics`;
 //! * [`client`] — a blocking client used by the `rql` CLI and tests.
 //!
 //! Everything is std + workspace crates: no async runtime, no external
@@ -24,6 +26,7 @@
 
 pub mod client;
 pub mod metrics;
+pub mod observe;
 pub mod pool;
 pub mod protocol;
 pub mod server;

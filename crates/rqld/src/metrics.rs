@@ -350,6 +350,7 @@ mod tests {
                 "reconnects",
                 "lag_bytes",
                 "lag_snapshots",
+                "lag_micros",
             ]
         );
     }

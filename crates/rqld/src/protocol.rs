@@ -180,6 +180,12 @@ impl PayloadWriter {
         self.buf.extend_from_slice(s.as_bytes());
     }
 
+    /// Append a raw 16-byte trace id (no length prefix — it rides as a
+    /// fixed-size trailer).
+    pub fn put_trace16(&mut self, id: &[u8; 16]) {
+        self.buf.extend_from_slice(id);
+    }
+
     /// Append a tagged [`Value`].
     pub fn put_value(&mut self, v: &Value) {
         match v {
@@ -248,6 +254,15 @@ impl<'a> PayloadReader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadUtf8)
     }
 
+    /// Read an optional 16-byte trace-id trailer: `Some` when exactly a
+    /// trace id remains, `None` for frames from clients that omit it.
+    pub fn get_trace16(&mut self) -> Option<[u8; 16]> {
+        let bytes = self.take(16).ok()?;
+        let mut id = [0u8; 16];
+        id.copy_from_slice(bytes);
+        Some(id)
+    }
+
     /// Read a tagged [`Value`].
     pub fn get_value(&mut self) -> Result<Value> {
         match self.get_u8()? {
@@ -269,6 +284,11 @@ pub enum Request {
     Prepare {
         /// The `.rql` program text.
         program: String,
+        /// Client-generated 16-byte trace id (`rql --trace-id`),
+        /// recorded into the server's trace ring for cross-node
+        /// stitching. Encoded as an optional 16-byte trailer, so older
+        /// clients decode as `None`.
+        trace: Option<[u8; 16]>,
     },
     /// Execute a program.
     Run {
@@ -278,6 +298,9 @@ pub enum Request {
         /// `--no-memo` ablation switch). Encoded as an optional trailing
         /// byte, so v0 clients that omit it decode as `false`.
         no_memo: bool,
+        /// Optional 16-byte trace-id trailer (after the `no_memo` byte),
+        /// as on [`Request::Prepare`].
+        trace: Option<[u8; 16]>,
     },
     /// Cancel the in-flight query of session `session`.
     Cancel {
@@ -303,6 +326,8 @@ pub enum Request {
         program: String,
         /// Skip the server's shared memo store (as in [`Request::Run`]).
         no_memo: bool,
+        /// Optional 16-byte trace-id trailer (as in [`Request::Run`]).
+        trace: Option<[u8; 16]>,
     },
     /// Register a standing query.
     Register {
@@ -331,13 +356,23 @@ impl Request {
     pub fn encode(&self) -> (u8, Vec<u8>) {
         let mut w = PayloadWriter::new();
         match self {
-            Request::Prepare { program } => {
+            Request::Prepare { program, trace } => {
                 w.put_str(program);
+                if let Some(id) = trace {
+                    w.put_trace16(id);
+                }
                 (op::PREPARE, w.into_bytes())
             }
-            Request::Run { program, no_memo } => {
+            Request::Run {
+                program,
+                no_memo,
+                trace,
+            } => {
                 w.put_str(program);
                 w.put_u8(u8::from(*no_memo));
+                if let Some(id) = trace {
+                    w.put_trace16(id);
+                }
                 (op::RUN, w.into_bytes())
             }
             Request::Cancel { session } => {
@@ -357,9 +392,16 @@ impl Request {
                 (op::METRICS, w.into_bytes())
             }
             Request::Shutdown => (op::SHUTDOWN, Vec::new()),
-            Request::Profile { program, no_memo } => {
+            Request::Profile {
+                program,
+                no_memo,
+                trace,
+            } => {
                 w.put_str(program);
                 w.put_u8(u8::from(*no_memo));
+                if let Some(id) = trace {
+                    w.put_trace16(id);
+                }
                 (op::PROFILE, w.into_bytes())
             }
             Request::Register { statement } => {
@@ -385,16 +427,24 @@ impl Request {
     pub fn decode(opcode: u8, payload: &[u8]) -> Result<Request> {
         let mut r = PayloadReader::new(payload);
         match opcode {
-            op::PREPARE => Ok(Request::Prepare {
-                program: r.get_str()?,
-            }),
+            op::PREPARE => {
+                let program = r.get_str()?;
+                let trace = r.get_trace16();
+                Ok(Request::Prepare { program, trace })
+            }
             op::RUN => {
                 let program = r.get_str()?;
                 // Trailing flag is optional: a frame that ends right
                 // after the program string is an older encoding and
-                // means "use the memo".
+                // means "use the memo". The trace id, when present,
+                // follows the flag.
                 let no_memo = r.get_u8().is_ok_and(|b| b != 0);
-                Ok(Request::Run { program, no_memo })
+                let trace = r.get_trace16();
+                Ok(Request::Run {
+                    program,
+                    no_memo,
+                    trace,
+                })
             }
             op::CANCEL => Ok(Request::Cancel {
                 session: r.get_u64()?,
@@ -409,7 +459,12 @@ impl Request {
             op::PROFILE => {
                 let program = r.get_str()?;
                 let no_memo = r.get_u8().is_ok_and(|b| b != 0);
-                Ok(Request::Profile { program, no_memo })
+                let trace = r.get_trace16();
+                Ok(Request::Profile {
+                    program,
+                    no_memo,
+                    trace,
+                })
             }
             op::REGISTER => Ok(Request::Register {
                 statement: r.get_str()?,
@@ -858,14 +913,21 @@ mod tests {
     fn requests_roundtrip() {
         roundtrip_request(Request::Prepare {
             program: "SELECT 1;".into(),
+            trace: None,
+        });
+        roundtrip_request(Request::Prepare {
+            program: "SELECT 1;".into(),
+            trace: Some([0xAB; 16]),
         });
         roundtrip_request(Request::Run {
             program: "COMMIT WITH SNAPSHOT;".into(),
             no_memo: false,
+            trace: None,
         });
         roundtrip_request(Request::Run {
             program: "SELECT 1;".into(),
             no_memo: true,
+            trace: Some([7; 16]),
         });
         roundtrip_request(Request::Cancel { session: 42 });
         roundtrip_request(Request::Status { flight: false });
@@ -876,6 +938,12 @@ mod tests {
         roundtrip_request(Request::Profile {
             program: "SELECT 1;".into(),
             no_memo: true,
+            trace: None,
+        });
+        roundtrip_request(Request::Profile {
+            program: "SELECT 1;".into(),
+            no_memo: false,
+            trace: Some([1; 16]),
         });
         roundtrip_request(Request::Register {
             statement: "MAINTAIN QUERY w AS SELECT CollateData(snap_id, 'SELECT 1', 'T') \
@@ -1044,6 +1112,36 @@ mod tests {
             Request::Run {
                 program: "SELECT 1;".into(),
                 no_memo: false,
+                trace: None,
+            }
+        );
+    }
+
+    #[test]
+    fn run_with_flag_but_no_trace_decodes_as_untrace() {
+        // A client that writes the no_memo flag but omits the trace-id
+        // trailer (every client before `--trace-id`) decodes as None.
+        let mut w = PayloadWriter::new();
+        w.put_str("SELECT 1;");
+        w.put_u8(1);
+        let decoded = Request::decode(op::RUN, &w.into_bytes()).unwrap();
+        assert_eq!(
+            decoded,
+            Request::Run {
+                program: "SELECT 1;".into(),
+                no_memo: true,
+                trace: None,
+            }
+        );
+        // And a bare PREPARE likewise.
+        let mut w = PayloadWriter::new();
+        w.put_str("SELECT 1;");
+        let decoded = Request::decode(op::PREPARE, &w.into_bytes()).unwrap();
+        assert_eq!(
+            decoded,
+            Request::Prepare {
+                program: "SELECT 1;".into(),
+                trace: None,
             }
         );
     }

@@ -74,6 +74,14 @@ pub struct ServerConfig {
     /// address. The server becomes a read-only replica — writes and
     /// standing-query registration are rejected with `RQL505`.
     pub follow: Option<String>,
+    /// Observability listener: serve `GET /metrics` (Prometheus text
+    /// exposition), `/healthz` and `/readyz` on this address
+    /// (`--metrics-listen ADDR`). `None` disables the listener.
+    pub metrics_listen: Option<String>,
+    /// Follower readiness bound: `/readyz` answers 503 while the
+    /// propagated replication lag exceeds this (`--ready-lag SECS`).
+    /// Ignored on leaders and standalone servers.
+    pub ready_lag: Duration,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +97,8 @@ impl Default for ServerConfig {
             data_dir: None,
             repl_listen: None,
             follow: None,
+            metrics_listen: None,
+            ready_lag: Duration::from_secs(5),
         }
     }
 }
@@ -363,6 +373,54 @@ impl Inner {
         let _ = TcpStream::connect(addr);
     }
 
+    /// The `/metrics` page: every registry the `METRICS` verb renders,
+    /// re-expressed in the Prometheus text format (plus the build-info
+    /// and uptime gauges the scrape-side convention expects).
+    fn render_openmetrics(&self) -> String {
+        let io = self.stack.store().stats().snapshot();
+        let memo = self.stack.memo_stats();
+        let standing = StandingSnapshot::from_statuses(&self.standing.statuses());
+        let repl = self.repl_metrics.snapshot();
+        crate::observe::render_openmetrics(
+            &self.metrics,
+            &io,
+            &memo,
+            &standing,
+            &repl,
+            self.started.elapsed(),
+        )
+    }
+
+    /// The `/readyz` verdict. A leader or standalone server is ready
+    /// unless it is draining. A follower is additionally gated on its
+    /// replication session: it must be streaming (not reconnecting or
+    /// shed) with the propagated commit-timestamp lag under the
+    /// configured bound. The store itself is always seeded by the time
+    /// this runs — `serve` blocks on the bootstrap before binding.
+    fn readyz(&self) -> rql_trace::HttpResponse {
+        if self.draining() {
+            return rql_trace::HttpResponse::unavailable("draining\n");
+        }
+        if self.config.follow.is_some() {
+            let snap = self.repl_metrics.snapshot();
+            if snap.phase != rql_repl::phase::STREAMING {
+                return rql_trace::HttpResponse::unavailable(format!(
+                    "follower not streaming (phase {})\n",
+                    snap.phase
+                ));
+            }
+            let lag = Duration::from_micros(snap.lag_micros);
+            if lag > self.config.ready_lag {
+                return rql_trace::HttpResponse::unavailable(format!(
+                    "replication lag {:.3}s exceeds bound {:.3}s\n",
+                    lag.as_secs_f64(),
+                    self.config.ready_lag.as_secs_f64()
+                ));
+            }
+        }
+        rql_trace::HttpResponse::ok("ready\n")
+    }
+
     fn status_line(&self) -> String {
         format!(
             "rqld up {}s, sessions={}, queue={}/{}, in_flight={}, snapshots={}",
@@ -383,6 +441,7 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
+    observe: Option<rql_trace::HttpServer>,
 }
 
 impl ServerHandle {
@@ -399,6 +458,12 @@ impl ServerHandle {
     /// The server's standing-query engine (registry + push fan-out).
     pub fn standing(&self) -> &Arc<StandingEngine> {
         &self.inner.standing
+    }
+
+    /// The observability listener's bound address (when
+    /// `metrics_listen` is configured; useful with port 0).
+    pub fn observe_addr(&self) -> Option<std::net::SocketAddr> {
+        self.observe.as_ref().map(rql_trace::HttpServer::addr)
     }
 
     /// The replication listener's bound address (leader mode only;
@@ -429,6 +494,15 @@ impl ServerHandle {
         }
         if let Some(h) = self.watchdog.take() {
             let _ = h.join();
+        }
+        // Every worker has exited, so no commit can race this final
+        // checkpoint. Without it a durable store's buffered WAL tail
+        // dies with the process and a clean restart comes back short —
+        // on a leader, *behind its own followers*, which breaks
+        // wal-length resume.
+        let _ = self.inner.stack.store().flush();
+        if let Some(mut o) = self.observe.take() {
+            o.shutdown();
         }
     }
 }
@@ -558,6 +632,28 @@ pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Serve
         repl_follower: Mutex::new(repl_follower),
     });
 
+    // The observability listener (Prometheus scrape + probe surface)
+    // binds after the stack exists — a follower's /readyz can only flip
+    // to ready once the seed landed anyway, and a bind failure should
+    // abort startup, not limp along unobservable.
+    let observe = match &inner.config.metrics_listen {
+        Some(listen) => {
+            let routes = Arc::clone(&inner);
+            let handler: Arc<rql_trace::http::Handler> = Arc::new(move |path: &str| match path {
+                "/metrics" => rql_trace::HttpResponse {
+                    status: 200,
+                    content_type: "text/plain; version=0.0.4; charset=utf-8",
+                    body: routes.render_openmetrics(),
+                },
+                "/healthz" => rql_trace::HttpResponse::ok("ok\n"),
+                "/readyz" => routes.readyz(),
+                _ => rql_trace::HttpResponse::not_found(),
+            });
+            Some(rql_trace::http::serve(listen, handler)?)
+        }
+        None => None,
+    };
+
     let workers = (0..inner.config.workers.max(1))
         .map(|_| {
             let inner = Arc::clone(&inner);
@@ -588,6 +684,7 @@ pub fn serve(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Serve
         acceptor,
         workers,
         watchdog,
+        observe,
     })
 }
 
@@ -662,12 +759,18 @@ fn connection_loop(
             }
         };
         match request {
-            Request::Prepare { program } => {
+            Request::Prepare { program, trace } => {
+                note_trace(trace);
                 inner.metrics.inc(&inner.metrics.prepares_total);
                 let diagnostics = prepare(session, &program);
                 send(stream, &Response::Diagnostics { diagnostics })?;
             }
-            Request::Run { program, no_memo } => {
+            Request::Run {
+                program,
+                no_memo,
+                trace,
+            } => {
+                note_trace(trace);
                 let started = Instant::now();
                 let Some(outcome) = submit(inner, stream, session, &program, no_memo)? else {
                     continue;
@@ -681,7 +784,12 @@ fn connection_loop(
                     Err(e) => send(stream, &standing_error(&e))?,
                 }
             }
-            Request::Profile { program, no_memo } => {
+            Request::Profile {
+                program,
+                no_memo,
+                trace,
+            } => {
+                note_trace(trace);
                 // Same admission/execution path as RUN; the response adds
                 // the per-snapshot cost breakdown derived from the run's
                 // own reports (so it reconciles with METRICS by
@@ -867,6 +975,18 @@ fn submit(
     Ok(Some(outcome))
 }
 
+/// Record a client-propagated trace id in this server's trace ring.
+/// The `trace_ctx` instant's arg is the id's first eight bytes
+/// (big-endian), which is what `stitch_trace.py` matches against the
+/// client's own export — the instant lands on the connection thread, so
+/// it shares that thread's lane with the spans the request produces.
+fn note_trace(trace: Option<[u8; 16]>) {
+    if let Some(id) = trace {
+        let hi = u64::from_be_bytes([id[0], id[1], id[2], id[3], id[4], id[5], id[6], id[7]]);
+        rql_trace::instant_arg(rql_trace::SpanId::TraceCtx, hi);
+    }
+}
+
 /// The server's own address as seen from this connection (used to poke
 /// the acceptor awake during shutdown).
 fn inner_addr(stream: &TcpStream) -> std::net::SocketAddr {
@@ -895,12 +1015,17 @@ fn read_only_error(what: &str) -> Response {
 /// the role/phase gauges spelled out in the human form. Field order
 /// follows [`ReplSnapshot::fields`] — wire-stable, grow-at-end only.
 fn render_replstatus(s: &ReplSnapshot, json: bool) -> String {
+    // Derived, not part of the wire-stable integer list: the propagated
+    // commit-timestamp lag as a float in seconds, so `rql replstatus
+    // --json | jq .lag_seconds` needs no unit conversion.
+    let lag_seconds = s.lag_micros as f64 / 1e6;
     if json {
-        let parts: Vec<String> = s
+        let mut parts: Vec<String> = s
             .fields()
             .into_iter()
             .map(|(name, value)| format!("\"{name}\":{value}"))
             .collect();
+        parts.push(format!("\"lag_seconds\":{lag_seconds:.6}"));
         return format!("{{{}}}", parts.join(","));
     }
     let mut out = String::new();
@@ -922,6 +1047,7 @@ fn render_replstatus(s: &ReplSnapshot, json: bool) -> String {
         }
         out.push('\n');
     }
+    out.push_str(&format!("lag_seconds {lag_seconds:.6}\n"));
     out
 }
 

@@ -16,7 +16,7 @@ use std::io::{self, Write};
 use std::path::Path;
 
 use crate::event::{EventKind, TraceEvent};
-use crate::ring::global;
+use crate::ring::{global, wall_anchor_micros};
 
 /// Escape a string for a JSON string literal (labels are static Rust
 /// strings — this is belt-and-braces, not a general JSON writer).
@@ -56,12 +56,18 @@ fn push_event(out: &mut String, e: &TraceEvent, ph: &str) {
     out.push_str("}}");
 }
 
-/// Render `events` as a Chrome-trace JSON document.
+/// Render `events` as a Chrome-trace JSON document. The top-level
+/// `otherData.wallClockAnchorMicros` field records the wall-clock time
+/// of `ts` 0, letting `stitch_trace.py` align exports from different
+/// processes (and machines) on one timeline.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     // An enter is "matched" when the same (tid, span, start) shows up as
     // an exit — the exit's X event covers it. Unmatched enters (spans
     // still open when the ring was read) are emitted as B events.
-    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut out = format!(
+        "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"wallClockAnchorMicros\":{}}},\"traceEvents\":[",
+        wall_anchor_micros()
+    );
     let mut first = true;
     for e in events {
         let ph = match e.kind {
@@ -167,6 +173,12 @@ mod tests {
     #[test]
     fn empty_ring_is_still_valid_json() {
         let json = chrome_trace_json(&[]);
-        assert_eq!(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+        let anchor = crate::ring::wall_anchor_micros();
+        assert_eq!(
+            json,
+            format!(
+                "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"wallClockAnchorMicros\":{anchor}}},\"traceEvents\":[]}}"
+            )
+        );
     }
 }

@@ -96,6 +96,12 @@ span_ids! {
     ChainOpen = (16, "chain_open", "retro"),
     /// Snapshot page table built/located (arg = snapshot id).
     SptBuild = (17, "spt_build", "retro"),
+    /// One write transaction committed (arg = txn id). Declaring
+    /// commits run their snapshot hooks — standing-query maintenance
+    /// and push — inside this span, and replication trailers carry the
+    /// same txn id, so cross-node stitching can hang follower applies
+    /// off the originating commit.
+    Commit = (18, "commit", "retro"),
     // -- sqlengine -----------------------------------------------------
     /// Base-table scan (arg = rows produced).
     Scan = (32, "scan", "sqlengine"),
@@ -143,6 +149,10 @@ span_ids! {
     JobRun = (83, "job_run", "rqld"),
     /// Response frame written back to the client (arg = job id).
     JobReply = (84, "job_reply", "rqld"),
+    /// Client-supplied 16-byte trace id observed on a RUN/PREPARE frame
+    /// (arg = the id's first 8 bytes, big-endian — enough to correlate
+    /// per-node exports in `stitch_trace.py`).
+    TraceCtx = (85, "trace_ctx", "rqld"),
     // -- standing (continuous RQL) --------------------------------------
     /// A standing query registered: seed batch pass over the backlog
     /// (arg = snapshots seeded).
@@ -156,6 +166,13 @@ span_ids! {
     // -- bench ---------------------------------------------------------
     /// A named experiment phase (label = phase name).
     BenchPhase = (96, "bench_phase", "bench"),
+    // -- repl ----------------------------------------------------------
+    /// Leader shipped one committed WAL segment to a follower
+    /// (arg = the segment's txn id, matching the leader's `commit` span).
+    ReplShip = (104, "repl_ship", "repl"),
+    /// Follower applied one replicated segment (arg = the originating
+    /// txn id from the frame, matching the leader's `commit` span).
+    ReplApply = (105, "repl_apply", "repl"),
 }
 
 /// One decoded trace event, as read back from the ring.

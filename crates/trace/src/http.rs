@@ -1,0 +1,234 @@
+//! Minimal embedded HTTP/1.0 listener for observability endpoints.
+//!
+//! Serves `GET` requests from a caller-supplied routing closure over a
+//! plain [`TcpListener`] — stdlib only, one short-lived thread per
+//! connection, `Connection: close` on every response. This is
+//! deliberately *not* a web server: no keep-alive, no TLS, no bodies
+//! read, request lines capped at 8 KiB. It exists so `rqld --metrics-listen`
+//! and the bench binaries can expose `/metrics`, `/healthz` and
+//! `/readyz` to a Prometheus scraper or load balancer without pulling
+//! a dependency below `core`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// One HTTP response from a route handler.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (200, 404, 503, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// 200 with a `text/plain` body.
+    pub fn ok(body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// 503 with a `text/plain` body (readiness refusals).
+    pub fn unavailable(body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status: 503,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// 404.
+    pub fn not_found() -> HttpResponse {
+        HttpResponse {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: "not found\n".to_string(),
+        }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "OK",
+    }
+}
+
+/// Route handler: maps a request path (`/metrics`) to a response.
+pub type Handler = dyn Fn(&str) -> HttpResponse + Send + Sync;
+
+/// Handle to a running listener; [`HttpServer::shutdown`] (or drop)
+/// stops the accept loop.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread. In-flight connection
+    /// threads finish on their own (they hold no references past the
+    /// handler call).
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Poke the acceptor so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(stream: TcpStream, handler: &Handler) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() || line.len() > 8192 {
+        return;
+    }
+    // Drain headers until the blank line so well-behaved clients don't
+    // see a reset before the response.
+    loop {
+        let mut h = String::new();
+        match reader.read_line(&mut h) {
+            Ok(0) => break,
+            Ok(_) if h == "\r\n" || h == "\n" => break,
+            Ok(_) if h.len() <= 8192 => continue,
+            _ => return,
+        }
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let response = if method != "GET" {
+        HttpResponse {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            body: "method not allowed\n".to_string(),
+        }
+    } else {
+        // Strip any query string before routing.
+        handler(path.split('?').next().unwrap_or(path))
+    };
+    let mut out = stream;
+    let head = format!(
+        "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    let _ = out.write_all(head.as_bytes());
+    let _ = out.write_all(response.body.as_bytes());
+    let _ = out.flush();
+}
+
+/// Bind `addr` and serve `handler` on a background accept thread.
+pub fn serve(addr: &str, handler: Arc<Handler>) -> std::io::Result<HttpServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_accept = Arc::clone(&stop);
+    let accept_thread = thread::Builder::new()
+        .name("http-observe".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let handler = Arc::clone(&handler);
+                let _ = thread::Builder::new()
+                    .name("http-conn".to_string())
+                    .spawn(move || handle_connection(stream, &*handler));
+            }
+        })?;
+    Ok(HttpServer {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        let status = buf
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        let body = buf
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_routes_and_404s_unknown_paths() {
+        let mut server = serve(
+            "127.0.0.1:0",
+            Arc::new(|path: &str| match path {
+                "/healthz" => HttpResponse::ok("ok\n"),
+                "/readyz" => HttpResponse::unavailable("lagging\n"),
+                _ => HttpResponse::not_found(),
+            }),
+        )
+        .unwrap();
+        let addr = server.addr();
+        assert_eq!(get(addr, "/healthz"), (200, "ok\n".to_string()));
+        assert_eq!(get(addr, "/readyz"), (503, "lagging\n".to_string()));
+        assert_eq!(get(addr, "/nope").0, 404);
+        // Query strings are stripped before routing.
+        assert_eq!(get(addr, "/healthz?x=1").0, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut server = serve("127.0.0.1:0", Arc::new(|_: &str| HttpResponse::ok("ok"))).unwrap();
+        server.shutdown();
+        server.shutdown();
+    }
+}

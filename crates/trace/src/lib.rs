@@ -31,15 +31,19 @@ pub mod chrome;
 pub mod counters;
 pub mod event;
 pub mod flight;
+pub mod http;
 pub mod label;
+pub mod openmetrics;
 pub mod ring;
 pub mod span;
 
 pub use chrome::{chrome_trace_json, export_from_env, export_global};
-pub use counters::{Counter, LatencyHistogram};
+pub use counters::{Counter, LatencyHistogram, BUCKET_BOUNDS, HISTOGRAM_BUCKETS};
 pub use event::{EventKind, SpanId, TraceEvent};
 pub use flight::{check_balanced, flight_dump, install_panic_hook, FLIGHT_DUMP_EVENTS};
-pub use ring::{global, now_nanos, Ring, DEFAULT_CAPACITY};
+pub use http::{HttpResponse, HttpServer};
+pub use openmetrics::TextBuilder;
+pub use ring::{global, now_nanos, unix_micros, wall_anchor_micros, Ring, DEFAULT_CAPACITY};
 pub use span::{
     enabled, instant, instant_arg, open_span_depth, set_enabled, span, span_arg, span_labeled,
     SpanGuard,

@@ -171,6 +171,28 @@ pub fn now_nanos() -> u64 {
     epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
+/// Current wall-clock time as microseconds since the Unix epoch.
+/// Replication trailers carry this so followers can compute time lag
+/// and `stitch_trace.py` can align per-node timelines.
+pub fn unix_micros() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros().min(u128::from(u64::MAX)) as u64)
+}
+
+/// Wall-clock time (microseconds since the Unix epoch) of this
+/// process's trace epoch — the instant `ts` 0 in the Chrome export
+/// corresponds to. Anchored once, at first call; the pairing with
+/// [`now_nanos`] is only as precise as the two clock reads, which is
+/// far below the cross-node skew stitching already tolerates.
+pub fn wall_anchor_micros() -> u64 {
+    static ANCHOR: OnceLock<u64> = OnceLock::new();
+    *ANCHOR.get_or_init(|| {
+        let rel_micros = now_nanos() / 1_000;
+        unix_micros().saturating_sub(rel_micros)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)]

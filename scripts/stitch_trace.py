@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Stitch per-node RQL_TRACE exports into one multi-process trace.
+
+Usage: stitch_trace.py [--out MERGED.json] [--assert-causal] NAME=FILE...
+
+Each NAME=FILE pair is one node's Chrome-trace export (what `rqld`
+writes at drain when `RQL_TRACE=out.json` is set). The stitcher:
+
+  - assigns each input a distinct `pid` and emits `process_name`
+    metadata so Perfetto shows one named track group per node;
+  - aligns timelines using each export's top-level
+    `otherData.wallClockAnchorMicros` (the wall-clock time of its
+    `ts` 0): every timestamp is shifted onto the earliest node's
+    clock, so cross-node ordering is wall-clock ordering;
+  - emits Chrome flow events (`ph:"s"` / `ph:"f"`) linking each
+    leader `repl_ship` span to every follower `repl_apply` span that
+    carries the same transaction id in `args.arg` — the causal edge
+    of replication, drawn as an arrow in the viewer.
+
+`--assert-causal` makes the script exit non-zero unless the merged
+trace contains at least one such leader→follower edge whose follower
+apply starts at-or-after the leader ship (on the aligned timeline),
+with the shipping transaction's `commit` span present on the leader.
+If any node recorded a `standing_push` span, it must nest inside a
+`commit` span on the same node (pushes happen in the committing
+thread's snapshot hooks). CI's server-smoke uses this to prove the
+propagation plumbing end to end.
+
+Stdlib-only. Exit: 0 on success, 1 on assertion failure, 2 on usage.
+"""
+
+import json
+import sys
+
+
+def usage():
+    sys.exit("usage: stitch_trace.py [--out MERGED.json] [--assert-causal] NAME=FILE...")
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if "traceEvents" not in doc:
+        sys.exit(f"stitch_trace.py: {path}: not a Chrome trace (no traceEvents)")
+    anchor = doc.get("otherData", {}).get("wallClockAnchorMicros", 0)
+    return doc["traceEvents"], anchor
+
+
+def spans(events, name, phases=("X", "B")):
+    """All events with the given span name in the given phases."""
+    return [e for e in events if e.get("name") == name and e.get("ph") in phases]
+
+
+def main():
+    out_path = "merged_trace.json"
+    assert_causal = False
+    inputs = []
+    args = iter(sys.argv[1:])
+    for a in args:
+        if a == "--out":
+            out_path = next(args, None) or usage()
+        elif a == "--assert-causal":
+            assert_causal = True
+        elif "=" in a:
+            name, _, path = a.partition("=")
+            inputs.append((name, path))
+        else:
+            usage()
+    if not inputs:
+        usage()
+
+    nodes = []  # (name, pid, shifted events)
+    anchors = {}
+    for i, (name, path) in enumerate(inputs):
+        events, anchor = load(path)
+        nodes.append((name, i + 1, events))
+        anchors[name] = anchor
+    base = min(anchors.values())
+
+    merged = []
+    for name, pid, events in nodes:
+        shift = anchors[name] - base  # µs onto the earliest node's clock
+        merged.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": name}}
+        )
+        for e in events:
+            e = dict(e)
+            e["pid"] = pid
+            if "ts" in e:
+                e["ts"] = e["ts"] + shift
+            merged.append(e)
+
+    # Causal edges: leader repl_ship --txn--> follower repl_apply. After
+    # the per-node shift both sides are on one clock, so the flow events
+    # carry the aligned timestamps directly.
+    by_node = {name: [e for e in merged if e.get("pid") == pid and e.get("ph") != "M"]
+               for name, pid, _ in nodes}
+    edges = []
+    ships = {}  # txn id -> (node, event)
+    for name, pid, _ in nodes:
+        for e in spans(by_node[name], "repl_ship"):
+            ships.setdefault(e.get("args", {}).get("arg"), []).append((name, e))
+    for name, pid, _ in nodes:
+        for e in spans(by_node[name], "repl_apply"):
+            txn = e.get("args", {}).get("arg")
+            for ship_node, ship in ships.get(txn, []):
+                if ship_node == name:
+                    continue  # a node cannot replicate to itself
+                edges.append((txn, ship_node, ship, name, e))
+
+    for txn, _, ship, _, apply_ev in edges:
+        flow = {"name": "repl", "cat": "repl", "id": txn, "args": {"txn": txn}}
+        merged.append({**flow, "ph": "s", "pid": ship["pid"],
+                       "tid": ship.get("tid", 0), "ts": ship["ts"]})
+        merged.append({**flow, "ph": "f", "bp": "e", "pid": apply_ev["pid"],
+                       "tid": apply_ev.get("tid", 0), "ts": apply_ev["ts"]})
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump({"displayTimeUnit": "ms", "traceEvents": merged}, f)
+    print(
+        f"stitched {len(nodes)} node(s), {len(merged)} events, "
+        f"{len(edges)} replication edge(s) -> {out_path}"
+    )
+
+    if not assert_causal:
+        return
+
+    def enclosing(events, inner, name):
+        """An X span named `name` on the same node/thread covering `inner`."""
+        for e in spans(events, name):
+            if e.get("tid") != inner.get("tid") or e.get("ph") != "X":
+                continue
+            start, end = e["ts"], e["ts"] + e.get("dur", 0)
+            if start <= inner["ts"] and inner["ts"] <= end:
+                return e
+        return None
+
+    if not edges:
+        sys.exit("stitch_trace.py: no repl_ship -> repl_apply edge found")
+    for txn, ship_node, ship, apply_node, apply_ev in edges:
+        if apply_ev["ts"] < ship["ts"]:
+            sys.exit(
+                f"stitch_trace.py: txn {txn}: {apply_node} applied at {apply_ev['ts']:.0f}µs "
+                f"before {ship_node} shipped at {ship['ts']:.0f}µs"
+            )
+        commits = [c for c in spans(by_node[ship_node], "commit")
+                   if c.get("args", {}).get("arg") == txn]
+        if not commits:
+            sys.exit(
+                f"stitch_trace.py: txn {txn}: no commit span on {ship_node} "
+                f"for the shipped segment"
+            )
+    print(f"causal check OK: {len(edges)} edge(s) ship-before-apply with leader commit spans")
+
+    # Pushes are instant events ("i"), recorded by the committing thread
+    # while its snapshot hooks fan deltas out to subscribers.
+    pushes = [(name, e) for name, pid, _ in nodes
+              for e in spans(by_node[name], "standing_push", ("X", "B", "i"))]
+    if pushes:
+        for name, push in pushes:
+            if enclosing(by_node[name], push, "commit") is None:
+                sys.exit(
+                    f"stitch_trace.py: standing_push on {name} at {push['ts']:.0f}µs "
+                    f"is not nested in a commit span"
+                )
+        print(f"standing check OK: {len(pushes)} push span(s) nested in commits")
+
+
+if __name__ == "__main__":
+    main()

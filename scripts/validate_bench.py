@@ -7,10 +7,16 @@ With no arguments, validates every BENCH_*.json in the current
 directory. Stdlib-only (CI runners have no jsonschema package). Checks,
 for every artifact:
 
-  - well-formed JSON object
-  - schema_version present and equal to the supported version
+  - well-formed JSON object, no duplicate keys
+  - schema_version present, equal to the supported version, and the
+    *first* key of the object (experiment second) — artifacts are
+    versioned before they are anything else, so a reader can dispatch
+    on the opening bytes
   - experiment present and known
-  - the experiment's required keys present with the right JSON types
+  - the experiment's required keys present with the right JSON types,
+    appearing in the artifact in spec order (new keys may interleave,
+    but the required ones form an in-order subsequence — dashboards
+    diff these files textually)
   - identical_results is true (a bench that changed answers is a bug,
     not a regression)
 
@@ -97,6 +103,32 @@ def fail(path, msg):
     sys.exit(f"bench artifact invalid at {path}: {msg}")
 
 
+class OrderedObj(dict):
+    """A dict that remembers raw key order and rejects duplicates."""
+
+    def __init__(self, pairs):
+        super().__init__(pairs)
+        self.key_order = [k for k, _ in pairs]
+        if len(self.key_order) != len(set(self.key_order)):
+            dupes = sorted({k for k in self.key_order if self.key_order.count(k) > 1})
+            raise ValueError(f"duplicate keys: {dupes}")
+
+
+def check_key_order(obj, spec, path):
+    """Required keys must appear in spec order (as a subsequence)."""
+    order = getattr(obj, "key_order", list(obj))
+    positions = {k: i for i, k in enumerate(order)}
+    last = -1
+    last_key = None
+    for key in spec:
+        at = positions.get(key)
+        if at is None:
+            continue  # presence is check_keys' job
+        if at < last:
+            fail(path, f"key {key!r} must come after {last_key!r} (spec order)")
+        last, last_key = at, key
+
+
 def check_keys(obj, spec, path):
     for key, typ in spec.items():
         if key not in obj:
@@ -111,18 +143,22 @@ def check_keys(obj, spec, path):
 def validate(name):
     try:
         with open(name, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
+            doc = json.load(f, object_pairs_hook=OrderedObj)
+    except (OSError, json.JSONDecodeError, ValueError) as e:
         fail(name, str(e))
     if not isinstance(doc, dict):
         fail(name, "top level is not an object")
     version = doc.get("schema_version")
     if version != SUPPORTED_SCHEMA_VERSION:
         fail(f"{name}.schema_version", f"expected {SUPPORTED_SCHEMA_VERSION}, got {version!r}")
+    order = doc.key_order
+    if order[:2] != ["schema_version", "experiment"]:
+        fail(name, f"first keys must be schema_version, experiment; got {order[:2]}")
     experiment = doc.get("experiment")
     if experiment not in REQUIRED:
         fail(f"{name}.experiment", f"unknown experiment {experiment!r}")
     check_keys(doc, REQUIRED[experiment], name)
+    check_key_order(doc, REQUIRED[experiment], name)
     if not doc["identical_results"]:
         fail(f"{name}.identical_results", "lanes returned different answers")
     if experiment == "repl_scaleout":
@@ -139,6 +175,7 @@ def validate(name):
             if not isinstance(lane, dict):
                 fail(f"{name}.lanes[{i}]", "lane is not an object")
             check_keys(lane, PRUNE_LANE, f"{name}.lanes[{i}]")
+            check_key_order(lane, PRUNE_LANE, f"{name}.lanes[{i}]")
             if not lane["identical_results"]:
                 fail(f"{name}.lanes[{i}]", "pruned lane returned different answers")
     print(f"{name}: OK ({experiment}, schema_version {version})")

@@ -26,6 +26,12 @@
 //! per-snapshot cost table (pages read, pages shared-skipped, memo
 //! outcome, wall/CPU time), printed after the results.
 //!
+//! `--trace-id HEX` (32 hex digits = 16 bytes) attaches a
+//! client-generated trace id to every `run`/`exec`/`check` request on
+//! this invocation. The server records it as a `trace_ctx` instant in
+//! its trace ring, so `scripts/stitch_trace.py` can correlate this
+//! client's requests across the per-node `RQL_TRACE` exports.
+//!
 //! Exit status: 0 on success, 1 when the server reports an error or
 //! `check` finds error diagnostics, 2 on usage/connection problems.
 
@@ -33,16 +39,31 @@ use std::process::ExitCode;
 
 use rql_repro::rqld::{Client, ClientError, SubscriptionEvent, WireResult};
 
-const USAGE: &str = "usage: rql [--addr ADDR] [--no-memo] [--profile] \
+const USAGE: &str = "usage: rql [--addr ADDR] [--no-memo] [--profile] [--trace-id HEX32] \
                      <run FILE...|exec PROGRAM|check [--json] FILE...|status [--flight]|metrics [--json]\
                      |replstatus [--json]|cancel ID|register STATEMENT|unregister NAME\
                      |watch [--frames N] NAME|shutdown>";
+
+/// Parse `--trace-id`'s value: exactly 32 hex digits → 16 bytes.
+fn parse_trace_id(hex: &str) -> Option<[u8; 16]> {
+    let bytes = hex.as_bytes();
+    if bytes.len() != 32 {
+        return None;
+    }
+    let mut id = [0u8; 16];
+    for (i, chunk) in bytes.chunks_exact(2).enumerate() {
+        let s = std::str::from_utf8(chunk).ok()?;
+        id[i] = u8::from_str_radix(s, 16).ok()?;
+    }
+    Some(id)
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7464".to_owned();
     let mut no_memo = false;
     let mut profile = false;
+    let mut trace_id: Option<[u8; 16]> = None;
     loop {
         if args.first().is_some_and(|a| a == "--addr") {
             if args.len() < 2 {
@@ -57,6 +78,20 @@ fn main() -> ExitCode {
         } else if args.first().is_some_and(|a| a == "--profile") {
             profile = true;
             args.remove(0);
+        } else if args.first().is_some_and(|a| a == "--trace-id") {
+            if args.len() < 2 {
+                eprintln!("--trace-id needs a value");
+                return ExitCode::from(2);
+            }
+            let Some(id) = parse_trace_id(&args[1]) else {
+                eprintln!(
+                    "--trace-id: expected exactly 32 hex digits, got {:?}",
+                    args[1]
+                );
+                return ExitCode::from(2);
+            };
+            trace_id = Some(id);
+            args.drain(..2);
         } else {
             break;
         }
@@ -74,6 +109,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    client.set_trace_id(trace_id);
 
     let outcome = match command.as_str() {
         "run" => cmd_run(&mut client, rest, no_memo, profile),

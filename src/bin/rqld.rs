@@ -6,6 +6,7 @@
 //! rqld [--listen ADDR] [--workers N] [--queue N] [--max-sessions N]
 //!      [--timeout-ms N] [--no-memo] [--slow-ms N] [--data-dir DIR]
 //!      [--repl-listen ADDR] [--follow ADDR]
+//!      [--metrics-listen ADDR] [--ready-lag SECS]
 //! ```
 //!
 //! Binds a TCP listener (default `127.0.0.1:7464`), bootstraps one
@@ -21,10 +22,14 @@
 //! are rejected with `RQL505`). Check either side with
 //! `rql replstatus`.
 //!
-//! Observability: `--slow-ms N` logs any query slower than `N` ms to
-//! stderr; `RQL_TRACE=out.json` writes a Chrome-trace/Perfetto JSON of
-//! the trace ring at drain; a panic dumps the flight recorder (the
-//! last ring events) before unwinding.
+//! Observability: `--metrics-listen ADDR` serves `GET /metrics`
+//! (Prometheus text exposition of every server registry), `/healthz`
+//! (liveness) and `/readyz` (readiness; on a follower, 503 until it is
+//! streaming with replication lag under `--ready-lag SECS`, default 5).
+//! `--slow-ms N` logs any query slower than `N` ms to stderr;
+//! `RQL_TRACE=out.json` writes a Chrome-trace/Perfetto JSON of the
+//! trace ring at drain; a panic dumps the flight recorder (the last
+//! ring events) before unwinding.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -39,7 +44,8 @@ struct Options {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     const USAGE: &str = "usage: rqld [--listen ADDR] [--workers N] [--queue N] \
                          [--max-sessions N] [--timeout-ms N] [--no-memo] [--slow-ms N] \
-                         [--data-dir DIR] [--repl-listen ADDR] [--follow ADDR]";
+                         [--data-dir DIR] [--repl-listen ADDR] [--follow ADDR] \
+                         [--metrics-listen ADDR] [--ready-lag SECS]";
     let mut opts = Options {
         listen: "127.0.0.1:7464".into(),
         config: ServerConfig::default(),
@@ -83,6 +89,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--follow" => {
                 opts.config.follow = Some(value("--follow")?);
+            }
+            "--metrics-listen" => {
+                opts.config.metrics_listen = Some(value("--metrics-listen")?);
+            }
+            "--ready-lag" => {
+                let secs: f64 = value("--ready-lag")?
+                    .parse()
+                    .map_err(|e| format!("--ready-lag: {e}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("--ready-lag: must be a non-negative number".into());
+                }
+                opts.config.ready_lag = Duration::from_secs_f64(secs);
             }
             "--slow-ms" => {
                 let ms: u64 = value("--slow-ms")?
@@ -128,6 +146,9 @@ fn main() -> ExitCode {
         }
     };
     println!("rqld listening on {}", handle.local_addr());
+    if let Some(addr) = handle.observe_addr() {
+        println!("rqld metrics on http://{addr}/metrics");
+    }
     handle.wait();
     // RQL_TRACE=out.json: export everything the ring retained as
     // Chrome-trace JSON (loadable in Perfetto / chrome://tracing).

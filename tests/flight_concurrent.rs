@@ -1,0 +1,183 @@
+//! Flight-recorder concurrency tests (TSan lane): panicking threads
+//! dumping the ring race readers snapshotting it, and `STATUS --flight`
+//! clients race jobs that freeze the last-failure dump server-side.
+//!
+//! The flight recorder's contract is that it is safe to call from
+//! *anywhere* — a panic hook mid-unwind, a server connection thread, a
+//! test assertion — while every other thread keeps writing trace
+//! events. These tests drive exactly that overlap; TSan vets the
+//! ring-buffer snapshot against the concurrent writers.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use rql_repro::rqld::{serve, Client, ServerConfig};
+use rql_repro::trace;
+
+#[test]
+fn concurrent_panics_and_flight_dumps_do_not_race() {
+    // The hook itself renders a dump on every panic below, so the
+    // panic path exercises flight_dump concurrently with the readers.
+    trace::install_panic_hook();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    thread::scope(|scope| {
+        // Writers: flood the ring with spans and instants, panicking
+        // (caught) partway through each burst so unwinding runs with
+        // half-open span guards on the thread-local stack.
+        for w in 0..4u64 {
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    round += 1;
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        let _outer = trace::span_arg(trace::SpanId::JobRun, w);
+                        for i in 0..64 {
+                            trace::instant_arg(trace::SpanId::JobAdmit, round * 64 + i);
+                        }
+                        if round.is_multiple_of(3) {
+                            panic!("deliberate test panic (writer {w})");
+                        }
+                    }));
+                }
+            });
+        }
+        // Readers: snapshot the ring as fast as the writers mutate it.
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut dumps = 0u32;
+                    while !stop.load(Ordering::Relaxed) {
+                        let dump = trace::flight_dump();
+                        assert!(dump.starts_with("flight recorder:"), "bad dump: {dump}");
+                        dumps += 1;
+                    }
+                    dumps
+                })
+            })
+            .collect();
+
+        thread::sleep(Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().expect("reader") > 0, "reader never dumped");
+        }
+    });
+}
+
+#[test]
+fn status_flight_readers_race_failing_jobs() {
+    let handle = serve("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = handle.local_addr();
+
+    // Seed a table so the failing statement parses and admits, then
+    // dies in execution — the path that freezes `last_flight`.
+    let mut writer = Client::connect(addr).expect("connect");
+    writer
+        .run(
+            "CREATE TABLE t (x INTEGER);\n\
+             BEGIN;\nINSERT INTO t VALUES (1);\nCOMMIT WITH SNAPSHOT;",
+        )
+        .expect("setup");
+
+    thread::scope(|scope| {
+        // Failing jobs: each run references a missing table, fails in
+        // the worker, and overwrites the frozen dump.
+        for _ in 0..3 {
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                for _ in 0..20 {
+                    let r = c.run("SELECT * FROM does_not_exist;");
+                    assert!(r.is_err(), "query against a missing table succeeded");
+                }
+            });
+        }
+        // STATUS --flight readers: every reply must carry a live ring
+        // dump, whatever the failure threads are doing to the frozen one.
+        for _ in 0..3 {
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                for _ in 0..20 {
+                    let text = c.status_flight().expect("status --flight");
+                    assert!(text.contains("flight recorder:"), "no dump in: {text}");
+                }
+            });
+        }
+    });
+
+    // With the races drained, at least one failure froze its dump.
+    let text = writer.status_flight().expect("status --flight");
+    assert!(
+        text.contains("--- last failure ---"),
+        "no frozen failure dump in: {text}"
+    );
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn observe_endpoints_serve_metrics_health_and_readiness() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            metrics_listen: Some("127.0.0.1:0".into()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.local_addr();
+    let observe = handle.observe_addr().expect("observability listener");
+
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .run(
+            "CREATE TABLE t (x INTEGER);\n\
+             BEGIN;\nINSERT INTO t VALUES (1);\nCOMMIT WITH SNAPSHOT;\n\
+             SELECT CollateData(snap_id, 'SELECT x FROM t', 'C') FROM SnapIds;",
+        )
+        .expect("run");
+
+    let get = |path: &str| -> (u16, String) {
+        let mut s = TcpStream::connect(observe).expect("connect observe");
+        write!(s, "GET {path} HTTP/1.0\r\nHost: t\r\n\r\n").expect("request");
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).expect("response");
+        let status = buf
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        let body = buf
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    };
+
+    let (status, body) = get("/metrics");
+    assert_eq!(status, 200, "metrics: {body}");
+    assert!(body.contains("rql_build_info{version=\""), "{body}");
+    assert!(body.contains("# TYPE rql_queries_total counter"), "{body}");
+    assert!(
+        body.contains("rql_query_latency_seconds_bucket{le=\"+Inf\"}"),
+        "{body}"
+    );
+    assert!(body.contains("rql_uptime_seconds"), "{body}");
+
+    assert_eq!(get("/healthz").0, 200);
+    // Standalone server: ready as long as it is not draining.
+    assert_eq!(get("/readyz").0, 200);
+    assert_eq!(get("/nope").0, 404);
+
+    handle.shutdown();
+    handle.wait();
+}

@@ -238,7 +238,7 @@ fn follower_rejects_writes_and_registration_with_rql505() {
 
 #[test]
 fn replstatus_fields_are_wire_stable_on_both_ends() {
-    const FIELDS: [&str; 13] = [
+    const FIELDS: [&str; 14] = [
         "role",
         "phase",
         "followers",
@@ -252,6 +252,7 @@ fn replstatus_fields_are_wire_stable_on_both_ends() {
         "reconnects",
         "lag_bytes",
         "lag_snapshots",
+        "lag_micros",
     ];
     let assert_order = |json: &str| {
         let mut pos = 0usize;
@@ -263,6 +264,12 @@ fn replstatus_fields_are_wire_stable_on_both_ends() {
             assert!(at >= pos, "{name} out of order in {json}");
             pos = at;
         }
+        // Derived float, appended after the wire-stable integer list so
+        // `jq .lag_seconds` works without unit conversion.
+        assert!(
+            json.contains("\"lag_seconds\":"),
+            "missing lag_seconds: {json}"
+        );
     };
 
     let leader_dir = TempDir::new("rslead");
@@ -280,7 +287,9 @@ fn replstatus_fields_are_wire_stable_on_both_ends() {
     let human = writer.replstatus(false).expect("leader replstatus");
     assert!(human.starts_with("role leader\n"), "leader human: {human}");
     let first_fields: Vec<&str> = human.lines().filter_map(|l| l.split(' ').next()).collect();
-    assert_eq!(first_fields, FIELDS, "human line order: {human}");
+    let mut expected: Vec<&str> = FIELDS.to_vec();
+    expected.push("lag_seconds");
+    assert_eq!(first_fields, expected, "human line order: {human}");
 
     // Follower side: same shape, follower role, non-zero apply counters.
     let mut fc = Client::connect(follower_addr).expect("connect follower");
